@@ -1,0 +1,29 @@
+//! Criterion benchmarks of the routing substrate: the fast probabilistic
+//! estimator (called every inflation round) and the full negotiation
+//! router (the scoring oracle).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_route::{pattern, GlobalRouter, RouterConfig};
+
+fn bench_router(c: &mut Criterion) {
+    let bench = generate(&GeneratorConfig::tiny("rtbench", 13)).expect("valid config");
+
+    c.bench_function("pattern_estimate_tiny", |b| {
+        b.iter(|| std::hint::black_box(pattern::estimate_congestion(&bench.design, &bench.placement)))
+    });
+
+    let mut group = c.benchmark_group("full_route");
+    group.sample_size(10);
+    group.bench_function("negotiated_tiny", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

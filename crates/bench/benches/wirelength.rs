@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks of the smooth wirelength kernels (the hot
+//! inner loop of global placement): LSE vs WA gradient evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdp_core::model::Model;
+use rdp_core::wirelength::{smooth_wl_grad, WirelengthModel};
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_geom::Point;
+
+fn model_of(cells: usize) -> Model {
+    let mut cfg = GeneratorConfig::tiny("wlbench", 7);
+    cfg.num_cells = cells;
+    let bench = generate(&cfg).expect("valid config");
+    Model::from_design(&bench.design, &bench.placement)
+}
+
+fn bench_wirelength(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wirelength_grad");
+    for cells in [1_000usize, 4_000] {
+        let model = model_of(cells);
+        let mut grad = vec![Point::ORIGIN; model.len()];
+        for which in [WirelengthModel::Lse, WirelengthModel::Wa] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{which:?}"), cells),
+                &model,
+                |b, m| {
+                    b.iter(|| {
+                        grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+                        std::hint::black_box(smooth_wl_grad(m, which, 20.0, &mut grad))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wirelength);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **T1** — benchmark-statistics table (the paper's circuit-characteristics
+//! table, rebuilt over the substitute suite).
+//!
+//! Run: `cargo run -p rdp-bench --release --bin table1_suite [-- --smoke]`
+
+use rdp_bench::{emit, parse_args, standard_suite};
+use rdp_db::stats::DesignStats;
+use rdp_eval::report::{fmt_f, fmt_pct, Table};
+
+fn main() {
+    let args = parse_args();
+    let mut table = Table::new(&[
+        "circuit", "#cells", "#macros", "#fixed", "#IO", "#nets", "#pins", "deg", "#fence",
+        "util", "macro%",
+    ]);
+    for cfg in standard_suite(args).iter().chain(&rdp_bench::fence_suite(args)) {
+        let bench = rdp_gen::generate(cfg).expect("suite configs are valid");
+        let s = DesignStats::of(&bench.design);
+        table.row_owned(vec![
+            s.name.clone(),
+            s.num_std_cells.to_string(),
+            s.num_macros.to_string(),
+            s.num_fixed.to_string(),
+            s.num_terminals_ni.to_string(),
+            s.num_nets.to_string(),
+            s.num_pins.to_string(),
+            fmt_f(s.avg_net_degree, 2),
+            s.num_regions.to_string(),
+            fmt_pct(s.utilization),
+            fmt_pct(s.macro_area_share),
+        ]);
+    }
+    println!("T1 — benchmark suite statistics (substitute for the DAC-2012 set)\n");
+    emit("table1_suite", &table);
+}

@@ -1,0 +1,117 @@
+//! Fence-region pull-in force.
+//!
+//! The region-aware density fields keep a fenced object's *spreading*
+//! inside its fence, but an object that wanders far outside the fence's
+//! bins sees no density gradient at all. The pull-in force closes that
+//! gap: any fenced object outside its region feels a quadratic attraction
+//! toward the closest point of the fence, scaled with the same λ schedule
+//! as the density force so it strengthens as placement converges — the
+//! hierarchy-handling recipe of the paper.
+
+use crate::model::Model;
+use rdp_db::Region;
+use rdp_geom::Point;
+
+/// Adds `weight · ∂/∂pos Σ dist(pos, fence)²` for every fenced object into
+/// `grad`. Objects inside their fence get no force.
+pub fn fence_grad(model: &Model, regions: &[Region], weight: f64, grad: &mut [Point]) {
+    if regions.is_empty() || weight == 0.0 {
+        return;
+    }
+    for i in 0..model.len() {
+        let Some(region_id) = model.region[i] else { continue };
+        let Some(region) = regions.get(region_id.index()) else { continue };
+        let c = model.pos[i];
+        if region.contains(c) {
+            continue;
+        }
+        if let Some((closest, _)) = region.closest_point(c) {
+            // d/dc |c - closest|² = 2 (c - closest).
+            grad[i] += (c - closest) * (2.0 * weight);
+        }
+    }
+}
+
+/// Total squared fence-violation distance (diagnostic; zero when every
+/// fenced object's center is inside its fence).
+pub fn fence_violation(model: &Model, regions: &[Region]) -> f64 {
+    let mut total = 0.0;
+    for i in 0..model.len() {
+        let Some(region_id) = model.region[i] else { continue };
+        let Some(region) = regions.get(region_id.index()) else { continue };
+        let d = region.distance(model.pos[i]);
+        if d.is_finite() {
+            total += d * d;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelNet;
+    use rdp_db::RegionId;
+    use rdp_geom::Rect;
+
+    fn fenced_model(pos: Point) -> (Model, Vec<Region>) {
+        let model = Model {
+            pos: vec![pos],
+            size: vec![(4.0, 10.0)],
+            area: vec![40.0],
+            is_macro: vec![false],
+            region: vec![Some(RegionId(0))],
+            nets: Vec::<ModelNet>::new(),
+            die: Rect::new(0.0, 0.0, 100.0, 100.0),
+            node_of: vec![],
+        };
+        let regions = vec![Region::new("R", vec![Rect::new(60.0, 60.0, 90.0, 90.0)])];
+        (model, regions)
+    }
+
+    #[test]
+    fn outside_object_is_pulled_toward_fence() {
+        let (model, regions) = fenced_model(Point::new(10.0, 10.0));
+        let mut grad = vec![Point::ORIGIN; 1];
+        fence_grad(&model, &regions, 1.0, &mut grad);
+        // Descent direction −grad points toward the fence (up-right).
+        assert!(-grad[0].x > 0.0 && -grad[0].y > 0.0);
+        // Magnitude = 2·distance vector.
+        assert!((grad[0].x - 2.0 * (10.0 - 60.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inside_object_feels_nothing() {
+        let (model, regions) = fenced_model(Point::new(70.0, 70.0));
+        let mut grad = vec![Point::ORIGIN; 1];
+        fence_grad(&model, &regions, 1.0, &mut grad);
+        assert_eq!(grad[0], Point::ORIGIN);
+        assert_eq!(fence_violation(&model, &regions), 0.0);
+    }
+
+    #[test]
+    fn unfenced_object_feels_nothing() {
+        let (mut model, regions) = fenced_model(Point::new(10.0, 10.0));
+        model.region[0] = None;
+        let mut grad = vec![Point::ORIGIN; 1];
+        fence_grad(&model, &regions, 1.0, &mut grad);
+        assert_eq!(grad[0], Point::ORIGIN);
+    }
+
+    #[test]
+    fn violation_measures_squared_distance() {
+        let (model, regions) = fenced_model(Point::new(60.0, 10.0));
+        // Distance straight down from the fence bottom edge = 50.
+        assert!((fence_violation(&model, &regions) - 2500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_scales_linearly() {
+        let (model, regions) = fenced_model(Point::new(10.0, 70.0));
+        let mut g1 = vec![Point::ORIGIN; 1];
+        let mut g3 = vec![Point::ORIGIN; 1];
+        fence_grad(&model, &regions, 1.0, &mut g1);
+        fence_grad(&model, &regions, 3.0, &mut g3);
+        assert!((g3[0].x - 3.0 * g1[0].x).abs() < 1e-9);
+    }
+}

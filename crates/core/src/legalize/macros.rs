@@ -1,0 +1,185 @@
+//! Macro legalization: largest-first snapping to non-overlapping, row- and
+//! site-aligned positions.
+
+use rdp_db::{Design, Placement};
+use rdp_geom::{Point, Rect};
+
+/// Legalizes all movable macros in place. `fixed_obstacles` are the rects
+/// of fixed blocks. Returns the final macro rects (for use as obstacles in
+/// standard-cell legalization).
+///
+/// Strategy: macros in decreasing area order; for each, search outward
+/// from its desired (snapped) position over row-aligned candidate spots
+/// and take the closest one that fits on-die (inside its fence, if any)
+/// without overlapping anything already legal.
+pub fn legalize_macros(
+    design: &Design,
+    placement: &mut Placement,
+    fixed_obstacles: &[Rect],
+) -> Vec<Rect> {
+    let row_h = design.row_height().unwrap_or(1.0);
+    let site = design
+        .rows()
+        .first()
+        .map(|r| r.site_width())
+        .unwrap_or(1.0);
+    let die = design.die();
+
+    let mut macros: Vec<_> = design.macro_ids().collect();
+    macros.sort_by(|&a, &b| {
+        design
+            .node(b)
+            .area()
+            .partial_cmp(&design.node(a).area())
+            .expect("finite area")
+            .then(a.cmp(&b))
+    });
+
+    let mut placed: Vec<Rect> = Vec::with_capacity(macros.len());
+    for id in macros.iter().copied() {
+        let (w, h) = placement.dims(design, id);
+        let desired = placement.lower_left(design, id);
+        // Candidate containment area: die, or fence bbox when fenced.
+        let bounds = match design.node(id).region() {
+            Some(r) => design.region(r).bounding_box().intersection(die),
+            None => die,
+        };
+        let snap = |p: Point| -> Point {
+            Point::new(
+                (p.x / site).round() * site,
+                (p.y / row_h).round() * row_h,
+            )
+        };
+        let clamp_ll = |p: Point| -> Point {
+            Point::new(
+                rdp_geom::clamp(p.x, bounds.xl, (bounds.xh - w).max(bounds.xl)),
+                rdp_geom::clamp(p.y, bounds.yl, (bounds.yh - h).max(bounds.yl)),
+            )
+        };
+        let start = snap(clamp_ll(desired));
+        let own_region = design.node(id).region();
+        let fits = |ll: Point, placed: &[Rect]| -> bool {
+            let r = Rect::from_origin_size(ll, w, h);
+            bounds.contains_rect(r)
+                && fixed_obstacles.iter().all(|o| !o.intersects(r))
+                && placed.iter().all(|o| !o.intersects(r))
+                // An unfenced macro must not squat on a (foreign) fence —
+                // that capacity belongs to the fence's members.
+                && design.regions().iter().enumerate().all(|(gi, region)| {
+                    Some(rdp_db::RegionId::from_index(gi)) == own_region
+                        || region.rects().iter().all(|fr| !fr.intersects(r))
+                })
+        };
+        // Ring search over (rows, site-steps).
+        let step_x = (site * 4.0).max(w / 8.0);
+        let max_ring = 4 * ((die.width() / step_x) as i64 + (die.height() / row_h) as i64);
+        let mut found = None;
+        'search: for ring in 0..=max_ring {
+            for dy in -ring..=ring {
+                let rem = ring - dy.abs();
+                for dx in [-rem, rem] {
+                    let cand = snap(clamp_ll(Point::new(
+                        start.x + dx as f64 * step_x,
+                        start.y + dy as f64 * row_h,
+                    )));
+                    if fits(cand, &placed) {
+                        found = Some(cand);
+                        break 'search;
+                    }
+                    if rem == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+        let ll = found.unwrap_or(start);
+        placement.set_lower_left(design, id, ll);
+        placed.push(Rect::from_origin_size(ll, w, h));
+    }
+    placed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{DesignBuilder, NodeKind};
+
+    fn macro_design(n: usize) -> Design {
+        let mut b = DesignBuilder::new("ml");
+        b.die(Rect::new(0.0, 0.0, 200.0, 200.0));
+        for r in 0..20 {
+            b.add_row(f64::from(r) * 10.0, 10.0, 1.0, 0.0, 200);
+        }
+        let mut ids = Vec::new();
+        for i in 0..n {
+            ids.push(b.add_node(format!("m{i}"), 40.0, 40.0, NodeKind::Movable).unwrap());
+        }
+        let t = b.add_node("t", 1.0, 1.0, NodeKind::FixedNi).unwrap();
+        let net = b.add_net("n", 1.0);
+        b.add_pin(net, ids[0], Point::ORIGIN);
+        b.add_pin(net, t, Point::ORIGIN);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn overlapping_macros_separate() {
+        let d = macro_design(4);
+        let mut pl = Placement::new_centered(&d);
+        // All four at the center, overlapping.
+        let rects = legalize_macros(&d, &mut pl, &[]);
+        assert_eq!(rects.len(), 4);
+        for (i, a) in rects.iter().enumerate() {
+            assert!(d.die().contains_rect(*a), "macro {i} off-die: {a}");
+            for b in &rects[i + 1..] {
+                assert_eq!(a.overlap_area(*b), 0.0, "macros overlap: {a} vs {b}");
+            }
+            // Row/site alignment.
+            assert!((a.yl / 10.0).fract().abs() < 1e-9);
+            assert!(a.xl.fract().abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn avoids_fixed_obstacles() {
+        let d = macro_design(1);
+        let mut pl = Placement::new_centered(&d);
+        let obstacle = Rect::new(80.0, 80.0, 120.0, 120.0);
+        let rects = legalize_macros(&d, &mut pl, &[obstacle]);
+        assert_eq!(rects[0].overlap_area(obstacle), 0.0);
+    }
+
+    #[test]
+    fn legal_macro_stays_near_its_spot() {
+        let d = macro_design(1);
+        let mut pl = Placement::new_centered(&d);
+        let m = d.find_node("m0").unwrap();
+        pl.set_lower_left(&d, m, Point::new(20.0, 30.0));
+        legalize_macros(&d, &mut pl, &[]);
+        assert_eq!(pl.lower_left(&d, m), Point::new(20.0, 30.0));
+    }
+
+    #[test]
+    fn fenced_macro_lands_in_fence() {
+        let mut b = DesignBuilder::new("mf");
+        b.die(Rect::new(0.0, 0.0, 200.0, 200.0));
+        for r in 0..20 {
+            b.add_row(f64::from(r) * 10.0, 10.0, 1.0, 0.0, 200);
+        }
+        let m = b.add_node("m", 40.0, 40.0, NodeKind::Movable).unwrap();
+        let t = b.add_node("t", 1.0, 1.0, NodeKind::FixedNi).unwrap();
+        let reg = b.add_region("R", vec![Rect::new(100.0, 100.0, 200.0, 200.0)]);
+        b.assign_region(m, reg);
+        let net = b.add_net("n", 1.0);
+        b.add_pin(net, m, Point::ORIGIN);
+        b.add_pin(net, t, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = Placement::new_centered(&d);
+        pl.set_lower_left(&d, m, Point::new(10.0, 10.0)); // far outside fence
+        let rects = legalize_macros(&d, &mut pl, &[]);
+        assert!(
+            Rect::new(100.0, 100.0, 200.0, 200.0).contains_rect(rects[0]),
+            "macro outside fence: {}",
+            rects[0]
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Row-segment construction: the free row pieces between obstacles, tagged
+//! with their covering fence region.
+
+use rdp_db::{Design, NodeId, RegionId};
+use rdp_geom::{Interval, Rect};
+
+/// A free piece of one placement row.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Index into `design.rows()`.
+    pub row: usize,
+    /// Free x span (site-aligned).
+    pub interval: Interval,
+    /// The fence covering this piece (`None` = outside all fences).
+    pub region: Option<RegionId>,
+    /// Width already claimed by assigned cells (site-quantized).
+    pub used: f64,
+    /// Cells assigned to this segment (packed by Abacus afterwards).
+    pub cells: Vec<NodeId>,
+}
+
+impl Segment {
+    /// Free width remaining.
+    pub fn free(&self) -> f64 {
+        (self.interval.length() - self.used).max(0.0)
+    }
+}
+
+/// Splits every row around `obstacles` and fence boundaries.
+///
+/// An obstacle removes its x span from any row it vertically overlaps.
+/// Fence rects split segments at their x boundaries; a piece whose row lies
+/// vertically inside a fence rect is tagged with that region. Segment
+/// bounds are snapped inward to site boundaries.
+pub fn build_segments(design: &Design, obstacles: &[Rect]) -> Vec<Segment> {
+    let mut out = Vec::new();
+    for (ri, row) in design.rows().iter().enumerate() {
+        let row_rect = row.rect();
+        // Start with the full row, subtract obstacles.
+        let mut pieces: Vec<Interval> = vec![row.span()];
+        for ob in obstacles {
+            if ob.yh <= row_rect.yl + 1e-9 || ob.yl >= row_rect.yh - 1e-9 {
+                continue; // no vertical overlap
+            }
+            let cut = Interval::new(ob.xl, ob.xh);
+            let mut next = Vec::with_capacity(pieces.len() + 1);
+            for p in pieces {
+                if cut.hi <= p.lo + 1e-9 || cut.lo >= p.hi - 1e-9 {
+                    next.push(p);
+                    continue;
+                }
+                if cut.lo > p.lo + 1e-9 {
+                    next.push(Interval::new(p.lo, cut.lo));
+                }
+                if cut.hi < p.hi - 1e-9 {
+                    next.push(Interval::new(cut.hi, p.hi));
+                }
+            }
+            pieces = next;
+        }
+        // Split at fence x-boundaries and tag.
+        for piece in pieces {
+            let mut xs = vec![piece.lo, piece.hi];
+            for region in design.regions() {
+                for r in region.rects() {
+                    if r.yl <= row_rect.yl + 1e-9 && r.yh >= row_rect.yh - 1e-9 {
+                        for x in [r.xl, r.xh] {
+                            if x > piece.lo + 1e-9 && x < piece.hi - 1e-9 {
+                                xs.push(x);
+                            }
+                        }
+                    }
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+            for w in xs.windows(2) {
+                let mid = 0.5 * (w[0] + w[1]);
+                let region = design
+                    .regions()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, reg)| {
+                        reg.rects().iter().any(|r| {
+                            r.yl <= row_rect.yl + 1e-9
+                                && r.yh >= row_rect.yh - 1e-9
+                                && mid >= r.xl
+                                && mid <= r.xh
+                        })
+                    })
+                    .map(|(i, _)| RegionId::from_index(i));
+                // Snap inward to sites.
+                let site = row.site_width();
+                let lo = row.x_min() + ((w[0] - row.x_min()) / site).ceil() * site;
+                let hi = row.x_min() + ((w[1] - row.x_min()) / site).floor() * site;
+                if hi - lo >= site - 1e-9 {
+                    out.push(Segment {
+                        row: ri,
+                        interval: Interval::new(lo, hi),
+                        region,
+                        used: 0.0,
+                        cells: Vec::new(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{DesignBuilder, NodeKind};
+    use rdp_geom::Point;
+
+    fn design_with_fence() -> Design {
+        let mut b = DesignBuilder::new("seg");
+        b.die(Rect::new(0.0, 0.0, 100.0, 20.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        b.add_row(10.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let r = b.add_region("R", vec![Rect::new(40.0, 0.0, 70.0, 20.0)]);
+        b.assign_region(a, r);
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::ORIGIN);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn fence_splits_and_tags_segments() {
+        let d = design_with_fence();
+        let segs = build_segments(&d, &[]);
+        // Each row: [0,40) none, [40,70) region, [70,100) none.
+        assert_eq!(segs.len(), 6);
+        let fenced: Vec<_> = segs.iter().filter(|s| s.region.is_some()).collect();
+        assert_eq!(fenced.len(), 2);
+        for s in fenced {
+            assert_eq!(s.interval, Interval::new(40.0, 70.0));
+        }
+    }
+
+    #[test]
+    fn obstacles_carve_rows() {
+        let d = design_with_fence();
+        // Obstacle over row 0 only, x 10..20.
+        let segs = build_segments(&d, &[Rect::new(10.0, 0.0, 20.0, 10.0)]);
+        let row0: Vec<_> = segs.iter().filter(|s| s.row == 0).collect();
+        // Row 0: [0,10) [20,40) [40,70)R [70,100) = 4 pieces.
+        assert_eq!(row0.len(), 4);
+        assert!(row0.iter().any(|s| s.interval == Interval::new(0.0, 10.0)));
+        assert!(row0.iter().any(|s| s.interval == Interval::new(20.0, 40.0)));
+        // Row 1 untouched: 3 pieces.
+        assert_eq!(segs.iter().filter(|s| s.row == 1).count(), 3);
+    }
+
+    #[test]
+    fn segments_snap_to_sites() {
+        let d = design_with_fence();
+        let segs = build_segments(&d, &[Rect::new(10.3, 0.0, 20.7, 10.0)]);
+        for s in segs.iter().filter(|s| s.row == 0) {
+            assert!((s.interval.lo.fract()).abs() < 1e-9, "lo {}", s.interval.lo);
+            assert!((s.interval.hi.fract()).abs() < 1e-9, "hi {}", s.interval.hi);
+        }
+        // The cut got wider, not narrower: free pieces avoid the obstacle.
+        assert!(segs
+            .iter()
+            .filter(|s| s.row == 0)
+            .all(|s| s.interval.hi <= 10.0 + 1e-9 || s.interval.lo >= 21.0 - 1e-9));
+    }
+
+    #[test]
+    fn tiny_slivers_are_dropped() {
+        let d = design_with_fence();
+        // Obstacle leaving a 0.4-site sliver at the left.
+        let segs = build_segments(&d, &[Rect::new(0.4, 0.0, 39.0, 10.0)]);
+        assert!(segs
+            .iter()
+            .filter(|s| s.row == 0)
+            .all(|s| s.interval.length() >= 1.0 - 1e-9));
+    }
+
+    #[test]
+    fn free_tracks_usage() {
+        let mut s = Segment {
+            row: 0,
+            interval: Interval::new(0.0, 10.0),
+            region: None,
+            used: 0.0,
+            cells: vec![],
+        };
+        assert_eq!(s.free(), 10.0);
+        s.used = 7.0;
+        assert_eq!(s.free(), 3.0);
+        s.used = 15.0;
+        assert_eq!(s.free(), 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tetris-style greedy segment assignment for standard cells.
+
+use super::segments::Segment;
+use rdp_db::{Design, NodeId, Placement};
+
+/// Site-quantized width a cell occupies in a row.
+fn site_width(design: &Design, id: NodeId, site: f64) -> f64 {
+    (design.node(id).width() / site).ceil() * site
+}
+
+/// Assigns every standard cell to a segment of matching fence region,
+/// minimizing `|Δy| + |Δx|` displacement subject to remaining capacity.
+/// Returns the number of cells that found no segment (capacity exhausted
+/// everywhere — 0 on any sanely-sized design).
+pub fn assign_cells(design: &Design, placement: &Placement, segments: &mut [Segment]) -> usize {
+    let site = design
+        .rows()
+        .first()
+        .map(|r| r.site_width())
+        .unwrap_or(1.0);
+
+    // Cells ordered by desired x (the classic Tetris sweep) so left space
+    // fills left-to-right and displacement stays local.
+    let mut cells: Vec<NodeId> = design
+        .node_ids()
+        .filter(|&id| design.node(id).is_std_cell())
+        .collect();
+    cells.sort_by(|&a, &b| {
+        placement
+            .center(a)
+            .x
+            .partial_cmp(&placement.center(b).x)
+            .expect("finite x")
+            .then(a.cmp(&b))
+    });
+
+    let mut failed = 0;
+    for id in cells {
+        let w = site_width(design, id, site);
+        let desired = placement.lower_left(design, id);
+        let region = design.node(id).region();
+        let mut best: Option<(f64, usize)> = None;
+        for (si, seg) in segments.iter().enumerate() {
+            if seg.region != region || seg.free() + 1e-9 < w {
+                continue;
+            }
+            let row_y = design.rows()[seg.row].y();
+            let dy = (row_y - desired.y).abs();
+            // Approximate x displacement: distance from desired to the
+            // feasible span of the segment.
+            let lo = seg.interval.lo;
+            let hi = seg.interval.hi - w;
+            let dx = if desired.x < lo {
+                lo - desired.x
+            } else if desired.x > hi {
+                desired.x - hi
+            } else {
+                0.0
+            };
+            let cost = dx + 2.0 * dy;
+            if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                best = Some((cost, si));
+            }
+        }
+        match best {
+            Some((_, si)) => {
+                segments[si].used += w;
+                segments[si].cells.push(id);
+            }
+            None => failed += 1,
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::segments::build_segments;
+    use super::*;
+    use rdp_db::{DesignBuilder, NodeKind, Placement};
+    use rdp_geom::{Point, Rect};
+
+    fn design(n: usize) -> rdp_db::Design {
+        let mut b = DesignBuilder::new("tt");
+        b.die(Rect::new(0.0, 0.0, 100.0, 30.0));
+        for r in 0..3 {
+            b.add_row(f64::from(r) * 10.0, 10.0, 1.0, 0.0, 100);
+        }
+        let mut prev = None;
+        for i in 0..n {
+            let id = b.add_node(format!("c{i}"), 4.0, 10.0, NodeKind::Movable).unwrap();
+            if let Some(p) = prev {
+                let net = b.add_net(format!("n{i}"), 1.0);
+                b.add_pin(net, p, Point::ORIGIN);
+                b.add_pin(net, id, Point::ORIGIN);
+            }
+            prev = Some(id);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn assigns_all_cells_with_capacity() {
+        let d = design(30);
+        let pl = Placement::new_centered(&d);
+        let mut segs = build_segments(&d, &[]);
+        let failed = assign_cells(&d, &pl, &mut segs);
+        assert_eq!(failed, 0);
+        let total: usize = segs.iter().map(|s| s.cells.len()).sum();
+        assert_eq!(total, 30);
+        // Capacity respected.
+        for s in &segs {
+            assert!(s.used <= s.interval.length() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn prefers_nearby_rows() {
+        let d = design(2);
+        let mut pl = Placement::new_centered(&d);
+        let c0 = d.find_node("c0").unwrap();
+        pl.set_lower_left(&d, c0, Point::new(50.0, 20.0)); // row 2
+        let mut segs = build_segments(&d, &[]);
+        assign_cells(&d, &pl, &mut segs);
+        let assigned_row = segs.iter().find(|s| s.cells.contains(&c0)).unwrap().row;
+        assert_eq!(assigned_row, 2);
+    }
+
+    #[test]
+    fn overfull_design_reports_failures() {
+        // 100-wide rows × 3 = 75 cells of (ceil) width 4; ask for 80.
+        let d = design(80);
+        let pl = Placement::new_centered(&d);
+        let mut segs = build_segments(&d, &[]);
+        let failed = assign_cells(&d, &pl, &mut segs);
+        assert!(failed >= 5, "expected ≥5 failures, got {failed}");
+    }
+
+    #[test]
+    fn site_width_quantizes_up() {
+        let d = design(1);
+        let c0 = d.find_node("c0").unwrap();
+        assert_eq!(site_width(&d, c0, 1.0), 4.0);
+        assert_eq!(site_width(&d, c0, 3.0), 6.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! The analytical placement model: the movable-object view of a design
+//! that the optimizer, clustering and density machinery operate on.
+//!
+//! A [`Model`] flattens the [`rdp_db::Design`] into index-based
+//! arrays over *objects* (movable cells and macros at the finest level,
+//! clusters at coarser levels) plus nets whose pins either ride an object
+//! (with a center-relative offset) or are anchored at a fixed point
+//! (fixed-node and terminal pins). This keeps the hot gradient loops free
+//! of indirection through the full database.
+
+use rdp_db::{Design, NodeId, Placement, RegionId};
+use rdp_geom::{Point, Rect};
+
+/// A pin of a [`ModelNet`]: either riding object `obj` at `offset` from its
+/// center, or fixed in space at `offset` (absolute) when `obj` is `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPin {
+    /// The object carrying the pin, or `None` for a fixed anchor.
+    pub obj: Option<u32>,
+    /// Center-relative offset (movable) or absolute position (fixed).
+    pub offset: Point,
+}
+
+impl ModelPin {
+    /// Pin riding a movable object.
+    pub fn movable(obj: usize, offset: Point) -> Self {
+        ModelPin { obj: Some(obj as u32), offset }
+    }
+
+    /// Pin fixed at an absolute position.
+    pub fn fixed(position: Point) -> Self {
+        ModelPin { obj: None, offset: position }
+    }
+
+    /// Physical position given the object positions `pos`.
+    #[inline]
+    pub fn position(&self, pos: &[Point]) -> Point {
+        match self.obj {
+            Some(o) => pos[o as usize] + self.offset,
+            None => self.offset,
+        }
+    }
+}
+
+/// A net over model pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelNet {
+    /// Net weight (multiplies its wirelength contribution).
+    pub weight: f64,
+    /// The pins; at least 2 after model construction.
+    pub pins: Vec<ModelPin>,
+}
+
+/// The flattened placement problem the optimizer works on.
+///
+/// Invariants: `pos`, `size`, `area`, `is_macro` and `region` all have one
+/// entry per object; `area[i]` is the *density* area (inflated during
+/// routability optimization) while `size[i]` is the physical outline.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Object centers — the optimization variables.
+    pub pos: Vec<Point>,
+    /// Physical (width, height) per object.
+    pub size: Vec<(f64, f64)>,
+    /// Density area per object (≥ physical area; grows under inflation).
+    pub area: Vec<f64>,
+    /// Macro flag per object (macros get rotation handling and are never
+    /// clustered).
+    pub is_macro: Vec<bool>,
+    /// Fence region per object.
+    pub region: Vec<Option<RegionId>>,
+    /// Nets.
+    pub nets: Vec<ModelNet>,
+    /// Placement area.
+    pub die: Rect,
+    /// Mapping back to design nodes (finest level only; empty for coarse
+    /// models, which map through cluster tables instead).
+    pub node_of: Vec<NodeId>,
+}
+
+impl Model {
+    /// Builds the finest-level model from a design and a placement
+    /// (supplying initial object positions, fixed-pin anchors and macro
+    /// orientations for pin offsets).
+    pub fn from_design(design: &Design, placement: &Placement) -> Self {
+        let movables: Vec<NodeId> = design.movable_ids().collect();
+        let mut index_of = vec![u32::MAX; design.nodes().len()];
+        for (i, &id) in movables.iter().enumerate() {
+            index_of[id.index()] = i as u32;
+        }
+
+        let mut pos = Vec::with_capacity(movables.len());
+        let mut size = Vec::with_capacity(movables.len());
+        let mut area = Vec::with_capacity(movables.len());
+        let mut is_macro = Vec::with_capacity(movables.len());
+        let mut region = Vec::with_capacity(movables.len());
+        for &id in &movables {
+            let n = design.node(id);
+            let (w, h) = placement.dims(design, id);
+            pos.push(placement.center(id));
+            size.push((w, h));
+            area.push(w * h);
+            is_macro.push(n.is_macro());
+            region.push(n.region());
+        }
+
+        let mut nets = Vec::with_capacity(design.nets().len());
+        for net_id in design.net_ids() {
+            let net = design.net(net_id);
+            let mut pins = Vec::with_capacity(net.degree());
+            for &pid in net.pins() {
+                let pin = design.pin(pid);
+                let node = pin.node();
+                let oi = index_of[node.index()];
+                if oi != u32::MAX {
+                    // Offset under the node's current orientation.
+                    let off = rdp_geom::transform::transform_offset(
+                        pin.offset(),
+                        placement.orient(node),
+                    );
+                    pins.push(ModelPin::movable(oi as usize, off));
+                } else {
+                    pins.push(ModelPin::fixed(placement.pin_position(design, pid)));
+                }
+            }
+            nets.push(ModelNet { weight: net.weight(), pins });
+        }
+
+        Model {
+            pos,
+            size,
+            area,
+            is_macro,
+            region,
+            nets,
+            die: design.die(),
+            node_of: movables,
+        }
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the model has no objects.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Exact HPWL of the model at the current positions.
+    pub fn hpwl(&self) -> f64 {
+        self.nets
+            .iter()
+            .map(|net| {
+                let mut bb = Rect::empty();
+                for p in &net.pins {
+                    bb.expand_to(p.position(&self.pos));
+                }
+                if net.pins.is_empty() {
+                    0.0
+                } else {
+                    bb.half_perimeter()
+                }
+            })
+            .sum()
+    }
+
+    /// Weighted HPWL (each net scaled by its weight).
+    pub fn weighted_hpwl(&self) -> f64 {
+        self.nets
+            .iter()
+            .map(|net| {
+                if net.pins.is_empty() {
+                    return 0.0;
+                }
+                let mut bb = Rect::empty();
+                for p in &net.pins {
+                    bb.expand_to(p.position(&self.pos));
+                }
+                net.weight * bb.half_perimeter()
+            })
+            .sum()
+    }
+
+    /// Total movable (physical) area.
+    pub fn total_area(&self) -> f64 {
+        self.size.iter().map(|&(w, h)| w * h).sum()
+    }
+
+    /// Copies object positions back into `placement` for the design nodes
+    /// this model was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a coarse model (no node mapping).
+    pub fn write_back(&self, placement: &mut Placement) {
+        assert_eq!(
+            self.node_of.len(),
+            self.pos.len(),
+            "write_back requires a finest-level model"
+        );
+        for (i, &id) in self.node_of.iter().enumerate() {
+            placement.set_center(id, self.pos[i]);
+        }
+    }
+
+    /// Clamps every object center so its outline stays inside the die.
+    pub fn clamp_to_die(&mut self) {
+        for i in 0..self.len() {
+            let (w, h) = self.size[i];
+            let x = rdp_geom::clamp(self.pos[i].x, self.die.xl + w / 2.0, self.die.xh - w / 2.0);
+            let y = rdp_geom::clamp(self.pos[i].y, self.die.yl + h / 2.0, self.die.yh - h / 2.0);
+            self.pos[i] = Point::new(x, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::{DesignBuilder, NodeKind};
+
+    fn design() -> (Design, Placement) {
+        let mut b = DesignBuilder::new("m");
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let m = b.add_node("m", 20.0, 30.0, NodeKind::Movable).unwrap();
+        let f = b.add_node("f", 10.0, 10.0, NodeKind::Fixed).unwrap();
+        let n = b.add_net("n", 2.0);
+        b.add_pin(n, a, Point::new(1.0, 1.0));
+        b.add_pin(n, m, Point::ORIGIN);
+        b.add_pin(n, f, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = Placement::new_centered(&d);
+        pl.set_center(a, Point::new(10.0, 5.0));
+        pl.set_center(m, Point::new(50.0, 50.0));
+        pl.set_center(f, Point::new(90.0, 90.0));
+        (d, pl)
+    }
+
+    #[test]
+    fn flattens_movables_and_anchors_fixed() {
+        let (d, pl) = design();
+        let model = Model::from_design(&d, &pl);
+        assert_eq!(model.len(), 2);
+        assert_eq!(model.is_macro, vec![false, true]);
+        assert_eq!(model.nets.len(), 1);
+        let net = &model.nets[0];
+        assert_eq!(net.weight, 2.0);
+        assert_eq!(net.pins.len(), 3);
+        // Fixed pin is an absolute anchor.
+        let fixed_pin = net.pins.iter().find(|p| p.obj.is_none()).unwrap();
+        assert_eq!(fixed_pin.position(&model.pos), Point::new(90.0, 90.0));
+        // Movable pin rides its object.
+        let a_pin = net.pins.iter().find(|p| p.obj == Some(0)).unwrap();
+        assert_eq!(a_pin.position(&model.pos), Point::new(11.0, 6.0));
+    }
+
+    #[test]
+    fn hpwl_matches_db_hpwl() {
+        let (d, pl) = design();
+        let model = Model::from_design(&d, &pl);
+        let expect = rdp_db::hpwl::total_hpwl(&d, &pl);
+        assert!((model.hpwl() - expect).abs() < 1e-9);
+        let wexpect = rdp_db::hpwl::weighted_hpwl(&d, &pl);
+        assert!((model.weighted_hpwl() - wexpect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_back_round_trips() {
+        let (d, pl) = design();
+        let mut model = Model::from_design(&d, &pl);
+        model.pos[0] = Point::new(33.0, 44.0);
+        let mut pl2 = pl.clone();
+        model.write_back(&mut pl2);
+        let a = d.find_node("a").unwrap();
+        assert_eq!(pl2.center(a), Point::new(33.0, 44.0));
+        // Fixed nodes untouched.
+        let f = d.find_node("f").unwrap();
+        assert_eq!(pl2.center(f), pl.center(f));
+    }
+
+    #[test]
+    fn clamp_keeps_outlines_inside() {
+        let (d, pl) = design();
+        let mut model = Model::from_design(&d, &pl);
+        model.pos[1] = Point::new(-100.0, 500.0);
+        model.clamp_to_die();
+        let (w, h) = model.size[1];
+        assert_eq!(model.pos[1], Point::new(w / 2.0, 100.0 - h / 2.0));
+    }
+
+    #[test]
+    fn macro_orientation_rotates_offsets() {
+        let (d, mut pl) = design();
+        let m = d.find_node("m").unwrap();
+        pl.set_orient(m, rdp_geom::Orient::E);
+        let model = Model::from_design(&d, &pl);
+        // Size swapped under E.
+        assert_eq!(model.size[1], (30.0, 20.0));
+    }
+}

@@ -1,0 +1,334 @@
+//! The analytical global-placement engine: conjugate-gradient descent on
+//! `smooth wirelength + λ · density penalty (+ fence pull-in)`, with the
+//! NTUplace-style λ-doubling outer loop and γ annealing.
+
+use crate::density::build_fields;
+use crate::fence::fence_grad;
+use crate::model::Model;
+use crate::trace::{Trace, TraceRecord};
+use crate::wirelength::{smooth_wl_grad, WirelengthModel};
+use rdp_db::Region;
+use rdp_geom::{Point, Rect};
+
+/// Tuning parameters of one global-placement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpOptions {
+    /// Smooth wirelength model.
+    pub wirelength: WirelengthModel,
+    /// Bin count per axis of the main density field.
+    pub bins: usize,
+    /// Target density (movable area per bin / free bin capacity).
+    pub target_density: f64,
+    /// Maximum penalty (λ-doubling) rounds.
+    pub max_outer: usize,
+    /// CG iterations per round.
+    pub inner_iters: usize,
+    /// Stop when overflow area / movable area falls below this.
+    pub overflow_target: f64,
+    /// Initial γ as a multiple of the bin width.
+    pub gamma_mult: f64,
+    /// Per-round multiplicative γ decay.
+    pub gamma_decay: f64,
+    /// Per-round λ growth factor.
+    pub lambda_growth: f64,
+    /// Weight of the fence pull-in force relative to the density gradient.
+    pub fence_weight: f64,
+    /// Maximum move per CG step, in bins.
+    pub step_bins: f64,
+}
+
+impl Default for GpOptions {
+    fn default() -> Self {
+        GpOptions {
+            wirelength: WirelengthModel::Wa,
+            bins: 0, // 0 = auto from object count
+            target_density: 0.9,
+            max_outer: 32,
+            inner_iters: 40,
+            overflow_target: 0.08,
+            gamma_mult: 4.0,
+            gamma_decay: 0.92,
+            lambda_growth: 2.0,
+            fence_weight: 4.0,
+            step_bins: 0.8,
+        }
+    }
+}
+
+impl GpOptions {
+    /// Effective bin count for a model with `n` objects: `bins` if nonzero,
+    /// else `clamp(√n, 16, 256)`.
+    pub fn effective_bins(&self, n: usize) -> usize {
+        if self.bins > 0 {
+            self.bins
+        } else {
+            ((n as f64).sqrt().ceil() as usize).clamp(16, 256)
+        }
+    }
+}
+
+/// Outcome summary of a global-placement run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpOutcome {
+    /// Final overflow ratio.
+    pub overflow_ratio: f64,
+    /// Outer rounds executed.
+    pub outer_rounds: usize,
+    /// Final smoothed wirelength.
+    pub smooth_wl: f64,
+}
+
+/// Runs analytical global placement on `model` in place.
+///
+/// `regions` are the design's fence regions (fenced objects are pulled into
+/// and density-constrained to their fence); `blocked` lists immovable
+/// (rect, occupancy) area for the density fields; `stage` labels trace
+/// records.
+pub fn run_global_place(
+    model: &mut Model,
+    regions: &[Region],
+    blocked: &[(Rect, f64)],
+    opts: &GpOptions,
+    trace: &mut Trace,
+    stage: &str,
+) -> GpOutcome {
+    if model.is_empty() {
+        return GpOutcome { overflow_ratio: 0.0, outer_rounds: 0, smooth_wl: 0.0 };
+    }
+    let n = model.len();
+    let bins = opts.effective_bins(n);
+    let mut fields = build_fields(model, regions, blocked, bins, opts.target_density);
+    let bin_w = fields[0].grid.bin_w();
+    let bin_h = fields[0].grid.bin_h();
+    let movable_area: f64 = model.area.iter().sum();
+
+    let mut gamma = opts.gamma_mult * 0.5 * (bin_w + bin_h);
+    let gamma_floor = 0.25 * 0.5 * (bin_w + bin_h);
+
+    let mut wl_grad = vec![Point::ORIGIN; n];
+    let mut den_grad = vec![Point::ORIGIN; n];
+    let mut grad = vec![Point::ORIGIN; n];
+    let mut prev_grad = vec![Point::ORIGIN; n];
+    let mut dir = vec![Point::ORIGIN; n];
+
+    // λ₀ balances the two gradient magnitudes (the SimPL/NTUplace warm
+    // start): density starts at ~5% of the wirelength force.
+    let mut lambda = {
+        wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+        den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+        smooth_wl_grad(model, opts.wirelength, gamma, &mut wl_grad);
+        for f in &mut fields {
+            f.penalty_grad(model, &mut den_grad);
+        }
+        let wl_norm: f64 = wl_grad.iter().map(|g| g.norm()).sum();
+        let den_norm: f64 = den_grad.iter().map(|g| g.norm()).sum();
+        if den_norm > 1e-12 {
+            0.05 * wl_norm / den_norm
+        } else {
+            1e-3
+        }
+    };
+
+    let mut outcome = GpOutcome { overflow_ratio: f64::INFINITY, outer_rounds: 0, smooth_wl: 0.0 };
+    let step_len = opts.step_bins * 0.5 * (bin_w + bin_h);
+
+    for outer in 0..opts.max_outer {
+        let mut last_wl = 0.0;
+        dir.iter_mut().for_each(|d| *d = Point::ORIGIN);
+        prev_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+        let mut overflow_area = 0.0;
+
+        for inner in 0..opts.inner_iters {
+            wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            last_wl = smooth_wl_grad(model, opts.wirelength, gamma, &mut wl_grad);
+            overflow_area = 0.0;
+            for f in &mut fields {
+                let stats = f.penalty_grad(model, &mut den_grad);
+                overflow_area += stats.overflow_area;
+            }
+            fence_grad(model, regions, lambda * opts.fence_weight, &mut den_grad);
+
+            for i in 0..n {
+                grad[i] = wl_grad[i] + den_grad[i] * lambda;
+            }
+
+            // Polak–Ribière β with restart on non-descent.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for i in 0..n {
+                num += grad[i].dot(grad[i] - prev_grad[i]);
+                den += prev_grad[i].norm_sq();
+            }
+            let beta = if inner == 0 || den <= 1e-24 { 0.0 } else { (num / den).max(0.0) };
+            let mut max_d: f64 = 0.0;
+            let mut descent = 0.0;
+            for i in 0..n {
+                dir[i] = -grad[i] + dir[i] * beta;
+                max_d = max_d.max(dir[i].x.abs().max(dir[i].y.abs()));
+                descent += dir[i].dot(grad[i]);
+            }
+            if descent >= 0.0 {
+                // Restart with steepest descent.
+                max_d = 0.0;
+                for i in 0..n {
+                    dir[i] = -grad[i];
+                    max_d = max_d.max(dir[i].x.abs().max(dir[i].y.abs()));
+                }
+            }
+            if max_d <= 1e-18 {
+                break;
+            }
+            let alpha = step_len / max_d;
+            for i in 0..n {
+                model.pos[i] += dir[i] * alpha;
+            }
+            model.clamp_to_die();
+            std::mem::swap(&mut prev_grad, &mut grad);
+        }
+
+        let overflow_ratio = overflow_area / movable_area.max(1e-12);
+        outcome = GpOutcome {
+            overflow_ratio,
+            outer_rounds: outer + 1,
+            smooth_wl: last_wl,
+        };
+        trace.record(TraceRecord {
+            stage: stage.to_owned(),
+            outer,
+            smooth_wl: last_wl,
+            hpwl: model.hpwl(),
+            overflow: overflow_ratio,
+            lambda,
+            gamma,
+        });
+        if overflow_ratio < opts.overflow_target {
+            break;
+        }
+        lambda *= opts.lambda_growth;
+        gamma = (gamma * opts.gamma_decay).max(gamma_floor);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelNet, ModelPin};
+
+    /// A chain of cells anchored at both ends, all starting at the center.
+    fn chain_model(n: usize) -> Model {
+        let die = Rect::new(0.0, 0.0, 200.0, 200.0);
+        let mut nets = Vec::new();
+        nets.push(ModelNet {
+            weight: 1.0,
+            pins: vec![ModelPin::fixed(Point::new(0.0, 100.0)), ModelPin::movable(0, Point::ORIGIN)],
+        });
+        for i in 0..n - 1 {
+            nets.push(ModelNet {
+                weight: 1.0,
+                pins: vec![ModelPin::movable(i, Point::ORIGIN), ModelPin::movable(i + 1, Point::ORIGIN)],
+            });
+        }
+        nets.push(ModelNet {
+            weight: 1.0,
+            pins: vec![
+                ModelPin::movable(n - 1, Point::ORIGIN),
+                ModelPin::fixed(Point::new(200.0, 100.0)),
+            ],
+        });
+        Model {
+            pos: (0..n).map(|i| Point::new(100.0 + (i as f64) * 1e-3, 100.0)).collect(),
+            size: vec![(8.0, 10.0); n],
+            area: vec![80.0; n],
+            is_macro: vec![false; n],
+            region: vec![None; n],
+            nets,
+            die,
+            node_of: vec![],
+        }
+    }
+
+    #[test]
+    fn spreads_overlapping_cells() {
+        let mut model = chain_model(40);
+        let mut trace = Trace::new();
+        let opts = GpOptions { max_outer: 20, inner_iters: 30, ..GpOptions::default() };
+        let out = run_global_place(&mut model, &[], &[], &opts, &mut trace, "test");
+        assert!(
+            out.overflow_ratio < 0.25,
+            "cells did not spread: overflow {}",
+            out.overflow_ratio
+        );
+        // Cells must have moved off the center pile.
+        let spread = model
+            .pos
+            .iter()
+            .map(|p| (p.x - 100.0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread > 10.0, "max spread {spread}");
+        assert!(!trace.records.is_empty());
+    }
+
+    #[test]
+    fn wirelength_pull_keeps_chain_ordered_roughly() {
+        let mut model = chain_model(20);
+        let mut trace = Trace::new();
+        let out = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        assert!(out.smooth_wl.is_finite());
+        // The two anchors at x=0 and x=200 stretch the chain: the first
+        // cell should end left of the last one.
+        assert!(
+            model.pos[0].x < model.pos[19].x,
+            "chain inverted: {} vs {}",
+            model.pos[0].x,
+            model.pos[19].x
+        );
+    }
+
+    #[test]
+    fn all_positions_stay_in_die() {
+        let mut model = chain_model(30);
+        let mut trace = Trace::new();
+        run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        for (i, p) in model.pos.iter().enumerate() {
+            let (w, h) = model.size[i];
+            assert!(p.x >= w / 2.0 - 1e-6 && p.x <= 200.0 - w / 2.0 + 1e-6, "obj {i} x {}", p.x);
+            assert!(p.y >= h / 2.0 - 1e-6 && p.y <= 200.0 - h / 2.0 + 1e-6, "obj {i} y {}", p.y);
+        }
+    }
+
+    #[test]
+    fn empty_model_is_a_noop() {
+        let mut model = chain_model(1);
+        model.pos.clear();
+        model.size.clear();
+        model.area.clear();
+        model.is_macro.clear();
+        model.region.clear();
+        model.nets.clear();
+        let mut trace = Trace::new();
+        let out = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        assert_eq!(out.outer_rounds, 0);
+    }
+
+    #[test]
+    fn blocked_area_is_avoided() {
+        let mut model = chain_model(30);
+        let blocked = vec![(Rect::new(80.0, 80.0, 120.0, 120.0), 1.0)];
+        let mut trace = Trace::new();
+        let opts = GpOptions { max_outer: 24, ..GpOptions::default() };
+        run_global_place(&mut model, &[], &blocked, &opts, &mut trace, "t");
+        // Density mass inside the blocked rect should be small: count
+        // centers inside.
+        let inside = model
+            .pos
+            .iter()
+            .filter(|p| p.x > 85.0 && p.x < 115.0 && p.y > 85.0 && p.y < 115.0)
+            .count();
+        assert!(
+            inside <= 6,
+            "{inside} of 30 cells remain in the blocked region"
+        );
+    }
+}

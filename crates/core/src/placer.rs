@@ -1,0 +1,608 @@
+//! The end-to-end placement pipeline: multilevel clustering → analytical
+//! global placement (hierarchy-aware, with macro rotation) → routability
+//! optimization (congestion-driven inflation) → legalization → detailed
+//! placement.
+
+use crate::cluster::{build_levels, project_down};
+use crate::detail::{detailed_place, DetailOptions, DetailStats};
+use crate::inflation::{inflate, InflationConfig, InflationStats};
+use crate::legalize::{legalize_with_displacement, LegalizeStats};
+use crate::macro_handling::optimize_macro_orientations;
+use crate::model::Model;
+use crate::optimizer::{run_global_place, GpOptions, GpOutcome};
+use crate::trace::Trace;
+use rdp_db::{Design, Placement, Region};
+use rdp_geom::Rect;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Error cases of [`Placer::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The design has no movable nodes.
+    NothingToPlace,
+    /// The design has standard cells but no rows to legalize them into.
+    NoRows,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::NothingToPlace => write!(f, "design has no movable nodes"),
+            PlaceError::NoRows => write!(f, "design has standard cells but no placement rows"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Macro-orientation optimization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RotationMode {
+    /// Greedy argmin over the eight orientations against exact incident
+    /// HPWL (robust; the default).
+    #[default]
+    Discrete,
+    /// The paper's continuous rotation force: a per-macro angle variable
+    /// optimized analytically and snapped to quarter turns, followed by a
+    /// discrete flipping decision.
+    Continuous,
+}
+
+/// Configuration of a full placement run.
+///
+/// The presets encode the experiment configurations of DESIGN.md:
+/// [`PlaceOptions::default`] is the paper's full flow,
+/// [`PlaceOptions::wirelength_driven`] is baseline **B1** (no routability),
+/// [`PlaceOptions::fence_blind`] is **B2**, [`PlaceOptions::flat`] is
+/// **B3**, and `with_wirelength(Lse)` gives **B4**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaceOptions {
+    /// Global-placement engine options.
+    pub gp: GpOptions,
+    /// Enable multilevel clustering.
+    pub multilevel: bool,
+    /// Stop coarsening below this object count.
+    pub cluster_limit: usize,
+    /// Honor fence regions during global placement (region density fields
+    /// + pull-in force). Legalization always honors them.
+    pub hierarchy_aware: bool,
+    /// Enable the congestion-driven routability loop.
+    pub routability: bool,
+    /// Routability rounds.
+    pub inflation_rounds: usize,
+    /// Inflation tuning.
+    pub inflation: InflationConfig,
+    /// Spread cells out of hot spots by inflating their density area
+    /// (the paper's primary mechanism).
+    pub inflate_cells: bool,
+    /// Additionally shorten congested nets by boosting their weights (the
+    /// alternative mechanism several contest placers used; off by default).
+    pub net_weighting: bool,
+    /// Net-weighting tuning.
+    pub net_weighting_config: crate::net_weighting::NetWeightingConfig,
+    /// Enable macro rotation/flipping optimization.
+    pub macro_rotation: bool,
+    /// How macro orientations are optimized (discrete re-selection or the
+    /// paper's continuous rotation force; see [`crate::rotation`]).
+    pub rotation_mode: RotationMode,
+    /// Run detailed placement after legalization.
+    pub detailed: bool,
+    /// Detailed-placement tuning.
+    pub detail: DetailOptions,
+    /// Seed for the symmetry-breaking initial jitter.
+    pub seed: u64,
+}
+
+impl Default for PlaceOptions {
+    fn default() -> Self {
+        PlaceOptions {
+            gp: GpOptions::default(),
+            multilevel: true,
+            cluster_limit: 1500,
+            hierarchy_aware: true,
+            routability: true,
+            inflation_rounds: 3,
+            inflation: InflationConfig::default(),
+            inflate_cells: true,
+            net_weighting: false,
+            net_weighting_config: crate::net_weighting::NetWeightingConfig::default(),
+            rotation_mode: RotationMode::Discrete,
+            macro_rotation: true,
+            detailed: true,
+            detail: DetailOptions { passes: 2, congestion_weight: 8.0, ..DetailOptions::default() },
+            seed: 1,
+        }
+    }
+}
+
+impl PlaceOptions {
+    /// Reduced-effort preset for tests, examples and CI.
+    pub fn fast() -> Self {
+        PlaceOptions {
+            gp: GpOptions {
+                max_outer: 14,
+                inner_iters: 25,
+                overflow_target: 0.12,
+                ..GpOptions::default()
+            },
+            inflation_rounds: 2,
+            detail: DetailOptions { passes: 1, congestion_weight: 8.0, ..DetailOptions::default() },
+            ..PlaceOptions::default()
+        }
+    }
+
+    /// Baseline **B1**: pure wirelength-driven placement (NTUplace4-like) —
+    /// no congestion estimation, no inflation.
+    pub fn wirelength_driven(self) -> Self {
+        PlaceOptions {
+            routability: false,
+            detail: DetailOptions { congestion_weight: 0.0, ..self.detail },
+            ..self
+        }
+    }
+
+    /// Baseline **B2**: hierarchy-blind global placement (fences only seen
+    /// by the legalizer).
+    pub fn fence_blind(self) -> Self {
+        PlaceOptions { hierarchy_aware: false, ..self }
+    }
+
+    /// Baseline **B3**: flat (non-multilevel) global placement.
+    pub fn flat(self) -> Self {
+        PlaceOptions { multilevel: false, ..self }
+    }
+
+    /// Selects the smooth wirelength model (**T4** compares Wa vs Lse).
+    pub fn with_wirelength(mut self, model: crate::WirelengthModel) -> Self {
+        self.gp.wirelength = model;
+        self
+    }
+
+    /// Disables macro rotation (**T5** ablation).
+    pub fn without_rotation(self) -> Self {
+        PlaceOptions { macro_rotation: false, ..self }
+    }
+
+    /// Switches the routability mechanism from cell inflation to
+    /// congestion-driven net weighting (**T5** compares both).
+    pub fn with_net_weighting_only(self) -> Self {
+        PlaceOptions {
+            inflate_cells: false,
+            net_weighting: true,
+            ..self
+        }
+    }
+
+    /// Uses the continuous rotation force instead of discrete orientation
+    /// re-selection.
+    pub fn with_continuous_rotation(self) -> Self {
+        PlaceOptions { rotation_mode: RotationMode::Continuous, ..self }
+    }
+}
+
+/// Outcome of a full placement run.
+#[derive(Debug, Clone)]
+pub struct PlaceResult {
+    /// The final (legal, unless legalization reported failures) placement.
+    pub placement: Placement,
+    /// Final total HPWL.
+    pub hpwl: f64,
+    /// Global-placement outcome of the last GP stage.
+    pub gp: GpOutcome,
+    /// Legalization statistics.
+    pub legalize: LegalizeStats,
+    /// Detailed-placement statistics, when enabled.
+    pub detail: Option<DetailStats>,
+    /// Inflation statistics per routability round.
+    pub inflation: Vec<InflationStats>,
+    /// Convergence and stage-timing trace.
+    pub trace: Trace,
+    /// Total wall time.
+    pub elapsed: Duration,
+}
+
+/// The placement engine.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_core::{PlaceOptions, Placer};
+/// use rdp_gen::{generate, GeneratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bench = generate(&GeneratorConfig::tiny("p", 5))?;
+/// let result = Placer::new(&bench.design, PlaceOptions::fast())
+///     .with_initial(bench.placement.clone())
+///     .run()?;
+/// assert!(result.hpwl > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Placer<'a> {
+    design: &'a Design,
+    options: PlaceOptions,
+    initial: Option<Placement>,
+}
+
+impl<'a> Placer<'a> {
+    /// Creates a placer. Without [`Placer::with_initial`], fixed nodes are
+    /// assumed pre-placed by the design's own `.pl` semantics — i.e. the
+    /// default [`Placement::new_centered`] puts *everything* (including
+    /// fixed nodes) at the die center, which is only meaningful for designs
+    /// without fixed nodes. Benchmarks should always pass their initial
+    /// placement.
+    pub fn new(design: &'a Design, options: PlaceOptions) -> Self {
+        Placer { design, options, initial: None }
+    }
+
+    /// Supplies the initial placement (fixed-node positions, terminal
+    /// positions, optional warm-start positions for movables).
+    pub fn with_initial(mut self, placement: Placement) -> Self {
+        self.initial = Some(placement);
+        self
+    }
+
+    /// Runs the full pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] for structurally unplaceable designs.
+    pub fn run(self) -> Result<PlaceResult, PlaceError> {
+        let design = self.design;
+        let opts = self.options;
+        let t_start = Instant::now();
+
+        if design.movable_ids().next().is_none() {
+            return Err(PlaceError::NothingToPlace);
+        }
+        let has_cells = design.node_ids().any(|id| design.node(id).is_std_cell());
+        if has_cells && design.rows().is_empty() {
+            return Err(PlaceError::NoRows);
+        }
+
+        let mut placement = self
+            .initial
+            .unwrap_or_else(|| Placement::new_centered(design));
+        let mut trace = Trace::new();
+
+        // Symmetry-breaking jitter around the initial positions.
+        {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let die = design.die();
+            let jx = die.width() * 0.05;
+            let jy = die.height() * 0.05;
+            for id in design.movable_ids() {
+                let c = placement.center(id);
+                let p = rdp_geom::Point::new(
+                    rdp_geom::clamp(c.x + rng.gen_range(-jx..jx), die.xl, die.xh),
+                    rdp_geom::clamp(c.y + rng.gen_range(-jy..jy), die.yl, die.yh),
+                );
+                placement.set_center(id, p);
+            }
+        }
+
+        let blocked: Vec<(Rect, f64)> = design
+            .node_ids()
+            .filter(|&id| design.node(id).kind() == rdp_db::NodeKind::Fixed)
+            .flat_map(|id| design.blocking_rects(id, &placement))
+            .map(|r| (r, 1.0))
+            .collect();
+        let gp_regions: &[Region] = if opts.hierarchy_aware { design.regions() } else { &[] };
+
+        let mut model = Model::from_design(design, &placement);
+        let mut gp_outcome;
+
+        // --- Multilevel V-cycle (downward refinement half). ---
+        let t_gp = Instant::now();
+        if opts.multilevel {
+            let levels = build_levels(&model, opts.cluster_limit);
+            if let Some(coarsest) = levels.last() {
+                let mut coarse = coarsest.coarse.clone();
+                let coarse_opts = GpOptions {
+                    max_outer: opts.gp.max_outer / 2 + 2,
+                    ..opts.gp.clone()
+                };
+                run_global_place(
+                    &mut coarse,
+                    gp_regions,
+                    &blocked,
+                    &coarse_opts,
+                    &mut trace,
+                    &format!("gp/level{}", levels.len()),
+                );
+                // Walk down the hierarchy.
+                let mut positions = coarse.pos;
+                for (li, lvl) in levels.iter().enumerate().rev() {
+                    // Reconstruct the model at this level: it is either the
+                    // next level's coarse model or the finest model.
+                    let mut level_model = if li == 0 {
+                        model.clone()
+                    } else {
+                        levels[li - 1].coarse.clone()
+                    };
+                    let projected = crate::cluster::Clustering {
+                        coarse: {
+                            let mut c = lvl.coarse.clone();
+                            c.pos = positions;
+                            c
+                        },
+                        parent: lvl.parent.clone(),
+                    };
+                    project_down(&mut level_model, &projected);
+                    let level_opts = if li == 0 {
+                        opts.gp.clone()
+                    } else {
+                        GpOptions { max_outer: opts.gp.max_outer / 2 + 2, ..opts.gp.clone() }
+                    };
+                    run_global_place(
+                        &mut level_model,
+                        gp_regions,
+                        &blocked,
+                        &level_opts,
+                        &mut trace,
+                        &format!("gp/level{li}"),
+                    );
+                    positions = level_model.pos.clone();
+                    if li == 0 {
+                        model = level_model;
+                    }
+                }
+            }
+        }
+        gp_outcome = run_global_place(&mut model, gp_regions, &blocked, &opts.gp, &mut trace, "gp/final");
+        trace.record_stage("global_place", t_gp.elapsed());
+
+        // --- Macro rotation between GP and routability. ---
+        if opts.macro_rotation {
+            let t = Instant::now();
+            model.write_back(&mut placement);
+            let changed = match opts.rotation_mode {
+                RotationMode::Discrete => optimize_macro_orientations(design, &mut placement, true),
+                RotationMode::Continuous => {
+                    // Continuous angles, snapped; then a flip-only discrete
+                    // pass decides mirroring (the angle cannot express it).
+                    let gamma = 2.0 * design.row_height().unwrap_or(10.0);
+                    let out = crate::rotation::optimize_rotation_continuous(&model, gamma, 100);
+                    let mut changed = 0;
+                    for (a, &q) in out.angles.iter().zip(&out.snapped) {
+                        let node = model.node_of[a.obj as usize];
+                        let orient = crate::rotation::orient_of_quarter(q);
+                        if placement.orient(node) != orient {
+                            placement.set_orient(node, orient);
+                            changed += 1;
+                        }
+                    }
+                    changed + optimize_macro_orientations(design, &mut placement, false)
+                }
+            };
+            if changed > 0 {
+                // Orientations changed pin offsets and macro dims: rebuild
+                // the model from the updated placement and re-polish.
+                model = Model::from_design(design, &placement);
+                gp_outcome = run_global_place(
+                    &mut model,
+                    gp_regions,
+                    &blocked,
+                    &GpOptions { max_outer: 4, ..opts.gp.clone() },
+                    &mut trace,
+                    "gp/rotation",
+                );
+            }
+            trace.record_stage("macro_rotation", t.elapsed());
+        }
+
+        // --- Routability loop: estimate → inflate / reweight → re-place. ---
+        let mut inflation_stats = Vec::new();
+        if opts.routability && opts.inflation_rounds > 0 {
+            let t = Instant::now();
+            let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
+            for round in 0..opts.inflation_rounds {
+                model.write_back(&mut placement);
+                let grid = rdp_route::pattern::estimate_congestion(design, &placement);
+                let mut touched = 0usize;
+                if opts.inflate_cells {
+                    let stats = inflate(&mut model, &grid, opts.inflation);
+                    touched += stats.inflated;
+                    inflation_stats.push(stats);
+                }
+                if opts.net_weighting {
+                    touched += crate::net_weighting::apply_congestion_weights(
+                        &mut model,
+                        &grid,
+                        &base_weights,
+                        opts.net_weighting_config,
+                    );
+                }
+                if touched == 0 {
+                    break;
+                }
+                gp_outcome = run_global_place(
+                    &mut model,
+                    gp_regions,
+                    &blocked,
+                    &GpOptions {
+                        max_outer: (opts.gp.max_outer / 2).max(4),
+                        ..opts.gp.clone()
+                    },
+                    &mut trace,
+                    &format!("gp/inflate{round}"),
+                );
+            }
+            if opts.net_weighting {
+                crate::net_weighting::reset_weights(&mut model, &base_weights);
+            }
+            trace.record_stage("routability", t.elapsed());
+        }
+        model.write_back(&mut placement);
+
+        // --- Legalization. ---
+        let t = Instant::now();
+        let legalize_stats = legalize_with_displacement(design, &mut placement);
+        trace.record_stage("legalize", t.elapsed());
+
+        // --- Detailed placement. ---
+        let detail_stats = if opts.detailed {
+            let t = Instant::now();
+            let congestion = if opts.routability {
+                Some(rdp_route::pattern::estimate_congestion(design, &placement))
+            } else {
+                None
+            };
+            let stats = detailed_place(design, &mut placement, congestion.as_ref(), opts.detail);
+            trace.record_stage("detailed", t.elapsed());
+            Some(stats)
+        } else {
+            None
+        };
+
+        let hpwl = rdp_db::hpwl::total_hpwl(design, &placement);
+        Ok(PlaceResult {
+            placement,
+            hpwl,
+            gp: gp_outcome,
+            legalize: legalize_stats,
+            detail: detail_stats,
+            inflation: inflation_stats,
+            trace,
+            elapsed: t_start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_db::validate::check_legal;
+    use rdp_gen::{generate, GeneratorConfig};
+
+    #[test]
+    fn full_flow_on_tiny_design_is_legal() {
+        let bench = generate(&GeneratorConfig::tiny("pf", 41)).unwrap();
+        let result = Placer::new(&bench.design, PlaceOptions::fast())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        let report = check_legal(&bench.design, &result.placement, 20);
+        assert!(
+            report.is_legal(),
+            "violations: {:?} overlap {}",
+            report.violations,
+            report.total_overlap_area
+        );
+        assert_eq!(result.legalize.failed, 0);
+        assert!(result.hpwl > 0.0);
+        assert!(!result.trace.records.is_empty());
+        assert!(!result.trace.stages.is_empty());
+    }
+
+    #[test]
+    fn placement_beats_random_scatter_on_hpwl() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let bench = generate(&GeneratorConfig::tiny("pw", 42)).unwrap();
+        let result = Placer::new(&bench.design, PlaceOptions::fast())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        // Random legal-ish scatter as the null hypothesis.
+        let mut random = bench.placement.clone();
+        let mut rng = StdRng::seed_from_u64(7);
+        let die = bench.design.die();
+        for id in bench.design.movable_ids() {
+            let (w, h) = random.dims(&bench.design, id);
+            random.set_center(
+                id,
+                rdp_geom::Point::new(
+                    rng.gen_range(die.xl + w / 2.0..die.xh - w / 2.0),
+                    rng.gen_range(die.yl + h / 2.0..die.yh - h / 2.0),
+                ),
+            );
+        }
+        let random_hpwl = rdp_db::hpwl::total_hpwl(&bench.design, &random);
+        assert!(
+            result.hpwl < 0.6 * random_hpwl,
+            "placed {} vs random {}",
+            result.hpwl,
+            random_hpwl
+        );
+    }
+
+    #[test]
+    fn hierarchical_flow_satisfies_fences() {
+        let bench = generate(&GeneratorConfig::hierarchical("ph", 43, 2)).unwrap();
+        let result = Placer::new(&bench.design, PlaceOptions::fast())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        let report = check_legal(&bench.design, &result.placement, 50);
+        assert_eq!(
+            report.fence_violations,
+            0,
+            "fence violations: {:?}",
+            &report.violations[..report.violations.len().min(5)]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let bench = generate(&GeneratorConfig::tiny("pd", 44)).unwrap();
+        let r1 = Placer::new(&bench.design, PlaceOptions::fast())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        let r2 = Placer::new(&bench.design, PlaceOptions::fast())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        assert_eq!(r1.hpwl, r2.hpwl);
+    }
+
+    #[test]
+    fn error_on_unplaceable_designs() {
+        use rdp_db::{DesignBuilder, NodeKind};
+        use rdp_geom::{Point, Rect};
+        let mut b = DesignBuilder::new("e");
+        b.die(Rect::new(0.0, 0.0, 10.0, 10.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 10);
+        let f1 = b.add_node("f1", 1.0, 1.0, NodeKind::Fixed).unwrap();
+        let f2 = b.add_node("f2", 1.0, 1.0, NodeKind::Fixed).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, f1, Point::ORIGIN);
+        b.add_pin(n, f2, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let err = Placer::new(&d, PlaceOptions::fast()).run().unwrap_err();
+        assert_eq!(err, PlaceError::NothingToPlace);
+        assert!(err.to_string().contains("no movable"));
+    }
+
+    #[test]
+    fn continuous_rotation_flow_is_legal() {
+        let bench = generate(&GeneratorConfig::tiny("pcr", 45)).unwrap();
+        let result = Placer::new(&bench.design, PlaceOptions::fast().with_continuous_rotation())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        let report = check_legal(&bench.design, &result.placement, 20);
+        assert!(report.is_legal(), "violations: {:?}", report.violations);
+        assert!(result.hpwl > 0.0);
+    }
+
+    #[test]
+    fn baseline_presets_differ_in_behavior() {
+        let fast = PlaceOptions::fast();
+        assert!(fast.routability);
+        let b1 = PlaceOptions::fast().wirelength_driven();
+        assert!(!b1.routability);
+        assert_eq!(b1.detail.congestion_weight, 0.0);
+        let b2 = PlaceOptions::fast().fence_blind();
+        assert!(!b2.hierarchy_aware);
+        let b3 = PlaceOptions::fast().flat();
+        assert!(!b3.multilevel);
+        let b4 = PlaceOptions::fast().with_wirelength(crate::WirelengthModel::Lse);
+        assert_eq!(b4.gp.wirelength, crate::WirelengthModel::Lse);
+        let b5 = PlaceOptions::fast().without_rotation();
+        assert!(!b5.macro_rotation);
+    }
+}

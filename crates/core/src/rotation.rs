@@ -1,0 +1,322 @@
+//! Continuous macro rotation — the *rotation force* of the unified
+//! analytical mixed-size placement formulation (Hsu & Chang, ICCAD 2010),
+//! which the DAC 2013 paper inherits.
+//!
+//! Each macro gets a continuous angle variable θ. A pin with as-designed
+//! center offset `(dx, dy)` sits at the rotated offset
+//! `(dx·cosθ − dy·sinθ, dx·sinθ + dy·cosθ)`, which is differentiable in θ,
+//! so θ joins the analytical objective: the wirelength gradient with
+//! respect to θ is the *rotation force*. After optimization each θ is
+//! snapped to the nearest quarter turn (macros must be axis-aligned), and
+//! the flipping decision is made by the discrete flipping pass.
+//!
+//! This module optimizes θ for all macros against the smooth wirelength
+//! while positions stay fixed — the alternating scheme the original uses
+//! (positions and angles are optimized in separate sub-steps).
+
+use crate::model::Model;
+use rdp_geom::{Orient, Point};
+
+/// One macro's rotation state during continuous optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroAngle {
+    /// Object index in the model.
+    pub obj: u32,
+    /// Current angle in radians (0 = as-designed orientation `N`).
+    pub theta: f64,
+}
+
+/// Result of a continuous rotation optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotationOutcome {
+    /// Final angles (same order as the input).
+    pub angles: Vec<MacroAngle>,
+    /// Quarter-turn snap of each angle (0..4 counter-clockwise).
+    pub snapped: Vec<u8>,
+    /// Gradient-descent iterations executed.
+    pub iterations: usize,
+}
+
+/// Rotates `off` by `theta` radians counter-clockwise.
+#[inline]
+fn rotate(off: Point, theta: f64) -> Point {
+    let (s, c) = theta.sin_cos();
+    Point::new(off.x * c - off.y * s, off.x * s + off.y * c)
+}
+
+/// Smooth per-axis span and its gradient with respect to each coordinate,
+/// specialized for the WA model (the default; LSE behaves equivalently for
+/// this sub-problem and is not needed separately).
+fn wa_axis_grad(coords: &[f64], gamma: f64, grad: &mut [f64]) -> f64 {
+    let max = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = coords.iter().copied().fold(f64::INFINITY, f64::min);
+    let (mut s_p, mut t_p, mut s_m, mut t_m) = (0.0, 0.0, 0.0, 0.0);
+    for &x in coords {
+        let ep = ((x - max) / gamma).exp();
+        let em = ((min - x) / gamma).exp();
+        s_p += ep;
+        t_p += x * ep;
+        s_m += em;
+        t_m += x * em;
+    }
+    let f_max = t_p / s_p;
+    let f_min = t_m / s_m;
+    for (g, &x) in grad.iter_mut().zip(coords) {
+        let ep = ((x - max) / gamma).exp();
+        let em = ((min - x) / gamma).exp();
+        *g = ep / s_p * (1.0 + (x - f_max) / gamma) - em / s_m * (1.0 - (x - f_min) / gamma);
+    }
+    f_max - f_min
+}
+
+/// Evaluates the smooth wirelength of the nets incident to any macro, with
+/// macro pin offsets rotated by the given angles, and accumulates
+/// `∂WL/∂θ` per macro.
+///
+/// Returns the smooth wirelength of the touched nets.
+fn rotation_objective(
+    model: &Model,
+    angles: &[MacroAngle],
+    gamma: f64,
+    theta_grad: &mut [f64],
+) -> f64 {
+    let mut angle_of = vec![None::<(usize, f64)>; model.len()];
+    for (k, a) in angles.iter().enumerate() {
+        angle_of[a.obj as usize] = Some((k, a.theta));
+    }
+    theta_grad.iter_mut().for_each(|g| *g = 0.0);
+
+    let mut total = 0.0;
+    let mut xs = Vec::with_capacity(16);
+    let mut ys = Vec::with_capacity(16);
+    let mut gx = Vec::with_capacity(16);
+    let mut gy = Vec::with_capacity(16);
+    // d(pos)/d(theta) per pin, captured for the chain rule.
+    let mut dpos = Vec::with_capacity(16);
+    for net in &model.nets {
+        if net.pins.len() < 2 {
+            continue;
+        }
+        let touches_macro = net.pins.iter().any(|p| {
+            p.obj
+                .map(|o| angle_of[o as usize].is_some())
+                .unwrap_or(false)
+        });
+        if !touches_macro {
+            continue;
+        }
+        xs.clear();
+        ys.clear();
+        dpos.clear();
+        for p in &net.pins {
+            match p.obj.and_then(|o| angle_of[o as usize].map(|a| (o, a))) {
+                Some((o, (k, theta))) => {
+                    let off = rotate(p.offset, theta);
+                    let pos = model.pos[o as usize] + off;
+                    xs.push(pos.x);
+                    ys.push(pos.y);
+                    // d/dθ (cosθ·dx − sinθ·dy, sinθ·dx + cosθ·dy)
+                    //   = (−sinθ·dx − cosθ·dy, cosθ·dx − sinθ·dy).
+                    let (s, c) = theta.sin_cos();
+                    dpos.push(Some((
+                        k,
+                        Point::new(-s * p.offset.x - c * p.offset.y, c * p.offset.x - s * p.offset.y),
+                    )));
+                }
+                None => {
+                    let pos = p.position(&model.pos);
+                    xs.push(pos.x);
+                    ys.push(pos.y);
+                    dpos.push(None);
+                }
+            }
+        }
+        gx.resize(xs.len(), 0.0);
+        gy.resize(ys.len(), 0.0);
+        let wx = wa_axis_grad(&xs, gamma, &mut gx);
+        let wy = wa_axis_grad(&ys, gamma, &mut gy);
+        total += net.weight * (wx + wy);
+        for (i, d) in dpos.iter().enumerate() {
+            if let Some((k, dp)) = d {
+                theta_grad[*k] += net.weight * (gx[i] * dp.x + gy[i] * dp.y);
+            }
+        }
+    }
+    total
+}
+
+/// Optimizes the rotation angles of all macros in `model` by gradient
+/// descent on the smooth wirelength (positions fixed), then snaps each to
+/// the nearest quarter turn.
+///
+/// `gamma` should match the global placer's current smoothing; `iters`
+/// bounds the descent (the sub-problem is low-dimensional and converges in
+/// a few dozen steps).
+pub fn optimize_rotation_continuous(
+    model: &Model,
+    gamma: f64,
+    iters: usize,
+) -> RotationOutcome {
+    let mut angles: Vec<MacroAngle> = (0..model.len() as u32)
+        .filter(|&i| model.is_macro[i as usize])
+        .map(|obj| MacroAngle { obj, theta: 0.0 })
+        .collect();
+    if angles.is_empty() {
+        return RotationOutcome { angles, snapped: Vec::new(), iterations: 0 };
+    }
+    // The wirelength-in-θ landscape has barriers between quarter turns
+    // (rotating a pin through the "wrong" side first raises the span), so
+    // pure descent from 0 can stall in a local minimum. Initialize each
+    // macro at its best canonical angle — the coordinate-wise global probe —
+    // and let the continuous descent refine from there.
+    let mut scratch = vec![0.0; angles.len()];
+    for k in 0..angles.len() {
+        let mut best_theta = 0.0;
+        let mut best_val = f64::INFINITY;
+        for q in 0..4 {
+            let theta = f64::from(q) * std::f64::consts::FRAC_PI_2;
+            let saved = angles[k].theta;
+            angles[k].theta = theta;
+            let val = rotation_objective(model, &angles, gamma, &mut scratch);
+            angles[k].theta = saved;
+            if val < best_val {
+                best_val = val;
+                best_theta = theta;
+            }
+        }
+        angles[k].theta = best_theta;
+    }
+    let mut grad = vec![0.0; angles.len()];
+    let mut iterations = 0;
+    let mut step = 0.2; // radians, shrinks on failure to improve
+    let mut best = rotation_objective(model, &angles, gamma, &mut grad);
+    for _ in 0..iters {
+        iterations += 1;
+        let candidate: Vec<MacroAngle> = angles
+            .iter()
+            .zip(&grad)
+            .map(|(a, &g)| MacroAngle { obj: a.obj, theta: a.theta - step * g.signum() * g.abs().min(1.0) })
+            .collect();
+        let mut cgrad = vec![0.0; angles.len()];
+        let value = rotation_objective(model, &candidate, gamma, &mut cgrad);
+        if value < best - 1e-9 {
+            best = value;
+            angles = candidate;
+            grad = cgrad;
+        } else {
+            step *= 0.5;
+            if step < 1e-3 {
+                break;
+            }
+        }
+    }
+    let snapped = angles
+        .iter()
+        .map(|a| {
+            let quarter = (a.theta / std::f64::consts::FRAC_PI_2).round();
+            ((quarter.rem_euclid(4.0)) as u8) % 4
+        })
+        .collect();
+    RotationOutcome { angles, snapped, iterations }
+}
+
+/// Maps a quarter-turn count to the unflipped [`Orient`].
+pub fn orient_of_quarter(q: u8) -> Orient {
+    Orient::from_parts(q % 4, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelNet, ModelPin};
+    use rdp_geom::Rect;
+
+    /// One macro at the center with a right-edge pin, anchored to a point.
+    fn macro_model(anchor: Point) -> Model {
+        Model {
+            pos: vec![Point::new(100.0, 100.0)],
+            size: vec![(40.0, 20.0)],
+            area: vec![800.0],
+            is_macro: vec![true],
+            region: vec![None],
+            nets: vec![ModelNet {
+                weight: 1.0,
+                pins: vec![
+                    ModelPin::movable(0, Point::new(18.0, 0.0)),
+                    ModelPin::fixed(anchor),
+                ],
+            }],
+            die: Rect::new(0.0, 0.0, 200.0, 200.0),
+            node_of: vec![],
+        }
+    }
+
+    #[test]
+    fn rotate_matches_quarter_turns() {
+        let p = Point::new(3.0, 1.0);
+        let q1 = rotate(p, std::f64::consts::FRAC_PI_2);
+        assert!((q1.x - -1.0).abs() < 1e-12 && (q1.y - 3.0).abs() < 1e-12);
+        let q2 = rotate(p, std::f64::consts::PI);
+        assert!((q2.x - -3.0).abs() < 1e-12 && (q2.y - -1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_gradient_matches_finite_difference() {
+        let model = macro_model(Point::new(40.0, 160.0));
+        let angles = vec![MacroAngle { obj: 0, theta: 0.3 }];
+        let mut grad = vec![0.0];
+        rotation_objective(&model, &angles, 4.0, &mut grad);
+        let h = 1e-6;
+        let mut g1 = vec![0.0];
+        let mut g2 = vec![0.0];
+        let fp = rotation_objective(&model, &[MacroAngle { obj: 0, theta: 0.3 + h }], 4.0, &mut g1);
+        let fm = rotation_objective(&model, &[MacroAngle { obj: 0, theta: 0.3 - h }], 4.0, &mut g2);
+        let fd = (fp - fm) / (2.0 * h);
+        assert!(
+            (fd - grad[0]).abs() < 1e-5 * (1.0 + fd.abs()),
+            "fd {fd} vs analytic {}",
+            grad[0]
+        );
+    }
+
+    #[test]
+    fn pin_rotates_toward_left_anchor() {
+        // Anchor to the LEFT of the macro: the right-edge pin should rotate
+        // to face left — θ near ±π, snapping to quarter 2 (orientation S).
+        let model = macro_model(Point::new(10.0, 100.0));
+        let out = optimize_rotation_continuous(&model, 4.0, 200);
+        assert_eq!(out.snapped.len(), 1);
+        assert_eq!(out.snapped[0], 2, "theta {} should snap to a half turn", out.angles[0].theta);
+    }
+
+    #[test]
+    fn pin_stays_for_right_anchor() {
+        let model = macro_model(Point::new(190.0, 100.0));
+        let out = optimize_rotation_continuous(&model, 4.0, 200);
+        assert_eq!(out.snapped[0], 0, "already optimal: no rotation");
+    }
+
+    #[test]
+    fn pin_rotates_up_for_top_anchor() {
+        let model = macro_model(Point::new(100.0, 190.0));
+        let out = optimize_rotation_continuous(&model, 4.0, 200);
+        assert_eq!(out.snapped[0], 1, "theta {} should snap to a quarter turn", out.angles[0].theta);
+    }
+
+    #[test]
+    fn no_macros_is_a_noop() {
+        let mut model = macro_model(Point::new(10.0, 10.0));
+        model.is_macro[0] = false;
+        let out = optimize_rotation_continuous(&model, 4.0, 50);
+        assert!(out.angles.is_empty());
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn quarter_to_orient() {
+        assert_eq!(orient_of_quarter(0), Orient::N);
+        assert_eq!(orient_of_quarter(1), Orient::W);
+        assert_eq!(orient_of_quarter(2), Orient::S);
+        assert_eq!(orient_of_quarter(3), Orient::E);
+    }
+}

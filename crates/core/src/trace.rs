@@ -1,0 +1,115 @@
+//! Convergence tracing — the data series behind the convergence figure
+//! (experiment **F2**) and the per-stage runtime breakdown (**F4**).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One optimizer snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Pipeline stage label (e.g. `"gp/level0"`, `"gp/inflate2"`).
+    pub stage: String,
+    /// Outer (penalty) round within the stage.
+    pub outer: usize,
+    /// Smoothed wirelength at the end of the round.
+    pub smooth_wl: f64,
+    /// Exact HPWL at the end of the round.
+    pub hpwl: f64,
+    /// Overflow ratio (overflow area / movable area).
+    pub overflow: f64,
+    /// Density penalty weight λ.
+    pub lambda: f64,
+    /// Smoothing parameter γ.
+    pub gamma: f64,
+}
+
+/// One per-stage wall-clock measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTime {
+    /// Stage label.
+    pub stage: String,
+    /// Elapsed wall time.
+    pub elapsed: Duration,
+}
+
+/// Collects optimizer snapshots and stage timings across a placement run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Convergence snapshots in chronological order.
+    pub records: Vec<TraceRecord>,
+    /// Stage timings in chronological order.
+    pub stages: Vec<StageTime>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a snapshot.
+    pub fn record(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends a stage timing.
+    pub fn record_stage(&mut self, stage: impl Into<String>, elapsed: Duration) {
+        self.stages.push(StageTime { stage: stage.into(), elapsed });
+    }
+
+    /// Serializes the convergence records as CSV
+    /// (`stage,outer,smooth_wl,hpwl,overflow,lambda,gamma`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma\n");
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.3},{:.6},{:.6e},{:.4}",
+                r.stage, r.outer, r.smooth_wl, r.hpwl, r.overflow, r.lambda, r.gamma
+            );
+        }
+        out
+    }
+
+    /// Serializes the stage timings as CSV (`stage,seconds`).
+    pub fn stages_csv(&self) -> String {
+        let mut out = String::from("stage,seconds\n");
+        for s in &self.stages {
+            let _ = writeln!(out, "{},{:.4}", s.stage, s.elapsed.as_secs_f64());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Trace::new();
+        t.record(TraceRecord {
+            stage: "gp/level0".into(),
+            outer: 3,
+            smooth_wl: 123.4,
+            hpwl: 120.0,
+            overflow: 0.25,
+            lambda: 1e-3,
+            gamma: 8.0,
+        });
+        t.record_stage("gp", Duration::from_millis(1500));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("gp/level0,3,123.400"));
+        let scsv = t.stages_csv();
+        assert!(scsv.contains("gp,1.5000"));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let t = Trace::new();
+        assert!(t.records.is_empty());
+        assert!(t.stages.is_empty());
+        assert_eq!(t.to_csv().lines().count(), 1, "header only");
+    }
+}

@@ -1,0 +1,55 @@
+//! Integration test: the fence pull-in force plus region density fields
+//! must land fenced cells inside their fences *by the end of global
+//! placement* — legalization should only polish, not teleport.
+
+use rdp_core::model::Model;
+use rdp_core::optimizer::{run_global_place, GpOptions};
+use rdp_core::Trace;
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_geom::Rect;
+
+#[test]
+fn gp_moves_fenced_cells_into_their_fences() {
+    let mut cfg = GeneratorConfig::hierarchical("gpf", 17, 2);
+    cfg.num_cells = 800;
+    cfg.module_size = 100; // 8 modules, 2 fenced => ~25% fenced
+    let bench = generate(&cfg).unwrap();
+
+    let mut model = Model::from_design(&bench.design, &bench.placement);
+    let blocked: Vec<(Rect, f64)> = bench
+        .design
+        .node_ids()
+        .filter(|&id| bench.design.node(id).kind() == rdp_db::NodeKind::Fixed)
+        .map(|id| (bench.placement.rect(&bench.design, id), 1.0))
+        .collect();
+    let mut trace = Trace::new();
+    run_global_place(
+        &mut model,
+        bench.design.regions(),
+        &blocked,
+        &GpOptions::default(),
+        &mut trace,
+        "test",
+    );
+
+    let mut fenced = 0usize;
+    let mut inside = 0usize;
+    let mut worst = 0.0f64;
+    for i in 0..model.len() {
+        if let Some(r) = model.region[i] {
+            fenced += 1;
+            let region = bench.design.region(r);
+            if region.contains(model.pos[i]) {
+                inside += 1;
+            } else {
+                worst = worst.max(region.distance(model.pos[i]));
+            }
+        }
+    }
+    assert!(fenced > 50, "test premise: enough fenced cells, got {fenced}");
+    let frac = inside as f64 / fenced as f64;
+    assert!(
+        frac > 0.9,
+        "only {inside}/{fenced} fenced cells inside fences after GP (worst distance {worst:.1})"
+    );
+}

@@ -1,0 +1,147 @@
+//! Line-oriented tokenizer shared by all Bookshelf parsers.
+//!
+//! Bookshelf files are whitespace-separated tokens with `#` comments;
+//! colons act as separators that may or may not be surrounded by spaces
+//! (`NumNodes:5`, `NumNodes : 5` and `NumNodes :5` are all legal in the
+//! wild). The lexer normalizes all of that into token vectors per line.
+
+use super::BookshelfError;
+use std::path::{Path, PathBuf};
+
+/// One logical line: its 1-based number and its tokens (colons stripped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// 1-based line number in the source file.
+    pub number: usize,
+    /// Whitespace/colon-separated tokens.
+    pub tokens: Vec<String>,
+}
+
+/// Splits file contents into token lines, dropping comments, blank lines
+/// and the optional `UCLA <kind> 1.0` header.
+pub fn tokenize(contents: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in contents.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let tokens: Vec<String> = line
+            .replace(':', " ")
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+        if tokens.is_empty() {
+            continue;
+        }
+        // Skip format headers like `UCLA nodes 1.0` / `route 1.0` /
+        // `rdp regions 1.0`.
+        if i < 3 && (tokens[0] == "UCLA" || tokens[0] == "route" || tokens[0] == "rdp" || tokens[0] == "shapes")
+        {
+            continue;
+        }
+        out.push(Line { number: i + 1, tokens });
+    }
+    out
+}
+
+/// Error-context factory tied to the file being parsed.
+pub struct Cursor<'a> {
+    pub(crate) path: PathBuf,
+    _lines: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor for file `path` (for error messages).
+    pub fn new(path: &Path, _lines: &'a [Line]) -> Self {
+        Cursor {
+            path: path.to_path_buf(),
+            _lines: std::marker::PhantomData,
+        }
+    }
+
+    /// Builds a parse error at `line`.
+    pub fn error(&self, line: usize, message: impl Into<String>) -> BookshelfError {
+        BookshelfError::Parse {
+            path: self.path.clone(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses token `tok` as `T`, reporting `what` on failure.
+pub fn parse_tok<T: std::str::FromStr>(
+    cursor: &Cursor<'_>,
+    line: &Line,
+    tok: &str,
+    what: &str,
+) -> Result<T, BookshelfError> {
+    tok.parse()
+        .map_err(|_| cursor.error(line.number, format!("cannot parse `{tok}` as {what}")))
+}
+
+/// Fetches token `idx` of `line`, reporting `what` when missing.
+pub fn get_tok<'l>(
+    cursor: &Cursor<'_>,
+    line: &'l Line,
+    idx: usize,
+    what: &str,
+) -> Result<&'l str, BookshelfError> {
+    line.tokens
+        .get(idx)
+        .map(String::as_str)
+        .ok_or_else(|| cursor.error(line.number, format!("missing {what}")))
+}
+
+/// Convenience: find the value after a `Key : value` pair on `line`.
+pub fn keyed_value<'l>(line: &'l Line, key: &str) -> Option<&'l str> {
+    line.tokens
+        .iter()
+        .position(|t| t.eq_ignore_ascii_case(key))
+        .and_then(|i| line.tokens.get(i + 1))
+        .map(String::as_str)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_blanks_and_header() {
+        let lines = tokenize("UCLA nodes 1.0\n# c\n\nNumNodes : 3 # trailing\n  a\tb  \n");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].tokens, vec!["NumNodes", "3"]);
+        assert_eq!(lines[0].number, 4);
+        assert_eq!(lines[1].tokens, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn colon_variants_normalize() {
+        for text in ["K : 5", "K: 5", "K :5", "K:5"] {
+            let lines = tokenize(text);
+            assert_eq!(lines[0].tokens, vec!["K", "5"], "failed on {text:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_builds_contextual_errors() {
+        let lines = tokenize("a 1\nb 2\n");
+        let c = Cursor::new(Path::new("x.nodes"), &lines);
+        let err = c.error(2, "boom");
+        assert_eq!(err.to_string(), "x.nodes:2: boom");
+    }
+
+    #[test]
+    fn token_helpers() {
+        let lines = tokenize("Grid 10 20 9\n");
+        let c = Cursor::new(Path::new("x.route"), &lines);
+        let l = &lines[0];
+        let v: u32 = parse_tok(&c, l, get_tok(&c, l, 1, "gx").unwrap(), "u32").unwrap();
+        assert_eq!(v, 10);
+        assert!(get_tok(&c, l, 9, "missing").is_err());
+        assert!(parse_tok::<u32>(&c, l, "zz", "u32").is_err());
+        assert_eq!(keyed_value(l, "grid"), Some("10"));
+        assert_eq!(keyed_value(l, "nope"), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Bookshelf reader/writer for the DAC-2012 routability-driven placement
+//! contest dialect.
+//!
+//! A benchmark is a directory of files referenced from an `.aux` file:
+//!
+//! | file      | content                                            |
+//! |-----------|----------------------------------------------------|
+//! | `.nodes`  | node names, sizes, `terminal`/`terminal_NI` flags  |
+//! | `.nets`   | nets with center-relative pin offsets              |
+//! | `.wts`    | optional net weights                               |
+//! | `.pl`     | positions, orientations, `/FIXED`, `/FIXED_NI`     |
+//! | `.scl`    | core rows (`CoreRow Horizontal` records)           |
+//! | `.shapes` | non-rectangular fixed nodes (parsed and ignored)   |
+//! | `.route`  | gcell grid, per-layer capacities, blockages        |
+//! | `.regions`| **rdp extension**: fence regions and their members |
+//!
+//! The `.regions` file mirrors DEF `REGION`/`GROUP` semantics for the
+//! hierarchical designs the paper evaluates; its syntax:
+//!
+//! ```text
+//! rdp regions 1.0
+//! NumRegions : 1
+//! Region : moduleA
+//!   Rect : 10 10 200 120
+//!   Member : cell_17
+//!   Member : cell_42
+//! End
+//! ```
+//!
+//! Reading returns the immutable [`Design`](crate::Design) plus the
+//! [`Placement`](crate::Placement) encoded in the `.pl`. Writing emits every
+//! file the design has data for and an `.aux` that references them.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use rdp_db::bookshelf;
+//!
+//! # fn main() -> Result<(), bookshelf::BookshelfError> {
+//! let (design, placement) = bookshelf::read_design("bench/s1/s1.aux")?;
+//! println!("{} nodes", design.nodes().len());
+//! bookshelf::write_design(&design, &placement, "out/s1")?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod lex;
+mod read;
+mod write;
+
+pub use read::{read_design, read_placement};
+pub use write::{write_design, write_placement};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Error raised by Bookshelf parsing or emission.
+#[derive(Debug)]
+pub enum BookshelfError {
+    /// Underlying I/O failure.
+    Io {
+        /// The file being accessed.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// Syntax or semantic error at a specific line.
+    Parse {
+        /// The file being parsed.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The parsed files violate a design invariant.
+    Build(crate::BuildError),
+}
+
+impl fmt::Display for BookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookshelfError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            BookshelfError::Parse { path, line, message } => {
+                write!(f, "{}:{line}: {message}", path.display())
+            }
+            BookshelfError::Build(e) => write!(f, "inconsistent benchmark: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BookshelfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BookshelfError::Io { source, .. } => Some(source),
+            BookshelfError::Build(e) => Some(e),
+            BookshelfError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<crate::BuildError> for BookshelfError {
+    fn from(e: crate::BuildError) -> Self {
+        BookshelfError::Build(e)
+    }
+}

@@ -1,0 +1,507 @@
+use crate::{
+    Design, Net, NetId, Node, NodeId, NodeKind, Pin, PinId, Region, RegionId, RouteSpec, Row,
+};
+use rdp_geom::{Point, Rect};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while assembling a [`Design`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Two nodes (or two nets) share a name.
+    DuplicateName(String),
+    /// A node has a non-positive or non-finite dimension.
+    BadDimension {
+        /// The offending node's name.
+        node: String,
+        /// Its declared width.
+        width: f64,
+        /// Its declared height.
+        height: f64,
+    },
+    /// Rows have differing heights (the row-based legalizer requires a
+    /// uniform height).
+    MixedRowHeights {
+        /// Height of the first row.
+        first: f64,
+        /// The differing height encountered.
+        offending: f64,
+    },
+    /// A fence region has no non-empty parts.
+    EmptyRegion(String),
+    /// The die rectangle is empty or was never set while rows exist outside
+    /// the default die.
+    BadDie(Rect),
+    /// A net has fewer than two pins; such nets carry no wirelength
+    /// information and upstream formats forbid them.
+    DegenerateNet(String),
+    /// A fixed node was assigned to a fence region (fences constrain only
+    /// movable nodes).
+    FixedInRegion(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            BuildError::BadDimension { node, width, height } => {
+                write!(f, "node `{node}` has invalid dimensions {width} x {height}")
+            }
+            BuildError::MixedRowHeights { first, offending } => {
+                write!(f, "row heights differ: {first} vs {offending}")
+            }
+            BuildError::EmptyRegion(n) => write!(f, "fence region `{n}` has no area"),
+            BuildError::BadDie(r) => write!(f, "die rectangle {r} is empty"),
+            BuildError::DegenerateNet(n) => write!(f, "net `{n}` has fewer than 2 pins"),
+            BuildError::FixedInRegion(n) => {
+                write!(f, "fixed node `{n}` cannot be fenced to a region")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental constructor for [`Design`] (C-BUILDER).
+///
+/// The builder collects entities in any order, then [`DesignBuilder::finish`]
+/// validates the structural invariants (unique names, uniform row height,
+/// positive dimensions, non-degenerate nets, …) and freezes the arenas.
+///
+/// Macro classification: a movable node strictly taller than the row height
+/// is a *macro*; with no rows, every movable node is a standard cell. Use
+/// [`DesignBuilder::force_macro`] to override (e.g. for multi-row cells that
+/// should still legalize as macros).
+#[derive(Debug, Default)]
+pub struct DesignBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+    rows: Vec<Row>,
+    regions: Vec<Region>,
+    die: Option<Rect>,
+    route: Option<RouteSpec>,
+    forced_macros: Vec<NodeId>,
+    node_names: HashMap<String, NodeId>,
+    shapes: HashMap<NodeId, Vec<Rect>>,
+}
+
+impl DesignBuilder {
+    /// Starts a builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DesignBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the die rectangle. If never called, the die defaults to the
+    /// bounding box of the rows (or of all fixed nodes for row-less designs —
+    /// but generators always set it explicitly).
+    pub fn die(&mut self, die: Rect) -> &mut Self {
+        self.die = Some(die);
+        self
+    }
+
+    /// Adds a node; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with [`BuildError::BadDimension`] on non-positive sizes
+    /// and [`BuildError::DuplicateName`] on name reuse.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: NodeKind,
+    ) -> Result<NodeId, BuildError> {
+        let name = name.into();
+        if !(width.is_finite() && height.is_finite()) || width <= 0.0 || height <= 0.0 {
+            return Err(BuildError::BadDimension { node: name, width, height });
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        if self.node_names.insert(name.clone(), id).is_some() {
+            return Err(BuildError::DuplicateName(name));
+        }
+        // Macro classification is finalized in `finish` once row height is known.
+        self.nodes.push(Node::new(name, width, height, kind, false, None));
+        Ok(id)
+    }
+
+    /// Looks up an already-added node by name (used by the Bookshelf reader
+    /// to resolve cross-file references).
+    pub fn node_index_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_names.get(name).copied()
+    }
+
+    /// Removes nets with fewer than two pins (and their pins), compacting
+    /// ids. Benchmarks in the wild contain dangling nets; they carry no
+    /// wirelength information, so dropping them is loss-free.
+    pub fn drop_degenerate_nets(&mut self) {
+        if self.nets.iter().all(|n| n.degree() >= 2) {
+            return;
+        }
+        let keep: Vec<bool> = self.nets.iter().map(|n| n.degree() >= 2).collect();
+        let mut net_remap = vec![NetId(0); self.nets.len()];
+        let mut new_nets = Vec::with_capacity(self.nets.len());
+        for (i, net) in self.nets.drain(..).enumerate() {
+            if keep[i] {
+                net_remap[i] = NetId::from_index(new_nets.len());
+                new_nets.push(net);
+            }
+        }
+        let mut pin_remap = vec![PinId(0); self.pins.len()];
+        let mut new_pins = Vec::with_capacity(self.pins.len());
+        for (i, pin) in self.pins.drain(..).enumerate() {
+            if keep[pin.net().index()] {
+                pin_remap[i] = PinId::from_index(new_pins.len());
+                new_pins.push(Pin::new(pin.node(), net_remap[pin.net().index()], pin.offset()));
+            }
+        }
+        for net in &mut new_nets {
+            net.remap_pins(&pin_remap);
+        }
+        self.nets = new_nets;
+        self.pins = new_pins;
+    }
+
+    /// Adds an (initially pin-less) net; returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>, weight: f64) -> NetId {
+        let id = NetId::from_index(self.nets.len());
+        self.nets.push(Net::new(name, weight));
+        id
+    }
+
+    /// Attaches a pin of `net` on `node` with the given center-relative
+    /// offset; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` or `node` were not created by this builder.
+    pub fn add_pin(&mut self, net: NetId, node: NodeId, offset: Point) -> PinId {
+        assert!(net.index() < self.nets.len(), "unknown net {net}");
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        let id = PinId::from_index(self.pins.len());
+        self.pins.push(Pin::new(node, net, offset));
+        self.nets[net.index()].push_pin(id);
+        id
+    }
+
+    /// Adds a placement row.
+    pub fn add_row(&mut self, y: f64, height: f64, site_width: f64, x_min: f64, num_sites: u32) -> &mut Self {
+        self.rows.push(Row::new(y, height, site_width, x_min, num_sites));
+        self
+    }
+
+    /// Adds a fence region; returns its id.
+    pub fn add_region(&mut self, name: impl Into<String>, rects: Vec<Rect>) -> RegionId {
+        let id = RegionId::from_index(self.regions.len());
+        self.regions.push(Region::new(name, rects));
+        id
+    }
+
+    /// Constrains `node` to fence `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id was not created by this builder.
+    pub fn assign_region(&mut self, node: NodeId, region: RegionId) -> &mut Self {
+        assert!(region.index() < self.regions.len(), "unknown region {region}");
+        self.nodes[node.index()].set_region(Some(region));
+        self
+    }
+
+    /// Forces `node` to be classified as a macro regardless of its height.
+    pub fn force_macro(&mut self, node: NodeId) -> &mut Self {
+        self.forced_macros.push(node);
+        self
+    }
+
+    /// Attaches routing supply information.
+    pub fn route_spec(&mut self, spec: RouteSpec) -> &mut Self {
+        self.route = Some(spec);
+        self
+    }
+
+    /// Declares `node` as non-rectangular, composed of the given absolute
+    /// part rectangles (the `.shapes` record). Only meaningful for fixed
+    /// nodes; empty parts are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not created by this builder.
+    pub fn add_shapes(&mut self, node: NodeId, parts: Vec<Rect>) -> &mut Self {
+        assert!(node.index() < self.nodes.len(), "unknown node {node}");
+        let parts: Vec<Rect> = parts.into_iter().filter(|r| !r.is_empty()).collect();
+        if !parts.is_empty() {
+            self.shapes.insert(node, parts);
+        }
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Validates all invariants and freezes the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant; see [`BuildError`].
+    pub fn finish(mut self) -> Result<Design, BuildError> {
+        // Uniform row heights, rows sorted by y.
+        self.rows.sort_by(|a, b| a.y().partial_cmp(&b.y()).expect("finite row y"));
+        if let Some(first) = self.rows.first().map(Row::height) {
+            for r in &self.rows {
+                if (r.height() - first).abs() > 1e-9 {
+                    return Err(BuildError::MixedRowHeights { first, offending: r.height() });
+                }
+            }
+        }
+
+        // Macro classification.
+        let row_h = self.rows.first().map(Row::height);
+        let forced: Vec<NodeId> = std::mem::take(&mut self.forced_macros);
+        let nodes: Vec<Node> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                let is_macro = n.is_movable()
+                    && (forced.contains(&NodeId::from_index(i))
+                        || row_h.is_some_and(|h| n.height() > h + 1e-9));
+                Node::new(n.name(), n.width(), n.height(), n.kind(), is_macro, n.region())
+            })
+            .collect();
+
+        // Unique names.
+        let mut node_by_name = HashMap::with_capacity(nodes.len());
+        for (i, n) in nodes.iter().enumerate() {
+            if node_by_name.insert(n.name().to_owned(), NodeId::from_index(i)).is_some() {
+                return Err(BuildError::DuplicateName(n.name().to_owned()));
+            }
+        }
+        let mut net_by_name = HashMap::with_capacity(self.nets.len());
+        for (i, n) in self.nets.iter().enumerate() {
+            if net_by_name.insert(n.name().to_owned(), NetId::from_index(i)).is_some() {
+                return Err(BuildError::DuplicateName(n.name().to_owned()));
+            }
+        }
+
+        // Non-degenerate nets.
+        for n in &self.nets {
+            if n.degree() < 2 {
+                return Err(BuildError::DegenerateNet(n.name().to_owned()));
+            }
+        }
+
+        // Regions must have area; fixed nodes must not be fenced.
+        for r in &self.regions {
+            if r.rects().is_empty() {
+                return Err(BuildError::EmptyRegion(r.name().to_owned()));
+            }
+        }
+        for n in &nodes {
+            if n.region().is_some() && !n.is_movable() {
+                return Err(BuildError::FixedInRegion(n.name().to_owned()));
+            }
+        }
+
+        // Die.
+        let die = match self.die {
+            Some(d) if !d.is_empty() => d,
+            Some(d) => return Err(BuildError::BadDie(d)),
+            None => {
+                let bb = self.rows.iter().fold(Rect::empty(), |acc, r| acc.union(r.rect()));
+                if bb.is_empty() {
+                    return Err(BuildError::BadDie(bb));
+                }
+                bb
+            }
+        };
+
+        // CSR node -> pins adjacency.
+        let mut node_pin_start = vec![0u32; nodes.len() + 1];
+        for p in &self.pins {
+            node_pin_start[p.node().index() + 1] += 1;
+        }
+        for i in 1..node_pin_start.len() {
+            node_pin_start[i] += node_pin_start[i - 1];
+        }
+        let mut cursor = node_pin_start.clone();
+        let mut node_pin_index = vec![PinId(0); self.pins.len()];
+        for (i, p) in self.pins.iter().enumerate() {
+            let slot = cursor[p.node().index()];
+            node_pin_index[slot as usize] = PinId::from_index(i);
+            cursor[p.node().index()] += 1;
+        }
+
+        Ok(Design {
+            name: self.name,
+            nodes,
+            nets: self.nets,
+            pins: self.pins,
+            rows: self.rows,
+            regions: self.regions,
+            die,
+            route: self.route,
+            shapes: self.shapes,
+            node_by_name,
+            net_by_name,
+            node_pin_start,
+            node_pin_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DesignBuilder {
+        let mut b = DesignBuilder::new("t");
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        b
+    }
+
+    #[test]
+    fn duplicate_node_name_rejected() {
+        let mut b = base();
+        b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        assert!(matches!(
+            b.add_node("a", 1.0, 10.0, NodeKind::Movable),
+            Err(BuildError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_nets_can_be_dropped() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let dangling = b.add_net("dangling", 1.0);
+        b.add_pin(dangling, a, Point::ORIGIN);
+        let good = b.add_net("good", 1.0);
+        b.add_pin(good, a, Point::ORIGIN);
+        b.add_pin(good, c, Point::ORIGIN);
+        b.drop_degenerate_nets();
+        let d = b.finish().unwrap();
+        assert_eq!(d.nets().len(), 1);
+        assert_eq!(d.nets()[0].name(), "good");
+        assert_eq!(d.pins().len(), 2);
+        assert_eq!(d.node_pins(a).len(), 1);
+        // Remaining pin ids are consistent.
+        for (i, net) in d.nets().iter().enumerate() {
+            for &p in net.pins() {
+                assert_eq!(d.pin(p).net().index(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn name_lookup_during_build() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        assert_eq!(b.node_index_by_name("a"), Some(a));
+        assert_eq!(b.node_index_by_name("zz"), None);
+    }
+
+    #[test]
+    fn bad_dimension_rejected_eagerly() {
+        let mut b = base();
+        assert!(matches!(
+            b.add_node("z", -1.0, 10.0, NodeKind::Movable),
+            Err(BuildError::BadDimension { .. })
+        ));
+        assert!(matches!(
+            b.add_node("z", 1.0, f64::NAN, NodeKind::Movable),
+            Err(BuildError::BadDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_row_heights_rejected() {
+        let mut b = base();
+        b.add_row(10.0, 12.0, 1.0, 0.0, 100);
+        assert!(matches!(b.finish(), Err(BuildError::MixedRowHeights { .. })));
+    }
+
+    #[test]
+    fn degenerate_net_rejected() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        assert!(matches!(b.finish(), Err(BuildError::DegenerateNet(_))));
+    }
+
+    #[test]
+    fn fixed_node_cannot_be_fenced() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Fixed).unwrap();
+        let r = b.add_region("R", vec![Rect::new(0.0, 0.0, 10.0, 10.0)]);
+        b.assign_region(a, r);
+        assert!(matches!(b.finish(), Err(BuildError::FixedInRegion(_))));
+    }
+
+    #[test]
+    fn empty_region_rejected() {
+        let mut b = base();
+        b.add_region("R", vec![]);
+        assert!(matches!(b.finish(), Err(BuildError::EmptyRegion(_))));
+    }
+
+    #[test]
+    fn die_defaults_to_row_bbox() {
+        let mut b = DesignBuilder::new("t");
+        b.add_row(0.0, 10.0, 1.0, 5.0, 10);
+        b.add_row(10.0, 10.0, 1.0, 5.0, 10);
+        let d = b.finish().unwrap();
+        assert_eq!(d.die(), Rect::new(5.0, 0.0, 15.0, 20.0));
+    }
+
+    #[test]
+    fn missing_die_and_rows_rejected() {
+        let b = DesignBuilder::new("t");
+        assert!(matches!(b.finish(), Err(BuildError::BadDie(_))));
+    }
+
+    #[test]
+    fn forced_macro_classification() {
+        let mut b = base();
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        b.force_macro(a);
+        let d = b.finish().unwrap();
+        assert!(d.node(a).is_macro());
+    }
+
+    #[test]
+    fn csr_adjacency_is_complete() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let n1 = b.add_net("n1", 1.0);
+        let n2 = b.add_net("n2", 1.0);
+        b.add_pin(n1, a, Point::ORIGIN);
+        b.add_pin(n1, c, Point::ORIGIN);
+        b.add_pin(n2, a, Point::ORIGIN);
+        b.add_pin(n2, c, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        assert_eq!(d.node_pins(a).len(), 2);
+        assert_eq!(d.node_pins(c).len(), 2);
+        let nets: Vec<_> = d.node_pins(a).iter().map(|&p| d.pin(p).net()).collect();
+        assert!(nets.contains(&n1) && nets.contains(&n2));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = BuildError::DuplicateName("x".into());
+        assert_eq!(e.to_string(), "duplicate name `x`");
+        let e = BuildError::DegenerateNet("n".into());
+        assert!(e.to_string().contains("fewer than 2 pins"));
+    }
+}

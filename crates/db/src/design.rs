@@ -1,0 +1,241 @@
+use crate::{Net, NetId, Node, NodeId, Pin, PinId, Region, RegionId, RouteSpec, Row, RowId};
+use rdp_geom::Rect;
+use std::collections::HashMap;
+
+/// An immutable placement problem instance.
+///
+/// `Design` owns the netlist (nodes, nets, pins), the floorplan (die, rows,
+/// fence regions) and optional routing supply information. It is constructed
+/// through [`DesignBuilder`](crate::DesignBuilder), which checks the
+/// structural invariants once so that all accessors here can be infallible.
+///
+/// Node *positions* are deliberately not part of the design — they live in
+/// [`Placement`](crate::Placement) values.
+#[derive(Debug, Clone)]
+pub struct Design {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) pins: Vec<Pin>,
+    pub(crate) rows: Vec<Row>,
+    pub(crate) regions: Vec<Region>,
+    pub(crate) die: Rect,
+    pub(crate) route: Option<RouteSpec>,
+    /// Non-rectangular fixed nodes (`.shapes`): absolute part rects.
+    pub(crate) shapes: HashMap<NodeId, Vec<Rect>>,
+    pub(crate) node_by_name: HashMap<String, NodeId>,
+    pub(crate) net_by_name: HashMap<String, NetId>,
+    /// CSR adjacency: pins of node `i` are
+    /// `pin_index[pin_start[i]..pin_start[i + 1]]`.
+    pub(crate) node_pin_start: Vec<u32>,
+    pub(crate) node_pin_index: Vec<PinId>,
+}
+
+impl Design {
+    /// Design name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Die (placement) area.
+    #[inline]
+    pub fn die(&self) -> Rect {
+        self.die
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    #[inline]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    #[inline]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All pins, indexable by [`PinId::index`].
+    #[inline]
+    pub fn pins(&self) -> &[Pin] {
+        &self.pins
+    }
+
+    /// All placement rows (sorted by `y` ascending).
+    #[inline]
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// All fence regions.
+    #[inline]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Routing supply information, when the benchmark carries a `.route`
+    /// section.
+    #[inline]
+    pub fn route_spec(&self) -> Option<&RouteSpec> {
+        self.route.as_ref()
+    }
+
+    /// Absolute part rectangles of a non-rectangular fixed node
+    /// (`.shapes`); `None` for ordinary rectangular nodes.
+    pub fn node_shapes(&self, id: NodeId) -> Option<&[Rect]> {
+        self.shapes.get(&id).map(Vec::as_slice)
+    }
+
+    /// The rectangles a fixed node blocks: its shape parts when present,
+    /// else its placed outline. Movable nodes return their outline.
+    pub fn blocking_rects(&self, id: NodeId, placement: &crate::Placement) -> Vec<Rect> {
+        match self.node_shapes(id) {
+            Some(parts) => parts.to_vec(),
+            None => vec![placement.rect(self, id)],
+        }
+    }
+
+    /// Whether any node carries shape data.
+    pub fn has_shapes(&self) -> bool {
+        !self.shapes.is_empty()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids from this design never are).
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks up a net. See [`Design::node`] for panics.
+    #[inline]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a pin. See [`Design::node`] for panics.
+    #[inline]
+    pub fn pin(&self, id: PinId) -> &Pin {
+        &self.pins[id.index()]
+    }
+
+    /// Looks up a row. See [`Design::node`] for panics.
+    #[inline]
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.index()]
+    }
+
+    /// Looks up a region. See [`Design::node`] for panics.
+    #[inline]
+    pub fn region(&self, id: RegionId) -> &Region {
+        &self.regions[id.index()]
+    }
+
+    /// Finds a node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_by_name.get(name).copied()
+    }
+
+    /// Finds a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_by_name.get(name).copied()
+    }
+
+    /// The pins sitting on `node`.
+    #[inline]
+    pub fn node_pins(&self, node: NodeId) -> &[PinId] {
+        let s = self.node_pin_start[node.index()] as usize;
+        let e = self.node_pin_start[node.index() + 1] as usize;
+        &self.node_pin_index[s..e]
+    }
+
+    /// Iterator over node ids (dense `0..len`).
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over net ids.
+    pub fn net_ids(&self) -> impl ExactSizeIterator<Item = NetId> + Clone {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Iterator over ids of movable nodes.
+    pub fn movable_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.node(id).is_movable())
+    }
+
+    /// Iterator over ids of movable macros.
+    pub fn macro_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&id| self.node(id).is_macro())
+    }
+
+    /// Row height (uniform across rows by builder invariant); `None` for a
+    /// row-less design.
+    pub fn row_height(&self) -> Option<f64> {
+        self.rows.first().map(Row::height)
+    }
+
+    /// Total area of movable nodes.
+    pub fn movable_area(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_movable())
+            .map(Node::area)
+            .sum()
+    }
+
+    /// Total row capacity (sum of row areas).
+    pub fn row_area(&self) -> f64 {
+        self.rows.iter().map(|r| r.rect().area()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DesignBuilder, NodeKind};
+    use rdp_geom::{Point, Rect};
+
+    fn small() -> crate::Design {
+        let mut b = DesignBuilder::new("d");
+        b.die(Rect::new(0.0, 0.0, 40.0, 20.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 40);
+        b.add_row(10.0, 10.0, 1.0, 0.0, 40);
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let m = b.add_node("m", 10.0, 20.0, NodeKind::Movable).unwrap();
+        let t = b.add_node("t", 1.0, 1.0, NodeKind::FixedNi).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, m, Point::new(2.0, 3.0));
+        b.add_pin(n, t, Point::ORIGIN);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn lookups() {
+        let d = small();
+        assert_eq!(d.name(), "d");
+        let a = d.find_node("a").unwrap();
+        assert_eq!(d.node(a).name(), "a");
+        assert!(d.find_node("zz").is_none());
+        let n = d.find_net("n").unwrap();
+        assert_eq!(d.net(n).degree(), 3);
+        assert_eq!(d.node_pins(a).len(), 1);
+        assert_eq!(d.pin(d.node_pins(a)[0]).net(), n);
+    }
+
+    #[test]
+    fn classification_and_areas() {
+        let d = small();
+        let m = d.find_node("m").unwrap();
+        assert!(d.node(m).is_macro(), "taller than a row => macro");
+        assert_eq!(d.macro_ids().count(), 1);
+        assert_eq!(d.movable_ids().count(), 2);
+        assert_eq!(d.movable_area(), 4.0 * 10.0 + 10.0 * 20.0);
+        assert_eq!(d.row_area(), 2.0 * 400.0);
+        assert_eq!(d.row_height(), Some(10.0));
+    }
+}

@@ -1,0 +1,105 @@
+//! Typed indices into the [`Design`](crate::Design) arenas.
+//!
+//! Every entity class gets its own `u32` newtype so that a node index can
+//! never be confused with a net index at compile time (C-NEWTYPE). The ids
+//! are dense: `NodeId(i)` indexes slot `i` of the node arena.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("arena index exceeds u32"))
+            }
+
+            /// The raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of a [`Node`](crate::Node) (cell, macro, or terminal).
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Index of a [`Net`](crate::Net).
+    NetId,
+    "e"
+);
+define_id!(
+    /// Index of a [`Pin`](crate::Pin).
+    PinId,
+    "p"
+);
+define_id!(
+    /// Index of a placement [`Row`](crate::Row).
+    RowId,
+    "r"
+);
+define_id!(
+    /// Index of a fence [`Region`](crate::Region).
+    RegionId,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+        assert_eq!(id, NodeId(42));
+    }
+
+    #[test]
+    fn display_distinguishes_kinds() {
+        assert_eq!(NodeId(1).to_string(), "n1");
+        assert_eq!(NetId(1).to_string(), "e1");
+        assert_eq!(PinId(2).to_string(), "p2");
+        assert_eq!(RowId(3).to_string(), "r3");
+        assert_eq!(RegionId(4).to_string(), "g4");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index exceeds u32")]
+    fn overflow_panics() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! Circuit database and Bookshelf I/O for the `rdp` placement toolkit.
+//!
+//! The database is the shared substrate of the whole reproduction: the
+//! benchmark generator emits it, the placer optimizes it, the global router
+//! scores it. It models the DAC-2012 routability-driven placement contest
+//! dialect of the Bookshelf format:
+//!
+//! * mixed-size netlists ([`Node`]: standard cells, movable macros, fixed
+//!   blocks, terminals),
+//! * weighted multi-pin nets with center-relative pin offsets ([`Net`],
+//!   [`Pin`]),
+//! * row-based core areas ([`Row`]),
+//! * **fence regions** for hierarchical designs ([`Region`]) — the `rdp`
+//!   extension mirroring DEF `REGION`/`GROUP` semantics,
+//! * global-routing supply information ([`RouteSpec`]) from the `.route`
+//!   file (gcell grid, per-layer capacities, routing blockages).
+//!
+//! Node positions live outside the netlist in a [`Placement`] so that many
+//! candidate placements of one [`Design`] can coexist cheaply.
+//!
+//! # Examples
+//!
+//! Building a tiny design by hand and measuring its wirelength:
+//!
+//! ```
+//! use rdp_db::{DesignBuilder, NodeKind, Placement};
+//! use rdp_geom::{Point, Rect};
+//!
+//! # fn main() -> Result<(), rdp_db::BuildError> {
+//! let mut b = DesignBuilder::new("tiny");
+//! b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+//! b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+//! let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable)?;
+//! let c = b.add_node("c", 4.0, 10.0, NodeKind::Movable)?;
+//! let n = b.add_net("n1", 1.0);
+//! b.add_pin(n, a, Point::new(0.0, 0.0));
+//! b.add_pin(n, c, Point::new(0.0, 0.0));
+//! let design = b.finish()?;
+//!
+//! let mut pl = Placement::new_centered(&design);
+//! pl.set_center(a, Point::new(10.0, 5.0));
+//! pl.set_center(c, Point::new(30.0, 5.0));
+//! assert_eq!(rdp_db::hpwl::total_hpwl(&design, &pl), 20.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bookshelf;
+mod builder;
+mod design;
+pub mod hpwl;
+mod ids;
+mod net;
+mod node;
+mod placement;
+mod region;
+mod route_spec;
+mod row;
+pub mod stats;
+pub mod validate;
+
+pub use builder::{BuildError, DesignBuilder};
+pub use design::Design;
+pub use ids::{NetId, NodeId, PinId, RegionId, RowId};
+pub use net::{Net, Pin};
+pub use node::{Node, NodeKind};
+pub use placement::Placement;
+pub use region::Region;
+pub use route_spec::{LayerBlockage, RouteSpec};
+pub use row::Row;

@@ -1,0 +1,125 @@
+use crate::{NetId, NodeId, PinId};
+use rdp_geom::Point;
+
+/// A connection point of a net on a node.
+///
+/// The offset is relative to the node **center** in the as-designed (`N`)
+/// orientation, per the Bookshelf `.nets` convention; the physical position
+/// under an arbitrary orientation is computed by
+/// [`Placement::pin_position`](crate::Placement::pin_position).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pin {
+    node: NodeId,
+    net: NetId,
+    offset: Point,
+}
+
+impl Pin {
+    /// Creates a pin record.
+    #[inline]
+    pub fn new(node: NodeId, net: NetId, offset: Point) -> Self {
+        Pin { node, net, offset }
+    }
+
+    /// The node the pin sits on.
+    #[inline]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The net the pin belongs to.
+    #[inline]
+    pub fn net(&self) -> NetId {
+        self.net
+    }
+
+    /// Center-relative offset in the `N` orientation.
+    #[inline]
+    pub fn offset(&self) -> Point {
+        self.offset
+    }
+}
+
+/// A weighted multi-pin net.
+///
+/// Pins are stored as dense [`PinId`]s into the design's pin arena; the
+/// `Net` itself owns only the id range, keeping nets cheap to clone during
+/// clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    name: String,
+    weight: f64,
+    pins: Vec<PinId>,
+}
+
+impl Net {
+    /// Creates an empty net with the given weight.
+    pub fn new(name: impl Into<String>, weight: f64) -> Self {
+        Net {
+            name: name.into(),
+            weight,
+            pins: Vec::new(),
+        }
+    }
+
+    /// Net name (unique within a design).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Net weight used by weighted-HPWL objectives (1.0 by default).
+    #[inline]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The pins of this net.
+    #[inline]
+    pub fn pins(&self) -> &[PinId] {
+        &self.pins
+    }
+
+    /// Number of pins (the net *degree*).
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+
+    pub(crate) fn push_pin(&mut self, pin: PinId) {
+        self.pins.push(pin);
+    }
+
+    /// Rewrites pin ids through `remap` (indexed by old pin id) after the
+    /// pin arena was compacted.
+    pub(crate) fn remap_pins(&mut self, remap: &[PinId]) {
+        for p in &mut self.pins {
+            *p = remap[p.index()];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_accessors() {
+        let p = Pin::new(NodeId(3), NetId(7), Point::new(1.0, -2.0));
+        assert_eq!(p.node(), NodeId(3));
+        assert_eq!(p.net(), NetId(7));
+        assert_eq!(p.offset(), Point::new(1.0, -2.0));
+    }
+
+    #[test]
+    fn net_accumulates_pins() {
+        let mut n = Net::new("clk", 2.0);
+        assert_eq!(n.degree(), 0);
+        n.push_pin(PinId(0));
+        n.push_pin(PinId(5));
+        assert_eq!(n.degree(), 2);
+        assert_eq!(n.pins(), &[PinId(0), PinId(5)]);
+        assert_eq!(n.weight(), 2.0);
+        assert_eq!(n.name(), "clk");
+    }
+}

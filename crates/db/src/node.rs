@@ -1,0 +1,161 @@
+use crate::RegionId;
+
+/// Mobility class of a node, following Bookshelf `.nodes` / `.pl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A placeable object the placer may move (standard cell or macro).
+    Movable,
+    /// A pre-placed block the placer must not move (`/FIXED` in `.pl`,
+    /// `terminal` in `.nodes`). Occupies placement area.
+    Fixed,
+    /// A fixed I/O object that does **not** block placement area
+    /// (`terminal_NI` in `.nodes`, DAC-2012 extension). Its pins still
+    /// anchor nets.
+    FixedNi,
+}
+
+impl NodeKind {
+    /// Whether the placer is allowed to move this node.
+    #[inline]
+    pub fn is_movable(self) -> bool {
+        matches!(self, NodeKind::Movable)
+    }
+
+    /// Whether the node consumes placement capacity (blocks area).
+    #[inline]
+    pub fn blocks_area(self) -> bool {
+        !matches!(self, NodeKind::FixedNi)
+    }
+}
+
+/// A placeable or fixed object: standard cell, macro block, or terminal.
+///
+/// Width and height describe the as-designed (`N`-orientation) outline.
+/// Whether a movable node is treated as a *macro* (multi-row object that
+/// participates in rotation optimization and macro legalization) is decided
+/// once at build time from its height relative to the row height — matching
+/// the mixed-size convention of the DAC-2012 contest where any movable node
+/// taller than one row is a macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    name: String,
+    width: f64,
+    height: f64,
+    kind: NodeKind,
+    is_macro: bool,
+    region: Option<RegionId>,
+}
+
+impl Node {
+    /// Creates a node. `is_macro` is normally derived by
+    /// [`DesignBuilder`](crate::DesignBuilder); see its docs.
+    pub fn new(
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: NodeKind,
+        is_macro: bool,
+        region: Option<RegionId>,
+    ) -> Self {
+        Node {
+            name: name.into(),
+            width,
+            height,
+            kind,
+            is_macro,
+            region,
+        }
+    }
+
+    /// Instance name (unique within a design).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// As-designed width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// As-designed height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Footprint area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Mobility class.
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Whether the placer may move this node.
+    #[inline]
+    pub fn is_movable(&self) -> bool {
+        self.kind.is_movable()
+    }
+
+    /// Whether this is a movable macro (multi-row mixed-size object).
+    #[inline]
+    pub fn is_macro(&self) -> bool {
+        self.is_macro
+    }
+
+    /// Whether this is a movable standard cell (single-row object).
+    #[inline]
+    pub fn is_std_cell(&self) -> bool {
+        self.is_movable() && !self.is_macro
+    }
+
+    /// The fence region this node is constrained to, if any.
+    #[inline]
+    pub fn region(&self) -> Option<RegionId> {
+        self.region
+    }
+
+    pub(crate) fn set_region(&mut self, region: Option<RegionId>) {
+        self.region = region;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Movable.is_movable());
+        assert!(!NodeKind::Fixed.is_movable());
+        assert!(!NodeKind::FixedNi.is_movable());
+        assert!(NodeKind::Movable.blocks_area());
+        assert!(NodeKind::Fixed.blocks_area());
+        assert!(!NodeKind::FixedNi.blocks_area());
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new("u1", 4.0, 12.0, NodeKind::Movable, true, None);
+        assert_eq!(n.name(), "u1");
+        assert_eq!(n.area(), 48.0);
+        assert!(n.is_macro());
+        assert!(!n.is_std_cell());
+        assert!(n.is_movable());
+        assert_eq!(n.region(), None);
+    }
+
+    #[test]
+    fn std_cell_predicate() {
+        let c = Node::new("c", 2.0, 10.0, NodeKind::Movable, false, None);
+        assert!(c.is_std_cell());
+        let f = Node::new("f", 2.0, 10.0, NodeKind::Fixed, false, None);
+        assert!(!f.is_std_cell());
+    }
+}

@@ -1,0 +1,188 @@
+use crate::{Design, NodeId, PinId};
+use rdp_geom::{transform, Orient, Point, Rect};
+
+/// A candidate placement of a [`Design`]: one center position and
+/// orientation per node.
+///
+/// Positions are node **centers**, which keeps rotation handling trivial
+/// (rotating about the center moves no mass) and matches the analytical
+/// placer's variables. Bookshelf `.pl` files use lower-left corners; the
+/// conversion happens in the I/O layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    centers: Vec<Point>,
+    orients: Vec<Orient>,
+}
+
+impl Placement {
+    /// Creates a placement with every node at the die center in orientation
+    /// `N` — the canonical analytical-placement start.
+    pub fn new_centered(design: &Design) -> Self {
+        let c = design.die().center();
+        Placement {
+            centers: vec![c; design.nodes().len()],
+            orients: vec![Orient::N; design.nodes().len()],
+        }
+    }
+
+    /// Creates a placement from raw per-node data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors' lengths differ.
+    pub fn from_parts(centers: Vec<Point>, orients: Vec<Orient>) -> Self {
+        assert_eq!(centers.len(), orients.len(), "centers/orients length mismatch");
+        Placement { centers, orients }
+    }
+
+    /// Number of placed nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether the placement covers zero nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Center of `node`.
+    #[inline]
+    pub fn center(&self, node: NodeId) -> Point {
+        self.centers[node.index()]
+    }
+
+    /// Sets the center of `node`.
+    #[inline]
+    pub fn set_center(&mut self, node: NodeId, c: Point) {
+        self.centers[node.index()] = c;
+    }
+
+    /// Orientation of `node`.
+    #[inline]
+    pub fn orient(&self, node: NodeId) -> Orient {
+        self.orients[node.index()]
+    }
+
+    /// Sets the orientation of `node`.
+    #[inline]
+    pub fn set_orient(&mut self, node: NodeId, o: Orient) {
+        self.orients[node.index()] = o;
+    }
+
+    /// Raw centers slice (used by the optimizer for bulk updates).
+    #[inline]
+    pub fn centers(&self) -> &[Point] {
+        &self.centers
+    }
+
+    /// Mutable raw centers slice.
+    #[inline]
+    pub fn centers_mut(&mut self) -> &mut [Point] {
+        &mut self.centers
+    }
+
+    /// Oriented width/height of `node` in `design`.
+    #[inline]
+    pub fn dims(&self, design: &Design, node: NodeId) -> (f64, f64) {
+        let n = design.node(node);
+        transform::oriented_dims(n.width(), n.height(), self.orient(node))
+    }
+
+    /// The axis-aligned outline of `node` under this placement.
+    pub fn rect(&self, design: &Design, node: NodeId) -> Rect {
+        let (w, h) = self.dims(design, node);
+        let c = self.center(node);
+        Rect::new(c.x - 0.5 * w, c.y - 0.5 * h, c.x + 0.5 * w, c.y + 0.5 * h)
+    }
+
+    /// Lower-left corner of `node` (the Bookshelf `.pl` coordinate).
+    pub fn lower_left(&self, design: &Design, node: NodeId) -> Point {
+        let (w, h) = self.dims(design, node);
+        let c = self.center(node);
+        Point::new(c.x - 0.5 * w, c.y - 0.5 * h)
+    }
+
+    /// Places `node` by its lower-left corner (used by `.pl` loading and by
+    /// the legalizers, which think in corners).
+    pub fn set_lower_left(&mut self, design: &Design, node: NodeId, ll: Point) {
+        let (w, h) = self.dims(design, node);
+        self.set_center(node, Point::new(ll.x + 0.5 * w, ll.y + 0.5 * h));
+    }
+
+    /// Physical position of a pin: node center plus the orientation-
+    /// transformed offset.
+    pub fn pin_position(&self, design: &Design, pin: PinId) -> Point {
+        let p = design.pin(pin);
+        let off = transform::transform_offset(p.offset(), self.orient(p.node()));
+        self.center(p.node()) + off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, NodeKind};
+
+    fn design() -> (Design, NodeId, NodeId) {
+        let mut b = DesignBuilder::new("d");
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let m = b.add_node("m", 20.0, 30.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::new(1.0, 2.0));
+        b.add_pin(n, m, Point::new(-5.0, 0.0));
+        (b.finish().unwrap(), a, m)
+    }
+
+    #[test]
+    fn starts_at_die_center() {
+        let (d, a, _) = design();
+        let pl = Placement::new_centered(&d);
+        assert_eq!(pl.center(a), Point::new(50.0, 50.0));
+        assert_eq!(pl.orient(a), Orient::N);
+        assert_eq!(pl.len(), 2);
+        assert!(!pl.is_empty());
+    }
+
+    #[test]
+    fn rect_follows_orientation() {
+        let (d, _, m) = design();
+        let mut pl = Placement::new_centered(&d);
+        pl.set_center(m, Point::new(50.0, 50.0));
+        assert_eq!(pl.rect(&d, m), Rect::new(40.0, 35.0, 60.0, 65.0));
+        pl.set_orient(m, Orient::E);
+        // 90° rotation swaps dims but keeps the center.
+        assert_eq!(pl.rect(&d, m), Rect::new(35.0, 40.0, 65.0, 60.0));
+    }
+
+    #[test]
+    fn lower_left_round_trip() {
+        let (d, a, _) = design();
+        let mut pl = Placement::new_centered(&d);
+        pl.set_lower_left(&d, a, Point::new(10.0, 20.0));
+        assert_eq!(pl.lower_left(&d, a), Point::new(10.0, 20.0));
+        assert_eq!(pl.center(a), Point::new(12.0, 25.0));
+    }
+
+    #[test]
+    fn pin_positions_rotate_with_node() {
+        let (d, a, _) = design();
+        let mut pl = Placement::new_centered(&d);
+        pl.set_center(a, Point::new(10.0, 10.0));
+        let pin = d.node_pins(a)[0];
+        assert_eq!(pl.pin_position(&d, pin), Point::new(11.0, 12.0));
+        pl.set_orient(a, Orient::S);
+        assert_eq!(pl.pin_position(&d, pin), Point::new(9.0, 8.0));
+        pl.set_orient(a, Orient::FN);
+        assert_eq!(pl.pin_position(&d, pin), Point::new(9.0, 12.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_parts_checks_lengths() {
+        let _ = Placement::from_parts(vec![Point::ORIGIN], vec![]);
+    }
+}

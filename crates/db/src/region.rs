@@ -1,0 +1,139 @@
+use rdp_geom::{Point, Rect};
+
+/// An exclusive fence region of a hierarchical design.
+///
+/// A fence is a set of axis-aligned rectangles. Nodes assigned to the fence
+/// (their [`Node::region`](crate::Node::region) names this region) must be
+/// placed entirely inside one of its parts; nodes *not* assigned to it must
+/// stay out. This matches DEF `REGION ... TYPE FENCE` semantics, which the
+/// hierarchical designs evaluated in the paper use to pin module subcircuits
+/// to floorplan areas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    name: String,
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// Creates a fence from its parts.
+    ///
+    /// Empty rects are dropped; the parts list must end up non-empty for the
+    /// region to be useful (validation enforces this at design-build time).
+    pub fn new(name: impl Into<String>, rects: Vec<Rect>) -> Self {
+        Region {
+            name: name.into(),
+            rects: rects.into_iter().filter(|r| !r.is_empty()).collect(),
+        }
+    }
+
+    /// Region name (unique within a design).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rectangular parts of the fence.
+    #[inline]
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Total fence area (parts are assumed disjoint, as produced by the
+    /// generator and required by validation).
+    pub fn area(&self) -> f64 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// Bounding box over all parts.
+    pub fn bounding_box(&self) -> Rect {
+        self.rects.iter().fold(Rect::empty(), |acc, r| acc.union(*r))
+    }
+
+    /// Whether `p` lies in some part.
+    pub fn contains(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains(p))
+    }
+
+    /// Whether `rect` lies entirely inside a **single** part.
+    ///
+    /// (A cell straddling two abutting parts is considered illegal, which is
+    /// conservative but matches how row segments are carved per part.)
+    pub fn contains_rect(&self, rect: Rect) -> bool {
+        self.rects.iter().any(|r| r.contains_rect(rect))
+    }
+
+    /// The point inside the fence closest to `p`, and the index of the part
+    /// providing it. Returns `None` for a fence with no parts.
+    pub fn closest_point(&self, p: Point) -> Option<(Point, usize)> {
+        self.rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.closest_point(p), i))
+            .min_by(|(a, _), (b, _)| {
+                a.distance(p)
+                    .partial_cmp(&b.distance(p))
+                    .expect("distances are finite")
+            })
+    }
+
+    /// Euclidean distance from `p` to the fence (zero inside).
+    pub fn distance(&self, p: Point) -> f64 {
+        self.rects
+            .iter()
+            .map(|r| r.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_part_fence() -> Region {
+        Region::new(
+            "blkA",
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0), Rect::new(20.0, 0.0, 30.0, 10.0)],
+        )
+    }
+
+    #[test]
+    fn geometry() {
+        let f = two_part_fence();
+        assert_eq!(f.area(), 200.0);
+        assert_eq!(f.bounding_box(), Rect::new(0.0, 0.0, 30.0, 10.0));
+        assert!(f.contains(Point::new(5.0, 5.0)));
+        assert!(f.contains(Point::new(25.0, 5.0)));
+        assert!(!f.contains(Point::new(15.0, 5.0))); // the gap
+    }
+
+    #[test]
+    fn rect_containment_is_per_part() {
+        let f = two_part_fence();
+        assert!(f.contains_rect(Rect::new(1.0, 1.0, 9.0, 9.0)));
+        // Straddles the gap: not contained in any single part.
+        assert!(!f.contains_rect(Rect::new(5.0, 1.0, 25.0, 9.0)));
+    }
+
+    #[test]
+    fn closest_point_picks_nearest_part() {
+        let f = two_part_fence();
+        let (p, idx) = f.closest_point(Point::new(18.0, 5.0)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(p, Point::new(20.0, 5.0));
+        assert_eq!(f.distance(Point::new(18.0, 5.0)), 2.0);
+        assert_eq!(f.distance(Point::new(5.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_parts_are_dropped() {
+        let f = Region::new("x", vec![Rect::new(5.0, 5.0, 5.0, 9.0), Rect::new(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(f.rects().len(), 1);
+    }
+
+    #[test]
+    fn empty_fence_has_no_closest_point() {
+        let f = Region::new("e", vec![]);
+        assert!(f.closest_point(Point::ORIGIN).is_none());
+        assert_eq!(f.distance(Point::ORIGIN), f64::INFINITY);
+    }
+}

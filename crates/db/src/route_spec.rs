@@ -1,0 +1,118 @@
+use crate::NodeId;
+use rdp_geom::Point;
+
+/// A node that blocks routing resources on specific metal layers
+/// (`NumBlockageNodes` records of the `.route` file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerBlockage {
+    /// The (usually fixed) node whose outline blocks routing.
+    pub node: NodeId,
+    /// 1-based metal layers the node blocks.
+    pub layers: Vec<u32>,
+}
+
+/// Global-routing supply information, mirroring the DAC-2012 `.route` file.
+///
+/// The routing fabric is a `grid_x × grid_y` array of gcells ("tiles") of
+/// size `tile_width × tile_height` anchored at `origin`, with `num_layers`
+/// metal layers. Odd/even layers are typically horizontal/vertical only,
+/// expressed by zero entries in the per-layer capacity vectors. Capacities
+/// are in routing *tracks* per gcell edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteSpec {
+    /// Number of gcell columns.
+    pub grid_x: u32,
+    /// Number of gcell rows.
+    pub grid_y: u32,
+    /// Number of metal layers.
+    pub num_layers: u32,
+    /// Per-layer vertical capacity (tracks per gcell edge); zero means the
+    /// layer carries no vertical wires.
+    pub vertical_capacity: Vec<f64>,
+    /// Per-layer horizontal capacity.
+    pub horizontal_capacity: Vec<f64>,
+    /// Per-layer minimum wire width.
+    pub min_wire_width: Vec<f64>,
+    /// Per-layer minimum wire spacing.
+    pub min_wire_spacing: Vec<f64>,
+    /// Per-layer via spacing.
+    pub via_spacing: Vec<f64>,
+    /// Lower-left corner of gcell (0, 0).
+    pub origin: Point,
+    /// Gcell width.
+    pub tile_width: f64,
+    /// Gcell height.
+    pub tile_height: f64,
+    /// Fraction (0..=1) of blocked area that remains routable.
+    pub blockage_porosity: f64,
+    /// Terminals that do not block routing (`NumNiTerminals`), with the
+    /// layer their pin lands on.
+    pub ni_terminals: Vec<(NodeId, u32)>,
+    /// Nodes blocking routing on specific layers.
+    pub blockages: Vec<LayerBlockage>,
+}
+
+impl RouteSpec {
+    /// Sum of horizontal track capacity over all layers — the per-gcell-edge
+    /// supply seen by a 2-D (layer-collapsed) global router.
+    pub fn total_horizontal_capacity(&self) -> f64 {
+        self.horizontal_capacity.iter().sum()
+    }
+
+    /// Sum of vertical track capacity over all layers.
+    pub fn total_vertical_capacity(&self) -> f64 {
+        self.vertical_capacity.iter().sum()
+    }
+
+    /// The wire pitch (width + spacing) of layer `layer` (1-based);
+    /// `None` if out of range.
+    pub fn pitch(&self, layer: u32) -> Option<f64> {
+        let i = layer.checked_sub(1)? as usize;
+        match (self.min_wire_width.get(i), self.min_wire_spacing.get(i)) {
+            (Some(w), Some(s)) => Some(w + s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RouteSpec {
+        RouteSpec {
+            grid_x: 10,
+            grid_y: 8,
+            num_layers: 4,
+            vertical_capacity: vec![0.0, 10.0, 0.0, 20.0],
+            horizontal_capacity: vec![10.0, 0.0, 20.0, 0.0],
+            min_wire_width: vec![1.0; 4],
+            min_wire_spacing: vec![1.0; 4],
+            via_spacing: vec![0.0; 4],
+            origin: Point::new(0.0, 0.0),
+            tile_width: 10.0,
+            tile_height: 10.0,
+            blockage_porosity: 0.0,
+            ni_terminals: vec![],
+            blockages: vec![LayerBlockage {
+                node: NodeId(3),
+                layers: vec![1, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn capacity_totals() {
+        let s = spec();
+        assert_eq!(s.total_horizontal_capacity(), 30.0);
+        assert_eq!(s.total_vertical_capacity(), 30.0);
+    }
+
+    #[test]
+    fn pitch_lookup() {
+        let s = spec();
+        assert_eq!(s.pitch(1), Some(2.0));
+        assert_eq!(s.pitch(0), None);
+        assert_eq!(s.pitch(5), None);
+    }
+}

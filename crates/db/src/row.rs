@@ -1,0 +1,107 @@
+use rdp_geom::{Interval, Rect};
+
+/// A standard-cell placement row (Bookshelf `.scl` `CoreRow`).
+///
+/// Rows are horizontal strips of sites; legal standard cells sit with their
+/// bottom edge on `y()`, left edge aligned to a site boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Row {
+    y: f64,
+    height: f64,
+    site_width: f64,
+    x_min: f64,
+    num_sites: u32,
+}
+
+impl Row {
+    /// Creates a row at bottom coordinate `y` spanning
+    /// `[x_min, x_min + num_sites * site_width)`.
+    pub fn new(y: f64, height: f64, site_width: f64, x_min: f64, num_sites: u32) -> Self {
+        Row {
+            y,
+            height,
+            site_width,
+            x_min,
+            num_sites,
+        }
+    }
+
+    /// Bottom edge of the row.
+    #[inline]
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+
+    /// Row (and hence standard-cell) height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Width of one placement site.
+    #[inline]
+    pub fn site_width(&self) -> f64 {
+        self.site_width
+    }
+
+    /// Left edge of the row.
+    #[inline]
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Number of sites in the row.
+    #[inline]
+    pub fn num_sites(&self) -> u32 {
+        self.num_sites
+    }
+
+    /// Right edge of the row.
+    #[inline]
+    pub fn x_max(&self) -> f64 {
+        self.x_min + self.site_width * f64::from(self.num_sites)
+    }
+
+    /// Horizontal extent as an [`Interval`].
+    #[inline]
+    pub fn span(&self) -> Interval {
+        Interval::new(self.x_min, self.x_max())
+    }
+
+    /// The row's covering rectangle.
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        Rect::new(self.x_min, self.y, self.x_max(), self.y + self.height)
+    }
+
+    /// Snaps an x coordinate to the nearest site boundary within the row.
+    pub fn snap_x(&self, x: f64) -> f64 {
+        let clamped = rdp_geom::clamp(x, self.x_min, self.x_max());
+        let sites = ((clamped - self.x_min) / self.site_width).round();
+        self.x_min + sites * self.site_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extents() {
+        let r = Row::new(10.0, 10.0, 2.0, 5.0, 50);
+        assert_eq!(r.x_max(), 105.0);
+        assert_eq!(r.span(), Interval::new(5.0, 105.0));
+        assert_eq!(r.rect(), Rect::new(5.0, 10.0, 105.0, 20.0));
+    }
+
+    #[test]
+    fn snapping() {
+        let r = Row::new(0.0, 10.0, 2.0, 1.0, 10);
+        assert_eq!(r.snap_x(4.9), 5.0);
+        assert_eq!(r.snap_x(4.0), 5.0); // 4.0 -> 1.5 sites -> rounds to 2
+        assert_eq!(r.snap_x(3.9), 3.0);
+        // Out-of-row coordinates clamp to the row before snapping.
+        assert_eq!(r.snap_x(-10.0), 1.0);
+        assert_eq!(r.snap_x(1000.0), 21.0);
+    }
+}

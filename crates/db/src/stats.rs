@@ -1,0 +1,244 @@
+//! Design statistics — the quantities benchmark-statistics tables report.
+
+use crate::Design;
+use std::fmt;
+
+/// Summary statistics of a [`Design`], as printed in benchmark tables
+/// (experiment **T1** regenerates the suite-statistics table from these).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStats {
+    /// Design name.
+    pub name: String,
+    /// Total node count (movable + fixed + terminals).
+    pub num_nodes: usize,
+    /// Movable standard cells.
+    pub num_std_cells: usize,
+    /// Movable macros.
+    pub num_macros: usize,
+    /// Fixed area-blocking nodes.
+    pub num_fixed: usize,
+    /// Non-area terminals (`terminal_NI`).
+    pub num_terminals_ni: usize,
+    /// Net count.
+    pub num_nets: usize,
+    /// Pin count.
+    pub num_pins: usize,
+    /// Mean net degree.
+    pub avg_net_degree: f64,
+    /// Fence-region count.
+    pub num_regions: usize,
+    /// Nodes constrained to a fence.
+    pub num_fenced_nodes: usize,
+    /// Movable area / (row area − fixed area inside rows): the placement
+    /// *utilization* the density target is measured against.
+    pub utilization: f64,
+    /// Share of movable area contributed by macros.
+    pub macro_area_share: f64,
+    /// Whether routing supply information is present.
+    pub has_route: bool,
+}
+
+impl DesignStats {
+    /// Computes statistics for `design`.
+    pub fn of(design: &Design) -> Self {
+        let mut num_std_cells = 0;
+        let mut num_macros = 0;
+        let mut num_fixed = 0;
+        let mut num_terminals_ni = 0;
+        let mut movable_area = 0.0;
+        let mut macro_area = 0.0;
+        let mut num_fenced = 0;
+        for n in design.nodes() {
+            match n.kind() {
+                crate::NodeKind::Movable => {
+                    movable_area += n.area();
+                    if n.is_macro() {
+                        num_macros += 1;
+                        macro_area += n.area();
+                    } else {
+                        num_std_cells += 1;
+                    }
+                }
+                crate::NodeKind::Fixed => num_fixed += 1,
+                crate::NodeKind::FixedNi => num_terminals_ni += 1,
+            }
+            if n.region().is_some() {
+                num_fenced += 1;
+            }
+        }
+        let row_area = design.row_area();
+        let num_nets = design.nets().len();
+        let num_pins = design.pins().len();
+        DesignStats {
+            name: design.name().to_owned(),
+            num_nodes: design.nodes().len(),
+            num_std_cells,
+            num_macros,
+            num_fixed,
+            num_terminals_ni,
+            num_nets,
+            num_pins,
+            avg_net_degree: if num_nets == 0 {
+                0.0
+            } else {
+                num_pins as f64 / num_nets as f64
+            },
+            num_regions: design.regions().len(),
+            num_fenced_nodes: num_fenced,
+            utilization: if row_area > 0.0 { movable_area / row_area } else { 0.0 },
+            macro_area_share: if movable_area > 0.0 { macro_area / movable_area } else { 0.0 },
+            has_route: design.route_spec().is_some(),
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes ({} cells, {} macros, {} fixed, {} NI), {} nets ({:.2} avg deg), \
+             {} regions ({} fenced), util {:.1}%, macro share {:.1}%",
+            self.name,
+            self.num_nodes,
+            self.num_std_cells,
+            self.num_macros,
+            self.num_fixed,
+            self.num_terminals_ni,
+            self.num_nets,
+            self.avg_net_degree,
+            self.num_regions,
+            self.num_fenced_nodes,
+            100.0 * self.utilization,
+            100.0 * self.macro_area_share,
+        )
+    }
+}
+
+/// Rasterizes the placement-area density onto an `nx × ny` grid: each cell
+/// of the result holds `occupied area / bin area` for movable plus fixed
+/// area-blocking nodes. Row-major from the bottom-left bin — the data
+/// behind placement-density (as opposed to routing-congestion) heatmaps.
+pub fn density_map(
+    design: &Design,
+    placement: &crate::Placement,
+    nx: usize,
+    ny: usize,
+) -> Vec<Vec<f64>> {
+    let die = design.die();
+    let nx = nx.max(1);
+    let ny = ny.max(1);
+    let bw = die.width() / nx as f64;
+    let bh = die.height() / ny as f64;
+    let mut map = vec![vec![0.0f64; nx]; ny];
+    for id in design.node_ids() {
+        if !design.node(id).kind().blocks_area() {
+            continue;
+        }
+        let r = placement.rect(design, id);
+        let x0 = (((r.xl - die.xl) / bw).floor().max(0.0) as usize).min(nx - 1);
+        let x1 = (((r.xh - die.xl) / bw).floor().max(0.0) as usize).min(nx - 1);
+        let y0 = (((r.yl - die.yl) / bh).floor().max(0.0) as usize).min(ny - 1);
+        let y1 = (((r.yh - die.yl) / bh).floor().max(0.0) as usize).min(ny - 1);
+        for (by, row) in map.iter_mut().enumerate().take(y1 + 1).skip(y0) {
+            for (bx, cell) in row.iter_mut().enumerate().take(x1 + 1).skip(x0) {
+                let bin = rdp_geom::Rect::new(
+                    die.xl + bx as f64 * bw,
+                    die.yl + by as f64 * bh,
+                    die.xl + (bx as f64 + 1.0) * bw,
+                    die.yl + (by as f64 + 1.0) * bh,
+                );
+                *cell += bin.overlap_area(r) / (bw * bh);
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, NodeKind};
+    use rdp_geom::{Point, Rect};
+
+    #[test]
+    fn density_map_conserves_area() {
+        let mut b = DesignBuilder::new("dm");
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 20.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 10.0, 10.0, NodeKind::Movable).unwrap();
+        let t = b.add_node("t", 5.0, 5.0, NodeKind::FixedNi).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::ORIGIN);
+        b.add_pin(n, t, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = crate::Placement::new_centered(&d);
+        pl.set_center(a, Point::new(30.0, 30.0));
+        pl.set_center(c, Point::new(70.0, 75.0));
+        let map = density_map(&d, &pl, 10, 10);
+        let total: f64 = map.iter().flatten().sum::<f64>() * 100.0; // bin area 100
+        // NI terminal does not count; 200 + 100 area expected.
+        assert!((total - 300.0).abs() < 1e-9, "total {total}");
+        // Cell `a` ([20,40]x[25,35]) half-covers bin (2,2): 10x5 of 100.
+        assert!((map[2][2] - 0.5).abs() < 1e-9, "got {}", map[2][2]);
+        // An empty corner reads zero.
+        assert_eq!(map[0][9], 0.0);
+    }
+
+    #[test]
+    fn density_map_clamps_outside_nodes() {
+        let mut b = DesignBuilder::new("dm2");
+        b.die(Rect::new(0.0, 0.0, 50.0, 50.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 50);
+        let a = b.add_node("a", 10.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 10.0, 10.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = crate::Placement::new_centered(&d);
+        pl.set_center(a, Point::new(-100.0, -100.0)); // fully off-die
+        pl.set_center(c, Point::new(25.0, 25.0));
+        let map = density_map(&d, &pl, 5, 5);
+        // No panic, and the off-die cell contributes nothing.
+        let total: f64 = map.iter().flatten().sum::<f64>() * 100.0;
+        assert!((total - 100.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let mut b = DesignBuilder::new("s");
+        b.die(Rect::new(0.0, 0.0, 100.0, 20.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        b.add_row(10.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 10.0, 10.0, NodeKind::Movable).unwrap();
+        let m = b.add_node("m", 10.0, 20.0, NodeKind::Movable).unwrap();
+        let f = b.add_node("f", 5.0, 5.0, NodeKind::Fixed).unwrap();
+        let t = b.add_node("t", 1.0, 1.0, NodeKind::FixedNi).unwrap();
+        let r = b.add_region("R", vec![Rect::new(0.0, 0.0, 50.0, 20.0)]);
+        b.assign_region(a, r);
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, m, Point::ORIGIN);
+        b.add_pin(n, f, Point::ORIGIN);
+        b.add_pin(n, t, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let s = DesignStats::of(&d);
+        assert_eq!(s.num_nodes, 4);
+        assert_eq!(s.num_std_cells, 1);
+        assert_eq!(s.num_macros, 1);
+        assert_eq!(s.num_fixed, 1);
+        assert_eq!(s.num_terminals_ni, 1);
+        assert_eq!(s.num_nets, 1);
+        assert_eq!(s.num_pins, 4);
+        assert_eq!(s.avg_net_degree, 4.0);
+        assert_eq!(s.num_regions, 1);
+        assert_eq!(s.num_fenced_nodes, 1);
+        assert!((s.utilization - 300.0 / 2000.0).abs() < 1e-12);
+        assert!((s.macro_area_share - 200.0 / 300.0).abs() < 1e-12);
+        assert!(!s.has_route);
+        let line = s.to_string();
+        assert!(line.contains("4 nodes") && line.contains("1 macros"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Placement legality checking.
+//!
+//! The checker enforces the DAC-2012 legality rules the legalizer must
+//! establish: on-die, row- and site-aligned standard cells, no overlap among
+//! area-blocking nodes, and fence-region containment/exclusion for
+//! hierarchical designs. It reports *all* violations (up to a cap) rather
+//! than failing fast, which makes test diagnostics and the evaluator's
+//! reports far more useful.
+
+use crate::{Design, NodeId, Placement, RegionId};
+use rdp_geom::Rect;
+
+/// Tolerance for coordinate comparisons after snapping arithmetic.
+pub const EPS: f64 = 1e-6;
+
+/// A single legality violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Node extends beyond the die.
+    OutsideDie {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Standard cell's bottom edge is not on a row, or the cell spills out
+    /// of the row span.
+    OffRow {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// Standard cell's left edge is not on a site boundary.
+    OffSite {
+        /// The offending node.
+        node: NodeId,
+        /// Its left-edge coordinate.
+        x: f64,
+    },
+    /// Two area-blocking nodes overlap.
+    Overlap {
+        /// First node of the pair.
+        a: NodeId,
+        /// Second node of the pair.
+        b: NodeId,
+        /// Overlap area.
+        area: f64,
+    },
+    /// A fenced node lies (partly) outside its region.
+    OutsideFence {
+        /// The offending node.
+        node: NodeId,
+        /// The fence it belongs to.
+        region: RegionId,
+    },
+    /// An unfenced movable node intrudes into an exclusive fence.
+    InsideForeignFence {
+        /// The offending node.
+        node: NodeId,
+        /// The fence it intrudes into.
+        region: RegionId,
+        /// Intruding area.
+        area: f64,
+    },
+    /// A standard cell has an orientation other than `N`/`FN` (row-flipping
+    /// is not modeled; macros may take any orientation).
+    BadOrientation {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+/// Outcome of a legality check.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LegalityReport {
+    /// Violations found (capped at [`check_legal`]'s `max_violations`).
+    pub violations: Vec<Violation>,
+    /// Total overlap area among area-blocking nodes.
+    pub total_overlap_area: f64,
+    /// Number of fence violations (both directions).
+    pub fence_violations: usize,
+}
+
+impl LegalityReport {
+    /// `true` when no violations were found.
+    pub fn is_legal(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks `placement` against all legality rules of `design`.
+///
+/// At most `max_violations` are recorded (counting continues for the
+/// aggregate fields). Use a small cap in hot paths; `usize::MAX` in tests.
+pub fn check_legal(design: &Design, placement: &Placement, max_violations: usize) -> LegalityReport {
+    let mut report = LegalityReport::default();
+    let die = design.die();
+    let push = |report: &mut LegalityReport, v: Violation| {
+        if report.violations.len() < max_violations {
+            report.violations.push(v);
+        }
+    };
+
+    // Per-node rules.
+    for id in design.node_ids() {
+        let node = design.node(id);
+        if !node.is_movable() {
+            continue;
+        }
+        let r = placement.rect(design, id);
+        if !die.contains_rect(r) {
+            push(&mut report, Violation::OutsideDie { node: id });
+        }
+        if node.is_std_cell() {
+            let orient = placement.orient(id);
+            if orient.swaps_dimensions() || orient.quarter_turns() == 2 {
+                push(&mut report, Violation::BadOrientation { node: id });
+            }
+            // Bottom edge on a row whose span contains the cell.
+            let on_row = design.rows().iter().find(|row| {
+                (row.y() - r.yl).abs() <= EPS
+                    && r.xl >= row.x_min() - EPS
+                    && r.xh <= row.x_max() + EPS
+            });
+            match on_row {
+                None => push(&mut report, Violation::OffRow { node: id }),
+                Some(row) => {
+                    let sites = (r.xl - row.x_min()) / row.site_width();
+                    if (sites - sites.round()).abs() > EPS {
+                        push(&mut report, Violation::OffSite { node: id, x: r.xl });
+                    }
+                }
+            }
+        }
+        // Fence containment / exclusion.
+        match node.region() {
+            Some(reg) => {
+                if !design.region(reg).contains_rect(r.inflated(-EPS)) {
+                    push(&mut report, Violation::OutsideFence { node: id, region: reg });
+                    report.fence_violations += 1;
+                }
+            }
+            None => {
+                for (ri, region) in design.regions().iter().enumerate() {
+                    let ov: f64 = region.rects().iter().map(|fr| fr.overlap_area(r)).sum();
+                    if ov > EPS {
+                        push(
+                            &mut report,
+                            Violation::InsideForeignFence {
+                                node: id,
+                                region: RegionId::from_index(ri),
+                                area: ov,
+                            },
+                        );
+                        report.fence_violations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pairwise overlap among area-blocking nodes via an x-sweep. Fixed
+    // nodes with `.shapes` block only their parts (a cell may legally sit
+    // in the notch of an L-shaped block).
+    let mut rects: Vec<(NodeId, Rect)> = Vec::new();
+    for id in design.node_ids() {
+        if !design.node(id).kind().blocks_area() {
+            continue;
+        }
+        if design.node(id).is_movable() {
+            rects.push((id, placement.rect(design, id)));
+        } else {
+            for r in design.blocking_rects(id, placement) {
+                rects.push((id, r));
+            }
+        }
+    }
+    rects.sort_by(|a, b| a.1.xl.partial_cmp(&b.1.xl).expect("finite coords"));
+    for i in 0..rects.len() {
+        let (ia, ra) = rects[i];
+        for &(ib, rb) in rects.iter().skip(i + 1) {
+            if rb.xl >= ra.xh - EPS {
+                break;
+            }
+            let ov = ra.overlap_area(rb);
+            if ov > EPS {
+                report.total_overlap_area += ov;
+                push(&mut report, Violation::Overlap { a: ia, b: ib, area: ov });
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DesignBuilder, NodeKind};
+    use rdp_geom::{Orient, Point, Rect};
+
+    fn design_with_fence() -> Design {
+        let mut b = DesignBuilder::new("v");
+        b.die(Rect::new(0.0, 0.0, 100.0, 20.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        b.add_row(10.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 4.0, 10.0, NodeKind::Movable).unwrap();
+        let _f = b.add_node("f", 10.0, 10.0, NodeKind::Fixed).unwrap();
+        let r = b.add_region("R", vec![Rect::new(50.0, 0.0, 100.0, 20.0)]);
+        b.assign_region(a, r);
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::ORIGIN);
+        b.finish().unwrap()
+    }
+
+    fn legal_placement(d: &Design) -> Placement {
+        let mut pl = Placement::new_centered(d);
+        let a = d.find_node("a").unwrap();
+        let c = d.find_node("c").unwrap();
+        let f = d.find_node("f").unwrap();
+        pl.set_lower_left(d, a, Point::new(60.0, 0.0)); // inside fence, row 0
+        pl.set_lower_left(d, c, Point::new(10.0, 10.0)); // outside fence, row 1
+        pl.set_lower_left(d, f, Point::new(20.0, 0.0));
+        pl
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let d = design_with_fence();
+        let pl = legal_placement(&d);
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert!(rep.is_legal(), "unexpected violations: {:?}", rep.violations);
+    }
+
+    #[test]
+    fn detects_off_row_and_off_site() {
+        let d = design_with_fence();
+        let mut pl = legal_placement(&d);
+        let c = d.find_node("c").unwrap();
+        pl.set_lower_left(&d, c, Point::new(10.5, 10.0)); // off-site
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OffSite { .. })));
+        pl.set_lower_left(&d, c, Point::new(10.0, 7.0)); // off-row
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OffRow { .. })));
+    }
+
+    #[test]
+    fn detects_overlap_with_fixed() {
+        let d = design_with_fence();
+        let mut pl = legal_placement(&d);
+        let c = d.find_node("c").unwrap();
+        pl.set_lower_left(&d, c, Point::new(22.0, 0.0)); // on top of fixed f
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert!(rep.total_overlap_area > 0.0);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. })));
+    }
+
+    #[test]
+    fn detects_fence_violations_both_ways() {
+        let d = design_with_fence();
+        let mut pl = legal_placement(&d);
+        let a = d.find_node("a").unwrap();
+        let c = d.find_node("c").unwrap();
+        pl.set_lower_left(&d, a, Point::new(10.0, 0.0)); // fenced node escapes
+        pl.set_lower_left(&d, c, Point::new(60.0, 10.0)); // foreign node intrudes
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert_eq!(rep.fence_violations, 2);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutsideFence { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::InsideForeignFence { .. })));
+    }
+
+    #[test]
+    fn detects_outside_die_and_bad_orientation() {
+        let d = design_with_fence();
+        let mut pl = legal_placement(&d);
+        let c = d.find_node("c").unwrap();
+        pl.set_lower_left(&d, c, Point::new(98.0, 10.0)); // spills right edge
+        pl.set_orient(c, Orient::E);
+        let rep = check_legal(&d, &pl, usize::MAX);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutsideDie { .. })));
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadOrientation { .. })));
+    }
+
+    #[test]
+    fn violation_cap_respected() {
+        let d = design_with_fence();
+        let mut pl = legal_placement(&d);
+        let a = d.find_node("a").unwrap();
+        let c = d.find_node("c").unwrap();
+        pl.set_lower_left(&d, a, Point::new(-5.0, 3.0));
+        pl.set_lower_left(&d, c, Point::new(-5.0, 3.0));
+        let rep = check_legal(&d, &pl, 1);
+        assert_eq!(rep.violations.len(), 1);
+    }
+}

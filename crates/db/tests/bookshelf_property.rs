@@ -1,0 +1,213 @@
+//! Property tests on the Bookshelf layer: random designs must survive the
+//! write→read round trip with identical semantics, and the parser must
+//! reject malformed inputs with positioned errors instead of panicking.
+
+use proptest::prelude::*;
+use rdp_db::{bookshelf, DesignBuilder, NodeKind, Placement};
+use rdp_geom::{Orient, Point, Rect};
+
+fn arb_design() -> impl Strategy<Value = (u64, usize, usize, usize)> {
+    (0u64..1000, 2usize..30, 0usize..4, 1usize..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_design_round_trips((seed, n_cells, n_macros, n_nets) in arb_design()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = DesignBuilder::new(format!("prop{seed}"));
+        b.die(Rect::new(0.0, 0.0, 400.0, 200.0));
+        for r in 0..20 {
+            b.add_row(f64::from(r) * 10.0, 10.0, 1.0, 0.0, 400);
+        }
+        let mut ids = Vec::new();
+        for i in 0..n_cells {
+            let w = f64::from(rng.gen_range(1..6));
+            ids.push(b.add_node(format!("c{i}"), w, 10.0, NodeKind::Movable).unwrap());
+        }
+        for i in 0..n_macros {
+            ids.push(
+                b.add_node(
+                    format!("m{i}"),
+                    f64::from(rng.gen_range(10..40)),
+                    f64::from(rng.gen_range(2..6)) * 10.0,
+                    NodeKind::Movable,
+                )
+                .unwrap(),
+            );
+        }
+        for i in 0..n_nets {
+            let net = b.add_net(format!("n{i}"), rng.gen_range(1..4) as f64);
+            let deg = rng.gen_range(2..5).min(ids.len());
+            for k in 0..deg {
+                let node = ids[(i * 7 + k * 13) % ids.len()];
+                b.add_pin(
+                    net,
+                    node,
+                    Point::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)),
+                );
+            }
+        }
+        let design = b.finish().unwrap();
+        let mut pl = Placement::new_centered(&design);
+        for &id in &ids {
+            pl.set_center(
+                id,
+                Point::new(rng.gen_range(20.0..380.0), rng.gen_range(20.0..180.0)),
+            );
+            if design.node(id).is_macro() && rng.gen_bool(0.5) {
+                pl.set_orient(id, Orient::ALL[rng.gen_range(0..8)]);
+            }
+        }
+
+        let dir = std::env::temp_dir().join(format!("rdp_prop_rt_{seed}_{n_cells}_{n_nets}"));
+        bookshelf::write_design(&design, &pl, &dir).unwrap();
+        let (d2, pl2) = bookshelf::read_design(dir.join(format!("prop{seed}.aux"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(d2.nodes().len(), design.nodes().len());
+        prop_assert_eq!(d2.nets().len(), design.nets().len());
+        prop_assert_eq!(d2.pins().len(), design.pins().len());
+        let h1 = rdp_db::hpwl::total_hpwl(&design, &pl);
+        let h2 = rdp_db::hpwl::total_hpwl(&d2, &pl2);
+        prop_assert!((h1 - h2).abs() <= 1e-3 * (1.0 + h1), "HPWL {h1} vs {h2}");
+        for id in design.node_ids() {
+            prop_assert_eq!(pl2.orient(id), pl.orient(id));
+        }
+    }
+}
+
+// --- Malformed-input rejection (failure injection) ---
+
+fn write_benchmark(dir: &std::path::Path, files: &[(&str, &str)]) {
+    std::fs::create_dir_all(dir).unwrap();
+    for (name, contents) in files {
+        std::fs::write(dir.join(name), contents).unwrap();
+    }
+}
+
+const GOOD_SCL: &str = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\nCoordinate : 0\nHeight : 10\nSitewidth : 1\nSitespacing : 1\nSubrowOrigin : 0 NumSites : 50\nEnd\n";
+
+#[test]
+fn rejects_bad_node_dimensions() {
+    let dir = std::env::temp_dir().join("rdp_mal_dim");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n"),
+            ("x.nodes", "UCLA nodes 1.0\na -3 10\n"),
+            ("x.nets", "UCLA nets 1.0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", GOOD_SCL),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("invalid dimensions"), "got: {err}");
+}
+
+#[test]
+fn rejects_unknown_node_flag() {
+    let dir = std::env::temp_dir().join("rdp_mal_flag");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10 wobbly\n"),
+            ("x.nets", "UCLA nets 1.0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", GOOD_SCL),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("unknown node flag") && msg.contains("x.nodes:2"), "got: {msg}");
+}
+
+#[test]
+fn rejects_truncated_net() {
+    let dir = std::env::temp_dir().join("rdp_mal_trunc");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10\nb 3 10\n"),
+            ("x.nets", "UCLA nets 1.0\nNetDegree : 3 n0\na B : 0 0\nb B : 0 0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", GOOD_SCL),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("truncated"), "got: {err}");
+}
+
+#[test]
+fn rejects_incomplete_core_row() {
+    let dir = std::env::temp_dir().join("rdp_mal_row");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10\nb 3 10\n"),
+            ("x.nets", "UCLA nets 1.0\nNetDegree : 2 n0\na B : 0 0\nb B : 0 0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", "UCLA scl 1.0\nCoreRow Horizontal\nCoordinate : 0\nEnd\n"),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("CoreRow missing"), "got: {err}");
+}
+
+#[test]
+fn rejects_bad_orientation_in_pl() {
+    let dir = std::env::temp_dir().join("rdp_mal_orient");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10\nb 3 10\n"),
+            ("x.nets", "UCLA nets 1.0\nNetDegree : 2 n0\na B : 0 0\nb B : 0 0\n"),
+            ("x.pl", "UCLA pl 1.0\na 0 0 : Q7\n"),
+            ("x.scl", GOOD_SCL),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("invalid orientation"), "got: {err}");
+}
+
+#[test]
+fn rejects_route_without_grid() {
+    let dir = std::env::temp_dir().join("rdp_mal_route");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl x.route\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10\nb 3 10\n"),
+            ("x.nets", "UCLA nets 1.0\nNetDegree : 2 n0\na B : 0 0\nb B : 0 0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", GOOD_SCL),
+            ("x.route", "route 1.0\nTileSize : 10 10\n"),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("missing Grid"), "got: {err}");
+}
+
+#[test]
+fn rejects_region_with_unknown_member() {
+    let dir = std::env::temp_dir().join("rdp_mal_region");
+    write_benchmark(
+        &dir,
+        &[
+            ("x.aux", "RowBasedPlacement : x.nodes x.nets x.pl x.scl x.regions\n"),
+            ("x.nodes", "UCLA nodes 1.0\na 3 10\nb 3 10\n"),
+            ("x.nets", "UCLA nets 1.0\nNetDegree : 2 n0\na B : 0 0\nb B : 0 0\n"),
+            ("x.pl", "UCLA pl 1.0\n"),
+            ("x.scl", GOOD_SCL),
+            ("x.regions", "rdp regions 1.0\nRegion : R\nRect : 0 0 10 10\nMember : GHOST\nEnd\n"),
+        ],
+    );
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    assert!(err.to_string().contains("GHOST"), "got: {err}");
+}

@@ -1,0 +1,192 @@
+//! Round-trip tests: a design written by the Bookshelf writer must parse
+//! back identical in every modeled respect.
+
+use rdp_db::{bookshelf, DesignBuilder, LayerBlockage, NodeKind, Placement, RouteSpec};
+use rdp_geom::{Orient, Point, Rect};
+
+fn build_rich_design() -> (rdp_db::Design, Placement) {
+    let mut b = DesignBuilder::new("rt");
+    b.die(Rect::new(0.0, 0.0, 200.0, 100.0));
+    for i in 0..10 {
+        b.add_row(f64::from(i) * 10.0, 10.0, 2.0, 0.0, 100);
+    }
+    let a = b.add_node("cell_a", 4.0, 10.0, NodeKind::Movable).unwrap();
+    let c = b.add_node("cell_c", 6.0, 10.0, NodeKind::Movable).unwrap();
+    let m = b.add_node("macro_m", 30.0, 40.0, NodeKind::Movable).unwrap();
+    let f = b.add_node("blk_f", 20.0, 20.0, NodeKind::Fixed).unwrap();
+    let t = b.add_node("io_t", 1.0, 1.0, NodeKind::FixedNi).unwrap();
+
+    let n1 = b.add_net("n1", 1.0);
+    b.add_pin(n1, a, Point::new(1.0, -2.5));
+    b.add_pin(n1, c, Point::new(0.0, 0.0));
+    b.add_pin(n1, m, Point::new(-10.0, 15.0));
+    let n2 = b.add_net("n2", 2.5);
+    b.add_pin(n2, c, Point::new(2.0, 4.0));
+    b.add_pin(n2, t, Point::new(0.0, 0.0));
+
+    let r = b.add_region(
+        "moduleA",
+        vec![Rect::new(100.0, 0.0, 200.0, 50.0), Rect::new(100.0, 50.0, 150.0, 100.0)],
+    );
+    b.assign_region(a, r);
+
+    b.route_spec(RouteSpec {
+        grid_x: 20,
+        grid_y: 10,
+        num_layers: 4,
+        vertical_capacity: vec![0.0, 20.0, 0.0, 40.0],
+        horizontal_capacity: vec![20.0, 0.0, 40.0, 0.0],
+        min_wire_width: vec![1.0, 1.0, 2.0, 2.0],
+        min_wire_spacing: vec![1.0, 1.0, 2.0, 2.0],
+        via_spacing: vec![0.0; 4],
+        origin: Point::new(0.0, 0.0),
+        tile_width: 10.0,
+        tile_height: 10.0,
+        blockage_porosity: 0.1,
+        ni_terminals: vec![(t, 1)],
+        blockages: vec![LayerBlockage { node: f, layers: vec![1, 3] }],
+    });
+
+    let design = b.finish().unwrap();
+    let mut pl = Placement::new_centered(&design);
+    pl.set_lower_left(&design, a, Point::new(110.0, 20.0));
+    pl.set_lower_left(&design, c, Point::new(10.0, 30.0));
+    pl.set_orient(m, Orient::FE);
+    pl.set_lower_left(&design, m, Point::new(50.0, 40.0));
+    pl.set_lower_left(&design, f, Point::new(0.0, 80.0));
+    pl.set_lower_left(&design, t, Point::new(199.0, 0.0));
+    (design, pl)
+}
+
+#[test]
+fn full_round_trip_preserves_everything() {
+    let (design, pl) = build_rich_design();
+    let dir = std::env::temp_dir().join("rdp_rt_test");
+    bookshelf::write_design(&design, &pl, &dir).unwrap();
+    let (d2, pl2) = bookshelf::read_design(dir.join("rt.aux")).unwrap();
+
+    // Nodes.
+    assert_eq!(d2.nodes().len(), design.nodes().len());
+    for (n1, n2) in design.nodes().iter().zip(d2.nodes()) {
+        assert_eq!(n1.name(), n2.name());
+        assert_eq!(n1.width(), n2.width());
+        assert_eq!(n1.height(), n2.height());
+        assert_eq!(n1.kind(), n2.kind());
+        assert_eq!(n1.is_macro(), n2.is_macro());
+    }
+
+    // Nets & pins.
+    assert_eq!(d2.nets().len(), design.nets().len());
+    for (e1, e2) in design.nets().iter().zip(d2.nets()) {
+        assert_eq!(e1.name(), e2.name());
+        assert_eq!(e1.weight(), e2.weight());
+        assert_eq!(e1.degree(), e2.degree());
+    }
+    for (p1, p2) in design.pins().iter().zip(d2.pins()) {
+        assert_eq!(p1.node(), p2.node());
+        assert_eq!(p1.net(), p2.net());
+        assert!((p1.offset() - p2.offset()).norm() < 1e-3);
+    }
+
+    // Rows.
+    assert_eq!(d2.rows().len(), design.rows().len());
+    for (r1, r2) in design.rows().iter().zip(d2.rows()) {
+        assert_eq!(r1, r2);
+    }
+
+    // Regions.
+    assert_eq!(d2.regions().len(), 1);
+    assert_eq!(d2.regions()[0].rects().len(), 2);
+    let a2 = d2.find_node("cell_a").unwrap();
+    assert!(d2.node(a2).region().is_some());
+    let c2 = d2.find_node("cell_c").unwrap();
+    assert!(d2.node(c2).region().is_none());
+
+    // Route spec.
+    let spec = d2.route_spec().expect("route spec survives");
+    assert_eq!(spec.grid_x, 20);
+    assert_eq!(spec.num_layers, 4);
+    assert_eq!(spec.vertical_capacity, vec![0.0, 20.0, 0.0, 40.0]);
+    assert_eq!(spec.blockage_porosity, 0.1);
+    assert_eq!(spec.ni_terminals.len(), 1);
+    assert_eq!(spec.blockages.len(), 1);
+    assert_eq!(spec.blockages[0].layers, vec![1, 3]);
+
+    // Placement (positions, orientations) and derived wirelength.
+    for id in design.node_ids() {
+        assert!(
+            (pl.center(id) - pl2.center(id)).norm() < 1e-4,
+            "node {} moved",
+            design.node(id).name()
+        );
+        assert_eq!(pl.orient(id), pl2.orient(id));
+    }
+    let h1 = rdp_db::hpwl::total_hpwl(&design, &pl);
+    let h2 = rdp_db::hpwl::total_hpwl(&d2, &pl2);
+    assert!((h1 - h2).abs() < 1e-3, "hpwl drifted: {h1} vs {h2}");
+}
+
+#[test]
+fn read_rejects_missing_member_file() {
+    let dir = std::env::temp_dir().join("rdp_rt_badaux");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("x.aux"), "RowBasedPlacement : x.nodes x.pl\n").unwrap();
+    let err = bookshelf::read_design(dir.join("x.aux")).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("i/o error") || msg.contains("references no"), "got: {msg}");
+}
+
+#[test]
+fn read_rejects_unknown_pin_node() {
+    let dir = std::env::temp_dir().join("rdp_rt_badnet");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("y.aux"),
+        "RowBasedPlacement : y.nodes y.nets y.pl y.scl\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("y.nodes"), "UCLA nodes 1.0\nNumNodes : 1\nNumTerminals : 0\na 2 10\n").unwrap();
+    std::fs::write(
+        dir.join("y.nets"),
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n\na B : 0 0\nGHOST B : 0 0\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("y.pl"), "UCLA pl 1.0\na 0 0 : N\n").unwrap();
+    std::fs::write(
+        dir.join("y.scl"),
+        "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\nCoordinate : 0\nHeight : 10\nSitewidth : 1\nSitespacing : 1\nSubrowOrigin : 0 NumSites : 10\nEnd\n",
+    )
+    .unwrap();
+    let err = bookshelf::read_design(dir.join("y.aux")).unwrap_err();
+    assert!(err.to_string().contains("unknown node `GHOST`"), "got: {err}");
+}
+
+#[test]
+fn degenerate_nets_are_dropped_on_read() {
+    let dir = std::env::temp_dir().join("rdp_rt_dangling");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("z.aux"),
+        "RowBasedPlacement : z.nodes z.nets z.pl z.scl\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("z.nodes"),
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 2 10\nb 2 10\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("z.nets"),
+        "UCLA nets 1.0\nNumNets : 2\nNumPins : 3\nNetDegree : 1 lone\na B : 0 0\nNetDegree : 2 pair\na B : 0 0\nb B : 0 0\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("z.pl"), "UCLA pl 1.0\na 0 0 : N\nb 4 0 : N\n").unwrap();
+    std::fs::write(
+        dir.join("z.scl"),
+        "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\nCoordinate : 0\nHeight : 10\nSitewidth : 1\nSitespacing : 1\nSubrowOrigin : 0 NumSites : 10\nEnd\n",
+    )
+    .unwrap();
+    let (d, _) = bookshelf::read_design(dir.join("z.aux")).unwrap();
+    assert_eq!(d.nets().len(), 1);
+    assert_eq!(d.nets()[0].name(), "pair");
+}

@@ -1,0 +1,176 @@
+//! Report formatting: aligned text tables (the benchmark tables) and CSV
+//! emission into `target/experiments/`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A simple right-aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_eval::report::Table;
+///
+/// let mut t = Table::new(&["circuit", "HPWL", "RC"]);
+/// t.row(&["s1", "123456", "101.2"]);
+/// let s = t.to_string();
+/// assert!(s.contains("circuit"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes as CSV (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>w$}", w = width[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = width.iter().sum::<usize>() + 2 * (ncol - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// The output directory for regenerated tables/figures
+/// (`target/experiments/`), created on demand.
+pub fn experiments_dir() -> PathBuf {
+    let dir = Path::new("target").join("experiments");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes `contents` under [`experiments_dir`] and echoes the path.
+pub fn save(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let path = experiments_dir().join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+/// Formats a float with `digits` decimals (helper for table rows).
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb", "c"]);
+        t.row(&["x", "1", "22"]);
+        t.row(&["yyy", "2", "3"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn csv_matches_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1", "2"]).row(&["3", "4"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new(&["a", "b"]).row(&["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn save_writes_under_experiments() {
+        let p = save("unit_test_artifact.txt", "hello").unwrap();
+        assert!(p.exists());
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "hello");
+    }
+}

@@ -1,0 +1,155 @@
+//! Named benchmark suites — the stand-ins for the DAC-2012 contest set and
+//! the paper's industrial hierarchical designs (see the substitution table
+//! in DESIGN.md).
+//!
+//! Sizes are scaled to what a laptop-class machine places in minutes while
+//! spanning the same qualitative range as the contest suite: mixed cell
+//! counts, varying utilization and routing-supply tightness, and (for the
+//! `h*` suite) increasing fence-region counts.
+
+use rdp_db::BuildError;
+use rdp_gen::{GeneratedBench, GeneratorConfig};
+
+/// Builds the design for one configuration (convenience re-export of
+/// [`rdp_gen::generate`]).
+pub fn build(config: &GeneratorConfig) -> Result<GeneratedBench, BuildError> {
+    rdp_gen::generate(config)
+}
+
+/// A unit-test-scale configuration.
+pub fn tiny_config(name: &str, seed: u64) -> GeneratorConfig {
+    GeneratorConfig::tiny(name, seed)
+}
+
+/// The standard suite `s1..s8` (experiments T1, T2, T4, T5).
+///
+/// | id | cells | character                          |
+/// |----|-------|------------------------------------|
+/// | s1 | 2k    | baseline small                     |
+/// | s2 | 3k    | higher utilization (0.85)          |
+/// | s3 | 5k    | macro-heavy (35% macro area)       |
+/// | s4 | 8k    | baseline medium                    |
+/// | s5 | 8k    | tight routing supply (22 tracks)   |
+/// | s6 | 12k   | low locality (more global nets)    |
+/// | s7 | 16k   | large, higher utilization          |
+/// | s8 | 24k   | largest                            |
+pub fn standard_suite() -> Vec<GeneratorConfig> {
+    let mut v = Vec::new();
+    v.push(GeneratorConfig::small("s1", 101));
+    v.push(GeneratorConfig {
+        num_cells: 3_000,
+        target_utilization: 0.85,
+        ..GeneratorConfig::small("s2", 102)
+    });
+    v.push(GeneratorConfig {
+        num_cells: 5_000,
+        num_macros: 8,
+        macro_area_share: 0.35,
+        ..GeneratorConfig::small("s3", 103)
+    });
+    v.push(GeneratorConfig {
+        num_cells: 8_000,
+        num_macros: 8,
+        num_fixed: 3,
+        ..GeneratorConfig::small("s4", 104)
+    });
+    let mut s5 = GeneratorConfig {
+        num_cells: 8_000,
+        num_macros: 8,
+        num_fixed: 3,
+        ..GeneratorConfig::small("s5", 105)
+    };
+    s5.route.tracks_per_edge_h = 22.0;
+    s5.route.tracks_per_edge_v = 22.0;
+    v.push(s5);
+    v.push(GeneratorConfig {
+        num_cells: 12_000,
+        num_macros: 10,
+        locality: 0.6,
+        ..GeneratorConfig::small("s6", 106)
+    });
+    v.push(GeneratorConfig {
+        num_cells: 16_000,
+        num_macros: 12,
+        num_fixed: 5,
+        target_utilization: 0.8,
+        ..GeneratorConfig::small("s7", 107)
+    });
+    v.push(GeneratorConfig {
+        num_cells: 24_000,
+        num_macros: 16,
+        num_fixed: 6,
+        ..GeneratorConfig::small("s8", 108)
+    });
+    v
+}
+
+/// The hierarchical suite `h1..h4` (experiment T3): growing fence counts,
+/// with large fenced modules and tight fences (78% member utilization) so
+/// fence handling actually binds.
+pub fn fence_suite() -> Vec<GeneratorConfig> {
+    [(1usize, 2usize), (2, 3), (3, 5), (4, 8)]
+        .into_iter()
+        .map(|(i, fences)| {
+            let num_cells = 2_000 + 1_000 * i;
+            GeneratorConfig {
+                num_cells,
+                // Roughly 4 modules per fence, so ~25% of cells are fenced
+                // and the unfenced sea still dominates the die.
+                module_size: (num_cells / (4 * fences)).max(50),
+                fence_utilization: 0.7,
+                ..GeneratorConfig::hierarchical(format!("h{i}"), 200 + i as u64, fences)
+            }
+        })
+        .collect()
+}
+
+/// Reduced-size variants of both suites for fast smoke runs (CI and the
+/// examples); same shape, ~4× smaller.
+pub fn smoke_suite() -> Vec<GeneratorConfig> {
+    standard_suite()
+        .into_iter()
+        .take(4)
+        .map(|mut c| {
+            c.num_cells /= 4;
+            c.num_macros = (c.num_macros / 2).max(2);
+            c.name = format!("{}-smoke", c.name);
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_shape() {
+        let suite = standard_suite();
+        assert_eq!(suite.len(), 8);
+        assert!(suite.windows(2).all(|w| w[0].num_cells <= w[1].num_cells || w[0].name == "s5"));
+        // Distinct names and seeds.
+        let mut names: Vec<_> = suite.iter().map(|c| c.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+        // s5 is the routing-tight one.
+        let s5 = suite.iter().find(|c| c.name == "s5").unwrap();
+        assert!(s5.route.tracks_per_edge_h < 28.0);
+    }
+
+    #[test]
+    fn fence_suite_has_growing_fences() {
+        let suite = fence_suite();
+        assert_eq!(suite.len(), 4);
+        let fences: Vec<_> = suite.iter().map(|c| c.num_regions).collect();
+        assert_eq!(fences, vec![2, 3, 5, 8]);
+    }
+
+    #[test]
+    fn smoke_suite_is_buildable() {
+        for cfg in smoke_suite() {
+            let bench = build(&cfg).unwrap();
+            assert!(bench.design.nodes().len() > 100);
+        }
+    }
+}

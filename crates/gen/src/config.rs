@@ -1,0 +1,192 @@
+/// Routing-supply knobs of a generated benchmark.
+///
+/// The defaults produce four alternating horizontal/vertical layers with a
+/// per-direction track supply that leaves wirelength-optimal placements
+/// mildly over-congested — the regime the routability-driven placer is
+/// designed for.
+///
+/// Track counts are specified **relative to a 2 000-cell reference
+/// design** and scaled by `√(cells / 2000)` at generation time: average
+/// net spans grow with the die, so a constant per-edge supply would starve
+/// large designs (and trivialize small ones). `28` therefore means "the
+/// default supply" at every size, `22` means "tight", `18` "starved".
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteConfig {
+    /// Number of metal layers (alternating H, V starting at layer 1 = H).
+    pub num_layers: u32,
+    /// Horizontal tracks per gcell edge at the 2k-cell reference size,
+    /// summed over layers (scaled by `√(cells/2000)` when generating).
+    pub tracks_per_edge_h: f64,
+    /// Vertical tracks per gcell edge at the reference size.
+    pub tracks_per_edge_v: f64,
+    /// Gcell size as a multiple of the row height.
+    pub tile_rows: f64,
+    /// Fraction of blocked-area routing capacity that survives.
+    pub blockage_porosity: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            num_layers: 4,
+            tracks_per_edge_h: 28.0,
+            tracks_per_edge_v: 28.0,
+            tile_rows: 2.0,
+            blockage_porosity: 0.0,
+        }
+    }
+}
+
+/// Full parameter set of a generated benchmark.
+///
+/// Use a preset constructor ([`GeneratorConfig::tiny`] /
+/// [`GeneratorConfig::small`] / [`GeneratorConfig::medium`] /
+/// [`GeneratorConfig::large`] / [`GeneratorConfig::hierarchical`]) and
+/// override fields as needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Benchmark name (becomes the Bookshelf file stem).
+    pub name: String,
+    /// RNG seed; equal configs generate bit-identical designs.
+    pub seed: u64,
+    /// Number of movable standard cells.
+    pub num_cells: usize,
+    /// Number of movable macros.
+    pub num_macros: usize,
+    /// Number of fixed blocks (placement + routing obstacles).
+    pub num_fixed: usize,
+    /// Number of peripheral I/O terminals (`terminal_NI`).
+    pub num_io: usize,
+    /// Target movable-area / row-area ratio.
+    pub target_utilization: f64,
+    /// Fraction of movable area taken by macros.
+    pub macro_area_share: f64,
+    /// Nets per standard cell.
+    pub nets_per_cell: f64,
+    /// Probability that a net stays inside one module.
+    pub locality: f64,
+    /// Approximate cells per module (hierarchy granularity).
+    pub module_size: usize,
+    /// Number of fence regions (0 = flat design); the largest modules are
+    /// fenced.
+    pub num_regions: usize,
+    /// Target member-area / fence-area ratio.
+    pub fence_utilization: f64,
+    /// Standard-cell row height.
+    pub row_height: f64,
+    /// Placement site width.
+    pub site_width: f64,
+    /// Routing supply.
+    pub route: RouteConfig,
+}
+
+impl GeneratorConfig {
+    fn base(name: impl Into<String>, seed: u64) -> Self {
+        GeneratorConfig {
+            name: name.into(),
+            seed,
+            num_cells: 2_000,
+            num_macros: 4,
+            num_fixed: 2,
+            num_io: 64,
+            target_utilization: 0.75,
+            macro_area_share: 0.25,
+            nets_per_cell: 1.05,
+            locality: 0.8,
+            module_size: 150,
+            num_regions: 0,
+            fence_utilization: 0.6,
+            row_height: 10.0,
+            site_width: 1.0,
+            route: RouteConfig::default(),
+        }
+    }
+
+    /// ~500 cells — unit-test scale.
+    pub fn tiny(name: impl Into<String>, seed: u64) -> Self {
+        GeneratorConfig {
+            num_cells: 500,
+            num_macros: 2,
+            num_fixed: 1,
+            num_io: 16,
+            module_size: 60,
+            ..Self::base(name, seed)
+        }
+    }
+
+    /// ~2k cells — example/CI scale.
+    pub fn small(name: impl Into<String>, seed: u64) -> Self {
+        Self::base(name, seed)
+    }
+
+    /// ~10k cells — experiment scale.
+    pub fn medium(name: impl Into<String>, seed: u64) -> Self {
+        GeneratorConfig {
+            num_cells: 10_000,
+            num_macros: 10,
+            num_fixed: 4,
+            num_io: 128,
+            module_size: 200,
+            ..Self::base(name, seed)
+        }
+    }
+
+    /// ~40k cells — the largest configuration the benchmark tables use.
+    pub fn large(name: impl Into<String>, seed: u64) -> Self {
+        GeneratorConfig {
+            num_cells: 40_000,
+            num_macros: 20,
+            num_fixed: 8,
+            num_io: 256,
+            module_size: 300,
+            ..Self::base(name, seed)
+        }
+    }
+
+    /// A small hierarchical design with `num_regions` fence regions — the
+    /// workload class of experiment **T3**.
+    pub fn hierarchical(name: impl Into<String>, seed: u64, num_regions: usize) -> Self {
+        GeneratorConfig {
+            num_regions,
+            target_utilization: 0.65,
+            ..Self::base(name, seed)
+        }
+    }
+
+    /// Expected number of modules for this configuration.
+    pub fn num_modules(&self) -> usize {
+        (self.num_cells / self.module_size).max(self.num_regions.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale() {
+        let t = GeneratorConfig::tiny("t", 0);
+        let s = GeneratorConfig::small("s", 0);
+        let m = GeneratorConfig::medium("m", 0);
+        let l = GeneratorConfig::large("l", 0);
+        assert!(t.num_cells < s.num_cells);
+        assert!(s.num_cells < m.num_cells);
+        assert!(m.num_cells < l.num_cells);
+        assert_eq!(t.num_regions, 0);
+    }
+
+    #[test]
+    fn hierarchical_preset_has_fences() {
+        let h = GeneratorConfig::hierarchical("h", 0, 4);
+        assert_eq!(h.num_regions, 4);
+        assert!(h.num_modules() >= 4);
+    }
+
+    #[test]
+    fn module_count_respects_fence_minimum() {
+        let mut h = GeneratorConfig::hierarchical("h", 0, 6);
+        h.num_cells = 100;
+        h.module_size = 1000;
+        assert!(h.num_modules() >= 6);
+    }
+}

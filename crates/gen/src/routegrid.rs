@@ -1,0 +1,124 @@
+//! Routing-supply derivation: gcell grid and per-layer capacities sized
+//! from the floorplan, with blockages under fixed blocks.
+
+use crate::floorplan::Plan;
+use crate::GeneratorConfig;
+use rdp_db::{DesignBuilder, LayerBlockage, RouteSpec};
+use rdp_geom::Point;
+
+/// Attaches a [`RouteSpec`] to `builder` derived from `config` and `plan`.
+pub(crate) fn build(config: &GeneratorConfig, builder: &mut DesignBuilder, plan: &Plan) {
+    let rc = &config.route;
+    let tile = rc.tile_rows * config.row_height;
+    let grid_x = (plan.die.width() / tile).ceil().max(2.0) as u32;
+    let grid_y = (plan.die.height() / tile).ceil().max(2.0) as u32;
+
+    let nl = rc.num_layers.max(2) as usize;
+    // Track counts are per-2k-cell-reference (see `RouteConfig`): scale
+    // with √cells so the demand/supply ratio stays size-invariant.
+    let supply_scale = (config.num_cells.max(1) as f64 / 2000.0).sqrt();
+    // Odd layers (1-based) horizontal, even vertical; each direction's total
+    // supply split evenly across its layers.
+    let h_layers = nl.div_ceil(2);
+    let v_layers = nl / 2;
+    let mut horizontal_capacity = vec![0.0; nl];
+    let mut vertical_capacity = vec![0.0; nl];
+    for (i, (h, v)) in horizontal_capacity
+        .iter_mut()
+        .zip(&mut vertical_capacity)
+        .enumerate()
+    {
+        if i % 2 == 0 {
+            *h = rc.tracks_per_edge_h * supply_scale / h_layers as f64;
+        } else {
+            *v = rc.tracks_per_edge_v * supply_scale / v_layers.max(1) as f64;
+        }
+    }
+
+    // Fixed blocks obstruct the lower half of the metal stack — the layers a
+    // global router actually uses for short connections.
+    let blocked_layers: Vec<u32> = (1..=(nl as u32).div_ceil(2)).collect();
+    let blockages = plan
+        .fixed
+        .iter()
+        .map(|&(node, _)| LayerBlockage {
+            node,
+            layers: blocked_layers.clone(),
+        })
+        .collect();
+
+    let ni_terminals = plan.io.iter().map(|&(id, _)| (id, 1)).collect();
+
+    builder.route_spec(RouteSpec {
+        grid_x,
+        grid_y,
+        num_layers: nl as u32,
+        vertical_capacity,
+        horizontal_capacity,
+        min_wire_width: vec![1.0; nl],
+        min_wire_spacing: vec![1.0; nl],
+        via_spacing: vec![0.0; nl],
+        origin: Point::new(plan.die.xl, plan.die.yl),
+        tile_width: tile,
+        tile_height: tile,
+        blockage_porosity: rc.blockage_porosity,
+        ni_terminals,
+        blockages,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{generate, GeneratorConfig};
+
+    #[test]
+    fn capacities_split_across_layers() {
+        let bench = generate(&GeneratorConfig::tiny("rg", 1)).unwrap();
+        let spec = bench.design.route_spec().unwrap();
+        assert_eq!(spec.num_layers, 4);
+        let h_total: f64 = spec.horizontal_capacity.iter().sum();
+        let v_total: f64 = spec.vertical_capacity.iter().sum();
+        // Tiny = 500 cells: supply scales by sqrt(500/2000) = 0.5.
+        assert!((h_total - 14.0).abs() < 1e-9, "got {h_total}");
+        assert!((v_total - 14.0).abs() < 1e-9);
+        // Alternating directions.
+        assert!(spec.horizontal_capacity[0] > 0.0 && spec.vertical_capacity[0] == 0.0);
+        assert!(spec.vertical_capacity[1] > 0.0 && spec.horizontal_capacity[1] == 0.0);
+    }
+
+    #[test]
+    fn supply_scales_with_design_size() {
+        let small = generate(&GeneratorConfig::small("rgs", 4)).unwrap();
+        let mut big_cfg = GeneratorConfig::small("rgb", 4);
+        big_cfg.num_cells = 8_000;
+        let big = generate(&big_cfg).unwrap();
+        let total = |d: &rdp_db::Design| {
+            let s = d.route_spec().unwrap();
+            s.total_horizontal_capacity()
+        };
+        // 4x the cells => 2x the per-edge supply.
+        assert!((total(&big.design) / total(&small.design) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_covers_die() {
+        let bench = generate(&GeneratorConfig::tiny("rg2", 2)).unwrap();
+        let spec = bench.design.route_spec().unwrap();
+        let die = bench.design.die();
+        assert!(f64::from(spec.grid_x) * spec.tile_width >= die.width());
+        assert!(f64::from(spec.grid_y) * spec.tile_height >= die.height());
+    }
+
+    #[test]
+    fn fixed_blocks_become_blockages() {
+        let mut cfg = GeneratorConfig::tiny("rg3", 3);
+        cfg.num_fixed = 3;
+        let bench = generate(&cfg).unwrap();
+        let spec = bench.design.route_spec().unwrap();
+        assert_eq!(spec.blockages.len(), 3);
+        for b in &spec.blockages {
+            assert!(!b.layers.is_empty());
+            assert!(!bench.design.node(b.node).is_movable());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+use std::fmt;
+
+/// A 1-D closed interval `[lo, hi]`.
+///
+/// Used for row spans, legalization segments and sweep-line bookkeeping.
+/// An interval with `hi < lo` is *empty*.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_geom::Interval;
+///
+/// let row = Interval::new(0.0, 100.0);
+/// let cell = Interval::new(40.0, 48.0);
+/// assert!(row.contains_interval(cell));
+/// assert_eq!(row.intersection(Interval::new(90.0, 120.0)).length(), 10.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Interval {
+    /// Lower end.
+    pub lo: f64,
+    /// Upper end.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval from its endpoints.
+    #[inline]
+    pub const fn new(lo: f64, hi: f64) -> Self {
+        Interval { lo, hi }
+    }
+
+    /// The empty interval (identity for [`Interval::hull`]).
+    #[inline]
+    pub fn empty() -> Self {
+        Interval::new(f64::INFINITY, f64::NEG_INFINITY)
+    }
+
+    /// Length, clamped at zero for empty intervals.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+
+    /// Returns `true` when the interval contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+
+    /// Midpoint.
+    #[inline]
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Tests whether `v` lies inside (closed semantics).
+    #[inline]
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v <= self.hi
+    }
+
+    /// Tests whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_interval(&self, other: Interval) -> bool {
+        other.is_empty() || (other.lo >= self.lo && other.hi <= self.hi)
+    }
+
+    /// Intersection; may be empty.
+    #[inline]
+    pub fn intersection(&self, other: Interval) -> Interval {
+        Interval::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Smallest interval covering both.
+    #[inline]
+    pub fn hull(&self, other: Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// Overlap length with `other`.
+    #[inline]
+    pub fn overlap(&self, other: Interval) -> f64 {
+        self.intersection(other).length()
+    }
+
+    /// Clamps `v` into the interval.
+    #[inline]
+    pub fn clamp(&self, v: f64) -> f64 {
+        crate::clamp(v, self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures() {
+        let i = Interval::new(2.0, 5.0);
+        assert_eq!(i.length(), 3.0);
+        assert_eq!(i.center(), 3.5);
+        assert!(!i.is_empty());
+        assert!(Interval::empty().is_empty());
+        assert_eq!(Interval::empty().length(), 0.0);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = Interval::new(0.0, 4.0);
+        let b = Interval::new(3.0, 6.0);
+        assert_eq!(a.intersection(b), Interval::new(3.0, 4.0));
+        assert_eq!(a.overlap(b), 1.0);
+        assert_eq!(a.hull(b), Interval::new(0.0, 6.0));
+        let c = Interval::new(5.0, 7.0);
+        assert!(a.intersection(c).is_empty());
+        assert_eq!(a.overlap(c), 0.0);
+    }
+
+    #[test]
+    fn containment_and_clamp() {
+        let i = Interval::new(1.0, 3.0);
+        assert!(i.contains(1.0) && i.contains(3.0));
+        assert!(!i.contains(3.1));
+        assert!(i.contains_interval(Interval::new(1.5, 2.5)));
+        assert!(i.contains_interval(Interval::empty()));
+        assert_eq!(i.clamp(0.0), 1.0);
+        assert_eq!(i.clamp(9.0), 3.0);
+        assert_eq!(i.clamp(2.0), 2.0);
+    }
+}

@@ -1,0 +1,90 @@
+#![warn(missing_docs)]
+//! Geometry primitives for the `rdp` placement toolkit.
+//!
+//! This crate provides the small, allocation-free geometric vocabulary shared
+//! by the circuit database, the placer and the global router:
+//!
+//! * [`Point`] — a 2-D position in abstract database units,
+//! * [`Rect`] — an axis-aligned rectangle (cells, macros, fences, bins),
+//! * [`Interval`] — a 1-D closed interval used for row/segment bookkeeping,
+//! * [`Orient`] — the eight Bookshelf/LEF-DEF placement orientations,
+//! * [`transform`] — pin-offset transformation under an orientation.
+//!
+//! Coordinates are `f64` throughout: global placement works on continuous
+//! coordinates, and legalization snaps to site/row grids that are themselves
+//! representable exactly in `f64` for all realistic design extents.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdp_geom::{Point, Rect};
+//!
+//! let die = Rect::new(0.0, 0.0, 100.0, 80.0);
+//! let p = Point::new(25.0, 40.0);
+//! assert!(die.contains(p));
+//! assert_eq!(die.area(), 8000.0);
+//! ```
+
+mod interval;
+mod orient;
+mod point;
+mod rect;
+pub mod transform;
+
+pub use interval::Interval;
+pub use orient::Orient;
+pub use point::Point;
+pub use rect::Rect;
+
+/// Clamps `v` into `[lo, hi]`.
+///
+/// Unlike [`f64::clamp`] this never panics: if `lo > hi` (an empty range,
+/// which can transiently occur for zero-width fence rects) it returns `lo`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(rdp_geom::clamp(5.0, 0.0, 3.0), 3.0);
+/// assert_eq!(rdp_geom::clamp(-1.0, 0.0, 3.0), 0.0);
+/// ```
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    if hi < lo {
+        return lo;
+    }
+    if v < lo {
+        lo
+    } else if v > hi {
+        hi
+    } else {
+        v
+    }
+}
+
+/// Returns `true` when `a` and `b` differ by at most `eps` absolutely.
+///
+/// The placement pipeline uses this for legality checks where exact float
+/// equality is too strict after snapping arithmetic.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_orders_bounds() {
+        assert_eq!(clamp(2.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+        // Degenerate range falls back to lo.
+        assert_eq!(clamp(0.5, 2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_eps() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

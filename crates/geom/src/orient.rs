@@ -1,0 +1,217 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The eight placement orientations of the Bookshelf / LEF-DEF convention.
+///
+/// `N` is the as-designed orientation; `S`, `E`, `W` are rotations by 180°,
+/// 270° and 90° counter-clockwise respectively; the `F*` variants are the
+/// same rotations composed with a mirror about the y-axis (a "flip").
+///
+/// Standard cells in row-based designs are restricted to `N`/`FN` (and
+/// `S`/`FS` in flipped rows); movable macros may take any of the eight.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_geom::Orient;
+///
+/// assert_eq!(Orient::N.rotated_ccw(), Orient::W);
+/// assert_eq!("FS".parse::<Orient>().unwrap(), Orient::FS);
+/// assert!(Orient::FE.is_flipped());
+/// assert!(Orient::E.swaps_dimensions());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orient {
+    /// North: as designed (R0).
+    #[default]
+    N,
+    /// West: rotated 90° counter-clockwise (R90).
+    W,
+    /// South: rotated 180° (R180).
+    S,
+    /// East: rotated 270° counter-clockwise (R270).
+    E,
+    /// Flipped north: mirrored about the y-axis (MY).
+    FN,
+    /// Flipped west (MX90).
+    FW,
+    /// Flipped south: mirrored about the x-axis (MX).
+    FS,
+    /// Flipped east (MY90).
+    FE,
+}
+
+impl Orient {
+    /// All eight orientations, in a stable order suitable for exhaustive
+    /// search (the macro-rotation optimization iterates this).
+    pub const ALL: [Orient; 8] = [
+        Orient::N,
+        Orient::W,
+        Orient::S,
+        Orient::E,
+        Orient::FN,
+        Orient::FW,
+        Orient::FS,
+        Orient::FE,
+    ];
+
+    /// The four unflipped orientations.
+    pub const ROTATIONS: [Orient; 4] = [Orient::N, Orient::W, Orient::S, Orient::E];
+
+    /// Counter-clockwise rotation in quarter turns (0..4).
+    #[inline]
+    pub fn quarter_turns(self) -> u8 {
+        match self {
+            Orient::N | Orient::FN => 0,
+            Orient::W | Orient::FW => 1,
+            Orient::S | Orient::FS => 2,
+            Orient::E | Orient::FE => 3,
+        }
+    }
+
+    /// Whether the orientation includes a mirror.
+    #[inline]
+    pub fn is_flipped(self) -> bool {
+        matches!(self, Orient::FN | Orient::FW | Orient::FS | Orient::FE)
+    }
+
+    /// Whether width and height are exchanged (90° / 270° rotations).
+    #[inline]
+    pub fn swaps_dimensions(self) -> bool {
+        self.quarter_turns() % 2 == 1
+    }
+
+    /// Composes an additional 90° counter-clockwise rotation.
+    #[inline]
+    pub fn rotated_ccw(self) -> Orient {
+        Self::from_parts((self.quarter_turns() + 1) % 4, self.is_flipped())
+    }
+
+    /// Composes a mirror about the y-axis (flip) on top of `self`.
+    #[inline]
+    pub fn flipped(self) -> Orient {
+        Self::from_parts(self.quarter_turns(), !self.is_flipped())
+    }
+
+    /// Builds an orientation from quarter turns and a flip flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `turns >= 4`.
+    pub fn from_parts(turns: u8, flip: bool) -> Orient {
+        match (turns, flip) {
+            (0, false) => Orient::N,
+            (1, false) => Orient::W,
+            (2, false) => Orient::S,
+            (3, false) => Orient::E,
+            (0, true) => Orient::FN,
+            (1, true) => Orient::FW,
+            (2, true) => Orient::FS,
+            (3, true) => Orient::FE,
+            _ => panic!("quarter turns must be in 0..4, got {turns}"),
+        }
+    }
+
+    /// The Bookshelf `.pl` keyword for this orientation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Orient::N => "N",
+            Orient::W => "W",
+            Orient::S => "S",
+            Orient::E => "E",
+            Orient::FN => "FN",
+            Orient::FW => "FW",
+            Orient::FS => "FS",
+            Orient::FE => "FE",
+        }
+    }
+}
+
+impl fmt::Display for Orient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error returned when parsing an orientation keyword fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOrientError(pub String);
+
+impl fmt::Display for ParseOrientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid orientation keyword `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseOrientError {}
+
+impl FromStr for Orient {
+    type Err = ParseOrientError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "N" | "R0" => Ok(Orient::N),
+            "W" | "R90" => Ok(Orient::W),
+            "S" | "R180" => Ok(Orient::S),
+            "E" | "R270" => Ok(Orient::E),
+            "FN" | "MY" => Ok(Orient::FN),
+            "FW" => Ok(Orient::FW),
+            "FS" | "MX" => Ok(Orient::FS),
+            "FE" => Ok(Orient::FE),
+            other => Err(ParseOrientError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all() {
+        for &o in &Orient::ALL {
+            assert_eq!(o.as_str().parse::<Orient>().unwrap(), o);
+            assert_eq!(Orient::from_parts(o.quarter_turns(), o.is_flipped()), o);
+        }
+    }
+
+    #[test]
+    fn rotation_cycles() {
+        let mut o = Orient::N;
+        for _ in 0..4 {
+            o = o.rotated_ccw();
+        }
+        assert_eq!(o, Orient::N);
+        assert_eq!(Orient::N.rotated_ccw(), Orient::W);
+        assert_eq!(Orient::FE.rotated_ccw(), Orient::FN);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for &o in &Orient::ALL {
+            assert_eq!(o.flipped().flipped(), o);
+            assert_ne!(o.flipped(), o);
+        }
+    }
+
+    #[test]
+    fn dimension_swap() {
+        assert!(!Orient::N.swaps_dimensions());
+        assert!(Orient::W.swaps_dimensions());
+        assert!(Orient::FE.swaps_dimensions());
+        assert!(!Orient::FS.swaps_dimensions());
+    }
+
+    #[test]
+    fn parse_def_aliases() {
+        assert_eq!("R90".parse::<Orient>().unwrap(), Orient::W);
+        assert_eq!("MX".parse::<Orient>().unwrap(), Orient::FS);
+        assert!("Q".parse::<Orient>().is_err());
+    }
+
+    #[test]
+    fn parse_error_message() {
+        let err = "Z9".parse::<Orient>().unwrap_err();
+        assert_eq!(err.to_string(), "invalid orientation keyword `Z9`");
+    }
+}

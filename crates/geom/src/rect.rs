@@ -1,0 +1,277 @@
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle `[xl, xh) × [yl, yh)`.
+///
+/// Rectangles represent cell outlines, macro blocks, fence-region parts,
+/// placement rows, density bins and routing blockages. The half-open
+/// convention means two abutting cells do **not** overlap.
+///
+/// A `Rect` with `xh <= xl` or `yh <= yl` is *empty*: it has zero area and
+/// contains no points. Empty rects arise naturally from intersections and
+/// are handled by every method.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_geom::{Point, Rect};
+///
+/// let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+/// let b = Rect::new(2.0, 2.0, 6.0, 6.0);
+/// let i = a.intersection(b);
+/// assert_eq!(i, Rect::new(2.0, 2.0, 4.0, 4.0));
+/// assert_eq!(a.overlap_area(b), 4.0);
+/// assert!(a.contains(Point::new(1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Low x (left edge).
+    pub xl: f64,
+    /// Low y (bottom edge).
+    pub yl: f64,
+    /// High x (right edge).
+    pub xh: f64,
+    /// High y (top edge).
+    pub yh: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its edge coordinates.
+    #[inline]
+    pub const fn new(xl: f64, yl: f64, xh: f64, yh: f64) -> Self {
+        Rect { xl, yl, xh, yh }
+    }
+
+    /// Creates a rectangle from a lower-left corner and a size.
+    #[inline]
+    pub fn from_origin_size(origin: Point, w: f64, h: f64) -> Self {
+        Rect::new(origin.x, origin.y, origin.x + w, origin.y + h)
+    }
+
+    /// Creates the *empty* rectangle that absorbs nothing under
+    /// [`Rect::union`] — useful as a fold seed when computing bounding boxes.
+    #[inline]
+    pub fn empty() -> Self {
+        Rect::new(f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY)
+    }
+
+    /// Width (`xh - xl`), clamped at zero for empty rects.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        (self.xh - self.xl).max(0.0)
+    }
+
+    /// Height (`yh - yl`), clamped at zero for empty rects.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        (self.yh - self.yl).max(0.0)
+    }
+
+    /// Area; zero for empty rects.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` when the rect has no interior.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xh <= self.xl || self.yh <= self.yl
+    }
+
+    /// Center point. Meaningless for empty rects.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.xl + self.xh), 0.5 * (self.yl + self.yh))
+    }
+
+    /// Half-perimeter (`width + height`) — the HPWL contribution of a
+    /// bounding box.
+    #[inline]
+    pub fn half_perimeter(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Tests whether the point lies inside (half-open semantics).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.xl && p.x < self.xh && p.y >= self.yl && p.y < self.yh
+    }
+
+    /// Tests whether `other` lies entirely inside `self` (closed semantics on
+    /// the high edges so a cell flush against the die boundary counts as
+    /// inside). Empty `other` is trivially contained.
+    #[inline]
+    pub fn contains_rect(&self, other: Rect) -> bool {
+        other.is_empty()
+            || (other.xl >= self.xl && other.xh <= self.xh && other.yl >= self.yl && other.yh <= self.yh)
+    }
+
+    /// Tests for a nonempty intersection.
+    #[inline]
+    pub fn intersects(&self, other: Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Component-wise intersection; may be empty.
+    #[inline]
+    pub fn intersection(&self, other: Rect) -> Rect {
+        Rect::new(
+            self.xl.max(other.xl),
+            self.yl.max(other.yl),
+            self.xh.min(other.xh),
+            self.yh.min(other.yh),
+        )
+    }
+
+    /// Area of the intersection with `other`.
+    #[inline]
+    pub fn overlap_area(&self, other: Rect) -> f64 {
+        self.intersection(other).area()
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    /// [`Rect::empty`] is the identity element.
+    #[inline]
+    pub fn union(&self, other: Rect) -> Rect {
+        Rect::new(
+            self.xl.min(other.xl),
+            self.yl.min(other.yl),
+            self.xh.max(other.xh),
+            self.yh.max(other.yh),
+        )
+    }
+
+    /// Grows (or shrinks, for negative `d`) the rect by `d` on every side.
+    #[inline]
+    pub fn inflated(&self, d: f64) -> Rect {
+        Rect::new(self.xl - d, self.yl - d, self.xh + d, self.yh + d)
+    }
+
+    /// Translates the rect by `(dx, dy)`.
+    #[inline]
+    pub fn translated(&self, dx: f64, dy: f64) -> Rect {
+        Rect::new(self.xl + dx, self.yl + dy, self.xh + dx, self.yh + dy)
+    }
+
+    /// Euclidean distance from `p` to the closest point of the rect
+    /// (zero when `p` is inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = if p.x < self.xl {
+            self.xl - p.x
+        } else if p.x > self.xh {
+            p.x - self.xh
+        } else {
+            0.0
+        };
+        let dy = if p.y < self.yl {
+            self.yl - p.y
+        } else if p.y > self.yh {
+            p.y - self.yh
+        } else {
+            0.0
+        };
+        dx.hypot(dy)
+    }
+
+    /// The point of the rect closest to `p` (i.e. `p` clamped into the rect).
+    pub fn closest_point(&self, p: Point) -> Point {
+        Point::new(crate::clamp(p.x, self.xl, self.xh), crate::clamp(p.y, self.yl, self.yh))
+    }
+
+    /// Expands this bounding box in place to cover `p`.
+    #[inline]
+    pub fn expand_to(&mut self, p: Point) {
+        self.xl = self.xl.min(p.x);
+        self.yl = self.yl.min(p.y);
+        self.xh = self.xh.max(p.x);
+        self.yh = self.yh.max(p.y);
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}] x [{}, {}]", self.xl, self.xh, self.yl, self.yh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_measures() {
+        let r = Rect::new(1.0, 2.0, 5.0, 4.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.half_perimeter(), 6.0);
+        assert_eq!(r.center(), Point::new(3.0, 3.0));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = Rect::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0.0);
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(e.union(r), r);
+        assert!(r.contains_rect(e));
+        // Inverted rect is empty and has clamped measures.
+        let inv = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(inv.is_empty());
+        assert_eq!(inv.width(), 0.0);
+        assert_eq!(inv.area(), 0.0);
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = Rect::new(0.0, 0.0, 4.0, 4.0);
+        let b = Rect::new(2.0, 1.0, 6.0, 3.0);
+        assert_eq!(a.intersection(b), Rect::new(2.0, 1.0, 4.0, 3.0));
+        assert_eq!(a.overlap_area(b), 4.0);
+        assert_eq!(a.union(b), Rect::new(0.0, 0.0, 6.0, 4.0));
+        assert!(a.intersects(b));
+        let c = Rect::new(10.0, 10.0, 11.0, 11.0);
+        assert!(!a.intersects(c));
+        assert_eq!(a.overlap_area(c), 0.0);
+    }
+
+    #[test]
+    fn abutting_rects_do_not_overlap() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(2.0, 0.0, 4.0, 2.0);
+        assert!(!a.intersects(b));
+        assert_eq!(a.overlap_area(b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let die = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(die.contains(Point::new(0.0, 0.0)));
+        assert!(!die.contains(Point::new(10.0, 0.0))); // half-open
+        assert!(die.contains_rect(Rect::new(0.0, 0.0, 10.0, 10.0))); // flush ok
+        assert!(!die.contains_rect(Rect::new(-1.0, 0.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn distances() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.distance_to_point(Point::new(5.0, 2.0)), 3.0);
+        assert_eq!(r.distance_to_point(Point::new(5.0, 6.0)), 5.0);
+        assert_eq!(r.closest_point(Point::new(5.0, -1.0)), Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn transforms() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.inflated(1.0), Rect::new(-1.0, -1.0, 3.0, 3.0));
+        assert_eq!(r.translated(1.0, -1.0), Rect::new(1.0, -1.0, 3.0, 1.0));
+        let mut bb = Rect::empty();
+        bb.expand_to(Point::new(1.0, 5.0));
+        bb.expand_to(Point::new(-2.0, 3.0));
+        assert_eq!(bb, Rect::new(-2.0, 3.0, 1.0, 5.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Pin-offset and dimension transformation under placement orientations.
+//!
+//! The circuit database stores pin offsets *relative to the cell center* in
+//! the as-designed (`N`) orientation, following the Bookshelf `.nets`
+//! convention. When a macro is rotated or flipped, its physical pin
+//! positions move; this module implements that mapping.
+//!
+//! The convention used throughout `rdp`: an [`Orient`] denotes a
+//! counter-clockwise rotation by `quarter_turns × 90°` about the cell
+//! center, followed (for the `F*` variants) by a mirror about the vertical
+//! axis through the center.
+
+use crate::{Orient, Point};
+
+/// Transforms a center-relative pin offset from the `N` orientation into
+/// orientation `orient`.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_geom::{Orient, Point, transform::transform_offset};
+///
+/// let off = Point::new(2.0, 1.0);
+/// assert_eq!(transform_offset(off, Orient::N), off);
+/// assert_eq!(transform_offset(off, Orient::W), Point::new(-1.0, 2.0));
+/// assert_eq!(transform_offset(off, Orient::S), Point::new(-2.0, -1.0));
+/// assert_eq!(transform_offset(off, Orient::FN), Point::new(-2.0, 1.0));
+/// ```
+#[inline]
+pub fn transform_offset(offset: Point, orient: Orient) -> Point {
+    let rotated = match orient.quarter_turns() {
+        0 => offset,
+        1 => Point::new(-offset.y, offset.x),
+        2 => Point::new(-offset.x, -offset.y),
+        3 => Point::new(offset.y, -offset.x),
+        _ => unreachable!("quarter_turns is always 0..4"),
+    };
+    if orient.is_flipped() {
+        Point::new(-rotated.x, rotated.y)
+    } else {
+        rotated
+    }
+}
+
+/// Returns the `(width, height)` of a cell whose as-designed size is
+/// `(w, h)` after applying `orient`.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_geom::{Orient, transform::oriented_dims};
+///
+/// assert_eq!(oriented_dims(4.0, 2.0, Orient::N), (4.0, 2.0));
+/// assert_eq!(oriented_dims(4.0, 2.0, Orient::E), (2.0, 4.0));
+/// assert_eq!(oriented_dims(4.0, 2.0, Orient::FS), (4.0, 2.0));
+/// ```
+#[inline]
+pub fn oriented_dims(w: f64, h: f64, orient: Orient) -> (f64, f64) {
+    if orient.swaps_dimensions() {
+        (h, w)
+    } else {
+        (w, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_pt(a: Point, b: Point) {
+        assert!(
+            approx_eq(a.x, b.x, 1e-12) && approx_eq(a.y, b.y, 1e-12),
+            "{a} != {b}"
+        );
+    }
+
+    #[test]
+    fn rotations_compose() {
+        let p = Point::new(3.0, 1.0);
+        // Applying W twice == S once.
+        let w = transform_offset(p, Orient::W);
+        let ww = Point::new(-w.y, w.x);
+        assert_pt(ww, transform_offset(p, Orient::S));
+    }
+
+    #[test]
+    fn all_orients_preserve_norm() {
+        let p = Point::new(-2.5, 4.0);
+        for &o in &Orient::ALL {
+            assert!(approx_eq(transform_offset(p, o).norm(), p.norm(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn flipped_variants_mirror_x() {
+        let p = Point::new(1.0, 2.0);
+        for turns in 0..4u8 {
+            let plain = transform_offset(p, Orient::from_parts(turns, false));
+            let flip = transform_offset(p, Orient::from_parts(turns, true));
+            assert_pt(flip, Point::new(-plain.x, plain.y));
+        }
+    }
+
+    #[test]
+    fn explicit_table() {
+        let p = Point::new(2.0, 1.0);
+        assert_pt(transform_offset(p, Orient::E), Point::new(1.0, -2.0));
+        assert_pt(transform_offset(p, Orient::FW), Point::new(1.0, 2.0));
+        assert_pt(transform_offset(p, Orient::FS), Point::new(2.0, -1.0));
+        assert_pt(transform_offset(p, Orient::FE), Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dims_follow_quarter_turns() {
+        for &o in &Orient::ALL {
+            let (w, h) = oriented_dims(6.0, 2.0, o);
+            if o.swaps_dimensions() {
+                assert_eq!((w, h), (2.0, 6.0));
+            } else {
+                assert_eq!((w, h), (6.0, 2.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+use rdp_db::{Design, Placement};
+use rdp_geom::{Point, Rect};
+
+/// A gcell coordinate (column, row) on the routing grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GCell {
+    /// Column index (0-based, left to right).
+    pub x: u32,
+    /// Row index (0-based, bottom to top).
+    pub y: u32,
+}
+
+impl GCell {
+    /// Creates a gcell coordinate.
+    #[inline]
+    pub const fn new(x: u32, y: u32) -> Self {
+        GCell { x, y }
+    }
+
+    /// Manhattan distance to `other` in gcells.
+    #[inline]
+    pub fn manhattan(self, other: GCell) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// Identifier of a grid edge.
+///
+/// Horizontal edges connect `(x, y)` to `(x+1, y)`; vertical edges connect
+/// `(x, y)` to `(x, y+1)`. Both kinds are packed into one dense index space
+/// (horizontal first), so per-edge state lives in flat vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub u32);
+
+/// The 2-D (layer-collapsed) routing grid: capacities, usage, and
+/// negotiation history per edge.
+///
+/// Capacities start from the design's [`RouteSpec`](rdp_db::RouteSpec)
+/// (summing each direction over layers) and are *carved down* under routing
+/// blockages: a fixed block obstructing a fraction `f` of a gcell's area on
+/// layers carrying a fraction `s` of the direction's capacity removes
+/// `f·s·(1−porosity)` of the capacity of the edges incident to that gcell.
+#[derive(Debug, Clone)]
+pub struct RouteGrid {
+    nx: u32,
+    ny: u32,
+    origin: Point,
+    tile_w: f64,
+    tile_h: f64,
+    cap: Vec<f64>,
+    usage: Vec<f64>,
+    history: Vec<f64>,
+}
+
+impl RouteGrid {
+    /// Builds the grid for `design`, carving blockages at their positions in
+    /// `placement`.
+    ///
+    /// Designs without a route spec get a default grid (tile = 2 rows,
+    /// 20 tracks/edge each direction) so congestion can still be estimated.
+    pub fn from_design(design: &Design, placement: &Placement) -> Self {
+        match design.route_spec() {
+            Some(spec) => {
+                let mut grid = RouteGrid::uniform(
+                    spec.grid_x.max(1),
+                    spec.grid_y.max(1),
+                    Point::new(spec.origin.x, spec.origin.y),
+                    spec.tile_width,
+                    spec.tile_height,
+                    spec.total_horizontal_capacity(),
+                    spec.total_vertical_capacity(),
+                );
+                grid.carve_blockages(design, placement, spec);
+                grid
+            }
+            None => {
+                let die = design.die();
+                let tile = design.row_height().unwrap_or(10.0) * 2.0;
+                let nx = (die.width() / tile).ceil().max(1.0) as u32;
+                let ny = (die.height() / tile).ceil().max(1.0) as u32;
+                RouteGrid::uniform(nx, ny, Point::new(die.xl, die.yl), tile, tile, 20.0, 20.0)
+            }
+        }
+    }
+
+    /// Builds a uniform grid with the given per-edge capacities.
+    pub fn uniform(
+        nx: u32,
+        ny: u32,
+        origin: Point,
+        tile_w: f64,
+        tile_h: f64,
+        cap_h: f64,
+        cap_v: f64,
+    ) -> Self {
+        let n_h = Self::count_h(nx, ny);
+        let n_v = Self::count_v(nx, ny);
+        let mut cap = vec![cap_h; n_h];
+        cap.extend(std::iter::repeat(cap_v).take(n_v));
+        RouteGrid {
+            nx,
+            ny,
+            origin,
+            tile_w,
+            tile_h,
+            usage: vec![0.0; cap.len()],
+            history: vec![0.0; cap.len()],
+            cap,
+        }
+    }
+
+    #[inline]
+    fn count_h(nx: u32, ny: u32) -> usize {
+        (nx.saturating_sub(1) * ny) as usize
+    }
+
+    #[inline]
+    fn count_v(nx: u32, ny: u32) -> usize {
+        (nx * ny.saturating_sub(1)) as usize
+    }
+
+    /// Grid width in gcells.
+    #[inline]
+    pub fn nx(&self) -> u32 {
+        self.nx
+    }
+
+    /// Grid height in gcells.
+    #[inline]
+    pub fn ny(&self) -> u32 {
+        self.ny
+    }
+
+    /// Number of edges (horizontal + vertical).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.cap.len()
+    }
+
+    /// Gcell containing `p` (clamped into the grid).
+    pub fn gcell_of(&self, p: Point) -> GCell {
+        let fx = ((p.x - self.origin.x) / self.tile_w).floor();
+        let fy = ((p.y - self.origin.y) / self.tile_h).floor();
+        GCell {
+            x: (fx.max(0.0) as u32).min(self.nx - 1),
+            y: (fy.max(0.0) as u32).min(self.ny - 1),
+        }
+    }
+
+    /// Center point of gcell `g`.
+    pub fn center_of(&self, g: GCell) -> Point {
+        Point::new(
+            self.origin.x + (f64::from(g.x) + 0.5) * self.tile_w,
+            self.origin.y + (f64::from(g.y) + 0.5) * self.tile_h,
+        )
+    }
+
+    /// Covering rectangle of gcell `g`.
+    pub fn rect_of(&self, g: GCell) -> Rect {
+        let xl = self.origin.x + f64::from(g.x) * self.tile_w;
+        let yl = self.origin.y + f64::from(g.y) * self.tile_h;
+        Rect::new(xl, yl, xl + self.tile_w, yl + self.tile_h)
+    }
+
+    /// Id of the horizontal edge from `(x, y)` to `(x+1, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if out of range.
+    #[inline]
+    pub fn h_edge(&self, x: u32, y: u32) -> EdgeId {
+        debug_assert!(x + 1 < self.nx && y < self.ny);
+        EdgeId(y * (self.nx - 1) + x)
+    }
+
+    /// Id of the vertical edge from `(x, y)` to `(x, y+1)`.
+    #[inline]
+    pub fn v_edge(&self, x: u32, y: u32) -> EdgeId {
+        debug_assert!(x < self.nx && y + 1 < self.ny);
+        EdgeId(Self::count_h(self.nx, self.ny) as u32 + y * self.nx + x)
+    }
+
+    /// Whether `e` is a horizontal edge.
+    #[inline]
+    pub fn is_horizontal(&self, e: EdgeId) -> bool {
+        (e.0 as usize) < Self::count_h(self.nx, self.ny)
+    }
+
+    /// The edge between two adjacent gcells; `None` if not adjacent.
+    pub fn edge_between(&self, a: GCell, b: GCell) -> Option<EdgeId> {
+        if a.y == b.y && a.x.abs_diff(b.x) == 1 {
+            Some(self.h_edge(a.x.min(b.x), a.y))
+        } else if a.x == b.x && a.y.abs_diff(b.y) == 1 {
+            Some(self.v_edge(a.x, a.y.min(b.y)))
+        } else {
+            None
+        }
+    }
+
+    /// Capacity of `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.cap[e.0 as usize]
+    }
+
+    /// Current usage of `e`.
+    #[inline]
+    pub fn usage(&self, e: EdgeId) -> f64 {
+        self.usage[e.0 as usize]
+    }
+
+    /// Negotiation history cost of `e`.
+    #[inline]
+    pub fn history(&self, e: EdgeId) -> f64 {
+        self.history[e.0 as usize]
+    }
+
+    /// Adds `amount` demand to `e` (negative to remove).
+    #[inline]
+    pub fn add_usage(&mut self, e: EdgeId, amount: f64) {
+        let u = &mut self.usage[e.0 as usize];
+        *u = (*u + amount).max(0.0);
+    }
+
+    /// Increases history cost of `e` by `amount` (the negotiation step).
+    #[inline]
+    pub fn add_history(&mut self, e: EdgeId, amount: f64) {
+        self.history[e.0 as usize] += amount;
+    }
+
+    /// Congestion ratio `usage / capacity` of `e`; an edge with zero
+    /// capacity but nonzero usage reports a large finite ratio.
+    pub fn ratio(&self, e: EdgeId) -> f64 {
+        let c = self.capacity(e);
+        let u = self.usage(e);
+        if c > 0.0 {
+            u / c
+        } else if u > 0.0 {
+            64.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Overflow `max(0, usage − capacity)` of `e`.
+    pub fn overflow(&self, e: EdgeId) -> f64 {
+        (self.usage(e) - self.capacity(e)).max(0.0)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.cap.len() as u32).map(EdgeId)
+    }
+
+    /// Resets all usage (not history) to zero.
+    pub fn clear_usage(&mut self) {
+        self.usage.iter_mut().for_each(|u| *u = 0.0);
+    }
+
+    /// Maximum congestion ratio of the edges incident to gcell `g` — the
+    /// per-gcell congestion used for heatmaps and cell inflation.
+    pub fn gcell_congestion(&self, g: GCell) -> f64 {
+        let mut m: f64 = 0.0;
+        if g.x > 0 {
+            m = m.max(self.ratio(self.h_edge(g.x - 1, g.y)));
+        }
+        if g.x + 1 < self.nx {
+            m = m.max(self.ratio(self.h_edge(g.x, g.y)));
+        }
+        if g.y > 0 {
+            m = m.max(self.ratio(self.v_edge(g.x, g.y - 1)));
+        }
+        if g.y + 1 < self.ny {
+            m = m.max(self.ratio(self.v_edge(g.x, g.y)));
+        }
+        m
+    }
+
+    fn carve_blockages(&mut self, design: &Design, placement: &Placement, spec: &rdp_db::RouteSpec) {
+        let total_h = spec.total_horizontal_capacity();
+        let total_v = spec.total_vertical_capacity();
+        let porosity = spec.blockage_porosity.clamp(0.0, 1.0);
+        // Per-gcell blocked fraction, per direction.
+        let n_cells = (self.nx * self.ny) as usize;
+        let mut blocked_h = vec![0.0f64; n_cells];
+        let mut blocked_v = vec![0.0f64; n_cells];
+        for b in &spec.blockages {
+            let share_h: f64 = b
+                .layers
+                .iter()
+                .filter_map(|&l| spec.horizontal_capacity.get((l - 1) as usize))
+                .sum::<f64>()
+                / total_h.max(1e-12);
+            let share_v: f64 = b
+                .layers
+                .iter()
+                .filter_map(|&l| spec.vertical_capacity.get((l - 1) as usize))
+                .sum::<f64>()
+                / total_v.max(1e-12);
+            let r = placement.rect(design, b.node);
+            let g0 = self.gcell_of(Point::new(r.xl, r.yl));
+            let g1 = self.gcell_of(Point::new(r.xh - 1e-9, r.yh - 1e-9));
+            for gy in g0.y..=g1.y {
+                for gx in g0.x..=g1.x {
+                    let cell = GCell::new(gx, gy);
+                    let frac = self.rect_of(cell).overlap_area(r) / (self.tile_w * self.tile_h);
+                    let idx = (gy * self.nx + gx) as usize;
+                    blocked_h[idx] = (blocked_h[idx] + frac * share_h * (1.0 - porosity)).min(1.0);
+                    blocked_v[idx] = (blocked_v[idx] + frac * share_v * (1.0 - porosity)).min(1.0);
+                }
+            }
+        }
+        // Scale each edge by the mean blocked fraction of its two endpoints.
+        for y in 0..self.ny {
+            for x in 0..self.nx.saturating_sub(1) {
+                let e = self.h_edge(x, y);
+                let f = 0.5
+                    * (blocked_h[(y * self.nx + x) as usize]
+                        + blocked_h[(y * self.nx + x + 1) as usize]);
+                self.cap[e.0 as usize] *= 1.0 - f;
+            }
+        }
+        for y in 0..self.ny.saturating_sub(1) {
+            for x in 0..self.nx {
+                let e = self.v_edge(x, y);
+                let f = 0.5
+                    * (blocked_v[(y * self.nx + x) as usize]
+                        + blocked_v[((y + 1) * self.nx + x) as usize]);
+                self.cap[e.0 as usize] *= 1.0 - f;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> RouteGrid {
+        RouteGrid::uniform(4, 3, Point::ORIGIN, 10.0, 10.0, 8.0, 6.0)
+    }
+
+    #[test]
+    fn edge_counts() {
+        let g = grid();
+        // 3*3 horizontal + 4*2 vertical.
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert!(g.is_horizontal(g.h_edge(0, 0)));
+        assert!(!g.is_horizontal(g.v_edge(0, 0)));
+        assert_eq!(g.capacity(g.h_edge(2, 2)), 8.0);
+        assert_eq!(g.capacity(g.v_edge(3, 1)), 6.0);
+    }
+
+    #[test]
+    fn gcell_mapping_round_trips() {
+        let g = grid();
+        let c = GCell::new(2, 1);
+        assert_eq!(g.gcell_of(g.center_of(c)), c);
+        // Clamping outside points.
+        assert_eq!(g.gcell_of(Point::new(-5.0, -5.0)), GCell::new(0, 0));
+        assert_eq!(g.gcell_of(Point::new(999.0, 999.0)), GCell::new(3, 2));
+        assert_eq!(g.rect_of(c), Rect::new(20.0, 10.0, 30.0, 20.0));
+    }
+
+    #[test]
+    fn edge_between_adjacency() {
+        let g = grid();
+        assert_eq!(
+            g.edge_between(GCell::new(1, 1), GCell::new(2, 1)),
+            Some(g.h_edge(1, 1))
+        );
+        assert_eq!(
+            g.edge_between(GCell::new(2, 1), GCell::new(1, 1)),
+            Some(g.h_edge(1, 1))
+        );
+        assert_eq!(
+            g.edge_between(GCell::new(1, 1), GCell::new(1, 0)),
+            Some(g.v_edge(1, 0))
+        );
+        assert_eq!(g.edge_between(GCell::new(0, 0), GCell::new(1, 1)), None);
+        assert_eq!(g.edge_between(GCell::new(0, 0), GCell::new(2, 0)), None);
+    }
+
+    #[test]
+    fn usage_and_overflow() {
+        let mut g = grid();
+        let e = g.h_edge(0, 0);
+        g.add_usage(e, 10.0);
+        assert_eq!(g.usage(e), 10.0);
+        assert_eq!(g.overflow(e), 2.0);
+        assert!((g.ratio(e) - 10.0 / 8.0).abs() < 1e-12);
+        g.add_usage(e, -15.0);
+        assert_eq!(g.usage(e), 0.0, "usage clamps at zero");
+        g.add_usage(e, 4.0);
+        g.clear_usage();
+        assert_eq!(g.usage(e), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_ratio_is_finite() {
+        let mut g = RouteGrid::uniform(2, 2, Point::ORIGIN, 1.0, 1.0, 0.0, 0.0);
+        let e = g.h_edge(0, 0);
+        assert_eq!(g.ratio(e), 0.0);
+        g.add_usage(e, 1.0);
+        assert!(g.ratio(e).is_finite());
+        assert!(g.ratio(e) > 1.0);
+    }
+
+    #[test]
+    fn gcell_congestion_takes_incident_max() {
+        let mut g = grid();
+        let c = GCell::new(1, 1);
+        g.add_usage(g.h_edge(0, 1), 16.0); // ratio 2.0 on the left edge
+        g.add_usage(g.v_edge(1, 1), 3.0); // ratio 0.5 above
+        assert!((g.gcell_congestion(c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(GCell::new(1, 2).manhattan(GCell::new(4, 0)), 5);
+    }
+
+    #[test]
+    fn blockage_carving_reduces_capacity() {
+        use rdp_gen::{generate, GeneratorConfig};
+        let mut cfg = GeneratorConfig::tiny("carve", 4);
+        cfg.num_fixed = 2;
+        let bench = generate(&cfg).unwrap();
+        let spec = bench.design.route_spec().unwrap().clone();
+        let carved = RouteGrid::from_design(&bench.design, &bench.placement);
+        let virgin = RouteGrid::uniform(
+            spec.grid_x,
+            spec.grid_y,
+            spec.origin,
+            spec.tile_width,
+            spec.tile_height,
+            spec.total_horizontal_capacity(),
+            spec.total_vertical_capacity(),
+        );
+        let carved_total: f64 = carved.edge_ids().map(|e| carved.capacity(e)).sum();
+        let virgin_total: f64 = virgin.edge_ids().map(|e| virgin.capacity(e)).sum();
+        assert!(
+            carved_total < virgin_total,
+            "blockages must remove capacity: {carved_total} vs {virgin_total}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Congestion heatmaps — the data behind the paper's congestion-map
+//! figures (experiment **F1**).
+
+use crate::grid::{GCell, RouteGrid};
+use std::fmt::Write as _;
+
+/// Per-gcell congestion (max incident edge ratio), row-major from the
+/// bottom-left gcell.
+pub fn gcell_map(grid: &RouteGrid) -> Vec<Vec<f64>> {
+    (0..grid.ny())
+        .map(|y| {
+            (0..grid.nx())
+                .map(|x| grid.gcell_congestion(GCell::new(x, y)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders the congestion map as CSV (`y` rows from top to bottom so the
+/// file reads like the floorplan).
+pub fn to_csv(grid: &RouteGrid) -> String {
+    let map = gcell_map(grid);
+    let mut out = String::new();
+    for row in map.iter().rev() {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+        let _ = writeln!(out, "{}", line.join(","));
+    }
+    out
+}
+
+/// Renders an ASCII-art heatmap; each gcell becomes one character
+/// (`.` < 50%, `-` < 80%, `o` < 100%, `x` < 150%, `X` ≥ 150%).
+pub fn to_ascii(grid: &RouteGrid) -> String {
+    let map = gcell_map(grid);
+    let mut out = String::new();
+    for row in map.iter().rev() {
+        for &v in row {
+            out.push(match v {
+                v if v < 0.5 => '.',
+                v if v < 0.8 => '-',
+                v if v < 1.0 => 'o',
+                v if v < 1.5 => 'x',
+                _ => 'X',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_geom::Point;
+
+    fn grid() -> RouteGrid {
+        let mut g = RouteGrid::uniform(4, 3, Point::ORIGIN, 1.0, 1.0, 10.0, 10.0);
+        g.add_usage(g.h_edge(0, 0), 20.0); // ratio 2.0 bottom-left
+        g.add_usage(g.v_edge(3, 1), 9.0); // ratio 0.9 top-right-ish
+        g
+    }
+
+    #[test]
+    fn map_dimensions() {
+        let m = gcell_map(&grid());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0].len(), 4);
+        assert!((m[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_one_line_per_row() {
+        let csv = to_csv(&grid());
+        assert_eq!(csv.lines().count(), 3);
+        // Top row first: the hot bottom-left cell appears on the last line.
+        let last = csv.lines().last().unwrap();
+        assert!(last.starts_with("2.0000"));
+    }
+
+    #[test]
+    fn ascii_classifies_levels() {
+        let art = to_ascii(&grid());
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('X'), "2.0 ratio renders as X");
+        assert!(art.contains('o'), "0.9 ratio renders as o");
+        assert!(art.contains('.'), "cold cells render as .");
+    }
+}

@@ -1,0 +1,183 @@
+//! A\* maze routing on the gcell grid.
+//!
+//! Used by the negotiation loop to reroute ripped-up segments around
+//! congestion. The heuristic is the Manhattan distance times the minimum
+//! possible edge cost (1.0), which is admissible, so returned paths are
+//! optimal under the current cost field.
+
+use crate::grid::{EdgeId, GCell, RouteGrid};
+use crate::pattern::{edge_cost, CostParams};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    f: f64,
+    g: f64,
+    cell: GCell,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f; ties broken on cell for determinism.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cell.cmp(&self.cell))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the cheapest path from `from` to `to`, returning its edges in
+/// order. Returns an empty vector when `from == to`.
+///
+/// The search always succeeds on a connected grid (every grid is), though
+/// the path may cross overflowed edges when no free route exists — the
+/// negotiation history then pushes later iterations elsewhere.
+pub fn route_maze(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) -> Vec<EdgeId> {
+    if from == to {
+        return Vec::new();
+    }
+    let nx = grid.nx();
+    let ny = grid.ny();
+    let idx = |c: GCell| (c.y * nx + c.x) as usize;
+    let mut best_g = vec![f64::INFINITY; (nx * ny) as usize];
+    let mut parent: Vec<Option<GCell>> = vec![None; (nx * ny) as usize];
+    let mut heap = BinaryHeap::new();
+    best_g[idx(from)] = 0.0;
+    heap.push(HeapEntry { f: f64::from(from.manhattan(to)), g: 0.0, cell: from });
+
+    while let Some(HeapEntry { g, cell, .. }) = heap.pop() {
+        if cell == to {
+            break;
+        }
+        if g > best_g[idx(cell)] {
+            continue; // stale entry
+        }
+        let try_neighbor = |n: GCell, heap: &mut BinaryHeap<HeapEntry>,
+                                best_g: &mut [f64],
+                                parent: &mut [Option<GCell>]| {
+            let e = grid.edge_between(cell, n).expect("adjacent");
+            let ng = g + edge_cost(grid, e, params);
+            if ng < best_g[idx(n)] {
+                best_g[idx(n)] = ng;
+                parent[idx(n)] = Some(cell);
+                heap.push(HeapEntry { f: ng + f64::from(n.manhattan(to)), g: ng, cell: n });
+            }
+        };
+        if cell.x > 0 {
+            try_neighbor(GCell::new(cell.x - 1, cell.y), &mut heap, &mut best_g, &mut parent);
+        }
+        if cell.x + 1 < nx {
+            try_neighbor(GCell::new(cell.x + 1, cell.y), &mut heap, &mut best_g, &mut parent);
+        }
+        if cell.y > 0 {
+            try_neighbor(GCell::new(cell.x, cell.y - 1), &mut heap, &mut best_g, &mut parent);
+        }
+        if cell.y + 1 < ny {
+            try_neighbor(GCell::new(cell.x, cell.y + 1), &mut heap, &mut best_g, &mut parent);
+        }
+    }
+
+    // Reconstruct.
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while let Some(prev) = parent[idx(cur)] {
+        edges.push(grid.edge_between(prev, cur).expect("path edges are adjacent"));
+        cur = prev;
+        if cur == from {
+            break;
+        }
+    }
+    edges.reverse();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_geom::Point;
+
+    fn grid() -> RouteGrid {
+        RouteGrid::uniform(10, 10, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0)
+    }
+
+    #[test]
+    fn shortest_path_on_empty_grid() {
+        let g = grid();
+        let path = route_maze(&g, GCell::new(0, 0), GCell::new(4, 3), CostParams::default());
+        assert_eq!(path.len(), 7, "empty grid gives Manhattan-length path");
+    }
+
+    #[test]
+    fn same_cell_is_empty() {
+        let g = grid();
+        assert!(route_maze(&g, GCell::new(5, 5), GCell::new(5, 5), CostParams::default()).is_empty());
+    }
+
+    #[test]
+    fn detours_around_congestion_wall() {
+        let mut g = grid();
+        // Build a congested vertical wall at x=4..5 except the top row.
+        for y in 0..9 {
+            g.add_usage(g.h_edge(4, y), 100.0);
+        }
+        let path = route_maze(&g, GCell::new(0, 0), GCell::new(9, 0), CostParams::default());
+        // Must detour: longer than Manhattan distance.
+        assert!(path.len() > 9, "path length {} should detour", path.len());
+        // Uses the uncongested top corridor: contains the h-edge at y=9.
+        assert!(path.contains(&g.h_edge(4, 9)));
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let mut g = grid();
+        for y in 2..8 {
+            for x in 2..8 {
+                g.add_usage(g.h_edge(x, y), f64::from(x * y) * 0.7);
+                g.add_usage(g.v_edge(x, y), f64::from(x + y) * 1.3);
+            }
+        }
+        let from = GCell::new(1, 1);
+        let to = GCell::new(8, 8);
+        let path = route_maze(&g, from, to, CostParams::default());
+        // Walk the path: each edge must connect the running endpoint.
+        let mut cur = from;
+        for &e in &path {
+            // Find the neighbor the edge leads to.
+            let neighbors = [
+                (cur.x > 0).then(|| GCell::new(cur.x - 1, cur.y)),
+                (cur.x + 1 < g.nx()).then(|| GCell::new(cur.x + 1, cur.y)),
+                (cur.y > 0).then(|| GCell::new(cur.x, cur.y - 1)),
+                (cur.y + 1 < g.ny()).then(|| GCell::new(cur.x, cur.y + 1)),
+            ];
+            let next = neighbors
+                .into_iter()
+                .flatten()
+                .find(|&n| g.edge_between(cur, n) == Some(e))
+                .expect("edge continues the path");
+            cur = next;
+        }
+        assert_eq!(cur, to, "path must end at the target");
+    }
+
+    #[test]
+    fn respects_history_costs() {
+        let mut g = grid();
+        // Two equal corridors; poison one with history.
+        for x in 0..9 {
+            g.add_history(g.h_edge(x, 0), 10.0);
+        }
+        let path = route_maze(&g, GCell::new(0, 0), GCell::new(9, 0), CostParams::default());
+        let bottom_edges = path.iter().filter(|&&e| e == g.h_edge(4, 0)).count();
+        assert_eq!(bottom_edges, 0, "history-poisoned corridor avoided");
+    }
+}

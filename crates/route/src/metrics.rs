@@ -1,0 +1,141 @@
+//! Congestion metrics: overflow and the DAC-2012 contest's ACE / RC.
+//!
+//! *ACE(k)* — Average Congestion of the top-k% most congested gcell Edges —
+//! and *RC*, the mean of ACE over k ∈ {0.5, 1, 2, 5}, are the contest's
+//! routability score. RC is expressed in percent; RC ≤ 100 means the
+//! design routes within capacity at every percentile the metric looks at,
+//! and the contest's scaled wirelength multiplies HPWL by
+//! `1 + 0.03·max(0, RC − 100)`.
+
+use crate::grid::RouteGrid;
+
+/// The ACE percentile levels of the DAC-2012 metric.
+pub const ACE_LEVELS: [f64; 4] = [0.5, 1.0, 2.0, 5.0];
+
+/// Summary congestion metrics of a routed grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMetrics {
+    /// ACE(k) in percent, for k in [`ACE_LEVELS`] order.
+    pub ace: [f64; 4],
+    /// RC = mean of `ace`, in percent.
+    pub rc: f64,
+    /// Total overflow (tracks beyond capacity, summed over edges).
+    pub total_overflow: f64,
+    /// Maximum edge congestion ratio (1.0 = exactly at capacity).
+    pub max_ratio: f64,
+    /// Number of overflowed edges.
+    pub overflowed_edges: usize,
+    /// Total routed wirelength in gcell units (edges used, weighted by
+    /// usage).
+    pub total_usage: f64,
+}
+
+impl CongestionMetrics {
+    /// Computes all metrics from the current usage of `grid`.
+    pub fn of(grid: &RouteGrid) -> Self {
+        let mut ratios: Vec<f64> = grid
+            .edge_ids()
+            .filter(|&e| grid.capacity(e) > 0.0)
+            .map(|e| grid.ratio(e))
+            .collect();
+        ratios.sort_by(|a, b| b.partial_cmp(a).expect("ratios are finite"));
+
+        let mut ace = [0.0; 4];
+        for (i, k) in ACE_LEVELS.iter().enumerate() {
+            let take = ((ratios.len() as f64) * k / 100.0).ceil().max(1.0) as usize;
+            let take = take.min(ratios.len().max(1));
+            let sum: f64 = ratios.iter().take(take).sum();
+            ace[i] = if ratios.is_empty() { 0.0 } else { 100.0 * sum / take as f64 };
+        }
+        let rc = ace.iter().sum::<f64>() / ace.len() as f64;
+
+        let mut total_overflow = 0.0;
+        let mut overflowed_edges = 0;
+        let mut max_ratio: f64 = 0.0;
+        let mut total_usage = 0.0;
+        for e in grid.edge_ids() {
+            let of = grid.overflow(e);
+            if of > 1e-9 {
+                total_overflow += of;
+                overflowed_edges += 1;
+            }
+            max_ratio = max_ratio.max(grid.ratio(e));
+            total_usage += grid.usage(e);
+        }
+
+        CongestionMetrics {
+            ace,
+            rc,
+            total_overflow,
+            max_ratio,
+            overflowed_edges,
+            total_usage,
+        }
+    }
+
+    /// The contest's scaled-HPWL multiplier: `1 + 0.03·max(0, RC − 100)`.
+    pub fn penalty_factor(&self) -> f64 {
+        1.0 + 0.03 * (self.rc - 100.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_geom::Point;
+
+    fn grid_with_usage(saturated: usize, ratio: f64) -> RouteGrid {
+        let mut g = RouteGrid::uniform(11, 11, Point::ORIGIN, 1.0, 1.0, 10.0, 10.0);
+        let edges: Vec<_> = g.edge_ids().collect();
+        for &e in edges.iter().take(saturated) {
+            g.add_usage(e, ratio * 10.0);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_grid_scores_zero() {
+        let g = grid_with_usage(0, 0.0);
+        let m = CongestionMetrics::of(&g);
+        assert_eq!(m.rc, 0.0);
+        assert_eq!(m.total_overflow, 0.0);
+        assert_eq!(m.overflowed_edges, 0);
+        assert_eq!(m.penalty_factor(), 1.0);
+    }
+
+    #[test]
+    fn ace_captures_hot_tail() {
+        // 220 edges; saturate 3 (≈1.4%) at ratio 2.0.
+        let g = grid_with_usage(3, 2.0);
+        let m = CongestionMetrics::of(&g);
+        // ACE(0.5) looks at ceil(220*0.005)=2 edges, both at 200%.
+        assert!((m.ace[0] - 200.0).abs() < 1e-9);
+        // ACE(5) averages over 11 edges: 3 at 200%, 8 at 0%.
+        let expect = 100.0 * (3.0 * 2.0) / 11.0;
+        assert!((m.ace[3] - expect).abs() < 1e-9, "{} vs {expect}", m.ace[3]);
+        assert!(m.rc > 100.0);
+        assert!(m.penalty_factor() > 1.0);
+        assert_eq!(m.overflowed_edges, 3);
+        assert!((m.max_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_exact_capacity_gives_rc_100() {
+        let g = grid_with_usage(usize::MAX, 1.0);
+        let m = CongestionMetrics::of(&g);
+        assert!((m.rc - 100.0).abs() < 1e-9);
+        assert_eq!(m.penalty_factor(), 1.0);
+        assert_eq!(m.total_overflow, 0.0);
+    }
+
+    #[test]
+    fn overflow_counts_tracks() {
+        let mut g = RouteGrid::uniform(3, 3, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0);
+        let e = g.h_edge(0, 0);
+        g.add_usage(e, 7.0);
+        let m = CongestionMetrics::of(&g);
+        assert!((m.total_overflow - 3.0).abs() < 1e-12);
+        assert_eq!(m.overflowed_edges, 1);
+        assert!((m.total_usage - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,311 @@
+//! Pattern routing: L-shaped routes for two-pin segments, plus the
+//! probabilistic congestion estimator built on them.
+//!
+//! Pattern routing gives the initial solution the negotiation loop refines;
+//! the 50/50 probabilistic variant (each L weighted half) is the fast
+//! congestion oracle the placer's inflation loop calls every iteration,
+//! mirroring how contest-era placers embedded lightweight estimators
+//! instead of a full router.
+
+use crate::grid::{EdgeId, GCell, RouteGrid};
+use crate::topology::{self, Segment};
+use rdp_db::{Design, Placement};
+
+/// Edge-cost parameters shared by pattern and maze routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Cost per unit of overflow an additional track would cause.
+    pub overflow_penalty: f64,
+    /// Weight of the congestion-proportional term below capacity.
+    pub congestion_weight: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            overflow_penalty: 8.0,
+            congestion_weight: 1.0,
+        }
+    }
+}
+
+/// Cost of pushing one more track through `e`: base length cost, a smooth
+/// congestion term below capacity, a steep penalty above, and the
+/// negotiation history.
+pub fn edge_cost(grid: &RouteGrid, e: EdgeId, params: CostParams) -> f64 {
+    let cap = grid.capacity(e);
+    let u = grid.usage(e) + 1.0;
+    let congestion = if cap > 0.0 {
+        if u <= cap {
+            params.congestion_weight * u / cap
+        } else {
+            params.congestion_weight + (u - cap) * params.overflow_penalty
+        }
+    } else {
+        params.overflow_penalty * u
+    };
+    1.0 + congestion + grid.history(e)
+}
+
+/// The edges of the L-route from `from` to `to` bending at the corner
+/// `(corner_x, corner_y)` taken from one endpoint each.
+fn l_edges(grid: &RouteGrid, from: GCell, to: GCell, horizontal_first: bool) -> Vec<EdgeId> {
+    let mut edges = Vec::with_capacity((from.manhattan(to)) as usize);
+    let (x0, y0, x1, y1) = (from.x, from.y, to.x, to.y);
+    let push_h = |edges: &mut Vec<EdgeId>, y: u32| {
+        let (a, b) = (x0.min(x1), x0.max(x1));
+        for x in a..b {
+            edges.push(grid.h_edge(x, y));
+        }
+    };
+    let push_v = |edges: &mut Vec<EdgeId>, x: u32| {
+        let (a, b) = (y0.min(y1), y0.max(y1));
+        for y in a..b {
+            edges.push(grid.v_edge(x, y));
+        }
+    };
+    if horizontal_first {
+        push_h(&mut edges, y0);
+        push_v(&mut edges, x1);
+    } else {
+        push_v(&mut edges, x0);
+        push_h(&mut edges, y1);
+    }
+    edges
+}
+
+/// Routes `seg` with the cheaper of the two L patterns and returns its
+/// edges (empty for a zero-length segment).
+pub fn route_l(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec<EdgeId> {
+    if seg.from == seg.to {
+        return Vec::new();
+    }
+    let a = l_edges(grid, seg.from, seg.to, true);
+    if seg.from.x == seg.to.x || seg.from.y == seg.to.y {
+        return a; // straight: both Ls coincide
+    }
+    let b = l_edges(grid, seg.from, seg.to, false);
+    let cost = |edges: &[EdgeId]| edges.iter().map(|&e| edge_cost(grid, e, params)).sum::<f64>();
+    if cost(&a) <= cost(&b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The edges of a Z-route (two bends) from `from` to `to`.
+///
+/// `horizontal_first` with bend column `mid`: run horizontally to `mid` at
+/// the source row, vertically at `mid`, then horizontally to the target.
+/// Otherwise the transposed variant with bend row `mid`.
+fn z_edges(grid: &RouteGrid, from: GCell, to: GCell, mid: u32, horizontal_first: bool) -> Vec<EdgeId> {
+    let mut edges = Vec::with_capacity(from.manhattan(to) as usize);
+    if horizontal_first {
+        let (a, b) = (from.x.min(mid), from.x.max(mid));
+        for x in a..b {
+            edges.push(grid.h_edge(x, from.y));
+        }
+        let (c, d) = (from.y.min(to.y), from.y.max(to.y));
+        for y in c..d {
+            edges.push(grid.v_edge(mid, y));
+        }
+        let (e, f) = (mid.min(to.x), mid.max(to.x));
+        for x in e..f {
+            edges.push(grid.h_edge(x, to.y));
+        }
+    } else {
+        let (a, b) = (from.y.min(mid), from.y.max(mid));
+        for y in a..b {
+            edges.push(grid.v_edge(from.x, y));
+        }
+        let (c, d) = (from.x.min(to.x), from.x.max(to.x));
+        for x in c..d {
+            edges.push(grid.h_edge(x, mid));
+        }
+        let (e, f) = (mid.min(to.y), mid.max(to.y));
+        for y in e..f {
+            edges.push(grid.v_edge(to.x, y));
+        }
+    }
+    edges
+}
+
+/// Routes `seg` with the cheapest of the L patterns and a small family of
+/// Z patterns (bends at the ¼, ½ and ¾ positions of each axis). Strictly
+/// at Manhattan length like the Ls, but with more freedom to dodge
+/// congestion — the pattern set contest-era routers seeded negotiation
+/// with.
+pub fn route_pattern(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec<EdgeId> {
+    if seg.from == seg.to {
+        return Vec::new();
+    }
+    let cost = |edges: &[EdgeId]| edges.iter().map(|&e| edge_cost(grid, e, params)).sum::<f64>();
+    let mut best = route_l(grid, seg, params);
+    if seg.from.x == seg.to.x || seg.from.y == seg.to.y {
+        return best; // straight: no Z exists
+    }
+    let mut best_cost = cost(&best);
+    let (x_lo, x_hi) = (seg.from.x.min(seg.to.x), seg.from.x.max(seg.to.x));
+    let (y_lo, y_hi) = (seg.from.y.min(seg.to.y), seg.from.y.max(seg.to.y));
+    let quartiles = |lo: u32, hi: u32| {
+        let span = hi - lo;
+        [lo + span / 4, lo + span / 2, lo + 3 * span / 4]
+            .into_iter()
+            .filter(move |&m| m > lo && m < hi)
+    };
+    for mid in quartiles(x_lo, x_hi) {
+        let cand = z_edges(grid, seg.from, seg.to, mid, true);
+        let c = cost(&cand);
+        if c < best_cost {
+            best_cost = c;
+            best = cand;
+        }
+    }
+    for mid in quartiles(y_lo, y_hi) {
+        let cand = z_edges(grid, seg.from, seg.to, mid, false);
+        let c = cost(&cand);
+        if c < best_cost {
+            best_cost = c;
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Probabilistic congestion estimation: every net is MST-decomposed and
+/// each segment deposits half a track on each of its two L patterns.
+///
+/// Returns the grid with the estimated usage — `O(pins)` and allocation-
+/// light, suitable for calling inside the placer's inflation loop.
+pub fn estimate_congestion(design: &Design, placement: &Placement) -> RouteGrid {
+    let mut grid = RouteGrid::from_design(design, placement);
+    for net in design.net_ids() {
+        for seg in topology::decompose_net(design, placement, &grid, net) {
+            if seg.from == seg.to {
+                continue;
+            }
+            let straight = seg.from.x == seg.to.x || seg.from.y == seg.to.y;
+            let weight = if straight { 1.0 } else { 0.5 };
+            for e in l_edges(&grid, seg.from, seg.to, true) {
+                grid.add_usage(e, weight);
+            }
+            if !straight {
+                for e in l_edges(&grid, seg.from, seg.to, false) {
+                    grid.add_usage(e, 0.5);
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_geom::Point;
+
+    fn grid() -> RouteGrid {
+        RouteGrid::uniform(8, 8, Point::ORIGIN, 10.0, 10.0, 4.0, 4.0)
+    }
+
+    #[test]
+    fn l_route_has_manhattan_length() {
+        let g = grid();
+        let seg = Segment { from: GCell::new(1, 1), to: GCell::new(5, 4) };
+        let edges = route_l(&g, seg, CostParams::default());
+        assert_eq!(edges.len(), 7);
+    }
+
+    #[test]
+    fn straight_segments_have_one_pattern() {
+        let g = grid();
+        let seg = Segment { from: GCell::new(1, 2), to: GCell::new(6, 2) };
+        let edges = route_l(&g, seg, CostParams::default());
+        assert_eq!(edges.len(), 5);
+        assert!(edges.iter().all(|&e| g.is_horizontal(e)));
+        let zero = Segment { from: GCell::new(3, 3), to: GCell::new(3, 3) };
+        assert!(route_l(&g, zero, CostParams::default()).is_empty());
+    }
+
+    #[test]
+    fn congested_l_is_avoided() {
+        let mut g = grid();
+        let seg = Segment { from: GCell::new(0, 0), to: GCell::new(3, 3) };
+        // Saturate the horizontal-first corridor (bottom row).
+        for x in 0..3 {
+            g.add_usage(g.h_edge(x, 0), 50.0);
+        }
+        let edges = route_l(&g, seg, CostParams::default());
+        // Must take vertical-first: first edge is vertical.
+        assert!(!g.is_horizontal(edges[0]));
+    }
+
+    #[test]
+    fn edge_cost_grows_past_capacity() {
+        let mut g = grid();
+        let e = g.h_edge(0, 0);
+        let p = CostParams::default();
+        let before = edge_cost(&g, e, p);
+        g.add_usage(e, 10.0); // way past cap of 4
+        let after = edge_cost(&g, e, p);
+        assert!(after > before * 5.0);
+        g.add_history(e, 3.0);
+        assert!((edge_cost(&g, e, p) - after - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_conserves_expected_usage() {
+        use rdp_gen::{generate, GeneratorConfig};
+        let bench = generate(&GeneratorConfig::tiny("est", 5)).unwrap();
+        let g = estimate_congestion(&bench.design, &bench.placement);
+        let total_usage: f64 = g.edge_ids().map(|e| g.usage(e)).sum();
+        // Expected: sum over all segments of their Manhattan length (each
+        // length unit deposits exactly 1.0 across the two Ls).
+        let mut expected = 0.0;
+        for net in bench.design.net_ids() {
+            let segs = topology::decompose_net(&bench.design, &bench.placement, &g, net);
+            expected += f64::from(topology::total_length(&segs));
+        }
+        assert!(
+            (total_usage - expected).abs() < 1e-6,
+            "usage {total_usage} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn z_route_has_manhattan_length() {
+        let g = grid();
+        let seg = Segment { from: GCell::new(0, 0), to: GCell::new(6, 5) };
+        let z = route_pattern(&g, seg, CostParams::default());
+        assert_eq!(z.len(), 11);
+    }
+
+    #[test]
+    fn z_pattern_dodges_double_blocked_ls() {
+        let mut g = grid();
+        let seg = Segment { from: GCell::new(0, 0), to: GCell::new(6, 6) };
+        // Block both L corridors near the corners but leave the middle free.
+        for x in 0..3 {
+            g.add_usage(g.h_edge(x, 0), 50.0); // bottom row start
+        }
+        for y in 4..6 {
+            g.add_usage(g.v_edge(0, y), 50.0); // left column end
+        }
+        let path = route_pattern(&g, seg, CostParams::default());
+        assert_eq!(path.len(), 12, "Z stays at Manhattan length");
+        let hot: f64 = path
+            .iter()
+            .map(|&e| g.usage(e))
+            .sum();
+        assert_eq!(hot, 0.0, "pattern should avoid all congested edges");
+    }
+
+    #[test]
+    fn straight_segments_have_no_z() {
+        let g = grid();
+        let seg = Segment { from: GCell::new(0, 3), to: GCell::new(6, 3) };
+        assert_eq!(route_pattern(&g, seg, CostParams::default()).len(), 6);
+        let zero = Segment { from: GCell::new(2, 2), to: GCell::new(2, 2) };
+        assert!(route_pattern(&g, zero, CostParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! The negotiation-based global router: pattern-route everything, then
+//! rip-up-and-reroute through overflowed edges with growing history costs
+//! (the PathFinder/NCTU-GR recipe the contest's scoring router used).
+
+use crate::grid::{EdgeId, RouteGrid};
+use crate::maze::route_maze;
+use crate::metrics::CongestionMetrics;
+use crate::pattern::{route_pattern, CostParams};
+use crate::topology::{decompose_net, Segment};
+use rdp_db::{Design, NetId, Placement};
+
+/// Tuning knobs of [`GlobalRouter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Maximum rip-up-and-reroute rounds after the initial pattern pass.
+    pub max_iterations: usize,
+    /// History cost added to each overflowed edge per round.
+    pub history_increment: f64,
+    /// Edge-cost parameters.
+    pub cost: CostParams,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_iterations: 6,
+            history_increment: 1.5,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+/// One routed two-pin segment: the request and its current path.
+#[derive(Debug, Clone)]
+struct RoutedSegment {
+    net: NetId,
+    segment: Segment,
+    edges: Vec<EdgeId>,
+}
+
+/// Result of a routing run.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// The grid with final usage (and accumulated history).
+    pub grid: RouteGrid,
+    /// Congestion metrics of the final usage.
+    pub metrics: CongestionMetrics,
+    /// Rip-up rounds actually executed.
+    pub iterations: usize,
+    /// Number of two-pin segments routed.
+    pub num_segments: usize,
+    /// Routed length (gcell edges used) per net, indexed by
+    /// [`NetId::index`](rdp_db::NetId::index).
+    pub net_lengths: Vec<u32>,
+}
+
+/// A negotiation-based 2-D global router.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_gen::{generate, GeneratorConfig};
+/// use rdp_route::{GlobalRouter, RouterConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let bench = generate(&GeneratorConfig::tiny("gr", 3))?;
+/// let outcome = GlobalRouter::new(RouterConfig::default())
+///     .route(&bench.design, &bench.placement);
+/// assert!(outcome.num_segments > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GlobalRouter {
+    config: RouterConfig,
+}
+
+impl GlobalRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: RouterConfig) -> Self {
+        GlobalRouter { config }
+    }
+
+    /// Routes all nets of `design` at `placement`.
+    pub fn route(&self, design: &Design, placement: &Placement) -> RoutingOutcome {
+        let mut grid = RouteGrid::from_design(design, placement);
+
+        // Initial pattern pass.
+        let mut routed: Vec<RoutedSegment> = Vec::new();
+        for net in design.net_ids() {
+            for segment in decompose_net(design, placement, &grid, net) {
+                let edges = route_pattern(&grid, segment, self.config.cost);
+                for &e in &edges {
+                    grid.add_usage(e, 1.0);
+                }
+                routed.push(RoutedSegment { net, segment, edges });
+            }
+        }
+
+        // Negotiation rounds.
+        let mut iterations = 0;
+        for _ in 0..self.config.max_iterations {
+            let overflowed: Vec<bool> = grid
+                .edge_ids()
+                .map(|e| grid.overflow(e) > 1e-9)
+                .collect();
+            if !overflowed.iter().any(|&b| b) {
+                break;
+            }
+            iterations += 1;
+            // Grow history on overflowed edges so repeated offenders get
+            // progressively more expensive.
+            for i in 0..overflowed.len() {
+                if overflowed[i] {
+                    grid.add_history(EdgeId(i as u32), self.config.history_increment);
+                }
+            }
+            // Rip up and maze-reroute every segment crossing overflow.
+            for rs in &mut routed {
+                if !rs.edges.iter().any(|e| overflowed[e.0 as usize]) {
+                    continue;
+                }
+                for &e in &rs.edges {
+                    grid.add_usage(e, -1.0);
+                }
+                rs.edges = route_maze(&grid, rs.segment.from, rs.segment.to, self.config.cost);
+                for &e in &rs.edges {
+                    grid.add_usage(e, 1.0);
+                }
+            }
+        }
+        let mut net_lengths = vec![0u32; design.nets().len()];
+        for rs in &routed {
+            net_lengths[rs.net.index()] += rs.edges.len() as u32;
+        }
+
+        let metrics = CongestionMetrics::of(&grid);
+        RoutingOutcome {
+            metrics,
+            iterations,
+            num_segments: routed.len(),
+            net_lengths,
+            grid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdp_gen::{generate, GeneratorConfig};
+
+    #[test]
+    fn routes_a_generated_design() {
+        let bench = generate(&GeneratorConfig::tiny("r1", 7)).unwrap();
+        let out = GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+        assert!(out.num_segments > 0);
+        assert!(out.metrics.total_usage > 0.0);
+        // Usage conservation: every segment contributes exactly its path.
+        let grid_usage: f64 = out.grid.edge_ids().map(|e| out.grid.usage(e)).sum();
+        assert!((grid_usage - out.metrics.total_usage).abs() < 1e-6);
+        // Per-net lengths sum to the total usage.
+        let per_net: u32 = out.net_lengths.iter().sum();
+        assert!((f64::from(per_net) - out.metrics.total_usage).abs() < 1e-6);
+        assert_eq!(out.net_lengths.len(), bench.design.nets().len());
+    }
+
+    #[test]
+    fn negotiation_reduces_overflow() {
+        // All movers at the die center = maximal congestion; negotiation
+        // must strictly reduce overflow vs the pattern-only pass.
+        let bench = generate(&GeneratorConfig::tiny("r2", 8)).unwrap();
+        let pattern_only = GlobalRouter::new(RouterConfig {
+            max_iterations: 0,
+            ..RouterConfig::default()
+        })
+        .route(&bench.design, &bench.placement);
+        let negotiated =
+            GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+        assert!(
+            negotiated.metrics.total_overflow <= pattern_only.metrics.total_overflow,
+            "negotiation made overflow worse: {} vs {}",
+            negotiated.metrics.total_overflow,
+            pattern_only.metrics.total_overflow
+        );
+    }
+
+    #[test]
+    fn clean_design_converges_without_iterations() {
+        // Tiny design with huge capacity: zero overflow, no negotiation.
+        let mut cfg = GeneratorConfig::tiny("r3", 9);
+        cfg.route.tracks_per_edge_h = 10_000.0;
+        cfg.route.tracks_per_edge_v = 10_000.0;
+        let bench = generate(&cfg).unwrap();
+        let out = GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.metrics.total_overflow, 0.0);
+        assert!(out.metrics.rc < 100.0);
+    }
+
+    #[test]
+    fn deterministic_outcome() {
+        let bench = generate(&GeneratorConfig::tiny("r4", 10)).unwrap();
+        let a = GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+        let b = GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+        assert_eq!(a.metrics.rc, b.metrics.rc);
+        assert_eq!(a.metrics.total_overflow, b.metrics.total_overflow);
+    }
+}

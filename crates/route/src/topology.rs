@@ -1,0 +1,174 @@
+//! Net topology: multi-pin nets decomposed into two-pin segments through a
+//! rectilinear minimum spanning tree (Prim's algorithm over pin gcells).
+//!
+//! An RMST over-estimates the Steiner-tree wirelength by at most 50% and in
+//! practice by ~10%, which is the accuracy class contest-era congestion
+//! estimators operated in.
+
+use crate::grid::{GCell, RouteGrid};
+use rdp_db::{Design, NetId, Placement};
+
+/// A two-pin routing request between gcells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Source gcell.
+    pub from: GCell,
+    /// Target gcell.
+    pub to: GCell,
+}
+
+/// Distinct gcells covered by `net`'s pins, in deterministic order.
+pub fn net_gcells(design: &Design, placement: &Placement, grid: &RouteGrid, net: NetId) -> Vec<GCell> {
+    let mut cells: Vec<GCell> = design
+        .net(net)
+        .pins()
+        .iter()
+        .map(|&p| grid.gcell_of(placement.pin_position(design, p)))
+        .collect();
+    cells.sort();
+    cells.dedup();
+    cells
+}
+
+/// Decomposes `net` into MST segments. Nets whose pins share one gcell
+/// yield no segments (they route entirely inside the gcell).
+pub fn decompose_net(
+    design: &Design,
+    placement: &Placement,
+    grid: &RouteGrid,
+    net: NetId,
+) -> Vec<Segment> {
+    let cells = net_gcells(design, placement, grid, net);
+    mst_segments(&cells)
+}
+
+/// Prim's MST over gcells under the Manhattan metric.
+///
+/// O(k²) per net, which is exact and fast for the pin counts global routers
+/// see (k ≤ a few dozen).
+pub fn mst_segments(cells: &[GCell]) -> Vec<Segment> {
+    if cells.len() < 2 {
+        return Vec::new();
+    }
+    let k = cells.len();
+    let mut in_tree = vec![false; k];
+    let mut best_dist = vec![u32::MAX; k];
+    let mut best_parent = vec![0usize; k];
+    in_tree[0] = true;
+    for j in 1..k {
+        best_dist[j] = cells[0].manhattan(cells[j]);
+    }
+    let mut segments = Vec::with_capacity(k - 1);
+    for _ in 1..k {
+        // Cheapest frontier vertex; ties break on index for determinism.
+        let mut pick = usize::MAX;
+        let mut pick_d = u32::MAX;
+        for j in 0..k {
+            if !in_tree[j] && best_dist[j] < pick_d {
+                pick = j;
+                pick_d = best_dist[j];
+            }
+        }
+        in_tree[pick] = true;
+        segments.push(Segment {
+            from: cells[best_parent[pick]],
+            to: cells[pick],
+        });
+        for j in 0..k {
+            if !in_tree[j] {
+                let d = cells[pick].manhattan(cells[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_parent[j] = pick;
+                }
+            }
+        }
+    }
+    segments
+}
+
+/// Total Manhattan length (in gcells) of a segment list — the lower bound
+/// any routing of the net must meet.
+pub fn total_length(segments: &[Segment]) -> u32 {
+    segments.iter().map(|s| s.from.manhattan(s.to)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single_cell_nets() {
+        assert!(mst_segments(&[]).is_empty());
+        assert!(mst_segments(&[GCell::new(3, 3)]).is_empty());
+    }
+
+    #[test]
+    fn two_pin_mst() {
+        let segs = mst_segments(&[GCell::new(0, 0), GCell::new(3, 4)]);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(total_length(&segs), 7);
+    }
+
+    #[test]
+    fn mst_is_minimal_on_a_line() {
+        // Three collinear points: MST must chain them, not star them.
+        let segs = mst_segments(&[GCell::new(0, 0), GCell::new(5, 0), GCell::new(10, 0)]);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(total_length(&segs), 10, "chain, not 5+10 star");
+    }
+
+    #[test]
+    fn mst_spans_all_cells() {
+        let cells: Vec<GCell> = (0..7).map(|i| GCell::new(i * 2, (i * 3) % 5)).collect();
+        let segs = mst_segments(&cells);
+        assert_eq!(segs.len(), cells.len() - 1);
+        // Connectivity: union-find over the segments.
+        let idx = |c: GCell| cells.iter().position(|&x| x == c).unwrap();
+        let mut parent: Vec<usize> = (0..cells.len()).collect();
+        fn find(p: &mut Vec<usize>, i: usize) -> usize {
+            if p[i] != i {
+                let r = find(p, p[i]);
+                p[i] = r;
+            }
+            p[i]
+        }
+        for s in &segs {
+            let (a, b) = (idx(s.from), idx(s.to));
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..cells.len() {
+            assert_eq!(find(&mut parent, i), root, "cell {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn net_decomposition_dedups_gcells() {
+        use rdp_db::{DesignBuilder, NodeKind, Placement};
+        use rdp_geom::{Point, Rect};
+        let mut b = DesignBuilder::new("t");
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let a = b.add_node("a", 2.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 2.0, 10.0, NodeKind::Movable).unwrap();
+        let e = b.add_node("e", 2.0, 10.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::ORIGIN);
+        b.add_pin(n, e, Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = Placement::new_centered(&d);
+        let grid = RouteGrid::uniform(10, 10, Point::ORIGIN, 10.0, 10.0, 10.0, 10.0);
+        // a and c in the same gcell, e far away.
+        pl.set_center(a, Point::new(5.0, 5.0));
+        pl.set_center(c, Point::new(6.0, 6.0));
+        pl.set_center(e, Point::new(95.0, 5.0));
+        let gcells = net_gcells(&d, &pl, &grid, n);
+        assert_eq!(gcells.len(), 2);
+        let segs = decompose_net(&d, &pl, &grid, n);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(total_length(&segs), 9);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property test: the A\* maze router returns cost-optimal paths.
+//!
+//! Verified against a brute-force Bellman-Ford relaxation over the whole
+//! grid — slow but obviously correct — on random congestion fields.
+
+use proptest::prelude::*;
+use rdp_route::pattern::{edge_cost, CostParams};
+use rdp_route::{maze, GCell, RouteGrid};
+use rdp_geom::Point;
+
+/// Brute-force single-source shortest path by repeated relaxation.
+fn bellman_ford_cost(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) -> f64 {
+    let nx = grid.nx();
+    let ny = grid.ny();
+    let idx = |c: GCell| (c.y * nx + c.x) as usize;
+    let mut dist = vec![f64::INFINITY; (nx * ny) as usize];
+    dist[idx(from)] = 0.0;
+    for _ in 0..(nx * ny) {
+        let mut changed = false;
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = GCell::new(x, y);
+                let dc = dist[idx(c)];
+                if !dc.is_finite() {
+                    continue;
+                }
+                let mut relax = |n: GCell, dist: &mut Vec<f64>| {
+                    let e = grid.edge_between(c, n).expect("adjacent");
+                    let nd = dc + edge_cost(grid, e, params);
+                    if nd < dist[idx(n)] - 1e-12 {
+                        dist[idx(n)] = nd;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if x > 0 {
+                    changed |= relax(GCell::new(x - 1, y), &mut dist);
+                }
+                if x + 1 < nx {
+                    changed |= relax(GCell::new(x + 1, y), &mut dist);
+                }
+                if y > 0 {
+                    changed |= relax(GCell::new(x, y - 1), &mut dist);
+                }
+                if y + 1 < ny {
+                    changed |= relax(GCell::new(x, y + 1), &mut dist);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[idx(to)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn maze_path_cost_is_optimal(
+        usages in proptest::collection::vec(0.0f64..12.0, 36),
+        fx in 0u32..6, fy in 0u32..6, tx in 0u32..6, ty in 0u32..6,
+    ) {
+        let mut grid = RouteGrid::uniform(6, 6, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0);
+        // Random congestion field over the first edges.
+        let edges: Vec<_> = grid.edge_ids().collect();
+        for (i, &e) in edges.iter().enumerate() {
+            grid.add_usage(e, usages[i % usages.len()]);
+        }
+        let from = GCell::new(fx, fy);
+        let to = GCell::new(tx, ty);
+        let params = CostParams::default();
+        let path = maze::route_maze(&grid, from, to, params);
+        let path_cost: f64 = path.iter().map(|&e| edge_cost(&grid, e, params)).sum();
+        let optimal = bellman_ford_cost(&grid, from, to, params);
+        if from == to {
+            prop_assert!(path.is_empty());
+        } else {
+            prop_assert!(
+                (path_cost - optimal).abs() < 1e-6,
+                "A* cost {path_cost} vs optimal {optimal}"
+            );
+        }
+    }
+}

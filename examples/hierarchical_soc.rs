@@ -1,0 +1,50 @@
+//! Hierarchical SoC scenario: a design whose module subcircuits are pinned
+//! to fence regions (the paper's hierarchical mixed-size case). Compares
+//! the hierarchy-aware flow against a fence-blind baseline and shows why
+//! the fences must be honored *during* global placement, not only at
+//! legalization.
+//!
+//! Run: `cargo run --release --example hierarchical_soc`
+
+use rdp::db::validate::check_legal;
+use rdp::gen::{generate, GeneratorConfig};
+use rdp::place::{PlaceOptions, Placer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2k-cell design with 3 exclusive fence regions hosting the three
+    // largest modules.
+    let bench = generate(&GeneratorConfig::hierarchical("soc", 7, 3))?;
+    println!("{}", rdp::db::stats::DesignStats::of(&bench.design));
+    for region in bench.design.regions() {
+        println!(
+            "  fence `{}`: {:.0} area over {} rect(s)",
+            region.name(),
+            region.area(),
+            region.rects().len()
+        );
+    }
+
+    let movers = bench.design.movable_ids().count() as f64;
+    for (label, options) in [
+        ("hierarchy-aware (ours)", PlaceOptions::fast()),
+        ("fence-blind GP (B2)", PlaceOptions::fast().fence_blind()),
+    ] {
+        let result = Placer::new(&bench.design, options)
+            .with_initial(bench.placement.clone())
+            .run()?;
+        let report = check_legal(&bench.design, &result.placement, 10);
+        println!(
+            "{label:>24}: HPWL {:>10.0}  avg legalization displacement {:>7.2}  \
+             fence violations after legalization: {}",
+            result.hpwl,
+            result.legalize.total_displacement / movers,
+            report.fence_violations,
+        );
+    }
+    println!(
+        "\nBoth flows end fence-clean (the legalizer enforces fences), but the\n\
+         fence-blind flow pays for it with displacement and wirelength — the\n\
+         effect the paper's hierarchical experiments quantify."
+    );
+    Ok(())
+}

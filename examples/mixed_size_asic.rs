@@ -1,0 +1,44 @@
+//! Mixed-size ASIC scenario: a macro-heavy design (35% of movable area in
+//! blocks) where macro rotation and flipping matter. Shows the orientation
+//! distribution the optimizer picks and the ablation cost of disabling it.
+//!
+//! Run: `cargo run --release --example mixed_size_asic`
+
+use rdp::gen::{generate, GeneratorConfig};
+use rdp::place::{PlaceOptions, Placer};
+use std::collections::BTreeMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = GeneratorConfig::small("asic", 13);
+    cfg.num_macros = 10;
+    cfg.macro_area_share = 0.35;
+    let bench = generate(&cfg)?;
+    println!("{}", rdp::db::stats::DesignStats::of(&bench.design));
+
+    for (label, options) in [
+        ("with macro rotation", PlaceOptions::fast()),
+        ("without (T5 ablation)", PlaceOptions::fast().without_rotation()),
+    ] {
+        let result = Placer::new(&bench.design, options)
+            .with_initial(bench.placement.clone())
+            .run()?;
+        let mut orients: BTreeMap<String, usize> = BTreeMap::new();
+        for id in bench.design.macro_ids() {
+            *orients
+                .entry(result.placement.orient(id).to_string())
+                .or_insert(0) += 1;
+        }
+        let dist: Vec<String> = orients.iter().map(|(o, n)| format!("{o}x{n}")).collect();
+        println!(
+            "{label:>22}: HPWL {:>10.0}   macro orientations: {}",
+            result.hpwl,
+            dist.join(" ")
+        );
+    }
+
+    println!(
+        "\nEvery macro outline stays row/site aligned and overlap-free after\n\
+         legalization; rotation freedom lets connected pins face their nets."
+    );
+    Ok(())
+}

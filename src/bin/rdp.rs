@@ -1,0 +1,228 @@
+//! `rdp` — command-line front end of the placement tool chain.
+//!
+//! ```text
+//! rdp generate --preset small --name demo --seed 42 --out bench/demo [--fences N]
+//! rdp place    --aux bench/demo/demo.aux --out results/demo [flow flags]
+//! rdp score    --aux bench/demo/demo.aux [--pl results/demo/demo.pl]
+//! rdp check    --aux bench/demo/demo.aux [--pl results/demo/demo.pl]
+//! rdp stats    --aux bench/demo/demo.aux
+//! ```
+//!
+//! Flow flags for `place`: `--fast`, `--wl-driven`, `--fence-blind`,
+//! `--flat`, `--lse`, `--no-rotation`, `--seed N`.
+
+use rdp::db::{bookshelf, stats::DesignStats, validate::check_legal, Design, Placement};
+use rdp::eval::score_placement;
+use rdp::gen::{generate, GeneratorConfig};
+use rdp::place::{PlaceOptions, Placer, WirelengthModel};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N]\n  rdp score    --aux FILE [--pl FILE]\n  rdp route    --aux FILE [--pl FILE] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
+    );
+    ExitCode::from(2)
+}
+
+/// Splits argv into flag map (`--key value` / bare `--switch`).
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].strip_prefix("--")?.to_owned();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            map.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            map.insert(key, String::new());
+            i += 1;
+        }
+    }
+    Some(map)
+}
+
+fn load(aux: &str, pl_override: Option<&String>) -> Result<(Design, Placement), String> {
+    let (design, mut placement) =
+        bookshelf::read_design(aux).map_err(|e| format!("cannot read {aux}: {e}"))?;
+    if let Some(pl) = pl_override {
+        placement = bookshelf::read_placement(&design, pl)
+            .map_err(|e| format!("cannot read {pl}: {e}"))?;
+    }
+    Ok((design, placement))
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("name").cloned().unwrap_or_else(|| "bench".into());
+    let seed: u64 = flags.get("seed").map_or(Ok(1), |s| s.parse()).map_err(|e| format!("bad --seed: {e}"))?;
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("small");
+    let mut cfg = match preset {
+        "tiny" => GeneratorConfig::tiny(&name, seed),
+        "small" => GeneratorConfig::small(&name, seed),
+        "medium" => GeneratorConfig::medium(&name, seed),
+        "large" => GeneratorConfig::large(&name, seed),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    if let Some(f) = flags.get("fences") {
+        cfg.num_regions = f.parse().map_err(|e| format!("bad --fences: {e}"))?;
+        cfg.target_utilization = cfg.target_utilization.min(0.7);
+    }
+    let out = flags.get("out").ok_or("missing --out DIR")?;
+    let bench = generate(&cfg).map_err(|e| format!("generation failed: {e}"))?;
+    bookshelf::write_design(&bench.design, &bench.placement, out)
+        .map_err(|e| format!("cannot write benchmark: {e}"))?;
+    println!("{}", DesignStats::of(&bench.design));
+    println!("wrote {}", PathBuf::from(out).join(format!("{name}.aux")).display());
+    Ok(())
+}
+
+fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
+    let aux = flags.get("aux").ok_or("missing --aux FILE")?;
+    let out = flags.get("out").ok_or("missing --out DIR")?;
+    let (design, initial) = load(aux, None)?;
+
+    let mut options = if flags.contains_key("fast") {
+        PlaceOptions::fast()
+    } else {
+        PlaceOptions::default()
+    };
+    if flags.contains_key("wl-driven") {
+        options = options.wirelength_driven();
+    }
+    if flags.contains_key("fence-blind") {
+        options = options.fence_blind();
+    }
+    if flags.contains_key("flat") {
+        options = options.flat();
+    }
+    if flags.contains_key("no-rotation") {
+        options = options.without_rotation();
+    }
+    if flags.contains_key("lse") {
+        options = options.with_wirelength(WirelengthModel::Lse);
+    }
+    if let Some(s) = flags.get("seed") {
+        options.seed = s.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+
+    let result = Placer::new(&design, options)
+        .with_initial(initial)
+        .run()
+        .map_err(|e| format!("placement failed: {e}"))?;
+    println!(
+        "placed {} nodes in {:.1}s — HPWL {:.0}",
+        design.nodes().len(),
+        result.elapsed.as_secs_f64(),
+        result.hpwl
+    );
+    bookshelf::write_design(&design, &result.placement, out)
+        .map_err(|e| format!("cannot write result: {e}"))?;
+    println!("wrote {}", PathBuf::from(out).join(format!("{}.pl", design.name())).display());
+    Ok(())
+}
+
+fn cmd_score(flags: &HashMap<String, String>) -> Result<(), String> {
+    let aux = flags.get("aux").ok_or("missing --aux FILE")?;
+    let (design, placement) = load(aux, flags.get("pl"))?;
+    let s = score_placement(&design, &placement);
+    println!(
+        "HPWL {:.0}\nACE(0.5/1/2/5%) {:.1} {:.1} {:.1} {:.1}\nRC {:.1}%\nscaled HPWL {:.0}\noverflow {:.0} tracks on {} edges",
+        s.hpwl,
+        s.congestion.ace[0],
+        s.congestion.ace[1],
+        s.congestion.ace[2],
+        s.congestion.ace[3],
+        s.rc,
+        s.scaled_hpwl,
+        s.congestion.total_overflow,
+        s.congestion.overflowed_edges,
+    );
+    Ok(())
+}
+
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    use rdp::route::{heatmap, GlobalRouter, RouterConfig};
+    let aux = flags.get("aux").ok_or("missing --aux FILE")?;
+    let (design, placement) = load(aux, flags.get("pl"))?;
+    let out = GlobalRouter::new(RouterConfig::default()).route(&design, &placement);
+    println!(
+        "routed {} segments in {} negotiation rounds",
+        out.num_segments, out.iterations
+    );
+    println!(
+        "RC {:.1}%   total overflow {:.0} tracks on {} edges   max ratio {:.2}",
+        out.metrics.rc,
+        out.metrics.total_overflow,
+        out.metrics.overflowed_edges,
+        out.metrics.max_ratio
+    );
+    let longest = out
+        .net_lengths
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &l)| l)
+        .map(|(i, &l)| (design.nets()[i].name().to_owned(), l));
+    if let Some((name, len)) = longest {
+        println!("longest routed net: {name} ({len} gcell edges)");
+    }
+    if flags.contains_key("map") {
+        println!("{}", heatmap::to_ascii(&out.grid));
+        println!("legend: . <50%   - <80%   o <100%   x <150%   X >=150%");
+    }
+    Ok(())
+}
+
+fn cmd_check(flags: &HashMap<String, String>) -> Result<(), String> {
+    let aux = flags.get("aux").ok_or("missing --aux FILE")?;
+    let (design, placement) = load(aux, flags.get("pl"))?;
+    let report = check_legal(&design, &placement, 20);
+    if report.is_legal() {
+        println!("legal");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            println!("violation: {v:?}");
+        }
+        Err(format!(
+            "{} violations ({} fence, {:.1} overlap area)",
+            report.violations.len(),
+            report.fence_violations,
+            report.total_overlap_area
+        ))
+    }
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let aux = flags.get("aux").ok_or("missing --aux FILE")?;
+    let (design, placement) = load(aux, None)?;
+    println!("{}", DesignStats::of(&design));
+    println!("initial HPWL {:.0}", rdp::db::hpwl::total_hpwl(&design, &placement));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let Some(flags) = parse_flags(rest) else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "place" => cmd_place(&flags),
+        "score" => cmd_score(&flags),
+        "route" => cmd_route(&flags),
+        "check" => cmd_check(&flags),
+        "stats" => cmd_stats(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

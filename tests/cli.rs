@@ -1,0 +1,113 @@
+//! Integration tests for the `rdp` command-line tool, driving the real
+//! binary end-to-end: generate → stats → place → check → score → route.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rdp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rdp"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rdp_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_flow() {
+    let dir = tmp("flow");
+    let bench = dir.join("bench");
+    let sol = dir.join("sol");
+
+    let out = rdp()
+        .args(["generate", "--preset", "tiny", "--name", "cli", "--seed", "7", "--out"])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "generate failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(bench.join("cli.aux").exists());
+
+    let aux = bench.join("cli.aux");
+    let out = rdp().args(["stats", "--aux"]).arg(&aux).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cells"), "stats output: {stdout}");
+
+    let out = rdp()
+        .args(["place", "--aux"])
+        .arg(&aux)
+        .args(["--out"])
+        .arg(&sol)
+        .arg("--fast")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "place failed: {}", String::from_utf8_lossy(&out.stderr));
+    let sol_aux = sol.join("cli.aux");
+    assert!(sol_aux.exists());
+
+    let out = rdp().args(["check", "--aux"]).arg(&sol_aux).output().unwrap();
+    assert!(out.status.success(), "check failed: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("legal"));
+
+    let out = rdp().args(["score", "--aux"]).arg(&sol_aux).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RC") && stdout.contains("scaled HPWL"), "score output: {stdout}");
+
+    let out = rdp().args(["route", "--aux"]).arg(&sol_aux).arg("--map").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("routed") && stdout.contains("legend"), "route output: {stdout}");
+}
+
+#[test]
+fn score_accepts_pl_override() {
+    let dir = tmp("plov");
+    let bench = dir.join("bench");
+    rdp()
+        .args(["generate", "--preset", "tiny", "--name", "ov", "--seed", "9", "--out"])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    // Score with the benchmark's own .pl passed explicitly.
+    let out = rdp()
+        .args(["score", "--aux"])
+        .arg(bench.join("ov.aux"))
+        .args(["--pl"])
+        .arg(bench.join("ov.pl"))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn unknown_command_exits_with_usage() {
+    let out = rdp().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_required_flag_is_an_error() {
+    let out = rdp().args(["place", "--aux", "/nonexistent.aux"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing --out"));
+}
+
+#[test]
+fn check_fails_on_illegal_placement() {
+    // The generated initial placement piles everything at the die center:
+    // definitely illegal.
+    let dir = tmp("illegal");
+    let bench = dir.join("bench");
+    rdp()
+        .args(["generate", "--preset", "tiny", "--name", "il", "--seed", "11", "--out"])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    let out = rdp().args(["check", "--aux"]).arg(bench.join("il.aux")).output().unwrap();
+    assert!(!out.status.success(), "center-pile placement must fail the check");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("violations"));
+}

@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! placement stack.
+
+use proptest::prelude::*;
+use rdp::db::{DesignBuilder, NodeKind, Placement};
+use rdp::geom::{Interval, Orient, Point, Rect};
+
+/// Strategy: a small random legal-ish design with `n` cells in one row
+/// block and a few random nets.
+fn arb_positions(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..980.0, 0.0f64..990.0), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hpwl_is_invariant_under_pin_order(xs in arb_positions(6), perm_seed in 0u64..1000) {
+        // Build the same net twice with different pin orders.
+        let build = |order: &[usize]| {
+            let mut b = DesignBuilder::new("p");
+            b.die(Rect::new(0.0, 0.0, 1000.0, 1000.0));
+            b.add_row(0.0, 10.0, 1.0, 0.0, 1000);
+            let ids: Vec<_> = (0..xs.len())
+                .map(|i| b.add_node(format!("c{i}"), 2.0, 10.0, NodeKind::Movable).unwrap())
+                .collect();
+            let net = b.add_net("n", 1.0);
+            for &k in order {
+                b.add_pin(net, ids[k], Point::ORIGIN);
+            }
+            let d = b.finish().unwrap();
+            let mut pl = Placement::new_centered(&d);
+            for (i, &(x, y)) in xs.iter().enumerate() {
+                pl.set_center(ids[i], Point::new(x, y));
+            }
+            rdp::db::hpwl::total_hpwl(&d, &pl)
+        };
+        let fwd: Vec<usize> = (0..xs.len()).collect();
+        let mut shuffled = fwd.clone();
+        // Simple deterministic shuffle from the seed.
+        for i in (1..shuffled.len()).rev() {
+            let j = (perm_seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert!((build(&fwd) - build(&shuffled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_models_bracket_hpwl(xs in arb_positions(5), gamma in 0.5f64..32.0) {
+        use rdp::place::model::{Model, ModelNet, ModelPin};
+        use rdp::place::wirelength::{smooth_wl, WirelengthModel};
+        let n = xs.len();
+        let model = Model {
+            pos: xs.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            size: vec![(2.0, 10.0); n],
+            area: vec![20.0; n],
+            is_macro: vec![false; n],
+            region: vec![None; n],
+            nets: vec![ModelNet {
+                weight: 1.0,
+                pins: (0..n).map(|i| ModelPin::movable(i, Point::ORIGIN)).collect(),
+            }],
+            die: Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            node_of: vec![],
+        };
+        let hpwl = model.hpwl();
+        let lse = smooth_wl(&model, WirelengthModel::Lse, gamma);
+        let wa = smooth_wl(&model, WirelengthModel::Wa, gamma);
+        prop_assert!(lse >= hpwl - 1e-6, "LSE {lse} < HPWL {hpwl}");
+        prop_assert!(wa <= hpwl + 1e-6, "WA {wa} > HPWL {hpwl}");
+        prop_assert!(lse.is_finite() && wa.is_finite());
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(
+        a in (0.0f64..100.0, 0.0f64..100.0, 1.0f64..50.0, 1.0f64..50.0),
+        b in (0.0f64..100.0, 0.0f64..100.0, 1.0f64..50.0, 1.0f64..50.0),
+    ) {
+        let ra = Rect::new(a.0, a.1, a.0 + a.2, a.1 + a.3);
+        let rb = Rect::new(b.0, b.1, b.0 + b.2, b.1 + b.3);
+        let i1 = ra.intersection(rb);
+        let i2 = rb.intersection(ra);
+        prop_assert_eq!(i1, i2);
+        prop_assert!(i1.area() <= ra.area() + 1e-9);
+        prop_assert!(i1.area() <= rb.area() + 1e-9);
+        prop_assert!(ra.union(rb).area() >= ra.area().max(rb.area()) - 1e-9);
+        if !i1.is_empty() {
+            prop_assert!(ra.contains_rect(i1) && rb.contains_rect(i1));
+        }
+    }
+
+    #[test]
+    fn orientation_transform_preserves_offset_norm(
+        dx in -50.0f64..50.0,
+        dy in -50.0f64..50.0,
+        which in 0usize..8,
+    ) {
+        let o = Orient::ALL[which];
+        let p = Point::new(dx, dy);
+        let t = rdp::geom::transform::transform_offset(p, o);
+        prop_assert!((t.norm() - p.norm()).abs() < 1e-9);
+        // Eight applications of rotate_ccw cycle back.
+        let mut oo = o;
+        for _ in 0..4 { oo = oo.rotated_ccw(); }
+        prop_assert_eq!(oo, o);
+    }
+
+    #[test]
+    fn interval_algebra(
+        a in (0.0f64..100.0, 0.0f64..100.0),
+        b in (0.0f64..100.0, 0.0f64..100.0),
+    ) {
+        let ia = Interval::new(a.0.min(a.1), a.0.max(a.1));
+        let ib = Interval::new(b.0.min(b.1), b.0.max(b.1));
+        prop_assert!((ia.overlap(ib) - ib.overlap(ia)).abs() < 1e-12);
+        prop_assert!(ia.overlap(ib) <= ia.length() + 1e-12);
+        prop_assert!(ia.hull(ib).length() + 1e-12 >= ia.length().max(ib.length()));
+    }
+
+    #[test]
+    fn mst_length_at_most_chain_and_spans(pts in proptest::collection::vec((0u32..64, 0u32..64), 2..12)) {
+        use rdp::route::topology::{mst_segments, total_length};
+        use rdp::route::GCell;
+        let mut cells: Vec<GCell> = pts.iter().map(|&(x, y)| GCell::new(x, y)).collect();
+        cells.sort();
+        cells.dedup();
+        prop_assume!(cells.len() >= 2);
+        let segs = mst_segments(&cells);
+        prop_assert_eq!(segs.len(), cells.len() - 1);
+        // MST no longer than visiting cells in sorted order.
+        let chain: u32 = cells.windows(2).map(|w| w[0].manhattan(w[1])).sum();
+        prop_assert!(total_length(&segs) <= chain);
+    }
+
+    #[test]
+    fn abacus_packs_any_assignment_legally(
+        desired in proptest::collection::vec(0.0f64..90.0, 1..12),
+        widths in proptest::collection::vec(1u32..5, 12),
+    ) {
+        use rdp::place::legalize::{pack_segment, Segment};
+        let n = desired.len();
+        let mut b = DesignBuilder::new("ab");
+        b.die(Rect::new(0.0, 0.0, 100.0, 10.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                b.add_node(format!("c{i}"), f64::from(widths[i]), 10.0, NodeKind::Movable)
+                    .unwrap()
+            })
+            .collect();
+        let total_w: f64 = (0..n).map(|i| f64::from(widths[i])).sum();
+        prop_assume!(total_w <= 100.0);
+        let net = b.add_net("n", 1.0);
+        b.add_pin(net, ids[0], Point::ORIGIN);
+        b.add_pin(net, ids[n.min(2) - 1], Point::ORIGIN);
+        let d = b.finish().unwrap();
+        let mut pl = Placement::new_centered(&d);
+        for (i, &x) in desired.iter().enumerate() {
+            pl.set_lower_left(&d, ids[i], Point::new(x, 0.0));
+        }
+        let mut seg = Segment {
+            row: 0,
+            interval: Interval::new(0.0, 100.0),
+            region: None,
+            used: total_w,
+            cells: ids.clone(),
+        };
+        pack_segment(&d, &mut pl, &mut seg);
+        // Legal: inside segment, site aligned, no overlap.
+        let mut rects: Vec<Rect> = ids.iter().map(|&id| pl.rect(&d, id)).collect();
+        rects.sort_by(|a, b| a.xl.partial_cmp(&b.xl).unwrap());
+        for r in &rects {
+            prop_assert!(r.xl >= -1e-9 && r.xh <= 100.0 + 1e-9, "outside: {r}");
+            prop_assert!((r.xl - r.xl.round()).abs() < 1e-9, "off-site: {r}");
+        }
+        for w in rects.windows(2) {
+            prop_assert!(w[0].xh <= w[1].xl + 1e-9, "overlap: {} {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn bell_density_conserves_mass_anywhere(
+        x in 20.0f64..80.0,
+        y in 20.0f64..80.0,
+        w in 1.0f64..20.0,
+        h in 5.0f64..20.0,
+    ) {
+        use rdp::place::density::{BinGrid, DensityField};
+        use rdp::place::model::{Model, ModelNet};
+        let model = Model {
+            pos: vec![Point::new(x, y)],
+            size: vec![(w, h)],
+            area: vec![w * h],
+            is_macro: vec![false],
+            region: vec![None],
+            nets: Vec::<ModelNet>::new(),
+            die: Rect::new(0.0, 0.0, 100.0, 100.0),
+            node_of: vec![],
+        };
+        let mut field = DensityField {
+            grid: BinGrid::new(model.die, 20, 20, 1.0),
+            members: vec![0],
+        };
+        let mut grad = vec![Point::ORIGIN; 1];
+        let stats = field.penalty_grad(&model, &mut grad);
+        prop_assert!(stats.penalty >= 0.0);
+        prop_assert!(grad[0].is_finite());
+    }
+}
