@@ -1,31 +1,26 @@
-//! Criterion microbenchmarks of the bell-shaped density kernel — the other
-//! half of the global-placement inner loop.
+//! Microbenchmarks of the bell-shaped density kernel — the other half of
+//! the global-placement inner loop.
+//!
+//! Built with `cargo bench -p rdp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdp_bench::timing::bench;
 use rdp_core::density::build_fields;
 use rdp_core::model::Model;
 use rdp_gen::{generate, GeneratorConfig};
 use rdp_geom::Point;
 
-fn bench_density(c: &mut Criterion) {
-    let mut group = c.benchmark_group("density_penalty_grad");
+fn main() {
     for cells in [1_000usize, 4_000] {
         let mut cfg = GeneratorConfig::tiny("denbench", 11);
         cfg.num_cells = cells;
-        let bench = generate(&cfg).expect("valid config");
-        let model = Model::from_design(&bench.design, &bench.placement);
+        let gen = generate(&cfg).expect("valid config");
+        let model = Model::from_design(&gen.design, &gen.placement);
         let bins = ((cells as f64).sqrt() as usize).max(16);
-        group.bench_with_input(BenchmarkId::from_parameter(cells), &model, |b, m| {
-            let mut fields = build_fields(m, &[], &[], bins, 0.9);
-            let mut grad = vec![Point::ORIGIN; m.len()];
-            b.iter(|| {
-                grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-                std::hint::black_box(fields[0].penalty_grad(m, &mut grad))
-            })
+        let mut fields = build_fields(&model, &[], &[], bins, 0.9);
+        let mut grad = vec![Point::ORIGIN; model.len()];
+        bench(&format!("density_penalty_grad/{cells}"), || {
+            grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            fields[0].penalty_grad(&model, &mut grad)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_density);
-criterion_main!(benches);

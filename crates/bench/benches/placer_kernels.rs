@@ -1,46 +1,31 @@
-//! Criterion benchmarks of the placement pipeline stages: clustering,
+//! Microbenchmarks of the placement pipeline stages: clustering,
 //! legalization and the end-to-end fast flow on a tiny design.
+//!
+//! Built with `cargo bench -p rdp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_bench::timing::bench;
 use rdp_core::cluster::build_levels;
 use rdp_core::legalize::legalize;
 use rdp_core::model::Model;
 use rdp_core::{PlaceOptions, Placer};
 use rdp_gen::{generate, GeneratorConfig};
 
-fn bench_placer(c: &mut Criterion) {
-    let bench = generate(&GeneratorConfig::tiny("plbench", 17)).expect("valid config");
-    let model = Model::from_design(&bench.design, &bench.placement);
+fn main() {
+    let gen = generate(&GeneratorConfig::tiny("plbench", 17)).expect("valid config");
+    let model = Model::from_design(&gen.design, &gen.placement);
 
-    c.bench_function("cluster_build_levels_tiny", |b| {
-        b.iter(|| std::hint::black_box(build_levels(&model, 100)))
+    bench("cluster_build_levels_tiny", || build_levels(&model, 100));
+
+    bench("legalize_tiny", || {
+        let mut pl = gen.placement.clone();
+        legalize(&gen.design, &mut pl);
+        pl
     });
 
-    c.bench_function("legalize_tiny", |b| {
-        b.iter_batched(
-            || bench.placement.clone(),
-            |mut pl| {
-                legalize(&bench.design, &mut pl);
-                std::hint::black_box(pl)
-            },
-            criterion::BatchSize::LargeInput,
-        )
+    bench("end_to_end/fast_flow_tiny", || {
+        Placer::new(&gen.design, PlaceOptions::fast())
+            .with_initial(gen.placement.clone())
+            .run()
+            .expect("placeable")
     });
-
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("fast_flow_tiny", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                Placer::new(&bench.design, PlaceOptions::fast())
-                    .with_initial(bench.placement.clone())
-                    .run()
-                    .expect("placeable"),
-            )
-        })
-    });
-    group.finish();
 }
-
-criterion_group!(benches, bench_placer);
-criterion_main!(benches);

@@ -1,29 +1,21 @@
-//! Criterion benchmarks of the routing substrate: the fast probabilistic
+//! Microbenchmarks of the routing substrate: the fast probabilistic
 //! estimator (called every inflation round) and the full negotiation
 //! router (the scoring oracle).
+//!
+//! Built with `cargo bench -p rdp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rdp_bench::timing::bench;
 use rdp_gen::{generate, GeneratorConfig};
 use rdp_route::{pattern, GlobalRouter, RouterConfig};
 
-fn bench_router(c: &mut Criterion) {
-    let bench = generate(&GeneratorConfig::tiny("rtbench", 13)).expect("valid config");
+fn main() {
+    let gen = generate(&GeneratorConfig::tiny("rtbench", 13)).expect("valid config");
 
-    c.bench_function("pattern_estimate_tiny", |b| {
-        b.iter(|| std::hint::black_box(pattern::estimate_congestion(&bench.design, &bench.placement)))
+    bench("pattern_estimate_tiny", || {
+        pattern::estimate_congestion(&gen.design, &gen.placement)
     });
 
-    let mut group = c.benchmark_group("full_route");
-    group.sample_size(10);
-    group.bench_function("negotiated_tiny", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement),
-            )
-        })
+    bench("full_route/negotiated_tiny", || {
+        GlobalRouter::new(RouterConfig::default()).route(&gen.design, &gen.placement)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_router);
-criterion_main!(benches);

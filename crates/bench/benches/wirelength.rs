@@ -1,7 +1,9 @@
-//! Criterion microbenchmarks of the smooth wirelength kernels (the hot
-//! inner loop of global placement): LSE vs WA gradient evaluation.
+//! Microbenchmarks of the smooth wirelength kernels (the hot inner loop of
+//! global placement): LSE vs WA gradient evaluation.
+//!
+//! Built with `cargo bench -p rdp-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdp_bench::timing::bench;
 use rdp_core::model::Model;
 use rdp_core::wirelength::{smooth_wl_grad, WirelengthModel};
 use rdp_gen::{generate, GeneratorConfig};
@@ -14,26 +16,15 @@ fn model_of(cells: usize) -> Model {
     Model::from_design(&bench.design, &bench.placement)
 }
 
-fn bench_wirelength(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wirelength_grad");
+fn main() {
     for cells in [1_000usize, 4_000] {
         let model = model_of(cells);
         let mut grad = vec![Point::ORIGIN; model.len()];
         for which in [WirelengthModel::Lse, WirelengthModel::Wa] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{which:?}"), cells),
-                &model,
-                |b, m| {
-                    b.iter(|| {
-                        grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-                        std::hint::black_box(smooth_wl_grad(m, which, 20.0, &mut grad))
-                    })
-                },
-            );
+            bench(&format!("wirelength_grad/{which:?}/{cells}"), || {
+                grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+                smooth_wl_grad(&model, which, 20.0, &mut grad)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_wirelength);
-criterion_main!(benches);

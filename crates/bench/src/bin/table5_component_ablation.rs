@@ -14,7 +14,8 @@ fn main() {
     // Two macro-heavy mid-size circuits (s3/s4 positions in the suite).
     let suite: Vec<_> = standard_suite(args).into_iter().skip(2).take(2).collect();
 
-    let variants: [(&str, fn() -> PlaceOptions); 5] = [
+    type MakeOptions = fn() -> PlaceOptions;
+    let variants: [(&str, MakeOptions); 5] = [
         ("full", PlaceOptions::default),
         ("-rotation", || PlaceOptions::default().without_rotation()),
         ("-inflation", || PlaceOptions::default().wirelength_driven()),

@@ -8,6 +8,8 @@
 
 use rdp_gen::GeneratorConfig;
 
+pub mod timing;
+
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExpArgs {

@@ -1,0 +1,89 @@
+//! A small `std::time`-based microbenchmark harness.
+//!
+//! The workspace builds with no external crates, so the `[[bench]]`
+//! targets (gated behind the `bench` feature) use this instead of a
+//! benchmark framework: warm up, pick an iteration count that makes one
+//! sample take a measurable slice of wall time, take several samples, and
+//! report min/median/mean per-call times.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmarked closure.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label.
+    pub name: String,
+    /// Calls per sample.
+    pub iters: u32,
+    /// Samples taken.
+    pub samples: usize,
+    /// Fastest per-call time observed.
+    pub min: Duration,
+    /// Median per-call time.
+    pub median: Duration,
+    /// Mean per-call time.
+    pub mean: Duration,
+}
+
+impl Sample {
+    /// One human-readable line, e.g. `wl/wa/1000  min 1.234ms  median 1.3ms`.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} x {} iters)",
+            self.name, self.min, self.median, self.mean, self.samples, self.iters
+        )
+    }
+}
+
+/// Benchmarks `f`, printing the summary line, and returns the [`Sample`].
+///
+/// The closure's return value is passed through [`std::hint::black_box`] so
+/// the computation cannot be optimized away.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Sample {
+    // Warm-up + calibration: aim for samples of ~50ms each.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let iters = (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+    let samples = if once > Duration::from_millis(200) { 3 } else { 7 };
+
+    let mut per_call: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_call.push(t.elapsed() / iters);
+    }
+    per_call.sort();
+    let mean = per_call.iter().sum::<Duration>() / per_call.len() as u32;
+    let s = Sample {
+        name: name.to_owned(),
+        iters,
+        samples,
+        min: per_call[0],
+        median: per_call[per_call.len() / 2],
+        mean,
+    };
+    println!("{}", s.line());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let s = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.min <= s.median && s.median <= s.mean * 10);
+        assert!(s.iters >= 1);
+        assert!(s.line().contains("spin"));
+    }
+}

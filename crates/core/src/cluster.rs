@@ -59,8 +59,8 @@ fn coarsen(model: &Model, parent: &[u32], coarse_n: usize) -> Model {
     let mut is_macro = vec![false; coarse_n];
     let mut region = vec![None; coarse_n];
     let mut macro_size = vec![None; coarse_n];
-    for i in 0..model.len() {
-        let p = parent[i] as usize;
+    for (i, &par) in parent.iter().enumerate().take(model.len()) {
+        let p = par as usize;
         area[p] += model.area[i];
         cx[p] += model.pos[i].x * model.area[i];
         cy[p] += model.pos[i].y * model.area[i];

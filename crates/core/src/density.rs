@@ -10,7 +10,13 @@
 //! designs.
 
 use crate::model::Model;
+use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
 use rdp_geom::{Point, Rect};
+
+/// Member objects per parallel work chunk. Fixed (never derived from the
+/// thread count) so deposit order — and therefore floating-point rounding —
+/// is identical at every parallelism level.
+const MEMBER_CHUNK: usize = 512;
 
 /// The C¹ bell kernel of NTUplace: 1 at the object center, quadratic
 /// falloff to zero at `w/2 + 2·bin` from the center.
@@ -168,106 +174,186 @@ pub struct DensityField {
     pub members: Vec<u32>,
 }
 
+/// One chunk of pass 1: normalization scales for the chunk's members (in
+/// member order) and the sparse `(bin, amount)` deposits they make (member
+/// order, then row-major bin order — the historical sequential order).
+fn rasterize_span(
+    g: &BinGrid,
+    model: &Model,
+    members: &[u32],
+    span: std::ops::Range<usize>,
+) -> (Vec<f64>, Vec<(u32, f64)>) {
+    let mut scales = vec![0.0f64; span.len()];
+    let mut deposits: Vec<(u32, f64)> = Vec::new();
+    for (si, &oi) in members[span].iter().enumerate() {
+        let o = oi as usize;
+        let (w, h) = model.size[o];
+        let c = model.pos[o];
+        let rx = w / 2.0 + 2.0 * g.bin_w;
+        let ry = h / 2.0 + 2.0 * g.bin_h;
+        let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
+        let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
+        let mut sum = 0.0;
+        for by in y0..=y1 {
+            let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
+            if py == 0.0 {
+                continue;
+            }
+            for bx in x0..=x1 {
+                let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
+                sum += px * py;
+            }
+        }
+        if sum <= 0.0 {
+            continue;
+        }
+        let scale = model.area[o] / sum;
+        scales[si] = scale;
+        for by in y0..=y1 {
+            let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
+            if py == 0.0 {
+                continue;
+            }
+            for bx in x0..=x1 {
+                let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
+                deposits.push(((by * g.nx + bx) as u32, scale * px * py));
+            }
+        }
+    }
+    (scales, deposits)
+}
+
+/// One chunk of pass 2: the chain-rule gradient of each member in the span
+/// (dense over the span, zero for members that deposited nothing).
+fn gradient_span(
+    g: &BinGrid,
+    model: &Model,
+    members: &[u32],
+    scales: &[f64],
+    residual: &[f64],
+    span: std::ops::Range<usize>,
+) -> Vec<Point> {
+    let mut out = vec![Point::ORIGIN; span.len()];
+    for (si, &oi) in members[span.clone()].iter().enumerate() {
+        let o = oi as usize;
+        let scale = scales[span.start + si];
+        if scale == 0.0 {
+            continue;
+        }
+        let (w, h) = model.size[o];
+        let c = model.pos[o];
+        let rx = w / 2.0 + 2.0 * g.bin_w;
+        let ry = h / 2.0 + 2.0 * g.bin_h;
+        let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
+        let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
+        let mut gx = 0.0;
+        let mut gy = 0.0;
+        for by in y0..=y1 {
+            let dyv = c.y - g.bin_center(x0, by).y;
+            let py = bell(dyv.abs(), h, g.bin_h);
+            let dpy = bell_grad(dyv.abs(), h, g.bin_h) * dyv.signum();
+            if py == 0.0 && dpy == 0.0 {
+                continue;
+            }
+            for bx in x0..=x1 {
+                let dxv = c.x - g.bin_center(bx, by).x;
+                let px = bell(dxv.abs(), w, g.bin_w);
+                let dpx = bell_grad(dxv.abs(), w, g.bin_w) * dxv.signum();
+                let r = residual[by * g.nx + bx];
+                if r == 0.0 {
+                    continue;
+                }
+                gx += r * scale * dpx * py;
+                gy += r * scale * px * dpy;
+            }
+        }
+        out[si] = Point::new(gx, gy);
+    }
+    out
+}
+
 impl DensityField {
     /// Spreads the members' areas, computes the penalty and **adds** the
-    /// *unscaled* penalty gradient (`∂penalty/∂pos`) into `grad`.
+    /// *unscaled* penalty gradient (`∂penalty/∂pos`) into `grad`, using up
+    /// to `par` worker threads.
+    ///
+    /// Members are partitioned into fixed-size chunks; each chunk
+    /// rasterizes against the immutable grid geometry and its sparse bin
+    /// deposits are merged back **in member order**, so the result is
+    /// bitwise identical at every thread count (and to the historical
+    /// sequential implementation). The per-member gradient read-back
+    /// parallelizes the same way.
     ///
     /// Bins also receive gradient-free clamping: an object whose kernel
     /// support lies fully outside the grid contributes nothing (it is the
     /// fence pull-in force's job to bring it back).
-    pub fn penalty_grad(&mut self, model: &Model, grad: &mut [Point]) -> DensityStats {
+    pub fn penalty_grad_par(
+        &mut self,
+        model: &Model,
+        grad: &mut [Point],
+        par: Parallelism,
+    ) -> DensityStats {
         let g = &mut self.grid;
         g.density.iter_mut().for_each(|d| *d = 0.0);
+        let spans: Vec<_> = chunk_spans(self.members.len(), MEMBER_CHUNK).collect();
 
-        // Pass 1: deposit density with per-object normalization.
+        // Pass 1: rasterize chunks in parallel, then deposit in chunk
+        // (= member) order.
         let mut scales = vec![0.0f64; self.members.len()];
-        for (mi, &oi) in self.members.iter().enumerate() {
-            let o = oi as usize;
-            let (w, h) = model.size[o];
-            let c = model.pos[o];
-            let rx = w / 2.0 + 2.0 * g.bin_w;
-            let ry = h / 2.0 + 2.0 * g.bin_h;
-            let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
-            let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
-            let mut sum = 0.0;
-            for by in y0..=y1 {
-                let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
-                if py == 0.0 {
-                    continue;
-                }
-                for bx in x0..=x1 {
-                    let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
-                    sum += px * py;
-                }
-            }
-            if sum <= 0.0 {
-                continue;
-            }
-            let scale = model.area[o] / sum;
-            scales[mi] = scale;
-            for by in y0..=y1 {
-                let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
-                if py == 0.0 {
-                    continue;
-                }
-                for bx in x0..=x1 {
-                    let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
-                    g.density[by * g.nx + bx] += scale * px * py;
+        {
+            let g_ro: &BinGrid = g;
+            let members: &[u32] = &self.members;
+            let partials = chunked_map(par, spans.len(), |ci| {
+                rasterize_span(g_ro, model, members, spans[ci].clone())
+            });
+            for (span, (chunk_scales, deposits)) in spans.iter().zip(&partials) {
+                scales[span.clone()].copy_from_slice(chunk_scales);
+                for &(bin, amount) in deposits {
+                    g.density[bin as usize] += amount;
                 }
             }
         }
 
-        // Penalty and per-bin residuals.
+        // Penalty and per-bin residuals (O(bins): cheap, kept sequential so
+        // the reduction order is trivially canonical).
         let mut stats = DensityStats::default();
         let mut residual = vec![0.0f64; g.density.len()];
-        for i in 0..g.density.len() {
+        for (i, r) in residual.iter_mut().enumerate() {
             let over = (g.density[i] - g.target[i]).max(0.0);
             stats.penalty += over * over;
-            residual[i] = 2.0 * over;
+            *r = 2.0 * over;
             stats.overflow_area += (g.density[i] - g.capacity[i]).max(0.0);
             if g.capacity[i] > 1e-12 {
                 stats.max_ratio = stats.max_ratio.max(g.density[i] / g.capacity[i]);
             }
         }
 
-        // Pass 2: chain rule into object positions.
-        for (mi, &oi) in self.members.iter().enumerate() {
-            let o = oi as usize;
-            let scale = scales[mi];
-            if scale == 0.0 {
-                continue;
-            }
-            let (w, h) = model.size[o];
-            let c = model.pos[o];
-            let rx = w / 2.0 + 2.0 * g.bin_w;
-            let ry = h / 2.0 + 2.0 * g.bin_h;
-            let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
-            let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
-            let mut gx = 0.0;
-            let mut gy = 0.0;
-            for by in y0..=y1 {
-                let dyv = c.y - g.bin_center(x0, by).y;
-                let py = bell(dyv.abs(), h, g.bin_h);
-                let dpy = bell_grad(dyv.abs(), h, g.bin_h) * dyv.signum();
-                if py == 0.0 && dpy == 0.0 {
-                    continue;
-                }
-                for bx in x0..=x1 {
-                    let dxv = c.x - g.bin_center(bx, by).x;
-                    let px = bell(dxv.abs(), w, g.bin_w);
-                    let dpx = bell_grad(dxv.abs(), w, g.bin_w) * dxv.signum();
-                    let r = residual[by * g.nx + bx];
-                    if r == 0.0 {
-                        continue;
-                    }
-                    gx += r * scale * dpx * py;
-                    gy += r * scale * px * dpy;
+        // Pass 2: chain rule into object positions, one chunk of members at
+        // a time (each member's accumulation is internal to its chunk, so
+        // merge order only has to respect member order).
+        {
+            let g_ro: &BinGrid = g;
+            let members: &[u32] = &self.members;
+            let scales_ro: &[f64] = &scales;
+            let residual_ro: &[f64] = &residual;
+            let partials = chunked_map(par, spans.len(), |ci| {
+                gradient_span(g_ro, model, members, scales_ro, residual_ro, spans[ci].clone())
+            });
+            for (span, chunk_grad) in spans.iter().zip(&partials) {
+                for (si, gp) in chunk_grad.iter().enumerate() {
+                    let o = self.members[span.start + si] as usize;
+                    grad[o].x += gp.x;
+                    grad[o].y += gp.y;
                 }
             }
-            grad[o].x += gx;
-            grad[o].y += gy;
         }
         stats
+    }
+
+    /// Single-threaded [`DensityField::penalty_grad_par`] (the historical
+    /// entry point).
+    pub fn penalty_grad(&mut self, model: &Model, grad: &mut [Point]) -> DensityStats {
+        self.penalty_grad_par(model, grad, Parallelism::single())
     }
 }
 
@@ -398,7 +484,7 @@ mod tests {
         let stats = f.penalty_grad(&model, &mut grad);
         assert!(stats.penalty > 0.0);
         // Descent direction −grad separates them.
-        assert!(grad[0].x > grad[1].x * -1.0 || grad[0].x < grad[1].x, "degenerate gradients");
+        assert!(grad[0].x > -grad[1].x || grad[0].x < grad[1].x, "degenerate gradients");
         assert!(-grad[0].x < -grad[1].x, "left cell moves left, right cell moves right");
     }
 
@@ -409,6 +495,7 @@ mod tests {
         let mut grad = vec![Point::ORIGIN; 2];
         f.penalty_grad(&model, &mut grad);
         let h = 1e-6;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..2 {
             for axis in 0..2 {
                 let mut mp = model.clone();
@@ -420,8 +507,8 @@ mod tests {
                     mp.pos[i].y += h;
                     mm.pos[i].y -= h;
                 }
-                let fp = field_for(&model, 12, 0.3).penalty_grad(&mp, &mut vec![Point::ORIGIN; 2]).penalty;
-                let fm = field_for(&model, 12, 0.3).penalty_grad(&mm, &mut vec![Point::ORIGIN; 2]).penalty;
+                let fp = field_for(&model, 12, 0.3).penalty_grad(&mp, &mut [Point::ORIGIN; 2]).penalty;
+                let fm = field_for(&model, 12, 0.3).penalty_grad(&mm, &mut [Point::ORIGIN; 2]).penalty;
                 let fd = (fp - fm) / (2.0 * h);
                 let an = if axis == 0 { grad[i].x } else { grad[i].y };
                 assert!(

@@ -251,7 +251,7 @@ pub fn reorder_pass(design: &Design, placement: &mut Placement, window: usize) -
                 }
                 for i in 0..k {
                     heaps(k - 1, perm, out);
-                    if k % 2 == 0 {
+                    if k.is_multiple_of(2) {
                         perm.swap(i, k - 1);
                     } else {
                         perm.swap(0, k - 1);
@@ -495,6 +495,7 @@ pub fn ism_pass(
             let mut best: Vec<usize> = perm.clone();
             let identity_cost: f64 = (0..k).map(|i| cost[i][i]).sum();
             let mut best_cost = identity_cost;
+            #[allow(clippy::too_many_arguments)]
             fn search(
                 i: usize,
                 k: usize,
@@ -570,10 +571,9 @@ mod tests {
     use rdp_gen::{generate, GeneratorConfig};
 
     fn legal_bench(seed: u64) -> (rdp_db::Design, Placement) {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
         let bench = generate(&GeneratorConfig::tiny("dp", seed)).unwrap();
         let mut pl = bench.placement.clone();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = rdp_geom::rng::Rng::seed_from_u64(seed);
         let die = bench.design.die();
         for id in bench.design.movable_ids() {
             let (w, h) = pl.dims(&bench.design, id);

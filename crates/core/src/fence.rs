@@ -18,6 +18,37 @@ pub fn fence_grad(model: &Model, regions: &[Region], weight: f64, grad: &mut [Po
     if regions.is_empty() || weight == 0.0 {
         return;
     }
+    for (g, (&region_id, &c)) in grad.iter_mut().zip(model.region.iter().zip(&model.pos)) {
+        let Some(region_id) = region_id else { continue };
+        let Some(region) = regions.get(region_id.index()) else { continue };
+        if region.contains(c) {
+            continue;
+        }
+        if let Some((closest, _)) = region.closest_point(c) {
+            // d/dc |c - closest|² = 2 (c - closest).
+            *g += (c - closest) * (2.0 * weight);
+        }
+    }
+}
+
+/// Projects fenced objects hovering just outside their fence back inside:
+/// any fenced object whose center is outside but within `max_dist` of the
+/// fence is moved to the closest interior point, inset so the object
+/// outline fits the part (or the part center line when the part is
+/// narrower than the object). Returns the number of objects moved.
+///
+/// This is the projection step of projected gradient descent for the hard
+/// fence constraint. The pull-in force transports far-away objects toward
+/// the fence, but near the boundary it fights the fence density field and
+/// the global step normalization (one step can overshoot a sub-bin gap
+/// many times over), leaving a thin oscillating layer of violators.
+/// Snapping that layer — and only that layer — lets the fence's own
+/// density field take over spreading the object inside.
+pub fn fence_project(model: &mut Model, regions: &[Region], max_dist: f64) -> usize {
+    if regions.is_empty() {
+        return 0;
+    }
+    let mut moved = 0;
     for i in 0..model.len() {
         let Some(region_id) = model.region[i] else { continue };
         let Some(region) = regions.get(region_id.index()) else { continue };
@@ -25,11 +56,21 @@ pub fn fence_grad(model: &Model, regions: &[Region], weight: f64, grad: &mut [Po
         if region.contains(c) {
             continue;
         }
-        if let Some((closest, _)) = region.closest_point(c) {
-            // d/dc |c - closest|² = 2 (c - closest).
-            grad[i] += (c - closest) * (2.0 * weight);
+        let Some((closest, part)) = region.closest_point(c) else { continue };
+        if closest.distance(c) > max_dist {
+            continue;
         }
+        let r = region.rects()[part];
+        let (w, h) = model.size[i];
+        let sx = (w / 2.0).min(r.width() / 2.0);
+        let sy = (h / 2.0).min(r.height() / 2.0);
+        model.pos[i] = Point::new(
+            closest.x.clamp(r.xl + sx, r.xh - sx),
+            closest.y.clamp(r.yl + sy, r.yh - sy),
+        );
+        moved += 1;
     }
+    moved
 }
 
 /// Total squared fence-violation distance (diagnostic; zero when every

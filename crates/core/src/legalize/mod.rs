@@ -64,8 +64,10 @@ pub fn legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
     obstacles.extend(macro_rects);
 
     let mut segments = build_segments(design, &obstacles);
-    let mut stats = LegalizeStats::default();
-    stats.failed = assign_cells(design, placement, &mut segments);
+    let stats = LegalizeStats {
+        failed: assign_cells(design, placement, &mut segments),
+        ..LegalizeStats::default()
+    };
 
     for seg in &mut segments {
         pack_segment(design, placement, seg);
@@ -104,8 +106,7 @@ mod tests {
     /// Spread movers pseudo-randomly (deterministic) so legalization has
     /// realistic input instead of the all-at-center pile.
     fn scatter(design: &Design, placement: &mut Placement, seed: u64) {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = rdp_geom::rng::Rng::seed_from_u64(seed);
         let die = design.die();
         for id in design.movable_ids() {
             let (w, h) = placement.dims(design, id);

@@ -3,12 +3,14 @@
 //! NTUplace-style λ-doubling outer loop and γ annealing.
 
 use crate::density::build_fields;
-use crate::fence::fence_grad;
+use crate::fence::{fence_grad, fence_project};
 use crate::model::Model;
 use crate::trace::{Trace, TraceRecord};
-use crate::wirelength::{smooth_wl_grad, WirelengthModel};
+use crate::wirelength::{smooth_wl_grad_par, WirelengthModel};
 use rdp_db::Region;
+use rdp_geom::parallel::Parallelism;
 use rdp_geom::{Point, Rect};
+use std::time::{Duration, Instant};
 
 /// Tuning parameters of one global-placement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +37,9 @@ pub struct GpOptions {
     pub fence_weight: f64,
     /// Maximum move per CG step, in bins.
     pub step_bins: f64,
+    /// Worker threads for the wirelength/density kernels (results are
+    /// identical at every thread count; see [`rdp_geom::parallel`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for GpOptions {
@@ -51,6 +56,7 @@ impl Default for GpOptions {
             lambda_growth: 2.0,
             fence_weight: 4.0,
             step_bins: 0.8,
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -111,14 +117,18 @@ pub fn run_global_place(
     let mut prev_grad = vec![Point::ORIGIN; n];
     let mut dir = vec![Point::ORIGIN; n];
 
+    let par = opts.parallelism;
+    let mut wl_kernel_time = Duration::ZERO;
+    let mut den_kernel_time = Duration::ZERO;
+
     // λ₀ balances the two gradient magnitudes (the SimPL/NTUplace warm
     // start): density starts at ~5% of the wirelength force.
     let mut lambda = {
         wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
         den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-        smooth_wl_grad(model, opts.wirelength, gamma, &mut wl_grad);
+        smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_grad, par);
         for f in &mut fields {
-            f.penalty_grad(model, &mut den_grad);
+            f.penalty_grad_par(model, &mut den_grad, par);
         }
         let wl_norm: f64 = wl_grad.iter().map(|g| g.norm()).sum();
         let den_norm: f64 = den_grad.iter().map(|g| g.norm()).sum();
@@ -141,12 +151,16 @@ pub fn run_global_place(
         for inner in 0..opts.inner_iters {
             wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
             den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            last_wl = smooth_wl_grad(model, opts.wirelength, gamma, &mut wl_grad);
+            let t0 = Instant::now();
+            last_wl = smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_grad, par);
+            wl_kernel_time += t0.elapsed();
             overflow_area = 0.0;
+            let t1 = Instant::now();
             for f in &mut fields {
-                let stats = f.penalty_grad(model, &mut den_grad);
+                let stats = f.penalty_grad_par(model, &mut den_grad, par);
                 overflow_area += stats.overflow_area;
             }
+            den_kernel_time += t1.elapsed();
             fence_grad(model, regions, lambda * opts.fence_weight, &mut den_grad);
 
             for i in 0..n {
@@ -180,12 +194,17 @@ pub fn run_global_place(
                 break;
             }
             let alpha = step_len / max_d;
-            for i in 0..n {
-                model.pos[i] += dir[i] * alpha;
+            for (p, d) in model.pos.iter_mut().zip(&dir) {
+                *p += *d * alpha;
             }
             model.clamp_to_die();
             std::mem::swap(&mut prev_grad, &mut grad);
         }
+
+        // Collapse the boundary layer: objects the pull force brought to
+        // within a bin of their fence are snapped inside (projected
+        // gradient step for the hard fence constraint).
+        fence_project(model, regions, 0.5 * (bin_w + bin_h));
 
         let overflow_ratio = overflow_area / movable_area.max(1e-12);
         outcome = GpOutcome {
@@ -208,6 +227,8 @@ pub fn run_global_place(
         lambda *= opts.lambda_growth;
         gamma = (gamma * opts.gamma_decay).max(gamma_floor);
     }
+    trace.record_stage(format!("{stage}/wl_kernel"), wl_kernel_time);
+    trace.record_stage(format!("{stage}/density_kernel"), den_kernel_time);
     outcome
 }
 

@@ -179,6 +179,13 @@ impl PlaceOptions {
     pub fn with_continuous_rotation(self) -> Self {
         PlaceOptions { rotation_mode: RotationMode::Continuous, ..self }
     }
+
+    /// Sets the worker-thread count for the parallel kernels (`0` = one per
+    /// available CPU). Results are bitwise identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.gp.parallelism = rdp_geom::parallel::Parallelism::new(threads);
+        self
+    }
 }
 
 /// Outcome of a full placement run.
@@ -269,8 +276,7 @@ impl<'a> Placer<'a> {
 
         // Symmetry-breaking jitter around the initial positions.
         {
-            use rand::{rngs::StdRng, Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let mut rng = rdp_geom::rng::Rng::seed_from_u64(opts.seed);
             let die = design.die();
             let jx = die.width() * 0.05;
             let jy = die.height() * 0.05;
@@ -401,7 +407,11 @@ impl<'a> Placer<'a> {
             let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
             for round in 0..opts.inflation_rounds {
                 model.write_back(&mut placement);
-                let grid = rdp_route::pattern::estimate_congestion(design, &placement);
+                let grid = rdp_route::pattern::estimate_congestion_par(
+                    design,
+                    &placement,
+                    opts.gp.parallelism,
+                );
                 let mut touched = 0usize;
                 if opts.inflate_cells {
                     let stats = inflate(&mut model, &grid, opts.inflation);
@@ -447,7 +457,11 @@ impl<'a> Placer<'a> {
         let detail_stats = if opts.detailed {
             let t = Instant::now();
             let congestion = if opts.routability {
-                Some(rdp_route::pattern::estimate_congestion(design, &placement))
+                Some(rdp_route::pattern::estimate_congestion_par(
+                    design,
+                    &placement,
+                    opts.gp.parallelism,
+                ))
             } else {
                 None
             };
@@ -500,7 +514,6 @@ mod tests {
 
     #[test]
     fn placement_beats_random_scatter_on_hpwl() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
         let bench = generate(&GeneratorConfig::tiny("pw", 42)).unwrap();
         let result = Placer::new(&bench.design, PlaceOptions::fast())
             .with_initial(bench.placement.clone())
@@ -508,7 +521,7 @@ mod tests {
             .unwrap();
         // Random legal-ish scatter as the null hypothesis.
         let mut random = bench.placement.clone();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = rdp_geom::rng::Rng::seed_from_u64(7);
         let die = bench.design.die();
         for id in bench.design.movable_ids() {
             let (w, h) = random.dims(&bench.design, id);

@@ -12,7 +12,13 @@
 //! fraction of a bin without overflow.
 
 use crate::model::Model;
+use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
 use rdp_geom::Point;
+
+/// Nets per parallel work chunk. Fixed (never derived from the thread
+/// count) so chunk boundaries — and therefore the floating-point reduction
+/// order — are identical at every parallelism level.
+const NET_CHUNK: usize = 256;
 
 /// Which smooth wirelength model the optimizer differentiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,27 +73,31 @@ fn wa_axis(coords: &[f64], gamma: f64, pin_grad: &mut [f64]) -> f64 {
     f_max - f_min
 }
 
-/// Evaluates the smooth wirelength of `model` and **accumulates** its
-/// gradient into `grad` (one entry per object; caller zeroes).
-///
-/// Returns the total smooth wirelength (net-weight scaled).
-///
-/// # Panics
-///
-/// Panics if `grad.len() != model.len()`.
-pub fn smooth_wl_grad(
+/// One chunk's partial evaluation: per-net smooth spans (in net order) and
+/// the sparse pin-gradient contributions (in net-then-pin order).
+struct ChunkPartial {
+    /// `weight · (wx + wy)` for every ≥2-pin net in the chunk, net order.
+    net_totals: Vec<f64>,
+    /// `(object, ∂x, ∂y)` contributions in net-then-pin order.
+    contribs: Vec<(u32, f64, f64)>,
+}
+
+/// Evaluates the nets in `span` against an immutable model snapshot.
+fn eval_net_span(
     model: &Model,
     which: WirelengthModel,
     gamma: f64,
-    grad: &mut [Point],
-) -> f64 {
-    assert_eq!(grad.len(), model.len(), "gradient buffer size mismatch");
-    let mut total = 0.0;
+    span: std::ops::Range<usize>,
+) -> ChunkPartial {
+    let mut out = ChunkPartial {
+        net_totals: Vec::with_capacity(span.len()),
+        contribs: Vec::new(),
+    };
     let mut xs: Vec<f64> = Vec::with_capacity(16);
     let mut ys: Vec<f64> = Vec::with_capacity(16);
     let mut gx: Vec<f64> = Vec::with_capacity(16);
     let mut gy: Vec<f64> = Vec::with_capacity(16);
-    for net in &model.nets {
+    for net in &model.nets[span] {
         if net.pins.len() < 2 {
             continue;
         }
@@ -110,16 +120,66 @@ pub fn smooth_wl_grad(
                 wa_axis(&ys, gamma, &mut gy),
             ),
         };
-        total += net.weight * (wx + wy);
+        out.net_totals.push(net.weight * (wx + wy));
         for (k, p) in net.pins.iter().enumerate() {
             if let Some(o) = p.obj {
-                let g = &mut grad[o as usize];
-                g.x += net.weight * gx[k];
-                g.y += net.weight * gy[k];
+                out.contribs.push((o, net.weight * gx[k], net.weight * gy[k]));
             }
         }
     }
+    out
+}
+
+/// Evaluates the smooth wirelength of `model` and **accumulates** its
+/// gradient into `grad` (one entry per object; caller zeroes), using up to
+/// `par` worker threads.
+///
+/// Nets are partitioned into fixed-size chunks evaluated against the
+/// immutable model; each chunk's partial totals and pin-gradient
+/// contributions are merged back **in net order**, so the result is bitwise
+/// identical at every thread count (and to the historical sequential
+/// implementation).
+///
+/// Returns the total smooth wirelength (net-weight scaled).
+///
+/// # Panics
+///
+/// Panics if `grad.len() != model.len()`.
+pub fn smooth_wl_grad_par(
+    model: &Model,
+    which: WirelengthModel,
+    gamma: f64,
+    grad: &mut [Point],
+    par: Parallelism,
+) -> f64 {
+    assert_eq!(grad.len(), model.len(), "gradient buffer size mismatch");
+    let spans: Vec<_> = chunk_spans(model.nets.len(), NET_CHUNK).collect();
+    let partials = chunked_map(par, spans.len(), |ci| {
+        eval_net_span(model, which, gamma, spans[ci].clone())
+    });
+    // Ordered reduction: chunks in index order, nets in order within each.
+    let mut total = 0.0;
+    for part in &partials {
+        for &t in &part.net_totals {
+            total += t;
+        }
+        for &(o, dx, dy) in &part.contribs {
+            let g = &mut grad[o as usize];
+            g.x += dx;
+            g.y += dy;
+        }
+    }
     total
+}
+
+/// Single-threaded [`smooth_wl_grad_par`] (the historical entry point).
+pub fn smooth_wl_grad(
+    model: &Model,
+    which: WirelengthModel,
+    gamma: f64,
+    grad: &mut [Point],
+) -> f64 {
+    smooth_wl_grad_par(model, which, gamma, grad, Parallelism::single())
 }
 
 /// Evaluates the smooth wirelength only (no gradient) — used by the
@@ -203,6 +263,7 @@ mod tests {
             let mut grad = vec![Point::ORIGIN; model.len()];
             smooth_wl_grad(&model, which, gamma, &mut grad);
             let h = 1e-5;
+            #[allow(clippy::needless_range_loop)]
             for i in 0..model.len() {
                 for axis in 0..2 {
                     let mut mp = model.clone();

@@ -128,10 +128,8 @@ fn parse_scl(path: &Path, builder: &mut DesignBuilder) -> Result<(), BookshelfEr
                 "Coordinate" => y = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "row y")?, "number")?),
                 "Height" => height = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "row height")?, "number")?),
                 "Sitespacing" => site = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "site spacing")?, "number")?),
-                "Sitewidth" => {
-                    if site.is_none() {
-                        site = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "site width")?, "number")?);
-                    }
+                "Sitewidth" if site.is_none() => {
+                    site = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "site width")?, "number")?);
                 }
                 "SubrowOrigin" => {
                     origin = Some(parse_tok(&cur, l, get_tok(&cur, l, 1, "subrow origin")?, "number")?);

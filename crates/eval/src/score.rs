@@ -43,7 +43,6 @@ mod tests {
 
     #[test]
     fn scaled_hpwl_applies_contest_penalty() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
         // Scatter cells over a supply-starved grid: long random nets swamp
         // the 6 tracks/edge and the penalty must bite. (An all-at-center
         // pile is *not* congested at gcell granularity — nets collapse
@@ -54,7 +53,7 @@ mod tests {
         cfg.route.tracks_per_edge_v = 6.0;
         let bench = generate(&cfg).unwrap();
         let mut pl = bench.placement.clone();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = rdp_geom::rng::Rng::seed_from_u64(5);
         let die = bench.design.die();
         for id in bench.design.movable_ids() {
             pl.set_center(

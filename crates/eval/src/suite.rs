@@ -34,25 +34,26 @@ pub fn tiny_config(name: &str, seed: u64) -> GeneratorConfig {
 /// | s7 | 16k   | large, higher utilization          |
 /// | s8 | 24k   | largest                            |
 pub fn standard_suite() -> Vec<GeneratorConfig> {
-    let mut v = Vec::new();
-    v.push(GeneratorConfig::small("s1", 101));
-    v.push(GeneratorConfig {
-        num_cells: 3_000,
-        target_utilization: 0.85,
-        ..GeneratorConfig::small("s2", 102)
-    });
-    v.push(GeneratorConfig {
-        num_cells: 5_000,
-        num_macros: 8,
-        macro_area_share: 0.35,
-        ..GeneratorConfig::small("s3", 103)
-    });
-    v.push(GeneratorConfig {
-        num_cells: 8_000,
-        num_macros: 8,
-        num_fixed: 3,
-        ..GeneratorConfig::small("s4", 104)
-    });
+    let mut v = vec![
+        GeneratorConfig::small("s1", 101),
+        GeneratorConfig {
+            num_cells: 3_000,
+            target_utilization: 0.85,
+            ..GeneratorConfig::small("s2", 102)
+        },
+        GeneratorConfig {
+            num_cells: 5_000,
+            num_macros: 8,
+            macro_area_share: 0.35,
+            ..GeneratorConfig::small("s3", 103)
+        },
+        GeneratorConfig {
+            num_cells: 8_000,
+            num_macros: 8,
+            num_fixed: 3,
+            ..GeneratorConfig::small("s4", 104)
+        },
+    ];
     let mut s5 = GeneratorConfig {
         num_cells: 8_000,
         num_macros: 8,

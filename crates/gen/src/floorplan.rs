@@ -2,8 +2,7 @@
 //! blocks, peripheral I/O and fence-region allocation.
 
 use crate::GeneratorConfig;
-use rand::rngs::StdRng;
-use rand::Rng;
+use rdp_geom::rng::Rng;
 use rdp_db::{BuildError, Design, DesignBuilder, NodeId, NodeKind, Placement};
 use rdp_geom::{Point, Rect};
 
@@ -28,7 +27,7 @@ pub(crate) struct Plan {
 /// Builds nodes, rows, fixed blocks, I/O and fences into `builder`.
 pub(crate) fn build(
     config: &GeneratorConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     builder: &mut DesignBuilder,
 ) -> Result<Plan, BuildError> {
     let row_h = config.row_height;
@@ -114,8 +113,7 @@ pub(crate) fn build(
             .collect();
         // Largest-area modules get fenced (only their standard cells; a
         // fenced macro would dominate the fence area).
-        for ri in 0..config.num_regions {
-            let module = &modules[ri];
+        for (ri, module) in modules.iter().enumerate().take(config.num_regions) {
             let member_cells: Vec<NodeId> = module
                 .iter()
                 .copied()
@@ -213,10 +211,9 @@ pub(crate) fn apply_initial_positions(design: &Design, plan: &Plan, placement: &
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn run(config: &GeneratorConfig) -> (Plan, rdp_db::Design) {
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Rng::seed_from_u64(config.seed);
         let mut b = DesignBuilder::new("fp");
         let plan = build(config, &mut rng, &mut b).unwrap();
         // Add one dummy net so finish() accepts the design.
@@ -271,7 +268,7 @@ mod tests {
     #[test]
     fn fences_are_disjoint_and_row_aligned() {
         let cfg = GeneratorConfig::hierarchical("h", 7, 4);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
         let mut b = DesignBuilder::new("fp");
         let plan = build(&cfg, &mut rng, &mut b).unwrap();
         let n = b.add_net("n", 1.0);

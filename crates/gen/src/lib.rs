@@ -59,8 +59,7 @@ pub struct GeneratedBench {
 /// Propagates [`BuildError`] if the configuration produces an inconsistent
 /// design (e.g. zero cells); all preset configurations succeed.
 pub fn generate(config: &GeneratorConfig) -> Result<GeneratedBench, BuildError> {
-    use rand::{rngs::StdRng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = rdp_geom::rng::Rng::seed_from_u64(config.seed);
 
     let mut builder = DesignBuilder::new(config.name.clone());
 

@@ -3,24 +3,23 @@
 
 use crate::floorplan::Plan;
 use crate::GeneratorConfig;
-use rand::rngs::StdRng;
-use rand::Rng;
+use rdp_geom::rng::Rng;
 use rdp_db::{DesignBuilder, NodeId};
 use rdp_geom::Point;
 
 /// Samples a net degree with mean ≈ 3.4, matching the degree profile of the
 /// contest netlists (dominated by 2- and 3-pin nets with a long tail).
-fn sample_degree(rng: &mut StdRng) -> usize {
+fn sample_degree(rng: &mut Rng) -> usize {
     match rng.gen_range(0..100) {
         0..=54 => 2,
         55..=74 => 3,
         75..=84 => 4,
-        _ => rng.gen_range(5..=12),
+        _ => rng.gen_range(5usize..=12),
     }
 }
 
 /// Draws `k` distinct elements from `pool` (clamping `k` to the pool size).
-fn sample_distinct(rng: &mut StdRng, pool: &[NodeId], k: usize) -> Vec<NodeId> {
+fn sample_distinct(rng: &mut Rng, pool: &[NodeId], k: usize) -> Vec<NodeId> {
     let k = k.min(pool.len());
     let mut picked = Vec::with_capacity(k);
     let mut guard = 0;
@@ -36,7 +35,7 @@ fn sample_distinct(rng: &mut StdRng, pool: &[NodeId], k: usize) -> Vec<NodeId> {
 
 /// A pin offset somewhere inside the node outline (80% of the half-extent,
 /// so rotated pins stay inside too).
-fn pin_offset(rng: &mut StdRng, w: f64, h: f64) -> Point {
+fn pin_offset(rng: &mut Rng, w: f64, h: f64) -> Point {
     Point::new(
         rng.gen_range(-0.4 * w..0.4 * w),
         rng.gen_range(-0.4 * h..0.4 * h),
@@ -46,7 +45,7 @@ fn pin_offset(rng: &mut StdRng, w: f64, h: f64) -> Point {
 /// Generates all nets into `builder`.
 pub(crate) fn build(
     config: &GeneratorConfig,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     builder: &mut DesignBuilder,
     plan: &Plan,
 ) {
@@ -96,7 +95,7 @@ pub(crate) fn build(
 
     // I/O nets: each terminal drives 1..=3 random cells.
     for &(io, _) in &plan.io {
-        let fanout = rng.gen_range(1..=3);
+        let fanout = rng.gen_range(1usize..=3);
         let cells = sample_distinct(rng, &plan.cells, fanout);
         if cells.is_empty() {
             continue;
@@ -115,11 +114,10 @@ pub(crate) fn build(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn degree_distribution_mean_in_range() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let n = 20_000;
         let sum: usize = (0..n).map(|_| sample_degree(&mut rng)).sum();
         let mean = sum as f64 / n as f64;
@@ -128,7 +126,7 @@ mod tests {
 
     #[test]
     fn sample_distinct_returns_unique() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let pool: Vec<NodeId> = (0..10).map(NodeId).collect();
         let s = sample_distinct(&mut rng, &pool, 8);
         let mut dedup = s.clone();
@@ -143,7 +141,7 @@ mod tests {
 
     #[test]
     fn pin_offsets_stay_inside() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..1000 {
             let off = pin_offset(&mut rng, 4.0, 10.0);
             assert!(off.x.abs() <= 2.0 && off.y.abs() <= 5.0);

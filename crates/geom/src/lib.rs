@@ -8,7 +8,11 @@
 //! * [`Rect`] — an axis-aligned rectangle (cells, macros, fences, bins),
 //! * [`Interval`] — a 1-D closed interval used for row/segment bookkeeping,
 //! * [`Orient`] — the eight Bookshelf/LEF-DEF placement orientations,
-//! * [`transform`] — pin-offset transformation under an orientation.
+//! * [`transform`] — pin-offset transformation under an orientation,
+//! * [`rng`] — a dependency-free deterministic PRNG (benchmark generation,
+//!   jitter, randomized tests),
+//! * [`parallel`] — deterministic chunked map-reduce on scoped threads
+//!   (the execution layer of the hot placement kernels).
 //!
 //! Coordinates are `f64` throughout: global placement works on continuous
 //! coordinates, and legalization snaps to site/row grids that are themselves
@@ -27,8 +31,10 @@
 
 mod interval;
 mod orient;
+pub mod parallel;
 mod point;
 mod rect;
+pub mod rng;
 pub mod transform;
 
 pub use interval::Interval;

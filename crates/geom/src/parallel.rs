@@ -1,0 +1,217 @@
+//! Deterministic data-parallel execution on `std::thread::scope`.
+//!
+//! The placement inner loops (smooth-wirelength gradients, density
+//! rasterization, congestion estimation) are embarrassingly net- or
+//! tile-parallel, but analytical placement demands **bitwise reproducible**
+//! results: the optimizer trajectory must not depend on how many workers the
+//! machine happens to have. This module provides the one primitive all three
+//! kernels share:
+//!
+//! 1. the work is split into **fixed-size chunks whose boundaries depend
+//!    only on the input size**, never on the thread count;
+//! 2. workers claim chunks from an atomic counter and compute each chunk's
+//!    partial result independently (no shared mutable state);
+//! 3. the caller folds the partial results **in chunk-index order**, so
+//!    every floating-point reduction happens in one canonical order.
+//!
+//! With that discipline, `threads = 1` and `threads = N` produce bitwise
+//! identical output; the thread count only changes wall-clock time.
+//!
+//! No external crates: workers are plain scoped threads, so the primitive
+//! works in the zero-network build environment this workspace targets.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
+//!
+//! let data: Vec<f64> = (0..1000).map(f64::from).collect();
+//! let spans: Vec<_> = chunk_spans(data.len(), 128).collect();
+//! let partials = chunked_map(Parallelism::auto(), spans.len(), |ci| {
+//!     data[spans[ci].clone()].iter().sum::<f64>()
+//! });
+//! // Ordered fold: same result at any thread count.
+//! let total: f64 = partials.iter().sum();
+//! assert_eq!(total, 499_500.0);
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count configuration, plumbed through `PlaceOptions` and
+/// `RouterConfig`.
+///
+/// The stored count is a *request*: `0` means "one worker per available
+/// CPU" resolved at execution time via
+/// [`std::thread::available_parallelism`]. Results never depend on the
+/// resolved count (see the module docs), so `auto` is safe as a default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers; `0` is the same as [`Parallelism::auto`].
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads }
+    }
+
+    /// Single-threaded: chunks run inline on the calling thread.
+    pub fn single() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// One worker per available CPU (resolved when work is executed).
+    pub fn auto() -> Self {
+        Parallelism { threads: 0 }
+    }
+
+    /// The effective worker count: the configured value, or the machine's
+    /// available parallelism when configured as `auto` (falling back to 1
+    /// if the OS cannot report it).
+    pub fn effective_threads(self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// The raw configured value (`0` = auto).
+    pub fn configured_threads(self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// Splits `0..len` into spans of `chunk` elements (the last may be short).
+///
+/// Chunk boundaries depend only on `len` and `chunk` — **never** on the
+/// thread count — which is what makes per-chunk results mergeable in a
+/// canonical order.
+pub fn chunk_spans(len: usize, chunk: usize) -> impl ExactSizeIterator<Item = Range<usize>> {
+    let chunk = chunk.max(1);
+    let n = len.div_ceil(chunk);
+    (0..n).map(move |i| i * chunk..((i + 1) * chunk).min(len))
+}
+
+/// Runs `f(chunk_index)` for every chunk in `0..num_chunks` and returns the
+/// results **in chunk-index order**, regardless of which worker computed
+/// which chunk.
+///
+/// With one effective thread (or one chunk) everything runs inline on the
+/// calling thread; otherwise workers claim chunk indices from a shared
+/// atomic counter. `f` must be pure with respect to chunk index for the
+/// determinism guarantee to hold (it always is for the placement kernels:
+/// each chunk only reads immutable snapshots).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn chunked_map<R, F>(par: Parallelism, num_chunks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = par.effective_threads().min(num_chunks);
+    if workers <= 1 {
+        return (0..num_chunks).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_chunks {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    // Restore the canonical order: whoever computed a chunk, its result
+    // lands at its chunk index.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_spans_cover_everything_once() {
+        let spans: Vec<_> = chunk_spans(10, 3).collect();
+        assert_eq!(spans, vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(chunk_spans(0, 3).len(), 0);
+        assert_eq!(chunk_spans(3, 3).collect::<Vec<_>>(), vec![0..3]);
+        // chunk=0 is clamped, not a panic.
+        assert_eq!(chunk_spans(2, 0).len(), 2);
+    }
+
+    #[test]
+    fn results_are_in_chunk_order_at_any_thread_count() {
+        for threads in [1, 2, 3, 8, 33] {
+            let out = chunked_map(Parallelism::new(threads), 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bitwise_identical_across_thread_counts() {
+        // Pathological summands where order changes the rounding.
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| if i % 3 == 0 { 1e16 } else { 1.0 + i as f64 * 1e-7 })
+            .collect();
+        let run = |threads| {
+            let spans: Vec<_> = chunk_spans(data.len(), 64).collect();
+            let partials = chunked_map(Parallelism::new(threads), spans.len(), |ci| {
+                data[spans[ci].clone()].iter().sum::<f64>()
+            });
+            partials.iter().fold(0.0f64, |a, b| a + b)
+        };
+        let baseline = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(run(threads).to_bits(), baseline.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn auto_resolves_to_at_least_one() {
+        assert!(Parallelism::auto().effective_threads() >= 1);
+        assert_eq!(Parallelism::single().effective_threads(), 1);
+        assert_eq!(Parallelism::new(5).effective_threads(), 5);
+        assert_eq!(Parallelism::new(0).effective_threads(), Parallelism::auto().effective_threads());
+        assert_eq!(Parallelism::default(), Parallelism::auto());
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        let out: Vec<i32> = chunked_map(Parallelism::new(4), 0, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let out = chunked_map(Parallelism::new(64), 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+}

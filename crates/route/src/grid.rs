@@ -96,7 +96,7 @@ impl RouteGrid {
         let n_h = Self::count_h(nx, ny);
         let n_v = Self::count_v(nx, ny);
         let mut cap = vec![cap_h; n_h];
-        cap.extend(std::iter::repeat(cap_v).take(n_v));
+        cap.extend(std::iter::repeat_n(cap_v, n_v));
         RouteGrid {
             nx,
             ny,

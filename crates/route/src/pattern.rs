@@ -10,6 +10,11 @@
 use crate::grid::{EdgeId, GCell, RouteGrid};
 use crate::topology::{self, Segment};
 use rdp_db::{Design, Placement};
+use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
+
+/// Nets per parallel work chunk in the congestion estimator. Fixed so the
+/// deposit merge order never depends on the thread count.
+const NET_CHUNK: usize = 128;
 
 /// Edge-cost parameters shared by pattern and maze routing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,30 +178,61 @@ pub fn route_pattern(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec<
 }
 
 /// Probabilistic congestion estimation: every net is MST-decomposed and
-/// each segment deposits half a track on each of its two L patterns.
+/// each segment deposits half a track on each of its two L patterns, using
+/// up to `par` worker threads.
+///
+/// The L geometry depends only on gcell coordinates — never on the usage
+/// being accumulated — so chunks of nets are routed against the immutable
+/// freshly-built grid in parallel and their `(edge, weight)` deposits are
+/// merged **in net order**, making the result bitwise identical at every
+/// thread count.
 ///
 /// Returns the grid with the estimated usage — `O(pins)` and allocation-
 /// light, suitable for calling inside the placer's inflation loop.
-pub fn estimate_congestion(design: &Design, placement: &Placement) -> RouteGrid {
+pub fn estimate_congestion_par(
+    design: &Design,
+    placement: &Placement,
+    par: Parallelism,
+) -> RouteGrid {
     let mut grid = RouteGrid::from_design(design, placement);
-    for net in design.net_ids() {
-        for seg in topology::decompose_net(design, placement, &grid, net) {
-            if seg.from == seg.to {
-                continue;
-            }
-            let straight = seg.from.x == seg.to.x || seg.from.y == seg.to.y;
-            let weight = if straight { 1.0 } else { 0.5 };
-            for e in l_edges(&grid, seg.from, seg.to, true) {
-                grid.add_usage(e, weight);
-            }
-            if !straight {
-                for e in l_edges(&grid, seg.from, seg.to, false) {
-                    grid.add_usage(e, 0.5);
+    let nets: Vec<_> = design.net_ids().collect();
+    let spans: Vec<_> = chunk_spans(nets.len(), NET_CHUNK).collect();
+    let partials = {
+        let g: &RouteGrid = &grid;
+        chunked_map(par, spans.len(), |ci| {
+            let mut deposits: Vec<(EdgeId, f64)> = Vec::new();
+            for &net in &nets[spans[ci].clone()] {
+                for seg in topology::decompose_net(design, placement, g, net) {
+                    if seg.from == seg.to {
+                        continue;
+                    }
+                    let straight = seg.from.x == seg.to.x || seg.from.y == seg.to.y;
+                    let weight = if straight { 1.0 } else { 0.5 };
+                    for e in l_edges(g, seg.from, seg.to, true) {
+                        deposits.push((e, weight));
+                    }
+                    if !straight {
+                        for e in l_edges(g, seg.from, seg.to, false) {
+                            deposits.push((e, 0.5));
+                        }
+                    }
                 }
             }
+            deposits
+        })
+    };
+    for chunk in &partials {
+        for &(e, w) in chunk {
+            grid.add_usage(e, w);
         }
     }
     grid
+}
+
+/// Single-threaded [`estimate_congestion_par`] (the historical entry
+/// point).
+pub fn estimate_congestion(design: &Design, placement: &Placement) -> RouteGrid {
+    estimate_congestion_par(design, placement, Parallelism::single())
 }
 
 #[cfg(test)]

@@ -8,6 +8,11 @@ use crate::metrics::CongestionMetrics;
 use crate::pattern::{route_pattern, CostParams};
 use crate::topology::{decompose_net, Segment};
 use rdp_db::{Design, NetId, Placement};
+use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
+
+/// Nets per parallel work chunk in the initial pattern pass. Fixed so the
+/// usage merge order never depends on the thread count.
+const NET_CHUNK: usize = 128;
 
 /// Tuning knobs of [`GlobalRouter`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +23,9 @@ pub struct RouterConfig {
     pub history_increment: f64,
     /// Edge-cost parameters.
     pub cost: CostParams,
+    /// Worker threads for the initial pattern pass (results are identical
+    /// at every thread count; see [`rdp_geom::parallel`]).
+    pub parallelism: Parallelism,
 }
 
 impl Default for RouterConfig {
@@ -26,6 +34,7 @@ impl Default for RouterConfig {
             max_iterations: 6,
             history_increment: 1.5,
             cost: CostParams::default(),
+            parallelism: Parallelism::auto(),
         }
     }
 }
@@ -85,15 +94,31 @@ impl GlobalRouter {
     pub fn route(&self, design: &Design, placement: &Placement) -> RoutingOutcome {
         let mut grid = RouteGrid::from_design(design, placement);
 
-        // Initial pattern pass.
-        let mut routed: Vec<RoutedSegment> = Vec::new();
-        for net in design.net_ids() {
-            for segment in decompose_net(design, placement, &grid, net) {
-                let edges = route_pattern(&grid, segment, self.config.cost);
-                for &e in &edges {
-                    grid.add_usage(e, 1.0);
+        // Initial pattern pass. Every segment is routed against the
+        // empty-usage grid snapshot (rather than the usage accumulated by
+        // earlier nets): chunks of nets then route independently on worker
+        // threads and their usage merges in net order, so the pass is
+        // bitwise identical at every thread count. The negotiation rounds
+        // below are what resolves inter-net contention anyway.
+        let nets: Vec<NetId> = design.net_ids().collect();
+        let spans: Vec<_> = chunk_spans(nets.len(), NET_CHUNK).collect();
+        let partials = {
+            let g: &RouteGrid = &grid;
+            chunked_map(self.config.parallelism, spans.len(), |ci| {
+                let mut out: Vec<RoutedSegment> = Vec::new();
+                for &net in &nets[spans[ci].clone()] {
+                    for segment in decompose_net(design, placement, g, net) {
+                        let edges = route_pattern(g, segment, self.config.cost);
+                        out.push(RoutedSegment { net, segment, edges });
+                    }
                 }
-                routed.push(RoutedSegment { net, segment, edges });
+                out
+            })
+        };
+        let mut routed: Vec<RoutedSegment> = partials.into_iter().flatten().collect();
+        for rs in &routed {
+            for &e in &rs.edges {
+                grid.add_usage(e, 1.0);
             }
         }
 
@@ -110,8 +135,8 @@ impl GlobalRouter {
             iterations += 1;
             // Grow history on overflowed edges so repeated offenders get
             // progressively more expensive.
-            for i in 0..overflowed.len() {
-                if overflowed[i] {
+            for (i, &over) in overflowed.iter().enumerate() {
+                if over {
                     grid.add_history(EdgeId(i as u32), self.config.history_increment);
                 }
             }

@@ -1,12 +1,17 @@
 //! Property test: the A\* maze router returns cost-optimal paths.
 //!
 //! Verified against a brute-force Bellman-Ford relaxation over the whole
-//! grid — slow but obviously correct — on random congestion fields.
+//! grid — slow but obviously correct — on random congestion fields drawn
+//! from the workspace's own deterministic PRNG. The `property-tests`
+//! feature multiplies the case count.
 
-use proptest::prelude::*;
+use rdp_geom::rng::Rng;
+use rdp_geom::Point;
 use rdp_route::pattern::{edge_cost, CostParams};
 use rdp_route::{maze, GCell, RouteGrid};
-use rdp_geom::Point;
+
+/// Random congestion fields checked per run.
+const CASES: u64 = if cfg!(feature = "property-tests") { 96 } else { 24 };
 
 /// Brute-force single-source shortest path by repeated relaxation.
 fn bellman_ford_cost(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) -> f64 {
@@ -24,7 +29,7 @@ fn bellman_ford_cost(grid: &RouteGrid, from: GCell, to: GCell, params: CostParam
                 if !dc.is_finite() {
                     continue;
                 }
-                let mut relax = |n: GCell, dist: &mut Vec<f64>| {
+                let relax = |n: GCell, dist: &mut Vec<f64>| {
                     let e = grid.edge_between(c, n).expect("adjacent");
                     let nd = dc + edge_cost(grid, e, params);
                     if nd < dist[idx(n)] - 1e-12 {
@@ -55,32 +60,29 @@ fn bellman_ford_cost(grid: &RouteGrid, from: GCell, to: GCell, params: CostParam
     dist[idx(to)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn maze_path_cost_is_optimal(
-        usages in proptest::collection::vec(0.0f64..12.0, 36),
-        fx in 0u32..6, fy in 0u32..6, tx in 0u32..6, ty in 0u32..6,
-    ) {
+#[test]
+fn maze_path_cost_is_optimal() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA5_7A12 ^ case);
+        let usages: Vec<f64> = (0..36).map(|_| rng.gen_range(0.0..12.0)).collect();
         let mut grid = RouteGrid::uniform(6, 6, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0);
         // Random congestion field over the first edges.
         let edges: Vec<_> = grid.edge_ids().collect();
         for (i, &e) in edges.iter().enumerate() {
             grid.add_usage(e, usages[i % usages.len()]);
         }
-        let from = GCell::new(fx, fy);
-        let to = GCell::new(tx, ty);
+        let from = GCell::new(rng.gen_range(0u32..6), rng.gen_range(0u32..6));
+        let to = GCell::new(rng.gen_range(0u32..6), rng.gen_range(0u32..6));
         let params = CostParams::default();
         let path = maze::route_maze(&grid, from, to, params);
         let path_cost: f64 = path.iter().map(|&e| edge_cost(&grid, e, params)).sum();
         let optimal = bellman_ford_cost(&grid, from, to, params);
         if from == to {
-            prop_assert!(path.is_empty());
+            assert!(path.is_empty());
         } else {
-            prop_assert!(
+            assert!(
                 (path_cost - optimal).abs() < 1e-6,
-                "A* cost {path_cost} vs optimal {optimal}"
+                "case {case}: A* cost {path_cost} vs optimal {optimal}"
             );
         }
     }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. No network access required — the
+# workspace has zero external dependencies (see README "Offline builds").
+#
+# Usage: scripts/ci.sh [--full]
+#   --full  also exercise the feature-gated targets: property-tests
+#           (larger randomized-test case counts) and the bench binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release --workspace
+run cargo test --workspace -q
+run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--full" ]]; then
+  run cargo test --workspace -q --features rdp/property-tests,rdp-db/property-tests,rdp-route/property-tests
+  run cargo build --workspace --benches --features rdp-bench/bench
+  run cargo clippy --workspace --all-targets --features rdp-bench/bench -- -D warnings
+fi
+
+echo "ci: OK"

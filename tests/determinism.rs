@@ -1,0 +1,106 @@
+//! Determinism regression tests for the parallel execution layer: the
+//! placer and the router must produce **bitwise identical** results at
+//! every thread count (1, 2, 8). The chunked kernels merge their partial
+//! results in a canonical order precisely so this holds — these tests are
+//! the contract.
+
+use rdp::gen::{generate, GeneratorConfig};
+use rdp::geom::parallel::Parallelism;
+use rdp::place::{PlaceOptions, Placer};
+use rdp::route::{GlobalRouter, RouterConfig};
+
+#[test]
+fn placer_is_bitwise_identical_across_thread_counts() {
+    let bench = generate(&GeneratorConfig::tiny("det-par", 77)).unwrap();
+    let run = |threads: usize| {
+        Placer::new(&bench.design, PlaceOptions::fast().with_threads(threads))
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let r = run(threads);
+        assert_eq!(
+            base.hpwl.to_bits(),
+            r.hpwl.to_bits(),
+            "HPWL differs at {threads} threads: {} vs {}",
+            base.hpwl,
+            r.hpwl
+        );
+        assert_eq!(
+            base.gp.overflow_ratio.to_bits(),
+            r.gp.overflow_ratio.to_bits(),
+            "overflow differs at {threads} threads"
+        );
+        for id in bench.design.node_ids() {
+            let a = base.placement.center(id);
+            let b = r.placement.center(id);
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits()),
+                (b.x.to_bits(), b.y.to_bits()),
+                "position of node {id:?} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn router_is_bitwise_identical_across_thread_counts() {
+    let bench = generate(&GeneratorConfig::tiny("det-rt", 78)).unwrap();
+    let run = |threads: usize| {
+        GlobalRouter::new(RouterConfig {
+            parallelism: Parallelism::new(threads),
+            ..RouterConfig::default()
+        })
+        .route(&bench.design, &bench.placement)
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let r = run(threads);
+        assert_eq!(base.num_segments, r.num_segments, "{threads} threads");
+        assert_eq!(base.iterations, r.iterations, "{threads} threads");
+        assert_eq!(base.net_lengths, r.net_lengths, "{threads} threads");
+        assert_eq!(
+            base.metrics.total_overflow.to_bits(),
+            r.metrics.total_overflow.to_bits(),
+            "overflow differs at {threads} threads"
+        );
+        assert_eq!(
+            base.metrics.total_usage.to_bits(),
+            r.metrics.total_usage.to_bits(),
+            "usage differs at {threads} threads"
+        );
+        for (a, b) in base.grid.edge_ids().zip(r.grid.edge_ids()) {
+            assert_eq!(
+                base.grid.usage(a).to_bits(),
+                r.grid.usage(b).to_bits(),
+                "edge usage differs at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn congestion_estimator_is_bitwise_identical_across_thread_counts() {
+    let bench = generate(&GeneratorConfig::tiny("det-est", 79)).unwrap();
+    let base = rdp::route::pattern::estimate_congestion_par(
+        &bench.design,
+        &bench.placement,
+        Parallelism::single(),
+    );
+    for threads in [2, 8] {
+        let g = rdp::route::pattern::estimate_congestion_par(
+            &bench.design,
+            &bench.placement,
+            Parallelism::new(threads),
+        );
+        for (a, b) in base.edge_ids().zip(g.edge_ids()) {
+            assert_eq!(
+                base.usage(a).to_bits(),
+                g.usage(b).to_bits(),
+                "estimated usage differs at {threads} threads"
+            );
+        }
+    }
+}

@@ -18,7 +18,6 @@ fn generate_place_route_score_pipeline() {
 
 #[test]
 fn placement_improves_both_hpwl_and_congestion_over_scatter() {
-    use rand::{rngs::StdRng, Rng, SeedableRng};
     let mut cfg = GeneratorConfig::tiny("it2", 2);
     cfg.route.tracks_per_edge_h = 20.0;
     cfg.route.tracks_per_edge_v = 20.0;
@@ -26,7 +25,7 @@ fn placement_improves_both_hpwl_and_congestion_over_scatter() {
 
     // Null model: uniform random scatter.
     let mut scatter = bench.placement.clone();
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = rdp::geom::rng::Rng::seed_from_u64(3);
     let die = bench.design.die();
     for id in bench.design.movable_ids() {
         scatter.set_center(

@@ -1,21 +1,34 @@
-//! Property-based tests (proptest) over the core invariants of the
-//! placement stack.
+//! Randomized property tests over the core invariants of the placement
+//! stack.
+//!
+//! Cases are drawn from the workspace's own deterministic PRNG
+//! ([`rdp::geom::rng::Rng`]) — no external test-harness crates, so the
+//! suite builds offline. The `property-tests` feature multiplies the case
+//! count for deeper sweeps.
 
-use proptest::prelude::*;
 use rdp::db::{DesignBuilder, NodeKind, Placement};
+use rdp::geom::rng::Rng;
 use rdp::geom::{Interval, Orient, Point, Rect};
 
-/// Strategy: a small random legal-ish design with `n` cells in one row
-/// block and a few random nets.
-fn arb_positions(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
-    proptest::collection::vec((0.0f64..980.0, 0.0f64..990.0), n)
+/// Randomized cases per invariant (more with `--features property-tests`).
+const CASES: u64 = if cfg!(feature = "property-tests") { 256 } else { 64 };
+
+fn rng_for(tag: u64, case: u64) -> Rng {
+    Rng::seed_from_u64(tag.wrapping_mul(0x9E37_79B9).wrapping_add(case))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_positions(rng: &mut Rng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.gen_range(0.0..980.0), rng.gen_range(0.0..990.0)))
+        .collect()
+}
 
-    #[test]
-    fn hpwl_is_invariant_under_pin_order(xs in arb_positions(6), perm_seed in 0u64..1000) {
+#[test]
+fn hpwl_is_invariant_under_pin_order() {
+    for case in 0..CASES {
+        let mut rng = rng_for(1, case);
+        let xs = random_positions(&mut rng, 6);
+        let perm_seed = rng.gen_range(0u64..1000);
         // Build the same net twice with different pin orders.
         let build = |order: &[usize]| {
             let mut b = DesignBuilder::new("p");
@@ -42,13 +55,18 @@ proptest! {
             let j = (perm_seed as usize).wrapping_mul(31).wrapping_add(i * 7) % (i + 1);
             shuffled.swap(i, j);
         }
-        prop_assert!((build(&fwd) - build(&shuffled)).abs() < 1e-9);
+        assert!((build(&fwd) - build(&shuffled)).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn smooth_models_bracket_hpwl(xs in arb_positions(5), gamma in 0.5f64..32.0) {
-        use rdp::place::model::{Model, ModelNet, ModelPin};
-        use rdp::place::wirelength::{smooth_wl, WirelengthModel};
+#[test]
+fn smooth_models_bracket_hpwl() {
+    use rdp::place::model::{Model, ModelNet, ModelPin};
+    use rdp::place::wirelength::{smooth_wl, WirelengthModel};
+    for case in 0..CASES {
+        let mut rng = rng_for(2, case);
+        let xs = random_positions(&mut rng, 5);
+        let gamma = rng.gen_range(0.5..32.0);
         let n = xs.len();
         let model = Model {
             pos: xs.iter().map(|&(x, y)| Point::new(x, y)).collect(),
@@ -66,79 +84,100 @@ proptest! {
         let hpwl = model.hpwl();
         let lse = smooth_wl(&model, WirelengthModel::Lse, gamma);
         let wa = smooth_wl(&model, WirelengthModel::Wa, gamma);
-        prop_assert!(lse >= hpwl - 1e-6, "LSE {lse} < HPWL {hpwl}");
-        prop_assert!(wa <= hpwl + 1e-6, "WA {wa} > HPWL {hpwl}");
-        prop_assert!(lse.is_finite() && wa.is_finite());
+        assert!(lse >= hpwl - 1e-6, "case {case}: LSE {lse} < HPWL {hpwl}");
+        assert!(wa <= hpwl + 1e-6, "case {case}: WA {wa} > HPWL {hpwl}");
+        assert!(lse.is_finite() && wa.is_finite());
     }
+}
 
-    #[test]
-    fn rect_intersection_is_commutative_and_contained(
-        a in (0.0f64..100.0, 0.0f64..100.0, 1.0f64..50.0, 1.0f64..50.0),
-        b in (0.0f64..100.0, 0.0f64..100.0, 1.0f64..50.0, 1.0f64..50.0),
-    ) {
-        let ra = Rect::new(a.0, a.1, a.0 + a.2, a.1 + a.3);
-        let rb = Rect::new(b.0, b.1, b.0 + b.2, b.1 + b.3);
+#[test]
+fn rect_intersection_is_commutative_and_contained() {
+    for case in 0..CASES {
+        let mut rng = rng_for(3, case);
+        let rect = |rng: &mut Rng| {
+            let xl = rng.gen_range(0.0..100.0);
+            let yl = rng.gen_range(0.0..100.0);
+            Rect::new(xl, yl, xl + rng.gen_range(1.0..50.0), yl + rng.gen_range(1.0..50.0))
+        };
+        let ra = rect(&mut rng);
+        let rb = rect(&mut rng);
         let i1 = ra.intersection(rb);
         let i2 = rb.intersection(ra);
-        prop_assert_eq!(i1, i2);
-        prop_assert!(i1.area() <= ra.area() + 1e-9);
-        prop_assert!(i1.area() <= rb.area() + 1e-9);
-        prop_assert!(ra.union(rb).area() >= ra.area().max(rb.area()) - 1e-9);
+        assert_eq!(i1, i2);
+        assert!(i1.area() <= ra.area() + 1e-9);
+        assert!(i1.area() <= rb.area() + 1e-9);
+        assert!(ra.union(rb).area() >= ra.area().max(rb.area()) - 1e-9);
         if !i1.is_empty() {
-            prop_assert!(ra.contains_rect(i1) && rb.contains_rect(i1));
+            assert!(ra.contains_rect(i1) && rb.contains_rect(i1));
         }
     }
+}
 
-    #[test]
-    fn orientation_transform_preserves_offset_norm(
-        dx in -50.0f64..50.0,
-        dy in -50.0f64..50.0,
-        which in 0usize..8,
-    ) {
-        let o = Orient::ALL[which];
-        let p = Point::new(dx, dy);
+#[test]
+fn orientation_transform_preserves_offset_norm() {
+    for case in 0..CASES {
+        let mut rng = rng_for(4, case);
+        let p = Point::new(rng.gen_range(-50.0..50.0), rng.gen_range(-50.0..50.0));
+        let o = Orient::ALL[rng.gen_range(0usize..8)];
         let t = rdp::geom::transform::transform_offset(p, o);
-        prop_assert!((t.norm() - p.norm()).abs() < 1e-9);
-        // Eight applications of rotate_ccw cycle back.
+        assert!((t.norm() - p.norm()).abs() < 1e-9, "case {case}");
+        // Four applications of rotate_ccw cycle back.
         let mut oo = o;
-        for _ in 0..4 { oo = oo.rotated_ccw(); }
-        prop_assert_eq!(oo, o);
+        for _ in 0..4 {
+            oo = oo.rotated_ccw();
+        }
+        assert_eq!(oo, o);
     }
+}
 
-    #[test]
-    fn interval_algebra(
-        a in (0.0f64..100.0, 0.0f64..100.0),
-        b in (0.0f64..100.0, 0.0f64..100.0),
-    ) {
-        let ia = Interval::new(a.0.min(a.1), a.0.max(a.1));
-        let ib = Interval::new(b.0.min(b.1), b.0.max(b.1));
-        prop_assert!((ia.overlap(ib) - ib.overlap(ia)).abs() < 1e-12);
-        prop_assert!(ia.overlap(ib) <= ia.length() + 1e-12);
-        prop_assert!(ia.hull(ib).length() + 1e-12 >= ia.length().max(ib.length()));
+#[test]
+fn interval_algebra() {
+    for case in 0..CASES {
+        let mut rng = rng_for(5, case);
+        let interval = |rng: &mut Rng| {
+            let a = rng.gen_range(0.0..100.0);
+            let b = rng.gen_range(0.0..100.0);
+            Interval::new(a.min(b), a.max(b))
+        };
+        let ia = interval(&mut rng);
+        let ib = interval(&mut rng);
+        assert!((ia.overlap(ib) - ib.overlap(ia)).abs() < 1e-12, "case {case}");
+        assert!(ia.overlap(ib) <= ia.length() + 1e-12);
+        assert!(ia.hull(ib).length() + 1e-12 >= ia.length().max(ib.length()));
     }
+}
 
-    #[test]
-    fn mst_length_at_most_chain_and_spans(pts in proptest::collection::vec((0u32..64, 0u32..64), 2..12)) {
-        use rdp::route::topology::{mst_segments, total_length};
-        use rdp::route::GCell;
-        let mut cells: Vec<GCell> = pts.iter().map(|&(x, y)| GCell::new(x, y)).collect();
+#[test]
+fn mst_length_at_most_chain_and_spans() {
+    use rdp::route::topology::{mst_segments, total_length};
+    use rdp::route::GCell;
+    for case in 0..CASES {
+        let mut rng = rng_for(6, case);
+        let n = rng.gen_range(2usize..12);
+        let mut cells: Vec<GCell> = (0..n)
+            .map(|_| GCell::new(rng.gen_range(0u32..64), rng.gen_range(0u32..64)))
+            .collect();
         cells.sort();
         cells.dedup();
-        prop_assume!(cells.len() >= 2);
+        if cells.len() < 2 {
+            continue;
+        }
         let segs = mst_segments(&cells);
-        prop_assert_eq!(segs.len(), cells.len() - 1);
+        assert_eq!(segs.len(), cells.len() - 1);
         // MST no longer than visiting cells in sorted order.
         let chain: u32 = cells.windows(2).map(|w| w[0].manhattan(w[1])).sum();
-        prop_assert!(total_length(&segs) <= chain);
+        assert!(total_length(&segs) <= chain, "case {case}");
     }
+}
 
-    #[test]
-    fn abacus_packs_any_assignment_legally(
-        desired in proptest::collection::vec(0.0f64..90.0, 1..12),
-        widths in proptest::collection::vec(1u32..5, 12),
-    ) {
-        use rdp::place::legalize::{pack_segment, Segment};
-        let n = desired.len();
+#[test]
+fn abacus_packs_any_assignment_legally() {
+    use rdp::place::legalize::{pack_segment, Segment};
+    for case in 0..CASES {
+        let mut rng = rng_for(7, case);
+        let n = rng.gen_range(1usize..12);
+        let desired: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..90.0)).collect();
+        let widths: Vec<u32> = (0..n).map(|_| rng.gen_range(1u32..5)).collect();
         let mut b = DesignBuilder::new("ab");
         b.die(Rect::new(0.0, 0.0, 100.0, 10.0));
         b.add_row(0.0, 10.0, 1.0, 0.0, 100);
@@ -149,7 +188,9 @@ proptest! {
             })
             .collect();
         let total_w: f64 = (0..n).map(|i| f64::from(widths[i])).sum();
-        prop_assume!(total_w <= 100.0);
+        if total_w > 100.0 {
+            continue;
+        }
         let net = b.add_net("n", 1.0);
         b.add_pin(net, ids[0], Point::ORIGIN);
         b.add_pin(net, ids[n.min(2) - 1], Point::ORIGIN);
@@ -170,23 +211,25 @@ proptest! {
         let mut rects: Vec<Rect> = ids.iter().map(|&id| pl.rect(&d, id)).collect();
         rects.sort_by(|a, b| a.xl.partial_cmp(&b.xl).unwrap());
         for r in &rects {
-            prop_assert!(r.xl >= -1e-9 && r.xh <= 100.0 + 1e-9, "outside: {r}");
-            prop_assert!((r.xl - r.xl.round()).abs() < 1e-9, "off-site: {r}");
+            assert!(r.xl >= -1e-9 && r.xh <= 100.0 + 1e-9, "case {case}: outside: {r}");
+            assert!((r.xl - r.xl.round()).abs() < 1e-9, "case {case}: off-site: {r}");
         }
         for w in rects.windows(2) {
-            prop_assert!(w[0].xh <= w[1].xl + 1e-9, "overlap: {} {}", w[0], w[1]);
+            assert!(w[0].xh <= w[1].xl + 1e-9, "case {case}: overlap: {} {}", w[0], w[1]);
         }
     }
+}
 
-    #[test]
-    fn bell_density_conserves_mass_anywhere(
-        x in 20.0f64..80.0,
-        y in 20.0f64..80.0,
-        w in 1.0f64..20.0,
-        h in 5.0f64..20.0,
-    ) {
-        use rdp::place::density::{BinGrid, DensityField};
-        use rdp::place::model::{Model, ModelNet};
+#[test]
+fn bell_density_conserves_mass_anywhere() {
+    use rdp::place::density::{BinGrid, DensityField};
+    use rdp::place::model::{Model, ModelNet};
+    for case in 0..CASES {
+        let mut rng = rng_for(8, case);
+        let x = rng.gen_range(20.0..80.0);
+        let y = rng.gen_range(20.0..80.0);
+        let w = rng.gen_range(1.0..20.0);
+        let h = rng.gen_range(5.0..20.0);
         let model = Model {
             pos: vec![Point::new(x, y)],
             size: vec![(w, h)],
@@ -203,7 +246,7 @@ proptest! {
         };
         let mut grad = vec![Point::ORIGIN; 1];
         let stats = field.penalty_grad(&model, &mut grad);
-        prop_assert!(stats.penalty >= 0.0);
-        prop_assert!(grad[0].is_finite());
+        assert!(stats.penalty >= 0.0);
+        assert!(grad[0].is_finite(), "case {case}");
     }
 }
