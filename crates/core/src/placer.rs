@@ -401,27 +401,30 @@ impl<'a> Placer<'a> {
         }
 
         // --- Routability loop: estimate → inflate / reweight → re-place. ---
+        //
+        // The congestion grid is built once and refreshed in place every
+        // round: capacities depend only on fixed-node blockages (which
+        // never move), so re-carving them each round was pure waste. The
+        // same grid serves the detailed-placement stage below.
+        let mut congestion_grid: Option<rdp_route::RouteGrid> = None;
         let mut inflation_stats = Vec::new();
         if opts.routability && opts.inflation_rounds > 0 {
             let t = Instant::now();
             let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
             for round in 0..opts.inflation_rounds {
                 model.write_back(&mut placement);
-                let grid = rdp_route::pattern::estimate_congestion_par(
-                    design,
-                    &placement,
-                    opts.gp.parallelism,
-                );
+                let grid =
+                    refresh_congestion(&mut congestion_grid, design, &placement, &opts);
                 let mut touched = 0usize;
                 if opts.inflate_cells {
-                    let stats = inflate(&mut model, &grid, opts.inflation);
+                    let stats = inflate(&mut model, grid, opts.inflation);
                     touched += stats.inflated;
                     inflation_stats.push(stats);
                 }
                 if opts.net_weighting {
                     touched += crate::net_weighting::apply_congestion_weights(
                         &mut model,
-                        &grid,
+                        grid,
                         &base_weights,
                         opts.net_weighting_config,
                     );
@@ -457,15 +460,16 @@ impl<'a> Placer<'a> {
         let detail_stats = if opts.detailed {
             let t = Instant::now();
             let congestion = if opts.routability {
-                Some(rdp_route::pattern::estimate_congestion_par(
+                Some(refresh_congestion(
+                    &mut congestion_grid,
                     design,
                     &placement,
-                    opts.gp.parallelism,
+                    &opts,
                 ))
             } else {
                 None
             };
-            let stats = detailed_place(design, &mut placement, congestion.as_ref(), opts.detail);
+            let stats = detailed_place(design, &mut placement, congestion, opts.detail);
             trace.record_stage("detailed", t.elapsed());
             Some(stats)
         } else {
@@ -484,6 +488,24 @@ impl<'a> Placer<'a> {
             elapsed: t_start.elapsed(),
         })
     }
+}
+
+/// Builds the shared congestion grid on first use, then refreshes its
+/// usage against the current `placement`.
+///
+/// Capacities depend only on fixed-node blockages, which never move during
+/// placement, so carving them once is enough; every refresh clears the
+/// usage and re-deposits, producing bitwise the same estimate as a freshly
+/// built grid.
+fn refresh_congestion<'a>(
+    slot: &'a mut Option<rdp_route::RouteGrid>,
+    design: &Design,
+    placement: &Placement,
+    opts: &PlaceOptions,
+) -> &'a rdp_route::RouteGrid {
+    let grid = slot.get_or_insert_with(|| rdp_route::RouteGrid::from_design(design, placement));
+    rdp_route::pattern::estimate_congestion_into(grid, design, placement, opts.gp.parallelism);
+    grid
 }
 
 #[cfg(test)]

@@ -120,9 +120,36 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    chunked_map_with(par, num_chunks, || (), |(), i| f(i))
+}
+
+/// [`chunked_map`] with **per-worker scratch state**: every worker calls
+/// `init()` once and threads the resulting value mutably through all the
+/// chunks it processes. The maze router uses this to reuse one search
+/// scratch (cost arrays, heap) across all the segments a worker routes,
+/// instead of allocating per segment.
+///
+/// The scratch must not influence the produced results — only their cost —
+/// or the determinism contract breaks; a search scratch that is fully
+/// re-initialized (cheaply, via epochs) per item qualifies.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn chunked_map_with<S, R, I, F>(par: Parallelism, num_chunks: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    if num_chunks == 0 {
+        return Vec::new();
+    }
     let workers = par.effective_threads().min(num_chunks);
     if workers <= 1 {
-        return (0..num_chunks).map(f).collect();
+        let mut state = init();
+        return (0..num_chunks).map(|i| f(&mut state, i)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -130,13 +157,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= num_chunks {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, f(&mut state, i)));
                     }
                     local
                 })
@@ -213,5 +241,28 @@ mod tests {
     fn more_threads_than_chunks_is_fine() {
         let out = chunked_map(Parallelism::new(64), 3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_and_results_stay_ordered() {
+        // The scratch (a grow-only buffer) must not change results, only
+        // avoid re-allocation; results come back in chunk order at any
+        // thread count.
+        for threads in [1, 3, 16] {
+            let out = chunked_map_with(
+                Parallelism::new(threads),
+                50,
+                Vec::<usize>::new,
+                |scratch, i| {
+                    scratch.push(i); // scratch survives across chunks
+                    i * 2
+                },
+            );
+            assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>(), "threads={threads}");
+        }
+        // Empty work never calls init.
+        let out: Vec<i32> =
+            chunked_map_with(Parallelism::new(4), 0, || unreachable!(), |_: &mut (), _| 0);
+        assert!(out.is_empty());
     }
 }

@@ -137,6 +137,25 @@ impl RouteGrid {
         self.cap.len()
     }
 
+    /// Number of gcells (`nx · ny`).
+    #[inline]
+    pub fn num_gcells(&self) -> usize {
+        (self.nx * self.ny) as usize
+    }
+
+    /// Flat row-major index of gcell `g` (`y·nx + x`) — the layout the
+    /// maze scratch arrays use.
+    #[inline]
+    pub fn cell_index(&self, g: GCell) -> usize {
+        (g.y * self.nx + g.x) as usize
+    }
+
+    /// Gcell at flat index `i` (inverse of [`RouteGrid::cell_index`]).
+    #[inline]
+    pub fn cell_at(&self, i: usize) -> GCell {
+        GCell::new(i as u32 % self.nx, i as u32 / self.nx)
+    }
+
     /// Gcell containing `p` (clamped into the grid).
     pub fn gcell_of(&self, p: Point) -> GCell {
         let fx = ((p.x - self.origin.x) / self.tile_w).floor();

@@ -11,8 +11,9 @@
 //!   rectilinear minimum spanning tree;
 //! * [`pattern`] — fast L-shape pattern routing (also the *probabilistic*
 //!   congestion estimator the placer's inflation loop uses);
-//! * [`maze`] — A\* maze routing with history-based negotiation
-//!   (rip-up-and-reroute), the full router used for scoring;
+//! * [`maze`] — windowed A\* maze routing over reusable epoch-stamped
+//!   scratch, driving history-based negotiation (rip-up-and-reroute), the
+//!   full router used for scoring;
 //! * [`metrics`] — overflow and the contest's ACE(k%) / RC metrics;
 //! * [`heatmap`] — congestion maps as CSV or ASCII for the figures.
 //!
@@ -40,7 +41,9 @@ mod router;
 pub mod topology;
 
 pub use grid::{EdgeId, GCell, RouteGrid};
+pub use maze::MazeScratch;
 pub use metrics::{CongestionMetrics, ACE_LEVELS};
+pub use pattern::EdgeCosts;
 pub use router::{GlobalRouter, RouterConfig, RoutingOutcome};
 
 /// Routes `design`/`placement` with default settings and returns only the

@@ -1,31 +1,79 @@
 //! A\* maze routing on the gcell grid.
 //!
 //! Used by the negotiation loop to reroute ripped-up segments around
-//! congestion. The heuristic is the Manhattan distance times the minimum
-//! possible edge cost (1.0), which is admissible, so returned paths are
-//! optimal under the current cost field.
+//! congestion. Three things make this engine fast enough to sit in the
+//! placer's inner loop:
+//!
+//! * **Reusable scratch** ([`MazeScratch`]): the per-cell `best_g` /
+//!   `parent` arrays are epoch-stamped, so starting a new search is O(1) —
+//!   no allocation, no O(grid) clearing. One scratch serves every segment
+//!   a worker routes.
+//! * **Frozen costs** ([`EdgeCosts`]): edge costs are snapshotted once per
+//!   negotiation round, so a heap relaxation is a single array load.
+//! * **Bounded windows**: the search runs inside the segment's bounding
+//!   box plus a margin. A cost certificate (below) proves when the
+//!   windowed result equals the unbounded one; when it cannot, the window
+//!   doubles and the search retries, degenerating to the full grid in
+//!   O(log grid) steps.
+//!
+//! **Canonical paths.** Among equal-cost shortest paths the search returns
+//! a *canonical* one: cells keep relaxing until every queue entry is
+//! provably worse than the target's distance, and on exact cost ties the
+//! lexicographically smallest parent wins. The resulting parent array is a
+//! pure function of the cost field — independent of exploration order, of
+//! the thread count, *and of the window* (once the certificate holds):
+//!
+//! * every edge cost is ≥ `min_cost` (asserted > 0 at snapshot build), so
+//!   any path that leaves the window `bbox + margin` must detour at least
+//!   `2·(margin+1)` extra edges and therefore costs at least
+//!   `min_cost · (manhattan + 2·(margin+1))`;
+//! * hence if the windowed search finds a path strictly cheaper than that
+//!   bound, **all** optimal paths (and all their cells and optimal
+//!   predecessors) lie strictly inside the window, the windowed distance
+//!   labels equal the unbounded ones on those cells, and the
+//!   lexicographic tie-break reconstructs the identical path.
+//!
+//! That equivalence is what lets `RouterConfig.window_margin` change
+//! wall-clock without changing a single bit of the routing outcome
+//! (pinned by `tests/windowed_equivalence.rs` and `tests/determinism.rs`).
 
 use crate::grid::{EdgeId, GCell, RouteGrid};
-use crate::pattern::{edge_cost, CostParams};
+use crate::pattern::{CostParams, EdgeCosts};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, PartialEq)]
+/// Conservative relative slack on the window-escape certificate: float
+/// summation of a path's edge costs can round below the mathematical
+/// product `min_cost · length` by a relative error of ~`length · ε`;
+/// 1e-7 covers paths of up to ~4·10⁸ edges, far beyond any grid here.
+const CERTIFICATE_SLACK: f64 = 1.0 - 1e-7;
+
+#[derive(Debug)]
 struct HeapEntry {
     f: f64,
     g: f64,
     cell: GCell,
 }
 
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
 impl Eq for HeapEntry {}
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on f; ties broken on cell for determinism.
+        // Min-heap on f via `total_cmp` (never maps incomparable floats to
+        // `Equal` — NaNs are rejected at `EdgeCosts` construction, and
+        // total order keeps the heap consistent even if one slipped
+        // through). Ties break on g (deeper-in-the-search first), then on
+        // cell, so pop order is fully deterministic.
         other
             .f
-            .partial_cmp(&self.f)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.f)
+            .then_with(|| self.g.total_cmp(&other.g))
             .then_with(|| other.cell.cmp(&self.cell))
     }
 }
@@ -36,8 +84,243 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Finds the cheapest path from `from` to `to`, returning its edges in
-/// order. Returns an empty vector when `from == to`.
+/// Sentinel parent index meaning "no parent recorded".
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable A\* working memory: epoch-stamped per-cell labels plus the
+/// open-list heap.
+///
+/// `begin` bumps the epoch instead of clearing, so repeated searches on
+/// the same grid cost no allocation and no O(grid) memset. A worker thread
+/// holds one scratch for all the segments it reroutes (see
+/// [`rdp_geom::parallel::chunked_map_with`]).
+#[derive(Debug, Default)]
+pub struct MazeScratch {
+    best_g: Vec<f64>,
+    parent: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl MazeScratch {
+    /// Creates an empty scratch; arrays grow on first use.
+    pub fn new() -> Self {
+        MazeScratch::default()
+    }
+
+    /// Prepares for a fresh search over `cells` gcells: grows the arrays
+    /// if needed and invalidates all previous labels by bumping the epoch.
+    fn begin(&mut self, cells: usize) {
+        if self.stamp.len() < cells {
+            self.best_g.resize(cells, f64::INFINITY);
+            self.parent.resize(cells, NO_PARENT);
+            self.stamp.resize(cells, 0);
+            self.epoch = 0;
+        }
+        self.heap.clear();
+        if self.epoch == u32::MAX {
+            // Epoch wraparound: hard-reset the stamps once every 2³² uses.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Best-known g of cell index `i` this epoch.
+    #[inline]
+    fn g(&self, i: usize) -> f64 {
+        if self.stamp[i] == self.epoch {
+            self.best_g[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Parent cell index of `i` this epoch (`NO_PARENT` if none).
+    #[inline]
+    fn parent_of(&self, i: usize) -> u32 {
+        if self.stamp[i] == self.epoch {
+            self.parent[i]
+        } else {
+            NO_PARENT
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, g: f64, parent: u32) {
+        self.best_g[i] = g;
+        self.parent[i] = parent;
+        self.stamp[i] = self.epoch;
+    }
+}
+
+/// An inclusive rectangular search window in gcell coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Window {
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+}
+
+impl Window {
+    fn full(grid: &RouteGrid) -> Self {
+        Window { x0: 0, x1: grid.nx() - 1, y0: 0, y1: grid.ny() - 1 }
+    }
+
+    /// The bounding box of `from`/`to` expanded by `margin`, clipped to
+    /// the grid.
+    fn around(grid: &RouteGrid, from: GCell, to: GCell, margin: u32) -> Self {
+        Window {
+            x0: from.x.min(to.x).saturating_sub(margin),
+            x1: (from.x.max(to.x).saturating_add(margin)).min(grid.nx() - 1),
+            y0: from.y.min(to.y).saturating_sub(margin),
+            y1: (from.y.max(to.y).saturating_add(margin)).min(grid.ny() - 1),
+        }
+    }
+
+}
+
+/// Canonical A\* restricted to `win`. Returns the cost of the best path
+/// found (`f64::INFINITY` only on a malformed window excluding the
+/// target, which [`Window::around`] never builds). Labels are left in
+/// `scratch` for reconstruction.
+fn search(
+    grid: &RouteGrid,
+    costs: &EdgeCosts,
+    from: GCell,
+    to: GCell,
+    win: Window,
+    scratch: &mut MazeScratch,
+) -> f64 {
+    scratch.begin(grid.num_gcells());
+    let h_scale = costs.min_cost();
+    let h = |c: GCell| f64::from(c.manhattan(to)) * h_scale;
+    let from_i = grid.cell_index(from);
+    scratch.set(from_i, 0.0, NO_PARENT);
+    scratch.heap.push(HeapEntry { f: h(from), g: 0.0, cell: from });
+
+    let mut target_g = f64::INFINITY;
+    while let Some(HeapEntry { f, g, cell }) = scratch.heap.pop() {
+        // Everything still queued has f ≥ this f: once that provably
+        // exceeds the target's distance, no label on any optimal path can
+        // change anymore. (Entries with f == target_g are still processed
+        // — they are what makes tie-breaking canonical.)
+        if f > target_g {
+            break;
+        }
+        let ci = grid.cell_index(cell);
+        if g > scratch.g(ci) {
+            continue; // stale entry
+        }
+        if cell == to {
+            target_g = g;
+            // Outgoing relaxations from the target cannot lie on a path
+            // *to* the target (all costs are > 0): skip them.
+            continue;
+        }
+        let relax = |n: GCell, e: EdgeId, scratch: &mut MazeScratch| {
+            let ni = grid.cell_index(n);
+            let ng = g + costs.cost(e);
+            let cur = scratch.g(ni);
+            if ng < cur {
+                scratch.set(ni, ng, ci as u32);
+                scratch.heap.push(HeapEntry { f: ng + h(n), g: ng, cell: n });
+            } else if ng == cur && (ci as u32) < scratch.parent_of(ni) {
+                // Exact cost tie: the lexicographically smallest parent
+                // wins, making the parent array independent of
+                // exploration order (and of the window, once the escape
+                // certificate holds).
+                scratch.set(ni, ng, ci as u32);
+            }
+        };
+        if cell.x > win.x0 {
+            relax(GCell::new(cell.x - 1, cell.y), grid.h_edge(cell.x - 1, cell.y), scratch);
+        }
+        if cell.x < win.x1 {
+            relax(GCell::new(cell.x + 1, cell.y), grid.h_edge(cell.x, cell.y), scratch);
+        }
+        if cell.y > win.y0 {
+            relax(GCell::new(cell.x, cell.y - 1), grid.v_edge(cell.x, cell.y - 1), scratch);
+        }
+        if cell.y < win.y1 {
+            relax(GCell::new(cell.x, cell.y + 1), grid.v_edge(cell.x, cell.y), scratch);
+        }
+    }
+    target_g
+}
+
+/// Walks the parent chain from `to` back to `from`, returning the path's
+/// edges in forward order.
+fn reconstruct(grid: &RouteGrid, from: GCell, to: GCell, scratch: &MazeScratch) -> Vec<EdgeId> {
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let p = scratch.parent_of(grid.cell_index(cur));
+        debug_assert_ne!(p, NO_PARENT, "reconstruct called on an unreached target");
+        if p == NO_PARENT {
+            return Vec::new();
+        }
+        let prev = grid.cell_at(p as usize);
+        edges.push(grid.edge_between(prev, cur).expect("path edges are adjacent"));
+        cur = prev;
+    }
+    edges.reverse();
+    edges
+}
+
+/// Finds the cheapest path from `from` to `to` under the frozen `costs`,
+/// searching inside the segment bounding box expanded by `margin` gcells
+/// (`None` = whole grid). Returns the path's edges in order; empty when
+/// `from == to`.
+///
+/// The windowed result is **identical** to the unbounded one: the search
+/// accepts a windowed path only when its cost certifies that no path
+/// escaping the window can match it (every edge costs ≥
+/// [`EdgeCosts::min_cost`], so escaping costs at least
+/// `min_cost · (manhattan + 2·(margin+1))`); otherwise the margin doubles
+/// and the search retries, reaching the full grid in O(log grid) steps.
+pub fn route_maze_windowed(
+    grid: &RouteGrid,
+    costs: &EdgeCosts,
+    from: GCell,
+    to: GCell,
+    margin: Option<u32>,
+    scratch: &mut MazeScratch,
+) -> Vec<EdgeId> {
+    if from == to {
+        return Vec::new();
+    }
+    let full = Window::full(grid);
+    let d = f64::from(from.manhattan(to));
+    let mut margin = margin;
+    loop {
+        let win = match margin {
+            Some(m) => Window::around(grid, from, to, m),
+            None => full,
+        };
+        let cost = search(grid, costs, from, to, win, scratch);
+        let accepted = win == full || {
+            let m = f64::from(margin.unwrap_or(0));
+            cost < costs.min_cost() * (d + 2.0 * (m + 1.0)) * CERTIFICATE_SLACK
+        };
+        if accepted {
+            return reconstruct(grid, from, to, scratch);
+        }
+        // Certificate failed: a path escaping the window could still be
+        // cheaper (or tie). Double the window and retry.
+        margin = margin.map(|m| m.saturating_mul(2).max(1));
+    }
+}
+
+/// Finds the cheapest path from `from` to `to` under the **live** grid
+/// costs, searching the whole grid. Returns its edges in order; empty when
+/// `from == to`.
+///
+/// Convenience wrapper over [`route_maze_windowed`] that snapshots the
+/// costs and allocates a scratch per call — fine for one-off queries and
+/// tests; the negotiation loop uses the reusable pieces directly.
 ///
 /// The search always succeeds on a connected grid (every grid is), though
 /// the path may cross overflowed edges when no free route exists — the
@@ -46,59 +329,9 @@ pub fn route_maze(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) 
     if from == to {
         return Vec::new();
     }
-    let nx = grid.nx();
-    let ny = grid.ny();
-    let idx = |c: GCell| (c.y * nx + c.x) as usize;
-    let mut best_g = vec![f64::INFINITY; (nx * ny) as usize];
-    let mut parent: Vec<Option<GCell>> = vec![None; (nx * ny) as usize];
-    let mut heap = BinaryHeap::new();
-    best_g[idx(from)] = 0.0;
-    heap.push(HeapEntry { f: f64::from(from.manhattan(to)), g: 0.0, cell: from });
-
-    while let Some(HeapEntry { g, cell, .. }) = heap.pop() {
-        if cell == to {
-            break;
-        }
-        if g > best_g[idx(cell)] {
-            continue; // stale entry
-        }
-        let try_neighbor = |n: GCell, heap: &mut BinaryHeap<HeapEntry>,
-                                best_g: &mut [f64],
-                                parent: &mut [Option<GCell>]| {
-            let e = grid.edge_between(cell, n).expect("adjacent");
-            let ng = g + edge_cost(grid, e, params);
-            if ng < best_g[idx(n)] {
-                best_g[idx(n)] = ng;
-                parent[idx(n)] = Some(cell);
-                heap.push(HeapEntry { f: ng + f64::from(n.manhattan(to)), g: ng, cell: n });
-            }
-        };
-        if cell.x > 0 {
-            try_neighbor(GCell::new(cell.x - 1, cell.y), &mut heap, &mut best_g, &mut parent);
-        }
-        if cell.x + 1 < nx {
-            try_neighbor(GCell::new(cell.x + 1, cell.y), &mut heap, &mut best_g, &mut parent);
-        }
-        if cell.y > 0 {
-            try_neighbor(GCell::new(cell.x, cell.y - 1), &mut heap, &mut best_g, &mut parent);
-        }
-        if cell.y + 1 < ny {
-            try_neighbor(GCell::new(cell.x, cell.y + 1), &mut heap, &mut best_g, &mut parent);
-        }
-    }
-
-    // Reconstruct.
-    let mut edges = Vec::new();
-    let mut cur = to;
-    while let Some(prev) = parent[idx(cur)] {
-        edges.push(grid.edge_between(prev, cur).expect("path edges are adjacent"));
-        cur = prev;
-        if cur == from {
-            break;
-        }
-    }
-    edges.reverse();
-    edges
+    let costs = EdgeCosts::build(grid, params);
+    let mut scratch = MazeScratch::new();
+    route_maze_windowed(grid, &costs, from, to, None, &mut scratch)
 }
 
 #[cfg(test)]
@@ -179,5 +412,58 @@ mod tests {
         let path = route_maze(&g, GCell::new(0, 0), GCell::new(9, 0), CostParams::default());
         let bottom_edges = path.iter().filter(|&&e| e == g.h_edge(4, 0)).count();
         assert_eq!(bottom_edges, 0, "history-poisoned corridor avoided");
+    }
+
+    #[test]
+    fn scratch_reuse_gives_identical_paths() {
+        let mut g = grid();
+        for y in 0..9 {
+            g.add_usage(g.v_edge(y % 7, y), f64::from(y) * 1.7);
+            g.add_usage(g.h_edge(y, (y * 3) % 10), 5.0);
+        }
+        let costs = EdgeCosts::build(&g, CostParams::default());
+        let mut scratch = MazeScratch::new();
+        let pairs = [
+            (GCell::new(0, 0), GCell::new(9, 9)),
+            (GCell::new(3, 7), GCell::new(8, 1)),
+            (GCell::new(5, 5), GCell::new(0, 9)),
+        ];
+        // Reused scratch vs a fresh scratch per query: identical paths.
+        for &(a, b) in &pairs {
+            let reused = route_maze_windowed(&g, &costs, a, b, Some(2), &mut scratch);
+            let fresh =
+                route_maze_windowed(&g, &costs, a, b, Some(2), &mut MazeScratch::new());
+            assert_eq!(reused, fresh, "{a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_window_matches_unbounded_around_a_wall() {
+        let mut g = grid();
+        // Wall forces the route far outside the segment bbox: margin 0
+        // must expand until it certifies, then match unbounded exactly.
+        for y in 0..9 {
+            g.add_usage(g.h_edge(4, y), 100.0);
+        }
+        let costs = EdgeCosts::build(&g, CostParams::default());
+        let mut scratch = MazeScratch::new();
+        let from = GCell::new(0, 0);
+        let to = GCell::new(9, 0);
+        let windowed = route_maze_windowed(&g, &costs, from, to, Some(0), &mut scratch);
+        let unbounded = route_maze_windowed(&g, &costs, from, to, None, &mut scratch);
+        assert_eq!(windowed, unbounded);
+    }
+
+    #[test]
+    fn heap_entry_order_is_total_and_deterministic() {
+        let e = |f: f64, g: f64, x: u32| HeapEntry { f, g, cell: GCell::new(x, 0) };
+        // Smaller f pops first (greater in max-heap order).
+        assert_eq!(e(1.0, 0.0, 0).cmp(&e(2.0, 0.0, 0)), Ordering::Greater);
+        // Equal f: larger g pops first.
+        assert_eq!(e(1.0, 1.0, 0).cmp(&e(1.0, 0.5, 0)), Ordering::Greater);
+        // Equal f and g: smaller cell pops first.
+        assert_eq!(e(1.0, 1.0, 1).cmp(&e(1.0, 1.0, 2)), Ordering::Greater);
+        // NaN does not collapse to Equal (total order).
+        assert_ne!(e(f64::NAN, 0.0, 0).cmp(&e(1.0, 0.0, 0)), Ordering::Equal);
     }
 }

@@ -52,6 +52,91 @@ pub fn edge_cost(grid: &RouteGrid, e: EdgeId, params: CostParams) -> f64 {
     1.0 + congestion + grid.history(e)
 }
 
+/// A frozen per-edge cost table: [`edge_cost`] evaluated once for every
+/// edge of a grid.
+///
+/// The negotiation loop's inputs to the cost function — usage, history,
+/// capacity — only change **between** reroute rounds, never during one, so
+/// each round snapshots the costs once and every heap relaxation becomes a
+/// single array load instead of a recomputation. The snapshot also carries
+/// the global minimum edge cost, which the windowed A\* uses both as its
+/// admissible-heuristic scale and in its window-escape bound.
+///
+/// Construction asserts every cost is finite and strictly positive: a NaN
+/// or infinite cost would silently corrupt heap order (and therefore
+/// determinism) downstream, so it is rejected loudly here.
+#[derive(Debug, Clone)]
+pub struct EdgeCosts {
+    costs: Vec<f64>,
+    min_cost: f64,
+}
+
+/// Edges per parallel work chunk when snapshotting costs.
+const EDGE_CHUNK: usize = 8192;
+
+impl EdgeCosts {
+    /// Snapshots the cost of every edge of `grid` (single-threaded).
+    pub fn build(grid: &RouteGrid, params: CostParams) -> Self {
+        Self::build_par(grid, params, Parallelism::single())
+    }
+
+    /// Snapshots the cost of every edge of `grid` on up to `par` workers.
+    /// Bitwise identical at every thread count (each edge's cost is an
+    /// independent pure function of the grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge cost is non-finite or not strictly positive.
+    pub fn build_par(grid: &RouteGrid, params: CostParams, par: Parallelism) -> Self {
+        let n = grid.num_edges();
+        let spans: Vec<_> = chunk_spans(n, EDGE_CHUNK).collect();
+        let parts = chunked_map(par, spans.len(), |ci| {
+            spans[ci]
+                .clone()
+                .map(|i| {
+                    let c = edge_cost(grid, EdgeId(i as u32), params);
+                    assert!(
+                        c.is_finite() && c > 0.0,
+                        "edge cost must be finite and positive (edge {i}: {c})"
+                    );
+                    c
+                })
+                .collect::<Vec<f64>>()
+        });
+        let costs: Vec<f64> = parts.concat();
+        let min_cost = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        EdgeCosts {
+            costs,
+            min_cost: if min_cost.is_finite() { min_cost } else { 0.0 },
+        }
+    }
+
+    /// The snapshotted cost of `e`.
+    #[inline]
+    pub fn cost(&self, e: EdgeId) -> f64 {
+        self.costs[e.0 as usize]
+    }
+
+    /// The minimum edge cost over the whole grid (0.0 on an edgeless
+    /// grid).
+    #[inline]
+    pub fn min_cost(&self) -> f64 {
+        self.min_cost
+    }
+
+    /// Number of edges covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the grid has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
 /// The edges of the L-route from `from` to `to` bending at the corner
 /// `(corner_x, corner_y)` taken from one endpoint each.
 fn l_edges(grid: &RouteGrid, from: GCell, to: GCell, horizontal_first: bool) -> Vec<EdgeId> {
@@ -195,10 +280,28 @@ pub fn estimate_congestion_par(
     par: Parallelism,
 ) -> RouteGrid {
     let mut grid = RouteGrid::from_design(design, placement);
+    estimate_congestion_into(&mut grid, design, placement, par);
+    grid
+}
+
+/// [`estimate_congestion_par`] into an existing grid: clears the usage and
+/// re-deposits against the current `placement`.
+///
+/// Capacities depend only on fixed-node blockages, which never move during
+/// placement, so the inflation loop builds the grid **once** and refreshes
+/// it here every round instead of re-carving blockages each time. Produces
+/// bitwise the same usage as a freshly built grid with equal capacities.
+pub fn estimate_congestion_into(
+    grid: &mut RouteGrid,
+    design: &Design,
+    placement: &Placement,
+    par: Parallelism,
+) {
+    grid.clear_usage();
     let nets: Vec<_> = design.net_ids().collect();
     let spans: Vec<_> = chunk_spans(nets.len(), NET_CHUNK).collect();
     let partials = {
-        let g: &RouteGrid = &grid;
+        let g: &RouteGrid = grid;
         chunked_map(par, spans.len(), |ci| {
             let mut deposits: Vec<(EdgeId, f64)> = Vec::new();
             for &net in &nets[spans[ci].clone()] {
@@ -226,7 +329,6 @@ pub fn estimate_congestion_par(
             grid.add_usage(e, w);
         }
     }
-    grid
 }
 
 /// Single-threaded [`estimate_congestion_par`] (the historical entry

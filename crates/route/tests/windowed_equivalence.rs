@@ -1,0 +1,152 @@
+//! Property test: bounded-window A\* returns **exactly** the path of the
+//! unbounded search.
+//!
+//! The windowed search only accepts a result when its cost certifies that
+//! no path escaping the window can match it (every edge costs at least
+//! `min_cost`, so escaping costs at least
+//! `min_cost · (manhattan + 2·(margin+1))`), doubling the window
+//! otherwise; combined with canonical tie-breaking this makes the margin
+//! knob invisible in the output. Checked here on seeded random congestion
+//! and history fields, for several margins, against both the unbounded
+//! search and a Bellman–Ford cost oracle. The `property-tests` feature
+//! multiplies the case count.
+
+use rdp_geom::rng::Rng;
+use rdp_geom::Point;
+use rdp_route::pattern::{edge_cost, CostParams, EdgeCosts};
+use rdp_route::{maze, GCell, MazeScratch, RouteGrid};
+
+/// Random congestion fields checked per run.
+const CASES: u64 = if cfg!(feature = "property-tests") { 64 } else { 16 };
+
+/// Grid side length (big enough that small windows actually exclude most
+/// of the grid).
+const N: u32 = 16;
+
+/// Brute-force single-source shortest-path cost by repeated relaxation.
+fn bellman_ford_cost(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) -> f64 {
+    let nx = grid.nx();
+    let ny = grid.ny();
+    let idx = |c: GCell| (c.y * nx + c.x) as usize;
+    let mut dist = vec![f64::INFINITY; (nx * ny) as usize];
+    dist[idx(from)] = 0.0;
+    for _ in 0..(nx * ny) {
+        let mut changed = false;
+        for y in 0..ny {
+            for x in 0..nx {
+                let c = GCell::new(x, y);
+                let dc = dist[idx(c)];
+                if !dc.is_finite() {
+                    continue;
+                }
+                let relax = |n: GCell, dist: &mut Vec<f64>| {
+                    let e = grid.edge_between(c, n).expect("adjacent");
+                    let nd = dc + edge_cost(grid, e, params);
+                    if nd < dist[idx(n)] - 1e-12 {
+                        dist[idx(n)] = nd;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if x > 0 {
+                    changed |= relax(GCell::new(x - 1, y), &mut dist);
+                }
+                if x + 1 < nx {
+                    changed |= relax(GCell::new(x + 1, y), &mut dist);
+                }
+                if y > 0 {
+                    changed |= relax(GCell::new(x, y - 1), &mut dist);
+                }
+                if y + 1 < ny {
+                    changed |= relax(GCell::new(x, y + 1), &mut dist);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[idx(to)]
+}
+
+#[test]
+fn windowed_search_equals_unbounded_search() {
+    let params = CostParams::default();
+    let mut scratch = MazeScratch::new();
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51_D0_u64.wrapping_add(case.wrapping_mul(0x9E37)));
+        let mut grid = RouteGrid::uniform(N, N, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0);
+        let edges: Vec<_> = grid.edge_ids().collect();
+        for &e in &edges {
+            // Mix congested walls, moderate usage and history so optimal
+            // paths regularly detour outside the segment bbox.
+            let roll = rng.gen_range(0.0..1.0);
+            if roll < 0.15 {
+                grid.add_usage(e, rng.gen_range(8.0..40.0));
+            } else if roll < 0.6 {
+                grid.add_usage(e, rng.gen_range(0.0..6.0));
+            }
+            if rng.gen_range(0.0..1.0) < 0.2 {
+                grid.add_history(e, rng.gen_range(0.0..5.0));
+            }
+        }
+        let from = GCell::new(rng.gen_range(0u32..N), rng.gen_range(0u32..N));
+        let to = GCell::new(rng.gen_range(0u32..N), rng.gen_range(0u32..N));
+        let costs = EdgeCosts::build(&grid, params);
+
+        let unbounded = maze::route_maze_windowed(&grid, &costs, from, to, None, &mut scratch);
+        for margin in [0u32, 1, 3, 8] {
+            let windowed = maze::route_maze_windowed(
+                &grid,
+                &costs,
+                from,
+                to,
+                Some(margin),
+                &mut scratch,
+            );
+            assert_eq!(
+                unbounded, windowed,
+                "case {case}: path differs at margin {margin} ({from:?} -> {to:?})"
+            );
+        }
+
+        // And the common path is cost-optimal per the brute-force oracle.
+        let path_cost: f64 = unbounded.iter().map(|&e| costs.cost(e)).sum();
+        let optimal = bellman_ford_cost(&grid, from, to, params);
+        if from == to {
+            assert!(unbounded.is_empty());
+        } else {
+            assert!(
+                (path_cost - optimal).abs() < 1e-6,
+                "case {case}: windowed-canonical cost {path_cost} vs optimal {optimal}"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_path_is_stable_under_scratch_history() {
+    // The same query through a scratch that has just served unrelated
+    // searches must return the identical path (epoch stamping leaves no
+    // residue).
+    let params = CostParams::default();
+    let mut grid = RouteGrid::uniform(N, N, Point::ORIGIN, 1.0, 1.0, 4.0, 4.0);
+    let mut rng = Rng::seed_from_u64(0xCAFE);
+    let edges: Vec<_> = grid.edge_ids().collect();
+    for &e in &edges {
+        grid.add_usage(e, rng.gen_range(0.0..10.0));
+    }
+    let costs = EdgeCosts::build(&grid, params);
+    let from = GCell::new(1, 2);
+    let to = GCell::new(14, 13);
+    let clean = maze::route_maze_windowed(&grid, &costs, from, to, Some(2), &mut MazeScratch::new());
+    let mut dirty = MazeScratch::new();
+    for i in 0..20 {
+        let a = GCell::new(rng.gen_range(0u32..N), rng.gen_range(0u32..N));
+        let b = GCell::new(rng.gen_range(0u32..N), rng.gen_range(0u32..N));
+        let _ = maze::route_maze_windowed(&grid, &costs, a, b, Some(i % 4), &mut dirty);
+    }
+    let reused = maze::route_maze_windowed(&grid, &costs, from, to, Some(2), &mut dirty);
+    assert_eq!(clean, reused);
+}

@@ -21,6 +21,7 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo test --workspace -q --features rdp/property-tests,rdp-db/property-tests,rdp-route/property-tests
   run cargo build --workspace --benches --features rdp-bench/bench
   run cargo clippy --workspace --all-targets --features rdp-bench/bench -- -D warnings
+  run cargo run --release -p rdp-bench --bin bench_router -- --smoke
 fi
 
 echo "ci: OK"

@@ -46,37 +46,58 @@ fn placer_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
-fn router_is_bitwise_identical_across_thread_counts() {
+fn router_is_bitwise_identical_across_thread_counts_and_windows() {
     let bench = generate(&GeneratorConfig::tiny("det-rt", 78)).unwrap();
-    let run = |threads: usize| {
+    let run = |threads: usize, window_margin: Option<u32>| {
         GlobalRouter::new(RouterConfig {
             parallelism: Parallelism::new(threads),
+            window_margin,
             ..RouterConfig::default()
         })
         .route(&bench.design, &bench.placement)
     };
-    let base = run(1);
-    for threads in [2, 8] {
-        let r = run(threads);
-        assert_eq!(base.num_segments, r.num_segments, "{threads} threads");
-        assert_eq!(base.iterations, r.iterations, "{threads} threads");
-        assert_eq!(base.net_lengths, r.net_lengths, "{threads} threads");
-        assert_eq!(
-            base.metrics.total_overflow.to_bits(),
-            r.metrics.total_overflow.to_bits(),
-            "overflow differs at {threads} threads"
-        );
-        assert_eq!(
-            base.metrics.total_usage.to_bits(),
-            r.metrics.total_usage.to_bits(),
-            "usage differs at {threads} threads"
-        );
-        for (a, b) in base.grid.edge_ids().zip(r.grid.edge_ids()) {
+    // Baseline: single-threaded, unbounded search. Every thread count and
+    // every window margin must reproduce it bit for bit — the windowed A*
+    // only accepts a result when its cost certifies equivalence with the
+    // unbounded search.
+    let base = run(1, None);
+    for threads in [1, 2, 8] {
+        for margin in [None, Some(0), Some(4), Some(8)] {
+            if threads == 1 && margin.is_none() {
+                continue;
+            }
+            let r = run(threads, margin);
+            let label = format!("{threads} threads, margin {margin:?}");
+            assert_eq!(base.num_segments, r.num_segments, "{label}");
+            assert_eq!(base.iterations, r.iterations, "{label}");
+            assert_eq!(base.net_lengths, r.net_lengths, "{label}");
             assert_eq!(
-                base.grid.usage(a).to_bits(),
-                r.grid.usage(b).to_bits(),
-                "edge usage differs at {threads} threads"
+                base.metrics.rc.to_bits(),
+                r.metrics.rc.to_bits(),
+                "rc differs at {label}"
             );
+            assert_eq!(
+                base.metrics.total_overflow.to_bits(),
+                r.metrics.total_overflow.to_bits(),
+                "overflow differs at {label}"
+            );
+            assert_eq!(
+                base.metrics.total_usage.to_bits(),
+                r.metrics.total_usage.to_bits(),
+                "usage differs at {label}"
+            );
+            for (a, b) in base.grid.edge_ids().zip(r.grid.edge_ids()) {
+                assert_eq!(
+                    base.grid.usage(a).to_bits(),
+                    r.grid.usage(b).to_bits(),
+                    "edge usage differs at {label}"
+                );
+                assert_eq!(
+                    base.grid.history(a).to_bits(),
+                    r.grid.history(b).to_bits(),
+                    "edge history differs at {label}"
+                );
+            }
         }
     }
 }
