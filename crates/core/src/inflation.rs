@@ -45,6 +45,13 @@ pub struct InflationStats {
     pub inflated: usize,
     /// Total density area after / before the pass.
     pub growth: f64,
+    /// Nets the congestion refresh feeding this pass (re)routed: all nets
+    /// on a full-route round, the dirty-net count on an incremental one,
+    /// `0` when the pattern estimator supplied the congestion (filled by
+    /// the placer's routability loop, not by [`inflate`]).
+    pub dirty_nets: usize,
+    /// Wall-clock of that congestion refresh (also placer-filled).
+    pub congestion_time: std::time::Duration,
 }
 
 /// Inflates the density areas of objects sitting in congested gcells of
@@ -75,6 +82,7 @@ pub fn inflate(model: &mut Model, grid: &RouteGrid, config: InflationConfig) -> 
     InflationStats {
         inflated,
         growth: if before > 0.0 { after / before } else { 1.0 },
+        ..InflationStats::default()
     }
 }
 

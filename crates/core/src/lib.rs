@@ -51,6 +51,6 @@ pub mod wirelength;
 
 pub use model::Model;
 pub use optimizer::{GpOptions, GpOutcome};
-pub use placer::{PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
+pub use placer::{GpRoutabilityOptions, PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
 pub use trace::Trace;
 pub use wirelength::WirelengthModel;

@@ -11,8 +11,9 @@ use crate::macro_handling::optimize_macro_orientations;
 use crate::model::Model;
 use crate::optimizer::{run_global_place, GpOptions, GpOutcome};
 use crate::trace::Trace;
-use rdp_db::{Design, Placement, Region};
+use rdp_db::{Design, NodeId, Placement, Region};
 use rdp_geom::Rect;
+use rdp_route::{GlobalRouter, RouteGrid, RouterConfig, RoutingOutcome};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,23 @@ pub enum RotationMode {
     Continuous,
 }
 
+/// How the routability loop obtains its congestion picture.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GpRoutabilityOptions {
+    /// When `true`, each inflation round consumes *true routed* congestion
+    /// from the negotiation router: the first round routes the design from
+    /// scratch, and every later round calls
+    /// [`GlobalRouter::reroute_incremental`] on just the cells the GP
+    /// rerun moved. When `false` (the default), rounds use the fast
+    /// probabilistic pattern estimate
+    /// ([`rdp_route::pattern::estimate_congestion_into`]).
+    pub use_router_congestion: bool,
+    /// Router configuration for that mode. Its `parallelism` is overridden
+    /// by [`GpOptions::parallelism`] so the whole pipeline shares one
+    /// thread-count knob.
+    pub router: RouterConfig,
+}
+
 /// Configuration of a full placement run.
 ///
 /// The presets encode the experiment configurations of DESIGN.md:
@@ -73,6 +91,9 @@ pub struct PlaceOptions {
     pub inflation_rounds: usize,
     /// Inflation tuning.
     pub inflation: InflationConfig,
+    /// Congestion source of the routability loop (pattern estimate vs the
+    /// incremental negotiation router).
+    pub routability_opts: GpRoutabilityOptions,
     /// Spread cells out of hot spots by inflating their density area
     /// (the paper's primary mechanism).
     pub inflate_cells: bool,
@@ -104,6 +125,7 @@ impl Default for PlaceOptions {
             routability: true,
             inflation_rounds: 3,
             inflation: InflationConfig::default(),
+            routability_opts: GpRoutabilityOptions::default(),
             inflate_cells: true,
             net_weighting: false,
             net_weighting_config: crate::net_weighting::NetWeightingConfig::default(),
@@ -184,6 +206,14 @@ impl PlaceOptions {
     /// available CPU). Results are bitwise identical at every thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.gp.parallelism = rdp_geom::parallel::Parallelism::new(threads);
+        self
+    }
+
+    /// Feeds the inflation rounds true routed congestion via the
+    /// incremental reroute API instead of the pattern estimate (first
+    /// round routes from scratch, later rounds reroute only moved cells).
+    pub fn with_router_congestion(mut self) -> Self {
+        self.routability_opts.use_router_congestion = true;
         self
     }
 }
@@ -411,13 +441,49 @@ impl<'a> Placer<'a> {
         if opts.routability && opts.inflation_rounds > 0 {
             let t = Instant::now();
             let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
+            // State of the `use_router_congestion` mode: the previous
+            // round's routing outcome (warm state for the incremental
+            // reroute) and the node centers it was routed at (so the next
+            // round can compute its moved-cell set).
+            let router = GlobalRouter::new(RouterConfig {
+                parallelism: opts.gp.parallelism,
+                ..opts.routability_opts.router
+            });
+            let mut route_outcome: Option<RoutingOutcome> = None;
+            let mut route_centers: Vec<rdp_geom::Point> =
+                vec![rdp_geom::Point::ORIGIN; design.nodes().len()];
             for round in 0..opts.inflation_rounds {
                 model.write_back(&mut placement);
-                let grid =
-                    refresh_congestion(&mut congestion_grid, design, &placement, &opts);
+                let t_cong = Instant::now();
+                let mut dirty_nets = 0usize;
+                let grid: &RouteGrid = if opts.routability_opts.use_router_congestion {
+                    // True routed congestion: full route on the first
+                    // round, incremental reroute of just the moved cells
+                    // afterwards.
+                    let outcome = match route_outcome.take() {
+                        None => router.route(design, &placement),
+                        Some(prev) => {
+                            let moved: Vec<NodeId> = design
+                                .node_ids()
+                                .filter(|&id| placement.center(id) != route_centers[id.index()])
+                                .collect();
+                            router.reroute_incremental(&prev, design, &placement, &moved)
+                        }
+                    };
+                    dirty_nets = outcome.dirty_nets;
+                    for id in design.node_ids() {
+                        route_centers[id.index()] = placement.center(id);
+                    }
+                    &route_outcome.insert(outcome).grid
+                } else {
+                    refresh_congestion(&mut congestion_grid, design, &placement, &opts)
+                };
+                let congestion_time = t_cong.elapsed();
                 let mut touched = 0usize;
                 if opts.inflate_cells {
-                    let stats = inflate(&mut model, grid, opts.inflation);
+                    let mut stats = inflate(&mut model, grid, opts.inflation);
+                    stats.dirty_nets = dirty_nets;
+                    stats.congestion_time = congestion_time;
                     touched += stats.inflated;
                     inflation_stats.push(stats);
                 }
@@ -622,6 +688,47 @@ mod tests {
         let report = check_legal(&bench.design, &result.placement, 20);
         assert!(report.is_legal(), "violations: {:?}", report.violations);
         assert!(result.hpwl > 0.0);
+    }
+
+    #[test]
+    fn router_congestion_mode_is_legal_and_reports_dirty_nets() {
+        let bench = generate(&GeneratorConfig::tiny("prc", 46)).unwrap();
+        let result = Placer::new(&bench.design, PlaceOptions::fast().with_router_congestion())
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap();
+        let report = check_legal(&bench.design, &result.placement, 20);
+        assert!(report.is_legal(), "violations: {:?}", report.violations);
+        // First round routes from scratch: every net is dirty.
+        let first = &result.inflation[0];
+        assert_eq!(first.dirty_nets, bench.design.nets().len());
+        assert!(first.congestion_time.as_nanos() > 0);
+        // Later rounds go through the incremental path; dirtying more nets
+        // than the design has would mean the bookkeeping is broken.
+        for s in &result.inflation[1..] {
+            assert!(s.dirty_nets <= bench.design.nets().len());
+        }
+    }
+
+    #[test]
+    fn router_congestion_mode_is_deterministic() {
+        let bench = generate(&GeneratorConfig::tiny("prd", 47)).unwrap();
+        let run = |threads: usize| {
+            Placer::new(
+                &bench.design,
+                PlaceOptions::fast().with_router_congestion().with_threads(threads),
+            )
+            .with_initial(bench.placement.clone())
+            .run()
+            .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.hpwl.to_bits(), b.hpwl.to_bits());
+        for (sa, sb) in a.inflation.iter().zip(&b.inflation) {
+            assert_eq!(sa.dirty_nets, sb.dirty_nets);
+            assert_eq!(sa.inflated, sb.inflated);
+        }
     }
 
     #[test]

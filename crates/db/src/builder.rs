@@ -339,6 +339,23 @@ impl DesignBuilder {
             cursor[p.node().index()] += 1;
         }
 
+        // CSR node -> nets incidence: the distinct nets touching each node,
+        // sorted ascending (derived from the pin CSR above, deduped because
+        // a net may land several pins on one node).
+        let mut node_net_start = vec![0u32; nodes.len() + 1];
+        let mut node_net_index: Vec<NetId> = Vec::with_capacity(self.pins.len());
+        let mut scratch: Vec<NetId> = Vec::new();
+        for i in 0..nodes.len() {
+            scratch.clear();
+            let s = node_pin_start[i] as usize;
+            let e = node_pin_start[i + 1] as usize;
+            scratch.extend(node_pin_index[s..e].iter().map(|&p| self.pins[p.index()].net()));
+            scratch.sort_unstable();
+            scratch.dedup();
+            node_net_index.extend_from_slice(&scratch);
+            node_net_start[i + 1] = node_net_index.len() as u32;
+        }
+
         Ok(Design {
             name: self.name,
             nodes,
@@ -353,6 +370,8 @@ impl DesignBuilder {
             net_by_name,
             node_pin_start,
             node_pin_index,
+            node_net_start,
+            node_net_index,
         })
     }
 }

@@ -29,6 +29,10 @@ pub struct Design {
     /// `pin_index[pin_start[i]..pin_start[i + 1]]`.
     pub(crate) node_pin_start: Vec<u32>,
     pub(crate) node_pin_index: Vec<PinId>,
+    /// CSR pin→net incidence: the distinct nets touching node `i` are
+    /// `net_index[net_start[i]..net_start[i + 1]]`, sorted ascending.
+    pub(crate) node_net_start: Vec<u32>,
+    pub(crate) node_net_index: Vec<NetId>,
 }
 
 impl Design {
@@ -151,6 +155,18 @@ impl Design {
         let s = self.node_pin_start[node.index()] as usize;
         let e = self.node_pin_start[node.index() + 1] as usize;
         &self.node_pin_index[s..e]
+    }
+
+    /// The distinct nets with a pin on `cell`, sorted by id ascending.
+    ///
+    /// Built once at design construction (CSR over the pin arena), so an
+    /// incremental router can turn a set of moved cells into its dirty-net
+    /// set in O(moved · degree) without scanning the netlist.
+    #[inline]
+    pub fn nets_of_cell(&self, cell: NodeId) -> &[NetId] {
+        let s = self.node_net_start[cell.index()] as usize;
+        let e = self.node_net_start[cell.index() + 1] as usize;
+        &self.node_net_index[s..e]
     }
 
     /// Iterator over node ids (dense `0..len`).

@@ -1,0 +1,89 @@
+//! The pin→net incidence index (`Design::nets_of_cell`) must agree with a
+//! brute-force scan of the whole netlist, on generated designs and on
+//! randomized builder output. The `property-tests` feature multiplies the
+//! randomized case count.
+
+use rdp_db::{Design, DesignBuilder, NetId, NodeKind};
+use rdp_geom::rng::Rng;
+use rdp_geom::{Point, Rect};
+
+/// Randomized builder cases per run (more with `--features property-tests`).
+const CASES: u64 = if cfg!(feature = "property-tests") { 48 } else { 12 };
+
+/// Brute force: scan every net's pins for `node`.
+fn nets_by_scan(design: &Design, node: rdp_db::NodeId) -> Vec<NetId> {
+    let mut nets: Vec<NetId> = design
+        .net_ids()
+        .filter(|&n| design.net(n).pins().iter().any(|&p| design.pin(p).node() == node))
+        .collect();
+    nets.sort_unstable();
+    nets
+}
+
+fn assert_index_matches(design: &Design) {
+    for node in design.node_ids() {
+        let indexed = design.nets_of_cell(node);
+        let scanned = nets_by_scan(design, node);
+        assert_eq!(
+            indexed, scanned,
+            "nets_of_cell({node}) disagrees with the brute-force scan"
+        );
+        // Sorted + deduped by construction.
+        assert!(indexed.windows(2).all(|w| w[0] < w[1]), "{node}: not strictly sorted");
+    }
+}
+
+#[test]
+fn generated_design_incidence_matches_brute_force() {
+    let bench = rdp_gen::generate(&rdp_gen::GeneratorConfig::tiny("inc", 17)).unwrap();
+    assert!(bench.design.nodes().len() > 100);
+    assert_index_matches(&bench.design);
+}
+
+#[test]
+fn hierarchical_design_incidence_matches_brute_force() {
+    let bench = rdp_gen::generate(&rdp_gen::GeneratorConfig::hierarchical("inch", 18, 2)).unwrap();
+    assert_index_matches(&bench.design);
+}
+
+#[test]
+fn random_builder_designs_incidence_matches_brute_force() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1DC1_DE00 ^ case);
+        let n_nodes = rng.gen_range(2usize..24);
+        let n_nets = rng.gen_range(1usize..32);
+        let mut b = DesignBuilder::new(format!("inc{case}"));
+        b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+        b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+        let nodes: Vec<_> = (0..n_nodes)
+            .map(|i| b.add_node(format!("n{i}"), 2.0, 10.0, NodeKind::Movable).unwrap())
+            .collect();
+        for i in 0..n_nets {
+            let net = b.add_net(format!("net{i}"), 1.0);
+            // 2..5 pins on random nodes; repeats are deliberate — a net may
+            // land several pins on one node and must still index once.
+            for _ in 0..rng.gen_range(2usize..5) {
+                let node = nodes[rng.gen_range(0usize..nodes.len())];
+                b.add_pin(net, node, Point::ORIGIN);
+            }
+        }
+        let design = b.finish().unwrap();
+        assert_index_matches(&design);
+    }
+}
+
+#[test]
+fn pinless_node_has_no_nets() {
+    let mut b = DesignBuilder::new("lonely");
+    b.die(Rect::new(0.0, 0.0, 100.0, 100.0));
+    b.add_row(0.0, 10.0, 1.0, 0.0, 100);
+    let a = b.add_node("a", 2.0, 10.0, NodeKind::Movable).unwrap();
+    let c = b.add_node("c", 2.0, 10.0, NodeKind::Movable).unwrap();
+    let lonely = b.add_node("lonely", 2.0, 10.0, NodeKind::Movable).unwrap();
+    let n = b.add_net("n", 1.0);
+    b.add_pin(n, a, Point::ORIGIN);
+    b.add_pin(n, c, Point::ORIGIN);
+    let d = b.finish().unwrap();
+    assert!(d.nets_of_cell(lonely).is_empty());
+    assert_eq!(d.nets_of_cell(a), &[n]);
+}

@@ -34,5 +34,5 @@ pub mod runner;
 pub mod score;
 pub mod suite;
 
-pub use runner::{run_flow, FlowOutcome};
-pub use score::{score_placement, ContestScore};
+pub use runner::{run_flow, run_flow_with, FlowOutcome};
+pub use score::{score_placement, score_placement_with, ContestScore};

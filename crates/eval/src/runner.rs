@@ -1,10 +1,11 @@
 //! Flow orchestration: place a benchmark, legalize (inside the placer),
 //! score against the contest router, and keep per-stage timing.
 
-use crate::score::{score_placement, ContestScore};
+use crate::score::{score_placement_with, ContestScore};
 use rdp_core::{PlaceError, PlaceOptions, PlaceResult, Placer};
 use rdp_db::validate::{check_legal, LegalityReport};
 use rdp_gen::GeneratedBench;
+use rdp_route::RouterConfig;
 use std::time::{Duration, Instant};
 
 /// Full outcome of place-then-score on one benchmark.
@@ -20,18 +21,32 @@ pub struct FlowOutcome {
     pub place_time: Duration,
 }
 
-/// Places `bench` with `options` and scores the result.
+/// Places `bench` with `options` and scores the result with the default
+/// scoring-router configuration.
 ///
 /// # Errors
 ///
 /// Propagates [`PlaceError`] for unplaceable designs.
 pub fn run_flow(bench: &GeneratedBench, options: PlaceOptions) -> Result<FlowOutcome, PlaceError> {
+    run_flow_with(bench, options, RouterConfig::default())
+}
+
+/// Like [`run_flow`], but scoring with an explicit [`RouterConfig`].
+///
+/// # Errors
+///
+/// Propagates [`PlaceError`] for unplaceable designs.
+pub fn run_flow_with(
+    bench: &GeneratedBench,
+    options: PlaceOptions,
+    router: RouterConfig,
+) -> Result<FlowOutcome, PlaceError> {
     let t = Instant::now();
     let place = Placer::new(&bench.design, options)
         .with_initial(bench.placement.clone())
         .run()?;
     let place_time = t.elapsed();
-    let score = score_placement(&bench.design, &place.placement);
+    let score = score_placement_with(&bench.design, &place.placement, router);
     let legality = check_legal(&bench.design, &place.placement, 32);
     Ok(FlowOutcome {
         place,

@@ -19,11 +19,22 @@ pub struct ContestScore {
     pub route_time: Duration,
 }
 
-/// Scores `placement` by routing it with the full negotiation router.
+/// Scores `placement` by routing it with the full negotiation router at
+/// its default settings.
 pub fn score_placement(design: &Design, placement: &Placement) -> ContestScore {
+    score_placement_with(design, placement, RouterConfig::default())
+}
+
+/// Like [`score_placement`], but with an explicit scoring-router
+/// configuration (thread count, iteration budget, cost knobs).
+pub fn score_placement_with(
+    design: &Design,
+    placement: &Placement,
+    router: RouterConfig,
+) -> ContestScore {
     let hpwl = rdp_db::hpwl::total_hpwl(design, placement);
     let t = Instant::now();
-    let outcome = GlobalRouter::new(RouterConfig::default()).route(design, placement);
+    let outcome = GlobalRouter::new(router).route(design, placement);
     let route_time = t.elapsed();
     let rc = outcome.metrics.rc;
     let scaled_hpwl = hpwl * outcome.metrics.penalty_factor();

@@ -247,6 +247,13 @@ impl RouteGrid {
         self.history[e.0 as usize] += amount;
     }
 
+    /// Scales every edge's history cost by `factor` — history *aging*,
+    /// used when a warm-started reroute resumes on a changed placement
+    /// (old congestion evidence is discounted, not trusted verbatim).
+    pub fn scale_history(&mut self, factor: f64) {
+        self.history.iter_mut().for_each(|h| *h *= factor);
+    }
+
     /// Congestion ratio `usage / capacity` of `e`; an edge with zero
     /// capacity but nonzero usage reports a large finite ratio.
     pub fn ratio(&self, e: EdgeId) -> f64 {

@@ -44,7 +44,7 @@ pub use grid::{EdgeId, GCell, RouteGrid};
 pub use maze::MazeScratch;
 pub use metrics::{CongestionMetrics, ACE_LEVELS};
 pub use pattern::EdgeCosts;
-pub use router::{GlobalRouter, RouterConfig, RoutingOutcome};
+pub use router::{GlobalRouter, RoutedSegment, RouterConfig, RoutingOutcome};
 
 /// Routes `design`/`placement` with default settings and returns only the
 /// congestion metrics — the common one-liner for scoring.
@@ -64,7 +64,16 @@ pub fn route_and_measure(
     design: &rdp_db::Design,
     placement: &rdp_db::Placement,
 ) -> CongestionMetrics {
-    GlobalRouter::new(RouterConfig::default())
-        .route(design, placement)
-        .metrics
+    route_and_measure_with(design, placement, RouterConfig::default())
+}
+
+/// Like [`route_and_measure`], but with an explicit [`RouterConfig`] —
+/// for callers that need to pin thread count, iteration budget, or cost
+/// parameters (the eval runner threads its own config through here).
+pub fn route_and_measure_with(
+    design: &rdp_db::Design,
+    placement: &rdp_db::Placement,
+    config: RouterConfig,
+) -> CongestionMetrics {
+    GlobalRouter::new(config).route(design, placement).metrics
 }

@@ -10,13 +10,21 @@
 //! segment order — bitwise identical at every thread count. Overflowed
 //! edges are tracked incrementally across rounds instead of rescanning the
 //! whole grid.
+//!
+//! For the placer's inflation loop, where each round moves only a small
+//! fraction of cells, [`GlobalRouter::reroute_incremental`] resumes from a
+//! previous [`RoutingOutcome`]: only nets with a pin on a moved cell are
+//! ripped up and re-seeded (pattern pass against the retained warm grid),
+//! and negotiation restarts with the previous run's history costs and
+//! overflow set — per-call cost proportional to the perturbation, not the
+//! design.
 
 use crate::grid::{EdgeId, RouteGrid};
 use crate::maze::{route_maze_windowed, MazeScratch};
 use crate::metrics::CongestionMetrics;
 use crate::pattern::{route_pattern, CostParams, EdgeCosts};
 use crate::topology::{decompose_net, Segment};
-use rdp_db::{Design, NetId, Placement};
+use rdp_db::{Design, NetId, NodeId, Placement};
 use rdp_geom::parallel::{chunk_spans, chunked_map, chunked_map_with, Parallelism};
 use std::time::{Duration, Instant};
 
@@ -29,6 +37,12 @@ const NET_CHUNK: usize = 128;
 /// never depends on the thread count. Smaller than [`NET_CHUNK`] because
 /// a maze search is far heavier than a pattern route.
 const SEG_CHUNK: usize = 32;
+
+/// Retained segments per parallel work chunk in the warm-start partition
+/// of [`GlobalRouter::reroute_incremental`]. Much coarser than
+/// [`SEG_CHUNK`]: the per-segment work is a clone or an edge-id copy, so
+/// fine chunks would be all spawn-and-allocate overhead.
+const PARTITION_CHUNK: usize = 1024;
 
 /// Usage above capacity by more than this counts as overflow.
 const OVERFLOW_EPS: f64 = 1e-9;
@@ -52,6 +66,15 @@ pub struct RouterConfig {
     /// routing outcome is bitwise independent of this knob. `None`
     /// searches the whole grid.
     pub window_margin: Option<u32>,
+    /// History *aging* factor a warm start applies to the retained
+    /// history costs before resuming negotiation
+    /// ([`GlobalRouter::reroute_incremental`] only; a fresh
+    /// [`GlobalRouter::route`] starts at zero history regardless).
+    /// `1.0` trusts the old congestion evidence verbatim — empirically
+    /// bad after a placement change, because saturated history from the
+    /// previous run forces detours around congestion that no longer
+    /// exists. `0.0` discards it. The default discounts it.
+    pub history_decay: f64,
 }
 
 impl Default for RouterConfig {
@@ -62,16 +85,20 @@ impl Default for RouterConfig {
             cost: CostParams::default(),
             parallelism: Parallelism::auto(),
             window_margin: Some(8),
+            history_decay: 0.1,
         }
     }
 }
 
 /// One routed two-pin segment: the request and its current path.
 #[derive(Debug, Clone)]
-struct RoutedSegment {
-    net: NetId,
-    segment: Segment,
-    edges: Vec<EdgeId>,
+pub struct RoutedSegment {
+    /// The net this segment belongs to.
+    pub net: NetId,
+    /// The two-pin request (gcell endpoints).
+    pub segment: Segment,
+    /// The grid edges of the segment's current path.
+    pub edges: Vec<EdgeId>,
 }
 
 /// Result of a routing run.
@@ -88,10 +115,23 @@ pub struct RoutingOutcome {
     /// Routed length (gcell edges used) per net, indexed by
     /// [`NetId::index`](rdp_db::NetId::index).
     pub net_lengths: Vec<u32>,
-    /// Wall-clock of the initial pattern pass.
+    /// Wall-clock of the initial pattern pass (for
+    /// [`GlobalRouter::reroute_incremental`]: the rip-up + re-pattern
+    /// phase).
     pub pattern_elapsed: Duration,
     /// Wall-clock of all negotiation (rip-up-and-reroute) rounds.
     pub negotiation_elapsed: Duration,
+    /// Every routed segment with its final path — the warm state a later
+    /// [`GlobalRouter::reroute_incremental`] call resumes from.
+    pub segments: Vec<RoutedSegment>,
+    /// Sorted ids of the edges still overflowed when routing stopped
+    /// (empty exactly when the run converged). Seeds the incremental
+    /// overflow set of a follow-up [`GlobalRouter::reroute_incremental`].
+    pub overflowed: Vec<u32>,
+    /// Nets whose segments this call (re)routed: every net for
+    /// [`GlobalRouter::route`], the dirty-net count for
+    /// [`GlobalRouter::reroute_incremental`].
+    pub dirty_nets: usize,
 }
 
 /// The set of currently overflowed edges, maintained incrementally: after
@@ -120,6 +160,16 @@ impl OverflowSet {
         OverflowSet { flags, list }
     }
 
+    /// Rebuilds the set from a sorted membership list saved by a previous
+    /// run (see [`RoutingOutcome::overflowed`]) — no grid scan.
+    fn from_list(num_edges: usize, list: Vec<u32>) -> Self {
+        let mut flags = vec![false; num_edges];
+        for &e in &list {
+            flags[e as usize] = true;
+        }
+        OverflowSet { flags, list }
+    }
+
     fn is_empty(&self) -> bool {
         self.list.is_empty()
     }
@@ -133,8 +183,13 @@ impl OverflowSet {
     /// place) and rebuilds the sorted list by merging it with the old one
     /// — O(touched·log + |list|), never a full grid scan.
     fn update(&mut self, grid: &RouteGrid, touched: &mut Vec<u32>) {
+        // Dedup through a seen-bitmap *before* sorting: `touched` holds one
+        // entry per segment-edge crossing (easily 100× the edge count on a
+        // busy round), while the distinct edges are bounded by the grid —
+        // sorting the deduped remainder is far cheaper than sorting raw.
+        let mut seen = vec![false; self.flags.len()];
+        touched.retain(|&e| !std::mem::replace(&mut seen[e as usize], true));
         touched.sort_unstable();
-        touched.dedup();
         for &e in touched.iter() {
             self.flags[e as usize] = grid.overflow(EdgeId(e)) > OVERFLOW_EPS;
         }
@@ -237,6 +292,167 @@ impl GlobalRouter {
         // Negotiation rounds: deterministic-parallel rip-up-and-reroute.
         let t_negotiation = Instant::now();
         let mut overflow = OverflowSet::scan(&grid);
+        let iterations = self.negotiate(&mut grid, &mut routed, &mut overflow);
+        let negotiation_elapsed = t_negotiation.elapsed();
+
+        let dirty_nets = design.nets().len();
+        self.finish_outcome(
+            design,
+            grid,
+            routed,
+            overflow,
+            iterations,
+            dirty_nets,
+            pattern_elapsed,
+            negotiation_elapsed,
+        )
+    }
+
+    /// Resumes routing from a previous outcome after a placement
+    /// perturbation that moved only `moved` cells.
+    ///
+    /// The warm-start protocol, in order:
+    ///
+    /// 1. **Dirty-net set.** A net is dirty iff it has a pin on a moved
+    ///    cell (O(moved · degree) via [`Design::nets_of_cell`]). `moved`
+    ///    must list every cell whose position differs between the
+    ///    placement `prev` was routed at and `placement` — omissions leave
+    ///    stale paths in the outcome.
+    /// 2. **Rip-up.** Only dirty segments are ripped: their usage is
+    ///    decremented in the grid retained from `prev` (history costs are
+    ///    kept — that is the warm start). Clean segments keep their paths
+    ///    verbatim, in their previous order.
+    /// 3. **Re-seed.** Dirty nets are re-decomposed at `placement` and
+    ///    pattern-routed against the frozen warm grid, in net-id order and
+    ///    fixed-size chunks, so the pass is bitwise identical at every
+    ///    thread count.
+    /// 4. **Negotiation.** The overflow set is rebuilt from
+    ///    [`RoutingOutcome::overflowed`] plus the edges touched in steps
+    ///    2–3 (a sorted merge, never a grid scan), and the usual rounds
+    ///    run on the combined clean + dirty segment list.
+    ///
+    /// When every net is dirty there is no reusable warm state, so the
+    /// call falls back to a fresh [`GlobalRouter::route`] — which also
+    /// makes the all-cells-moved case bitwise identical to routing from
+    /// scratch (retained history would otherwise perturb costs).
+    pub fn reroute_incremental(
+        &self,
+        prev: &RoutingOutcome,
+        design: &Design,
+        placement: &Placement,
+        moved: &[NodeId],
+    ) -> RoutingOutcome {
+        // Step 1: dirty-net set from the moved cells.
+        let mut dirty = vec![false; design.nets().len()];
+        let mut dirty_count = 0usize;
+        for &cell in moved {
+            for &net in design.nets_of_cell(cell) {
+                if !dirty[net.index()] {
+                    dirty[net.index()] = true;
+                    dirty_count += 1;
+                }
+            }
+        }
+        if dirty_count == design.nets().len() {
+            return self.route(design, placement);
+        }
+
+        let t_pattern = Instant::now();
+        let mut grid = prev.grid.clone();
+        // Age the retained history: the placement changed, so the old
+        // congestion evidence is a prior, not a fact.
+        grid.scale_history(self.config.history_decay);
+
+        // Step 2: rip up dirty segments (freeing their usage in the warm
+        // grid), keep clean ones verbatim in their previous order. The
+        // partition (and the clean-path clones it implies) is chunked
+        // across workers; the fold below walks chunks in order, so the
+        // retained sequence and the usage updates are thread-invariant.
+        let spans: Vec<_> = chunk_spans(prev.segments.len(), PARTITION_CHUNK).collect();
+        let parts: Vec<(Vec<RoutedSegment>, Vec<u32>)> = {
+            let dirty = &dirty;
+            let segs = &prev.segments;
+            chunked_map(self.config.parallelism, spans.len(), |ci| {
+                let span = spans[ci].clone();
+                let mut clean: Vec<RoutedSegment> = Vec::with_capacity(span.len());
+                let mut ripped: Vec<u32> = Vec::new();
+                for rs in &segs[span] {
+                    if dirty[rs.net.index()] {
+                        ripped.extend(rs.edges.iter().map(|e| e.0));
+                    } else {
+                        clean.push(rs.clone());
+                    }
+                }
+                (clean, ripped)
+            })
+        };
+        let mut touched: Vec<u32> = Vec::new();
+        let mut routed: Vec<RoutedSegment> = Vec::with_capacity(prev.segments.len());
+        for (clean, ripped) in parts {
+            for &e in &ripped {
+                grid.add_usage(EdgeId(e), -1.0);
+            }
+            touched.extend(ripped);
+            routed.extend(clean);
+        }
+
+        // Step 3: re-decompose and pattern-route the dirty nets at the new
+        // placement, against the frozen warm grid (usage of the retained
+        // clean paths plus `prev`'s history), in net-id order.
+        let dirty_ids: Vec<NetId> = design.net_ids().filter(|n| dirty[n.index()]).collect();
+        let spans: Vec<_> = chunk_spans(dirty_ids.len(), NET_CHUNK).collect();
+        let partials = {
+            let g: &RouteGrid = &grid;
+            chunked_map(self.config.parallelism, spans.len(), |ci| {
+                let mut out: Vec<RoutedSegment> = Vec::new();
+                for &net in &dirty_ids[spans[ci].clone()] {
+                    for segment in decompose_net(design, placement, g, net) {
+                        let edges = route_pattern(g, segment, self.config.cost);
+                        out.push(RoutedSegment { net, segment, edges });
+                    }
+                }
+                out
+            })
+        };
+        for rs in partials.into_iter().flatten() {
+            for &e in &rs.edges {
+                grid.add_usage(e, 1.0);
+                touched.push(e.0);
+            }
+            routed.push(rs);
+        }
+        let pattern_elapsed = t_pattern.elapsed();
+
+        // Step 4: negotiation seeded with the previous overflow set merged
+        // with every edge whose usage changed above.
+        let t_negotiation = Instant::now();
+        let mut overflow = OverflowSet::from_list(grid.num_edges(), prev.overflowed.clone());
+        overflow.update(&grid, &mut touched);
+        let iterations = self.negotiate(&mut grid, &mut routed, &mut overflow);
+        let negotiation_elapsed = t_negotiation.elapsed();
+
+        self.finish_outcome(
+            design,
+            grid,
+            routed,
+            overflow,
+            iterations,
+            dirty_count,
+            pattern_elapsed,
+            negotiation_elapsed,
+        )
+    }
+
+    /// The negotiation rounds (rip up everything crossing overflow,
+    /// snapshot costs, reroute in deterministic chunks, fold in order),
+    /// run to convergence or `max_iterations`. Returns the number of
+    /// rounds executed.
+    fn negotiate(
+        &self,
+        grid: &mut RouteGrid,
+        routed: &mut [RoutedSegment],
+        overflow: &mut OverflowSet,
+    ) -> usize {
         let mut iterations = 0;
         for _ in 0..self.config.max_iterations {
             if overflow.is_empty() {
@@ -267,7 +483,7 @@ impl GlobalRouter {
             // Per-round cost snapshot: usage/history/capacity are frozen
             // for the whole round, so every heap relaxation in the maze
             // search is a single array load.
-            let costs = EdgeCosts::build_par(&grid, self.config.cost, self.config.parallelism);
+            let costs = EdgeCosts::build_par(grid, self.config.cost, self.config.parallelism);
 
             // Reroute the ripped segments in fixed-size chunks against the
             // round-start snapshot; each worker reuses one scratch for all
@@ -277,7 +493,7 @@ impl GlobalRouter {
             let seg_spans: Vec<_> = chunk_spans(requests.len(), SEG_CHUNK).collect();
             let margin = self.config.window_margin;
             let rerouted: Vec<Vec<Vec<EdgeId>>> = {
-                let g: &RouteGrid = &grid;
+                let g: &RouteGrid = grid;
                 let costs = &costs;
                 chunked_map_with(
                     self.config.parallelism,
@@ -305,7 +521,7 @@ impl GlobalRouter {
 
             // Incremental overflow maintenance: only edges whose usage
             // changed this round can have changed state.
-            overflow.update(&grid, &mut touched);
+            overflow.update(grid, &mut touched);
 
             // Grow history on the still-overflowed edges so repeated
             // offenders get progressively more expensive next round —
@@ -316,8 +532,24 @@ impl GlobalRouter {
                 }
             }
         }
-        let negotiation_elapsed = t_negotiation.elapsed();
+        iterations
+    }
 
+    /// Assembles the final [`RoutingOutcome`] from the post-negotiation
+    /// state (shared by [`GlobalRouter::route`] and
+    /// [`GlobalRouter::reroute_incremental`]).
+    #[allow(clippy::too_many_arguments)]
+    fn finish_outcome(
+        &self,
+        design: &Design,
+        grid: RouteGrid,
+        routed: Vec<RoutedSegment>,
+        overflow: OverflowSet,
+        iterations: usize,
+        dirty_nets: usize,
+        pattern_elapsed: Duration,
+        negotiation_elapsed: Duration,
+    ) -> RoutingOutcome {
         let mut net_lengths = vec![0u32; design.nets().len()];
         for rs in &routed {
             net_lengths[rs.net.index()] += rs.edges.len() as u32;
@@ -331,6 +563,9 @@ impl GlobalRouter {
             net_lengths,
             pattern_elapsed,
             negotiation_elapsed,
+            overflowed: overflow.list,
+            segments: routed,
+            dirty_nets,
             grid,
         }
     }

@@ -1,0 +1,236 @@
+//! Equivalence contract of [`GlobalRouter::reroute_incremental`]:
+//!
+//! * **All cells moved** — the call must be **bitwise identical** to a
+//!   fresh [`GlobalRouter::route`] at the new placement (there is no
+//!   reusable warm state, and the router must recognize that), at every
+//!   thread count.
+//! * **Nothing moved** after a converged run — the previous outcome must
+//!   be reproduced exactly.
+//! * **Small move-sets** — the incremental outcome must be bitwise
+//!   identical at 1/2/8 threads, and warm-start negotiation must converge
+//!   to the same or lower overflow as routing the perturbed placement
+//!   from scratch *in aggregate* over the seeded cases, with a bounded
+//!   per-case slack. (Strict per-case `≤` is not a theorem: both runs are
+//!   negotiation heuristics started from different states, so they land
+//!   in different local optima that can order either way by a few
+//!   overflow units. The in-tree RNG makes every case deterministic, so
+//!   the bounds below are tight but not flaky.)
+//!
+//! The `property-tests` feature multiplies the randomized case count.
+
+use rdp_db::{NodeId, Placement};
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_geom::parallel::Parallelism;
+use rdp_geom::rng::Rng;
+use rdp_geom::Point;
+use rdp_route::{GlobalRouter, RouterConfig, RoutingOutcome};
+
+/// Random move-set cases (more with `--features property-tests`).
+const CASES: u64 = if cfg!(feature = "property-tests") { 24 } else { 12 };
+
+/// Thread counts every assertion is checked at.
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn config(threads: usize) -> RouterConfig {
+    RouterConfig {
+        parallelism: Parallelism::new(threads),
+        ..RouterConfig::default()
+    }
+}
+
+/// A supply-tight generated bench, so negotiation actually has overflow
+/// to work against.
+fn tight_bench(name: &str, seed: u64) -> rdp_gen::GeneratedBench {
+    let mut cfg = GeneratorConfig::tiny(name, seed);
+    cfg.route.tracks_per_edge_h = 10.0;
+    cfg.route.tracks_per_edge_v = 10.0;
+    generate(&cfg).unwrap()
+}
+
+/// Bit-exact digest of everything downstream code can observe in an
+/// outcome: per-edge usage, per-net lengths, the overflow list and the
+/// headline metrics. (History is deliberately excluded — it is internal
+/// negotiation state, and a warm start ages it.)
+fn fingerprint(out: &RoutingOutcome) -> (Vec<u64>, Vec<u32>, Vec<u32>, u64, u64) {
+    (
+        out.grid.edge_ids().map(|e| out.grid.usage(e).to_bits()).collect(),
+        out.net_lengths.clone(),
+        out.overflowed.clone(),
+        out.metrics.rc.to_bits(),
+        out.metrics.total_overflow.to_bits(),
+    )
+}
+
+/// Displaces `cells` by up to ±5% of the die dimensions.
+fn jiggle(pl: &mut Placement, design: &rdp_db::Design, cells: &[NodeId], rng: &mut Rng) {
+    let die = design.die();
+    let dx = die.width() * 0.05;
+    let dy = die.height() * 0.05;
+    for &id in cells {
+        let c = pl.center(id);
+        pl.set_center(
+            id,
+            Point::new(
+                rdp_geom::clamp(c.x + rng.gen_range(-dx..dx), die.xl, die.xh),
+                rdp_geom::clamp(c.y + rng.gen_range(-dy..dy), die.yl, die.yh),
+            ),
+        );
+    }
+}
+
+/// Picks `count` distinct movables, sorted by id.
+fn pick_moved(movables: &[NodeId], count: usize, rng: &mut Rng) -> Vec<NodeId> {
+    let mut moved: Vec<NodeId> = Vec::with_capacity(count);
+    let mut taken = vec![false; movables.len()];
+    while moved.len() < count {
+        let k = rng.gen_range(0usize..movables.len());
+        if !taken[k] {
+            taken[k] = true;
+            moved.push(movables[k]);
+        }
+    }
+    moved.sort_unstable();
+    moved
+}
+
+#[test]
+fn all_cells_moved_is_bitwise_identical_to_fresh_route() {
+    let bench = tight_bench("ie1", 21);
+    let mut rng = Rng::seed_from_u64(0xA11_C311);
+    let all: Vec<NodeId> = bench.design.node_ids().collect();
+    let movables: Vec<NodeId> = bench.design.movable_ids().collect();
+    let mut perturbed = bench.placement.clone();
+    // Scatter everything: the perturbation the fallback rule covers.
+    let die = bench.design.die();
+    for &id in &movables {
+        perturbed.set_center(
+            id,
+            Point::new(rng.gen_range(die.xl..die.xh), rng.gen_range(die.yl..die.yh)),
+        );
+    }
+
+    for threads in THREADS {
+        let router = GlobalRouter::new(config(threads));
+        let prev = router.route(&bench.design, &bench.placement);
+        let incremental = router.reroute_incremental(&prev, &bench.design, &perturbed, &all);
+        let fresh = router.route(&bench.design, &perturbed);
+        assert_eq!(
+            fingerprint(&incremental),
+            fingerprint(&fresh),
+            "all-cells-moved reroute differs from scratch at {threads} threads"
+        );
+        assert_eq!(incremental.dirty_nets, bench.design.nets().len());
+    }
+}
+
+#[test]
+fn empty_move_set_on_converged_run_reproduces_the_outcome() {
+    // Generous capacity: the first route converges (no residual overflow),
+    // so an empty perturbation leaves the incremental call nothing to do.
+    let mut cfg = GeneratorConfig::tiny("ie2", 22);
+    cfg.route.tracks_per_edge_h = 10_000.0;
+    cfg.route.tracks_per_edge_v = 10_000.0;
+    let bench = generate(&cfg).unwrap();
+    let router = GlobalRouter::new(config(2));
+    let prev = router.route(&bench.design, &bench.placement);
+    assert!(prev.overflowed.is_empty(), "bench must converge for this test");
+    let again = router.reroute_incremental(&prev, &bench.design, &bench.placement, &[]);
+    assert_eq!(fingerprint(&again), fingerprint(&prev));
+    assert_eq!(again.dirty_nets, 0);
+    assert_eq!(again.iterations, 0, "nothing dirty, nothing to negotiate");
+}
+
+#[test]
+fn unconverged_warm_start_keeps_negotiating() {
+    // On a supply-tight bench the first route stops at max_iterations with
+    // residual overflow; resuming (even with nothing moved) must continue
+    // negotiation from the saved overflow list, never regress it.
+    let bench = tight_bench("ie2b", 25);
+    let router = GlobalRouter::new(config(2));
+    let prev = router.route(&bench.design, &bench.placement);
+    assert!(!prev.overflowed.is_empty(), "bench must NOT converge for this test");
+    let resumed = router.reroute_incremental(&prev, &bench.design, &bench.placement, &[]);
+    assert!(resumed.iterations > 0, "residual overflow should drive more rounds");
+    assert!(
+        resumed.metrics.total_overflow <= prev.metrics.total_overflow,
+        "resumed negotiation regressed: {} vs {}",
+        resumed.metrics.total_overflow,
+        prev.metrics.total_overflow
+    );
+}
+
+#[test]
+fn small_move_sets_converge_no_worse_than_scratch() {
+    let mut sum_incremental = 0.0;
+    let mut sum_fresh = 0.0;
+    for case in 0..CASES {
+        let bench = tight_bench("ie3", 23 + case);
+        let movables: Vec<NodeId> = bench.design.movable_ids().collect();
+        let mut rng = Rng::seed_from_u64(0x1C4E_A5E0 ^ case);
+
+        // Move 1..10% of the movable cells (at least one) a short way.
+        let count = ((movables.len() * rng.gen_range(1usize..11)) / 100).max(1);
+        let moved = pick_moved(&movables, count, &mut rng);
+        let mut perturbed = bench.placement.clone();
+        jiggle(&mut perturbed, &bench.design, &moved, &mut rng);
+
+        let mut prints = Vec::new();
+        for threads in THREADS {
+            let router = GlobalRouter::new(config(threads));
+            let prev = router.route(&bench.design, &bench.placement);
+            let incremental =
+                router.reroute_incremental(&prev, &bench.design, &perturbed, &moved);
+            let fresh = router.route(&bench.design, &perturbed);
+            // Per-case: warm start may land in a slightly different local
+            // optimum, but never a qualitatively worse one.
+            assert!(
+                incremental.metrics.total_overflow
+                    <= fresh.metrics.total_overflow * 1.5 + 4.0,
+                "case {case}, {threads} threads: warm start far worse than scratch \
+                 ({} vs {}, {} moved cells, {} dirty nets)",
+                incremental.metrics.total_overflow,
+                fresh.metrics.total_overflow,
+                moved.len(),
+                incremental.dirty_nets,
+            );
+            assert!(incremental.dirty_nets < bench.design.nets().len());
+            if threads == THREADS[0] {
+                sum_incremental += incremental.metrics.total_overflow;
+                sum_fresh += fresh.metrics.total_overflow;
+            }
+            prints.push(fingerprint(&incremental));
+        }
+        // The incremental path itself is bitwise thread-count independent.
+        assert_eq!(prints[0], prints[1], "case {case}: 1 vs 2 threads");
+        assert_eq!(prints[0], prints[2], "case {case}: 1 vs 8 threads");
+    }
+    // In aggregate the warm start must be no worse than from-scratch:
+    // that is the "same-or-lower overflow" convergence contract.
+    assert!(
+        sum_incremental <= sum_fresh + 1e-6,
+        "aggregate warm-start overflow {sum_incremental} worse than scratch {sum_fresh}"
+    );
+}
+
+#[test]
+fn usage_is_conserved_after_incremental_reroute() {
+    // Every segment contributes exactly its path: summed edge usage must
+    // equal the summed net lengths after any incremental update.
+    let bench = tight_bench("ie4", 24);
+    let movables: Vec<NodeId> = bench.design.movable_ids().collect();
+    let mut rng = Rng::seed_from_u64(0xC0_15E1);
+    let moved = pick_moved(&movables, (movables.len() / 20).max(1), &mut rng);
+    let mut perturbed = bench.placement.clone();
+    jiggle(&mut perturbed, &bench.design, &moved, &mut rng);
+
+    let router = GlobalRouter::new(config(2));
+    let prev = router.route(&bench.design, &bench.placement);
+    let out = router.reroute_incremental(&prev, &bench.design, &perturbed, &moved);
+    let grid_usage: f64 = out.grid.edge_ids().map(|e| out.grid.usage(e)).sum();
+    let per_net: u32 = out.net_lengths.iter().sum();
+    assert!(
+        (grid_usage - f64::from(per_net)).abs() < 1e-6,
+        "usage {grid_usage} vs net lengths {per_net}"
+    );
+    assert_eq!(out.segments.len(), out.num_segments);
+}

@@ -22,6 +22,7 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo build --workspace --benches --features rdp-bench/bench
   run cargo clippy --workspace --all-targets --features rdp-bench/bench -- -D warnings
   run cargo run --release -p rdp-bench --bin bench_router -- --smoke
+  run cargo run --release -p rdp-bench --bin bench_incremental -- --smoke
 fi
 
 echo "ci: OK"
