@@ -215,7 +215,7 @@ pub fn reorder_pass(design: &Design, placement: &mut Placement, window: usize) -
                 .lower_left(design, a)
                 .x
                 .partial_cmp(&placement.lower_left(design, b).x)
-                .expect("finite x")
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         if cells.len() < window {
             continue;
@@ -337,7 +337,7 @@ pub fn relocate_pass(
             .filter(|r| (r.yl - row.y()).abs() < 1e-6 && r.xl >= seg.interval.lo - 1e-6 && r.xh <= seg.interval.hi + 1e-6)
             .map(|r| (r.xl, r.xh))
             .collect();
-        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         let mut cursor = seg.interval.lo;
         for (xl, xh) in spans {
             if xl > cursor + 1e-9 {

@@ -1,0 +1,226 @@
+//! Deterministic fault-injection harness (compiled in only with the
+//! `fault-inject` feature, like the in-tree RNG is gated for tests).
+//!
+//! Tests arm a list of [`Fault`]s on their own thread, run the placer, and
+//! disarm to learn how many faults actually fired. Every hook site lives
+//! on the orchestrating thread (the one that calls `Placer::run`): the
+//! parallel kernels never consult the armed list, so injection cannot
+//! perturb the bitwise thread-count invariance of the kernels — a faulted
+//! run at 1 thread is bitwise identical to the same faulted run at 8.
+//!
+//! With the feature disabled the hook functions still exist but compile to
+//! inlined `false`/`0` constants, so the production flow pays nothing.
+
+#[cfg(feature = "fault-inject")]
+use std::cell::RefCell;
+
+/// One injectable fault, matched at a deterministic point of the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Poison the combined gradient (and smooth WL) of a GP iteration with
+    /// NaN. `stage` matches the GP stage label; an empty string matches
+    /// every stage. Fires in outer round `outer`, up to `times` times
+    /// (retries of the same round keep re-firing until spent, which is
+    /// what exercises the bounded-retry path).
+    NanGradient {
+        /// GP stage label to match (`""` = any stage).
+        stage: String,
+        /// Outer (penalty) round to fire in.
+        outer: usize,
+        /// How many times to fire before the fault is spent.
+        times: usize,
+    },
+    /// Write non-finite usage onto the first `edges` edges of the
+    /// congestion grid after routability round `round` produced it.
+    /// (Injected as `+∞`: the grid's usage accumulator clamps with
+    /// `max(0.0)`, which swallows NaN but propagates infinity.)
+    CorruptCongestion {
+        /// Inflation round to corrupt.
+        round: usize,
+        /// Number of grid edges to poison.
+        edges: usize,
+    },
+    /// Pretend the router blew its time budget in routability round
+    /// `round` (forces the estimator fallback without needing a slow
+    /// design).
+    RouterBudgetExhausted {
+        /// Inflation round to fire in.
+        round: usize,
+    },
+    /// Pretend the inflation wall-clock budget expired at routability
+    /// round `round`.
+    InflationBudgetExhausted {
+        /// Inflation round to fire in.
+        round: usize,
+    },
+}
+
+#[cfg(feature = "fault-inject")]
+thread_local! {
+    static ARMED: RefCell<Vec<Fault>> = const { RefCell::new(Vec::new()) };
+    static FIRED: RefCell<usize> = const { RefCell::new(0) };
+}
+
+/// Arms `faults` for placer runs on the *current thread*, replacing any
+/// previously armed set and resetting the fired counter.
+#[cfg(feature = "fault-inject")]
+pub fn arm(faults: Vec<Fault>) {
+    ARMED.with(|a| *a.borrow_mut() = faults);
+    FIRED.with(|f| *f.borrow_mut() = 0);
+}
+
+/// Disarms all faults on the current thread and returns how many fired
+/// since the last [`arm`].
+#[cfg(feature = "fault-inject")]
+pub fn disarm() -> usize {
+    ARMED.with(|a| a.borrow_mut().clear());
+    FIRED.with(|f| std::mem::take(&mut *f.borrow_mut()))
+}
+
+#[cfg(feature = "fault-inject")]
+fn record_fired(n: usize) {
+    if n > 0 {
+        FIRED.with(|f| *f.borrow_mut() += n);
+    }
+}
+
+/// Hook: should this GP iteration's gradient be poisoned with NaN?
+#[cfg(feature = "fault-inject")]
+pub(crate) fn fire_nan_gradient(stage: &str, outer: usize) -> bool {
+    let hit = ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        for f in armed.iter_mut() {
+            if let Fault::NanGradient { stage: s, outer: o, times } = f {
+                if (s.is_empty() || s == stage) && *o == outer && *times > 0 {
+                    *times -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    });
+    if hit {
+        record_fired(1);
+    }
+    hit
+}
+
+/// Hook: poison the congestion grid after routability round `round`.
+/// Returns the number of edges corrupted.
+#[cfg(feature = "fault-inject")]
+pub(crate) fn corrupt_congestion(grid: &mut rdp_route::RouteGrid, round: usize) -> usize {
+    let edges = ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        for f in armed.iter_mut() {
+            if let Fault::CorruptCongestion { round: r, edges } = f {
+                if *r == round && *edges > 0 {
+                    return std::mem::take(edges);
+                }
+            }
+        }
+        0
+    });
+    let mut corrupted = 0;
+    if edges > 0 {
+        let targets: Vec<_> = grid.edge_ids().take(edges).collect();
+        for edge in targets {
+            grid.add_usage(edge, f64::INFINITY);
+            corrupted += 1;
+        }
+        record_fired(corrupted);
+    }
+    corrupted
+}
+
+/// Hook: pretend the router blew its budget in routability round `round`.
+#[cfg(feature = "fault-inject")]
+pub(crate) fn fire_router_budget(round: usize) -> bool {
+    fire_round_fault(round, |f, r| matches!(f, Fault::RouterBudgetExhausted { round } if *round == r))
+}
+
+/// Hook: pretend the inflation budget expired at routability round `round`.
+#[cfg(feature = "fault-inject")]
+pub(crate) fn fire_inflation_budget(round: usize) -> bool {
+    fire_round_fault(round, |f, r| {
+        matches!(f, Fault::InflationBudgetExhausted { round } if *round == r)
+    })
+}
+
+#[cfg(feature = "fault-inject")]
+fn fire_round_fault(round: usize, matches: impl Fn(&Fault, usize) -> bool) -> bool {
+    let hit = ARMED.with(|a| {
+        let mut armed = a.borrow_mut();
+        if let Some(i) = armed.iter().position(|f| matches(f, round)) {
+            armed.remove(i);
+            true
+        } else {
+            false
+        }
+    });
+    if hit {
+        record_fired(1);
+    }
+    hit
+}
+
+// ---- feature-off stubs: always present so call sites need no cfg ----
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn fire_nan_gradient(_stage: &str, _outer: usize) -> bool {
+    false
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn corrupt_congestion(_grid: &mut rdp_route::RouteGrid, _round: usize) -> usize {
+    0
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn fire_router_budget(_round: usize) -> bool {
+    false
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn fire_inflation_budget(_round: usize) -> bool {
+    false
+}
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_gradient_fires_exactly_times() {
+        arm(vec![Fault::NanGradient { stage: "gp/final".into(), outer: 1, times: 2 }]);
+        assert!(!fire_nan_gradient("gp/final", 0));
+        assert!(fire_nan_gradient("gp/final", 1));
+        assert!(fire_nan_gradient("gp/final", 1));
+        assert!(!fire_nan_gradient("gp/final", 1));
+        assert!(!fire_nan_gradient("gp/level0", 1));
+        assert_eq!(disarm(), 2);
+    }
+
+    #[test]
+    fn empty_stage_matches_any() {
+        arm(vec![Fault::NanGradient { stage: String::new(), outer: 0, times: 1 }]);
+        assert!(fire_nan_gradient("gp/level2", 0));
+        assert_eq!(disarm(), 1);
+    }
+
+    #[test]
+    fn round_faults_fire_once() {
+        arm(vec![
+            Fault::RouterBudgetExhausted { round: 1 },
+            Fault::InflationBudgetExhausted { round: 2 },
+        ]);
+        assert!(!fire_router_budget(0));
+        assert!(fire_router_budget(1));
+        assert!(!fire_router_budget(1));
+        assert!(fire_inflation_budget(2));
+        assert_eq!(disarm(), 2);
+    }
+}

@@ -52,6 +52,19 @@ pub struct InflationStats {
     pub dirty_nets: usize,
     /// Wall-clock of that congestion refresh (also placer-filled).
     pub congestion_time: std::time::Duration,
+    /// Cells skipped because their gcell congestion ratio (or the derived
+    /// inflation factor) was non-finite — a corrupted-grid symptom.
+    pub skipped_nonfinite: usize,
+    /// Divergence recoveries the round's GP rerun performed
+    /// (placer-filled).
+    pub recoveries: usize,
+    /// Whether the round's GP rerun failed and the placement was restored
+    /// from the previous checkpoint (placer-filled).
+    pub restored: bool,
+    /// Whether this round's congestion came from (or switched the loop to)
+    /// the probabilistic estimator after a router budget truncation or
+    /// grid corruption (placer-filled).
+    pub congestion_fallback: bool,
 }
 
 /// Inflates the density areas of objects sitting in congested gcells of
@@ -61,16 +74,28 @@ pub struct InflationStats {
 pub fn inflate(model: &mut Model, grid: &RouteGrid, config: InflationConfig) -> InflationStats {
     let before: f64 = model.area.iter().sum();
     let mut inflated = 0;
+    let mut skipped_nonfinite = 0;
     for i in 0..model.len() {
         if model.is_macro[i] || (!config.inflate_fenced && model.region[i].is_some()) {
             continue;
         }
         let g = grid.gcell_of(model.pos[i]);
         let ratio = grid.gcell_congestion(g);
+        // A non-finite ratio (corrupted grid) must be skipped explicitly:
+        // `NaN <= threshold` is false, so it would otherwise fall through
+        // and poison the density area via `powf`/`min` below.
+        if !ratio.is_finite() {
+            skipped_nonfinite += 1;
+            continue;
+        }
         if ratio <= config.threshold {
             continue;
         }
         let factor = ratio.powf(config.alpha);
+        if !factor.is_finite() {
+            skipped_nonfinite += 1;
+            continue;
+        }
         let phys = model.size[i].0 * model.size[i].1;
         let new_area = (model.area[i] * factor).min(phys * config.max_total);
         if new_area > model.area[i] + 1e-12 {
@@ -82,6 +107,7 @@ pub fn inflate(model: &mut Model, grid: &RouteGrid, config: InflationConfig) -> 
     InflationStats {
         inflated,
         growth: if before > 0.0 { after / before } else { 1.0 },
+        skipped_nonfinite,
         ..InflationStats::default()
     }
 }
@@ -157,6 +183,19 @@ mod tests {
         let cfg = InflationConfig { threshold: 3.0, ..InflationConfig::default() };
         let stats = inflate(&mut m, &hot_grid(), cfg);
         assert_eq!(stats.inflated, 0);
+    }
+
+    #[test]
+    fn non_finite_congestion_is_skipped_not_poisoned() {
+        let mut m = model_at(&[(25.0, 25.0), (85.0, 85.0)]);
+        let mut g = hot_grid();
+        // Infinite usage near cell 0 → non-finite ratio for its gcell.
+        g.add_usage(g.h_edge(2, 2), f64::INFINITY);
+        let stats = inflate(&mut m, &g, InflationConfig::default());
+        assert_eq!(stats.inflated, 0);
+        assert_eq!(stats.skipped_nonfinite, 1);
+        assert!(m.area.iter().all(|a| a.is_finite()));
+        assert_eq!(m.area[0], 40.0, "poisoned ratio must not touch the area");
     }
 
     #[test]

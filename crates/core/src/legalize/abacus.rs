@@ -44,7 +44,7 @@ pub fn pack_segment(design: &Design, placement: &mut Placement, seg: &mut Segmen
             .lower_left(design, a)
             .x
             .partial_cmp(&placement.lower_left(design, b).x)
-            .expect("finite x")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
     let desired: Vec<f64> = cells

@@ -31,7 +31,7 @@ pub fn legalize_macros(
             .node(b)
             .area()
             .partial_cmp(&design.node(a).area())
-            .expect("finite area")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
 

@@ -72,7 +72,7 @@ pub fn build_segments(design: &Design, obstacles: &[Rect]) -> Vec<Segment> {
                     }
                 }
             }
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
             xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
             for w in xs.windows(2) {
                 let mid = 0.5 * (w[0] + w[1]);

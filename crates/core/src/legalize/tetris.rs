@@ -30,7 +30,7 @@ pub fn assign_cells(design: &Design, placement: &Placement, segments: &mut [Segm
             .center(a)
             .x
             .partial_cmp(&placement.center(b).x)
-            .expect("finite x")
+            .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
 

@@ -37,6 +37,7 @@
 pub mod cluster;
 pub mod density;
 pub mod detail;
+pub mod faultinject;
 pub mod fence;
 pub mod inflation;
 pub mod legalize;
@@ -45,6 +46,7 @@ pub mod model;
 pub mod net_weighting;
 pub mod optimizer;
 mod placer;
+pub mod recovery;
 pub mod rotation;
 pub mod trace;
 pub mod wirelength;
@@ -52,5 +54,8 @@ pub mod wirelength;
 pub use model::Model;
 pub use optimizer::{GpOptions, GpOutcome};
 pub use placer::{GpRoutabilityOptions, PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
+pub use recovery::{
+    DegradedResult, Diverged, FlowBudget, FlowCheckpoint, RecoveryEvent, RecoveryPolicy,
+};
 pub use trace::Trace;
 pub use wirelength::WirelengthModel;

@@ -5,8 +5,9 @@
 use crate::density::build_fields;
 use crate::fence::{fence_grad, fence_project};
 use crate::model::Model;
+use crate::recovery::{Diverged, RecoveryEvent, RecoveryPolicy};
 use crate::trace::{Trace, TraceRecord};
-use crate::wirelength::{smooth_wl_grad_par, WirelengthModel};
+use crate::wirelength::{all_finite, smooth_wl_grad_par, WirelengthModel};
 use rdp_db::Region;
 use rdp_geom::parallel::Parallelism;
 use rdp_geom::{Point, Rect};
@@ -40,6 +41,8 @@ pub struct GpOptions {
     /// Worker threads for the wirelength/density kernels (results are
     /// identical at every thread count; see [`rdp_geom::parallel`]).
     pub parallelism: Parallelism,
+    /// Divergence recovery policy (step shrinking and retry bound).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GpOptions {
@@ -57,6 +60,7 @@ impl Default for GpOptions {
             fence_weight: 4.0,
             step_bins: 0.8,
             parallelism: Parallelism::auto(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -82,6 +86,8 @@ pub struct GpOutcome {
     pub outer_rounds: usize,
     /// Final smoothed wirelength.
     pub smooth_wl: f64,
+    /// Divergence recoveries (restore + step-shrink retries) performed.
+    pub recoveries: usize,
 }
 
 /// Runs analytical global placement on `model` in place.
@@ -90,6 +96,22 @@ pub struct GpOutcome {
 /// and density-constrained to their fence); `blocked` lists immovable
 /// (rect, occupancy) area for the density fields; `stage` labels trace
 /// records.
+///
+/// # Divergence recovery
+///
+/// A non-finite smooth wirelength or gradient is a recoverable signal, not
+/// a panic: the optimizer restores the last finite iterate, shrinks the
+/// trust-region step by [`RecoveryPolicy::step_shrink`] and restarts CG.
+/// Restoring finite coordinates is what re-anchors the WA stability shift
+/// — the per-net max/min exponent anchor is re-derived from the current
+/// positions on every evaluation, so a restored iterate evaluates with a
+/// fresh, well-scaled anchor. After [`RecoveryPolicy::max_retries`] failed
+/// retries the run surfaces [`Diverged`], leaving `model` at its last
+/// finite iterate so callers can continue the flow from it.
+///
+/// The fault-free path is bitwise identical to a recovery-free optimizer:
+/// the step scale stays exactly `1.0` until the first recovery, and all
+/// recovery decisions happen on this (the orchestrating) thread.
 pub fn run_global_place(
     model: &mut Model,
     regions: &[Region],
@@ -97,9 +119,9 @@ pub fn run_global_place(
     opts: &GpOptions,
     trace: &mut Trace,
     stage: &str,
-) -> GpOutcome {
+) -> Result<GpOutcome, Diverged> {
     if model.is_empty() {
-        return GpOutcome { overflow_ratio: 0.0, outer_rounds: 0, smooth_wl: 0.0 };
+        return Ok(GpOutcome { overflow_ratio: 0.0, outer_rounds: 0, smooth_wl: 0.0, recoveries: 0 });
     }
     let n = model.len();
     let bins = opts.effective_bins(n);
@@ -139,8 +161,16 @@ pub fn run_global_place(
         }
     };
 
-    let mut outcome = GpOutcome { overflow_ratio: f64::INFINITY, outer_rounds: 0, smooth_wl: 0.0 };
+    let mut outcome =
+        GpOutcome { overflow_ratio: f64::INFINITY, outer_rounds: 0, smooth_wl: 0.0, recoveries: 0 };
     let step_len = opts.step_bins * 0.5 * (bin_w + bin_h);
+
+    // Divergence recovery state: the last finite iterate, the current
+    // trust-region scale (exactly 1.0 until the first recovery, keeping
+    // the fault-free path bitwise identical), and the retry budget.
+    let mut last_good = model.pos.clone();
+    let mut step_scale = 1.0;
+    let mut retries = 0usize;
 
     for outer in 0..opts.max_outer {
         let mut last_wl = 0.0;
@@ -165,6 +195,42 @@ pub fn run_global_place(
 
             for i in 0..n {
                 grad[i] = wl_grad[i] + den_grad[i] * lambda;
+            }
+
+            if crate::faultinject::fire_nan_gradient(stage, outer) {
+                last_wl = f64::NAN;
+                grad[0] = Point::new(f64::NAN, f64::NAN);
+            }
+
+            // Divergence check: a non-finite objective or gradient (NaN λ
+            // included — it poisons the combined gradient above) triggers
+            // restore-and-retry instead of propagating downstream.
+            if !all_finite(last_wl, &grad) {
+                model.pos.copy_from_slice(&last_good);
+                if retries >= opts.recovery.max_retries {
+                    trace.record_event(RecoveryEvent::GpDiverged {
+                        stage: stage.to_owned(),
+                        retries,
+                    });
+                    trace.record_stage(format!("{stage}/wl_kernel"), wl_kernel_time);
+                    trace.record_stage(format!("{stage}/density_kernel"), den_kernel_time);
+                    outcome.recoveries = retries;
+                    return Err(Diverged { stage: stage.to_owned(), outer, retries, best: outcome });
+                }
+                retries += 1;
+                step_scale *= opts.recovery.step_shrink;
+                trace.record_event(RecoveryEvent::StepHalved {
+                    stage: stage.to_owned(),
+                    outer,
+                    scale: step_scale,
+                });
+                // Restart CG from the restored iterate and invalidate the
+                // poisoned round-local state.
+                dir.iter_mut().for_each(|d| *d = Point::ORIGIN);
+                prev_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+                last_wl = outcome.smooth_wl;
+                overflow_area = f64::INFINITY;
+                continue;
             }
 
             // Polak–Ribière β with restart on non-descent.
@@ -193,7 +259,10 @@ pub fn run_global_place(
             if max_d <= 1e-18 {
                 break;
             }
-            let alpha = step_len / max_d;
+            // `step_scale` is 1.0 unless a recovery shrank the trust
+            // region, so the fault-free α is bitwise `step_len / max_d`.
+            let alpha = (step_len / max_d) * step_scale;
+            last_good.copy_from_slice(&model.pos);
             for (p, d) in model.pos.iter_mut().zip(&dir) {
                 *p += *d * alpha;
             }
@@ -211,6 +280,7 @@ pub fn run_global_place(
             overflow_ratio,
             outer_rounds: outer + 1,
             smooth_wl: last_wl,
+            recoveries: retries,
         };
         trace.record(TraceRecord {
             stage: stage.to_owned(),
@@ -229,7 +299,7 @@ pub fn run_global_place(
     }
     trace.record_stage(format!("{stage}/wl_kernel"), wl_kernel_time);
     trace.record_stage(format!("{stage}/density_kernel"), den_kernel_time);
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
@@ -275,7 +345,7 @@ mod tests {
         let mut model = chain_model(40);
         let mut trace = Trace::new();
         let opts = GpOptions { max_outer: 20, inner_iters: 30, ..GpOptions::default() };
-        let out = run_global_place(&mut model, &[], &[], &opts, &mut trace, "test");
+        let out = run_global_place(&mut model, &[], &[], &opts, &mut trace, "test").unwrap();
         assert!(
             out.overflow_ratio < 0.25,
             "cells did not spread: overflow {}",
@@ -295,7 +365,8 @@ mod tests {
     fn wirelength_pull_keeps_chain_ordered_roughly() {
         let mut model = chain_model(20);
         let mut trace = Trace::new();
-        let out = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        let out =
+            run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t").unwrap();
         assert!(out.smooth_wl.is_finite());
         // The two anchors at x=0 and x=200 stretch the chain: the first
         // cell should end left of the last one.
@@ -311,7 +382,7 @@ mod tests {
     fn all_positions_stay_in_die() {
         let mut model = chain_model(30);
         let mut trace = Trace::new();
-        run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t").unwrap();
         for (i, p) in model.pos.iter().enumerate() {
             let (w, h) = model.size[i];
             assert!(p.x >= w / 2.0 - 1e-6 && p.x <= 200.0 - w / 2.0 + 1e-6, "obj {i} x {}", p.x);
@@ -329,7 +400,8 @@ mod tests {
         model.region.clear();
         model.nets.clear();
         let mut trace = Trace::new();
-        let out = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t");
+        let out =
+            run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t").unwrap();
         assert_eq!(out.outer_rounds, 0);
     }
 
@@ -339,7 +411,7 @@ mod tests {
         let blocked = vec![(Rect::new(80.0, 80.0, 120.0, 120.0), 1.0)];
         let mut trace = Trace::new();
         let opts = GpOptions { max_outer: 24, ..GpOptions::default() };
-        run_global_place(&mut model, &[], &blocked, &opts, &mut trace, "t");
+        run_global_place(&mut model, &[], &blocked, &opts, &mut trace, "t").unwrap();
         // Density mass inside the blocked rect should be small: count
         // centers inside.
         let inside = model
@@ -351,5 +423,17 @@ mod tests {
             inside <= 6,
             "{inside} of 30 cells remain in the blocked region"
         );
+    }
+
+    #[test]
+    fn non_finite_start_surfaces_diverged_not_panic() {
+        let mut model = chain_model(10);
+        model.pos[3] = Point::new(f64::NAN, 100.0);
+        let mut trace = Trace::new();
+        let err = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t")
+            .unwrap_err();
+        assert_eq!(err.stage, "t");
+        assert_eq!(err.retries, GpOptions::default().recovery.max_retries);
+        assert!(trace.events.iter().any(|e| e.kind() == "gp_diverged"));
     }
 }

@@ -10,6 +10,7 @@ use crate::legalize::{legalize_with_displacement, LegalizeStats};
 use crate::macro_handling::optimize_macro_orientations;
 use crate::model::Model;
 use crate::optimizer::{run_global_place, GpOptions, GpOutcome};
+use crate::recovery::{BudgetClock, DegradedResult, FlowBudget, FlowCheckpoint, RecoveryEvent};
 use crate::trace::Trace;
 use rdp_db::{Design, NodeId, Placement, Region};
 use rdp_geom::Rect;
@@ -24,6 +25,17 @@ pub enum PlaceError {
     NothingToPlace,
     /// The design has standard cells but no rows to legalize them into.
     NoRows,
+    /// Global placement diverged beyond recovery and no feasible
+    /// checkpoint exists to fall back to (e.g. the *initial* placement was
+    /// already non-finite). Mid-flow divergence never reaches this: it
+    /// rolls back to the latest [`FlowCheckpoint`] and reports a
+    /// [`DegradedResult`] instead.
+    Diverged {
+        /// The stage that diverged.
+        stage: String,
+        /// Recovery retries spent before giving up.
+        retries: usize,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -31,6 +43,10 @@ impl fmt::Display for PlaceError {
         match self {
             PlaceError::NothingToPlace => write!(f, "design has no movable nodes"),
             PlaceError::NoRows => write!(f, "design has standard cells but no placement rows"),
+            PlaceError::Diverged { stage, retries } => write!(
+                f,
+                "placement diverged unrecoverably in stage `{stage}` ({retries} recovery retries, no checkpoint to restore)"
+            ),
         }
     }
 }
@@ -111,6 +127,9 @@ pub struct PlaceOptions {
     pub detailed: bool,
     /// Detailed-placement tuning.
     pub detail: DetailOptions,
+    /// Wall-clock budgets; the default is unlimited. See [`FlowBudget`]
+    /// for the truncation semantics of each scope.
+    pub budget: FlowBudget,
     /// Seed for the symmetry-breaking initial jitter.
     pub seed: u64,
 }
@@ -133,6 +152,7 @@ impl Default for PlaceOptions {
             macro_rotation: true,
             detailed: true,
             detail: DetailOptions { passes: 2, congestion_weight: 8.0, ..DetailOptions::default() },
+            budget: FlowBudget::default(),
             seed: 1,
         }
     }
@@ -216,6 +236,12 @@ impl PlaceOptions {
         self.routability_opts.use_router_congestion = true;
         self
     }
+
+    /// Sets the wall-clock budgets of the flow (see [`FlowBudget`]).
+    pub fn with_budget(mut self, budget: FlowBudget) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 /// Outcome of a full placement run.
@@ -235,6 +261,11 @@ pub struct PlaceResult {
     pub inflation: Vec<InflationStats>,
     /// Convergence and stage-timing trace.
     pub trace: Trace,
+    /// Structured degradation report: `Some` when the flow diverged, fell
+    /// back, rolled back to a checkpoint or was budget-truncated — the
+    /// placement is then the best recovered one, not the full-quality
+    /// flow's output. `None` on a clean run.
+    pub degraded: Option<DegradedResult>,
     /// Total wall time.
     pub elapsed: Duration,
 }
@@ -320,6 +351,16 @@ impl<'a> Placer<'a> {
             }
         }
 
+        // The resilience layer has nothing to roll back to before the
+        // first GP stage completes, so a non-finite *initial* placement is
+        // the one divergence that surfaces as a hard error.
+        if design
+            .node_ids()
+            .any(|id| !placement.center(id).is_finite())
+        {
+            return Err(PlaceError::Diverged { stage: "initial".into(), retries: 0 });
+        }
+
         let blocked: Vec<(Rect, f64)> = design
             .node_ids()
             .filter(|&id| design.node(id).kind() == rdp_db::NodeKind::Fixed)
@@ -331,6 +372,14 @@ impl<'a> Placer<'a> {
         let mut model = Model::from_design(design, &placement);
         let mut gp_outcome;
 
+        // Resilience state: the first degraded stage (drives the
+        // [`DegradedResult`] report), the checkpoint restored from (if
+        // any), the latest feasible checkpoint, and the flow-wide budget.
+        let mut degraded_stage: Option<String> = None;
+        let mut restored_from: Option<String> = None;
+        let mut checkpoint: Option<FlowCheckpoint> = None;
+        let flow_clock = BudgetClock::new(opts.budget.flow_wall);
+
         // --- Multilevel V-cycle (downward refinement half). ---
         let t_gp = Instant::now();
         if opts.multilevel {
@@ -341,14 +390,19 @@ impl<'a> Placer<'a> {
                     max_outer: opts.gp.max_outer / 2 + 2,
                     ..opts.gp.clone()
                 };
-                run_global_place(
+                // Coarse-level divergence is non-fatal: the level only
+                // provides a warm start, and the model is left at its
+                // last finite iterate either way.
+                if let Err(div) = run_global_place(
                     &mut coarse,
                     gp_regions,
                     &blocked,
                     &coarse_opts,
                     &mut trace,
                     &format!("gp/level{}", levels.len()),
-                );
+                ) {
+                    degraded_stage.get_or_insert(div.stage);
+                }
                 // Walk down the hierarchy.
                 let mut positions = coarse.pos;
                 for (li, lvl) in levels.iter().enumerate().rev() {
@@ -373,14 +427,16 @@ impl<'a> Placer<'a> {
                     } else {
                         GpOptions { max_outer: opts.gp.max_outer / 2 + 2, ..opts.gp.clone() }
                     };
-                    run_global_place(
+                    if let Err(div) = run_global_place(
                         &mut level_model,
                         gp_regions,
                         &blocked,
                         &level_opts,
                         &mut trace,
                         &format!("gp/level{li}"),
-                    );
+                    ) {
+                        degraded_stage.get_or_insert(div.stage);
+                    }
                     positions = level_model.pos.clone();
                     if li == 0 {
                         model = level_model;
@@ -388,7 +444,26 @@ impl<'a> Placer<'a> {
                 }
             }
         }
-        gp_outcome = run_global_place(&mut model, gp_regions, &blocked, &opts.gp, &mut trace, "gp/final");
+        gp_outcome =
+            match run_global_place(&mut model, gp_regions, &blocked, &opts.gp, &mut trace, "gp/final")
+            {
+                Ok(out) => out,
+                Err(div) => {
+                    // The model holds its last finite iterate — usable,
+                    // just not converged. Continue the flow degraded.
+                    degraded_stage.get_or_insert(div.stage);
+                    div.best
+                }
+            };
+        // Paranoia: the optimizer contract guarantees a finite iterate on
+        // both the Ok and Err paths; a non-finite position here means the
+        // contract was violated upstream and nothing checkpointable exists.
+        if model.pos.iter().any(|p| !p.is_finite()) {
+            return Err(PlaceError::Diverged {
+                stage: "gp/final".into(),
+                retries: opts.gp.recovery.max_retries,
+            });
+        }
         trace.record_stage("global_place", t_gp.elapsed());
 
         // --- Macro rotation between GP and routability. ---
@@ -418,17 +493,28 @@ impl<'a> Placer<'a> {
                 // Orientations changed pin offsets and macro dims: rebuild
                 // the model from the updated placement and re-polish.
                 model = Model::from_design(design, &placement);
-                gp_outcome = run_global_place(
+                match run_global_place(
                     &mut model,
                     gp_regions,
                     &blocked,
                     &GpOptions { max_outer: 4, ..opts.gp.clone() },
                     &mut trace,
                     "gp/rotation",
-                );
+                ) {
+                    Ok(out) => gp_outcome = out,
+                    Err(div) => {
+                        degraded_stage.get_or_insert(div.stage);
+                        gp_outcome = div.best;
+                    }
+                }
             }
             trace.record_stage("macro_rotation", t.elapsed());
         }
+
+        // First checkpoint: the converged (or best recovered) global
+        // placement, before the routability loop perturbs it.
+        model.write_back(&mut placement);
+        save_checkpoint(&mut checkpoint, &mut trace, "global_place", design, &placement, false);
 
         // --- Routability loop: estimate → inflate / reweight → re-place. ---
         //
@@ -437,14 +523,23 @@ impl<'a> Placer<'a> {
         // never move), so re-carving them each round was pure waste. The
         // same grid serves the detailed-placement stage below.
         let mut congestion_grid: Option<rdp_route::RouteGrid> = None;
-        let mut inflation_stats = Vec::new();
-        if opts.routability && opts.inflation_rounds > 0 {
+        let mut inflation_stats: Vec<InflationStats> = Vec::new();
+        if opts.routability && opts.inflation_rounds > 0 && flow_clock.exhausted() {
+            // Flow budget already spent: drop the routability loop (a
+            // quality stage) and proceed straight to legalization.
+            trace.record_event(RecoveryEvent::BudgetTruncated { scope: "flow".into(), at_round: 0 });
+            degraded_stage.get_or_insert_with(|| "routability".into());
+        } else if opts.routability && opts.inflation_rounds > 0 {
             let t = Instant::now();
             let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
             // State of the `use_router_congestion` mode: the previous
             // round's routing outcome (warm state for the incremental
             // reroute) and the node centers it was routed at (so the next
-            // round can compute its moved-cell set).
+            // round can compute its moved-cell set). `use_router` drops to
+            // `false` for the remaining rounds when the router blows its
+            // time budget (degradation ladder: true routed congestion →
+            // probabilistic estimate).
+            let mut use_router = opts.routability_opts.use_router_congestion;
             let router = GlobalRouter::new(RouterConfig {
                 parallelism: opts.gp.parallelism,
                 ..opts.routability_opts.router
@@ -452,15 +547,28 @@ impl<'a> Placer<'a> {
             let mut route_outcome: Option<RoutingOutcome> = None;
             let mut route_centers: Vec<rdp_geom::Point> =
                 vec![rdp_geom::Point::ORIGIN; design.nodes().len()];
+            let inflation_clock = BudgetClock::new(opts.budget.inflation_wall);
             for round in 0..opts.inflation_rounds {
+                if inflation_clock.exhausted()
+                    || flow_clock.exhausted()
+                    || crate::faultinject::fire_inflation_budget(round)
+                {
+                    trace.record_event(RecoveryEvent::BudgetTruncated {
+                        scope: "inflation".into(),
+                        at_round: round,
+                    });
+                    degraded_stage.get_or_insert_with(|| format!("inflate{round}"));
+                    break;
+                }
                 model.write_back(&mut placement);
                 let t_cong = Instant::now();
                 let mut dirty_nets = 0usize;
-                let grid: &RouteGrid = if opts.routability_opts.use_router_congestion {
+                let mut router_fallback = false;
+                let grid: &RouteGrid = if use_router {
                     // True routed congestion: full route on the first
                     // round, incremental reroute of just the moved cells
                     // afterwards.
-                    let outcome = match route_outcome.take() {
+                    let mut outcome = match route_outcome.take() {
                         None => router.route(design, &placement),
                         Some(prev) => {
                             let moved: Vec<NodeId> = design
@@ -474,16 +582,39 @@ impl<'a> Placer<'a> {
                     for id in design.node_ids() {
                         route_centers[id.index()] = placement.center(id);
                     }
+                    if outcome.budget_truncated || crate::faultinject::fire_router_budget(round) {
+                        // The router returned its current overflow state;
+                        // it is still a usable congestion picture for this
+                        // round, but later rounds fall back to the cheap
+                        // estimator rather than keep paying for a router
+                        // that cannot finish.
+                        trace.record_event(RecoveryEvent::CongestionFallback {
+                            round,
+                            reason: "router budget".into(),
+                        });
+                        degraded_stage.get_or_insert_with(|| format!("inflate{round}"));
+                        router_fallback = true;
+                        use_router = false;
+                    }
+                    crate::faultinject::corrupt_congestion(&mut outcome.grid, round);
                     &route_outcome.insert(outcome).grid
                 } else {
-                    refresh_congestion(&mut congestion_grid, design, &placement, &opts)
+                    let grid = refresh_congestion(&mut congestion_grid, design, &placement, &opts);
+                    crate::faultinject::corrupt_congestion(grid, round);
+                    &*grid
                 };
                 let congestion_time = t_cong.elapsed();
+                // Corruption canary: non-finite grid state must neither
+                // inflate areas (inflate() skips it cell-wise) nor seed
+                // the next round's warm start (handled below, after the
+                // grid borrow ends).
+                let grid_corrupted = grid.non_finite_edges() > 0;
                 let mut touched = 0usize;
                 if opts.inflate_cells {
                     let mut stats = inflate(&mut model, grid, opts.inflation);
                     stats.dirty_nets = dirty_nets;
                     stats.congestion_time = congestion_time;
+                    stats.congestion_fallback = router_fallback || grid_corrupted;
                     touched += stats.inflated;
                     inflation_stats.push(stats);
                 }
@@ -495,10 +626,22 @@ impl<'a> Placer<'a> {
                         opts.net_weighting_config,
                     );
                 }
+                if grid_corrupted {
+                    // Discard the poisoned warm state: the next router
+                    // round (if any) routes from scratch on a fresh grid,
+                    // and the estimator grid is rebuilt on next use.
+                    trace.record_event(RecoveryEvent::CongestionFallback {
+                        round,
+                        reason: "corrupt grid".into(),
+                    });
+                    degraded_stage.get_or_insert_with(|| format!("inflate{round}"));
+                    route_outcome = None;
+                    congestion_grid = None;
+                }
                 if touched == 0 {
                     break;
                 }
-                gp_outcome = run_global_place(
+                match run_global_place(
                     &mut model,
                     gp_regions,
                     &blocked,
@@ -508,7 +651,47 @@ impl<'a> Placer<'a> {
                     },
                     &mut trace,
                     &format!("gp/inflate{round}"),
-                );
+                ) {
+                    Ok(out) => {
+                        if let Some(stats) = inflation_stats.last_mut() {
+                            stats.recoveries = out.recoveries;
+                        }
+                        gp_outcome = out;
+                        model.write_back(&mut placement);
+                        save_checkpoint(
+                            &mut checkpoint,
+                            &mut trace,
+                            &format!("inflate{round}"),
+                            design,
+                            &placement,
+                            false,
+                        );
+                    }
+                    Err(div) => {
+                        // The round's GP diverged beyond recovery: roll the
+                        // placement back to the last feasible checkpoint
+                        // and stop inflating — downstream stages continue
+                        // from the restored state.
+                        gp_outcome = div.best;
+                        degraded_stage.get_or_insert_with(|| div.stage.clone());
+                        if let Some(cp) = &checkpoint {
+                            placement = cp.placement.clone();
+                            for (i, &node) in model.node_of.iter().enumerate() {
+                                model.pos[i] = placement.center(node);
+                            }
+                            restored_from = Some(cp.stage.clone());
+                            trace.record_event(RecoveryEvent::CheckpointRestored {
+                                failed_stage: div.stage,
+                                from: cp.stage.clone(),
+                            });
+                        }
+                        if let Some(stats) = inflation_stats.last_mut() {
+                            stats.recoveries = div.retries;
+                            stats.restored = restored_from.is_some();
+                        }
+                        break;
+                    }
+                }
             }
             if opts.net_weighting {
                 crate::net_weighting::reset_weights(&mut model, &base_weights);
@@ -522,16 +705,22 @@ impl<'a> Placer<'a> {
         let legalize_stats = legalize_with_displacement(design, &mut placement);
         trace.record_stage("legalize", t.elapsed());
 
+        save_checkpoint(&mut checkpoint, &mut trace, "legalize", design, &placement, true);
+
         // --- Detailed placement. ---
-        let detail_stats = if opts.detailed {
+        let detail_stats = if opts.detailed && flow_clock.exhausted() {
+            // Flow budget spent: skip the (optional) polish stage; the
+            // legalized checkpoint above is the deliverable.
+            trace.record_event(RecoveryEvent::BudgetTruncated {
+                scope: "flow".into(),
+                at_round: opts.inflation_rounds,
+            });
+            degraded_stage.get_or_insert_with(|| "detailed".into());
+            None
+        } else if opts.detailed {
             let t = Instant::now();
             let congestion = if opts.routability {
-                Some(refresh_congestion(
-                    &mut congestion_grid,
-                    design,
-                    &placement,
-                    &opts,
-                ))
+                Some(&*refresh_congestion(&mut congestion_grid, design, &placement, &opts))
             } else {
                 None
             };
@@ -542,6 +731,26 @@ impl<'a> Placer<'a> {
             None
         };
 
+        // Last line of defense: if any downstream stage leaked a
+        // non-finite coordinate, roll back to the legalized checkpoint
+        // rather than hand the caller a poisoned placement.
+        if design.movable_ids().any(|id| !placement.center(id).is_finite()) {
+            if let Some(cp) = checkpoint.as_ref().filter(|cp| cp.legal) {
+                placement = cp.placement.clone();
+                restored_from = Some(cp.stage.clone());
+                degraded_stage.get_or_insert_with(|| "detailed".into());
+                trace.record_event(RecoveryEvent::CheckpointRestored {
+                    failed_stage: "detailed".into(),
+                    from: cp.stage.clone(),
+                });
+            }
+        }
+
+        let degraded = degraded_stage.map(|stage| DegradedResult {
+            stage,
+            restored_from,
+            events: trace.events.clone(),
+        });
         let hpwl = rdp_db::hpwl::total_hpwl(design, &placement);
         Ok(PlaceResult {
             placement,
@@ -551,6 +760,7 @@ impl<'a> Placer<'a> {
             detail: detail_stats,
             inflation: inflation_stats,
             trace,
+            degraded,
             elapsed: t_start.elapsed(),
         })
     }
@@ -568,10 +778,31 @@ fn refresh_congestion<'a>(
     design: &Design,
     placement: &Placement,
     opts: &PlaceOptions,
-) -> &'a rdp_route::RouteGrid {
+) -> &'a mut rdp_route::RouteGrid {
     let grid = slot.get_or_insert_with(|| rdp_route::RouteGrid::from_design(design, placement));
     rdp_route::pattern::estimate_congestion_into(grid, design, placement, opts.gp.parallelism);
     grid
+}
+
+/// Snapshots `placement` as the latest [`FlowCheckpoint`] and records the
+/// save in the trace (checkpoint granularity: one per completed stage,
+/// latest wins — the flow is monotonic, so newest feasible is best).
+fn save_checkpoint(
+    slot: &mut Option<FlowCheckpoint>,
+    trace: &mut Trace,
+    stage: &str,
+    design: &Design,
+    placement: &Placement,
+    legal: bool,
+) {
+    let hpwl = rdp_db::hpwl::total_hpwl(design, placement);
+    trace.record_event(RecoveryEvent::CheckpointSaved { stage: stage.to_owned(), hpwl });
+    *slot = Some(FlowCheckpoint {
+        stage: stage.to_owned(),
+        placement: placement.clone(),
+        hpwl,
+        legal,
+    });
 }
 
 #[cfg(test)]

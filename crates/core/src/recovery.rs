@@ -1,0 +1,288 @@
+//! Flow-wide resilience: divergence signals, trust-region recovery policy,
+//! stage checkpoints, wall-clock budgets and structured degradation
+//! reports.
+//!
+//! The WA wirelength model is only conditionally stable — its exponent
+//! stabilization keeps a *single* evaluation finite, but an aggressive
+//! penalty schedule can still drive the iterate itself to a non-finite
+//! point. Pre-resilience, the flow had no answer to that except undefined
+//! behavior downstream (NaN positions poisoning the density grid, sorts
+//! panicking in the legalizer). This module defines the contract that
+//! replaces it:
+//!
+//! 1. **Divergence is a signal, not an abort.** The optimizer surfaces a
+//!    recoverable [`Diverged`] value carrying the best completed outcome;
+//!    the model is guaranteed to hold its last *finite* iterate.
+//! 2. **Every stage checkpoints.** The placer snapshots the best feasible
+//!    placement per stage into a [`FlowCheckpoint`]; a downstream failure
+//!    rolls back to it and reports a [`DegradedResult`] instead of
+//!    returning nothing.
+//! 3. **Budgets truncate cleanly.** A [`FlowBudget`] (and the router's
+//!    `RouterConfig::time_budget`) turns "took too long" into "stop here
+//!    and keep what we have", with the truncation recorded as a
+//!    [`RecoveryEvent`].
+//!
+//! Recovery decisions are made exclusively on the orchestrating thread at
+//! deterministic points of the schedule, so the bitwise thread-count
+//! invariance of the parallel kernels is preserved: a degraded run at 1
+//! thread is bitwise identical to the same degraded run at 8.
+
+use rdp_db::Placement;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Trust-region-style recovery policy applied when a global-placement
+/// iteration produces a non-finite wirelength or gradient.
+///
+/// On divergence the optimizer restores the last finite iterate, shrinks
+/// the step length by [`RecoveryPolicy::step_shrink`] and retries; the WA
+/// stability shift (the per-net max/min exponent anchor) is re-derived
+/// automatically from the restored coordinates on the next evaluation.
+/// After [`RecoveryPolicy::max_retries`] failed retries the stage surfaces
+/// [`Diverged`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Restore-and-retry attempts per GP stage before giving up.
+    pub max_retries: usize,
+    /// Step-length multiplier applied at each retry (`0.5` halves the
+    /// trust region).
+    pub step_shrink: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy { max_retries: 4, step_shrink: 0.5 }
+    }
+}
+
+/// A global-placement stage exhausted its recovery retries.
+///
+/// This is a *recoverable* error: the model it was raised from is left at
+/// its last finite iterate, and [`Diverged::best`] summarizes the last
+/// completed penalty round, so callers can continue the flow from a
+/// degraded-but-usable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diverged {
+    /// The stage label that diverged (e.g. `"gp/final"`).
+    pub stage: String,
+    /// Penalty (outer) round the divergence occurred in.
+    pub outer: usize,
+    /// Recovery retries spent before giving up.
+    pub retries: usize,
+    /// Outcome of the last completed round.
+    pub best: crate::optimizer::GpOutcome,
+}
+
+impl fmt::Display for Diverged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "global placement diverged in stage `{}` (outer round {}, after {} recovery retries)",
+            self.stage, self.outer, self.retries
+        )
+    }
+}
+
+impl std::error::Error for Diverged {}
+
+/// One recovery action taken by the resilience layer, recorded into
+/// [`crate::Trace::events`] (and mirrored into the stage CSV as
+/// zero-duration `recovery/...` rows) so degraded runs are observable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// The optimizer restored the last finite iterate and shrank its step.
+    StepHalved {
+        /// GP stage label.
+        stage: String,
+        /// Outer round of the recovery.
+        outer: usize,
+        /// Step scale in effect after the shrink.
+        scale: f64,
+    },
+    /// A GP stage exhausted its retries and surfaced [`Diverged`].
+    GpDiverged {
+        /// GP stage label.
+        stage: String,
+        /// Retries spent.
+        retries: usize,
+    },
+    /// A stage snapshotted its placement as the new best checkpoint.
+    CheckpointSaved {
+        /// Checkpoint stage label.
+        stage: String,
+        /// HPWL of the snapshot.
+        hpwl: f64,
+    },
+    /// A downstream failure rolled the placement back to a checkpoint.
+    CheckpointRestored {
+        /// The stage that failed.
+        failed_stage: String,
+        /// The checkpoint stage restored from.
+        from: String,
+    },
+    /// A wall-clock budget expired and the flow truncated cleanly.
+    BudgetTruncated {
+        /// Budget scope (`"flow"`, `"inflation"`).
+        scope: String,
+        /// Round (or stage ordinal) the truncation hit.
+        at_round: usize,
+    },
+    /// The routability loop fell back from router-driven congestion to the
+    /// probabilistic estimator (router budget blown, or corrupt grid
+    /// state detected and discarded).
+    CongestionFallback {
+        /// Inflation round of the fallback.
+        round: usize,
+        /// Why (`"router budget"`, `"corrupt grid"`).
+        reason: String,
+    },
+}
+
+impl RecoveryEvent {
+    /// Short machine-readable kind tag (used in CSV output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RecoveryEvent::StepHalved { .. } => "step_halved",
+            RecoveryEvent::GpDiverged { .. } => "gp_diverged",
+            RecoveryEvent::CheckpointSaved { .. } => "checkpoint_saved",
+            RecoveryEvent::CheckpointRestored { .. } => "checkpoint_restored",
+            RecoveryEvent::BudgetTruncated { .. } => "budget_truncated",
+            RecoveryEvent::CongestionFallback { .. } => "congestion_fallback",
+        }
+    }
+
+    /// `(stage, detail)` columns for CSV output.
+    pub fn csv_fields(&self) -> (String, String) {
+        match self {
+            RecoveryEvent::StepHalved { stage, outer, scale } => {
+                (stage.clone(), format!("outer={outer} scale={scale}"))
+            }
+            RecoveryEvent::GpDiverged { stage, retries } => {
+                (stage.clone(), format!("retries={retries}"))
+            }
+            RecoveryEvent::CheckpointSaved { stage, hpwl } => {
+                (stage.clone(), format!("hpwl={hpwl:.3}"))
+            }
+            RecoveryEvent::CheckpointRestored { failed_stage, from } => {
+                (failed_stage.clone(), format!("restored-from={from}"))
+            }
+            RecoveryEvent::BudgetTruncated { scope, at_round } => {
+                (scope.clone(), format!("at-round={at_round}"))
+            }
+            RecoveryEvent::CongestionFallback { round, reason } => {
+                (format!("inflate{round}"), reason.clone())
+            }
+        }
+    }
+}
+
+/// Snapshot of the best placement a pipeline stage produced, kept so any
+/// downstream failure can roll back instead of aborting.
+///
+/// Checkpoint granularity is *one per completed stage, latest wins*: the
+/// flow is monotonic (each stage starts from the previous one's output),
+/// so the most recent feasible snapshot is also the best one.
+#[derive(Debug, Clone)]
+pub struct FlowCheckpoint {
+    /// Stage that produced the snapshot (`"global_place"`, `"inflate2"`,
+    /// `"legalize"`).
+    pub stage: String,
+    /// The placement snapshot.
+    pub placement: Placement,
+    /// HPWL at the snapshot.
+    pub hpwl: f64,
+    /// Whether the snapshot passed legalization (pre-legalization
+    /// checkpoints are feasible but not row-legal).
+    pub legal: bool,
+}
+
+/// Structured report attached to a [`crate::PlaceResult`] whose flow
+/// degraded (divergence, rollback or budget truncation) instead of
+/// completing cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedResult {
+    /// The first stage that degraded.
+    pub stage: String,
+    /// Checkpoint stage the flow rolled back to, if a rollback happened.
+    pub restored_from: Option<String>,
+    /// Every recovery event of the run, in order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// Wall-clock budgets of a placement run. `None` fields are unlimited
+/// (the default), so the resilience layer is inert unless opted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowBudget {
+    /// Budget for the whole flow. When it expires, optional stages still
+    /// ahead (routability rounds, detailed placement) are skipped — the
+    /// degradation ladder drops trailing quality stages first and never
+    /// skips legalization.
+    pub flow_wall: Option<Duration>,
+    /// Budget for the routability (inflation) loop alone. Expiry truncates
+    /// the remaining rounds and the flow proceeds to legalization.
+    pub inflation_wall: Option<Duration>,
+}
+
+/// A started wall-clock budget.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetClock {
+    start: Instant,
+    limit: Option<Duration>,
+}
+
+impl BudgetClock {
+    /// Starts the clock; `limit == None` never exhausts.
+    pub fn new(limit: Option<Duration>) -> Self {
+        BudgetClock { start: Instant::now(), limit }
+    }
+
+    /// Whether the budget has been spent.
+    pub fn exhausted(&self) -> bool {
+        self.limit.is_some_and(|l| self.start.elapsed() >= l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_clock_never_exhausts() {
+        let c = BudgetClock::new(None);
+        assert!(!c.exhausted());
+    }
+
+    #[test]
+    fn zero_budget_exhausts_immediately() {
+        let c = BudgetClock::new(Some(Duration::ZERO));
+        assert!(c.exhausted());
+    }
+
+    #[test]
+    fn event_kinds_and_fields() {
+        let e = RecoveryEvent::StepHalved { stage: "gp/final".into(), outer: 3, scale: 0.25 };
+        assert_eq!(e.kind(), "step_halved");
+        let (stage, detail) = e.csv_fields();
+        assert_eq!(stage, "gp/final");
+        assert!(detail.contains("outer=3"));
+        let e = RecoveryEvent::CongestionFallback { round: 1, reason: "router budget".into() };
+        assert_eq!(e.csv_fields().0, "inflate1");
+    }
+
+    #[test]
+    fn diverged_renders() {
+        let d = Diverged {
+            stage: "gp/final".into(),
+            outer: 2,
+            retries: 4,
+            best: crate::optimizer::GpOutcome {
+                overflow_ratio: 0.5,
+                outer_rounds: 2,
+                smooth_wl: 1.0,
+                recoveries: 4,
+            },
+        };
+        assert!(d.to_string().contains("gp/final"));
+        assert!(d.to_string().contains("4 recovery retries"));
+    }
+}

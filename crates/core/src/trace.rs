@@ -1,6 +1,7 @@
 //! Convergence tracing — the data series behind the convergence figure
 //! (experiment **F2**) and the per-stage runtime breakdown (**F4**).
 
+use crate::recovery::RecoveryEvent;
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -39,6 +40,9 @@ pub struct Trace {
     pub records: Vec<TraceRecord>,
     /// Stage timings in chronological order.
     pub stages: Vec<StageTime>,
+    /// Recovery events (step halvings, checkpoint restores, budget
+    /// truncations) in chronological order. Empty on a clean run.
+    pub events: Vec<RecoveryEvent>,
 }
 
 impl Trace {
@@ -55,6 +59,15 @@ impl Trace {
     /// Appends a stage timing.
     pub fn record_stage(&mut self, stage: impl Into<String>, elapsed: Duration) {
         self.stages.push(StageTime { stage: stage.into(), elapsed });
+    }
+
+    /// Appends a recovery event. Also mirrors it into the stage timings as
+    /// a zero-duration `recovery/<kind>` row so degraded runs are visible
+    /// in the existing stage CSV without new plumbing.
+    pub fn record_event(&mut self, event: RecoveryEvent) {
+        self.stages
+            .push(StageTime { stage: format!("recovery/{}", event.kind()), elapsed: Duration::ZERO });
+        self.events.push(event);
     }
 
     /// Serializes the convergence records as CSV
@@ -76,6 +89,16 @@ impl Trace {
         let mut out = String::from("stage,seconds\n");
         for s in &self.stages {
             let _ = writeln!(out, "{},{:.4}", s.stage, s.elapsed.as_secs_f64());
+        }
+        out
+    }
+
+    /// Serializes the recovery events as CSV (`kind,stage,detail`).
+    pub fn events_csv(&self) -> String {
+        let mut out = String::from("kind,stage,detail\n");
+        for e in &self.events {
+            let (stage, detail) = e.csv_fields();
+            let _ = writeln!(out, "{},{},{}", e.kind(), stage, detail);
         }
         out
     }
@@ -110,6 +133,18 @@ mod tests {
         let t = Trace::new();
         assert!(t.records.is_empty());
         assert!(t.stages.is_empty());
+        assert!(t.events.is_empty());
         assert_eq!(t.to_csv().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn events_mirror_into_stage_csv() {
+        let mut t = Trace::new();
+        t.record_event(RecoveryEvent::BudgetTruncated { scope: "inflation".into(), at_round: 2 });
+        assert_eq!(t.events.len(), 1);
+        assert!(t.stages_csv().contains("recovery/budget_truncated,0.0000"));
+        let ecsv = t.events_csv();
+        assert_eq!(ecsv.lines().count(), 2);
+        assert!(ecsv.contains("budget_truncated,inflation,at-round=2"));
     }
 }

@@ -10,6 +10,16 @@
 //! "numerical stability scheme" of the WA paper): exponents are computed
 //! relative to the per-net extreme coordinate, so γ can anneal to a small
 //! fraction of a bin without overflow.
+//!
+//! The stabilization is *stateless*: the max/min anchor of every net is
+//! re-derived from the current coordinates on each evaluation, never
+//! cached. That is what makes divergence recovery sound — when the
+//! optimizer restores a finite iterate after a blow-up, the very next
+//! evaluation anchors its exponents to the restored (finite) extremes, so
+//! no stale shift can re-poison the model. A non-finite result from these
+//! functions is therefore a property of the *input iterate*, detectable
+//! with [`all_finite`] and recoverable by restoring coordinates, not a
+//! sticky internal state.
 
 use crate::model::Model;
 use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
@@ -153,6 +163,7 @@ pub fn smooth_wl_grad_par(
     par: Parallelism,
 ) -> f64 {
     assert_eq!(grad.len(), model.len(), "gradient buffer size mismatch");
+    debug_assert!(gamma > 0.0, "smoothing parameter γ must be positive, got {gamma}");
     let spans: Vec<_> = chunk_spans(model.nets.len(), NET_CHUNK).collect();
     let partials = chunked_map(par, spans.len(), |ci| {
         eval_net_span(model, which, gamma, spans[ci].clone())
@@ -187,6 +198,14 @@ pub fn smooth_wl_grad(
 pub fn smooth_wl(model: &Model, which: WirelengthModel, gamma: f64) -> f64 {
     let mut scratch = vec![Point::ORIGIN; model.len()];
     smooth_wl_grad(model, which, gamma, &mut scratch)
+}
+
+/// Whether a smooth-wirelength evaluation is numerically healthy: finite
+/// objective and finite gradient in every component. The optimizer's
+/// divergence detection — a `false` here is the recoverable `Diverged`
+/// signal, not a panic (see [`crate::recovery`]).
+pub fn all_finite(wl: f64, grad: &[Point]) -> bool {
+    wl.is_finite() && grad.iter().all(|g| g.is_finite())
 }
 
 #[cfg(test)]

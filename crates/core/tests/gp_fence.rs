@@ -30,7 +30,8 @@ fn gp_moves_fenced_cells_into_their_fences() {
         &GpOptions::default(),
         &mut trace,
         "test",
-    );
+    )
+    .expect("clean GP run must not diverge");
 
     let mut fenced = 0usize;
     let mut inside = 0usize;

@@ -38,6 +38,26 @@ pub enum BuildError {
     /// A fixed node was assigned to a fence region (fences constrain only
     /// movable nodes).
     FixedInRegion(String),
+    /// A pin carries a non-finite offset; downstream wirelength kernels
+    /// would silently poison every gradient touching its net.
+    BadPinOffset {
+        /// Name of the net the pin belongs to.
+        net: String,
+        /// Name of the node the pin sits on.
+        node: String,
+        /// The offending x offset.
+        dx: f64,
+        /// The offending y offset.
+        dy: f64,
+    },
+    /// A row has a non-finite coordinate or a non-positive dimension, so it
+    /// cannot be sorted or used for legalization.
+    BadRow {
+        /// Declared row y.
+        y: f64,
+        /// Declared row height.
+        height: f64,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -55,6 +75,12 @@ impl fmt::Display for BuildError {
             BuildError::DegenerateNet(n) => write!(f, "net `{n}` has fewer than 2 pins"),
             BuildError::FixedInRegion(n) => {
                 write!(f, "fixed node `{n}` cannot be fenced to a region")
+            }
+            BuildError::BadPinOffset { net, node, dx, dy } => {
+                write!(f, "pin of net `{net}` on node `{node}` has non-finite offset ({dx}, {dy})")
+            }
+            BuildError::BadRow { y, height } => {
+                write!(f, "row at y={y} with height={height} has a non-finite or non-positive geometry")
             }
         }
     }
@@ -252,8 +278,32 @@ impl DesignBuilder {
     ///
     /// Returns the first violated invariant; see [`BuildError`].
     pub fn finish(mut self) -> Result<Design, BuildError> {
+        // Row geometry must be finite (and heights positive) before the
+        // y-sort below — a NaN y would make the comparator lie silently.
+        for r in &self.rows {
+            let finite = r.y().is_finite()
+                && r.height().is_finite()
+                && r.site_width().is_finite()
+                && r.x_min().is_finite();
+            if !finite || r.height() <= 0.0 || r.site_width() <= 0.0 {
+                return Err(BuildError::BadRow { y: r.y(), height: r.height() });
+            }
+        }
+        // Pin offsets feed straight into wirelength gradients; reject
+        // non-finite ones here rather than diverging later.
+        for p in &self.pins {
+            let off = p.offset();
+            if !(off.x.is_finite() && off.y.is_finite()) {
+                return Err(BuildError::BadPinOffset {
+                    net: self.nets[p.net().index()].name().to_owned(),
+                    node: self.nodes[p.node().index()].name().to_owned(),
+                    dx: off.x,
+                    dy: off.y,
+                });
+            }
+        }
         // Uniform row heights, rows sorted by y.
-        self.rows.sort_by(|a, b| a.y().partial_cmp(&b.y()).expect("finite row y"));
+        self.rows.sort_by(|a, b| a.y().partial_cmp(&b.y()).unwrap_or(std::cmp::Ordering::Equal));
         if let Some(first) = self.rows.first().map(Row::height) {
             for r in &self.rows {
                 if (r.height() - first).abs() > 1e-9 {
@@ -514,6 +564,50 @@ mod tests {
         assert_eq!(d.node_pins(c).len(), 2);
         let nets: Vec<_> = d.node_pins(a).iter().map(|&p| d.pin(p).net()).collect();
         assert!(nets.contains(&n1) && nets.contains(&n2));
+    }
+
+    #[test]
+    fn non_finite_pin_offset_rejected() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::new(f64::NAN, 0.0));
+        b.add_pin(n, c, Point::ORIGIN);
+        match b.finish() {
+            Err(BuildError::BadPinOffset { net, node, dx, .. }) => {
+                assert_eq!(net, "n");
+                assert_eq!(node, "a");
+                assert!(dx.is_nan());
+            }
+            other => panic!("expected BadPinOffset, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_pin_offset_rejected() {
+        let mut b = base();
+        let a = b.add_node("a", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let c = b.add_node("c", 1.0, 10.0, NodeKind::Movable).unwrap();
+        let n = b.add_net("n", 1.0);
+        b.add_pin(n, a, Point::ORIGIN);
+        b.add_pin(n, c, Point::new(0.0, f64::INFINITY));
+        assert!(matches!(b.finish(), Err(BuildError::BadPinOffset { .. })));
+    }
+
+    #[test]
+    fn non_finite_row_rejected_before_sort() {
+        let mut b = base();
+        b.add_row(f64::NAN, 10.0, 1.0, 0.0, 100);
+        assert!(matches!(b.finish(), Err(BuildError::BadRow { .. })));
+
+        let mut b = base();
+        b.add_row(10.0, f64::NAN, 1.0, 0.0, 100);
+        assert!(matches!(b.finish(), Err(BuildError::BadRow { .. })));
+
+        let mut b = base();
+        b.add_row(10.0, 10.0, 0.0, 0.0, 100);
+        assert!(matches!(b.finish(), Err(BuildError::BadRow { .. })));
     }
 
     #[test]

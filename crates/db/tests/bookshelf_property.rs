@@ -198,6 +198,120 @@ fn rejects_route_without_grid() {
     assert!(err.to_string().contains("missing Grid"), "got: {err}");
 }
 
+/// A small but feature-complete benchmark (terminal, weights-free nets,
+/// fixed node, full `.route` record) used as the seed for mutation fuzzing.
+const FUZZ_FILES: &[(&str, &str)] = &[
+    ("f.aux", "RowBasedPlacement : f.nodes f.nets f.pl f.scl f.route\n"),
+    (
+        "f.nodes",
+        "UCLA nodes 1.0\na 3 10\nb 4 10\nc 5 10\nt 2 2 terminal\n",
+    ),
+    (
+        "f.nets",
+        "UCLA nets 1.0\nNetDegree : 2 n0\na B : 0 0\nb B : 0 0\nNetDegree : 3 n1\nb B : 0.5 0\nc B : 0 0\nt B : 0 0\n",
+    ),
+    (
+        "f.pl",
+        "UCLA pl 1.0\na 1 0 : N\nb 5 0 : N\nc 10 0 : N\nt 40 0 : N /FIXED\n",
+    ),
+    ("f.scl", GOOD_SCL),
+    (
+        "f.route",
+        "route 1.0\nGrid : 5 5 2\nVerticalCapacity : 0 10\nHorizontalCapacity : 10 0\nMinWireWidth : 1 1\nMinWireSpacing : 1 1\nViaSpacing : 0 0\nGridOrigin : 0 0\nTileSize : 10 10\nBlockagePorosity : 0\nNumNiTerminals : 0\nNumBlockageNodes : 0\n",
+    ),
+];
+
+/// Poison tokens spliced over random lines: non-finite literals, overflowing
+/// exponents, structural keywords out of place, and plain junk.
+const GARBLE: &[&str] = &[
+    "nan",
+    "NaN nan nan",
+    "-1e999",
+    "1e999 -1e999 inf",
+    "inf -inf",
+    "NetDegree : 999999 zz",
+    "CoreRow Horizontal",
+    "End",
+    "Grid : -1 -1 -1",
+    ": : :",
+    "a b c d e f g h",
+    "-",
+    "\u{1}\u{2}\u{3}",
+];
+
+/// Feeds randomly truncated and garbled benchmark text to `read_design`.
+/// Every outcome must be `Ok` or a structured `BookshelfError`/`BuildError`
+/// — the parser must never panic, whatever the mutation. (A panic anywhere
+/// in this loop fails the test; seeds are deterministic, so any failure
+/// reproduces exactly.)
+#[test]
+fn mutated_benchmarks_never_panic() {
+    let dir = std::env::temp_dir().join("rdp_prop_fuzz");
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xFA2E_D00D ^ (case * 0x9E37));
+        // Mutate one file per sub-case; sweep all files each case.
+        for victim in 0..FUZZ_FILES.len() {
+            let mut files: Vec<(String, Vec<u8>)> = FUZZ_FILES
+                .iter()
+                .map(|(n, c)| ((*n).to_owned(), c.as_bytes().to_vec()))
+                .collect();
+            let content = &mut files[victim].1;
+            match rng.gen_range(0u32..4) {
+                // Truncate at a random byte offset (ASCII, so always valid UTF-8).
+                0 => {
+                    let at = rng.gen_range(0usize..content.len().max(1));
+                    content.truncate(at);
+                }
+                // Replace a random line with a poison token.
+                1 => {
+                    let text = String::from_utf8(content.clone()).unwrap();
+                    let mut lines: Vec<&str> = text.lines().collect();
+                    if !lines.is_empty() {
+                        let at = rng.gen_range(0usize..lines.len());
+                        lines[at] = GARBLE[rng.gen_range(0usize..GARBLE.len())];
+                    }
+                    *content = lines.join("\n").into_bytes();
+                }
+                // Splice a poison token mid-file without removing anything.
+                2 => {
+                    let tok = GARBLE[rng.gen_range(0usize..GARBLE.len())];
+                    let at = rng.gen_range(0usize..content.len().max(1));
+                    content.splice(at..at, tok.bytes());
+                }
+                // Corrupt a byte to a non-UTF-8 value.
+                _ => {
+                    if !content.is_empty() {
+                        let at = rng.gen_range(0usize..content.len());
+                        content[at] = 0xFF;
+                    }
+                }
+            }
+            std::fs::create_dir_all(&dir).unwrap();
+            for (name, bytes) in &files {
+                std::fs::write(dir.join(name), bytes).unwrap();
+            }
+            // Ok or Err both fine; panicking is the only failure mode.
+            let _ = bookshelf::read_design(dir.join("f.aux"));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fuzz_seed_benchmark_is_valid() {
+    // The mutation fuzzer is only meaningful if the unmutated seed parses.
+    let dir = std::env::temp_dir().join("rdp_prop_fuzz_seed");
+    write_benchmark(
+        &dir,
+        &FUZZ_FILES.iter().map(|&(n, c)| (n, c)).collect::<Vec<_>>(),
+    );
+    let (d, _pl) = bookshelf::read_design(dir.join("f.aux")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(d.nodes().len(), 4);
+    assert_eq!(d.nets().len(), 2);
+    assert!(d.route_spec().is_some());
+}
+
 #[test]
 fn rejects_region_with_unknown_member() {
     let dir = std::env::temp_dir().join("rdp_mal_region");

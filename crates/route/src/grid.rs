@@ -283,6 +283,19 @@ impl RouteGrid {
         self.usage.iter_mut().for_each(|u| *u = 0.0);
     }
 
+    /// Number of edges whose capacity, usage or history is non-finite — a
+    /// corruption canary. A healthy grid always reports zero; a nonzero
+    /// count tells callers the grid's state can no longer be trusted for
+    /// congestion estimation or warm-started rerouting.
+    pub fn non_finite_edges(&self) -> usize {
+        self.cap
+            .iter()
+            .zip(&self.usage)
+            .zip(&self.history)
+            .filter(|((c, u), h)| !c.is_finite() || !u.is_finite() || !h.is_finite())
+            .count()
+    }
+
     /// Maximum congestion ratio of the edges incident to gcell `g` — the
     /// per-gcell congestion used for heatmaps and cell inflation.
     pub fn gcell_congestion(&self, g: GCell) -> f64 {

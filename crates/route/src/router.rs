@@ -75,6 +75,13 @@ pub struct RouterConfig {
     /// previous run forces detours around congestion that no longer
     /// exists. `0.0` discards it. The default discounts it.
     pub history_decay: f64,
+    /// Wall-clock budget for the negotiation loop. When it expires the
+    /// router stops cleanly at a round boundary and returns its current
+    /// (possibly still overflowed) state with
+    /// [`RoutingOutcome::budget_truncated`] set. `None` (the default) is
+    /// unlimited. A run that converges before the budget expires is never
+    /// marked truncated.
+    pub time_budget: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -86,6 +93,7 @@ impl Default for RouterConfig {
             parallelism: Parallelism::auto(),
             window_margin: Some(8),
             history_decay: 0.1,
+            time_budget: None,
         }
     }
 }
@@ -132,6 +140,9 @@ pub struct RoutingOutcome {
     /// [`GlobalRouter::route`], the dirty-net count for
     /// [`GlobalRouter::reroute_incremental`].
     pub dirty_nets: usize,
+    /// Whether [`RouterConfig::time_budget`] expired and truncated the
+    /// negotiation loop before it converged or reached `max_iterations`.
+    pub budget_truncated: bool,
 }
 
 /// The set of currently overflowed edges, maintained incrementally: after
@@ -292,7 +303,7 @@ impl GlobalRouter {
         // Negotiation rounds: deterministic-parallel rip-up-and-reroute.
         let t_negotiation = Instant::now();
         let mut overflow = OverflowSet::scan(&grid);
-        let iterations = self.negotiate(&mut grid, &mut routed, &mut overflow);
+        let (iterations, budget_truncated) = self.negotiate(&mut grid, &mut routed, &mut overflow);
         let negotiation_elapsed = t_negotiation.elapsed();
 
         let dirty_nets = design.nets().len();
@@ -305,6 +316,7 @@ impl GlobalRouter {
             dirty_nets,
             pattern_elapsed,
             negotiation_elapsed,
+            budget_truncated,
         )
     }
 
@@ -428,7 +440,7 @@ impl GlobalRouter {
         let t_negotiation = Instant::now();
         let mut overflow = OverflowSet::from_list(grid.num_edges(), prev.overflowed.clone());
         overflow.update(&grid, &mut touched);
-        let iterations = self.negotiate(&mut grid, &mut routed, &mut overflow);
+        let (iterations, budget_truncated) = self.negotiate(&mut grid, &mut routed, &mut overflow);
         let negotiation_elapsed = t_negotiation.elapsed();
 
         self.finish_outcome(
@@ -440,23 +452,34 @@ impl GlobalRouter {
             dirty_count,
             pattern_elapsed,
             negotiation_elapsed,
+            budget_truncated,
         )
     }
 
     /// The negotiation rounds (rip up everything crossing overflow,
     /// snapshot costs, reroute in deterministic chunks, fold in order),
-    /// run to convergence or `max_iterations`. Returns the number of
-    /// rounds executed.
+    /// run to convergence, `max_iterations`, or
+    /// [`RouterConfig::time_budget`] expiry. Returns the number of rounds
+    /// executed and whether the budget truncated the loop.
     fn negotiate(
         &self,
         grid: &mut RouteGrid,
         routed: &mut [RoutedSegment],
         overflow: &mut OverflowSet,
-    ) -> usize {
+    ) -> (usize, bool) {
+        let deadline = self.config.time_budget.map(|b| Instant::now() + b);
         let mut iterations = 0;
         for _ in 0..self.config.max_iterations {
             if overflow.is_empty() {
                 break;
+            }
+            // Budget check only while work remains (after the convergence
+            // check above), so a converged run is never marked truncated.
+            // Rounds are never interrupted mid-flight: truncation lands on
+            // a round boundary and leaves a fully consistent grid +
+            // segment state, just with residual overflow.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return (iterations, true);
             }
             iterations += 1;
 
@@ -532,7 +555,7 @@ impl GlobalRouter {
                 }
             }
         }
-        iterations
+        (iterations, false)
     }
 
     /// Assembles the final [`RoutingOutcome`] from the post-negotiation
@@ -549,6 +572,7 @@ impl GlobalRouter {
         dirty_nets: usize,
         pattern_elapsed: Duration,
         negotiation_elapsed: Duration,
+        budget_truncated: bool,
     ) -> RoutingOutcome {
         let mut net_lengths = vec![0u32; design.nets().len()];
         for rs in &routed {
@@ -566,6 +590,7 @@ impl GlobalRouter {
             overflowed: overflow.list,
             segments: routed,
             dirty_nets,
+            budget_truncated,
             grid,
         }
     }
@@ -622,6 +647,44 @@ mod tests {
         assert_eq!(out.iterations, 0);
         assert_eq!(out.metrics.total_overflow, 0.0);
         assert!(out.metrics.rc < 100.0);
+    }
+
+    #[test]
+    fn zero_budget_truncates_cleanly_on_congested_design() {
+        // Supply-tight capacities = guaranteed overflow, so negotiation
+        // has work to do; a zero budget must stop before any round, flag
+        // the truncation, and still return a fully consistent outcome.
+        let mut cfg = GeneratorConfig::tiny("rb1", 8);
+        cfg.route.tracks_per_edge_h = 1.0;
+        cfg.route.tracks_per_edge_v = 1.0;
+        let bench = generate(&cfg).unwrap();
+        let out = GlobalRouter::new(RouterConfig {
+            time_budget: Some(Duration::ZERO),
+            ..RouterConfig::default()
+        })
+        .route(&bench.design, &bench.placement);
+        assert!(out.budget_truncated);
+        assert_eq!(out.iterations, 0);
+        assert!(out.metrics.total_overflow > 0.0, "expected residual overflow");
+        assert_eq!(out.grid.non_finite_edges(), 0);
+        // Usage is still conserved: the truncation landed on a round boundary.
+        let grid_usage: f64 = out.grid.edge_ids().map(|e| out.grid.usage(e)).sum();
+        assert!((grid_usage - out.metrics.total_usage).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converged_run_is_not_marked_truncated() {
+        let mut cfg = GeneratorConfig::tiny("rb2", 9);
+        cfg.route.tracks_per_edge_h = 10_000.0;
+        cfg.route.tracks_per_edge_v = 10_000.0;
+        let bench = generate(&cfg).unwrap();
+        let out = GlobalRouter::new(RouterConfig {
+            time_budget: Some(Duration::ZERO),
+            ..RouterConfig::default()
+        })
+        .route(&bench.design, &bench.placement);
+        assert!(!out.budget_truncated, "converged run must not report truncation");
+        assert_eq!(out.metrics.total_overflow, 0.0);
     }
 
     #[test]

@@ -2,9 +2,12 @@
 # Offline CI gate: build, test, lint. No network access required — the
 # workspace has zero external dependencies (see README "Offline builds").
 #
-# Usage: scripts/ci.sh [--full]
-#   --full  also exercise the feature-gated targets: property-tests
-#           (larger randomized-test case counts) and the bench binaries.
+# Usage: scripts/ci.sh [--full|--faults]
+#   --full    also exercise the feature-gated targets: property-tests
+#             (larger randomized-test case counts) and the bench binaries.
+#   --faults  also run the fault-injection resilience suite (rdp-core with
+#             the `fault-inject` feature; the 1/2/8-thread invariance sweep
+#             happens inside the tests themselves).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,6 +19,11 @@ run() {
 run cargo build --release --workspace
 run cargo test --workspace -q
 run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--faults" ]]; then
+  run cargo test -p rdp-core --features fault-inject -q
+  run cargo clippy -p rdp-core --all-targets --features fault-inject -- -D warnings
+fi
 
 if [[ "${1:-}" == "--full" ]]; then
   run cargo test --workspace -q --features rdp/property-tests,rdp-db/property-tests,rdp-route/property-tests

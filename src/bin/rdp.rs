@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Flow flags for `place`: `--fast`, `--wl-driven`, `--fence-blind`,
-//! `--flat`, `--lse`, `--no-rotation`, `--seed N`.
+//! `--flat`, `--lse`, `--no-rotation`, `--seed N`, `--budget SECS`
+//! (wall-clock cap; on expiry the flow truncates cleanly, keeps the best
+//! checkpointed placement and prints a degraded-run warning).
 
 use rdp::db::{bookshelf, stats::DesignStats, validate::check_legal, Design, Placement};
 use rdp::eval::score_placement;
@@ -21,7 +23,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N]\n  rdp score    --aux FILE [--pl FILE]\n  rdp route    --aux FILE [--pl FILE] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
+        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE]\n  rdp route    --aux FILE [--pl FILE] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
     );
     ExitCode::from(2)
 }
@@ -105,6 +107,13 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(s) = flags.get("seed") {
         options.seed = s.parse().map_err(|e| format!("bad --seed: {e}"))?;
     }
+    if let Some(s) = flags.get("budget") {
+        let secs: f64 = s.parse().map_err(|e| format!("bad --budget: {e}"))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(format!("bad --budget: {secs} (want seconds >= 0)"));
+        }
+        options.budget.flow_wall = Some(std::time::Duration::from_secs_f64(secs));
+    }
 
     let result = Placer::new(&design, options)
         .with_initial(initial)
@@ -116,6 +125,22 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
         result.elapsed.as_secs_f64(),
         result.hpwl
     );
+    if let Some(degraded) = &result.degraded {
+        match &degraded.restored_from {
+            Some(from) => eprintln!(
+                "warning: degraded run — stage `{}` failed, placement restored from `{from}` checkpoint",
+                degraded.stage
+            ),
+            None => eprintln!(
+                "warning: degraded run — stage `{}` fell back or was truncated (best recovered placement written)",
+                degraded.stage
+            ),
+        }
+        for event in &degraded.events {
+            let (stage, detail) = event.csv_fields();
+            eprintln!("  recovery: {} {stage} {detail}", event.kind());
+        }
+    }
     bookshelf::write_design(&design, &result.placement, out)
         .map_err(|e| format!("cannot write result: {e}"))?;
     println!("wrote {}", PathBuf::from(out).join(format!("{}.pl", design.name())).display());
