@@ -19,7 +19,6 @@
 
 use rdp_db::NodeId;
 use rdp_gen::{generate, GeneratorConfig};
-use rdp_geom::parallel::Parallelism;
 use rdp_geom::rng::Rng;
 use rdp_geom::Point;
 use rdp_route::{GlobalRouter, RouterConfig, RoutingOutcome};
@@ -142,10 +141,7 @@ fn main() {
         let mut row = Row { fraction, moved: moved.len(), dirty_nets: 0, times: Vec::new() };
         let mut inc_prints: Vec<(u64, u64, Vec<u32>, u64)> = Vec::new();
         for &t in &THREADS {
-            let router = GlobalRouter::new(RouterConfig {
-                parallelism: Parallelism::new(t),
-                ..RouterConfig::default()
-            });
+            let router = GlobalRouter::new(RouterConfig::builder().threads(t).build());
             let prev = router.route(design, &base);
 
             let t_full = Instant::now();

@@ -1,0 +1,141 @@
+//! Layer-mode × threads sweep of the global router: the same design
+//! routed in `Projected` (collapsed 2-D) and `Layered` (full 3-D stack
+//! with via edges) mode at every thread count in {1, 2, 8}.
+//!
+//! Asserts the determinism contract along the way — each mode must be
+//! **bitwise identical** across thread counts over *all* edges (planar
+//! and via) — and records wall-clock, RC, total/via overflow and the
+//! per-layer overflow split. Writes
+//! `target/experiments/BENCH_route3d.json`.
+//!
+//! `--smoke` shrinks the design for quick verification.
+
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_route::{EdgeId, GlobalRouter, LayerMode, RouterConfig, RoutingOutcome};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Bit-exact digest over all edges, planar and via.
+fn fingerprint(out: &RoutingOutcome) -> (Vec<u64>, Vec<u32>, u64, u64) {
+    (
+        (0..out.grid.num_edges() as u32)
+            .map(|e| out.grid.usage(EdgeId(e)).to_bits())
+            .collect(),
+        out.net_lengths.clone(),
+        out.metrics.rc.to_bits(),
+        out.metrics.total_overflow.to_bits(),
+    )
+}
+
+struct ModeRow {
+    mode: LayerMode,
+    /// Route seconds per entry of [`THREADS`].
+    seconds: Vec<f64>,
+    out: RoutingOutcome,
+}
+
+fn main() {
+    let args = rdp_bench::parse_args();
+    let cells: usize = if args.smoke { 2_000 } else { 10_000 };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut cfg = GeneratorConfig::medium("route3d", 37);
+    cfg.num_cells = cells;
+    eprintln!("generating {cells}-cell design ({} layers)...", cfg.route.num_layers);
+    let bench = generate(&cfg).expect("valid config");
+
+    let mut rows: Vec<ModeRow> = Vec::new();
+    for mode in [LayerMode::Projected, LayerMode::Layered] {
+        let mut seconds = Vec::new();
+        let mut prints = Vec::new();
+        let mut last: Option<RoutingOutcome> = None;
+        for &t in &THREADS {
+            let router = GlobalRouter::new(
+                RouterConfig::builder().threads(t).layers(mode).build(),
+            );
+            let t0 = Instant::now();
+            let out = router.route(&bench.design, &bench.placement);
+            let s = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "  {mode:?}, {t} threads: {s:.3}s, RC {:.1}%, overflow {:.0}, via usage {:.0}",
+                out.metrics.rc, out.metrics.total_overflow, out.metrics.via_usage
+            );
+            seconds.push(s);
+            prints.push(fingerprint(&out));
+            last = Some(out);
+        }
+        assert!(
+            prints.iter().all(|p| *p == prints[0]),
+            "{mode:?} route not bitwise identical across thread counts"
+        );
+        rows.push(ModeRow { mode, seconds, out: last.expect("at least one thread count") });
+    }
+
+    let projected = &rows[0].out;
+    let layered = &rows[1].out;
+    assert!(layered.grid.has_vias(), "4-layer stack must route in 3-D");
+    assert!(!projected.grid.has_vias());
+
+    // --- Report. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"design_cells\": {cells},");
+    let _ = writeln!(json, "  \"num_layers\": {},", layered.grid.num_layers());
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"threads\": [1, 2, 8],");
+    let _ = writeln!(json, "  \"bitwise_identical_across_threads\": true,");
+    let _ = writeln!(json, "  \"modes\": [");
+    for (ri, r) in rows.iter().enumerate() {
+        let secs: Vec<String> = r.seconds.iter().map(|s| format!("{s:.6}")).collect();
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"mode\": \"{:?}\",", r.mode);
+        let _ = writeln!(json, "      \"route_seconds\": [{}],", secs.join(", "));
+        let _ = writeln!(json, "      \"rc\": {:.4},", r.out.metrics.rc);
+        let _ = writeln!(json, "      \"total_overflow\": {:.4},", r.out.metrics.total_overflow);
+        let _ = writeln!(json, "      \"via_usage\": {:.4},", r.out.metrics.via_usage);
+        let _ = writeln!(json, "      \"via_overflow\": {:.4},", r.out.metrics.via_overflow);
+        let _ = writeln!(json, "      \"per_layer\": [");
+        for (li, l) in r.out.metrics.per_layer.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "        {{ \"layer\": {}, \"dir\": \"{}\", \"usage\": {:.4}, \
+                 \"overflow\": {:.4}, \"max_ratio\": {:.4} }}{}",
+                l.layer,
+                if l.horizontal { "H" } else { "V" },
+                l.usage,
+                l.overflow,
+                l.max_ratio,
+                if li + 1 < r.out.metrics.per_layer.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{}", if ri + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    println!("\n{:<12} {:>10} {:>10} {:>10} {:>8} {:>10}", "mode", "1t", "2t", "8t", "RC", "overflow");
+    for r in &rows {
+        println!(
+            "{:<12} {:>9.3}s {:>9.3}s {:>9.3}s {:>7.1}% {:>10.0}",
+            format!("{:?}", r.mode),
+            r.seconds[0],
+            r.seconds[1],
+            r.seconds[2],
+            r.out.metrics.rc,
+            r.out.metrics.total_overflow
+        );
+    }
+    println!(
+        "layered via usage {:.0} (overflow {:.0}) across {} layers",
+        layered.metrics.via_usage,
+        layered.metrics.via_overflow,
+        layered.grid.num_layers()
+    );
+
+    match rdp_eval::report::save("BENCH_route3d.json", &json) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not save BENCH_route3d.json: {e}"),
+    }
+}

@@ -13,7 +13,6 @@
 //! `--smoke` shrinks the sweep for quick verification.
 
 use rdp_gen::{generate, GeneratorConfig};
-use rdp_geom::parallel::Parallelism;
 use rdp_route::pattern::{edge_cost, route_pattern, CostParams};
 use rdp_route::topology::{decompose_net, Segment};
 use rdp_route::{EdgeId, GCell, GlobalRouter, RouteGrid, RouterConfig, RoutingOutcome};
@@ -230,11 +229,9 @@ fn main() {
 
         // --- New engine: threads sweep, bitwise checks. ---
         let route = |threads: usize, margin: Option<u32>| {
-            GlobalRouter::new(RouterConfig {
-                parallelism: Parallelism::new(threads),
-                window_margin: margin,
-                ..RouterConfig::default()
-            })
+            GlobalRouter::new(
+                RouterConfig::builder().threads(threads).window_margin(margin).build(),
+            )
             .route(&bench.design, &bench.placement)
         };
         let mut pattern_row =

@@ -540,10 +540,9 @@ impl<'a> Placer<'a> {
             // time budget (degradation ladder: true routed congestion →
             // probabilistic estimate).
             let mut use_router = opts.routability_opts.use_router_congestion;
-            let router = GlobalRouter::new(RouterConfig {
-                parallelism: opts.gp.parallelism,
-                ..opts.routability_opts.router
-            });
+            let mut router_config = opts.routability_opts.router;
+            router_config.parallelism = opts.gp.parallelism;
+            let router = GlobalRouter::new(router_config);
             let mut route_outcome: Option<RoutingOutcome> = None;
             let mut route_centers: Vec<rdp_geom::Point> =
                 vec![rdp_geom::Point::ORIGIN; design.nodes().len()];
@@ -564,6 +563,10 @@ impl<'a> Placer<'a> {
                 let t_cong = Instant::now();
                 let mut dirty_nets = 0usize;
                 let mut router_fallback = false;
+                // Holds the collapsed planar view when the router ran in
+                // layered (3-D) mode: the inflation and net-weighting
+                // consumers are defined over the 2-D gcell grid.
+                let mut projected_grid: Option<RouteGrid> = None;
                 let grid: &RouteGrid = if use_router {
                     // True routed congestion: full route on the first
                     // round, incremental reroute of just the moved cells
@@ -597,7 +600,12 @@ impl<'a> Placer<'a> {
                         use_router = false;
                     }
                     crate::faultinject::corrupt_congestion(&mut outcome.grid, round);
-                    &route_outcome.insert(outcome).grid
+                    let routed = &route_outcome.insert(outcome).grid;
+                    if routed.has_vias() {
+                        &*projected_grid.insert(routed.project_2d())
+                    } else {
+                        routed
+                    }
                 } else {
                     let grid = refresh_congestion(&mut congestion_grid, design, &placement, &opts);
                     crate::faultinject::corrupt_congestion(grid, round);

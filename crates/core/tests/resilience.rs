@@ -52,8 +52,12 @@ fn assert_legal_and_finite(bench: &GeneratedBench, result: &PlaceResult) {
 /// algorithmic change shifts these, refresh the constants by printing
 /// `result.hpwl.to_bits()` for each configuration below — but a shift with
 /// no algorithmic change means the resilience layer stopped being inert.
-const GOLDEN_FAST_SEED41: u64 = 0x40cd1ea9d25e43f8;
-const GOLDEN_ROUTER_SEED46: u64 = 0x40cb6356361b972a;
+/// (Last refresh: PR 5's per-layer blockage carving — blocked area is now
+/// charged to the layers a blockage names instead of the whole summed
+/// capacity, which legitimately changes carved supply on benches with
+/// fixed blocks and thus the congestion-driven placement.)
+const GOLDEN_FAST_SEED41: u64 = 0x40cce158b656f432;
+const GOLDEN_ROUTER_SEED46: u64 = 0x40cad09a79513949;
 
 #[test]
 fn fault_free_run_matches_golden_bits_at_every_thread_count() {

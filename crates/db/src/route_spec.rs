@@ -73,6 +73,51 @@ impl RouteSpec {
             _ => None,
         }
     }
+
+    /// Horizontal and vertical capacity of layer `layer` (1-based);
+    /// `(0, 0)` if out of range.
+    pub fn layer_capacity(&self, layer: u32) -> (f64, f64) {
+        let Some(i) = layer.checked_sub(1).map(|i| i as usize) else {
+            return (0.0, 0.0);
+        };
+        (
+            self.horizontal_capacity.get(i).copied().unwrap_or(0.0),
+            self.vertical_capacity.get(i).copied().unwrap_or(0.0),
+        )
+    }
+
+    /// Preferred direction of layer `layer` (1-based): `Some(true)` for a
+    /// horizontal layer, `Some(false)` for vertical, decided by which
+    /// capacity vector is nonzero. `None` when the layer is ambiguous
+    /// (both zero, or both nonzero) — callers fall back to the DAC
+    /// convention of alternating directions starting horizontal.
+    pub fn layer_horizontal(&self, layer: u32) -> Option<bool> {
+        let (h, v) = self.layer_capacity(layer);
+        match (h > 0.0, v > 0.0) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Via capacity (tracks per gcell) between layers `lower` and
+    /// `lower + 1` (1-based), derived from the via spacing and wire pitch
+    /// of the two layers: `tile_area / (via_pitch_lower · via_pitch_upper)`
+    /// where each via pitch is `via_spacing + min_wire_width`. Returns
+    /// `None` — *unlimited* — when either layer records zero via spacing
+    /// (the DAC benchmarks' way of saying vias are uncapacitated).
+    pub fn via_capacity(&self, lower: u32) -> Option<f64> {
+        let i = lower.checked_sub(1)? as usize;
+        let j = i + 1;
+        let s0 = self.via_spacing.get(i).copied()?;
+        let s1 = self.via_spacing.get(j).copied()?;
+        if s0 <= 0.0 || s1 <= 0.0 {
+            return None;
+        }
+        let p0 = s0 + self.min_wire_width.get(i).copied().unwrap_or(0.0);
+        let p1 = s1 + self.min_wire_width.get(j).copied().unwrap_or(0.0);
+        Some(self.tile_width * self.tile_height / (p0 * p1))
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +159,28 @@ mod tests {
         assert_eq!(s.pitch(1), Some(2.0));
         assert_eq!(s.pitch(0), None);
         assert_eq!(s.pitch(5), None);
+    }
+
+    #[test]
+    fn layer_direction_from_capacities() {
+        let s = spec();
+        assert_eq!(s.layer_horizontal(1), Some(true));
+        assert_eq!(s.layer_horizontal(2), Some(false));
+        assert_eq!(s.layer_horizontal(3), Some(true));
+        assert_eq!(s.layer_horizontal(0), None, "out of range is ambiguous");
+        assert_eq!(s.layer_capacity(2), (0.0, 10.0));
+        assert_eq!(s.layer_capacity(9), (0.0, 0.0));
+    }
+
+    #[test]
+    fn via_capacity_from_spacing() {
+        let mut s = spec();
+        // Zero via spacing (the benchmark default) = unlimited vias.
+        assert_eq!(s.via_capacity(1), None);
+        // Positive spacing: tile area over the product of via pitches.
+        s.via_spacing = vec![1.0; 4];
+        let cap = s.via_capacity(1).unwrap();
+        assert!((cap - 10.0 * 10.0 / (2.0 * 2.0)).abs() < 1e-12, "got {cap}");
+        assert_eq!(s.via_capacity(4), None, "no layer above the top one");
     }
 }

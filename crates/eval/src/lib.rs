@@ -8,6 +8,9 @@
 //! crate reimplements that protocol against `rdp-route` and drives the
 //! whole experiment matrix of DESIGN.md:
 //!
+//! * [`session`] — [`EvalSession`], the single configuration surface:
+//!   routing, congestion measurement, scoring and place-then-score flows
+//!   all against one held [`rdp_route::RouterConfig`];
 //! * [`score`] — run the router, compute RC and scaled HPWL;
 //! * [`suite`] — the named benchmark suites (`s1..s8` standard,
 //!   `h1..h4` hierarchical) substituting the contest circuits;
@@ -32,7 +35,9 @@
 pub mod report;
 pub mod runner;
 pub mod score;
+pub mod session;
 pub mod suite;
 
 pub use runner::{run_flow, run_flow_with, FlowOutcome};
 pub use score::{score_placement, score_placement_with, ContestScore};
+pub use session::EvalSession;

@@ -1,25 +1,15 @@
 //! Flow orchestration: place a benchmark, legalize (inside the placer),
 //! score against the contest router, and keep per-stage timing.
+//!
+//! The actual flow lives on [`EvalSession`]; the free functions here are
+//! the historical entry points, kept as thin wrappers.
 
-use crate::score::{score_placement_with, ContestScore};
-use rdp_core::{PlaceError, PlaceOptions, PlaceResult, Placer};
-use rdp_db::validate::{check_legal, LegalityReport};
+use crate::session::EvalSession;
+use rdp_core::{PlaceError, PlaceOptions};
 use rdp_gen::GeneratedBench;
 use rdp_route::RouterConfig;
-use std::time::{Duration, Instant};
 
-/// Full outcome of place-then-score on one benchmark.
-#[derive(Debug, Clone)]
-pub struct FlowOutcome {
-    /// The placer's result (placement, trace, stage stats).
-    pub place: PlaceResult,
-    /// Contest score of the final placement.
-    pub score: ContestScore,
-    /// Legality check of the final placement.
-    pub legality: LegalityReport,
-    /// Placement wall time (excludes scoring).
-    pub place_time: Duration,
-}
+pub use crate::session::FlowOutcome;
 
 /// Places `bench` with `options` and scores the result with the default
 /// scoring-router configuration.
@@ -28,7 +18,7 @@ pub struct FlowOutcome {
 ///
 /// Propagates [`PlaceError`] for unplaceable designs.
 pub fn run_flow(bench: &GeneratedBench, options: PlaceOptions) -> Result<FlowOutcome, PlaceError> {
-    run_flow_with(bench, options, RouterConfig::default())
+    EvalSession::new(&bench.design).run_flow_on(bench, options)
 }
 
 /// Like [`run_flow`], but scoring with an explicit [`RouterConfig`].
@@ -41,19 +31,9 @@ pub fn run_flow_with(
     options: PlaceOptions,
     router: RouterConfig,
 ) -> Result<FlowOutcome, PlaceError> {
-    let t = Instant::now();
-    let place = Placer::new(&bench.design, options)
-        .with_initial(bench.placement.clone())
-        .run()?;
-    let place_time = t.elapsed();
-    let score = score_placement_with(&bench.design, &place.placement, router);
-    let legality = check_legal(&bench.design, &place.placement, 32);
-    Ok(FlowOutcome {
-        place,
-        score,
-        legality,
-        place_time,
-    })
+    EvalSession::new(&bench.design)
+        .with_router_config(router)
+        .run_flow_on(bench, options)
 }
 
 #[cfg(test)]

@@ -1,8 +1,13 @@
 //! The DAC-2012 scoring function: route, measure ACE/RC, scale HPWL.
+//!
+//! The scoring logic lives on [`EvalSession`](crate::EvalSession); the
+//! free functions here are the historical entry points, kept as thin
+//! wrappers.
 
+use crate::session::EvalSession;
 use rdp_db::{Design, Placement};
-use rdp_route::{CongestionMetrics, GlobalRouter, RouterConfig};
-use std::time::{Duration, Instant};
+use rdp_route::{CongestionMetrics, RouterConfig};
+use std::time::Duration;
 
 /// A placement's contest score.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,32 +24,48 @@ pub struct ContestScore {
     pub route_time: Duration,
 }
 
+impl ContestScore {
+    /// Multi-line congestion summary: per-layer usage / overflow / peak
+    /// ratio plus via demand, for layered scoring runs. Empty-layer grids
+    /// (nothing routed) yield only the via line.
+    pub fn congestion_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for l in &self.congestion.per_layer {
+            let _ = writeln!(
+                out,
+                "  layer {:>2} ({}): usage {:>10.1}, overflow {:>8.1}, peak {:.2}",
+                l.layer,
+                if l.horizontal { 'H' } else { 'V' },
+                l.usage,
+                l.overflow,
+                l.max_ratio,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  vias:         usage {:>10.1}, overflow {:>8.1}",
+            self.congestion.via_usage, self.congestion.via_overflow,
+        );
+        out
+    }
+}
+
 /// Scores `placement` by routing it with the full negotiation router at
 /// its default settings.
 pub fn score_placement(design: &Design, placement: &Placement) -> ContestScore {
-    score_placement_with(design, placement, RouterConfig::default())
+    EvalSession::new(design).score(placement)
 }
 
 /// Like [`score_placement`], but with an explicit scoring-router
-/// configuration (thread count, iteration budget, cost knobs).
+/// configuration (thread count, iteration budget, cost knobs, layer
+/// mode).
 pub fn score_placement_with(
     design: &Design,
     placement: &Placement,
     router: RouterConfig,
 ) -> ContestScore {
-    let hpwl = rdp_db::hpwl::total_hpwl(design, placement);
-    let t = Instant::now();
-    let outcome = GlobalRouter::new(router).route(design, placement);
-    let route_time = t.elapsed();
-    let rc = outcome.metrics.rc;
-    let scaled_hpwl = hpwl * outcome.metrics.penalty_factor();
-    ContestScore {
-        hpwl,
-        rc,
-        scaled_hpwl,
-        congestion: outcome.metrics,
-        route_time,
-    }
+    EvalSession::new(design).with_router_config(router).score(placement)
 }
 
 #[cfg(test)]

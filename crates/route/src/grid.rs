@@ -24,22 +24,59 @@ impl GCell {
     }
 }
 
+/// Preferred routing direction of a metal layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerDir {
+    /// The layer carries horizontal wires (edges `(x,y)→(x+1,y)`).
+    Horizontal,
+    /// The layer carries vertical wires (edges `(x,y)→(x,y+1)`).
+    Vertical,
+}
+
 /// Identifier of a grid edge.
 ///
-/// Horizontal edges connect `(x, y)` to `(x+1, y)`; vertical edges connect
-/// `(x, y)` to `(x, y+1)`. Both kinds are packed into one dense index space
-/// (horizontal first), so per-edge state lives in flat vectors.
+/// All edges — the planar edges of every layer plus the vertical via
+/// edges between adjacent layers — are packed into one dense index space,
+/// so per-edge state lives in flat vectors. Planar blocks come first, one
+/// per layer in layer order (a horizontal layer's block is
+/// `(nx−1)·ny` edges, a vertical layer's `nx·(ny−1)`), followed by the
+/// via blocks (`nx·ny` edges per adjacent-layer pair). A grid built by
+/// [`RouteGrid::uniform`] or [`RouteGrid::project_2d`] has exactly one
+/// horizontal and one vertical layer and no via storage, which makes its
+/// edge ids identical to the historical 2-D layout (horizontal block
+/// first).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EdgeId(pub u32);
 
-/// The 2-D (layer-collapsed) routing grid: capacities, usage, and
-/// negotiation history per edge.
+/// Sentinel meaning "no unique layer carries this direction".
+const NO_SOLE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct LayerInfo {
+    dir: LayerDir,
+    /// First edge id of this layer's planar block.
+    offset: u32,
+}
+
+/// The layered routing grid: capacities, usage, and negotiation history
+/// per edge.
 ///
-/// Capacities start from the design's [`RouteSpec`](rdp_db::RouteSpec)
-/// (summing each direction over layers) and are *carved down* under routing
-/// blockages: a fixed block obstructing a fraction `f` of a gcell's area on
-/// layers carrying a fraction `s` of the direction's capacity removes
-/// `f·s·(1−porosity)` of the capacity of the edges incident to that gcell.
+/// Capacities start from the design's [`RouteSpec`](rdp_db::RouteSpec),
+/// kept **per layer**, and are *carved down* under routing blockages: a
+/// fixed block obstructing a fraction `f` of a gcell's area on a layer it
+/// blocks removes `f·(1−porosity)` of that layer's capacity on the edges
+/// incident to that gcell. Other layers are untouched — blockage area no
+/// longer vanishes into a summed total.
+///
+/// Two flavors exist, distinguished only by their layer/via structure:
+///
+/// * **Projected** ([`RouteGrid::uniform`], [`RouteGrid::from_design`],
+///   [`RouteGrid::project_2d`]): one horizontal + one vertical layer,
+///   no via storage — the historical 2-D grid, bit-compatible with it.
+/// * **Layered** ([`RouteGrid::from_design_3d`],
+///   [`RouteGrid::uniform_layers`]): one planar block per metal layer
+///   plus via edges between adjacent layers. Via capacity defaults to
+///   [`RouteGrid::UNLIMITED_CAP`] when the spec gives no via spacing.
 #[derive(Debug, Clone)]
 pub struct RouteGrid {
     nx: u32,
@@ -47,28 +84,71 @@ pub struct RouteGrid {
     origin: Point,
     tile_w: f64,
     tile_h: f64,
+    layers: Vec<LayerInfo>,
+    /// Index of the unique horizontal/vertical layer ([`NO_SOLE`] when
+    /// zero or several layers carry the direction).
+    sole_h: u32,
+    sole_v: u32,
+    /// Total planar edges; the via blocks start here.
+    n_planar: u32,
+    /// Adjacent-layer pairs with via storage (0 on projected grids).
+    n_via_levels: u32,
     cap: Vec<f64>,
     usage: Vec<f64>,
     history: Vec<f64>,
 }
 
 impl RouteGrid {
-    /// Builds the grid for `design`, carving blockages at their positions in
-    /// `placement`.
+    /// Capacity value meaning "effectively unlimited" (used for via edges
+    /// of specs that give no via spacing). Finite so the corruption
+    /// canary and the ratio math stay well-defined.
+    pub const UNLIMITED_CAP: f64 = f64::MAX;
+
+    /// Builds the historical 2-D grid for `design`: the full layered grid
+    /// of [`RouteGrid::from_design_3d`] collapsed by
+    /// [`RouteGrid::project_2d`]. Per-layer blockage carving happens
+    /// *before* the projection, so blocked area is charged to the owning
+    /// layer and only then summed.
     ///
     /// Designs without a route spec get a default grid (tile = 2 rows,
-    /// 20 tracks/edge each direction) so congestion can still be estimated.
+    /// 20 tracks/edge each direction) so congestion can still be
+    /// estimated.
     pub fn from_design(design: &Design, placement: &Placement) -> Self {
+        Self::from_design_3d(design, placement).project_2d()
+    }
+
+    /// Builds the full layered grid for `design`: one planar block per
+    /// `.route` layer (direction from the nonzero capacity vector,
+    /// falling back to odd-horizontal parity), via edges between adjacent
+    /// layers (capacity from [`rdp_db::RouteSpec::via_capacity`],
+    /// [`RouteGrid::UNLIMITED_CAP`] when unconstrained), and blockages
+    /// carved from the layers each one names.
+    pub fn from_design_3d(design: &Design, placement: &Placement) -> Self {
         match design.route_spec() {
             Some(spec) => {
-                let mut grid = RouteGrid::uniform(
+                let nl = spec.num_layers.max(1);
+                let layers: Vec<(LayerDir, f64)> = (1..=nl)
+                    .map(|l| {
+                        let horizontal = spec.layer_horizontal(l).unwrap_or(l % 2 == 1);
+                        let (h, v) = spec.layer_capacity(l);
+                        if horizontal {
+                            (LayerDir::Horizontal, h)
+                        } else {
+                            (LayerDir::Vertical, v)
+                        }
+                    })
+                    .collect();
+                let via_caps: Vec<f64> = (1..nl)
+                    .map(|l| spec.via_capacity(l).unwrap_or(Self::UNLIMITED_CAP))
+                    .collect();
+                let mut grid = Self::build_layered(
                     spec.grid_x.max(1),
                     spec.grid_y.max(1),
                     Point::new(spec.origin.x, spec.origin.y),
                     spec.tile_width,
                     spec.tile_height,
-                    spec.total_horizontal_capacity(),
-                    spec.total_vertical_capacity(),
+                    &layers,
+                    &via_caps,
                 );
                 grid.carve_blockages(design, placement, spec);
                 grid
@@ -78,12 +158,21 @@ impl RouteGrid {
                 let tile = design.row_height().unwrap_or(10.0) * 2.0;
                 let nx = (die.width() / tile).ceil().max(1.0) as u32;
                 let ny = (die.height() / tile).ceil().max(1.0) as u32;
-                RouteGrid::uniform(nx, ny, Point::new(die.xl, die.yl), tile, tile, 20.0, 20.0)
+                Self::build_layered(
+                    nx,
+                    ny,
+                    Point::new(die.xl, die.yl),
+                    tile,
+                    tile,
+                    &[(LayerDir::Horizontal, 20.0), (LayerDir::Vertical, 20.0)],
+                    &[Self::UNLIMITED_CAP],
+                )
             }
         }
     }
 
-    /// Builds a uniform grid with the given per-edge capacities.
+    /// Builds a uniform projected (2-D) grid with the given per-edge
+    /// capacities: one horizontal layer, one vertical, no via storage.
     pub fn uniform(
         nx: u32,
         ny: u32,
@@ -93,20 +182,113 @@ impl RouteGrid {
         cap_h: f64,
         cap_v: f64,
     ) -> Self {
-        let n_h = Self::count_h(nx, ny);
-        let n_v = Self::count_v(nx, ny);
-        let mut cap = vec![cap_h; n_h];
-        cap.extend(std::iter::repeat_n(cap_v, n_v));
+        Self::build_layered(
+            nx,
+            ny,
+            origin,
+            tile_w,
+            tile_h,
+            &[(LayerDir::Horizontal, cap_h), (LayerDir::Vertical, cap_v)],
+            &[],
+        )
+    }
+
+    /// Builds a uniform layered grid: one planar block per `(dir, cap)`
+    /// entry of `layers` (in order), with every via level at `via_cap`
+    /// (`None` = [`RouteGrid::UNLIMITED_CAP`]).
+    pub fn uniform_layers(
+        nx: u32,
+        ny: u32,
+        origin: Point,
+        tile_w: f64,
+        tile_h: f64,
+        layers: &[(LayerDir, f64)],
+        via_cap: Option<f64>,
+    ) -> Self {
+        let via = via_cap.unwrap_or(Self::UNLIMITED_CAP);
+        let via_caps = vec![via; layers.len().saturating_sub(1)];
+        Self::build_layered(nx, ny, origin, tile_w, tile_h, layers, &via_caps)
+    }
+
+    /// Shared constructor: lays out the planar blocks in layer order,
+    /// then one via block per entry of `via_caps`.
+    fn build_layered(
+        nx: u32,
+        ny: u32,
+        origin: Point,
+        tile_w: f64,
+        tile_h: f64,
+        layers: &[(LayerDir, f64)],
+        via_caps: &[f64],
+    ) -> Self {
+        let mut infos = Vec::with_capacity(layers.len());
+        let mut cap: Vec<f64> = Vec::new();
+        let (mut sole_h, mut sole_v) = (NO_SOLE, NO_SOLE);
+        for (li, &(dir, c)) in layers.iter().enumerate() {
+            infos.push(LayerInfo { dir, offset: cap.len() as u32 });
+            let len = match dir {
+                LayerDir::Horizontal => {
+                    sole_h = if sole_h == NO_SOLE { li as u32 } else { NO_SOLE - 1 };
+                    Self::count_h(nx, ny)
+                }
+                LayerDir::Vertical => {
+                    sole_v = if sole_v == NO_SOLE { li as u32 } else { NO_SOLE - 1 };
+                    Self::count_v(nx, ny)
+                }
+            };
+            cap.extend(std::iter::repeat_n(c, len));
+        }
+        // A second layer in the same direction poisons the sole-layer
+        // slot with `NO_SOLE - 1`; normalize it back to the sentinel.
+        if sole_h == NO_SOLE - 1 {
+            sole_h = NO_SOLE;
+        }
+        if sole_v == NO_SOLE - 1 {
+            sole_v = NO_SOLE;
+        }
+        let n_planar = cap.len() as u32;
+        for &vc in via_caps {
+            cap.extend(std::iter::repeat_n(vc, (nx * ny) as usize));
+        }
         RouteGrid {
             nx,
             ny,
             origin,
             tile_w,
             tile_h,
+            layers: infos,
+            sole_h,
+            sole_v,
+            n_planar,
+            n_via_levels: via_caps.len() as u32,
             usage: vec![0.0; cap.len()],
             history: vec![0.0; cap.len()],
             cap,
         }
+    }
+
+    /// Collapses the grid to the historical 2-D form: per-direction sums
+    /// of capacity, usage and history into one horizontal and one
+    /// vertical layer, in layer order. Via state is dropped (a projected
+    /// grid has no vertical dimension to hang it on) — callers that need
+    /// via congestion read it off the layered grid first.
+    pub fn project_2d(&self) -> RouteGrid {
+        let mut g = RouteGrid::uniform(self.nx, self.ny, self.origin, self.tile_w, self.tile_h, 0.0, 0.0);
+        let n_h = Self::count_h(self.nx, self.ny);
+        let n_v = Self::count_v(self.nx, self.ny);
+        for info in &self.layers {
+            let (dst0, len) = match info.dir {
+                LayerDir::Horizontal => (0, n_h),
+                LayerDir::Vertical => (n_h, n_v),
+            };
+            let src0 = info.offset as usize;
+            for k in 0..len {
+                g.cap[dst0 + k] += self.cap[src0 + k];
+                g.usage[dst0 + k] += self.usage[src0 + k];
+                g.history[dst0 + k] += self.history[src0 + k];
+            }
+        }
+        g
     }
 
     #[inline]
@@ -131,10 +313,50 @@ impl RouteGrid {
         self.ny
     }
 
-    /// Number of edges (horizontal + vertical).
+    /// Number of metal layers.
+    #[inline]
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Preferred direction of layer `l` (0-based grid layer).
+    #[inline]
+    pub fn layer_dir(&self, l: usize) -> LayerDir {
+        self.layers[l].dir
+    }
+
+    /// Number of adjacent-layer pairs carrying via edges (0 on projected
+    /// grids).
+    #[inline]
+    pub fn num_via_levels(&self) -> usize {
+        self.n_via_levels as usize
+    }
+
+    /// Whether the grid stores via edges (layered grids only).
+    #[inline]
+    pub fn has_vias(&self) -> bool {
+        self.n_via_levels > 0
+    }
+
+    /// Whether exactly one layer carries each direction. On such a grid
+    /// the layer assignment of any planar route is forced, so 2-D and
+    /// layered routing coincide; [`RouteGrid::h_edge`] /
+    /// [`RouteGrid::v_edge`] are only meaningful here.
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.sole_h != NO_SOLE && self.sole_v != NO_SOLE
+    }
+
+    /// Number of edges, planar **and** via.
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.cap.len()
+    }
+
+    /// Number of planar edges (the via blocks start at this id).
+    #[inline]
+    pub fn num_planar_edges(&self) -> usize {
+        self.n_planar as usize
     }
 
     /// Number of gcells (`nx · ny`).
@@ -181,31 +403,78 @@ impl RouteGrid {
         Rect::new(xl, yl, xl + self.tile_w, yl + self.tile_h)
     }
 
-    /// Id of the horizontal edge from `(x, y)` to `(x+1, y)`.
+    /// Id of the horizontal edge from `(x, y)` to `(x+1, y)` on the
+    /// unique horizontal layer.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) if out of range.
+    /// Panics (in debug builds) if out of range or if several layers
+    /// carry horizontal wires (use [`RouteGrid::h_edge_on`] then).
     #[inline]
     pub fn h_edge(&self, x: u32, y: u32) -> EdgeId {
-        debug_assert!(x + 1 < self.nx && y < self.ny);
-        EdgeId(y * (self.nx - 1) + x)
+        debug_assert!(self.sole_h != NO_SOLE, "no unique horizontal layer");
+        self.h_edge_on(self.sole_h as usize, x, y)
     }
 
-    /// Id of the vertical edge from `(x, y)` to `(x, y+1)`.
+    /// Id of the vertical edge from `(x, y)` to `(x, y+1)` on the unique
+    /// vertical layer.
     #[inline]
     pub fn v_edge(&self, x: u32, y: u32) -> EdgeId {
-        debug_assert!(x < self.nx && y + 1 < self.ny);
-        EdgeId(Self::count_h(self.nx, self.ny) as u32 + y * self.nx + x)
+        debug_assert!(self.sole_v != NO_SOLE, "no unique vertical layer");
+        self.v_edge_on(self.sole_v as usize, x, y)
     }
 
-    /// Whether `e` is a horizontal edge.
+    /// Id of the horizontal edge from `(x, y)` to `(x+1, y)` on layer `l`
+    /// (0-based grid layer; must be a horizontal layer).
+    #[inline]
+    pub fn h_edge_on(&self, l: usize, x: u32, y: u32) -> EdgeId {
+        debug_assert!(x + 1 < self.nx && y < self.ny);
+        debug_assert!(self.layers[l].dir == LayerDir::Horizontal);
+        EdgeId(self.layers[l].offset + y * (self.nx - 1) + x)
+    }
+
+    /// Id of the vertical edge from `(x, y)` to `(x, y+1)` on layer `l`
+    /// (0-based grid layer; must be a vertical layer).
+    #[inline]
+    pub fn v_edge_on(&self, l: usize, x: u32, y: u32) -> EdgeId {
+        debug_assert!(x < self.nx && y + 1 < self.ny);
+        debug_assert!(self.layers[l].dir == LayerDir::Vertical);
+        EdgeId(self.layers[l].offset + y * self.nx + x)
+    }
+
+    /// Id of the via edge at `(x, y)` between layers `level` and
+    /// `level + 1` (0-based grid layers).
+    #[inline]
+    pub fn via_edge(&self, x: u32, y: u32, level: usize) -> EdgeId {
+        debug_assert!(x < self.nx && y < self.ny && level < self.n_via_levels as usize);
+        EdgeId(self.n_planar + (level as u32) * self.nx * self.ny + y * self.nx + x)
+    }
+
+    /// Whether `e` is a planar edge on a horizontal layer (false for
+    /// vertical and via edges).
     #[inline]
     pub fn is_horizontal(&self, e: EdgeId) -> bool {
-        (e.0 as usize) < Self::count_h(self.nx, self.ny)
+        if self.is_via(e) {
+            return false;
+        }
+        // Layers are few (2–9): a backward scan over the offsets finds
+        // the owning block.
+        for info in self.layers.iter().rev() {
+            if e.0 >= info.offset {
+                return info.dir == LayerDir::Horizontal;
+            }
+        }
+        false
     }
 
-    /// The edge between two adjacent gcells; `None` if not adjacent.
+    /// Whether `e` is a via edge.
+    #[inline]
+    pub fn is_via(&self, e: EdgeId) -> bool {
+        e.0 >= self.n_planar
+    }
+
+    /// The edge between two adjacent gcells on the unique layer carrying
+    /// the needed direction; `None` if not adjacent.
     pub fn edge_between(&self, a: GCell, b: GCell) -> Option<EdgeId> {
         if a.y == b.y && a.x.abs_diff(b.x) == 1 {
             Some(self.h_edge(a.x.min(b.x), a.y))
@@ -273,9 +542,25 @@ impl RouteGrid {
         (self.usage(e) - self.capacity(e)).max(0.0)
     }
 
-    /// Iterator over all edge ids.
+    /// Iterator over the planar edge ids (every layer's directional
+    /// edges; via edges are excluded — see [`RouteGrid::via_edge_ids`]).
     pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
-        (0..self.cap.len() as u32).map(EdgeId)
+        (0..self.n_planar).map(EdgeId)
+    }
+
+    /// Iterator over the planar edge ids of layer `l` (0-based).
+    pub fn layer_edge_ids(&self, l: usize) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        let info = self.layers[l];
+        let len = match info.dir {
+            LayerDir::Horizontal => Self::count_h(self.nx, self.ny),
+            LayerDir::Vertical => Self::count_v(self.nx, self.ny),
+        } as u32;
+        (info.offset..info.offset + len).map(EdgeId)
+    }
+
+    /// Iterator over the via edge ids (empty on projected grids).
+    pub fn via_edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (self.n_planar..self.cap.len() as u32).map(EdgeId)
     }
 
     /// Resets all usage (not history) to zero.
@@ -296,76 +581,90 @@ impl RouteGrid {
             .count()
     }
 
-    /// Maximum congestion ratio of the edges incident to gcell `g` — the
-    /// per-gcell congestion used for heatmaps and cell inflation.
+    /// Maximum congestion ratio of the planar edges incident to gcell `g`
+    /// over all layers — the per-gcell congestion used for heatmaps and
+    /// cell inflation.
     pub fn gcell_congestion(&self, g: GCell) -> f64 {
         let mut m: f64 = 0.0;
-        if g.x > 0 {
-            m = m.max(self.ratio(self.h_edge(g.x - 1, g.y)));
-        }
-        if g.x + 1 < self.nx {
-            m = m.max(self.ratio(self.h_edge(g.x, g.y)));
-        }
-        if g.y > 0 {
-            m = m.max(self.ratio(self.v_edge(g.x, g.y - 1)));
-        }
-        if g.y + 1 < self.ny {
-            m = m.max(self.ratio(self.v_edge(g.x, g.y)));
+        for (li, info) in self.layers.iter().enumerate() {
+            match info.dir {
+                LayerDir::Horizontal => {
+                    if g.x > 0 {
+                        m = m.max(self.ratio(self.h_edge_on(li, g.x - 1, g.y)));
+                    }
+                    if g.x + 1 < self.nx {
+                        m = m.max(self.ratio(self.h_edge_on(li, g.x, g.y)));
+                    }
+                }
+                LayerDir::Vertical => {
+                    if g.y > 0 {
+                        m = m.max(self.ratio(self.v_edge_on(li, g.x, g.y - 1)));
+                    }
+                    if g.y + 1 < self.ny {
+                        m = m.max(self.ratio(self.v_edge_on(li, g.x, g.y)));
+                    }
+                }
+            }
         }
         m
     }
 
+    /// Per-layer blockage carving: each [`LayerBlockage`](rdp_db::LayerBlockage)
+    /// removes capacity only from the layers it names, proportional to
+    /// the blocked gcell area times `1 − porosity`.
     fn carve_blockages(&mut self, design: &Design, placement: &Placement, spec: &rdp_db::RouteSpec) {
-        let total_h = spec.total_horizontal_capacity();
-        let total_v = spec.total_vertical_capacity();
         let porosity = spec.blockage_porosity.clamp(0.0, 1.0);
-        // Per-gcell blocked fraction, per direction.
         let n_cells = (self.nx * self.ny) as usize;
-        let mut blocked_h = vec![0.0f64; n_cells];
-        let mut blocked_v = vec![0.0f64; n_cells];
+        let nl = self.layers.len();
+        // Per-layer, per-gcell blocked fraction.
+        let mut blocked = vec![0.0f64; nl * n_cells];
         for b in &spec.blockages {
-            let share_h: f64 = b
-                .layers
-                .iter()
-                .filter_map(|&l| spec.horizontal_capacity.get((l - 1) as usize))
-                .sum::<f64>()
-                / total_h.max(1e-12);
-            let share_v: f64 = b
-                .layers
-                .iter()
-                .filter_map(|&l| spec.vertical_capacity.get((l - 1) as usize))
-                .sum::<f64>()
-                / total_v.max(1e-12);
             let r = placement.rect(design, b.node);
             let g0 = self.gcell_of(Point::new(r.xl, r.yl));
             let g1 = self.gcell_of(Point::new(r.xh - 1e-9, r.yh - 1e-9));
-            for gy in g0.y..=g1.y {
-                for gx in g0.x..=g1.x {
-                    let cell = GCell::new(gx, gy);
-                    let frac = self.rect_of(cell).overlap_area(r) / (self.tile_w * self.tile_h);
-                    let idx = (gy * self.nx + gx) as usize;
-                    blocked_h[idx] = (blocked_h[idx] + frac * share_h * (1.0 - porosity)).min(1.0);
-                    blocked_v[idx] = (blocked_v[idx] + frac * share_v * (1.0 - porosity)).min(1.0);
+            for &layer in &b.layers {
+                let Some(li) = layer.checked_sub(1).map(|l| l as usize).filter(|&l| l < nl)
+                else {
+                    continue;
+                };
+                for gy in g0.y..=g1.y {
+                    for gx in g0.x..=g1.x {
+                        let cell = GCell::new(gx, gy);
+                        let frac =
+                            self.rect_of(cell).overlap_area(r) / (self.tile_w * self.tile_h);
+                        let slot = &mut blocked[li * n_cells + (gy * self.nx + gx) as usize];
+                        *slot = (*slot + frac * (1.0 - porosity)).min(1.0);
+                    }
                 }
             }
         }
-        // Scale each edge by the mean blocked fraction of its two endpoints.
-        for y in 0..self.ny {
-            for x in 0..self.nx.saturating_sub(1) {
-                let e = self.h_edge(x, y);
-                let f = 0.5
-                    * (blocked_h[(y * self.nx + x) as usize]
-                        + blocked_h[(y * self.nx + x + 1) as usize]);
-                self.cap[e.0 as usize] *= 1.0 - f;
-            }
-        }
-        for y in 0..self.ny.saturating_sub(1) {
-            for x in 0..self.nx {
-                let e = self.v_edge(x, y);
-                let f = 0.5
-                    * (blocked_v[(y * self.nx + x) as usize]
-                        + blocked_v[((y + 1) * self.nx + x) as usize]);
-                self.cap[e.0 as usize] *= 1.0 - f;
+        // Scale each planar edge by the mean blocked fraction of its two
+        // endpoints on its own layer.
+        for (li, info) in self.layers.iter().enumerate() {
+            let b = &blocked[li * n_cells..(li + 1) * n_cells];
+            match info.dir {
+                LayerDir::Horizontal => {
+                    for y in 0..self.ny {
+                        for x in 0..self.nx.saturating_sub(1) {
+                            let e = info.offset + y * (self.nx - 1) + x;
+                            let f = 0.5
+                                * (b[(y * self.nx + x) as usize]
+                                    + b[(y * self.nx + x + 1) as usize]);
+                            self.cap[e as usize] *= 1.0 - f;
+                        }
+                    }
+                }
+                LayerDir::Vertical => {
+                    for y in 0..self.ny.saturating_sub(1) {
+                        for x in 0..self.nx {
+                            let e = info.offset + y * self.nx + x;
+                            let f = 0.5
+                                * (b[(y * self.nx + x) as usize]
+                                    + b[((y + 1) * self.nx + x) as usize]);
+                            self.cap[e as usize] *= 1.0 - f;
+                        }
+                    }
+                }
             }
         }
     }
@@ -379,15 +678,123 @@ mod tests {
         RouteGrid::uniform(4, 3, Point::ORIGIN, 10.0, 10.0, 8.0, 6.0)
     }
 
+    fn grid3() -> RouteGrid {
+        RouteGrid::uniform_layers(
+            4,
+            3,
+            Point::ORIGIN,
+            10.0,
+            10.0,
+            &[
+                (LayerDir::Horizontal, 5.0),
+                (LayerDir::Vertical, 4.0),
+                (LayerDir::Horizontal, 3.0),
+                (LayerDir::Vertical, 2.0),
+            ],
+            Some(7.0),
+        )
+    }
+
     #[test]
     fn edge_counts() {
         let g = grid();
-        // 3*3 horizontal + 4*2 vertical.
+        // 3*3 horizontal + 4*2 vertical; a uniform grid stores no vias.
         assert_eq!(g.num_edges(), 9 + 8);
+        assert_eq!(g.num_planar_edges(), 9 + 8);
+        assert!(!g.has_vias());
+        assert!(g.is_degenerate());
         assert!(g.is_horizontal(g.h_edge(0, 0)));
         assert!(!g.is_horizontal(g.v_edge(0, 0)));
         assert_eq!(g.capacity(g.h_edge(2, 2)), 8.0);
         assert_eq!(g.capacity(g.v_edge(3, 1)), 6.0);
+    }
+
+    #[test]
+    fn layered_edge_counts_and_blocks() {
+        let g = grid3();
+        // Two H blocks (9 each), two V blocks (8 each), 3 via levels of 12.
+        assert_eq!(g.num_planar_edges(), 2 * 9 + 2 * 8);
+        assert_eq!(g.num_edges(), 34 + 3 * 12);
+        assert_eq!(g.num_layers(), 4);
+        assert_eq!(g.num_via_levels(), 3);
+        assert!(g.has_vias());
+        assert!(!g.is_degenerate(), "two layers per direction");
+        assert_eq!(g.capacity(g.h_edge_on(0, 0, 0)), 5.0);
+        assert_eq!(g.capacity(g.v_edge_on(1, 0, 0)), 4.0);
+        assert_eq!(g.capacity(g.h_edge_on(2, 1, 1)), 3.0);
+        assert_eq!(g.capacity(g.v_edge_on(3, 3, 1)), 2.0);
+        assert_eq!(g.capacity(g.via_edge(0, 0, 0)), 7.0);
+        assert!(g.is_via(g.via_edge(3, 2, 2)));
+        assert!(!g.is_via(g.h_edge_on(2, 0, 0)));
+        assert!(g.is_horizontal(g.h_edge_on(2, 0, 0)));
+        assert!(!g.is_horizontal(g.via_edge(1, 1, 1)));
+        // Planar iterator excludes vias; layer iterators tile the planar
+        // space without overlap.
+        assert_eq!(g.edge_ids().len(), g.num_planar_edges());
+        let by_layer: usize = (0..4).map(|l| g.layer_edge_ids(l).len()).sum();
+        assert_eq!(by_layer, g.num_planar_edges());
+        assert_eq!(g.via_edge_ids().len(), 3 * 12);
+    }
+
+    #[test]
+    fn degenerate_layered_grid_matches_uniform_ids() {
+        // One carrying layer per direction laid out H-then-V must
+        // reproduce the historical 2-D edge ids exactly.
+        let g2 = grid();
+        let g3 = RouteGrid::uniform_layers(
+            4,
+            3,
+            Point::ORIGIN,
+            10.0,
+            10.0,
+            &[(LayerDir::Horizontal, 8.0), (LayerDir::Vertical, 6.0)],
+            None,
+        );
+        assert!(g3.is_degenerate());
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(g2.h_edge(x, y), g3.h_edge(x, y));
+            }
+        }
+        for y in 0..2 {
+            for x in 0..4 {
+                assert_eq!(g2.v_edge(x, y), g3.v_edge(x, y));
+            }
+        }
+        // The default via capacity is unlimited but still finite.
+        assert_eq!(g3.capacity(g3.via_edge(0, 0, 0)), RouteGrid::UNLIMITED_CAP);
+        assert_eq!(g3.non_finite_edges(), 0);
+    }
+
+    #[test]
+    fn projection_sums_layers_and_drops_vias() {
+        let mut g = grid3();
+        g.add_usage(g.h_edge_on(0, 1, 1), 2.0);
+        g.add_usage(g.h_edge_on(2, 1, 1), 3.0);
+        g.add_history(g.v_edge_on(1, 0, 0), 1.5);
+        g.add_history(g.v_edge_on(3, 0, 0), 0.5);
+        g.add_usage(g.via_edge(0, 0, 0), 9.0);
+        let p = g.project_2d();
+        assert!(p.is_degenerate());
+        assert!(!p.has_vias());
+        assert_eq!(p.num_edges(), 9 + 8);
+        assert_eq!(p.capacity(p.h_edge(0, 0)), 5.0 + 3.0);
+        assert_eq!(p.capacity(p.v_edge(0, 0)), 4.0 + 2.0);
+        assert_eq!(p.usage(p.h_edge(1, 1)), 5.0);
+        assert_eq!(p.history(p.v_edge(0, 0)), 2.0);
+        let planar_usage: f64 = p.edge_ids().map(|e| p.usage(e)).sum();
+        assert_eq!(planar_usage, 5.0, "via usage is dropped by projection");
+    }
+
+    #[test]
+    fn projection_of_projected_grid_is_identity() {
+        let mut g = grid();
+        g.add_usage(g.h_edge(0, 0), 3.0);
+        let p = g.project_2d();
+        for (a, b) in g.edge_ids().zip(p.edge_ids()) {
+            assert_eq!(g.capacity(a).to_bits(), p.capacity(b).to_bits());
+            assert_eq!(g.usage(a).to_bits(), p.usage(b).to_bits());
+        }
     }
 
     #[test]
@@ -446,11 +853,39 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_via_capacity_never_overflows() {
+        let mut g = grid3();
+        let g2 = RouteGrid::uniform_layers(
+            4,
+            3,
+            Point::ORIGIN,
+            10.0,
+            10.0,
+            &[(LayerDir::Horizontal, 1.0), (LayerDir::Vertical, 1.0)],
+            None,
+        );
+        let e = g2.via_edge(1, 1, 0);
+        assert_eq!(g2.overflow(e), 0.0);
+        // A capacitated via level does overflow.
+        let v = g.via_edge(1, 1, 0);
+        g.add_usage(v, 10.0);
+        assert!((g.overflow(v) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn gcell_congestion_takes_incident_max() {
         let mut g = grid();
         let c = GCell::new(1, 1);
         g.add_usage(g.h_edge(0, 1), 16.0); // ratio 2.0 on the left edge
         g.add_usage(g.v_edge(1, 1), 3.0); // ratio 0.5 above
+        assert!((g.gcell_congestion(c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gcell_congestion_spans_layers() {
+        let mut g = grid3();
+        let c = GCell::new(1, 1);
+        g.add_usage(g.h_edge_on(2, 0, 1), 6.0); // ratio 2.0 on layer 2's left edge
         assert!((g.gcell_congestion(c) - 2.0).abs() < 1e-12);
     }
 
@@ -482,5 +917,41 @@ mod tests {
             carved_total < virgin_total,
             "blockages must remove capacity: {carved_total} vs {virgin_total}"
         );
+    }
+
+    #[test]
+    fn carving_touches_only_the_blocked_layers() {
+        use rdp_gen::{generate, GeneratorConfig};
+        let mut cfg = GeneratorConfig::tiny("carve3", 4);
+        cfg.num_fixed = 2;
+        let bench = generate(&cfg).unwrap();
+        let spec = bench.design.route_spec().unwrap().clone();
+        let g = RouteGrid::from_design_3d(&bench.design, &bench.placement);
+        let blocked: std::collections::HashSet<u32> = spec
+            .blockages
+            .iter()
+            .flat_map(|b| b.layers.iter().copied())
+            .collect();
+        assert!(!blocked.is_empty());
+        let mut carved_any = false;
+        for l in 0..g.num_layers() {
+            let full = match g.layer_dir(l) {
+                LayerDir::Horizontal => spec.horizontal_capacity[l],
+                LayerDir::Vertical => spec.vertical_capacity[l],
+            };
+            let reduced = g
+                .layer_edge_ids(l)
+                .any(|e| g.capacity(e) < full - 1e-12);
+            if blocked.contains(&(l as u32 + 1)) {
+                carved_any |= reduced;
+            } else {
+                assert!(
+                    !reduced,
+                    "layer {} has no blockage but lost capacity",
+                    l + 1
+                );
+            }
+        }
+        assert!(carved_any, "blocked layers must lose capacity somewhere");
     }
 }

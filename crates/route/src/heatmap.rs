@@ -1,7 +1,11 @@
 //! Congestion heatmaps — the data behind the paper's congestion-map
 //! figures (experiment **F1**).
+//!
+//! The combined maps ([`gcell_map`], [`to_csv`], [`to_ascii`]) fold every
+//! layer into one picture; the `*_layer` variants slice a single metal
+//! layer out of a layered grid.
 
-use crate::grid::{GCell, RouteGrid};
+use crate::grid::{GCell, LayerDir, RouteGrid};
 use std::fmt::Write as _;
 
 /// Per-gcell congestion (max incident edge ratio), row-major from the
@@ -31,7 +35,58 @@ pub fn to_csv(grid: &RouteGrid) -> String {
 /// Renders an ASCII-art heatmap; each gcell becomes one character
 /// (`.` < 50%, `-` < 80%, `o` < 100%, `x` < 150%, `X` ≥ 150%).
 pub fn to_ascii(grid: &RouteGrid) -> String {
-    let map = gcell_map(grid);
+    ascii_of(&gcell_map(grid))
+}
+
+/// Per-gcell congestion of metal layer `l` alone (max ratio of the
+/// gcell's incident edges *on that layer*), row-major from the
+/// bottom-left gcell. A horizontal layer contributes its left/right
+/// edges, a vertical layer its down/up edges; via edges are not part of
+/// any layer slice.
+///
+/// # Panics
+///
+/// Panics if `l` is out of range.
+pub fn layer_map(grid: &RouteGrid, l: usize) -> Vec<Vec<f64>> {
+    assert!(l < grid.num_layers(), "layer {l} out of range");
+    let horizontal = grid.layer_dir(l) == LayerDir::Horizontal;
+    (0..grid.ny())
+        .map(|y| {
+            (0..grid.nx())
+                .map(|x| {
+                    let mut worst = 0.0f64;
+                    if horizontal {
+                        if x > 0 {
+                            worst = worst.max(grid.ratio(grid.h_edge_on(l, x - 1, y)));
+                        }
+                        if x + 1 < grid.nx() {
+                            worst = worst.max(grid.ratio(grid.h_edge_on(l, x, y)));
+                        }
+                    } else {
+                        if y > 0 {
+                            worst = worst.max(grid.ratio(grid.v_edge_on(l, x, y - 1)));
+                        }
+                        if y + 1 < grid.ny() {
+                            worst = worst.max(grid.ratio(grid.v_edge_on(l, x, y)));
+                        }
+                    }
+                    worst
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// [`to_ascii`] restricted to metal layer `l` (see [`layer_map`]).
+///
+/// # Panics
+///
+/// Panics if `l` is out of range.
+pub fn to_ascii_layer(grid: &RouteGrid, l: usize) -> String {
+    ascii_of(&layer_map(grid, l))
+}
+
+fn ascii_of(map: &[Vec<f64>]) -> String {
     let mut out = String::new();
     for row in map.iter().rev() {
         for &v in row {
@@ -84,5 +139,37 @@ mod tests {
         assert!(art.contains('X'), "2.0 ratio renders as X");
         assert!(art.contains('o'), "0.9 ratio renders as o");
         assert!(art.contains('.'), "cold cells render as .");
+    }
+
+    #[test]
+    fn layer_map_slices_one_layer() {
+        use crate::grid::LayerDir;
+        let mut g = RouteGrid::uniform_layers(
+            4,
+            3,
+            Point::ORIGIN,
+            1.0,
+            1.0,
+            &[
+                (LayerDir::Horizontal, 10.0),
+                (LayerDir::Vertical, 10.0),
+                (LayerDir::Horizontal, 10.0),
+            ],
+            None,
+        );
+        g.add_usage(g.h_edge_on(0, 0, 0), 20.0); // layer 1 hot
+        g.add_usage(g.h_edge_on(2, 1, 2), 9.0); // layer 3 warm elsewhere
+        let m1 = layer_map(&g, 0);
+        let m3 = layer_map(&g, 2);
+        assert!((m1[0][0] - 2.0).abs() < 1e-12);
+        assert_eq!(m3[0][0], 0.0, "layer 3 does not see layer 1 usage");
+        assert!((m3[2][1] - 0.9).abs() < 1e-12);
+        // The combined map folds both layers.
+        let all = gcell_map(&g);
+        assert!((all[0][0] - 2.0).abs() < 1e-12);
+        assert!((all[2][1] - 0.9).abs() < 1e-12);
+        let art = to_ascii_layer(&g, 0);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('X'));
     }
 }

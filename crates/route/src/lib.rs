@@ -5,8 +5,10 @@
 //! router and measuring edge congestion; this crate reimplements that
 //! oracle:
 //!
-//! * [`RouteGrid`] — the gcell grid with per-direction edge capacities,
-//!   carved down under routing blockages;
+//! * [`RouteGrid`] — the layered gcell grid: per-layer directional edge
+//!   capacities plus via edges, carved down under per-layer routing
+//!   blockages, with a 2-D projection ([`RouteGrid::project_2d`]) for
+//!   consumers that want the collapsed view;
 //! * [`topology`] — multi-pin nets decomposed into two-pin segments via a
 //!   rectilinear minimum spanning tree;
 //! * [`pattern`] — fast L-shape pattern routing (also the *probabilistic*
@@ -40,11 +42,13 @@ pub mod pattern;
 mod router;
 pub mod topology;
 
-pub use grid::{EdgeId, GCell, RouteGrid};
+pub use grid::{EdgeId, GCell, LayerDir, RouteGrid};
 pub use maze::MazeScratch;
-pub use metrics::{CongestionMetrics, ACE_LEVELS};
+pub use metrics::{CongestionMetrics, LayerMetrics, ACE_LEVELS};
 pub use pattern::EdgeCosts;
-pub use router::{GlobalRouter, RoutedSegment, RouterConfig, RoutingOutcome};
+pub use router::{
+    GlobalRouter, LayerMode, RoutedSegment, RouterConfig, RouterConfigBuilder, RoutingOutcome,
+};
 
 /// Routes `design`/`placement` with default settings and returns only the
 /// congestion metrics — the common one-liner for scoring.

@@ -87,13 +87,48 @@ impl PartialOrd for HeapEntry {
 /// Sentinel parent index meaning "no parent recorded".
 const NO_PARENT: u32 = u32::MAX;
 
-/// Reusable A\* working memory: epoch-stamped per-cell labels plus the
-/// open-list heap.
+#[derive(Debug)]
+struct HeapEntry3 {
+    f: f64,
+    g: f64,
+    /// Flat 3-D state index `(layer·ny + y)·nx + x`.
+    idx: u32,
+}
+
+impl PartialEq for HeapEntry3 {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry3 {}
+
+impl Ord for HeapEntry3 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Same discipline as [`HeapEntry`]: min-f, then deeper g, then the
+        // smaller state index, so pop order is fully deterministic.
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| self.g.total_cmp(&other.g))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for HeapEntry3 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Reusable A\* working memory: epoch-stamped per-state labels plus the
+/// open-list heaps (one for 2-D searches, one for 3-D).
 ///
 /// `begin` bumps the epoch instead of clearing, so repeated searches on
 /// the same grid cost no allocation and no O(grid) memset. A worker thread
 /// holds one scratch for all the segments it reroutes (see
-/// [`rdp_geom::parallel::chunked_map_with`]).
+/// [`rdp_geom::parallel::chunked_map_with`]); 2-D and 3-D searches can
+/// share it freely.
 #[derive(Debug, Default)]
 pub struct MazeScratch {
     best_g: Vec<f64>,
@@ -101,6 +136,7 @@ pub struct MazeScratch {
     stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<HeapEntry>,
+    heap3: BinaryHeap<HeapEntry3>,
 }
 
 impl MazeScratch {
@@ -115,10 +151,14 @@ impl MazeScratch {
         if self.stamp.len() < cells {
             self.best_g.resize(cells, f64::INFINITY);
             self.parent.resize(cells, NO_PARENT);
+            // New entries get stamp 0, which is always stale (the epoch
+            // is ≥ 1 after the increment below). The epoch itself must
+            // NOT reset here: existing entries still carry old stamps,
+            // and restarting from 1 would make them look current.
             self.stamp.resize(cells, 0);
-            self.epoch = 0;
         }
         self.heap.clear();
+        self.heap3.clear();
         if self.epoch == u32::MAX {
             // Epoch wraparound: hard-reset the stamps once every 2³² uses.
             self.stamp.iter_mut().for_each(|s| *s = 0);
@@ -334,6 +374,176 @@ pub fn route_maze(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) 
     route_maze_windowed(grid, &costs, from, to, None, &mut scratch)
 }
 
+/// Canonical A\* over the layered grid, restricted to `win × all layers`.
+/// States are `(layer, x, y)` with flat index `(layer·ny + y)·nx + x`;
+/// both endpoints sit at layer 0, where pins land. Labels are left in
+/// `scratch` for [`reconstruct3`].
+fn search3(
+    grid: &RouteGrid,
+    costs: &EdgeCosts,
+    from: GCell,
+    to: GCell,
+    win: Window,
+    scratch: &mut MazeScratch,
+) -> f64 {
+    debug_assert!(grid.has_vias(), "search3 needs via edges to change layers");
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let nl = grid.num_layers() as u32;
+    let n_via = grid.num_via_levels() as u32;
+    scratch.begin((nl * nx * ny) as usize);
+    // Admissible and consistent: every remaining path needs at least the
+    // 2-D Manhattan distance in planar edges (each ≥ min_cost) plus
+    // `layer` via edges to get back down to layer 0 (each ≥ min_via_cost).
+    let (h_planar, h_via) = (costs.min_cost(), costs.min_via_cost());
+    let h = |l: u32, x: u32, y: u32| {
+        f64::from(x.abs_diff(to.x) + y.abs_diff(to.y)) * h_planar + f64::from(l) * h_via
+    };
+    let idx = |l: u32, x: u32, y: u32| ((l * ny + y) * nx + x) as usize;
+    let from_i = idx(0, from.x, from.y);
+    let to_i = idx(0, to.x, to.y);
+    scratch.set(from_i, 0.0, NO_PARENT);
+    scratch.heap3.push(HeapEntry3 { f: h(0, from.x, from.y), g: 0.0, idx: from_i as u32 });
+
+    let mut target_g = f64::INFINITY;
+    while let Some(HeapEntry3 { f, g, idx: ci }) = scratch.heap3.pop() {
+        if f > target_g {
+            break;
+        }
+        let ci = ci as usize;
+        if g > scratch.g(ci) {
+            continue; // stale entry
+        }
+        if ci == to_i {
+            target_g = g;
+            continue;
+        }
+        let (l, rem) = (ci as u32 / (nx * ny), ci as u32 % (nx * ny));
+        let (y, x) = (rem / nx, rem % nx);
+        let relax = |ni: usize, e: EdgeId, nh: f64, scratch: &mut MazeScratch| {
+            let ng = g + costs.cost(e);
+            let cur = scratch.g(ni);
+            if ng < cur {
+                scratch.set(ni, ng, ci as u32);
+                scratch.heap3.push(HeapEntry3 { f: ng + nh, g: ng, idx: ni as u32 });
+            } else if ng == cur && (ci as u32) < scratch.parent_of(ni) {
+                scratch.set(ni, ng, ci as u32);
+            }
+        };
+        match grid.layer_dir(l as usize) {
+            crate::grid::LayerDir::Horizontal => {
+                if x > win.x0 {
+                    relax(idx(l, x - 1, y), grid.h_edge_on(l as usize, x - 1, y), h(l, x - 1, y), scratch);
+                }
+                if x < win.x1 {
+                    relax(idx(l, x + 1, y), grid.h_edge_on(l as usize, x, y), h(l, x + 1, y), scratch);
+                }
+            }
+            crate::grid::LayerDir::Vertical => {
+                if y > win.y0 {
+                    relax(idx(l, x, y - 1), grid.v_edge_on(l as usize, x, y - 1), h(l, x, y - 1), scratch);
+                }
+                if y < win.y1 {
+                    relax(idx(l, x, y + 1), grid.v_edge_on(l as usize, x, y), h(l, x, y + 1), scratch);
+                }
+            }
+        }
+        if l > 0 {
+            relax(idx(l - 1, x, y), grid.via_edge(x, y, (l - 1) as usize), h(l - 1, x, y), scratch);
+        }
+        if l < n_via {
+            relax(idx(l + 1, x, y), grid.via_edge(x, y, l as usize), h(l + 1, x, y), scratch);
+        }
+    }
+    target_g
+}
+
+/// Walks the 3-D parent chain from `(0, to)` back to `(0, from)`,
+/// returning the path's edges (planar and via) in forward order.
+fn reconstruct3(grid: &RouteGrid, from: GCell, to: GCell, scratch: &MazeScratch) -> Vec<EdgeId> {
+    let (nx, ny) = (grid.nx(), grid.ny());
+    let idx = |l: u32, x: u32, y: u32| ((l * ny + y) * nx + x) as usize;
+    let decode = |i: u32| {
+        let (l, rem) = (i / (nx * ny), i % (nx * ny));
+        (l, rem % nx, rem / nx)
+    };
+    let mut edges = Vec::new();
+    let from_i = idx(0, from.x, from.y);
+    let mut cur = idx(0, to.x, to.y);
+    while cur != from_i {
+        let p = scratch.parent_of(cur);
+        debug_assert_ne!(p, NO_PARENT, "reconstruct3 called on an unreached target");
+        if p == NO_PARENT {
+            return Vec::new();
+        }
+        let (cl, cx, cy) = decode(cur as u32);
+        let (pl, px, py) = decode(p);
+        let e = if cl != pl {
+            grid.via_edge(cx, cy, cl.min(pl) as usize)
+        } else if cx != px {
+            grid.h_edge_on(cl as usize, cx.min(px), cy)
+        } else {
+            grid.v_edge_on(cl as usize, cx, cy.min(py))
+        };
+        edges.push(e);
+        cur = p as usize;
+    }
+    edges.reverse();
+    edges
+}
+
+/// Layered counterpart of [`route_maze_windowed`]: cheapest path between
+/// two layer-0 endpoints through the full 3-D grid (planar edges on their
+/// layers, via edges between), searching inside `bbox + margin` × the
+/// whole layer range.
+///
+/// The same window-escape certificate applies unchanged: any path leaving
+/// the planar window must spend at least `2·(margin+1)` extra planar
+/// edges at ≥ `min_cost` each — via edges only ever *add* cost — so a
+/// windowed path strictly under the bound is provably globally optimal,
+/// and the canonical tie-break makes the result independent of the window
+/// and the thread count.
+pub fn route_maze3_windowed(
+    grid: &RouteGrid,
+    costs: &EdgeCosts,
+    from: GCell,
+    to: GCell,
+    margin: Option<u32>,
+    scratch: &mut MazeScratch,
+) -> Vec<EdgeId> {
+    if from == to {
+        return Vec::new();
+    }
+    let full = Window::full(grid);
+    let d = f64::from(from.manhattan(to));
+    let mut margin = margin;
+    loop {
+        let win = match margin {
+            Some(m) => Window::around(grid, from, to, m),
+            None => full,
+        };
+        let cost = search3(grid, costs, from, to, win, scratch);
+        let accepted = win == full || {
+            let m = f64::from(margin.unwrap_or(0));
+            cost < costs.min_cost() * (d + 2.0 * (m + 1.0)) * CERTIFICATE_SLACK
+        };
+        if accepted {
+            return reconstruct3(grid, from, to, scratch);
+        }
+        margin = margin.map(|m| m.saturating_mul(2).max(1));
+    }
+}
+
+/// One-off layered maze query under the live grid costs (whole grid, own
+/// scratch) — the 3-D analogue of [`route_maze`].
+pub fn route_maze3(grid: &RouteGrid, from: GCell, to: GCell, params: CostParams) -> Vec<EdgeId> {
+    if from == to {
+        return Vec::new();
+    }
+    let costs = EdgeCosts::build(grid, params);
+    let mut scratch = MazeScratch::new();
+    route_maze3_windowed(grid, &costs, from, to, None, &mut scratch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +662,140 @@ mod tests {
         let windowed = route_maze_windowed(&g, &costs, from, to, Some(0), &mut scratch);
         let unbounded = route_maze_windowed(&g, &costs, from, to, None, &mut scratch);
         assert_eq!(windowed, unbounded);
+    }
+
+    fn grid3() -> RouteGrid {
+        use crate::grid::LayerDir::*;
+        RouteGrid::uniform_layers(
+            6,
+            6,
+            Point::ORIGIN,
+            1.0,
+            1.0,
+            &[(Horizontal, 4.0), (Vertical, 4.0), (Horizontal, 4.0), (Vertical, 4.0)],
+            Some(6.0),
+        )
+    }
+
+    fn path_cost(g: &RouteGrid, path: &[EdgeId], params: CostParams) -> f64 {
+        path.iter().map(|&e| crate::pattern::edge_cost(g, e, params)).sum()
+    }
+
+    #[test]
+    fn maze3_vertical_route_climbs_and_drops() {
+        let g = grid3();
+        let path = route_maze3(&g, GCell::new(2, 0), GCell::new(2, 4), CostParams::default());
+        let vias = path.iter().filter(|&&e| g.is_via(e)).count();
+        let planar = path.len() - vias;
+        assert_eq!(planar, 4, "planar part stays at Manhattan length");
+        assert_eq!(vias, 2, "one climb to the vertical layer, one drop back");
+    }
+
+    #[test]
+    fn maze3_matches_a_dijkstra_oracle() {
+        let mut g = grid3();
+        // Irregular usage and history over all edge classes.
+        for y in 0..6 {
+            for x in 0..5 {
+                g.add_usage(g.h_edge_on(0, x, y), f64::from((x * 3 + y) % 7));
+                g.add_history(g.h_edge_on(2, x, y), f64::from((x + y) % 3));
+            }
+        }
+        for y in 0..5 {
+            for x in 0..6 {
+                g.add_usage(g.v_edge_on(1, x, y), f64::from((x + 2 * y) % 5));
+                g.add_usage(g.v_edge_on(3, x, y), 1.5);
+            }
+        }
+        for lvl in 0..3 {
+            g.add_usage(g.via_edge(2, 2, lvl), 4.0);
+        }
+        let params = CostParams::default();
+        let from = GCell::new(0, 0);
+        let to = GCell::new(5, 5);
+        let path = route_maze3(&g, from, to, params);
+
+        // Independent oracle: plain Dijkstra over the explicit 3-D graph.
+        let (nx, ny, nl) = (6u32, 6u32, 4u32);
+        let idx = |l: u32, x: u32, y: u32| ((l * ny + y) * nx + x) as usize;
+        let mut dist = vec![f64::INFINITY; (nl * nx * ny) as usize];
+        dist[idx(0, 0, 0)] = 0.0;
+        // Bellman-Ford style relaxation to a fixed point (small graph).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for l in 0..nl {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        let mut relax = |a: usize, b: usize, e: EdgeId| {
+                            let w = crate::pattern::edge_cost(&g, e, params);
+                            if dist[a] + w < dist[b] {
+                                dist[b] = dist[a] + w;
+                                changed = true;
+                            }
+                            if dist[b] + w < dist[a] {
+                                dist[a] = dist[b] + w;
+                                changed = true;
+                            }
+                        };
+                        if x + 1 < nx && g.layer_dir(l as usize) == crate::grid::LayerDir::Horizontal {
+                            relax(idx(l, x, y), idx(l, x + 1, y), g.h_edge_on(l as usize, x, y));
+                        }
+                        if y + 1 < ny && g.layer_dir(l as usize) == crate::grid::LayerDir::Vertical {
+                            relax(idx(l, x, y), idx(l, x, y + 1), g.v_edge_on(l as usize, x, y));
+                        }
+                        if l + 1 < nl {
+                            relax(idx(l, x, y), idx(l + 1, x, y), g.via_edge(x, y, l as usize));
+                        }
+                    }
+                }
+            }
+        }
+        let optimal = dist[idx(0, to.x, to.y)];
+        let got = path_cost(&g, &path, params);
+        assert!(
+            (got - optimal).abs() < 1e-9,
+            "maze3 cost {got} vs oracle {optimal}"
+        );
+    }
+
+    #[test]
+    fn maze3_window_matches_unbounded() {
+        let mut g = grid3();
+        // Saturate layer 0's bottom corridor so the best route detours.
+        for x in 0..5 {
+            g.add_usage(g.h_edge_on(0, x, 0), 100.0);
+        }
+        let costs = EdgeCosts::build(&g, CostParams::default());
+        let mut scratch = MazeScratch::new();
+        let from = GCell::new(0, 0);
+        let to = GCell::new(5, 0);
+        let windowed = route_maze3_windowed(&g, &costs, from, to, Some(0), &mut scratch);
+        let unbounded = route_maze3_windowed(&g, &costs, from, to, None, &mut scratch);
+        assert_eq!(windowed, unbounded);
+        assert!(!windowed.is_empty());
+    }
+
+    #[test]
+    fn maze3_scratch_is_shareable_with_2d_searches() {
+        let g2 = grid();
+        let g3 = grid3();
+        let costs2 = EdgeCosts::build(&g2, CostParams::default());
+        let costs3 = EdgeCosts::build(&g3, CostParams::default());
+        let mut scratch = MazeScratch::new();
+        let a2 = route_maze_windowed(&g2, &costs2, GCell::new(0, 0), GCell::new(7, 7), Some(2), &mut scratch);
+        let a3 = route_maze3_windowed(&g3, &costs3, GCell::new(0, 0), GCell::new(5, 5), Some(2), &mut scratch);
+        // Interleave and repeat: identical results from the shared scratch.
+        let b2 = route_maze_windowed(&g2, &costs2, GCell::new(0, 0), GCell::new(7, 7), Some(2), &mut scratch);
+        let b3 = route_maze3_windowed(&g3, &costs3, GCell::new(0, 0), GCell::new(5, 5), Some(2), &mut scratch);
+        assert_eq!(a2, b2);
+        assert_eq!(a3, b3);
+    }
+
+    #[test]
+    fn maze3_same_cell_is_empty() {
+        let g = grid3();
+        assert!(route_maze3(&g, GCell::new(3, 3), GCell::new(3, 3), CostParams::default()).is_empty());
     }
 
     #[test]

@@ -12,22 +12,51 @@ use crate::grid::RouteGrid;
 /// The ACE percentile levels of the DAC-2012 metric.
 pub const ACE_LEVELS: [f64; 4] = [0.5, 1.0, 2.0, 5.0];
 
+/// Congestion summary of one metal layer of a routed grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerMetrics {
+    /// 1-based metal layer number (matching the `.route` convention).
+    pub layer: u32,
+    /// Whether the layer carries horizontal wires.
+    pub horizontal: bool,
+    /// Total usage on this layer's edges.
+    pub usage: f64,
+    /// Total overflow (tracks beyond capacity) on this layer.
+    pub overflow: f64,
+    /// Maximum edge congestion ratio on this layer.
+    pub max_ratio: f64,
+}
+
 /// Summary congestion metrics of a routed grid.
+///
+/// The ACE/RC percentile metrics and `total_overflow`/`total_usage` are
+/// computed over the **planar** edges only — on a projected (2-D) grid
+/// that is every edge, keeping the values bit-identical to the historical
+/// 2-D metrics. Via congestion is reported separately in `via_usage` /
+/// `via_overflow`, and `per_layer` breaks the planar numbers down by
+/// metal layer (two collapsed pseudo-layers on a projected grid).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CongestionMetrics {
     /// ACE(k) in percent, for k in [`ACE_LEVELS`] order.
     pub ace: [f64; 4],
     /// RC = mean of `ace`, in percent.
     pub rc: f64,
-    /// Total overflow (tracks beyond capacity, summed over edges).
+    /// Total overflow (tracks beyond capacity, summed over planar edges).
     pub total_overflow: f64,
-    /// Maximum edge congestion ratio (1.0 = exactly at capacity).
+    /// Maximum planar edge congestion ratio (1.0 = exactly at capacity).
     pub max_ratio: f64,
-    /// Number of overflowed edges.
+    /// Number of overflowed planar edges.
     pub overflowed_edges: usize,
-    /// Total routed wirelength in gcell units (edges used, weighted by
-    /// usage).
+    /// Total routed wirelength in gcell units (planar edges used,
+    /// weighted by usage).
     pub total_usage: f64,
+    /// Per-layer breakdown of the planar congestion, in layer order.
+    pub per_layer: Vec<LayerMetrics>,
+    /// Total usage on via edges (0.0 on a projected grid).
+    pub via_usage: f64,
+    /// Total overflow on via edges (0.0 on a projected grid, and on
+    /// unlimited-capacity via levels).
+    pub via_overflow: f64,
 }
 
 impl CongestionMetrics {
@@ -63,6 +92,38 @@ impl CongestionMetrics {
             total_usage += grid.usage(e);
         }
 
+        let per_layer = (0..grid.num_layers())
+            .map(|l| {
+                let mut usage = 0.0;
+                let mut overflow = 0.0;
+                let mut max_ratio: f64 = 0.0;
+                for e in grid.layer_edge_ids(l) {
+                    usage += grid.usage(e);
+                    let of = grid.overflow(e);
+                    if of > 1e-9 {
+                        overflow += of;
+                    }
+                    max_ratio = max_ratio.max(grid.ratio(e));
+                }
+                LayerMetrics {
+                    layer: l as u32 + 1,
+                    horizontal: grid.layer_dir(l) == crate::grid::LayerDir::Horizontal,
+                    usage,
+                    overflow,
+                    max_ratio,
+                }
+            })
+            .collect();
+        let mut via_usage = 0.0;
+        let mut via_overflow = 0.0;
+        for e in grid.via_edge_ids() {
+            via_usage += grid.usage(e);
+            let of = grid.overflow(e);
+            if of > 1e-9 {
+                via_overflow += of;
+            }
+        }
+
         CongestionMetrics {
             ace,
             rc,
@@ -70,6 +131,9 @@ impl CongestionMetrics {
             max_ratio,
             overflowed_edges,
             total_usage,
+            per_layer,
+            via_usage,
+            via_overflow,
         }
     }
 
@@ -137,5 +201,42 @@ mod tests {
         assert!((m.total_overflow - 3.0).abs() < 1e-12);
         assert_eq!(m.overflowed_edges, 1);
         assert!((m.total_usage - 7.0).abs() < 1e-12);
+        // The projected grid still reports its two pseudo-layers.
+        assert_eq!(m.per_layer.len(), 2);
+        assert!(m.per_layer[0].horizontal);
+        assert!((m.per_layer[0].overflow - 3.0).abs() < 1e-12);
+        assert_eq!(m.per_layer[1].overflow, 0.0);
+        assert_eq!(m.via_usage, 0.0);
+        assert_eq!(m.via_overflow, 0.0);
+    }
+
+    #[test]
+    fn layered_grid_reports_per_layer_and_via_congestion() {
+        use crate::grid::LayerDir::*;
+        let mut g = RouteGrid::uniform_layers(
+            3,
+            3,
+            Point::ORIGIN,
+            1.0,
+            1.0,
+            &[(Horizontal, 4.0), (Vertical, 4.0), (Horizontal, 4.0)],
+            Some(2.0),
+        );
+        g.add_usage(g.h_edge_on(0, 0, 0), 6.0); // overflow 2 on layer 1
+        g.add_usage(g.h_edge_on(2, 0, 0), 1.0); // within capacity, layer 3
+        g.add_usage(g.via_edge(1, 1, 0), 5.0); // overflow 3 on via level 1
+        let m = CongestionMetrics::of(&g);
+        assert_eq!(m.per_layer.len(), 3);
+        assert_eq!(m.per_layer[0].layer, 1);
+        assert!((m.per_layer[0].overflow - 2.0).abs() < 1e-12);
+        assert!((m.per_layer[0].max_ratio - 1.5).abs() < 1e-12);
+        assert_eq!(m.per_layer[1].overflow, 0.0);
+        assert!(!m.per_layer[1].horizontal);
+        assert!((m.per_layer[2].usage - 1.0).abs() < 1e-12);
+        assert!((m.via_usage - 5.0).abs() < 1e-12);
+        assert!((m.via_overflow - 3.0).abs() < 1e-12);
+        // Planar totals exclude the via usage.
+        assert!((m.total_usage - 7.0).abs() < 1e-12);
+        assert!((m.total_overflow - 2.0).abs() < 1e-12);
     }
 }

@@ -7,7 +7,7 @@
 //! mirroring how contest-era placers embedded lightweight estimators
 //! instead of a full router.
 
-use crate::grid::{EdgeId, GCell, RouteGrid};
+use crate::grid::{EdgeId, GCell, LayerDir, RouteGrid};
 use crate::topology::{self, Segment};
 use rdp_db::{Design, Placement};
 use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
@@ -23,6 +23,11 @@ pub struct CostParams {
     pub overflow_penalty: f64,
     /// Weight of the congestion-proportional term below capacity.
     pub congestion_weight: f64,
+    /// Base cost of a via edge (a layer change), replacing the planar
+    /// base length cost of 1.0. Must be strictly positive: a free via
+    /// would let equal-cost paths cycle through layers, which breaks the
+    /// canonical parent tie-breaking the deterministic maze relies on.
+    pub via_cost: f64,
 }
 
 impl Default for CostParams {
@@ -30,13 +35,14 @@ impl Default for CostParams {
         CostParams {
             overflow_penalty: 8.0,
             congestion_weight: 1.0,
+            via_cost: 2.0,
         }
     }
 }
 
-/// Cost of pushing one more track through `e`: base length cost, a smooth
-/// congestion term below capacity, a steep penalty above, and the
-/// negotiation history.
+/// Cost of pushing one more track through `e`: base cost (1.0 for planar
+/// edges, [`CostParams::via_cost`] for vias), a smooth congestion term
+/// below capacity, a steep penalty above, and the negotiation history.
 pub fn edge_cost(grid: &RouteGrid, e: EdgeId, params: CostParams) -> f64 {
     let cap = grid.capacity(e);
     let u = grid.usage(e) + 1.0;
@@ -49,7 +55,8 @@ pub fn edge_cost(grid: &RouteGrid, e: EdgeId, params: CostParams) -> f64 {
     } else {
         params.overflow_penalty * u
     };
-    1.0 + congestion + grid.history(e)
+    let base = if grid.is_via(e) { params.via_cost } else { 1.0 };
+    base + congestion + grid.history(e)
 }
 
 /// A frozen per-edge cost table: [`edge_cost`] evaluated once for every
@@ -69,6 +76,7 @@ pub fn edge_cost(grid: &RouteGrid, e: EdgeId, params: CostParams) -> f64 {
 pub struct EdgeCosts {
     costs: Vec<f64>,
     min_cost: f64,
+    min_via_cost: f64,
 }
 
 /// Edges per parallel work chunk when snapshotting costs.
@@ -104,10 +112,13 @@ impl EdgeCosts {
                 .collect::<Vec<f64>>()
         });
         let costs: Vec<f64> = parts.concat();
-        let min_cost = costs.iter().copied().fold(f64::INFINITY, f64::min);
+        let n_planar = grid.num_planar_edges();
+        let min_cost = costs[..n_planar].iter().copied().fold(f64::INFINITY, f64::min);
+        let min_via_cost = costs[n_planar..].iter().copied().fold(f64::INFINITY, f64::min);
         EdgeCosts {
             costs,
             min_cost: if min_cost.is_finite() { min_cost } else { 0.0 },
+            min_via_cost: if min_via_cost.is_finite() { min_via_cost } else { 0.0 },
         }
     }
 
@@ -117,11 +128,18 @@ impl EdgeCosts {
         self.costs[e.0 as usize]
     }
 
-    /// The minimum edge cost over the whole grid (0.0 on an edgeless
-    /// grid).
+    /// The minimum *planar* edge cost over the whole grid (0.0 on an
+    /// edgeless grid) — the admissible scale for per-gcell distance.
     #[inline]
     pub fn min_cost(&self) -> f64 {
         self.min_cost
+    }
+
+    /// The minimum *via* edge cost (0.0 on a grid without via storage) —
+    /// the admissible scale for per-layer distance.
+    #[inline]
+    pub fn min_via_cost(&self) -> f64 {
+        self.min_via_cost
     }
 
     /// Number of edges covered.
@@ -260,6 +278,232 @@ pub fn route_pattern(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec<
         }
     }
     best
+}
+
+/// A maximal straight run of a 2-D pattern path: travels from `a` to `b`
+/// (inclusive gcells) along one axis. The 3-D pattern router assigns each
+/// run to one carrying layer.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    horizontal: bool,
+    a: GCell,
+    b: GCell,
+}
+
+impl Run {
+    fn new(a: GCell, b: GCell) -> Option<Run> {
+        if a == b {
+            return None;
+        }
+        debug_assert!(a.x == b.x || a.y == b.y);
+        Some(Run { horizontal: a.y == b.y, a, b })
+    }
+}
+
+/// The runs of the L path from `from` to `to` (1 run if straight, else 2).
+fn runs_l(from: GCell, to: GCell, horizontal_first: bool) -> Vec<Run> {
+    let corner = if horizontal_first {
+        GCell::new(to.x, from.y)
+    } else {
+        GCell::new(from.x, to.y)
+    };
+    [Run::new(from, corner), Run::new(corner, to)]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The runs of the Z path bending at `mid` (column when
+/// `horizontal_first`, row otherwise).
+fn runs_z(from: GCell, to: GCell, mid: u32, horizontal_first: bool) -> Vec<Run> {
+    let (j0, j1) = if horizontal_first {
+        (GCell::new(mid, from.y), GCell::new(mid, to.y))
+    } else {
+        (GCell::new(from.x, mid), GCell::new(to.x, mid))
+    };
+    [Run::new(from, j0), Run::new(j0, j1), Run::new(j1, to)]
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Emits the edges of `run` on layer `l` in travel order.
+fn run_edges(grid: &RouteGrid, run: Run, l: usize, out: &mut Vec<EdgeId>) {
+    if run.horizontal {
+        let y = run.a.y;
+        if run.b.x > run.a.x {
+            for x in run.a.x..run.b.x {
+                out.push(grid.h_edge_on(l, x, y));
+            }
+        } else {
+            for x in (run.b.x..run.a.x).rev() {
+                out.push(grid.h_edge_on(l, x, y));
+            }
+        }
+    } else {
+        let x = run.a.x;
+        if run.b.y > run.a.y {
+            for y in run.a.y..run.b.y {
+                out.push(grid.v_edge_on(l, x, y));
+            }
+        } else {
+            for y in (run.b.y..run.a.y).rev() {
+                out.push(grid.v_edge_on(l, x, y));
+            }
+        }
+    }
+}
+
+/// Cost of `run` on layer `l`.
+fn run_cost(grid: &RouteGrid, run: Run, l: usize, params: CostParams) -> f64 {
+    let mut edges = Vec::with_capacity(run.a.manhattan(run.b) as usize);
+    run_edges(grid, run, l, &mut edges);
+    edges.iter().map(|&e| edge_cost(grid, e, params)).sum()
+}
+
+/// Cost of the via stack at `cell` between layers `a` and `b`.
+fn via_stack_cost(grid: &RouteGrid, cell: GCell, a: usize, b: usize, params: CostParams) -> f64 {
+    (a.min(b)..a.max(b))
+        .map(|level| edge_cost(grid, grid.via_edge(cell.x, cell.y, level), params))
+        .sum()
+}
+
+/// Emits the via stack at `cell` from layer `a` to layer `b` in travel
+/// order (ascending when climbing, descending when dropping).
+fn via_stack_edges(grid: &RouteGrid, cell: GCell, a: usize, b: usize, out: &mut Vec<EdgeId>) {
+    if a < b {
+        for level in a..b {
+            out.push(grid.via_edge(cell.x, cell.y, level));
+        }
+    } else {
+        for level in (b..a).rev() {
+            out.push(grid.via_edge(cell.x, cell.y, level));
+        }
+    }
+}
+
+/// Routes `runs` on the layered grid: a dynamic program chooses one
+/// carrying layer per run, paying via stacks at the junctions and the
+/// endpoint climbs from/to layer 0 (where pins live). Ties break toward
+/// the lowest layer. Returns `None` when some run's direction has no
+/// carrying layer.
+fn route_runs3(grid: &RouteGrid, runs: &[Run], params: CostParams) -> Option<(f64, Vec<EdgeId>)> {
+    if runs.is_empty() {
+        return Some((0.0, Vec::new()));
+    }
+    let h_layers: Vec<usize> = (0..grid.num_layers())
+        .filter(|&l| grid.layer_dir(l) == LayerDir::Horizontal)
+        .collect();
+    let v_layers: Vec<usize> = (0..grid.num_layers())
+        .filter(|&l| grid.layer_dir(l) == LayerDir::Vertical)
+        .collect();
+    let carriers = |r: Run| if r.horizontal { &h_layers } else { &v_layers };
+    if runs.iter().any(|&r| carriers(r).is_empty()) {
+        return None;
+    }
+    // dp[i][j] = (cost of the best prefix ending with run i on its j-th
+    // carrier, backpointer into run i-1's carriers).
+    let mut dp: Vec<Vec<(f64, usize)>> = Vec::with_capacity(runs.len());
+    dp.push(
+        carriers(runs[0])
+            .iter()
+            .map(|&l| {
+                (
+                    via_stack_cost(grid, runs[0].a, 0, l, params)
+                        + run_cost(grid, runs[0], l, params),
+                    usize::MAX,
+                )
+            })
+            .collect(),
+    );
+    for i in 1..runs.len() {
+        let junction = runs[i].a;
+        let prev = carriers(runs[i - 1]);
+        let row: Vec<(f64, usize)> = carriers(runs[i])
+            .iter()
+            .map(|&l2| {
+                let rc = run_cost(grid, runs[i], l2, params);
+                let mut best = (f64::INFINITY, 0);
+                for (j1, &l1) in prev.iter().enumerate() {
+                    let c = dp[i - 1][j1].0 + via_stack_cost(grid, junction, l1, l2, params) + rc;
+                    if c < best.0 {
+                        best = (c, j1);
+                    }
+                }
+                best
+            })
+            .collect();
+        dp.push(row);
+    }
+    // Close at the far end: drop back to layer 0.
+    let last = runs.len() - 1;
+    let end = runs[last].b;
+    let (mut best_cost, mut best_j) = (f64::INFINITY, 0);
+    for (j, &l) in carriers(runs[last]).iter().enumerate() {
+        let c = dp[last][j].0 + via_stack_cost(grid, end, l, 0, params);
+        if c < best_cost {
+            best_cost = c;
+            best_j = j;
+        }
+    }
+    // Reconstruct the chosen layer per run.
+    let mut chosen = vec![0usize; runs.len()];
+    let mut j = best_j;
+    for i in (0..runs.len()).rev() {
+        chosen[i] = carriers(runs[i])[j];
+        j = dp[i][j].1;
+    }
+    // Emit in travel order: climb, run, junction stack, run, …, drop.
+    let mut edges = Vec::new();
+    via_stack_edges(grid, runs[0].a, 0, chosen[0], &mut edges);
+    for i in 0..runs.len() {
+        if i > 0 {
+            via_stack_edges(grid, runs[i].a, chosen[i - 1], chosen[i], &mut edges);
+        }
+        run_edges(grid, runs[i], chosen[i], &mut edges);
+    }
+    via_stack_edges(grid, end, chosen[last], 0, &mut edges);
+    Some((best_cost, edges))
+}
+
+/// Layered counterpart of [`route_pattern`]: the same candidate family
+/// (both Ls, quartile Zs in both orientations) evaluated on the 3-D grid,
+/// with each candidate's layer assignment solved exactly by
+/// [`route_runs3`]. Pins are taken at layer 0, so the returned path
+/// includes the endpoint via climbs. Deterministic: candidates are tried
+/// in a fixed order and only a strictly cheaper one replaces the best.
+pub fn route_pattern3(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec<EdgeId> {
+    if seg.from == seg.to {
+        return Vec::new();
+    }
+    let mut best: Option<(f64, Vec<EdgeId>)> = None;
+    let consider = |cand: Option<(f64, Vec<EdgeId>)>, best: &mut Option<(f64, Vec<EdgeId>)>| {
+        if let Some((c, edges)) = cand {
+            if best.as_ref().is_none_or(|(bc, _)| c < *bc) {
+                *best = Some((c, edges));
+            }
+        }
+    };
+    let straight = seg.from.x == seg.to.x || seg.from.y == seg.to.y;
+    consider(route_runs3(grid, &runs_l(seg.from, seg.to, true), params), &mut best);
+    if !straight {
+        consider(route_runs3(grid, &runs_l(seg.from, seg.to, false), params), &mut best);
+        let (x_lo, x_hi) = (seg.from.x.min(seg.to.x), seg.from.x.max(seg.to.x));
+        let (y_lo, y_hi) = (seg.from.y.min(seg.to.y), seg.from.y.max(seg.to.y));
+        let quartiles = |lo: u32, hi: u32| {
+            let span = hi - lo;
+            [lo + span / 4, lo + span / 2, lo + 3 * span / 4]
+                .into_iter()
+                .filter(move |&m| m > lo && m < hi)
+        };
+        for mid in quartiles(x_lo, x_hi) {
+            consider(route_runs3(grid, &runs_z(seg.from, seg.to, mid, true), params), &mut best);
+        }
+        for mid in quartiles(y_lo, y_hi) {
+            consider(route_runs3(grid, &runs_z(seg.from, seg.to, mid, false), params), &mut best);
+        }
+    }
+    best.map(|(_, e)| e).unwrap_or_default()
 }
 
 /// Probabilistic congestion estimation: every net is MST-decomposed and
@@ -436,6 +680,77 @@ mod tests {
             .map(|&e| g.usage(e))
             .sum();
         assert_eq!(hot, 0.0, "pattern should avoid all congested edges");
+    }
+
+    fn grid3() -> RouteGrid {
+        use crate::grid::LayerDir::*;
+        RouteGrid::uniform_layers(
+            8,
+            8,
+            Point::ORIGIN,
+            10.0,
+            10.0,
+            &[(Horizontal, 4.0), (Vertical, 4.0), (Horizontal, 4.0), (Vertical, 4.0)],
+            None,
+        )
+    }
+
+    #[test]
+    fn pattern3_straight_run_stays_on_the_bottom_layer() {
+        let g = grid3();
+        let seg = Segment { from: GCell::new(1, 2), to: GCell::new(5, 2) };
+        let path = route_pattern3(&g, seg, CostParams::default());
+        // Layer 0 is horizontal: no climb needed, 4 planar edges.
+        assert_eq!(path.len(), 4);
+        assert!(path.iter().all(|&e| !g.is_via(e)));
+        assert!(path.iter().all(|&e| g.is_horizontal(e)));
+    }
+
+    #[test]
+    fn pattern3_vertical_run_pays_the_climb() {
+        let g = grid3();
+        let seg = Segment { from: GCell::new(2, 1), to: GCell::new(2, 5) };
+        let path = route_pattern3(&g, seg, CostParams::default());
+        // Must climb to a vertical layer and drop back: 4 planar + 2 vias
+        // (layer 1 is the nearest vertical carrier).
+        let vias = path.iter().filter(|&&e| g.is_via(e)).count();
+        assert_eq!(vias, 2);
+        assert_eq!(path.len(), 6);
+    }
+
+    #[test]
+    fn pattern3_l_route_connects_layers() {
+        let g = grid3();
+        let seg = Segment { from: GCell::new(0, 0), to: GCell::new(4, 3) };
+        let path = route_pattern3(&g, seg, CostParams::default());
+        let planar = path.iter().filter(|&&e| !g.is_via(e)).count();
+        assert_eq!(planar, 7, "planar length stays at Manhattan distance");
+        let vias = path.iter().filter(|&&e| g.is_via(e)).count();
+        // H on layer 0, climb to V layer 1, drop back at the end.
+        assert_eq!(vias, 2);
+    }
+
+    #[test]
+    fn pattern3_dodges_a_saturated_layer() {
+        let mut g = grid3();
+        let seg = Segment { from: GCell::new(1, 3), to: GCell::new(6, 3) };
+        // Saturate layer 0 along the whole row; layer 2 (also horizontal)
+        // stays free and is worth two extra via stacks.
+        for x in 0..7 {
+            g.add_usage(g.h_edge_on(0, x, 3), 50.0);
+        }
+        let path = route_pattern3(&g, seg, CostParams::default());
+        let hot: f64 = path.iter().map(|&e| g.usage(e)).sum();
+        assert_eq!(hot, 0.0, "pattern must leave the saturated layer");
+        // Climb 0→2 and back: 2 levels each way.
+        assert_eq!(path.iter().filter(|&&e| g.is_via(e)).count(), 4);
+    }
+
+    #[test]
+    fn pattern3_zero_segment_is_empty() {
+        let g = grid3();
+        let zero = Segment { from: GCell::new(2, 2), to: GCell::new(2, 2) };
+        assert!(route_pattern3(&g, zero, CostParams::default()).is_empty());
     }
 
     #[test]

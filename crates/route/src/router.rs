@@ -20,9 +20,9 @@
 //! design.
 
 use crate::grid::{EdgeId, RouteGrid};
-use crate::maze::{route_maze_windowed, MazeScratch};
+use crate::maze::{route_maze3_windowed, route_maze_windowed, MazeScratch};
 use crate::metrics::CongestionMetrics;
-use crate::pattern::{route_pattern, CostParams, EdgeCosts};
+use crate::pattern::{route_pattern, route_pattern3, CostParams, EdgeCosts};
 use crate::topology::{decompose_net, Segment};
 use rdp_db::{Design, NetId, NodeId, Placement};
 use rdp_geom::parallel::{chunk_spans, chunked_map, chunked_map_with, Parallelism};
@@ -47,8 +47,30 @@ const PARTITION_CHUNK: usize = 1024;
 /// Usage above capacity by more than this counts as overflow.
 const OVERFLOW_EPS: f64 = 1e-9;
 
+/// How the router models the metal stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayerMode {
+    /// Collapse all layers into one horizontal + one vertical capacity
+    /// per gcell edge (the historical 2-D router). Blockages are still
+    /// carved per layer before the collapse.
+    #[default]
+    Projected,
+    /// Route on the full 3-D grid: per-layer directional edges plus via
+    /// edges, with layer assignment done by the router. A *degenerate*
+    /// spec (exactly one layer per direction) collapses back to the
+    /// projected grid, where the two modes provably coincide — that
+    /// collapse is what makes the 2-D equivalence fence structural
+    /// rather than numerical.
+    Layered,
+}
+
 /// Tuning knobs of [`GlobalRouter`].
+///
+/// The struct is `#[non_exhaustive]`: build it with
+/// [`RouterConfig::builder`] (or start from [`RouterConfig::default`] and
+/// assign fields) so new options can land without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct RouterConfig {
     /// Maximum rip-up-and-reroute rounds after the initial pattern pass.
     pub max_iterations: usize,
@@ -82,6 +104,9 @@ pub struct RouterConfig {
     /// unlimited. A run that converges before the budget expires is never
     /// marked truncated.
     pub time_budget: Option<Duration>,
+    /// Whether to route on the collapsed 2-D grid or the full layered
+    /// 3-D grid (see [`LayerMode`]).
+    pub layers: LayerMode,
 }
 
 impl Default for RouterConfig {
@@ -94,7 +119,104 @@ impl Default for RouterConfig {
             window_margin: Some(8),
             history_decay: 0.1,
             time_budget: None,
+            layers: LayerMode::default(),
         }
+    }
+}
+
+impl RouterConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder::default()
+    }
+
+    /// Starts a builder from this configuration (for tweaking a copy).
+    pub fn to_builder(self) -> RouterConfigBuilder {
+        RouterConfigBuilder { config: self }
+    }
+}
+
+/// Builder for [`RouterConfig`] — the supported way to construct one now
+/// that the struct is `#[non_exhaustive]`.
+///
+/// # Examples
+///
+/// ```
+/// use rdp_route::{LayerMode, RouterConfig};
+/// use std::time::Duration;
+///
+/// let config = RouterConfig::builder()
+///     .rounds(4)
+///     .time_budget(Duration::from_secs(30))
+///     .layers(LayerMode::Layered)
+///     .build();
+/// assert_eq!(config.max_iterations, 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterConfigBuilder {
+    config: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Maximum rip-up-and-reroute rounds (`max_iterations`).
+    pub fn rounds(mut self, n: usize) -> Self {
+        self.config.max_iterations = n;
+        self
+    }
+
+    /// History cost added to still-overflowed edges each round.
+    pub fn history_increment(mut self, amount: f64) -> Self {
+        self.config.history_increment = amount;
+        self
+    }
+
+    /// Edge-cost parameters.
+    pub fn cost(mut self, cost: CostParams) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Worker-thread policy.
+    pub fn parallelism(mut self, par: Parallelism) -> Self {
+        self.config.parallelism = par;
+        self
+    }
+
+    /// Shorthand for an explicit worker-thread count.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.config.parallelism = Parallelism::new(n);
+        self
+    }
+
+    /// Starting window margin of the windowed A\* (`None` = whole grid).
+    /// Accepts a bare `u32` or an `Option<u32>`.
+    pub fn window_margin(mut self, margin: impl Into<Option<u32>>) -> Self {
+        self.config.window_margin = margin.into();
+        self
+    }
+
+    /// History aging factor applied on warm starts.
+    pub fn history_decay(mut self, factor: f64) -> Self {
+        self.config.history_decay = factor;
+        self
+    }
+
+    /// Wall-clock budget for the negotiation loop. Accepts a bare
+    /// `Duration` or an `Option<Duration>`.
+    pub fn time_budget(mut self, budget: impl Into<Option<Duration>>) -> Self {
+        self.config.time_budget = budget.into();
+        self
+    }
+
+    /// Metal-stack model (2-D projected vs 3-D layered).
+    pub fn layers(mut self, mode: LayerMode) -> Self {
+        self.config.layers = mode;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> RouterConfig {
+        self.config
     }
 }
 
@@ -120,8 +242,8 @@ pub struct RoutingOutcome {
     pub iterations: usize,
     /// Number of two-pin segments routed.
     pub num_segments: usize,
-    /// Routed length (gcell edges used) per net, indexed by
-    /// [`NetId::index`](rdp_db::NetId::index).
+    /// Routed length (planar gcell edges used; via hops excluded) per
+    /// net, indexed by [`NetId::index`](rdp_db::NetId::index).
     pub net_lengths: Vec<u32>,
     /// Wall-clock of the initial pattern pass (for
     /// [`GlobalRouter::reroute_incremental`]: the rip-up + re-pattern
@@ -156,11 +278,11 @@ struct OverflowSet {
 }
 
 impl OverflowSet {
-    /// Full scan (done once, after the pattern pass).
+    /// Full scan (done once, after the pattern pass) — over **all** edges,
+    /// planar and via, so capacitated via levels negotiate too.
     fn scan(grid: &RouteGrid) -> Self {
-        let flags: Vec<bool> = grid
-            .edge_ids()
-            .map(|e| grid.overflow(e) > OVERFLOW_EPS)
+        let flags: Vec<bool> = (0..grid.num_edges() as u32)
+            .map(|e| grid.overflow(EdgeId(e)) > OVERFLOW_EPS)
             .collect();
         let list = flags
             .iter()
@@ -239,7 +361,8 @@ impl OverflowSet {
     }
 }
 
-/// A negotiation-based 2-D global router.
+/// A negotiation-based global router, 2-D (projected) or 3-D (layered)
+/// depending on [`RouterConfig::layers`].
 ///
 /// # Examples
 ///
@@ -249,7 +372,7 @@ impl OverflowSet {
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let bench = generate(&GeneratorConfig::tiny("gr", 3))?;
-/// let outcome = GlobalRouter::new(RouterConfig::default())
+/// let outcome = GlobalRouter::new(RouterConfig::builder().rounds(4).build())
 ///     .route(&bench.design, &bench.placement);
 /// assert!(outcome.num_segments > 0);
 /// # Ok(())
@@ -266,10 +389,29 @@ impl GlobalRouter {
         GlobalRouter { config }
     }
 
+    /// Builds the routing grid for the configured [`LayerMode`]. A
+    /// layered build that comes out degenerate (one layer per direction)
+    /// collapses to its 2-D projection, so from there on the two modes
+    /// execute the *same* code path and produce bitwise-equal results.
+    fn build_grid(&self, design: &Design, placement: &Placement) -> RouteGrid {
+        match self.config.layers {
+            LayerMode::Projected => RouteGrid::from_design(design, placement),
+            LayerMode::Layered => {
+                let grid = RouteGrid::from_design_3d(design, placement);
+                if grid.is_degenerate() {
+                    grid.project_2d()
+                } else {
+                    grid
+                }
+            }
+        }
+    }
+
     /// Routes all nets of `design` at `placement`.
     pub fn route(&self, design: &Design, placement: &Placement) -> RoutingOutcome {
         let t_pattern = Instant::now();
-        let mut grid = RouteGrid::from_design(design, placement);
+        let mut grid = self.build_grid(design, placement);
+        let use3d = grid.has_vias();
 
         // Initial pattern pass. Every segment is routed against the
         // empty-usage grid snapshot (rather than the usage accumulated by
@@ -285,7 +427,11 @@ impl GlobalRouter {
                 let mut out: Vec<RoutedSegment> = Vec::new();
                 for &net in &nets[spans[ci].clone()] {
                     for segment in decompose_net(design, placement, g, net) {
-                        let edges = route_pattern(g, segment, self.config.cost);
+                        let edges = if use3d {
+                            route_pattern3(g, segment, self.config.cost)
+                        } else {
+                            route_pattern(g, segment, self.config.cost)
+                        };
                         out.push(RoutedSegment { net, segment, edges });
                     }
                 }
@@ -371,6 +517,10 @@ impl GlobalRouter {
 
         let t_pattern = Instant::now();
         let mut grid = prev.grid.clone();
+        // The retained grid decides the mode: a warm start must speak the
+        // same edge-id language as the outcome it resumes from, whatever
+        // the current config says.
+        let use3d = grid.has_vias();
         // Age the retained history: the placement changed, so the old
         // congestion evidence is a prior, not a fact.
         grid.scale_history(self.config.history_decay);
@@ -419,7 +569,11 @@ impl GlobalRouter {
                 let mut out: Vec<RoutedSegment> = Vec::new();
                 for &net in &dirty_ids[spans[ci].clone()] {
                     for segment in decompose_net(design, placement, g, net) {
-                        let edges = route_pattern(g, segment, self.config.cost);
+                        let edges = if use3d {
+                            route_pattern3(g, segment, self.config.cost)
+                        } else {
+                            route_pattern(g, segment, self.config.cost)
+                        };
                         out.push(RoutedSegment { net, segment, edges });
                     }
                 }
@@ -467,6 +621,7 @@ impl GlobalRouter {
         routed: &mut [RoutedSegment],
         overflow: &mut OverflowSet,
     ) -> (usize, bool) {
+        let use3d = grid.has_vias();
         let deadline = self.config.time_budget.map(|b| Instant::now() + b);
         let mut iterations = 0;
         for _ in 0..self.config.max_iterations {
@@ -527,7 +682,11 @@ impl GlobalRouter {
                             .clone()
                             .map(|k| {
                                 let s = requests[k];
-                                route_maze_windowed(g, costs, s.from, s.to, margin, scratch)
+                                if use3d {
+                                    route_maze3_windowed(g, costs, s.from, s.to, margin, scratch)
+                                } else {
+                                    route_maze_windowed(g, costs, s.from, s.to, margin, scratch)
+                                }
                             })
                             .collect()
                     },
@@ -574,9 +733,13 @@ impl GlobalRouter {
         negotiation_elapsed: Duration,
         budget_truncated: bool,
     ) -> RoutingOutcome {
+        // Net length counts *planar* edges only (gcell distance traveled);
+        // via hops are congestion, not wirelength. On a projected grid
+        // every edge is planar, so this matches the historical count.
         let mut net_lengths = vec![0u32; design.nets().len()];
         for rs in &routed {
-            net_lengths[rs.net.index()] += rs.edges.len() as u32;
+            net_lengths[rs.net.index()] +=
+                rs.edges.iter().filter(|&&e| !grid.is_via(e)).count() as u32;
         }
 
         let metrics = CongestionMetrics::of(&grid);
@@ -621,11 +784,8 @@ mod tests {
         // All movers at the die center = maximal congestion; negotiation
         // must strictly reduce overflow vs the pattern-only pass.
         let bench = generate(&GeneratorConfig::tiny("r2", 8)).unwrap();
-        let pattern_only = GlobalRouter::new(RouterConfig {
-            max_iterations: 0,
-            ..RouterConfig::default()
-        })
-        .route(&bench.design, &bench.placement);
+        let pattern_only = GlobalRouter::new(RouterConfig::builder().rounds(0).build())
+            .route(&bench.design, &bench.placement);
         let negotiated =
             GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
         assert!(
@@ -658,11 +818,8 @@ mod tests {
         cfg.route.tracks_per_edge_h = 1.0;
         cfg.route.tracks_per_edge_v = 1.0;
         let bench = generate(&cfg).unwrap();
-        let out = GlobalRouter::new(RouterConfig {
-            time_budget: Some(Duration::ZERO),
-            ..RouterConfig::default()
-        })
-        .route(&bench.design, &bench.placement);
+        let out = GlobalRouter::new(RouterConfig::builder().time_budget(Duration::ZERO).build())
+            .route(&bench.design, &bench.placement);
         assert!(out.budget_truncated);
         assert_eq!(out.iterations, 0);
         assert!(out.metrics.total_overflow > 0.0, "expected residual overflow");
@@ -678,13 +835,33 @@ mod tests {
         cfg.route.tracks_per_edge_h = 10_000.0;
         cfg.route.tracks_per_edge_v = 10_000.0;
         let bench = generate(&cfg).unwrap();
-        let out = GlobalRouter::new(RouterConfig {
-            time_budget: Some(Duration::ZERO),
-            ..RouterConfig::default()
-        })
-        .route(&bench.design, &bench.placement);
+        let out = GlobalRouter::new(RouterConfig::builder().time_budget(Duration::ZERO).build())
+            .route(&bench.design, &bench.placement);
         assert!(!out.budget_truncated, "converged run must not report truncation");
         assert_eq!(out.metrics.total_overflow, 0.0);
+    }
+
+    #[test]
+    fn layered_mode_routes_with_vias() {
+        // The tiny generator spec has 4 layers (2 H + 2 V), so Layered
+        // mode keeps the full 3-D grid.
+        let bench = generate(&GeneratorConfig::tiny("r3d", 7)).unwrap();
+        let out = GlobalRouter::new(RouterConfig::builder().layers(LayerMode::Layered).build())
+            .route(&bench.design, &bench.placement);
+        assert!(out.grid.has_vias());
+        assert_eq!(out.metrics.per_layer.len(), 4);
+        assert!(out.metrics.via_usage > 0.0, "multi-layer paths must use vias");
+        // Usage conservation, via edges included: planar + via usage
+        // equals the total edge count over all segment paths.
+        let deposited: usize = out.segments.iter().map(|rs| rs.edges.len()).sum();
+        let grid_usage: f64 = (0..out.grid.num_edges())
+            .map(|i| out.grid.usage(EdgeId(i as u32)))
+            .sum();
+        assert!((grid_usage - deposited as f64).abs() < 1e-6);
+        // net_lengths counts planar edges only.
+        let per_net: u32 = out.net_lengths.iter().sum();
+        assert!((f64::from(per_net) - out.metrics.total_usage).abs() < 1e-6);
+        assert_eq!(out.grid.non_finite_edges(), 0);
     }
 
     #[test]
@@ -700,11 +877,8 @@ mod tests {
     fn windowing_does_not_change_the_outcome() {
         let bench = generate(&GeneratorConfig::tiny("r5", 11)).unwrap();
         let run = |margin: Option<u32>| {
-            GlobalRouter::new(RouterConfig {
-                window_margin: margin,
-                ..RouterConfig::default()
-            })
-            .route(&bench.design, &bench.placement)
+            GlobalRouter::new(RouterConfig::builder().window_margin(margin).build())
+                .route(&bench.design, &bench.placement)
         };
         let unbounded = run(None);
         for margin in [Some(0), Some(2), Some(8)] {

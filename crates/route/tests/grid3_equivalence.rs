@@ -1,0 +1,135 @@
+//! The 2-D equivalence fence: on a **degenerate** layer stack (exactly
+//! one horizontal and one vertical metal layer, so there is nowhere to
+//! climb), `LayerMode::Layered` must be **bitwise identical** to
+//! `LayerMode::Projected` — the pre-3-D router — at every thread count,
+//! for both fresh routes and incremental reroutes.
+//!
+//! This holds *structurally*, not numerically: a degenerate layered grid
+//! collapses through [`RouteGrid::project_2d`] into the very same planar
+//! grid the projected mode builds, so both modes execute the identical
+//! 2-D code path. The fence pins that collapse so a future stack change
+//! cannot silently fork the modes.
+
+use rdp_db::NodeId;
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_geom::rng::Rng;
+use rdp_geom::Point;
+use rdp_route::{GlobalRouter, LayerMode, RouteGrid, RouterConfig, RoutingOutcome};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn config(threads: usize, mode: LayerMode) -> RouterConfig {
+    RouterConfig::builder().threads(threads).layers(mode).build()
+}
+
+/// A supply-tight bench on a two-layer stack (1 H + 1 V — the degenerate
+/// case the fence is about).
+fn two_layer_bench(name: &str, seed: u64) -> rdp_gen::GeneratedBench {
+    let mut cfg = GeneratorConfig::tiny(name, seed);
+    cfg.route.num_layers = 2;
+    cfg.route.tracks_per_edge_h = 10.0;
+    cfg.route.tracks_per_edge_v = 10.0;
+    generate(&cfg).unwrap()
+}
+
+/// Bit-exact digest of everything downstream code can observe.
+fn fingerprint(out: &RoutingOutcome) -> (Vec<u64>, Vec<u32>, Vec<u32>, u64, u64) {
+    (
+        out.grid.edge_ids().map(|e| out.grid.usage(e).to_bits()).collect(),
+        out.net_lengths.clone(),
+        out.overflowed.clone(),
+        out.metrics.rc.to_bits(),
+        out.metrics.total_overflow.to_bits(),
+    )
+}
+
+#[test]
+fn degenerate_stack_collapses_to_the_projected_grid() {
+    let bench = two_layer_bench("g3e0", 41);
+    let layered = RouteGrid::from_design_3d(&bench.design, &bench.placement);
+    assert!(layered.is_degenerate(), "1 H + 1 V stack is the degenerate case");
+    let collapsed = layered.project_2d();
+    let planar = RouteGrid::from_design(&bench.design, &bench.placement);
+    assert_eq!(collapsed.num_edges(), planar.num_edges());
+    for (a, b) in collapsed.edge_ids().zip(planar.edge_ids()) {
+        assert_eq!(collapsed.capacity(a).to_bits(), planar.capacity(b).to_bits());
+    }
+}
+
+#[test]
+fn layered_route_is_bitwise_identical_on_a_degenerate_stack() {
+    for (name, seed) in [("g3e1", 42), ("g3e2", 43)] {
+        let bench = two_layer_bench(name, seed);
+        for threads in THREADS {
+            let projected = GlobalRouter::new(config(threads, LayerMode::Projected))
+                .route(&bench.design, &bench.placement);
+            let layered = GlobalRouter::new(config(threads, LayerMode::Layered))
+                .route(&bench.design, &bench.placement);
+            assert!(!layered.grid.has_vias(), "degenerate stack must collapse");
+            assert_eq!(
+                fingerprint(&projected),
+                fingerprint(&layered),
+                "{name}: layered != projected at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn layered_incremental_reroute_matches_projected_on_a_degenerate_stack() {
+    let bench = two_layer_bench("g3e3", 44);
+    let movables: Vec<NodeId> = bench.design.movable_ids().collect();
+    let mut rng = Rng::seed_from_u64(0x3D_FE2CE);
+    let die = bench.design.die();
+    let moved: Vec<NodeId> = {
+        let mut picked: Vec<NodeId> = Vec::new();
+        let mut taken = vec![false; movables.len()];
+        while picked.len() < (movables.len() / 20).max(1) {
+            let k = rng.gen_range(0usize..movables.len());
+            if !taken[k] {
+                taken[k] = true;
+                picked.push(movables[k]);
+            }
+        }
+        picked.sort_unstable();
+        picked
+    };
+    let mut perturbed = bench.placement.clone();
+    let dx = die.width() * 0.05;
+    let dy = die.height() * 0.05;
+    for &id in &moved {
+        let c = perturbed.center(id);
+        perturbed.set_center(
+            id,
+            Point::new(
+                rdp_geom::clamp(c.x + rng.gen_range(-dx..dx), die.xl, die.xh),
+                rdp_geom::clamp(c.y + rng.gen_range(-dy..dy), die.yl, die.yh),
+            ),
+        );
+    }
+    let reroute = |mode: LayerMode, threads: usize| -> RoutingOutcome {
+        let router = GlobalRouter::new(config(threads, mode));
+        let prev = router.route(&bench.design, &bench.placement);
+        router.reroute_incremental(&prev, &bench.design, &perturbed, &moved)
+    };
+    for threads in THREADS {
+        assert_eq!(
+            fingerprint(&reroute(LayerMode::Projected, threads)),
+            fingerprint(&reroute(LayerMode::Layered, threads)),
+            "incremental layered != projected at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn default_mode_is_projected() {
+    // The fence's other half: nobody flipped the default under the 2-D
+    // consumers (placer, historical benches) without noticing.
+    assert_eq!(RouterConfig::default().layers, LayerMode::Projected);
+    let bench = two_layer_bench("g3e4", 45);
+    let default_out =
+        GlobalRouter::new(RouterConfig::default()).route(&bench.design, &bench.placement);
+    let projected = GlobalRouter::new(config(1, LayerMode::Projected))
+        .route(&bench.design, &bench.placement);
+    assert_eq!(fingerprint(&default_out), fingerprint(&projected));
+}

@@ -20,7 +20,6 @@
 
 use rdp_db::{NodeId, Placement};
 use rdp_gen::{generate, GeneratorConfig};
-use rdp_geom::parallel::Parallelism;
 use rdp_geom::rng::Rng;
 use rdp_geom::Point;
 use rdp_route::{GlobalRouter, RouterConfig, RoutingOutcome};
@@ -32,10 +31,7 @@ const CASES: u64 = if cfg!(feature = "property-tests") { 24 } else { 12 };
 const THREADS: [usize; 3] = [1, 2, 8];
 
 fn config(threads: usize) -> RouterConfig {
-    RouterConfig {
-        parallelism: Parallelism::new(threads),
-        ..RouterConfig::default()
-    }
+    RouterConfig::builder().threads(threads).build()
 }
 
 /// A supply-tight generated bench, so negotiation actually has overflow

@@ -31,6 +31,7 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo clippy --workspace --all-targets --features rdp-bench/bench -- -D warnings
   run cargo run --release -p rdp-bench --bin bench_router -- --smoke
   run cargo run --release -p rdp-bench --bin bench_incremental -- --smoke
+  run cargo run --release -p rdp-bench --bin bench_route3d -- --smoke
 fi
 
 echo "ci: OK"

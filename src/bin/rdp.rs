@@ -3,10 +3,15 @@
 //! ```text
 //! rdp generate --preset small --name demo --seed 42 --out bench/demo [--fences N]
 //! rdp place    --aux bench/demo/demo.aux --out results/demo [flow flags]
-//! rdp score    --aux bench/demo/demo.aux [--pl results/demo/demo.pl]
+//! rdp score    --aux bench/demo/demo.aux [--pl results/demo/demo.pl] [--layers]
+//! rdp route    --aux bench/demo/demo.aux [--pl results/demo/demo.pl] [--layers] [--map]
 //! rdp check    --aux bench/demo/demo.aux [--pl results/demo/demo.pl]
 //! rdp stats    --aux bench/demo/demo.aux
 //! ```
+//!
+//! `--layers` routes on the full 3-D layer stack (per-layer capacities
+//! plus via edges) instead of the collapsed planar projection, and
+//! reports per-layer and via congestion.
 //!
 //! Flow flags for `place`: `--fast`, `--wl-driven`, `--fence-blind`,
 //! `--flat`, `--lse`, `--no-rotation`, `--seed N`, `--budget SECS`
@@ -14,8 +19,9 @@
 //! checkpointed placement and prints a degraded-run warning).
 
 use rdp::db::{bookshelf, stats::DesignStats, validate::check_legal, Design, Placement};
-use rdp::eval::score_placement;
+use rdp::eval::EvalSession;
 use rdp::gen::{generate, GeneratorConfig};
+use rdp::route::{LayerMode, RouterConfig};
 use rdp::place::{PlaceOptions, Placer, WirelengthModel};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -23,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE]\n  rdp route    --aux FILE [--pl FILE] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
+        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE] [--layers]\n  rdp route    --aux FILE [--pl FILE] [--layers] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
     );
     ExitCode::from(2)
 }
@@ -147,10 +153,18 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The scoring/routing configuration the `--layers` switch selects.
+fn router_config(flags: &HashMap<String, String>) -> RouterConfig {
+    let mode = if flags.contains_key("layers") { LayerMode::Layered } else { LayerMode::Projected };
+    RouterConfig::builder().layers(mode).build()
+}
+
 fn cmd_score(flags: &HashMap<String, String>) -> Result<(), String> {
     let aux = flags.get("aux").ok_or("missing --aux FILE")?;
     let (design, placement) = load(aux, flags.get("pl"))?;
-    let s = score_placement(&design, &placement);
+    let s = EvalSession::new(&design)
+        .with_router_config(router_config(flags))
+        .score(&placement);
     println!(
         "HPWL {:.0}\nACE(0.5/1/2/5%) {:.1} {:.1} {:.1} {:.1}\nRC {:.1}%\nscaled HPWL {:.0}\noverflow {:.0} tracks on {} edges",
         s.hpwl,
@@ -163,14 +177,17 @@ fn cmd_score(flags: &HashMap<String, String>) -> Result<(), String> {
         s.congestion.total_overflow,
         s.congestion.overflowed_edges,
     );
+    if flags.contains_key("layers") {
+        print!("{}", s.congestion_report());
+    }
     Ok(())
 }
 
 fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
-    use rdp::route::{heatmap, GlobalRouter, RouterConfig};
+    use rdp::route::{heatmap, GlobalRouter};
     let aux = flags.get("aux").ok_or("missing --aux FILE")?;
     let (design, placement) = load(aux, flags.get("pl"))?;
-    let out = GlobalRouter::new(RouterConfig::default()).route(&design, &placement);
+    let out = GlobalRouter::new(router_config(flags)).route(&design, &placement);
     println!(
         "routed {} segments in {} negotiation rounds",
         out.num_segments, out.iterations
@@ -182,6 +199,22 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         out.metrics.overflowed_edges,
         out.metrics.max_ratio
     );
+    for l in &out.metrics.per_layer {
+        println!(
+            "layer {:>2} ({}): usage {:.1}, overflow {:.1}, peak {:.2}",
+            l.layer,
+            if l.horizontal { 'H' } else { 'V' },
+            l.usage,
+            l.overflow,
+            l.max_ratio
+        );
+    }
+    if out.grid.has_vias() {
+        println!(
+            "vias: usage {:.1}, overflow {:.1}",
+            out.metrics.via_usage, out.metrics.via_overflow
+        );
+    }
     let longest = out
         .net_lengths
         .iter()
@@ -192,7 +225,14 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("longest routed net: {name} ({len} gcell edges)");
     }
     if flags.contains_key("map") {
-        println!("{}", heatmap::to_ascii(&out.grid));
+        if out.grid.has_vias() {
+            for l in 0..out.grid.num_layers() {
+                println!("layer {}:", l + 1);
+                println!("{}", heatmap::to_ascii_layer(&out.grid, l));
+            }
+        } else {
+            println!("{}", heatmap::to_ascii(&out.grid));
+        }
         println!("legend: . <50%   - <80%   o <100%   x <150%   X >=150%");
     }
     Ok(())

@@ -49,11 +49,12 @@ fn placer_is_bitwise_identical_across_thread_counts() {
 fn router_is_bitwise_identical_across_thread_counts_and_windows() {
     let bench = generate(&GeneratorConfig::tiny("det-rt", 78)).unwrap();
     let run = |threads: usize, window_margin: Option<u32>| {
-        GlobalRouter::new(RouterConfig {
-            parallelism: Parallelism::new(threads),
-            window_margin,
-            ..RouterConfig::default()
-        })
+        GlobalRouter::new(
+            RouterConfig::builder()
+                .threads(threads)
+                .window_margin(window_margin)
+                .build(),
+        )
         .route(&bench.design, &bench.placement)
     };
     // Baseline: single-threaded, unbounded search. Every thread count and
