@@ -7,7 +7,6 @@ use rdp_bench::timing::bench;
 use rdp_core::density::build_fields;
 use rdp_core::model::Model;
 use rdp_gen::{generate, GeneratorConfig};
-use rdp_geom::Point;
 
 fn main() {
     for cells in [1_000usize, 4_000] {
@@ -17,10 +16,12 @@ fn main() {
         let model = Model::from_design(&gen.design, &gen.placement);
         let bins = ((cells as f64).sqrt() as usize).max(16);
         let mut fields = build_fields(&model, &[], &[], bins, 0.9);
-        let mut grad = vec![Point::ORIGIN; model.len()];
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
         bench(&format!("density_penalty_grad/{cells}"), || {
-            grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            fields[0].penalty_grad(&model, &mut grad)
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            fields[0].penalty_grad(&model, &mut gx, &mut gy)
         });
     }
 }

@@ -7,7 +7,6 @@ use rdp_bench::timing::bench;
 use rdp_core::model::Model;
 use rdp_core::wirelength::{smooth_wl_grad, WirelengthModel};
 use rdp_gen::{generate, GeneratorConfig};
-use rdp_geom::Point;
 
 fn model_of(cells: usize) -> Model {
     let mut cfg = GeneratorConfig::tiny("wlbench", 7);
@@ -19,11 +18,13 @@ fn model_of(cells: usize) -> Model {
 fn main() {
     for cells in [1_000usize, 4_000] {
         let model = model_of(cells);
-        let mut grad = vec![Point::ORIGIN; model.len()];
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
         for which in [WirelengthModel::Lse, WirelengthModel::Wa] {
             bench(&format!("wirelength_grad/{which:?}/{cells}"), || {
-                grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-                smooth_wl_grad(&model, which, 20.0, &mut grad)
+                gx.iter_mut().for_each(|g| *g = 0.0);
+                gy.iter_mut().for_each(|g| *g = 0.0);
+                smooth_wl_grad(&model, which, 20.0, &mut gx, &mut gy)
             });
         }
     }

@@ -13,10 +13,9 @@
 
 use rdp_core::density::build_fields;
 use rdp_core::model::Model;
-use rdp_core::wirelength::{smooth_wl_grad_par, WirelengthModel};
+use rdp_core::wirelength::{smooth_wl_grad_par, WirelengthModel, WlScratch};
 use rdp_gen::{generate, GeneratorConfig};
 use rdp_geom::parallel::Parallelism;
-use rdp_geom::Point;
 use rdp_route::pattern::estimate_congestion_par;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -35,11 +34,11 @@ fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
     best
 }
 
-/// Order-stable checksum of a gradient buffer plus a scalar.
-fn checksum(scalar: f64, grad: &[Point]) -> u64 {
+/// Order-stable checksum of a gradient buffer pair plus a scalar.
+fn checksum(scalar: f64, grad_x: &[f64], grad_y: &[f64]) -> u64 {
     let mut acc = scalar;
-    for g in grad {
-        acc += g.x + g.y;
+    for (gx, gy) in grad_x.iter().zip(grad_y) {
+        acc += gx + gy;
     }
     acc.to_bits()
 }
@@ -70,7 +69,9 @@ fn main() {
     let reps = if args.smoke { 3 } else { 5 };
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
-    let mut grad = vec![Point::ORIGIN; model.len()];
+    let mut gx = vec![0.0; model.len()];
+    let mut gy = vec![0.0; model.len()];
+    let mut scratch = WlScratch::new();
     let mut rows: Vec<KernelRow> = Vec::new();
 
     // --- Kernel 1: smooth wirelength gradient (WA). ---
@@ -79,12 +80,15 @@ fn main() {
     for &t in &THREADS {
         let par = Parallelism::new(t);
         row.times.push(time_min(reps, || {
-            grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut grad, par)
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, par)
         }));
-        grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-        let total = smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut grad, par);
-        wl_sums.push(checksum(total, &grad));
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        let total =
+            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, par);
+        wl_sums.push(checksum(total, &gx, &gy));
     }
     assert!(wl_sums.iter().all(|&c| c == wl_sums[0]), "wirelength kernel not deterministic");
     rows.push(row);
@@ -96,12 +100,14 @@ fn main() {
     for &t in &THREADS {
         let par = Parallelism::new(t);
         row.times.push(time_min(reps, || {
-            grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            fields[0].penalty_grad_par(&model, &mut grad, par)
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
         }));
-        grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-        let stats = fields[0].penalty_grad_par(&model, &mut grad, par);
-        den_sums.push(checksum(stats.penalty, &grad));
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        den_sums.push(checksum(stats.penalty, &gx, &gy));
     }
     assert!(den_sums.iter().all(|&c| c == den_sums[0]), "density kernel not deterministic");
     rows.push(row);

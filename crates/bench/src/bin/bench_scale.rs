@@ -1,0 +1,267 @@
+//! Scaling sweep of the million-cell hot path: generates designs from 10k
+//! to 1M cells and, per size, times design generation, model construction
+//! and the combined wirelength + density gradient stage — once with the
+//! production flat-array (CSR/SoA) kernels and once with the preserved
+//! pre-refactor reference kernels (`rdp_core::reference`) at the same
+//! thread count, so the reported speedup isolates the layout change.
+//! The largest size additionally runs a reduced-effort end-to-end
+//! placement flow with per-stage wall-clocks.
+//!
+//! Results (including the process peak RSS after each size) go to
+//! `BENCH_scale.json` in the working directory and `target/experiments/`.
+//!
+//! `--smoke` sweeps {10k, 50k}; the full run adds {100k, 500k, 1M}.
+
+use rdp_core::density::build_fields;
+use rdp_core::model::Model;
+use rdp_core::reference::{ref_smooth_wl_grad_par, RefDensityField, RefModel};
+use rdp_core::{PlaceOptions, Placer};
+use rdp_core::wirelength::{smooth_wl_grad_par, WirelengthModel, WlScratch};
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_geom::parallel::Parallelism;
+use rdp_geom::Point;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Per-call minimum over `reps` timed calls.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f()); // warm-up
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed());
+    }
+    best
+}
+
+struct SizeRow {
+    cells: usize,
+    gen_s: f64,
+    model_build_s: f64,
+    wl_new_s: f64,
+    den_new_s: f64,
+    wl_ref_s: f64,
+    den_ref_s: f64,
+    peak_rss_bytes: u64,
+}
+
+impl SizeRow {
+    fn grad_new_s(&self) -> f64 {
+        self.wl_new_s + self.den_new_s
+    }
+    fn grad_ref_s(&self) -> f64 {
+        self.wl_ref_s + self.den_ref_s
+    }
+    fn speedup(&self) -> f64 {
+        self.grad_ref_s() / self.grad_new_s().max(1e-12)
+    }
+}
+
+fn config_for(cells: usize) -> GeneratorConfig {
+    let mut cfg = GeneratorConfig::large("scale", 29);
+    cfg.name = format!("scale{cells}");
+    cfg.num_cells = cells;
+    // Scale the surrounding structure mildly with the cell count so every
+    // size exercises the same design shape.
+    let k = (cells as f64 / 40_000.0).sqrt().max(0.5);
+    cfg.num_macros = ((20.0 * k) as usize).clamp(4, 60);
+    cfg.num_fixed = ((8.0 * k) as usize).clamp(2, 24);
+    cfg.num_io = ((256.0 * k) as usize).clamp(64, 1024);
+    cfg
+}
+
+fn main() {
+    let args = rdp_bench::parse_args();
+    // `BENCH_SCALE_SIZES=100000,500000` overrides the sweep (diagnostics);
+    // `BENCH_SCALE_NO_FLOW=1` skips the end-to-end flow stage.
+    let sizes: Vec<usize> = match std::env::var("BENCH_SCALE_SIZES") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("BENCH_SCALE_SIZES: integers"))
+            .collect(),
+        Err(_) if args.smoke => vec![10_000, 50_000],
+        Err(_) => vec![10_000, 50_000, 100_000, 500_000, 1_000_000],
+    };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let par = Parallelism::auto();
+    let gamma = 20.0;
+
+    let mut rows: Vec<SizeRow> = Vec::new();
+    let mut largest: Option<(usize, rdp_gen::GeneratedBench)> = None;
+    for &cells in &sizes {
+        eprintln!("[bench_scale] generating {cells}-cell design...");
+        let t = Instant::now();
+        let bench = generate(&config_for(cells)).expect("valid config");
+        let gen_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let model = Model::from_design(&bench.design, &bench.placement);
+        let model_build_s = t.elapsed().as_secs_f64();
+
+        let bins = ((model.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
+        let mut fields = build_fields(&model, &[], &[], bins, 0.9);
+        let mut scratch = WlScratch::new();
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        let reps = if cells >= 500_000 { 3 } else { 5 };
+
+        // New layout: WA wirelength gradient + density gradient, timed
+        // separately so the JSON shows where the layout change pays off.
+        let wl_new = time_min(reps, || {
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            smooth_wl_grad_par(
+                &model,
+                WirelengthModel::Wa,
+                gamma,
+                &mut gx,
+                &mut gy,
+                &mut scratch,
+                par,
+            )
+        });
+        let den_new = time_min(reps, || {
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+        });
+
+        // Reference (pre-refactor) layout, same threads.
+        let ref_model = RefModel::from_model(&model);
+        let mut ref_field = RefDensityField::from_field(&fields[0]);
+        let mut ref_grad = vec![Point::ORIGIN; model.len()];
+        let wl_ref = time_min(reps, || {
+            ref_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            ref_smooth_wl_grad_par(&ref_model, WirelengthModel::Wa, gamma, &mut ref_grad, par)
+        });
+        let den_ref = time_min(reps, || {
+            ref_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            ref_field.penalty_grad_par(&ref_model, &mut ref_grad, par)
+        });
+
+        let row = SizeRow {
+            cells,
+            gen_s,
+            model_build_s,
+            wl_new_s: wl_new.as_secs_f64(),
+            den_new_s: den_new.as_secs_f64(),
+            wl_ref_s: wl_ref.as_secs_f64(),
+            den_ref_s: den_ref.as_secs_f64(),
+            peak_rss_bytes: rdp_bench::mem::peak_rss_bytes().unwrap_or(0),
+        };
+        eprintln!(
+            "[bench_scale] {cells}: wl {:.4}s vs {:.4}s, density {:.4}s vs {:.4}s ({:.2}x combined), peak RSS {} MiB",
+            row.wl_new_s,
+            row.wl_ref_s,
+            row.den_new_s,
+            row.den_ref_s,
+            row.speedup(),
+            row.peak_rss_bytes / (1024 * 1024)
+        );
+        rows.push(row);
+        largest = Some((cells, bench));
+    }
+
+    // End-to-end flow at the largest size, reduced effort.
+    if std::env::var("BENCH_SCALE_NO_FLOW").is_ok() {
+        for r in &rows {
+            eprintln!(
+                "[bench_scale] {}: combined speedup {:.2}x",
+                r.cells,
+                r.speedup()
+            );
+        }
+        return;
+    }
+    let (flow_cells, bench) = largest.expect("at least one size");
+    eprintln!("[bench_scale] running end-to-end flow at {flow_cells} cells...");
+    let mut opts = PlaceOptions::fast();
+    opts.gp.max_outer = 6;
+    opts.gp.inner_iters = 12;
+    opts.inflation_rounds = 1;
+    opts.detailed = false;
+    let t = Instant::now();
+    let result = Placer::new(&bench.design, opts)
+        .with_initial(bench.placement.clone())
+        .run()
+        .expect("flow completes");
+    let flow_s = t.elapsed().as_secs_f64();
+    eprintln!(
+        "[bench_scale] flow done in {flow_s:.1}s: HPWL {:.3e}, {} unplaced",
+        result.hpwl, result.legalize.failed
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"gamma\": {gamma},");
+    let _ = writeln!(json, "  \"sizes\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"cells\": {},", r.cells);
+        let _ = writeln!(json, "      \"generate_s\": {:.4},", r.gen_s);
+        let _ = writeln!(json, "      \"model_build_s\": {:.4},", r.model_build_s);
+        let _ = writeln!(json, "      \"wirelength_grad_new_s\": {:.4},", r.wl_new_s);
+        let _ = writeln!(json, "      \"wirelength_grad_reference_s\": {:.4},", r.wl_ref_s);
+        let _ = writeln!(json, "      \"density_grad_new_s\": {:.4},", r.den_new_s);
+        let _ = writeln!(json, "      \"density_grad_reference_s\": {:.4},", r.den_ref_s);
+        let _ = writeln!(json, "      \"gradient_new_s\": {:.4},", r.grad_new_s());
+        let _ = writeln!(json, "      \"gradient_reference_s\": {:.4},", r.grad_ref_s());
+        let _ = writeln!(json, "      \"gradient_speedup\": {:.3},", r.speedup());
+        let _ = writeln!(json, "      \"peak_rss_bytes\": {}", r.peak_rss_bytes);
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"flow\": {{");
+    let _ = writeln!(json, "    \"cells\": {flow_cells},");
+    let _ = writeln!(json, "    \"seconds\": {flow_s:.2},");
+    let _ = writeln!(json, "    \"hpwl\": {:.6e},", result.hpwl);
+    let _ = writeln!(json, "    \"unplaced\": {},", result.legalize.failed);
+    let _ = writeln!(json, "    \"overflow_ratio\": {:.4},", result.gp.overflow_ratio);
+    let _ = writeln!(
+        json,
+        "    \"peak_rss_bytes\": {},",
+        rdp_bench::mem::peak_rss_bytes().unwrap_or(0)
+    );
+    let _ = writeln!(json, "    \"stages\": [");
+    for (i, s) in result.trace.stages.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"stage\": \"{}\", \"seconds\": {:.3} }}{}",
+            s.stage,
+            s.elapsed.as_secs_f64(),
+            if i + 1 < result.trace.stages.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    println!("\n{:>9} {:>10} {:>10} {:>11} {:>11} {:>9} {:>10}", "cells", "gen", "model", "grad(new)", "grad(ref)", "speedup", "rss MiB");
+    for r in &rows {
+        println!(
+            "{:>9} {:>9.2}s {:>9.3}s {:>10.4}s {:>10.4}s {:>8.2}x {:>10}",
+            r.cells,
+            r.gen_s,
+            r.model_build_s,
+            r.grad_new_s(),
+            r.grad_ref_s(),
+            r.speedup(),
+            r.peak_rss_bytes / (1024 * 1024)
+        );
+    }
+    println!("flow @ {flow_cells} cells: {flow_s:.1}s, HPWL {:.3e}", result.hpwl);
+
+    // Only the full sweep refreshes the checked-in copy; smoke runs would
+    // clobber it with the reduced sizes.
+    if !args.smoke {
+        if let Err(e) = std::fs::write("BENCH_scale.json", &json) {
+            eprintln!("could not write ./BENCH_scale.json: {e}");
+        }
+    }
+    match rdp_eval::report::save("BENCH_scale.json", &json) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not save BENCH_scale.json: {e}"),
+    }
+}

@@ -8,6 +8,7 @@
 
 use rdp_gen::GeneratorConfig;
 
+pub mod mem;
 pub mod timing;
 
 /// Command-line options shared by all experiment binaries.

@@ -13,7 +13,7 @@
 //! absorb macros, so the coarse problem keeps the region structure intact.
 //! [`build_levels`] (used by the placer) drives best-choice.
 
-use crate::model::{Model, ModelNet, ModelPin};
+use crate::model::{Model, ModelNet, ModelPin, FIXED_PIN};
 use rdp_geom::Point;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -30,17 +30,21 @@ pub struct Clustering {
 /// nets (clique net model), later divided by the combined area.
 fn build_affinities(model: &Model, max_degree: usize) -> HashMap<(u32, u32), f64> {
     let mut aff: HashMap<(u32, u32), f64> = HashMap::new();
-    for net in &model.nets {
-        let d = net.pins.len();
+    for ni in 0..model.num_nets() {
+        let span = model.net_pins(ni);
+        let d = span.len();
         if d < 2 || d > max_degree {
             continue;
         }
-        let w = net.weight / (d as f64 - 1.0);
-        for i in 0..d {
-            let Some(a) = net.pins[i].obj else { continue };
-            for j in (i + 1)..d {
-                let Some(b) = net.pins[j].obj else { continue };
-                if a == b {
+        let w = model.net_weight[ni] / (d as f64 - 1.0);
+        for i in span.clone() {
+            let a = model.pin_obj[i];
+            if a == FIXED_PIN {
+                continue;
+            }
+            for j in (i + 1)..span.end {
+                let b = model.pin_obj[j];
+                if b == FIXED_PIN || a == b {
                     continue;
                 }
                 let key = (a.min(b), a.max(b));
@@ -62,8 +66,8 @@ fn coarsen(model: &Model, parent: &[u32], coarse_n: usize) -> Model {
     for (i, &par) in parent.iter().enumerate().take(model.len()) {
         let p = par as usize;
         area[p] += model.area[i];
-        cx[p] += model.pos[i].x * model.area[i];
-        cy[p] += model.pos[i].y * model.area[i];
+        cx[p] += model.pos_x[i] * model.area[i];
+        cy[p] += model.pos_y[i] * model.area[i];
         is_macro[p] |= model.is_macro[i];
         region[p] = model.region[i];
         if model.is_macro[i] {
@@ -78,42 +82,35 @@ fn coarsen(model: &Model, parent: &[u32], coarse_n: usize) -> Model {
         .collect();
 
     // Rebuild nets: collapse pins into clusters, dedup, drop internal nets.
-    let mut nets = Vec::with_capacity(model.nets.len());
+    let mut nets = Vec::with_capacity(model.num_nets());
     let mut seen: Vec<u32> = Vec::new();
-    for net in &model.nets {
+    for ni in 0..model.num_nets() {
         seen.clear();
-        let mut pins: Vec<ModelPin> = Vec::with_capacity(net.pins.len());
-        for p in &net.pins {
-            match p.obj {
-                Some(o) => {
-                    let c = parent[o as usize];
-                    if !seen.contains(&c) {
-                        seen.push(c);
-                        // Macro singletons keep their pin offsets (rotation
-                        // optimization needs them); clusters collapse to
-                        // their center.
-                        let off = if is_macro[c as usize] { p.offset } else { Point::ORIGIN };
-                        pins.push(ModelPin::movable(c as usize, off));
-                    }
+        let span = model.net_pins(ni);
+        let mut pins: Vec<ModelPin> = Vec::with_capacity(span.len());
+        for k in span {
+            let obj = model.pin_obj[k];
+            let off = Point::new(model.pin_off_x[k], model.pin_off_y[k]);
+            if obj == FIXED_PIN {
+                pins.push(ModelPin::fixed(off));
+            } else {
+                let c = parent[obj as usize];
+                if !seen.contains(&c) {
+                    seen.push(c);
+                    // Macro singletons keep their pin offsets (rotation
+                    // optimization needs them); clusters collapse to
+                    // their center.
+                    let off = if is_macro[c as usize] { off } else { Point::ORIGIN };
+                    pins.push(ModelPin::movable(c as usize, off));
                 }
-                None => pins.push(*p),
             }
         }
         if pins.len() >= 2 {
-            nets.push(ModelNet { weight: net.weight, pins });
+            nets.push(ModelNet { weight: model.net_weight[ni], pins });
         }
     }
 
-    Model {
-        pos,
-        size,
-        area,
-        is_macro,
-        region,
-        nets,
-        die: model.die,
-        node_of: vec![],
-    }
+    Model::from_parts(pos, size, area, is_macro, region, &nets, model.die, vec![])
 }
 
 /// Clusters `model` one level with first-choice pairwise matching.
@@ -372,7 +369,7 @@ pub fn project_down(fine: &mut Model, clustering: &Clustering) {
             ((i % 13) as f64 - 6.0) * 0.05,
             ((i % 7) as f64 - 3.0) * 0.05,
         );
-        fine.pos[i] = clustering.coarse.pos[p] + jitter;
+        fine.set_pos(i, clustering.coarse.pos(p) + jitter);
     }
     fine.clamp_to_die();
 }
@@ -398,16 +395,16 @@ mod tests {
                 });
             }
         }
-        Model {
-            pos: vec![Point::new(50.0, 50.0); n],
-            size: vec![(2.0, 10.0); n],
-            area: vec![20.0; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets,
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        }
+        Model::from_parts(
+            vec![Point::new(50.0, 50.0); n],
+            vec![(2.0, 10.0); n],
+            vec![20.0; n],
+            vec![false; n],
+            vec![None; n],
+            &nets,
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        )
     }
 
     #[test]
@@ -463,9 +460,9 @@ mod tests {
     fn internal_nets_are_dropped() {
         let m = grouped_model(16, 1);
         let c = cluster(&m, 1e9).unwrap();
-        assert!(c.coarse.nets.len() < m.nets.len());
-        for net in &c.coarse.nets {
-            assert!(net.pins.len() >= 2);
+        assert!(c.coarse.num_nets() < m.num_nets());
+        for ni in 0..c.coarse.num_nets() {
+            assert!(c.coarse.net_degree(ni) >= 2);
         }
     }
 
@@ -537,12 +534,13 @@ mod tests {
         let mut m = grouped_model(32, 4);
         let c = cluster(&m, 1e9).unwrap();
         let mut coarse = c.coarse.clone();
-        for p in coarse.pos.iter_mut() {
-            *p = Point::new(25.0, 75.0);
+        for p in 0..coarse.len() {
+            coarse.set_pos(p, Point::new(25.0, 75.0));
         }
         let moved = Clustering { coarse, parent: c.parent.clone() };
         project_down(&mut m, &moved);
-        for p in &m.pos {
+        for i in 0..m.len() {
+            let p = m.pos(i);
             assert!((p.x - 25.0).abs() < 1.0 && (p.y - 75.0).abs() < 1.0);
         }
     }

@@ -8,9 +8,34 @@
 //! its *own* field whose bins only cover the fence: this is the
 //! "region-aware density" that lets one optimizer pass handle hierarchical
 //! designs.
+//!
+//! # Kernel structure (million-cell hot path)
+//!
+//! The bell kernel is separable: the deposit into bin `(bx, by)` is
+//! `scale · px(bx) · py(by)` where `px` depends only on the bin column and
+//! `py` only on the row. One evaluation therefore runs in four passes over
+//! reusable scratch (no per-iteration allocation):
+//!
+//! 1. **Ranges** — each member's touched bin window, in parallel chunks;
+//! 2. **Bell caches** — per-member `px`/`py` factor arrays (CSR layout)
+//!    and the normalization scale, in parallel chunks. Caching the factors
+//!    cuts `bell` evaluations from O(window²) to O(window) per member and
+//!    feeds passes 3–4 with bitwise-identical values;
+//! 3. **Deposits** — the density grid is split into disjoint *row bands*;
+//!    each band deposits the members touching it in ascending member
+//!    order, so every bin receives its contributions in exactly the
+//!    historical sequential order while bands run concurrently;
+//! 4. **Gradients** — per-member chain-rule read-back in parallel chunks,
+//!    then a sequential member-order scatter into the object gradient.
+//!
+//! The penalty/residual reduction between passes 3 and 4 stays sequential
+//! so its rounding order is trivially canonical. The `reference` module
+//! keeps the pre-refactor kernel; property tests pin bitwise equality.
 
 use crate::model::Model;
-use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
+use rdp_geom::parallel::{
+    chunk_spans, chunked_map_parts, chunked_map_parts_with, split_at_spans, Parallelism,
+};
 use rdp_geom::{Point, Rect};
 
 /// Member objects per parallel work chunk. Fixed (never derived from the
@@ -18,10 +43,15 @@ use rdp_geom::{Point, Rect};
 /// is identical at every parallelism level.
 const MEMBER_CHUNK: usize = 512;
 
+/// Bin rows per deposit band. Fixed so band boundaries depend only on the
+/// grid size; the partition never affects values (each bin lies in exactly
+/// one band), only parallelism.
+const BAND_ROWS: usize = 4;
+
 /// The C¹ bell kernel of NTUplace: 1 at the object center, quadratic
 /// falloff to zero at `w/2 + 2·bin` from the center.
 #[inline]
-fn bell(d: f64, w: f64, bw: f64) -> f64 {
+pub(crate) fn bell(d: f64, w: f64, bw: f64) -> f64 {
     let d1 = w / 2.0 + bw;
     let d2 = w / 2.0 + 2.0 * bw;
     if d <= d1 {
@@ -37,7 +67,7 @@ fn bell(d: f64, w: f64, bw: f64) -> f64 {
 
 /// Derivative of [`bell`] with respect to `d` (for `d ≥ 0`).
 #[inline]
-fn bell_grad(d: f64, w: f64, bw: f64) -> f64 {
+pub(crate) fn bell_grad(d: f64, w: f64, bw: f64) -> f64 {
     let d1 = w / 2.0 + bw;
     let d2 = w / 2.0 + 2.0 * bw;
     if d <= d1 {
@@ -65,17 +95,17 @@ pub struct DensityStats {
 /// A rectangular bin grid with capacities carved down by blocked area.
 #[derive(Debug, Clone)]
 pub struct BinGrid {
-    nx: usize,
-    ny: usize,
-    origin: Point,
-    bin_w: f64,
-    bin_h: f64,
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) origin: Point,
+    pub(crate) bin_w: f64,
+    pub(crate) bin_h: f64,
     /// Free capacity per bin (bin area minus blocked area).
-    capacity: Vec<f64>,
+    pub(crate) capacity: Vec<f64>,
     /// Target per bin = capacity × target density.
-    target: Vec<f64>,
+    pub(crate) target: Vec<f64>,
     /// Scratch: spread movable density.
-    density: Vec<f64>,
+    pub(crate) density: Vec<f64>,
 }
 
 impl BinGrid {
@@ -134,25 +164,25 @@ impl BinGrid {
         }
     }
 
-    fn bin_rect(&self, bx: usize, by: usize) -> Rect {
+    pub(crate) fn bin_rect(&self, bx: usize, by: usize) -> Rect {
         let xl = self.origin.x + bx as f64 * self.bin_w;
         let yl = self.origin.y + by as f64 * self.bin_h;
         Rect::new(xl, yl, xl + self.bin_w, yl + self.bin_h)
     }
 
-    fn x_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+    pub(crate) fn x_range(&self, lo: f64, hi: f64) -> (usize, usize) {
         let a = ((lo - self.origin.x) / self.bin_w).floor().max(0.0) as usize;
         let b = ((hi - self.origin.x) / self.bin_w).floor().max(0.0) as usize;
         (a.min(self.nx - 1), b.min(self.nx - 1))
     }
 
-    fn y_range(&self, lo: f64, hi: f64) -> (usize, usize) {
+    pub(crate) fn y_range(&self, lo: f64, hi: f64) -> (usize, usize) {
         let a = ((lo - self.origin.y) / self.bin_h).floor().max(0.0) as usize;
         let b = ((hi - self.origin.y) / self.bin_h).floor().max(0.0) as usize;
         (a.min(self.ny - 1), b.min(self.ny - 1))
     }
 
-    fn bin_center(&self, bx: usize, by: usize) -> Point {
+    pub(crate) fn bin_center(&self, bx: usize, by: usize) -> Point {
         Point::new(
             self.origin.x + (bx as f64 + 0.5) * self.bin_w,
             self.origin.y + (by as f64 + 0.5) * self.bin_h,
@@ -165,6 +195,34 @@ impl BinGrid {
     }
 }
 
+/// Reusable evaluation scratch of a [`DensityField`]: member bin windows,
+/// separable bell caches (CSR over members), band buckets, residuals and
+/// per-member gradients. All buffers persist across optimizer iterations.
+#[derive(Debug, Clone, Default)]
+struct DensityScratch {
+    /// Member chunk spans (rebuilt when the member count changes).
+    spans: Vec<std::ops::Range<usize>>,
+    /// Per member: touched bin window (x0, x1, y0, y1), inclusive.
+    ranges: Vec<(u32, u32, u32, u32)>,
+    /// Per member: normalization scale (0 ⇒ deposits nothing).
+    scales: Vec<f64>,
+    /// CSR starts into `px` (window columns per member).
+    px_start: Vec<u32>,
+    /// Cached x-axis bell factors.
+    px: Vec<f64>,
+    /// CSR starts into `py` (window rows per member).
+    py_start: Vec<u32>,
+    /// Cached y-axis bell factors.
+    py: Vec<f64>,
+    /// Per-bin penalty residual `2·max(0, D − T)`.
+    residual: Vec<f64>,
+    /// Per deposit band: member slots touching it, ascending.
+    band_members: Vec<Vec<u32>>,
+    /// Per-member gradient accumulators.
+    member_gx: Vec<f64>,
+    member_gy: Vec<f64>,
+}
+
 /// One density domain: a bin grid plus the objects it constrains.
 #[derive(Debug, Clone)]
 pub struct DensityField {
@@ -172,153 +230,214 @@ pub struct DensityField {
     pub grid: BinGrid,
     /// Object indices (into the model) whose density lives in this field.
     pub members: Vec<u32>,
-}
-
-/// One chunk of pass 1: normalization scales for the chunk's members (in
-/// member order) and the sparse `(bin, amount)` deposits they make (member
-/// order, then row-major bin order — the historical sequential order).
-fn rasterize_span(
-    g: &BinGrid,
-    model: &Model,
-    members: &[u32],
-    span: std::ops::Range<usize>,
-) -> (Vec<f64>, Vec<(u32, f64)>) {
-    let mut scales = vec![0.0f64; span.len()];
-    let mut deposits: Vec<(u32, f64)> = Vec::new();
-    for (si, &oi) in members[span].iter().enumerate() {
-        let o = oi as usize;
-        let (w, h) = model.size[o];
-        let c = model.pos[o];
-        let rx = w / 2.0 + 2.0 * g.bin_w;
-        let ry = h / 2.0 + 2.0 * g.bin_h;
-        let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
-        let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
-        let mut sum = 0.0;
-        for by in y0..=y1 {
-            let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
-            if py == 0.0 {
-                continue;
-            }
-            for bx in x0..=x1 {
-                let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
-                sum += px * py;
-            }
-        }
-        if sum <= 0.0 {
-            continue;
-        }
-        let scale = model.area[o] / sum;
-        scales[si] = scale;
-        for by in y0..=y1 {
-            let py = bell((c.y - g.bin_center(x0, by).y).abs(), h, g.bin_h);
-            if py == 0.0 {
-                continue;
-            }
-            for bx in x0..=x1 {
-                let px = bell((c.x - g.bin_center(bx, by).x).abs(), w, g.bin_w);
-                deposits.push(((by * g.nx + bx) as u32, scale * px * py));
-            }
-        }
-    }
-    (scales, deposits)
-}
-
-/// One chunk of pass 2: the chain-rule gradient of each member in the span
-/// (dense over the span, zero for members that deposited nothing).
-fn gradient_span(
-    g: &BinGrid,
-    model: &Model,
-    members: &[u32],
-    scales: &[f64],
-    residual: &[f64],
-    span: std::ops::Range<usize>,
-) -> Vec<Point> {
-    let mut out = vec![Point::ORIGIN; span.len()];
-    for (si, &oi) in members[span.clone()].iter().enumerate() {
-        let o = oi as usize;
-        let scale = scales[span.start + si];
-        if scale == 0.0 {
-            continue;
-        }
-        let (w, h) = model.size[o];
-        let c = model.pos[o];
-        let rx = w / 2.0 + 2.0 * g.bin_w;
-        let ry = h / 2.0 + 2.0 * g.bin_h;
-        let (x0, x1) = g.x_range(c.x - rx, c.x + rx);
-        let (y0, y1) = g.y_range(c.y - ry, c.y + ry);
-        let mut gx = 0.0;
-        let mut gy = 0.0;
-        for by in y0..=y1 {
-            let dyv = c.y - g.bin_center(x0, by).y;
-            let py = bell(dyv.abs(), h, g.bin_h);
-            let dpy = bell_grad(dyv.abs(), h, g.bin_h) * dyv.signum();
-            if py == 0.0 && dpy == 0.0 {
-                continue;
-            }
-            for bx in x0..=x1 {
-                let dxv = c.x - g.bin_center(bx, by).x;
-                let px = bell(dxv.abs(), w, g.bin_w);
-                let dpx = bell_grad(dxv.abs(), w, g.bin_w) * dxv.signum();
-                let r = residual[by * g.nx + bx];
-                if r == 0.0 {
-                    continue;
-                }
-                gx += r * scale * dpx * py;
-                gy += r * scale * px * dpy;
-            }
-        }
-        out[si] = Point::new(gx, gy);
-    }
-    out
+    /// Reusable evaluation scratch.
+    scratch: DensityScratch,
 }
 
 impl DensityField {
+    /// A field over `grid` constraining `members`.
+    pub fn new(grid: BinGrid, members: Vec<u32>) -> Self {
+        DensityField { grid, members, scratch: DensityScratch::default() }
+    }
+
     /// Spreads the members' areas, computes the penalty and **adds** the
-    /// *unscaled* penalty gradient (`∂penalty/∂pos`) into `grad`, using up
-    /// to `par` worker threads.
+    /// *unscaled* penalty gradient (`∂penalty/∂pos`) into
+    /// `grad_x`/`grad_y`, using up to `par` worker threads.
     ///
-    /// Members are partitioned into fixed-size chunks; each chunk
-    /// rasterizes against the immutable grid geometry and its sparse bin
-    /// deposits are merged back **in member order**, so the result is
-    /// bitwise identical at every thread count (and to the historical
-    /// sequential implementation). The per-member gradient read-back
-    /// parallelizes the same way.
+    /// Members are partitioned into fixed-size chunks and the grid into
+    /// fixed row bands; every floating-point accumulation (bin deposits in
+    /// member order, penalty reduction in bin order, gradient scatter in
+    /// member order) happens in the historical sequential order, so the
+    /// result is bitwise identical at every thread count and to the
+    /// pre-layout-refactor kernel (see [`crate::reference`]).
     ///
-    /// Bins also receive gradient-free clamping: an object whose kernel
-    /// support lies fully outside the grid contributes nothing (it is the
-    /// fence pull-in force's job to bring it back).
+    /// An object whose kernel support lies fully outside the grid
+    /// contributes nothing (it is the fence pull-in force's job to bring
+    /// it back).
     pub fn penalty_grad_par(
         &mut self,
         model: &Model,
-        grad: &mut [Point],
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
         par: Parallelism,
     ) -> DensityStats {
-        let g = &mut self.grid;
-        g.density.iter_mut().for_each(|d| *d = 0.0);
-        let spans: Vec<_> = chunk_spans(self.members.len(), MEMBER_CHUNK).collect();
+        let DensityField { grid, members, scratch } = self;
+        let n = members.len();
+        let (nx, ny) = (grid.nx, grid.ny);
+        let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
+        let origin = grid.origin;
+        let bin_center_x = |bx: usize| origin.x + (bx as f64 + 0.5) * bin_w;
+        let bin_center_y = |by: usize| origin.y + (by as f64 + 0.5) * bin_h;
 
-        // Pass 1: rasterize chunks in parallel, then deposit in chunk
-        // (= member) order.
-        let mut scales = vec![0.0f64; self.members.len()];
+        grid.density.iter_mut().for_each(|d| *d = 0.0);
+        if scratch.spans.last().map_or(0, |s| s.end) != n {
+            scratch.spans = chunk_spans(n, MEMBER_CHUNK).collect();
+        }
+        scratch.ranges.resize(n, (0, 0, 0, 0));
+        scratch.scales.resize(n, 0.0);
+        scratch.member_gx.resize(n, 0.0);
+        scratch.member_gy.resize(n, 0.0);
+
+        // Pass 1: bin windows, parallel over member chunks.
         {
-            let g_ro: &BinGrid = g;
-            let members: &[u32] = &self.members;
-            let partials = chunked_map(par, spans.len(), |ci| {
-                rasterize_span(g_ro, model, members, spans[ci].clone())
-            });
-            for (span, (chunk_scales, deposits)) in spans.iter().zip(&partials) {
-                scales[span.clone()].copy_from_slice(chunk_scales);
-                for &(bin, amount) in deposits {
-                    g.density[bin as usize] += amount;
+            let parts: Vec<_> = split_at_spans(&mut scratch.ranges, &scratch.spans)
+                .into_iter()
+                .zip(scratch.spans.iter().cloned())
+                .collect();
+            let members: &[u32] = members;
+            let grid_ro: &BinGrid = grid;
+            chunked_map_parts(par, parts, |_ci, (out, span)| {
+                for (slot, &oi) in out.iter_mut().zip(&members[span.clone()]) {
+                    let o = oi as usize;
+                    let (w, h) = model.size[o];
+                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+                    let rx = w / 2.0 + 2.0 * bin_w;
+                    let ry = h / 2.0 + 2.0 * bin_h;
+                    let (x0, x1) = grid_ro.x_range(cx - rx, cx + rx);
+                    let (y0, y1) = grid_ro.y_range(cy - ry, cy + ry);
+                    *slot = (x0 as u32, x1 as u32, y0 as u32, y1 as u32);
                 }
+            });
+        }
+
+        // CSR starts for the bell caches + band buckets (sequential:
+        // prefix sums and ordered pushes).
+        let num_bands = ny.div_ceil(BAND_ROWS);
+        scratch.band_members.resize(num_bands, Vec::new());
+        for b in &mut scratch.band_members {
+            b.clear();
+        }
+        scratch.px_start.clear();
+        scratch.py_start.clear();
+        scratch.px_start.push(0);
+        scratch.py_start.push(0);
+        let (mut px_len, mut py_len) = (0u32, 0u32);
+        for (si, &(x0, x1, y0, y1)) in scratch.ranges.iter().enumerate() {
+            px_len += x1 - x0 + 1;
+            py_len += y1 - y0 + 1;
+            scratch.px_start.push(px_len);
+            scratch.py_start.push(py_len);
+            for band in (y0 as usize / BAND_ROWS)..=(y1 as usize / BAND_ROWS) {
+                scratch.band_members[band].push(si as u32);
             }
+        }
+        scratch.px.resize(px_len as usize, 0.0);
+        scratch.py.resize(py_len as usize, 0.0);
+
+        // Pass 2: bell factor caches + normalization scales, parallel over
+        // member chunks (each chunk owns contiguous cache and scale
+        // slices). The deposit sum runs in the historical row-major order
+        // over the cached factors — identical values, identical order.
+        {
+            let px_spans: Vec<_> = scratch
+                .spans
+                .iter()
+                .map(|s| scratch.px_start[s.start] as usize..scratch.px_start[s.end] as usize)
+                .collect();
+            let py_spans: Vec<_> = scratch
+                .spans
+                .iter()
+                .map(|s| scratch.py_start[s.start] as usize..scratch.py_start[s.end] as usize)
+                .collect();
+            let px_parts = split_at_spans(&mut scratch.px, &px_spans);
+            let py_parts = split_at_spans(&mut scratch.py, &py_spans);
+            let scale_parts = split_at_spans(&mut scratch.scales, &scratch.spans);
+            let parts: Vec<_> = scratch
+                .spans
+                .iter()
+                .cloned()
+                .zip(px_parts)
+                .zip(py_parts)
+                .zip(scale_parts)
+                .map(|(((span, px), py), sc)| (span, px, py, sc))
+                .collect();
+            let members: &[u32] = members;
+            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
+            chunked_map_parts(par, parts, |_ci, (span, px_out, py_out, sc_out)| {
+                let (mut px_off, mut py_off) = (0usize, 0usize);
+                for (j, si) in span.clone().enumerate() {
+                    let o = members[si] as usize;
+                    let (w, h) = model.size[o];
+                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+                    let (x0, x1, y0, y1) = ranges[si];
+                    let (x0, x1) = (x0 as usize, x1 as usize);
+                    let (y0, y1) = (y0 as usize, y1 as usize);
+                    let pxs = &mut px_out[px_off..px_off + (x1 - x0 + 1)];
+                    let pys = &mut py_out[py_off..py_off + (y1 - y0 + 1)];
+                    px_off += pxs.len();
+                    py_off += pys.len();
+                    for (v, bx) in pxs.iter_mut().zip(x0..=x1) {
+                        *v = bell((cx - bin_center_x(bx)).abs(), w, bin_w);
+                    }
+                    for (v, by) in pys.iter_mut().zip(y0..=y1) {
+                        *v = bell((cy - bin_center_y(by)).abs(), h, bin_h);
+                    }
+                    let mut sum = 0.0;
+                    for &py in pys.iter() {
+                        if py == 0.0 {
+                            continue;
+                        }
+                        for &px in pxs.iter() {
+                            sum += px * py;
+                        }
+                    }
+                    sc_out[j] = if sum <= 0.0 { 0.0 } else { model.area[o] / sum };
+                }
+            });
+        }
+
+        // Pass 3: deposits, parallel over disjoint row bands. Within a
+        // band, members run in ascending order, so every bin accumulates
+        // its contributions in the historical member-major order.
+        {
+            let band_spans: Vec<_> = (0..num_bands)
+                .map(|b| b * BAND_ROWS * nx..((b + 1) * BAND_ROWS).min(ny) * nx)
+                .collect();
+            let parts: Vec<_> = split_at_spans(&mut grid.density, &band_spans)
+                .into_iter()
+                .enumerate()
+                .collect();
+            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
+            let scales: &[f64] = &scratch.scales;
+            let px_start: &[u32] = &scratch.px_start;
+            let py_start: &[u32] = &scratch.py_start;
+            let px_all: &[f64] = &scratch.px;
+            let py_all: &[f64] = &scratch.py;
+            let band_members: &[Vec<u32>] = &scratch.band_members;
+            chunked_map_parts(par, parts, |_ci, (band, density)| {
+                let row_lo = *band * BAND_ROWS;
+                let row_hi = ((*band + 1) * BAND_ROWS).min(ny); // exclusive
+                for &si32 in &band_members[*band] {
+                    let si = si32 as usize;
+                    let scale = scales[si];
+                    if scale == 0.0 {
+                        continue;
+                    }
+                    let (x0, x1, y0, y1) = ranges[si];
+                    let (x0, x1) = (x0 as usize, x1 as usize);
+                    let (y0, y1) = (y0 as usize, y1 as usize);
+                    let pxs = &px_all[px_start[si] as usize..px_start[si + 1] as usize];
+                    let pys = &py_all[py_start[si] as usize..py_start[si + 1] as usize];
+                    for by in y0.max(row_lo)..=(y1.min(row_hi - 1)) {
+                        let py = pys[by - y0];
+                        if py == 0.0 {
+                            continue;
+                        }
+                        let row = &mut density[(by - row_lo) * nx..];
+                        for (bx, &px) in (x0..=x1).zip(pxs) {
+                            row[bx] += scale * px * py;
+                        }
+                    }
+                }
+            });
         }
 
         // Penalty and per-bin residuals (O(bins): cheap, kept sequential so
         // the reduction order is trivially canonical).
+        let g: &BinGrid = grid;
         let mut stats = DensityStats::default();
-        let mut residual = vec![0.0f64; g.density.len()];
-        for (i, r) in residual.iter_mut().enumerate() {
+        scratch.residual.resize(g.density.len(), 0.0);
+        for (i, r) in scratch.residual.iter_mut().enumerate() {
             let over = (g.density[i] - g.target[i]).max(0.0);
             stats.penalty += over * over;
             *r = 2.0 * over;
@@ -328,32 +447,95 @@ impl DensityField {
             }
         }
 
-        // Pass 2: chain rule into object positions, one chunk of members at
-        // a time (each member's accumulation is internal to its chunk, so
-        // merge order only has to respect member order).
+        // Pass 4: chain rule into per-member gradients, parallel over
+        // member chunks.
         {
-            let g_ro: &BinGrid = g;
-            let members: &[u32] = &self.members;
-            let scales_ro: &[f64] = &scales;
-            let residual_ro: &[f64] = &residual;
-            let partials = chunked_map(par, spans.len(), |ci| {
-                gradient_span(g_ro, model, members, scales_ro, residual_ro, spans[ci].clone())
-            });
-            for (span, chunk_grad) in spans.iter().zip(&partials) {
-                for (si, gp) in chunk_grad.iter().enumerate() {
-                    let o = self.members[span.start + si] as usize;
-                    grad[o].x += gp.x;
-                    grad[o].y += gp.y;
+            let gx_parts = split_at_spans(&mut scratch.member_gx, &scratch.spans);
+            let gy_parts = split_at_spans(&mut scratch.member_gy, &scratch.spans);
+            let parts: Vec<_> = scratch
+                .spans
+                .iter()
+                .cloned()
+                .zip(gx_parts)
+                .zip(gy_parts)
+                .map(|((span, gx), gy)| (span, gx, gy))
+                .collect();
+            let members: &[u32] = members;
+            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
+            let scales: &[f64] = &scratch.scales;
+            let px_start: &[u32] = &scratch.px_start;
+            let py_start: &[u32] = &scratch.py_start;
+            let px_all: &[f64] = &scratch.px;
+            let py_all: &[f64] = &scratch.py;
+            let residual: &[f64] = &scratch.residual;
+            chunked_map_parts_with(par, parts, Vec::new, |dpx_row: &mut Vec<f64>, _ci, (span, gx_out, gy_out)| {
+                for (j, si) in span.clone().enumerate() {
+                    let scale = scales[si];
+                    if scale == 0.0 {
+                        gx_out[j] = 0.0;
+                        gy_out[j] = 0.0;
+                        continue;
+                    }
+                    let o = members[si] as usize;
+                    let (w, h) = model.size[o];
+                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+                    let (x0, x1, y0, y1) = ranges[si];
+                    let (x0, x1) = (x0 as usize, x1 as usize);
+                    let (y0, y1) = (y0 as usize, y1 as usize);
+                    let pxs = &px_all[px_start[si] as usize..px_start[si + 1] as usize];
+                    let pys = &py_all[py_start[si] as usize..py_start[si + 1] as usize];
+                    // The x-axis bell gradient depends only on the column:
+                    // hoist it out of the row loop (same values, same
+                    // accumulation order — just fewer evaluations).
+                    dpx_row.clear();
+                    for bx in x0..=x1 {
+                        let dxv = cx - bin_center_x(bx);
+                        dpx_row.push(bell_grad(dxv.abs(), w, bin_w) * dxv.signum());
+                    }
+                    let mut gx = 0.0;
+                    let mut gy = 0.0;
+                    for by in y0..=y1 {
+                        let dyv = cy - bin_center_y(by);
+                        let py = pys[by - y0];
+                        let dpy = bell_grad(dyv.abs(), h, bin_h) * dyv.signum();
+                        if py == 0.0 && dpy == 0.0 {
+                            continue;
+                        }
+                        let row = &residual[by * nx + x0..=by * nx + x1];
+                        for ((&r, &px), &dpx) in row.iter().zip(pxs).zip(dpx_row.iter()) {
+                            if r == 0.0 {
+                                continue;
+                            }
+                            gx += r * scale * dpx * py;
+                            gy += r * scale * px * dpy;
+                        }
+                    }
+                    gx_out[j] = gx;
+                    gy_out[j] = gy;
                 }
-            }
+            });
+        }
+
+        // Ordered scatter: ascending member order, one addition per member
+        // and axis — the historical merge order (members that deposited
+        // nothing add an exact 0.0, as before).
+        for (si, &oi) in members.iter().enumerate() {
+            let o = oi as usize;
+            grad_x[o] += scratch.member_gx[si];
+            grad_y[o] += scratch.member_gy[si];
         }
         stats
     }
 
     /// Single-threaded [`DensityField::penalty_grad_par`] (the historical
     /// entry point).
-    pub fn penalty_grad(&mut self, model: &Model, grad: &mut [Point]) -> DensityStats {
-        self.penalty_grad_par(model, grad, Parallelism::single())
+    pub fn penalty_grad(
+        &mut self,
+        model: &Model,
+        grad_x: &mut [f64],
+        grad_y: &mut [f64],
+    ) -> DensityStats {
+        self.penalty_grad_par(model, grad_x, grad_y, Parallelism::single())
     }
 }
 
@@ -386,7 +568,7 @@ pub fn build_fields(
     let members: Vec<u32> = (0..model.len() as u32)
         .filter(|&i| model.region[i as usize].is_none())
         .collect();
-    fields.push(DensityField { grid: main, members });
+    fields.push(DensityField::new(main, members));
 
     // One field per fence: bins over the fence bbox, everything outside the
     // fence rects blocked.
@@ -413,7 +595,7 @@ pub fn build_fields(
         let members: Vec<u32> = (0..model.len() as u32)
             .filter(|&i| model.region[i as usize].map(|r| r.index()) == Some(ri))
             .collect();
-        fields.push(DensityField { grid, members });
+        fields.push(DensityField::new(grid, members));
     }
     fields
 }
@@ -425,26 +607,33 @@ mod tests {
 
     fn toy_model(positions: &[(f64, f64)], size: (f64, f64)) -> Model {
         let n = positions.len();
-        Model {
-            pos: positions.iter().map(|&(x, y)| Point::new(x, y)).collect(),
-            size: vec![size; n],
-            area: vec![size.0 * size.1; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets: vec![ModelNet {
+        Model::from_parts(
+            positions.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            vec![size; n],
+            vec![size.0 * size.1; n],
+            vec![false; n],
+            vec![None; n],
+            &[ModelNet {
                 weight: 1.0,
                 pins: vec![ModelPin::movable(0, Point::ORIGIN); 2.min(n)],
             }],
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        }
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        )
     }
 
     fn field_for(model: &Model, bins: usize, target: f64) -> DensityField {
-        DensityField {
-            grid: BinGrid::new(model.die, bins, bins, target),
-            members: (0..model.len() as u32).collect(),
-        }
+        DensityField::new(
+            BinGrid::new(model.die, bins, bins, target),
+            (0..model.len() as u32).collect(),
+        )
+    }
+
+    fn eval(f: &mut DensityField, model: &Model) -> (DensityStats, Vec<f64>, Vec<f64>) {
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        let stats = f.penalty_grad(model, &mut gx, &mut gy);
+        (stats, gx, gy)
     }
 
     #[test]
@@ -468,8 +657,7 @@ mod tests {
         // One cell mid-grid: total deposited density equals its area.
         let model = toy_model(&[(50.0, 50.0)], (4.0, 10.0));
         let mut f = field_for(&model, 10, 1.0);
-        let mut grad = vec![Point::ORIGIN; 1];
-        f.penalty_grad(&model, &mut grad);
+        eval(&mut f, &model);
         let total: f64 = f.grid.density.iter().sum();
         assert!((total - 40.0).abs() < 1e-9, "deposited {total}, area 40");
     }
@@ -480,37 +668,34 @@ mod tests {
         // must point outward (opposite x signs once perturbed).
         let model = toy_model(&[(50.0, 50.0), (51.0, 50.0)], (8.0, 10.0));
         let mut f = field_for(&model, 20, 0.2);
-        let mut grad = vec![Point::ORIGIN; 2];
-        let stats = f.penalty_grad(&model, &mut grad);
+        let (stats, gx, _gy) = eval(&mut f, &model);
         assert!(stats.penalty > 0.0);
         // Descent direction −grad separates them.
-        assert!(grad[0].x > -grad[1].x || grad[0].x < grad[1].x, "degenerate gradients");
-        assert!(-grad[0].x < -grad[1].x, "left cell moves left, right cell moves right");
+        assert!(gx[0] > -gx[1] || gx[0] < gx[1], "degenerate gradients");
+        assert!(-gx[0] < -gx[1], "left cell moves left, right cell moves right");
     }
 
     #[test]
     fn gradient_matches_finite_difference() {
         let model = toy_model(&[(42.0, 57.0), (47.0, 53.0)], (6.0, 10.0));
         let mut f = field_for(&model, 12, 0.3);
-        let mut grad = vec![Point::ORIGIN; 2];
-        f.penalty_grad(&model, &mut grad);
+        let (_, gx, gy) = eval(&mut f, &model);
         let h = 1e-6;
-        #[allow(clippy::needless_range_loop)]
         for i in 0..2 {
             for axis in 0..2 {
                 let mut mp = model.clone();
                 let mut mm = model.clone();
                 if axis == 0 {
-                    mp.pos[i].x += h;
-                    mm.pos[i].x -= h;
+                    mp.pos_x[i] += h;
+                    mm.pos_x[i] -= h;
                 } else {
-                    mp.pos[i].y += h;
-                    mm.pos[i].y -= h;
+                    mp.pos_y[i] += h;
+                    mm.pos_y[i] -= h;
                 }
-                let fp = field_for(&model, 12, 0.3).penalty_grad(&mp, &mut [Point::ORIGIN; 2]).penalty;
-                let fm = field_for(&model, 12, 0.3).penalty_grad(&mm, &mut [Point::ORIGIN; 2]).penalty;
+                let fp = eval(&mut field_for(&model, 12, 0.3), &mp).0.penalty;
+                let fm = eval(&mut field_for(&model, 12, 0.3), &mm).0.penalty;
                 let fd = (fp - fm) / (2.0 * h);
-                let an = if axis == 0 { grad[i].x } else { grad[i].y };
+                let an = if axis == 0 { gx[i] } else { gy[i] };
                 assert!(
                     (fd - an).abs() < 1e-3 * (1.0 + fd.abs()),
                     "obj {i} axis {axis}: fd {fd} vs {an}"
@@ -554,12 +739,44 @@ mod tests {
     fn out_of_grid_object_contributes_nothing() {
         let model = toy_model(&[(500.0, 500.0)], (4.0, 10.0));
         let mut f = field_for(&model, 10, 1.0);
-        let mut grad = vec![Point::ORIGIN; 1];
-        let stats = f.penalty_grad(&model, &mut grad);
+        let (stats, gx, gy) = eval(&mut f, &model);
         let total: f64 = f.grid.density.iter().sum();
         // The kernel support is far outside: nothing deposited, no gradient.
         assert_eq!(total, 0.0);
-        assert_eq!(grad[0], Point::ORIGIN);
+        assert_eq!(gx[0], 0.0);
+        assert_eq!(gy[0], 0.0);
         assert_eq!(stats.penalty, 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_single_thread_bitwise() {
+        // A grid of overlapping cells spanning several bands and chunks.
+        let positions: Vec<(f64, f64)> = (0..600)
+            .map(|i| (((i * 13) % 95) as f64 + 2.5, ((i * 29) % 91) as f64 + 4.5))
+            .collect();
+        let model = toy_model(&positions, (5.0, 7.0));
+        let mut base_f = field_for(&model, 24, 0.4);
+        let mut bgx = vec![0.0; model.len()];
+        let mut bgy = vec![0.0; model.len()];
+        let base = base_f.penalty_grad_par(&model, &mut bgx, &mut bgy, Parallelism::single());
+        for threads in [2, 8] {
+            let mut f = field_for(&model, 24, 0.4);
+            let mut gx = vec![0.0; model.len()];
+            let mut gy = vec![0.0; model.len()];
+            let stats = f.penalty_grad_par(&model, &mut gx, &mut gy, Parallelism::new(threads));
+            assert_eq!(stats.penalty.to_bits(), base.penalty.to_bits(), "threads={threads}");
+            assert_eq!(
+                stats.overflow_area.to_bits(),
+                base.overflow_area.to_bits(),
+                "threads={threads}"
+            );
+            for (a, b) in f.grid.density.iter().zip(&base_f.grid.density) {
+                assert_eq!(a.to_bits(), b.to_bits(), "density differs at {threads} threads");
+            }
+            for i in 0..model.len() {
+                assert_eq!(gx[i].to_bits(), bgx[i].to_bits(), "t={threads} i={i}");
+                assert_eq!(gy[i].to_bits(), bgy[i].to_bits(), "t={threads} i={i}");
+            }
+        }
     }
 }

@@ -13,20 +13,28 @@ use rdp_db::Region;
 use rdp_geom::Point;
 
 /// Adds `weight · ∂/∂pos Σ dist(pos, fence)²` for every fenced object into
-/// `grad`. Objects inside their fence get no force.
-pub fn fence_grad(model: &Model, regions: &[Region], weight: f64, grad: &mut [Point]) {
+/// `grad_x`/`grad_y`. Objects inside their fence get no force.
+pub fn fence_grad(
+    model: &Model,
+    regions: &[Region],
+    weight: f64,
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+) {
     if regions.is_empty() || weight == 0.0 {
         return;
     }
-    for (g, (&region_id, &c)) in grad.iter_mut().zip(model.region.iter().zip(&model.pos)) {
-        let Some(region_id) = region_id else { continue };
+    for i in 0..model.len() {
+        let Some(region_id) = model.region[i] else { continue };
         let Some(region) = regions.get(region_id.index()) else { continue };
+        let c = model.pos(i);
         if region.contains(c) {
             continue;
         }
         if let Some((closest, _)) = region.closest_point(c) {
             // d/dc |c - closest|² = 2 (c - closest).
-            *g += (c - closest) * (2.0 * weight);
+            grad_x[i] += (c.x - closest.x) * (2.0 * weight);
+            grad_y[i] += (c.y - closest.y) * (2.0 * weight);
         }
     }
 }
@@ -52,7 +60,7 @@ pub fn fence_project(model: &mut Model, regions: &[Region], max_dist: f64) -> us
     for i in 0..model.len() {
         let Some(region_id) = model.region[i] else { continue };
         let Some(region) = regions.get(region_id.index()) else { continue };
-        let c = model.pos[i];
+        let c = model.pos(i);
         if region.contains(c) {
             continue;
         }
@@ -64,9 +72,12 @@ pub fn fence_project(model: &mut Model, regions: &[Region], max_dist: f64) -> us
         let (w, h) = model.size[i];
         let sx = (w / 2.0).min(r.width() / 2.0);
         let sy = (h / 2.0).min(r.height() / 2.0);
-        model.pos[i] = Point::new(
-            closest.x.clamp(r.xl + sx, r.xh - sx),
-            closest.y.clamp(r.yl + sy, r.yh - sy),
+        model.set_pos(
+            i,
+            Point::new(
+                closest.x.clamp(r.xl + sx, r.xh - sx),
+                closest.y.clamp(r.yl + sy, r.yh - sy),
+            ),
         );
         moved += 1;
     }
@@ -80,7 +91,7 @@ pub fn fence_violation(model: &Model, regions: &[Region]) -> f64 {
     for i in 0..model.len() {
         let Some(region_id) = model.region[i] else { continue };
         let Some(region) = regions.get(region_id.index()) else { continue };
-        let d = region.distance(model.pos[i]);
+        let d = region.distance(model.pos(i));
         if d.is_finite() {
             total += d * d;
         }
@@ -91,42 +102,46 @@ pub fn fence_violation(model: &Model, regions: &[Region]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::ModelNet;
     use rdp_db::RegionId;
     use rdp_geom::Rect;
 
     fn fenced_model(pos: Point) -> (Model, Vec<Region>) {
-        let model = Model {
-            pos: vec![pos],
-            size: vec![(4.0, 10.0)],
-            area: vec![40.0],
-            is_macro: vec![false],
-            region: vec![Some(RegionId(0))],
-            nets: Vec::<ModelNet>::new(),
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        };
+        let model = Model::from_parts(
+            vec![pos],
+            vec![(4.0, 10.0)],
+            vec![40.0],
+            vec![false],
+            vec![Some(RegionId(0))],
+            &[],
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        );
         let regions = vec![Region::new("R", vec![Rect::new(60.0, 60.0, 90.0, 90.0)])];
         (model, regions)
+    }
+
+    fn grad_of(model: &Model, regions: &[Region], weight: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        fence_grad(model, regions, weight, &mut gx, &mut gy);
+        (gx, gy)
     }
 
     #[test]
     fn outside_object_is_pulled_toward_fence() {
         let (model, regions) = fenced_model(Point::new(10.0, 10.0));
-        let mut grad = vec![Point::ORIGIN; 1];
-        fence_grad(&model, &regions, 1.0, &mut grad);
+        let (gx, gy) = grad_of(&model, &regions, 1.0);
         // Descent direction −grad points toward the fence (up-right).
-        assert!(-grad[0].x > 0.0 && -grad[0].y > 0.0);
+        assert!(-gx[0] > 0.0 && -gy[0] > 0.0);
         // Magnitude = 2·distance vector.
-        assert!((grad[0].x - 2.0 * (10.0 - 60.0)).abs() < 1e-9);
+        assert!((gx[0] - 2.0 * (10.0 - 60.0)).abs() < 1e-9);
     }
 
     #[test]
     fn inside_object_feels_nothing() {
         let (model, regions) = fenced_model(Point::new(70.0, 70.0));
-        let mut grad = vec![Point::ORIGIN; 1];
-        fence_grad(&model, &regions, 1.0, &mut grad);
-        assert_eq!(grad[0], Point::ORIGIN);
+        let (gx, gy) = grad_of(&model, &regions, 1.0);
+        assert_eq!((gx[0], gy[0]), (0.0, 0.0));
         assert_eq!(fence_violation(&model, &regions), 0.0);
     }
 
@@ -134,9 +149,8 @@ mod tests {
     fn unfenced_object_feels_nothing() {
         let (mut model, regions) = fenced_model(Point::new(10.0, 10.0));
         model.region[0] = None;
-        let mut grad = vec![Point::ORIGIN; 1];
-        fence_grad(&model, &regions, 1.0, &mut grad);
-        assert_eq!(grad[0], Point::ORIGIN);
+        let (gx, gy) = grad_of(&model, &regions, 1.0);
+        assert_eq!((gx[0], gy[0]), (0.0, 0.0));
     }
 
     #[test]
@@ -149,10 +163,20 @@ mod tests {
     #[test]
     fn weight_scales_linearly() {
         let (model, regions) = fenced_model(Point::new(10.0, 70.0));
-        let mut g1 = vec![Point::ORIGIN; 1];
-        let mut g3 = vec![Point::ORIGIN; 1];
-        fence_grad(&model, &regions, 1.0, &mut g1);
-        fence_grad(&model, &regions, 3.0, &mut g3);
-        assert!((g3[0].x - 3.0 * g1[0].x).abs() < 1e-9);
+        let (g1x, _) = grad_of(&model, &regions, 1.0);
+        let (g3x, _) = grad_of(&model, &regions, 3.0);
+        assert!((g3x[0] - 3.0 * g1x[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_snaps_boundary_layer_inside() {
+        let (mut model, regions) = fenced_model(Point::new(59.0, 70.0));
+        // Too far for a 0.5 radius, close enough for 2.0.
+        assert_eq!(fence_project(&mut model, &regions, 0.5), 0);
+        assert_eq!(fence_project(&mut model, &regions, 2.0), 1);
+        let p = model.pos(0);
+        assert!(regions[0].contains(p), "not projected inside: {p:?}");
+        // Inset by half the object width.
+        assert!((p.x - 62.0).abs() < 1e-9, "x {}", p.x);
     }
 }

@@ -79,7 +79,7 @@ pub fn inflate(model: &mut Model, grid: &RouteGrid, config: InflationConfig) -> 
         if model.is_macro[i] || (!config.inflate_fenced && model.region[i].is_some()) {
             continue;
         }
-        let g = grid.gcell_of(model.pos[i]);
+        let g = grid.gcell_of(model.pos(i));
         let ratio = grid.gcell_congestion(g);
         // A non-finite ratio (corrupted grid) must be skipped explicitly:
         // `NaN <= threshold` is false, so it would otherwise fall through
@@ -123,21 +123,20 @@ pub fn deflate(model: &mut Model) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::ModelNet;
     use rdp_geom::{Point, Rect};
 
     fn model_at(points: &[(f64, f64)]) -> Model {
         let n = points.len();
-        Model {
-            pos: points.iter().map(|&(x, y)| Point::new(x, y)).collect(),
-            size: vec![(4.0, 10.0); n],
-            area: vec![40.0; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets: Vec::<ModelNet>::new(),
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        }
+        Model::from_parts(
+            points.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            vec![(4.0, 10.0); n],
+            vec![40.0; n],
+            vec![false; n],
+            vec![None; n],
+            &[],
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        )
     }
 
     fn hot_grid() -> RouteGrid {

@@ -43,8 +43,7 @@ pub fn pack_segment(design: &Design, placement: &mut Placement, seg: &mut Segmen
         placement
             .lower_left(design, a)
             .x
-            .partial_cmp(&placement.lower_left(design, b).x)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&placement.lower_left(design, b).x)
             .then(a.cmp(&b))
     });
     let desired: Vec<f64> = cells
@@ -161,7 +160,7 @@ mod tests {
             .iter()
             .map(|&id| pl.rect(d, id))
             .collect();
-        rects.sort_by(|a, b| a.xl.partial_cmp(&b.xl).unwrap());
+        rects.sort_by(|a, b| a.xl.total_cmp(&b.xl));
         for w in rects.windows(2) {
             assert!(
                 w[0].xh <= w[1].xl + 1e-9,

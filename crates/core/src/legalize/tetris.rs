@@ -2,6 +2,8 @@
 
 use super::segments::Segment;
 use rdp_db::{Design, NodeId, Placement};
+use rdp_geom::grid_index::BucketGrid;
+use rdp_geom::Rect;
 
 /// Site-quantized width a cell occupies in a row.
 fn site_width(design: &Design, id: NodeId, site: f64) -> f64 {
@@ -12,6 +14,13 @@ fn site_width(design: &Design, id: NodeId, site: f64) -> f64 {
 /// minimizing `|Δy| + |Δx|` displacement subject to remaining capacity.
 /// Returns the number of cells that found no segment (capacity exhausted
 /// everywhere — 0 on any sanely-sized design).
+///
+/// Candidate segments come from a bucketed spatial index queried around
+/// each cell's desired position, so the per-cell work is a local window
+/// rather than a scan of every segment. The query cost `dx + 2·dy` never
+/// undercuts the L1 distance to a segment's span, so the windowed search
+/// returns the same `(cost, index)`-minimal segment as a full scan —
+/// including the lowest-segment-index tie-break.
 pub fn assign_cells(design: &Design, placement: &Placement, segments: &mut [Segment]) -> usize {
     let site = design
         .rows()
@@ -29,23 +38,34 @@ pub fn assign_cells(design: &Design, placement: &Placement, segments: &mut [Segm
         placement
             .center(a)
             .x
-            .partial_cmp(&placement.center(b).x)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&placement.center(b).x)
             .then(a.cmp(&b))
     });
+
+    // Each segment is a zero-height rect at its row's y; feasibility
+    // (region match, remaining capacity) lives in the query cost so the
+    // index never needs rebuilding as segments fill up.
+    let row_ys: Vec<f64> = segments
+        .iter()
+        .map(|s| design.rows()[s.row].y())
+        .collect();
+    let res = ((segments.len() as f64).sqrt().ceil() as usize).clamp(4, 256);
+    let mut index = BucketGrid::new(design.die(), res, res);
+    for (seg, &row_y) in segments.iter().zip(&row_ys) {
+        index.insert(Rect::new(seg.interval.lo, row_y, seg.interval.hi, row_y));
+    }
 
     let mut failed = 0;
     for id in cells {
         let w = site_width(design, id, site);
         let desired = placement.lower_left(design, id);
         let region = design.node(id).region();
-        let mut best: Option<(f64, usize)> = None;
-        for (si, seg) in segments.iter().enumerate() {
+        let best = index.nearest_by(desired, |si| {
+            let seg = &segments[si as usize];
             if seg.region != region || seg.free() + 1e-9 < w {
-                continue;
+                return None;
             }
-            let row_y = design.rows()[seg.row].y();
-            let dy = (row_y - desired.y).abs();
+            let dy = (row_ys[si as usize] - desired.y).abs();
             // Approximate x displacement: distance from desired to the
             // feasible span of the segment.
             let lo = seg.interval.lo;
@@ -57,15 +77,12 @@ pub fn assign_cells(design: &Design, placement: &Placement, segments: &mut [Segm
             } else {
                 0.0
             };
-            let cost = dx + 2.0 * dy;
-            if best.map(|(c, _)| cost < c).unwrap_or(true) {
-                best = Some((cost, si));
-            }
-        }
+            Some(dx + 2.0 * dy)
+        });
         match best {
-            Some((_, si)) => {
-                segments[si].used += w;
-                segments[si].cells.push(id);
+            Some((si, _)) => {
+                segments[si as usize].used += w;
+                segments[si as usize].cells.push(id);
             }
             None => failed += 1,
         }
@@ -142,5 +159,70 @@ mod tests {
         let c0 = d.find_node("c0").unwrap();
         assert_eq!(site_width(&d, c0, 1.0), 4.0);
         assert_eq!(site_width(&d, c0, 3.0), 6.0);
+    }
+
+    /// The windowed index query must pick the same segment, in the same
+    /// order of strict improvements, as a full linear scan over segments.
+    #[test]
+    fn windowed_query_matches_full_scan() {
+        let d = design(40);
+        let mut pl = Placement::new_centered(&d);
+        // Scatter desired positions deterministically so rows compete.
+        let mut rng = rdp_geom::rng::Rng::seed_from_u64(77);
+        for id in d.node_ids() {
+            let x = rng.gen_range(0.0..96.0);
+            let y = rng.gen_range(0.0..30.0);
+            pl.set_lower_left(&d, id, Point::new(x, y));
+        }
+        let mut fast = build_segments(&d, &[]);
+        let failed = assign_cells(&d, &pl, &mut fast);
+
+        // Reference: a linear scan over all segments per cell, keeping the
+        // first strict improvement.
+        let mut slow = build_segments(&d, &[]);
+        let site = 1.0;
+        let mut cells: Vec<NodeId> =
+            d.node_ids().filter(|&id| d.node(id).is_std_cell()).collect();
+        cells.sort_by(|&a, &b| pl.center(a).x.total_cmp(&pl.center(b).x).then(a.cmp(&b)));
+        let mut slow_failed = 0;
+        for id in cells {
+            let w = site_width(&d, id, site);
+            let desired = pl.lower_left(&d, id);
+            let region = d.node(id).region();
+            let mut best: Option<(f64, usize)> = None;
+            for (si, seg) in slow.iter().enumerate() {
+                if seg.region != region || seg.free() + 1e-9 < w {
+                    continue;
+                }
+                let row_y = d.rows()[seg.row].y();
+                let dy = (row_y - desired.y).abs();
+                let lo = seg.interval.lo;
+                let hi = seg.interval.hi - w;
+                let dx = if desired.x < lo {
+                    lo - desired.x
+                } else if desired.x > hi {
+                    desired.x - hi
+                } else {
+                    0.0
+                };
+                let cost = dx + 2.0 * dy;
+                if best.map(|(c, _)| cost < c).unwrap_or(true) {
+                    best = Some((cost, si));
+                }
+            }
+            match best {
+                Some((_, si)) => {
+                    slow[si].used += w;
+                    slow[si].cells.push(id);
+                }
+                None => slow_failed += 1,
+            }
+        }
+
+        assert_eq!(failed, slow_failed);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert_eq!(f.cells, s.cells, "row {} span {:?}", f.row, f.interval);
+            assert_eq!(f.used.to_bits(), s.used.to_bits());
+        }
     }
 }

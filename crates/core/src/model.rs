@@ -5,14 +5,46 @@
 //! arrays over *objects* (movable cells and macros at the finest level,
 //! clusters at coarser levels) plus nets whose pins either ride an object
 //! (with a center-relative offset) or are anchored at a fixed point
-//! (fixed-node and terminal pins). This keeps the hot gradient loops free
-//! of indirection through the full database.
+//! (fixed-node and terminal pins).
+//!
+//! # Memory layout (the million-cell contract)
+//!
+//! The hot gradient kernels iterate every pin of every net dozens of times
+//! per placement; at 10⁶ objects the layout of these arrays *is* the
+//! performance model. The model therefore stores everything in
+//! structure-of-arrays (SoA) form:
+//!
+//! * object centers are two flat `f64` arrays (`pos_x`/`pos_y`) rather
+//!   than a `Vec<Point>`, so axis-separable kernels (wirelength is a sum
+//!   of independent x- and y-terms) stream one contiguous array at a time;
+//! * nets are a CSR (compressed sparse row) arena: `net_pin_start[ni] ..
+//!   net_pin_start[ni + 1]` indexes the flat pin arrays `pin_obj`,
+//!   `pin_off_x`, `pin_off_y`. No per-net heap allocation, no
+//!   pointer-chasing, and a net's pins are adjacent in memory;
+//! * a pre-computed transpose (`obj_pin_start`/`obj_pin_ids`) lists, for
+//!   every object, its movable pins on non-degenerate (≥ 2-pin) nets in
+//!   ascending pin order. The gradient gather walks it so that per-object
+//!   accumulation happens in exactly the order the old scatter produced —
+//!   which is what keeps results bitwise stable while allowing the gather
+//!   itself to run in parallel over disjoint object ranges.
+//!
+//! See `DESIGN.md` §10 for the full layout contract and the determinism
+//! argument.
 
 use rdp_db::{Design, NodeId, Placement, RegionId};
 use rdp_geom::{Point, Rect};
 
-/// A pin of a [`ModelNet`]: either riding object `obj` at `offset` from its
-/// center, or fixed in space at `offset` (absolute) when `obj` is `None`.
+/// Sentinel object index marking a fixed-anchor pin: `pin_obj[k] ==
+/// FIXED_PIN` means pin `k` sits at the absolute position
+/// `(pin_off_x[k], pin_off_y[k])` and receives no gradient.
+pub const FIXED_PIN: u32 = u32::MAX;
+
+/// A pin description used when *constructing* model nets: either riding
+/// object `obj` at `offset` from its center, or fixed in space at `offset`
+/// (absolute) when `obj` is `None`.
+///
+/// This is a construction-time convenience only — the built [`Model`]
+/// stores pins in the flat CSR arrays, not as `ModelPin` values.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelPin {
     /// The object carrying the pin, or `None` for a fixed anchor.
@@ -31,35 +63,34 @@ impl ModelPin {
     pub fn fixed(position: Point) -> Self {
         ModelPin { obj: None, offset: position }
     }
-
-    /// Physical position given the object positions `pos`.
-    #[inline]
-    pub fn position(&self, pos: &[Point]) -> Point {
-        match self.obj {
-            Some(o) => pos[o as usize] + self.offset,
-            None => self.offset,
-        }
-    }
 }
 
-/// A net over model pins.
+/// A net description used when *constructing* a model (tests, clustering).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelNet {
     /// Net weight (multiplies its wirelength contribution).
     pub weight: f64,
-    /// The pins; at least 2 after model construction.
+    /// The pins.
     pub pins: Vec<ModelPin>,
 }
 
 /// The flattened placement problem the optimizer works on.
 ///
-/// Invariants: `pos`, `size`, `area`, `is_macro` and `region` all have one
-/// entry per object; `area[i]` is the *density* area (inflated during
-/// routability optimization) while `size[i]` is the physical outline.
+/// Invariants: `pos_x`, `pos_y`, `size`, `area`, `is_macro` and `region`
+/// all have one entry per object; `area[i]` is the *density* area
+/// (inflated during routability optimization) while `size[i]` is the
+/// physical outline. `net_pin_start` has one entry per net plus a final
+/// total-pin-count sentinel; `pin_obj`, `pin_off_x` and `pin_off_y` are
+/// indexed by the spans it defines. `obj_pin_start`/`obj_pin_ids` must be
+/// the transpose of the movable pins of ≥ 2-pin nets, in ascending pin
+/// order per object — call [`Model::rebuild_transpose`] after mutating net
+/// structure by hand.
 #[derive(Debug, Clone)]
 pub struct Model {
-    /// Object centers — the optimization variables.
-    pub pos: Vec<Point>,
+    /// Object center x-coordinates — optimization variables.
+    pub pos_x: Vec<f64>,
+    /// Object center y-coordinates — optimization variables.
+    pub pos_y: Vec<f64>,
     /// Physical (width, height) per object.
     pub size: Vec<(f64, f64)>,
     /// Density area per object (≥ physical area; grows under inflation).
@@ -69,8 +100,21 @@ pub struct Model {
     pub is_macro: Vec<bool>,
     /// Fence region per object.
     pub region: Vec<Option<RegionId>>,
-    /// Nets.
-    pub nets: Vec<ModelNet>,
+    /// Net weight per net (multiplies its wirelength contribution).
+    pub net_weight: Vec<f64>,
+    /// CSR row starts into the pin arrays; `len() == num_nets() + 1`.
+    pub net_pin_start: Vec<u32>,
+    /// Carrying object per pin, or [`FIXED_PIN`] for a fixed anchor.
+    pub pin_obj: Vec<u32>,
+    /// Pin x-offset from the object center (absolute x for fixed pins).
+    pub pin_off_x: Vec<f64>,
+    /// Pin y-offset from the object center (absolute y for fixed pins).
+    pub pin_off_y: Vec<f64>,
+    /// Transpose row starts: `obj_pin_start[i] .. obj_pin_start[i + 1]`
+    /// spans `obj_pin_ids` with object `i`'s movable pins on ≥ 2-pin nets.
+    pub obj_pin_start: Vec<u32>,
+    /// Flat pin indices of the transpose, ascending within each object.
+    pub obj_pin_ids: Vec<u32>,
     /// Placement area.
     pub die: Rect,
     /// Mapping back to design nodes (finest level only; empty for coarse
@@ -89,25 +133,34 @@ impl Model {
             index_of[id.index()] = i as u32;
         }
 
-        let mut pos = Vec::with_capacity(movables.len());
-        let mut size = Vec::with_capacity(movables.len());
-        let mut area = Vec::with_capacity(movables.len());
-        let mut is_macro = Vec::with_capacity(movables.len());
-        let mut region = Vec::with_capacity(movables.len());
+        let n = movables.len();
+        let mut pos_x = Vec::with_capacity(n);
+        let mut pos_y = Vec::with_capacity(n);
+        let mut size = Vec::with_capacity(n);
+        let mut area = Vec::with_capacity(n);
+        let mut is_macro = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
         for &id in &movables {
-            let n = design.node(id);
+            let node = design.node(id);
             let (w, h) = placement.dims(design, id);
-            pos.push(placement.center(id));
+            let c = placement.center(id);
+            pos_x.push(c.x);
+            pos_y.push(c.y);
             size.push((w, h));
             area.push(w * h);
-            is_macro.push(n.is_macro());
-            region.push(n.region());
+            is_macro.push(node.is_macro());
+            region.push(node.region());
         }
 
-        let mut nets = Vec::with_capacity(design.nets().len());
+        let total_pins: usize = design.net_ids().map(|nid| design.net(nid).degree()).sum();
+        let mut net_weight = Vec::with_capacity(design.nets().len());
+        let mut net_pin_start = Vec::with_capacity(design.nets().len() + 1);
+        net_pin_start.push(0u32);
+        let mut pin_obj = Vec::with_capacity(total_pins);
+        let mut pin_off_x = Vec::with_capacity(total_pins);
+        let mut pin_off_y = Vec::with_capacity(total_pins);
         for net_id in design.net_ids() {
             let net = design.net(net_id);
-            let mut pins = Vec::with_capacity(net.degree());
             for &pid in net.pins() {
                 let pin = design.pin(pid);
                 let node = pin.node();
@@ -118,69 +171,271 @@ impl Model {
                         pin.offset(),
                         placement.orient(node),
                     );
-                    pins.push(ModelPin::movable(oi as usize, off));
+                    pin_obj.push(oi);
+                    pin_off_x.push(off.x);
+                    pin_off_y.push(off.y);
                 } else {
-                    pins.push(ModelPin::fixed(placement.pin_position(design, pid)));
+                    let p = placement.pin_position(design, pid);
+                    pin_obj.push(FIXED_PIN);
+                    pin_off_x.push(p.x);
+                    pin_off_y.push(p.y);
                 }
             }
-            nets.push(ModelNet { weight: net.weight(), pins });
+            net_weight.push(net.weight());
+            net_pin_start.push(u32::try_from(pin_obj.len()).expect("pin count overflow"));
         }
 
-        Model {
-            pos,
+        let mut model = Model {
+            pos_x,
+            pos_y,
             size,
             area,
             is_macro,
             region,
-            nets,
+            net_weight,
+            net_pin_start,
+            pin_obj,
+            pin_off_x,
+            pin_off_y,
+            obj_pin_start: Vec::new(),
+            obj_pin_ids: Vec::new(),
             die: design.die(),
             node_of: movables,
+        };
+        model.rebuild_transpose();
+        model
+    }
+
+    /// Builds a model from pre-assembled per-object arrays and net
+    /// descriptions. Used by clustering and tests.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        positions: Vec<Point>,
+        size: Vec<(f64, f64)>,
+        area: Vec<f64>,
+        is_macro: Vec<bool>,
+        region: Vec<Option<RegionId>>,
+        nets: &[ModelNet],
+        die: Rect,
+        node_of: Vec<NodeId>,
+    ) -> Self {
+        let mut model = Model {
+            pos_x: positions.iter().map(|p| p.x).collect(),
+            pos_y: positions.iter().map(|p| p.y).collect(),
+            size,
+            area,
+            is_macro,
+            region,
+            net_weight: Vec::with_capacity(nets.len()),
+            net_pin_start: vec![0],
+            pin_obj: Vec::new(),
+            pin_off_x: Vec::new(),
+            pin_off_y: Vec::new(),
+            obj_pin_start: Vec::new(),
+            obj_pin_ids: Vec::new(),
+            die,
+            node_of,
+        };
+        for net in nets {
+            model.push_net(net.weight, &net.pins);
         }
+        model.rebuild_transpose();
+        model
+    }
+
+    /// Appends one net to the CSR arena. The caller must finish with
+    /// [`Model::rebuild_transpose`] before running any kernel.
+    pub fn push_net(&mut self, weight: f64, pins: &[ModelPin]) {
+        for p in pins {
+            match p.obj {
+                Some(o) => {
+                    self.pin_obj.push(o);
+                    self.pin_off_x.push(p.offset.x);
+                    self.pin_off_y.push(p.offset.y);
+                }
+                None => {
+                    self.pin_obj.push(FIXED_PIN);
+                    self.pin_off_x.push(p.offset.x);
+                    self.pin_off_y.push(p.offset.y);
+                }
+            }
+        }
+        self.net_weight.push(weight);
+        self.net_pin_start
+            .push(u32::try_from(self.pin_obj.len()).expect("pin count overflow"));
+    }
+
+    /// Rebuilds the object→pin transpose from the net CSR arrays.
+    ///
+    /// Only movable pins of non-degenerate (≥ 2-pin) nets are listed: a
+    /// pin of a 0/1-pin net never contributes a gradient term, and adding
+    /// even an exact `0.0` to an accumulator is not a bitwise no-op
+    /// (`-0.0 + 0.0 == +0.0`), so the transpose must enumerate *exactly*
+    /// the contribution set of the scatter it replaces.
+    pub fn rebuild_transpose(&mut self) {
+        let n = self.len();
+        let mut counts = vec![0u32; n];
+        for ni in 0..self.num_nets() {
+            let span = self.net_pins(ni);
+            if span.len() < 2 {
+                continue;
+            }
+            for k in span {
+                let o = self.pin_obj[k];
+                if o != FIXED_PIN {
+                    counts[o as usize] += 1;
+                }
+            }
+        }
+        let mut start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        start.push(0);
+        for &c in &counts {
+            acc += c;
+            start.push(acc);
+        }
+        let mut cursor = start.clone();
+        let mut ids = vec![0u32; acc as usize];
+        for ni in 0..self.num_nets() {
+            let span = self.net_pins(ni);
+            if span.len() < 2 {
+                continue;
+            }
+            for k in span {
+                let o = self.pin_obj[k];
+                if o != FIXED_PIN {
+                    let slot = &mut cursor[o as usize];
+                    ids[*slot as usize] = k as u32;
+                    *slot += 1;
+                }
+            }
+        }
+        self.obj_pin_start = start;
+        self.obj_pin_ids = ids;
     }
 
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
-        self.pos.len()
+        self.pos_x.len()
     }
 
     /// Whether the model has no objects.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.pos.is_empty()
+        self.pos_x.is_empty()
+    }
+
+    /// Number of nets.
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.net_weight.len()
+    }
+
+    /// Total number of pins across all nets.
+    #[inline]
+    pub fn num_pins(&self) -> usize {
+        self.pin_obj.len()
+    }
+
+    /// The pin-array index span of net `ni`.
+    #[inline]
+    pub fn net_pins(&self, ni: usize) -> std::ops::Range<usize> {
+        self.net_pin_start[ni] as usize..self.net_pin_start[ni + 1] as usize
+    }
+
+    /// Degree (pin count) of net `ni`.
+    #[inline]
+    pub fn net_degree(&self, ni: usize) -> usize {
+        (self.net_pin_start[ni + 1] - self.net_pin_start[ni]) as usize
+    }
+
+    /// The pin indices riding object `i` (movable pins of ≥ 2-pin nets).
+    #[inline]
+    pub fn obj_pins(&self, i: usize) -> &[u32] {
+        &self.obj_pin_ids[self.obj_pin_start[i] as usize..self.obj_pin_start[i + 1] as usize]
+    }
+
+    /// Object center as a point.
+    #[inline]
+    pub fn pos(&self, i: usize) -> Point {
+        Point::new(self.pos_x[i], self.pos_y[i])
+    }
+
+    /// Sets object center from a point.
+    #[inline]
+    pub fn set_pos(&mut self, i: usize, p: Point) {
+        self.pos_x[i] = p.x;
+        self.pos_y[i] = p.y;
+    }
+
+    /// Physical position of pin `k` at the current object positions.
+    #[inline]
+    pub fn pin_position(&self, k: usize) -> Point {
+        let o = self.pin_obj[k];
+        if o == FIXED_PIN {
+            Point::new(self.pin_off_x[k], self.pin_off_y[k])
+        } else {
+            Point::new(
+                self.pos_x[o as usize] + self.pin_off_x[k],
+                self.pos_y[o as usize] + self.pin_off_y[k],
+            )
+        }
+    }
+
+    /// Object positions as points (a copy; for snapshots and level
+    /// transfer).
+    pub fn positions(&self) -> Vec<Point> {
+        self.pos_x
+            .iter()
+            .zip(&self.pos_y)
+            .map(|(&x, &y)| Point::new(x, y))
+            .collect()
+    }
+
+    /// Overwrites all object positions from a point slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len() != self.len()`.
+    pub fn set_positions(&mut self, positions: &[Point]) {
+        assert_eq!(positions.len(), self.len());
+        for (i, p) in positions.iter().enumerate() {
+            self.pos_x[i] = p.x;
+            self.pos_y[i] = p.y;
+        }
     }
 
     /// Exact HPWL of the model at the current positions.
     pub fn hpwl(&self) -> f64 {
-        self.nets
-            .iter()
-            .map(|net| {
+        (0..self.num_nets())
+            .map(|ni| {
+                let span = self.net_pins(ni);
+                if span.is_empty() {
+                    return 0.0;
+                }
                 let mut bb = Rect::empty();
-                for p in &net.pins {
-                    bb.expand_to(p.position(&self.pos));
+                for k in span {
+                    bb.expand_to(self.pin_position(k));
                 }
-                if net.pins.is_empty() {
-                    0.0
-                } else {
-                    bb.half_perimeter()
-                }
+                bb.half_perimeter()
             })
             .sum()
     }
 
     /// Weighted HPWL (each net scaled by its weight).
     pub fn weighted_hpwl(&self) -> f64 {
-        self.nets
-            .iter()
-            .map(|net| {
-                if net.pins.is_empty() {
+        (0..self.num_nets())
+            .map(|ni| {
+                let span = self.net_pins(ni);
+                if span.is_empty() {
                     return 0.0;
                 }
                 let mut bb = Rect::empty();
-                for p in &net.pins {
-                    bb.expand_to(p.position(&self.pos));
+                for k in span {
+                    bb.expand_to(self.pin_position(k));
                 }
-                net.weight * bb.half_perimeter()
+                self.net_weight[ni] * bb.half_perimeter()
             })
             .sum()
     }
@@ -199,11 +454,11 @@ impl Model {
     pub fn write_back(&self, placement: &mut Placement) {
         assert_eq!(
             self.node_of.len(),
-            self.pos.len(),
+            self.len(),
             "write_back requires a finest-level model"
         );
         for (i, &id) in self.node_of.iter().enumerate() {
-            placement.set_center(id, self.pos[i]);
+            placement.set_center(id, self.pos(i));
         }
     }
 
@@ -211,9 +466,10 @@ impl Model {
     pub fn clamp_to_die(&mut self) {
         for i in 0..self.len() {
             let (w, h) = self.size[i];
-            let x = rdp_geom::clamp(self.pos[i].x, self.die.xl + w / 2.0, self.die.xh - w / 2.0);
-            let y = rdp_geom::clamp(self.pos[i].y, self.die.yl + h / 2.0, self.die.yh - h / 2.0);
-            self.pos[i] = Point::new(x, y);
+            self.pos_x[i] =
+                rdp_geom::clamp(self.pos_x[i], self.die.xl + w / 2.0, self.die.xh - w / 2.0);
+            self.pos_y[i] =
+                rdp_geom::clamp(self.pos_y[i], self.die.yl + h / 2.0, self.die.yh - h / 2.0);
         }
     }
 }
@@ -248,16 +504,42 @@ mod tests {
         let model = Model::from_design(&d, &pl);
         assert_eq!(model.len(), 2);
         assert_eq!(model.is_macro, vec![false, true]);
-        assert_eq!(model.nets.len(), 1);
-        let net = &model.nets[0];
-        assert_eq!(net.weight, 2.0);
-        assert_eq!(net.pins.len(), 3);
+        assert_eq!(model.num_nets(), 1);
+        assert_eq!(model.net_weight[0], 2.0);
+        assert_eq!(model.net_degree(0), 3);
         // Fixed pin is an absolute anchor.
-        let fixed_pin = net.pins.iter().find(|p| p.obj.is_none()).unwrap();
-        assert_eq!(fixed_pin.position(&model.pos), Point::new(90.0, 90.0));
+        let fixed_k = model
+            .net_pins(0)
+            .find(|&k| model.pin_obj[k] == FIXED_PIN)
+            .unwrap();
+        assert_eq!(model.pin_position(fixed_k), Point::new(90.0, 90.0));
         // Movable pin rides its object.
-        let a_pin = net.pins.iter().find(|p| p.obj == Some(0)).unwrap();
-        assert_eq!(a_pin.position(&model.pos), Point::new(11.0, 6.0));
+        let a_k = model.net_pins(0).find(|&k| model.pin_obj[k] == 0).unwrap();
+        assert_eq!(model.pin_position(a_k), Point::new(11.0, 6.0));
+    }
+
+    #[test]
+    fn transpose_lists_movable_pins_ascending_and_skips_degenerate_nets() {
+        let (d, pl) = design();
+        let mut model = Model::from_design(&d, &pl);
+        // Add a second net sharing object 0, plus a degenerate 1-pin net
+        // whose pin must NOT appear in the transpose.
+        model.push_net(
+            1.0,
+            &[ModelPin::movable(0, Point::ORIGIN), ModelPin::movable(1, Point::ORIGIN)],
+        );
+        model.push_net(1.0, &[ModelPin::movable(0, Point::new(2.0, 2.0))]);
+        model.rebuild_transpose();
+
+        let pins0 = model.obj_pins(0);
+        let pins1 = model.obj_pins(1);
+        // Object 0: pin 0 (net 0) and pin 3 (net 1); the 1-pin net's pin 5
+        // is excluded. Object 1: pin 1 and pin 4.
+        assert_eq!(pins0, &[0, 3]);
+        assert_eq!(pins1, &[1, 4]);
+        for pins in [pins0, pins1] {
+            assert!(pins.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        }
     }
 
     #[test]
@@ -274,7 +556,7 @@ mod tests {
     fn write_back_round_trips() {
         let (d, pl) = design();
         let mut model = Model::from_design(&d, &pl);
-        model.pos[0] = Point::new(33.0, 44.0);
+        model.set_pos(0, Point::new(33.0, 44.0));
         let mut pl2 = pl.clone();
         model.write_back(&mut pl2);
         let a = d.find_node("a").unwrap();
@@ -288,10 +570,10 @@ mod tests {
     fn clamp_keeps_outlines_inside() {
         let (d, pl) = design();
         let mut model = Model::from_design(&d, &pl);
-        model.pos[1] = Point::new(-100.0, 500.0);
+        model.set_pos(1, Point::new(-100.0, 500.0));
         model.clamp_to_die();
         let (w, h) = model.size[1];
-        assert_eq!(model.pos[1], Point::new(w / 2.0, 100.0 - h / 2.0));
+        assert_eq!(model.pos(1), Point::new(w / 2.0, 100.0 - h / 2.0));
     }
 
     #[test]
@@ -302,5 +584,17 @@ mod tests {
         let model = Model::from_design(&d, &pl);
         // Size swapped under E.
         assert_eq!(model.size[1], (30.0, 20.0));
+    }
+
+    #[test]
+    fn positions_round_trip() {
+        let (d, pl) = design();
+        let mut model = Model::from_design(&d, &pl);
+        let snap = model.positions();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], Point::new(10.0, 5.0));
+        model.set_pos(0, Point::new(1.0, 2.0));
+        model.set_positions(&snap);
+        assert_eq!(model.pos(0), Point::new(10.0, 5.0));
     }
 }

@@ -32,19 +32,19 @@ impl Default for NetWeightingConfig {
 ///
 /// # Panics
 ///
-/// Panics if `base.len() != model.nets.len()`.
+/// Panics if `base.len() != model.num_nets()`.
 pub fn apply_congestion_weights(
     model: &mut Model,
     grid: &RouteGrid,
     base: &[f64],
     config: NetWeightingConfig,
 ) -> usize {
-    assert_eq!(base.len(), model.nets.len(), "base weight vector mismatch");
+    assert_eq!(base.len(), model.num_nets(), "base weight vector mismatch");
     let mut boosted = 0;
-    for (ni, net) in model.nets.iter_mut().enumerate() {
+    for (ni, &b) in base.iter().enumerate() {
         let mut worst: f64 = 0.0;
-        for pin in &net.pins {
-            let pos = pin.position(&model.pos);
+        for k in model.net_pins(ni) {
+            let pos = model.pin_position(k);
             worst = worst.max(grid.gcell_congestion(grid.gcell_of(pos)));
         }
         let factor = if worst > 1.0 {
@@ -52,19 +52,19 @@ pub fn apply_congestion_weights(
         } else {
             1.0
         };
-        let new = base[ni] * factor;
-        if new > base[ni] + 1e-12 {
+        let new = b * factor;
+        if new > b + 1e-12 {
             boosted += 1;
         }
-        net.weight = new;
+        model.net_weight[ni] = new;
     }
     boosted
 }
 
 /// Restores the base weights (used when a routability loop ends).
 pub fn reset_weights(model: &mut Model, base: &[f64]) {
-    for (net, &w) in model.nets.iter_mut().zip(base) {
-        net.weight = w;
+    for (w, &b) in model.net_weight.iter_mut().zip(base) {
+        *w = b;
     }
 }
 
@@ -75,13 +75,13 @@ mod tests {
     use rdp_geom::{Point, Rect};
 
     fn model_with_nets() -> Model {
-        Model {
-            pos: vec![Point::new(25.0, 25.0), Point::new(85.0, 85.0)],
-            size: vec![(4.0, 10.0); 2],
-            area: vec![40.0; 2],
-            is_macro: vec![false; 2],
-            region: vec![None; 2],
-            nets: vec![
+        Model::from_parts(
+            vec![Point::new(25.0, 25.0), Point::new(85.0, 85.0)],
+            vec![(4.0, 10.0); 2],
+            vec![40.0; 2],
+            vec![false; 2],
+            vec![None; 2],
+            &[
                 ModelNet {
                     weight: 1.0,
                     pins: vec![ModelPin::movable(0, Point::ORIGIN), ModelPin::fixed(Point::new(20.0, 20.0))],
@@ -91,9 +91,9 @@ mod tests {
                     pins: vec![ModelPin::movable(1, Point::ORIGIN), ModelPin::fixed(Point::new(90.0, 90.0))],
                 },
             ],
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        }
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        )
     }
 
     fn hot_grid() -> RouteGrid {
@@ -109,9 +109,9 @@ mod tests {
         let boosted = apply_congestion_weights(&mut m, &hot_grid(), &base, NetWeightingConfig::default());
         assert_eq!(boosted, 1);
         // Net 0 touches the hot gcell (ratio 2): factor 1 + 2·1 = 3.
-        assert!((m.nets[0].weight - 3.0).abs() < 1e-9);
+        assert!((m.net_weight[0] - 3.0).abs() < 1e-9);
         // Net 1 is cold: base weight kept.
-        assert_eq!(m.nets[1].weight, 2.0);
+        assert_eq!(m.net_weight[1], 2.0);
     }
 
     #[test]
@@ -121,10 +121,10 @@ mod tests {
         let mut g = hot_grid();
         g.add_usage(g.h_edge(2, 2), 200.0); // absurd ratio
         apply_congestion_weights(&mut m, &g, &base, NetWeightingConfig::default());
-        assert!((m.nets[0].weight - 4.0).abs() < 1e-9, "capped at max_factor");
+        assert!((m.net_weight[0] - 4.0).abs() < 1e-9, "capped at max_factor");
         // Applying twice does not compound (recomputed from base).
         apply_congestion_weights(&mut m, &g, &base, NetWeightingConfig::default());
-        assert!((m.nets[0].weight - 4.0).abs() < 1e-9);
+        assert!((m.net_weight[0] - 4.0).abs() < 1e-9);
     }
 
     #[test]
@@ -133,7 +133,7 @@ mod tests {
         let base = vec![1.0, 2.0];
         apply_congestion_weights(&mut m, &hot_grid(), &base, NetWeightingConfig::default());
         reset_weights(&mut m, &base);
-        assert_eq!(m.nets[0].weight, 1.0);
-        assert_eq!(m.nets[1].weight, 2.0);
+        assert_eq!(m.net_weight[0], 1.0);
+        assert_eq!(m.net_weight[1], 2.0);
     }
 }

@@ -1,16 +1,23 @@
 //! The analytical global-placement engine: conjugate-gradient descent on
 //! `smooth wirelength + λ · density penalty (+ fence pull-in)`, with the
 //! NTUplace-style λ-doubling outer loop and γ annealing.
+//!
+//! All optimizer state (gradients, CG direction, checkpoints) lives in
+//! structure-of-arrays `f64` buffers matching the model's `pos_x`/`pos_y`
+//! layout, so every inner-loop pass streams contiguous memory. The scalar
+//! recurrences below unroll the historical `Point` arithmetic
+//! component-wise in the same order, keeping results bitwise identical to
+//! the array-of-structs implementation.
 
 use crate::density::build_fields;
 use crate::fence::{fence_grad, fence_project};
 use crate::model::Model;
 use crate::recovery::{Diverged, RecoveryEvent, RecoveryPolicy};
 use crate::trace::{Trace, TraceRecord};
-use crate::wirelength::{all_finite, smooth_wl_grad_par, WirelengthModel};
+use crate::wirelength::{all_finite, smooth_wl_grad_par, WirelengthModel, WlScratch};
 use rdp_db::Region;
 use rdp_geom::parallel::Parallelism;
-use rdp_geom::{Point, Rect};
+use rdp_geom::Rect;
 use std::time::{Duration, Instant};
 
 /// Tuning parameters of one global-placement run.
@@ -133,11 +140,19 @@ pub fn run_global_place(
     let mut gamma = opts.gamma_mult * 0.5 * (bin_w + bin_h);
     let gamma_floor = 0.25 * 0.5 * (bin_w + bin_h);
 
-    let mut wl_grad = vec![Point::ORIGIN; n];
-    let mut den_grad = vec![Point::ORIGIN; n];
-    let mut grad = vec![Point::ORIGIN; n];
-    let mut prev_grad = vec![Point::ORIGIN; n];
-    let mut dir = vec![Point::ORIGIN; n];
+    let mut wl_gx = vec![0.0; n];
+    let mut wl_gy = vec![0.0; n];
+    let mut den_gx = vec![0.0; n];
+    let mut den_gy = vec![0.0; n];
+    let mut gx = vec![0.0; n];
+    let mut gy = vec![0.0; n];
+    let mut prev_gx = vec![0.0; n];
+    let mut prev_gy = vec![0.0; n];
+    let mut dir_x = vec![0.0; n];
+    let mut dir_y = vec![0.0; n];
+    // Wirelength evaluation scratch (net spans, pin-level gradients),
+    // allocated once and reused by every CG iteration.
+    let mut wl_scratch = WlScratch::new();
 
     let par = opts.parallelism;
     let mut wl_kernel_time = Duration::ZERO;
@@ -146,14 +161,16 @@ pub fn run_global_place(
     // λ₀ balances the two gradient magnitudes (the SimPL/NTUplace warm
     // start): density starts at ~5% of the wirelength force.
     let mut lambda = {
-        wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-        den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-        smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_grad, par);
+        smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_gx, &mut wl_gy, &mut wl_scratch, par);
         for f in &mut fields {
-            f.penalty_grad_par(model, &mut den_grad, par);
+            f.penalty_grad_par(model, &mut den_gx, &mut den_gy, par);
         }
-        let wl_norm: f64 = wl_grad.iter().map(|g| g.norm()).sum();
-        let den_norm: f64 = den_grad.iter().map(|g| g.norm()).sum();
+        let mut wl_norm = 0.0;
+        let mut den_norm = 0.0;
+        for i in 0..n {
+            wl_norm += wl_gx[i].hypot(wl_gy[i]);
+            den_norm += den_gx[i].hypot(den_gy[i]);
+        }
         if den_norm > 1e-12 {
             0.05 * wl_norm / den_norm
         } else {
@@ -168,45 +185,61 @@ pub fn run_global_place(
     // Divergence recovery state: the last finite iterate, the current
     // trust-region scale (exactly 1.0 until the first recovery, keeping
     // the fault-free path bitwise identical), and the retry budget.
-    let mut last_good = model.pos.clone();
+    let mut last_good_x = model.pos_x.clone();
+    let mut last_good_y = model.pos_y.clone();
     let mut step_scale = 1.0;
     let mut retries = 0usize;
 
     for outer in 0..opts.max_outer {
         let mut last_wl = 0.0;
-        dir.iter_mut().for_each(|d| *d = Point::ORIGIN);
-        prev_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+        dir_x.iter_mut().for_each(|d| *d = 0.0);
+        dir_y.iter_mut().for_each(|d| *d = 0.0);
+        prev_gx.iter_mut().for_each(|g| *g = 0.0);
+        prev_gy.iter_mut().for_each(|g| *g = 0.0);
         let mut overflow_area = 0.0;
 
         for inner in 0..opts.inner_iters {
-            wl_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            den_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+            wl_gx.iter_mut().for_each(|g| *g = 0.0);
+            wl_gy.iter_mut().for_each(|g| *g = 0.0);
+            den_gx.iter_mut().for_each(|g| *g = 0.0);
+            den_gy.iter_mut().for_each(|g| *g = 0.0);
             let t0 = Instant::now();
-            last_wl = smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_grad, par);
+            last_wl = smooth_wl_grad_par(
+                model,
+                opts.wirelength,
+                gamma,
+                &mut wl_gx,
+                &mut wl_gy,
+                &mut wl_scratch,
+                par,
+            );
             wl_kernel_time += t0.elapsed();
             overflow_area = 0.0;
             let t1 = Instant::now();
             for f in &mut fields {
-                let stats = f.penalty_grad_par(model, &mut den_grad, par);
+                let stats = f.penalty_grad_par(model, &mut den_gx, &mut den_gy, par);
                 overflow_area += stats.overflow_area;
             }
             den_kernel_time += t1.elapsed();
-            fence_grad(model, regions, lambda * opts.fence_weight, &mut den_grad);
+            fence_grad(model, regions, lambda * opts.fence_weight, &mut den_gx, &mut den_gy);
 
             for i in 0..n {
-                grad[i] = wl_grad[i] + den_grad[i] * lambda;
+                gx[i] = wl_gx[i] + den_gx[i] * lambda;
+                gy[i] = wl_gy[i] + den_gy[i] * lambda;
             }
 
             if crate::faultinject::fire_nan_gradient(stage, outer) {
                 last_wl = f64::NAN;
-                grad[0] = Point::new(f64::NAN, f64::NAN);
+                gx[0] = f64::NAN;
+                gy[0] = f64::NAN;
             }
 
             // Divergence check: a non-finite objective or gradient (NaN λ
             // included — it poisons the combined gradient above) triggers
             // restore-and-retry instead of propagating downstream.
-            if !all_finite(last_wl, &grad) {
-                model.pos.copy_from_slice(&last_good);
+            if !all_finite(last_wl, &gx, &gy) {
+                model.pos_x.copy_from_slice(&last_good_x);
+                model.pos_y.copy_from_slice(&last_good_y);
                 if retries >= opts.recovery.max_retries {
                     trace.record_event(RecoveryEvent::GpDiverged {
                         stage: stage.to_owned(),
@@ -226,8 +259,10 @@ pub fn run_global_place(
                 });
                 // Restart CG from the restored iterate and invalidate the
                 // poisoned round-local state.
-                dir.iter_mut().for_each(|d| *d = Point::ORIGIN);
-                prev_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
+                dir_x.iter_mut().for_each(|d| *d = 0.0);
+                dir_y.iter_mut().for_each(|d| *d = 0.0);
+                prev_gx.iter_mut().for_each(|g| *g = 0.0);
+                prev_gy.iter_mut().for_each(|g| *g = 0.0);
                 last_wl = outcome.smooth_wl;
                 overflow_area = f64::INFINITY;
                 continue;
@@ -237,23 +272,25 @@ pub fn run_global_place(
             let mut num = 0.0;
             let mut den = 0.0;
             for i in 0..n {
-                num += grad[i].dot(grad[i] - prev_grad[i]);
-                den += prev_grad[i].norm_sq();
+                num += gx[i] * (gx[i] - prev_gx[i]) + gy[i] * (gy[i] - prev_gy[i]);
+                den += prev_gx[i] * prev_gx[i] + prev_gy[i] * prev_gy[i];
             }
             let beta = if inner == 0 || den <= 1e-24 { 0.0 } else { (num / den).max(0.0) };
             let mut max_d: f64 = 0.0;
             let mut descent = 0.0;
             for i in 0..n {
-                dir[i] = -grad[i] + dir[i] * beta;
-                max_d = max_d.max(dir[i].x.abs().max(dir[i].y.abs()));
-                descent += dir[i].dot(grad[i]);
+                dir_x[i] = -gx[i] + dir_x[i] * beta;
+                dir_y[i] = -gy[i] + dir_y[i] * beta;
+                max_d = max_d.max(dir_x[i].abs().max(dir_y[i].abs()));
+                descent += dir_x[i] * gx[i] + dir_y[i] * gy[i];
             }
             if descent >= 0.0 {
                 // Restart with steepest descent.
                 max_d = 0.0;
                 for i in 0..n {
-                    dir[i] = -grad[i];
-                    max_d = max_d.max(dir[i].x.abs().max(dir[i].y.abs()));
+                    dir_x[i] = -gx[i];
+                    dir_y[i] = -gy[i];
+                    max_d = max_d.max(dir_x[i].abs().max(dir_y[i].abs()));
                 }
             }
             if max_d <= 1e-18 {
@@ -262,12 +299,15 @@ pub fn run_global_place(
             // `step_scale` is 1.0 unless a recovery shrank the trust
             // region, so the fault-free α is bitwise `step_len / max_d`.
             let alpha = (step_len / max_d) * step_scale;
-            last_good.copy_from_slice(&model.pos);
-            for (p, d) in model.pos.iter_mut().zip(&dir) {
-                *p += *d * alpha;
+            last_good_x.copy_from_slice(&model.pos_x);
+            last_good_y.copy_from_slice(&model.pos_y);
+            for i in 0..n {
+                model.pos_x[i] += dir_x[i] * alpha;
+                model.pos_y[i] += dir_y[i] * alpha;
             }
             model.clamp_to_die();
-            std::mem::swap(&mut prev_grad, &mut grad);
+            std::mem::swap(&mut prev_gx, &mut gx);
+            std::mem::swap(&mut prev_gy, &mut gy);
         }
 
         // Collapse the boundary layer: objects the pull force brought to
@@ -306,6 +346,7 @@ pub fn run_global_place(
 mod tests {
     use super::*;
     use crate::model::{ModelNet, ModelPin};
+    use rdp_geom::Point;
 
     /// A chain of cells anchored at both ends, all starting at the center.
     fn chain_model(n: usize) -> Model {
@@ -328,16 +369,16 @@ mod tests {
                 ModelPin::fixed(Point::new(200.0, 100.0)),
             ],
         });
-        Model {
-            pos: (0..n).map(|i| Point::new(100.0 + (i as f64) * 1e-3, 100.0)).collect(),
-            size: vec![(8.0, 10.0); n],
-            area: vec![80.0; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets,
+        Model::from_parts(
+            (0..n).map(|i| Point::new(100.0 + (i as f64) * 1e-3, 100.0)).collect(),
+            vec![(8.0, 10.0); n],
+            vec![80.0; n],
+            vec![false; n],
+            vec![None; n],
+            &nets,
             die,
-            node_of: vec![],
-        }
+            vec![],
+        )
     }
 
     #[test]
@@ -352,11 +393,7 @@ mod tests {
             out.overflow_ratio
         );
         // Cells must have moved off the center pile.
-        let spread = model
-            .pos
-            .iter()
-            .map(|p| (p.x - 100.0).abs())
-            .fold(0.0f64, f64::max);
+        let spread = model.pos_x.iter().map(|x| (x - 100.0).abs()).fold(0.0f64, f64::max);
         assert!(spread > 10.0, "max spread {spread}");
         assert!(!trace.records.is_empty());
     }
@@ -371,10 +408,10 @@ mod tests {
         // The two anchors at x=0 and x=200 stretch the chain: the first
         // cell should end left of the last one.
         assert!(
-            model.pos[0].x < model.pos[19].x,
+            model.pos_x[0] < model.pos_x[19],
             "chain inverted: {} vs {}",
-            model.pos[0].x,
-            model.pos[19].x
+            model.pos_x[0],
+            model.pos_x[19]
         );
     }
 
@@ -383,7 +420,8 @@ mod tests {
         let mut model = chain_model(30);
         let mut trace = Trace::new();
         run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t").unwrap();
-        for (i, p) in model.pos.iter().enumerate() {
+        for i in 0..model.len() {
+            let p = model.pos(i);
             let (w, h) = model.size[i];
             assert!(p.x >= w / 2.0 - 1e-6 && p.x <= 200.0 - w / 2.0 + 1e-6, "obj {i} x {}", p.x);
             assert!(p.y >= h / 2.0 - 1e-6 && p.y <= 200.0 - h / 2.0 + 1e-6, "obj {i} y {}", p.y);
@@ -392,13 +430,16 @@ mod tests {
 
     #[test]
     fn empty_model_is_a_noop() {
-        let mut model = chain_model(1);
-        model.pos.clear();
-        model.size.clear();
-        model.area.clear();
-        model.is_macro.clear();
-        model.region.clear();
-        model.nets.clear();
+        let mut model = Model::from_parts(
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+            &[],
+            Rect::new(0.0, 0.0, 200.0, 200.0),
+            vec![],
+        );
         let mut trace = Trace::new();
         let out =
             run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t").unwrap();
@@ -414,9 +455,8 @@ mod tests {
         run_global_place(&mut model, &[], &blocked, &opts, &mut trace, "t").unwrap();
         // Density mass inside the blocked rect should be small: count
         // centers inside.
-        let inside = model
-            .pos
-            .iter()
+        let inside = (0..model.len())
+            .map(|i| model.pos(i))
             .filter(|p| p.x > 85.0 && p.x < 115.0 && p.y > 85.0 && p.y < 115.0)
             .count();
         assert!(
@@ -428,7 +468,7 @@ mod tests {
     #[test]
     fn non_finite_start_surfaces_diverged_not_panic() {
         let mut model = chain_model(10);
-        model.pos[3] = Point::new(f64::NAN, 100.0);
+        model.pos_x[3] = f64::NAN;
         let mut trace = Trace::new();
         let err = run_global_place(&mut model, &[], &[], &GpOptions::default(), &mut trace, "t")
             .unwrap_err();

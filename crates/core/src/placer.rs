@@ -404,7 +404,7 @@ impl<'a> Placer<'a> {
                     degraded_stage.get_or_insert(div.stage);
                 }
                 // Walk down the hierarchy.
-                let mut positions = coarse.pos;
+                let mut positions = coarse.positions();
                 for (li, lvl) in levels.iter().enumerate().rev() {
                     // Reconstruct the model at this level: it is either the
                     // next level's coarse model or the finest model.
@@ -416,7 +416,7 @@ impl<'a> Placer<'a> {
                     let projected = crate::cluster::Clustering {
                         coarse: {
                             let mut c = lvl.coarse.clone();
-                            c.pos = positions;
+                            c.set_positions(&positions);
                             c
                         },
                         parent: lvl.parent.clone(),
@@ -437,7 +437,7 @@ impl<'a> Placer<'a> {
                     ) {
                         degraded_stage.get_or_insert(div.stage);
                     }
-                    positions = level_model.pos.clone();
+                    positions = level_model.positions();
                     if li == 0 {
                         model = level_model;
                     }
@@ -458,7 +458,7 @@ impl<'a> Placer<'a> {
         // Paranoia: the optimizer contract guarantees a finite iterate on
         // both the Ok and Err paths; a non-finite position here means the
         // contract was violated upstream and nothing checkpointable exists.
-        if model.pos.iter().any(|p| !p.is_finite()) {
+        if model.pos_x.iter().chain(&model.pos_y).any(|v| !v.is_finite()) {
             return Err(PlaceError::Diverged {
                 stage: "gp/final".into(),
                 retries: opts.gp.recovery.max_retries,
@@ -531,7 +531,7 @@ impl<'a> Placer<'a> {
             degraded_stage.get_or_insert_with(|| "routability".into());
         } else if opts.routability && opts.inflation_rounds > 0 {
             let t = Instant::now();
-            let base_weights: Vec<f64> = model.nets.iter().map(|n| n.weight).collect();
+            let base_weights: Vec<f64> = model.net_weight.clone();
             // State of the `use_router_congestion` mode: the previous
             // round's routing outcome (warm state for the incremental
             // reroute) and the node centers it was routed at (so the next
@@ -684,8 +684,8 @@ impl<'a> Placer<'a> {
                         degraded_stage.get_or_insert_with(|| div.stage.clone());
                         if let Some(cp) = &checkpoint {
                             placement = cp.placement.clone();
-                            for (i, &node) in model.node_of.iter().enumerate() {
-                                model.pos[i] = placement.center(node);
+                            for i in 0..model.node_of.len() {
+                                model.set_pos(i, placement.center(model.node_of[i]));
                             }
                             restored_from = Some(cp.stage.clone());
                             trace.record_event(RecoveryEvent::CheckpointRestored {

@@ -14,7 +14,7 @@
 //! while positions stay fixed — the alternating scheme the original uses
 //! (positions and angles are optimized in separate sub-steps).
 
-use crate::model::Model;
+use crate::model::{Model, FIXED_PIN};
 use rdp_geom::{Orient, Point};
 
 /// One macro's rotation state during continuous optimization.
@@ -93,14 +93,14 @@ fn rotation_objective(
     let mut gy = Vec::with_capacity(16);
     // d(pos)/d(theta) per pin, captured for the chain rule.
     let mut dpos = Vec::with_capacity(16);
-    for net in &model.nets {
-        if net.pins.len() < 2 {
+    for ni in 0..model.num_nets() {
+        let span = model.net_pins(ni);
+        if span.len() < 2 {
             continue;
         }
-        let touches_macro = net.pins.iter().any(|p| {
-            p.obj
-                .map(|o| angle_of[o as usize].is_some())
-                .unwrap_or(false)
+        let touches_macro = span.clone().any(|k| {
+            let o = model.pin_obj[k];
+            o != FIXED_PIN && angle_of[o as usize].is_some()
         });
         if !touches_macro {
             continue;
@@ -108,11 +108,13 @@ fn rotation_objective(
         xs.clear();
         ys.clear();
         dpos.clear();
-        for p in &net.pins {
-            match p.obj.and_then(|o| angle_of[o as usize].map(|a| (o, a))) {
-                Some((o, (k, theta))) => {
-                    let off = rotate(p.offset, theta);
-                    let pos = model.pos[o as usize] + off;
+        for pk in span {
+            let o = model.pin_obj[pk];
+            let offset = Point::new(model.pin_off_x[pk], model.pin_off_y[pk]);
+            match (o != FIXED_PIN).then(|| angle_of[o as usize]).flatten() {
+                Some((k, theta)) => {
+                    let off = rotate(offset, theta);
+                    let pos = model.pos(o as usize) + off;
                     xs.push(pos.x);
                     ys.push(pos.y);
                     // d/dθ (cosθ·dx − sinθ·dy, sinθ·dx + cosθ·dy)
@@ -120,11 +122,11 @@ fn rotation_objective(
                     let (s, c) = theta.sin_cos();
                     dpos.push(Some((
                         k,
-                        Point::new(-s * p.offset.x - c * p.offset.y, c * p.offset.x - s * p.offset.y),
+                        Point::new(-s * offset.x - c * offset.y, c * offset.x - s * offset.y),
                     )));
                 }
                 None => {
-                    let pos = p.position(&model.pos);
+                    let pos = model.pin_position(pk);
                     xs.push(pos.x);
                     ys.push(pos.y);
                     dpos.push(None);
@@ -135,10 +137,10 @@ fn rotation_objective(
         gy.resize(ys.len(), 0.0);
         let wx = wa_axis_grad(&xs, gamma, &mut gx);
         let wy = wa_axis_grad(&ys, gamma, &mut gy);
-        total += net.weight * (wx + wy);
+        total += model.net_weight[ni] * (wx + wy);
         for (i, d) in dpos.iter().enumerate() {
             if let Some((k, dp)) = d {
-                theta_grad[*k] += net.weight * (gx[i] * dp.x + gy[i] * dp.y);
+                theta_grad[*k] += model.net_weight[ni] * (gx[i] * dp.x + gy[i] * dp.y);
             }
         }
     }
@@ -233,22 +235,22 @@ mod tests {
 
     /// One macro at the center with a right-edge pin, anchored to a point.
     fn macro_model(anchor: Point) -> Model {
-        Model {
-            pos: vec![Point::new(100.0, 100.0)],
-            size: vec![(40.0, 20.0)],
-            area: vec![800.0],
-            is_macro: vec![true],
-            region: vec![None],
-            nets: vec![ModelNet {
+        Model::from_parts(
+            vec![Point::new(100.0, 100.0)],
+            vec![(40.0, 20.0)],
+            vec![800.0],
+            vec![true],
+            vec![None],
+            &[ModelNet {
                 weight: 1.0,
                 pins: vec![
                     ModelPin::movable(0, Point::new(18.0, 0.0)),
                     ModelPin::fixed(anchor),
                 ],
             }],
-            die: Rect::new(0.0, 0.0, 200.0, 200.0),
-            node_of: vec![],
-        }
+            Rect::new(0.0, 0.0, 200.0, 200.0),
+            vec![],
+        )
     }
 
     #[test]

@@ -20,15 +20,42 @@
 //! functions is therefore a property of the *input iterate*, detectable
 //! with [`all_finite`] and recoverable by restoring coordinates, not a
 //! sticky internal state.
+//!
+//! # Kernel structure (million-cell hot path)
+//!
+//! The evaluation runs in two phases over the model's CSR pin arena:
+//!
+//! 1. **Per-net phase** — nets are split into fixed 256-net chunks; each
+//!    chunk writes weight-scaled per-pin gradients and per-net totals into
+//!    *disjoint* slices of flat scratch arrays (the chunk's pin range
+//!    `net_pin_start[c.start] .. net_pin_start[c.end]` is contiguous), so
+//!    workers never contend and no per-chunk `Vec` of sparse contributions
+//!    is allocated. Exponentials are computed **once** per pin-axis and
+//!    cached for the gradient formula — the old kernel recomputed them,
+//!    and `exp` dominates the per-pin cost.
+//! 2. **Gather phase** — per-object gradients are accumulated by walking
+//!    the model's object→pin transpose in ascending pin order, which is
+//!    exactly the order the historical scatter added the same terms in, so
+//!    the result is bitwise identical to the pre-layout-refactor kernel
+//!    (the `reference` module holds that kernel; the layout-equivalence
+//!    property tests enforce the identity).
+//!
+//! Sums whose order is observable stay strictly sequential; only the
+//! order-free max/min folds use explicit 4-lane chunking (see
+//! `DESIGN.md` §10 for why that preserves bitwise determinism).
 
-use crate::model::Model;
-use rdp_geom::parallel::{chunk_spans, chunked_map, Parallelism};
-use rdp_geom::Point;
+use crate::model::{Model, FIXED_PIN};
+use rdp_geom::parallel::{
+    chunk_spans, chunked_map_parts_with, split_at_spans, Parallelism,
+};
 
 /// Nets per parallel work chunk. Fixed (never derived from the thread
 /// count) so chunk boundaries — and therefore the floating-point reduction
 /// order — are identical at every parallelism level.
 const NET_CHUNK: usize = 256;
+
+/// Objects per parallel gather chunk.
+const OBJ_CHUNK: usize = 4096;
 
 /// Which smooth wirelength model the optimizer differentiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,194 +68,355 @@ pub enum WirelengthModel {
     Wa,
 }
 
+/// Maximum over a coordinate slice, 4 lanes wide with a fixed-order tail
+/// fold. `max` over finite values is associative and commutative (and the
+/// sign of a zero result cannot propagate into the shifted exponents), so
+/// re-associating into lanes is bitwise safe while letting the
+/// autovectorizer lift the loop. The lane combination order is fixed, so
+/// the result is also independent of everything but the input.
+#[inline]
+fn fold_max(v: &[f64]) -> f64 {
+    let mut lanes = [f64::NEG_INFINITY; 4];
+    let mut chunks = v.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] = lanes[0].max(c[0]);
+        lanes[1] = lanes[1].max(c[1]);
+        lanes[2] = lanes[2].max(c[2]);
+        lanes[3] = lanes[3].max(c[3]);
+    }
+    let mut m = lanes[0].max(lanes[1]).max(lanes[2].max(lanes[3]));
+    for &x in chunks.remainder() {
+        m = m.max(x);
+    }
+    m
+}
+
+/// Minimum over a coordinate slice; see [`fold_max`].
+#[inline]
+fn fold_min(v: &[f64]) -> f64 {
+    let mut lanes = [f64::INFINITY; 4];
+    let mut chunks = v.chunks_exact(4);
+    for c in &mut chunks {
+        lanes[0] = lanes[0].min(c[0]);
+        lanes[1] = lanes[1].min(c[1]);
+        lanes[2] = lanes[2].min(c[2]);
+        lanes[3] = lanes[3].min(c[3]);
+    }
+    let mut m = lanes[0].min(lanes[1]).min(lanes[2].min(lanes[3]));
+    for &x in chunks.remainder() {
+        m = m.min(x);
+    }
+    m
+}
+
 /// One axis of one net, evaluated with the LSE model. Returns the smooth
-/// span and writes `∂/∂coord` for each pin into `pin_grad`.
-fn lse_axis(coords: &[f64], gamma: f64, pin_grad: &mut [f64]) -> f64 {
-    let max = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let min = coords.iter().copied().fold(f64::INFINITY, f64::min);
+/// span and writes `∂/∂coord` for each pin into `pin_grad`. `ep`/`em`
+/// cache the shifted exponentials between the sum and gradient passes
+/// (identical inputs ⇒ identical values ⇒ bitwise identical to
+/// recomputing them, at half the `exp` count).
+fn lse_axis(coords: &[f64], gamma: f64, pin_grad: &mut [f64], ep: &mut Vec<f64>, em: &mut Vec<f64>) -> f64 {
+    let max = fold_max(coords);
+    let min = fold_min(coords);
+    let n = coords.len();
+    if ep.len() < n {
+        ep.resize(n, 0.0);
+        em.resize(n, 0.0);
+    }
+    let (ep, em) = (&mut ep[..n], &mut em[..n]);
     let mut s_max = 0.0;
     let mut s_min = 0.0;
-    for &x in coords {
-        s_max += ((x - max) / gamma).exp();
-        s_min += ((min - x) / gamma).exp();
+    for ((&x, e_p), e_m) in coords.iter().zip(ep.iter_mut()).zip(em.iter_mut()) {
+        *e_p = ((x - max) / gamma).exp();
+        *e_m = ((min - x) / gamma).exp();
+        s_max += *e_p;
+        s_min += *e_m;
     }
-    for (g, &x) in pin_grad.iter_mut().zip(coords) {
-        *g = ((x - max) / gamma).exp() / s_max - ((min - x) / gamma).exp() / s_min;
+    for ((g, &e_p), &e_m) in pin_grad.iter_mut().zip(ep.iter()).zip(em.iter()) {
+        *g = e_p / s_max - e_m / s_min;
     }
     gamma * s_max.ln() + max + gamma * s_min.ln() - min
 }
 
-/// One axis of one net with the WA model.
-fn wa_axis(coords: &[f64], gamma: f64, pin_grad: &mut [f64]) -> f64 {
-    let max = coords.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let min = coords.iter().copied().fold(f64::INFINITY, f64::min);
+/// One axis of one net with the WA model; exponential caching as in
+/// [`lse_axis`].
+fn wa_axis(coords: &[f64], gamma: f64, pin_grad: &mut [f64], ep: &mut Vec<f64>, em: &mut Vec<f64>) -> f64 {
+    let max = fold_max(coords);
+    let min = fold_min(coords);
+    let n = coords.len();
+    if ep.len() < n {
+        ep.resize(n, 0.0);
+        em.resize(n, 0.0);
+    }
+    let (ep, em) = (&mut ep[..n], &mut em[..n]);
     let (mut s_p, mut t_p, mut s_m, mut t_m) = (0.0, 0.0, 0.0, 0.0);
-    for &x in coords {
-        let ep = ((x - max) / gamma).exp();
-        let em = ((min - x) / gamma).exp();
-        s_p += ep;
-        t_p += x * ep;
-        s_m += em;
-        t_m += x * em;
+    for ((&x, e_p), e_m) in coords.iter().zip(ep.iter_mut()).zip(em.iter_mut()) {
+        *e_p = ((x - max) / gamma).exp();
+        *e_m = ((min - x) / gamma).exp();
+        s_p += *e_p;
+        t_p += x * *e_p;
+        s_m += *e_m;
+        t_m += x * *e_m;
     }
     let f_max = t_p / s_p;
     let f_min = t_m / s_m;
-    for (g, &x) in pin_grad.iter_mut().zip(coords) {
-        let ep = ((x - max) / gamma).exp();
-        let em = ((min - x) / gamma).exp();
-        let d_max = ep / s_p * (1.0 + (x - f_max) / gamma);
-        let d_min = em / s_m * (1.0 - (x - f_min) / gamma);
+    for (((g, &x), &e_p), &e_m) in
+        pin_grad.iter_mut().zip(coords).zip(ep.iter()).zip(em.iter())
+    {
+        let d_max = e_p / s_p * (1.0 + (x - f_max) / gamma);
+        let d_min = e_m / s_m * (1.0 - (x - f_min) / gamma);
         *g = d_max - d_min;
     }
     f_max - f_min
 }
 
-/// One chunk's partial evaluation: per-net smooth spans (in net order) and
-/// the sparse pin-gradient contributions (in net-then-pin order).
-struct ChunkPartial {
-    /// `weight · (wx + wy)` for every ≥2-pin net in the chunk, net order.
-    net_totals: Vec<f64>,
-    /// `(object, ∂x, ∂y)` contributions in net-then-pin order.
-    contribs: Vec<(u32, f64, f64)>,
+/// Reusable scratch for [`smooth_wl_grad_par`]: chunk spans plus the flat
+/// per-pin gradient and per-net total arrays. Hoisted by the optimizer so
+/// no allocation happens per iteration.
+#[derive(Debug, Clone, Default)]
+pub struct WlScratch {
+    net_spans: Vec<std::ops::Range<usize>>,
+    obj_spans: Vec<std::ops::Range<usize>>,
+    spans_for: (usize, usize),
+    pin_grad_x: Vec<f64>,
+    pin_grad_y: Vec<f64>,
+    net_total: Vec<f64>,
 }
 
-/// Evaluates the nets in `span` against an immutable model snapshot.
-fn eval_net_span(
-    model: &Model,
-    which: WirelengthModel,
-    gamma: f64,
-    span: std::ops::Range<usize>,
-) -> ChunkPartial {
-    let mut out = ChunkPartial {
-        net_totals: Vec::with_capacity(span.len()),
-        contribs: Vec::new(),
-    };
-    let mut xs: Vec<f64> = Vec::with_capacity(16);
-    let mut ys: Vec<f64> = Vec::with_capacity(16);
-    let mut gx: Vec<f64> = Vec::with_capacity(16);
-    let mut gy: Vec<f64> = Vec::with_capacity(16);
-    for net in &model.nets[span] {
-        if net.pins.len() < 2 {
-            continue;
-        }
-        xs.clear();
-        ys.clear();
-        for p in &net.pins {
-            let pos = p.position(&model.pos);
-            xs.push(pos.x);
-            ys.push(pos.y);
-        }
-        gx.resize(xs.len(), 0.0);
-        gy.resize(ys.len(), 0.0);
-        let (wx, wy) = match which {
-            WirelengthModel::Lse => (
-                lse_axis(&xs, gamma, &mut gx),
-                lse_axis(&ys, gamma, &mut gy),
-            ),
-            WirelengthModel::Wa => (
-                wa_axis(&xs, gamma, &mut gx),
-                wa_axis(&ys, gamma, &mut gy),
-            ),
-        };
-        out.net_totals.push(net.weight * (wx + wy));
-        for (k, p) in net.pins.iter().enumerate() {
-            if let Some(o) = p.obj {
-                out.contribs.push((o, net.weight * gx[k], net.weight * gy[k]));
-            }
-        }
+impl WlScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        WlScratch::default()
     }
-    out
+
+    fn prepare(&mut self, model: &Model) {
+        let key = (model.num_nets(), model.len());
+        if self.spans_for != key {
+            self.net_spans = chunk_spans(key.0, NET_CHUNK).collect();
+            self.obj_spans = chunk_spans(key.1, OBJ_CHUNK).collect();
+            self.spans_for = key;
+        }
+        self.pin_grad_x.resize(model.num_pins(), 0.0);
+        self.pin_grad_y.resize(model.num_pins(), 0.0);
+        self.net_total.resize(model.num_nets(), 0.0);
+    }
+}
+
+/// Per-worker scratch of the net phase: coordinate and exponential
+/// staging for one net at a time.
+#[derive(Default)]
+struct AxisScratch {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ep: Vec<f64>,
+    em: Vec<f64>,
 }
 
 /// Evaluates the smooth wirelength of `model` and **accumulates** its
-/// gradient into `grad` (one entry per object; caller zeroes), using up to
-/// `par` worker threads.
+/// gradient into `grad_x`/`grad_y` (one entry per object; caller zeroes),
+/// using up to `par` worker threads.
 ///
 /// Nets are partitioned into fixed-size chunks evaluated against the
-/// immutable model; each chunk's partial totals and pin-gradient
-/// contributions are merged back **in net order**, so the result is bitwise
-/// identical at every thread count (and to the historical sequential
-/// implementation).
+/// immutable model; each chunk writes its per-pin gradients and per-net
+/// totals into disjoint slices of `scratch`, the total is folded
+/// sequentially in net order, and the per-object gather walks the
+/// ascending-pin transpose — so the result is bitwise identical at every
+/// thread count (and to the historical implementation, see
+/// [`crate::reference`]).
 ///
 /// Returns the total smooth wirelength (net-weight scaled).
 ///
 /// # Panics
 ///
-/// Panics if `grad.len() != model.len()`.
+/// Panics if `grad_x.len() != model.len()` (or `grad_y`).
 pub fn smooth_wl_grad_par(
     model: &Model,
     which: WirelengthModel,
     gamma: f64,
-    grad: &mut [Point],
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+    scratch: &mut WlScratch,
     par: Parallelism,
 ) -> f64 {
-    assert_eq!(grad.len(), model.len(), "gradient buffer size mismatch");
+    assert_eq!(grad_x.len(), model.len(), "gradient buffer size mismatch");
+    assert_eq!(grad_y.len(), model.len(), "gradient buffer size mismatch");
     debug_assert!(gamma > 0.0, "smoothing parameter γ must be positive, got {gamma}");
-    let spans: Vec<_> = chunk_spans(model.nets.len(), NET_CHUNK).collect();
-    let partials = chunked_map(par, spans.len(), |ci| {
-        eval_net_span(model, which, gamma, spans[ci].clone())
-    });
-    // Ordered reduction: chunks in index order, nets in order within each.
+    scratch.prepare(model);
+
+    // Phase 1: per-net evaluation into disjoint chunk slices. A chunk of
+    // nets owns the contiguous pin range its nets cover.
+    {
+        let pin_spans: Vec<std::ops::Range<usize>> = scratch
+            .net_spans
+            .iter()
+            .map(|s| model.net_pin_start[s.start] as usize..model.net_pin_start[s.end] as usize)
+            .collect();
+        let gx_parts = split_at_spans(&mut scratch.pin_grad_x, &pin_spans);
+        let gy_parts = split_at_spans(&mut scratch.pin_grad_y, &pin_spans);
+        let total_parts = split_at_spans(&mut scratch.net_total, &scratch.net_spans);
+        let parts: Vec<_> = scratch
+            .net_spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .zip(total_parts)
+            .map(|(((span, gx), gy), nt)| (span, gx, gy, nt))
+            .collect();
+        chunked_map_parts_with(par, parts, AxisScratch::default, |ax, _ci, part| {
+            let (span, gx_out, gy_out, nt_out) = part;
+            let pin_base = model.net_pin_start[span.start] as usize;
+            for ni in span.clone() {
+                let pins = model.net_pins(ni);
+                let local = pins.start - pin_base..pins.end - pin_base;
+                if pins.len() < 2 {
+                    nt_out[ni - span.start] = 0.0;
+                    for k in local {
+                        gx_out[k] = 0.0;
+                        gy_out[k] = 0.0;
+                    }
+                    continue;
+                }
+                ax.xs.clear();
+                ax.ys.clear();
+                let objs = &model.pin_obj[pins.clone()];
+                let offx = &model.pin_off_x[pins.clone()];
+                let offy = &model.pin_off_y[pins.clone()];
+                for ((&o, &ox), &oy) in objs.iter().zip(offx).zip(offy) {
+                    if o == FIXED_PIN {
+                        ax.xs.push(ox);
+                        ax.ys.push(oy);
+                    } else {
+                        ax.xs.push(model.pos_x[o as usize] + ox);
+                        ax.ys.push(model.pos_y[o as usize] + oy);
+                    }
+                }
+                let weight = model.net_weight[ni];
+                let gx = &mut gx_out[local.clone()];
+                let gy = &mut gy_out[local];
+                let (wx, wy) = match which {
+                    WirelengthModel::Lse => (
+                        lse_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
+                        lse_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
+                    ),
+                    WirelengthModel::Wa => (
+                        wa_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
+                        wa_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
+                    ),
+                };
+                nt_out[ni - span.start] = weight * (wx + wy);
+                // Weight-scale the pin gradients in place, in pin order —
+                // the same multiplications the historical kernel did when
+                // building its contribution list.
+                for (g, h) in gx.iter_mut().zip(gy.iter_mut()) {
+                    *g *= weight;
+                    *h *= weight;
+                }
+            }
+        });
+    }
+
+    // Ordered total: nets in index order, skipping degenerate nets — the
+    // exact sequence of additions the historical merge performed.
     let mut total = 0.0;
-    for part in &partials {
-        for &t in &part.net_totals {
-            total += t;
+    for ni in 0..model.num_nets() {
+        if model.net_degree(ni) >= 2 {
+            total += scratch.net_total[ni];
         }
-        for &(o, dx, dy) in &part.contribs {
-            let g = &mut grad[o as usize];
-            g.x += dx;
-            g.y += dy;
-        }
+    }
+
+    // Phase 2: per-object gather over the ascending-pin transpose. Each
+    // object's additions happen in ascending pin index order — identical
+    // to the historical net-then-pin scatter order restricted to that
+    // object — and chunks write disjoint gradient ranges.
+    {
+        let pin_grad_x: &[f64] = &scratch.pin_grad_x;
+        let pin_grad_y: &[f64] = &scratch.pin_grad_y;
+        let gx_parts = split_at_spans(grad_x, &scratch.obj_spans);
+        let gy_parts = split_at_spans(grad_y, &scratch.obj_spans);
+        let parts: Vec<_> = scratch
+            .obj_spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .map(|((span, gx), gy)| (span, gx, gy))
+            .collect();
+        chunked_map_parts_with(par, parts, || (), |(), _ci, part| {
+            let (span, gx_out, gy_out) = part;
+            for (j, o) in span.clone().enumerate() {
+                let mut ax = gx_out[j];
+                let mut ay = gy_out[j];
+                for &k in model.obj_pins(o) {
+                    ax += pin_grad_x[k as usize];
+                    ay += pin_grad_y[k as usize];
+                }
+                gx_out[j] = ax;
+                gy_out[j] = ay;
+            }
+        });
     }
     total
 }
 
-/// Single-threaded [`smooth_wl_grad_par`] (the historical entry point).
+/// Single-threaded [`smooth_wl_grad_par`] with throwaway scratch (the
+/// historical entry point; tests and cold paths).
 pub fn smooth_wl_grad(
     model: &Model,
     which: WirelengthModel,
     gamma: f64,
-    grad: &mut [Point],
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
 ) -> f64 {
-    smooth_wl_grad_par(model, which, gamma, grad, Parallelism::single())
+    let mut scratch = WlScratch::new();
+    smooth_wl_grad_par(model, which, gamma, grad_x, grad_y, &mut scratch, Parallelism::single())
 }
 
 /// Evaluates the smooth wirelength only (no gradient) — used by the
 /// discrete macro-orientation search.
 pub fn smooth_wl(model: &Model, which: WirelengthModel, gamma: f64) -> f64 {
-    let mut scratch = vec![Point::ORIGIN; model.len()];
-    smooth_wl_grad(model, which, gamma, &mut scratch)
+    let mut gx = vec![0.0; model.len()];
+    let mut gy = vec![0.0; model.len()];
+    smooth_wl_grad(model, which, gamma, &mut gx, &mut gy)
 }
 
 /// Whether a smooth-wirelength evaluation is numerically healthy: finite
 /// objective and finite gradient in every component. The optimizer's
 /// divergence detection — a `false` here is the recoverable `Diverged`
 /// signal, not a panic (see [`crate::recovery`]).
-pub fn all_finite(wl: f64, grad: &[Point]) -> bool {
-    wl.is_finite() && grad.iter().all(|g| g.is_finite())
+pub fn all_finite(wl: f64, grad_x: &[f64], grad_y: &[f64]) -> bool {
+    wl.is_finite()
+        && grad_x.iter().all(|g| g.is_finite())
+        && grad_y.iter().all(|g| g.is_finite())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{ModelNet, ModelPin};
-    use rdp_geom::Rect;
+    use crate::model::{ModelNet, ModelPin, FIXED_PIN};
+    use rdp_geom::{Point, Rect};
 
     fn toy_model(positions: &[(f64, f64)]) -> Model {
         let n = positions.len();
-        Model {
-            pos: positions.iter().map(|&(x, y)| Point::new(x, y)).collect(),
-            size: vec![(2.0, 10.0); n],
-            area: vec![20.0; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets: vec![ModelNet {
+        Model::from_parts(
+            positions.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            vec![(2.0, 10.0); n],
+            vec![20.0; n],
+            vec![false; n],
+            vec![None; n],
+            &[ModelNet {
                 weight: 1.0,
                 pins: (0..n).map(|i| ModelPin::movable(i, Point::ORIGIN)).collect(),
             }],
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        }
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        )
+    }
+
+    fn grad_of(model: &Model, which: WirelengthModel, gamma: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        smooth_wl_grad(model, which, gamma, &mut gx, &mut gy);
+        (gx, gy)
     }
 
     #[test]
@@ -279,23 +467,21 @@ mod tests {
         let model = toy_model(&[(10.0, 10.0), (30.0, 25.0), (18.0, 40.0)]);
         let gamma = 3.0;
         for which in [WirelengthModel::Lse, WirelengthModel::Wa] {
-            let mut grad = vec![Point::ORIGIN; model.len()];
-            smooth_wl_grad(&model, which, gamma, &mut grad);
+            let (gx, gy) = grad_of(&model, which, gamma);
             let h = 1e-5;
-            #[allow(clippy::needless_range_loop)]
             for i in 0..model.len() {
                 for axis in 0..2 {
                     let mut mp = model.clone();
                     let mut mm = model.clone();
                     if axis == 0 {
-                        mp.pos[i].x += h;
-                        mm.pos[i].x -= h;
+                        mp.pos_x[i] += h;
+                        mm.pos_x[i] -= h;
                     } else {
-                        mp.pos[i].y += h;
-                        mm.pos[i].y -= h;
+                        mp.pos_y[i] += h;
+                        mm.pos_y[i] -= h;
                     }
                     let fd = (smooth_wl(&mp, which, gamma) - smooth_wl(&mm, which, gamma)) / (2.0 * h);
-                    let an = if axis == 0 { grad[i].x } else { grad[i].y };
+                    let an = if axis == 0 { gx[i] } else { gy[i] };
                     assert!(
                         (fd - an).abs() < 1e-5 * (1.0 + fd.abs()),
                         "{which:?} obj {i} axis {axis}: fd {fd} vs analytic {an}"
@@ -313,9 +499,8 @@ mod tests {
             let wl = smooth_wl(&model, which, 0.01);
             assert!(wl.is_finite(), "{which:?} overflowed");
             assert!((wl - model.hpwl()).abs() < 1.0);
-            let mut grad = vec![Point::ORIGIN; model.len()];
-            smooth_wl_grad(&model, which, 0.01, &mut grad);
-            assert!(grad.iter().all(|g| g.is_finite()), "{which:?} gradient overflowed");
+            let (gx, gy) = grad_of(&model, which, 0.01);
+            assert!(all_finite(wl, &gx, &gy), "{which:?} gradient overflowed");
         }
     }
 
@@ -323,23 +508,99 @@ mod tests {
     fn net_weight_scales_contribution() {
         let mut model = toy_model(&[(0.0, 0.0), (10.0, 0.0)]);
         let base = smooth_wl(&model, WirelengthModel::Wa, 1.0);
-        model.nets[0].weight = 3.0;
+        model.net_weight[0] = 3.0;
         assert!((smooth_wl(&model, WirelengthModel::Wa, 1.0) - 3.0 * base).abs() < 1e-9);
     }
 
     #[test]
     fn fixed_pins_receive_no_gradient() {
-        let mut model = toy_model(&[(10.0, 10.0)]);
-        model.nets[0].pins = vec![
-            ModelPin::movable(0, Point::ORIGIN),
-            ModelPin::fixed(Point::new(50.0, 50.0)),
-        ];
-        let mut grad = vec![Point::ORIGIN; 1];
-        smooth_wl_grad(&model, WirelengthModel::Wa, 2.0, &mut grad);
-        // The single movable pulls toward the anchor: negative-x gradient
-        // means moving +x reduces WL... sign check: objective decreases when
-        // moving along -grad; anchor is to the upper right, so grad must
-        // point away from it (negative direction components).
-        assert!(grad[0].x < 0.0 && grad[0].y < 0.0);
+        let model = Model::from_parts(
+            vec![Point::new(10.0, 10.0)],
+            vec![(2.0, 10.0)],
+            vec![20.0],
+            vec![false],
+            vec![None],
+            &[ModelNet {
+                weight: 1.0,
+                pins: vec![
+                    ModelPin::movable(0, Point::ORIGIN),
+                    ModelPin::fixed(Point::new(50.0, 50.0)),
+                ],
+            }],
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        );
+        let (gx, gy) = grad_of(&model, WirelengthModel::Wa, 2.0);
+        // The single movable pulls toward the anchor: the anchor is to the
+        // upper right, so the gradient must point away from it (negative
+        // components — descent along −grad moves toward the anchor).
+        assert!(gx[0] < 0.0 && gy[0] < 0.0);
+        // And the fixed pin contributed no transpose entry.
+        assert_eq!(model.pin_obj[1], FIXED_PIN);
+        assert_eq!(model.obj_pins(0), &[0]);
+    }
+
+    #[test]
+    fn lane_folds_match_sequential() {
+        for n in 0..20 {
+            let v: Vec<f64> = (0..n).map(|i| ((i * 37 % 11) as f64 - 5.0) * 3.7).collect();
+            if n == 0 {
+                continue;
+            }
+            let smax = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let smin = v.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(fold_max(&v).to_bits(), smax.to_bits(), "n={n}");
+            assert_eq!(fold_min(&v).to_bits(), smin.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_single_thread_bitwise() {
+        // Many nets of varying degree, some degenerate.
+        let n = 200;
+        let positions: Vec<Point> = (0..n)
+            .map(|i| Point::new((i * 7 % 83) as f64 + 0.25, (i * 13 % 97) as f64 + 0.5))
+            .collect();
+        let mut nets = Vec::new();
+        for i in 0..n {
+            let d = 2 + (i % 5);
+            let pins = (0..d)
+                .map(|j| ModelPin::movable((i + j * 17) % n, Point::new(j as f64 * 0.1, 0.0)))
+                .collect();
+            nets.push(ModelNet { weight: 1.0 + (i % 3) as f64, pins });
+        }
+        nets.push(ModelNet { weight: 5.0, pins: vec![ModelPin::movable(0, Point::ORIGIN)] });
+        let model = Model::from_parts(
+            positions,
+            vec![(1.0, 1.0); n],
+            vec![1.0; n],
+            vec![false; n],
+            vec![None; n],
+            &nets,
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        );
+        for which in [WirelengthModel::Lse, WirelengthModel::Wa] {
+            let mut scratch = WlScratch::new();
+            let mut base_gx = vec![0.0; n];
+            let mut base_gy = vec![0.0; n];
+            let base = smooth_wl_grad_par(
+                &model, which, 2.0, &mut base_gx, &mut base_gy, &mut scratch,
+                Parallelism::single(),
+            );
+            for threads in [2, 8] {
+                let mut gx = vec![0.0; n];
+                let mut gy = vec![0.0; n];
+                let wl = smooth_wl_grad_par(
+                    &model, which, 2.0, &mut gx, &mut gy, &mut scratch,
+                    Parallelism::new(threads),
+                );
+                assert_eq!(wl.to_bits(), base.to_bits(), "{which:?} threads={threads}");
+                for i in 0..n {
+                    assert_eq!(gx[i].to_bits(), base_gx[i].to_bits(), "{which:?} t={threads} i={i}");
+                    assert_eq!(gy[i].to_bits(), base_gy[i].to_bits(), "{which:?} t={threads} i={i}");
+                }
+            }
+        }
     }
 }

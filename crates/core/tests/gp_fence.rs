@@ -40,10 +40,10 @@ fn gp_moves_fenced_cells_into_their_fences() {
         if let Some(r) = model.region[i] {
             fenced += 1;
             let region = bench.design.region(r);
-            if region.contains(model.pos[i]) {
+            if region.contains(model.pos(i)) {
                 inside += 1;
             } else {
-                worst = worst.max(region.distance(model.pos[i]));
+                worst = worst.max(region.distance(model.pos(i)));
             }
         }
     }

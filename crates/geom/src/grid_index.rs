@@ -1,0 +1,388 @@
+//! A bucketed uniform-grid spatial index for **exact** nearest-rectangle
+//! queries under user-supplied costs.
+//!
+//! Legalization needs "closest feasible row segment" queries for every
+//! standard cell. The naive version scans all segments per cell — O(cells ×
+//! segments), which is what makes million-cell legalization intractable.
+//! This index buckets the segment rectangles on a uniform grid and answers
+//! each query by expanding Chebyshev rings of buckets outward from the
+//! query point, maintaining an L1 lower bound per ring; the search stops as
+//! soon as the bound exceeds the best candidate found, so only a local
+//! window of buckets is ever touched.
+//!
+//! The query is **exact**, not approximate: provided the caller's cost
+//! function never undercuts the L1 distance from the query point to the
+//! stored rectangle (see [`BucketGrid::nearest_by`]), the returned item is
+//! the global `(cost, id)`-lexicographic minimum — bitwise identical to a
+//! full linear scan that keeps the first strict improvement. That makes it
+//! a drop-in replacement inside deterministic placement flows.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// Uniform bucket grid over axis-aligned rectangles.
+///
+/// Items are identified by their insertion index (`u32`), which doubles as
+/// the tie-break key for queries: among equal-cost candidates the lowest id
+/// wins, matching a linear scan in insertion order.
+#[derive(Debug, Clone)]
+pub struct BucketGrid {
+    nx: usize,
+    ny: usize,
+    origin: Point,
+    bucket_w: f64,
+    bucket_h: f64,
+    buckets: Vec<Vec<u32>>,
+    rects: Vec<Rect>,
+    /// Epoch-stamped visited marks: `visited[id] == epoch` means item `id`
+    /// was already costed during the current query. Avoids re-costing items
+    /// that span several buckets without clearing a bitmap per query.
+    visited: Vec<u32>,
+    epoch: u32,
+}
+
+impl BucketGrid {
+    /// An empty index over `bound` with an `nx × ny` bucket resolution.
+    ///
+    /// Degenerate bounds (zero width/height) are padded so bucketing stays
+    /// well-defined; items outside the bound are clamped into the border
+    /// buckets, which affects only query cost, never correctness.
+    pub fn new(bound: Rect, nx: usize, ny: usize) -> Self {
+        let nx = nx.max(1);
+        let ny = ny.max(1);
+        let w = (bound.xh - bound.xl).max(1e-9);
+        let h = (bound.yh - bound.yl).max(1e-9);
+        BucketGrid {
+            nx,
+            ny,
+            origin: Point::new(bound.xl, bound.yl),
+            bucket_w: w / nx as f64,
+            bucket_h: h / ny as f64,
+            buckets: vec![Vec::new(); nx * ny],
+            rects: Vec::new(),
+            visited: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Number of items inserted.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when no items have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// The rectangle stored for `id`.
+    pub fn rect(&self, id: u32) -> Rect {
+        self.rects[id as usize]
+    }
+
+    /// Inserts `rect` and returns its id (the insertion index). The rect is
+    /// registered in every bucket it overlaps.
+    pub fn insert(&mut self, rect: Rect) -> u32 {
+        let id = u32::try_from(self.rects.len()).expect("bucket grid overflow");
+        let (x0, y0) = self.bucket_of(Point::new(rect.xl, rect.yl));
+        let (x1, y1) = self.bucket_of(Point::new(rect.xh, rect.yh));
+        for by in y0..=y1 {
+            for bx in x0..=x1 {
+                self.buckets[by * self.nx + bx].push(id);
+            }
+        }
+        self.rects.push(rect);
+        self.visited.push(0);
+        id
+    }
+
+    fn bucket_of(&self, p: Point) -> (usize, usize) {
+        let bx = ((p.x - self.origin.x) / self.bucket_w).floor();
+        let by = ((p.y - self.origin.y) / self.bucket_h).floor();
+        let bx = if bx.is_finite() { bx } else { 0.0 };
+        let by = if by.is_finite() { by } else { 0.0 };
+        (
+            (bx.max(0.0) as usize).min(self.nx - 1),
+            (by.max(0.0) as usize).min(self.ny - 1),
+        )
+    }
+
+    /// Exact nearest item under a caller-defined cost.
+    ///
+    /// `cost(id)` returns the item's cost from the query point, or `None`
+    /// when the item is infeasible (wrong region, insufficient capacity,
+    /// ...). The result is the item minimizing `(cost, id)`
+    /// lexicographically over all feasible items — identical to a full
+    /// scan in insertion order keeping strict improvements only.
+    ///
+    /// **Contract:** for every feasible item, `cost(id)` must be at least
+    /// the L1 distance from `p` to `rect(id)`. The ring search prunes with
+    /// that lower bound; a cost below it may be missed. Costs must be
+    /// non-NaN.
+    pub fn nearest_by<F>(&mut self, p: Point, mut cost: F) -> Option<(u32, f64)>
+    where
+        F: FnMut(u32) -> Option<f64>,
+    {
+        if self.rects.is_empty() {
+            return None;
+        }
+        // New query epoch; on wrap-around, reset all stamps once.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+        let (cx, cy) = self.bucket_of(p);
+
+        // Split the borrows: buckets stay shared, visited is exclusive,
+        // geometry is copied out so no `&self` method call is needed while
+        // `visited` is mutably borrowed.
+        let (nx, ny) = (self.nx, self.ny);
+        let (origin, bw, bh) = (self.origin, self.bucket_w, self.bucket_h);
+        let buckets = &self.buckets;
+        let visited = &mut self.visited;
+        let epoch = self.epoch;
+        // L1 distance from `p` to bucket column/row (0 inside it).
+        let column_distance =
+            |bx: usize| (origin.x + bx as f64 * bw - p.x).max(p.x - (origin.x + (bx + 1) as f64 * bw)).max(0.0);
+        let row_distance =
+            |by: usize| (origin.y + by as f64 * bh - p.y).max(p.y - (origin.y + (by + 1) as f64 * bh)).max(0.0);
+
+        let mut best: Option<(f64, u32)> = None;
+        let mut visit_bucket = |bx: usize, by: usize, best: &mut Option<(f64, u32)>| {
+            for &id in &buckets[by * nx + bx] {
+                let slot = &mut visited[id as usize];
+                if *slot == epoch {
+                    continue;
+                }
+                *slot = epoch;
+                if let Some(c) = cost(id) {
+                    let better = match *best {
+                        None => true,
+                        Some((bc, bi)) => c < bc || (c == bc && id < bi),
+                    };
+                    if better {
+                        *best = Some((c, id));
+                    }
+                }
+            }
+        };
+
+        let mut r = 0usize;
+        loop {
+            // Lower bound on the L1 distance from `p` to any bucket at
+            // Chebyshev ring `r`. Non-decreasing in `r` (each term grows
+            // and out-of-range terms only drop out), so once it exceeds the
+            // best cost, no farther ring can win — and ties cannot appear
+            // past a *strictly* larger bound, preserving the lowest-id rule.
+            let mut ring_bound: Option<f64> = None;
+            let mut note = |d: f64| {
+                ring_bound = Some(match ring_bound {
+                    Some(b) => b.min(d),
+                    None => d,
+                });
+            };
+            if r == 0 {
+                note(0.0);
+            } else {
+                if cx >= r {
+                    note(column_distance(cx - r));
+                }
+                if cx + r < nx {
+                    note(column_distance(cx + r));
+                }
+                if cy >= r {
+                    note(row_distance(cy - r));
+                }
+                if cy + r < ny {
+                    note(row_distance(cy + r));
+                }
+            }
+            let Some(bound) = ring_bound else {
+                break; // the ring (and every larger one) is off-grid
+            };
+            if let Some((bc, _)) = best {
+                if bound > bc {
+                    break;
+                }
+            }
+
+            // Walk the ring: the bottom and top rows in full, plus the two
+            // side columns over the rows strictly between them.
+            let x_lo = cx.saturating_sub(r);
+            let x_hi = (cx + r).min(nx - 1);
+            if cy >= r {
+                for bx in x_lo..=x_hi {
+                    visit_bucket(bx, cy - r, &mut best);
+                }
+            }
+            if r > 0 && cy + r < ny {
+                for bx in x_lo..=x_hi {
+                    visit_bucket(bx, cy + r, &mut best);
+                }
+            }
+            if r > 0 {
+                let y_lo = if cy >= r { cy - r + 1 } else { 0 };
+                let y_hi = (cy + r).saturating_sub(1).min(ny - 1);
+                for by in y_lo..=y_hi {
+                    if cx >= r {
+                        visit_bucket(cx - r, by, &mut best);
+                    }
+                    if cx + r < nx {
+                        visit_bucket(cx + r, by, &mut best);
+                    }
+                }
+            }
+            r += 1;
+        }
+        best.map(|(c, id)| (id, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Reference implementation: linear scan in insertion order keeping
+    /// strict improvements (so the lowest id wins ties).
+    fn brute_force<F>(n: usize, mut cost: F) -> Option<(u32, f64)>
+    where
+        F: FnMut(u32) -> Option<f64>,
+    {
+        let mut best: Option<(u32, f64)> = None;
+        for id in 0..n as u32 {
+            if let Some(c) = cost(id) {
+                if best.is_none_or(|(_, bc)| c < bc) {
+                    best = Some((id, c));
+                }
+            }
+        }
+        best
+    }
+
+    fn random_rects(rng: &mut Rng, n: usize, extent: f64) -> Vec<Rect> {
+        (0..n)
+            .map(|_| {
+                let x = rng.next_f64() * extent;
+                let y = rng.next_f64() * extent;
+                let w = rng.next_f64() * extent * 0.05;
+                let h = rng.next_f64() * extent * 0.05;
+                Rect { xl: x, yl: y, xh: x + w, yh: y + h }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_l1_distance() {
+        let mut rng = Rng::seed_from_u64(11);
+        let bound = Rect { xl: 0.0, yl: 0.0, xh: 100.0, yh: 100.0 };
+        let rects = random_rects(&mut rng, 300, 100.0);
+        let mut grid = BucketGrid::new(bound, 16, 16);
+        for &r in &rects {
+            grid.insert(r);
+        }
+        for _ in 0..200 {
+            // Query points both inside and slightly outside the bound.
+            let p = Point::new(rng.next_f64() * 120.0 - 10.0, rng.next_f64() * 120.0 - 10.0);
+            let l1 = |id: u32| {
+                let r = rects[id as usize];
+                let dx = (r.xl - p.x).max(p.x - r.xh).max(0.0);
+                let dy = (r.yl - p.y).max(p.y - r.yh).max(0.0);
+                Some(dx + dy)
+            };
+            let got = grid.nearest_by(p, l1);
+            let want = brute_force(rects.len(), l1);
+            assert_eq!(
+                got.map(|(id, c)| (id, c.to_bits())),
+                want.map(|(id, c)| (id, c.to_bits())),
+                "query {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_with_infeasible_items_and_weighted_cost() {
+        let mut rng = Rng::seed_from_u64(23);
+        let bound = Rect { xl: 0.0, yl: 0.0, xh: 50.0, yh: 200.0 };
+        let rects = random_rects(&mut rng, 150, 50.0);
+        let mut grid = BucketGrid::new(bound, 8, 32);
+        for &r in &rects {
+            grid.insert(r);
+        }
+        for qi in 0..100 {
+            let p = Point::new(rng.next_f64() * 50.0, rng.next_f64() * 200.0);
+            // Cost = dx + 2*dy (>= L1), every third item infeasible —
+            // mirrors the legalizer's row-segment query shape.
+            let cost = |id: u32| {
+                if (id as usize + qi).is_multiple_of(3) {
+                    return None;
+                }
+                let r = rects[id as usize];
+                let dx = (r.xl - p.x).max(p.x - r.xh).max(0.0);
+                let dy = (r.yl - p.y).max(p.y - r.yh).max(0.0);
+                Some(dx + 2.0 * dy)
+            };
+            let got = grid.nearest_by(p, cost);
+            let want = brute_force(rects.len(), cost);
+            assert_eq!(
+                got.map(|(id, c)| (id, c.to_bits())),
+                want.map(|(id, c)| (id, c.to_bits())),
+                "query {qi}"
+            );
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_id() {
+        let bound = Rect { xl: 0.0, yl: 0.0, xh: 10.0, yh: 10.0 };
+        let mut grid = BucketGrid::new(bound, 4, 4);
+        // Two identical rects far from the query, one different but equally
+        // distant: all three tie on cost.
+        let r = Rect { xl: 8.0, yl: 8.0, xh: 9.0, yh: 9.0 };
+        grid.insert(r);
+        grid.insert(r);
+        grid.insert(Rect { xl: 8.0, yl: 8.0, xh: 9.0, yh: 9.0 });
+        let got = grid.nearest_by(Point::new(1.0, 1.0), |_| Some(42.0));
+        assert_eq!(got, Some((0, 42.0)));
+    }
+
+    #[test]
+    fn empty_and_all_infeasible_return_none() {
+        let bound = Rect { xl: 0.0, yl: 0.0, xh: 10.0, yh: 10.0 };
+        let mut grid = BucketGrid::new(bound, 4, 4);
+        assert!(grid.is_empty());
+        assert_eq!(grid.nearest_by(Point::new(5.0, 5.0), |_| Some(1.0)), None);
+        grid.insert(Rect { xl: 1.0, yl: 1.0, xh: 2.0, yh: 2.0 });
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.nearest_by(Point::new(5.0, 5.0), |_| None), None);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_index() {
+        // The epoch mechanism must isolate queries: the same query repeated
+        // returns the same answer, and interleaved queries don't bleed
+        // visited marks into each other.
+        let bound = Rect { xl: 0.0, yl: 0.0, xh: 10.0, yh: 10.0 };
+        let mut grid = BucketGrid::new(bound, 4, 4);
+        for i in 0..16 {
+            let x = (i % 4) as f64 * 2.5;
+            let y = (i / 4) as f64 * 2.5;
+            grid.insert(Rect { xl: x, yl: y, xh: x + 1.0, yh: y + 1.0 });
+        }
+        let q = Point::new(9.0, 9.0);
+        let l1 = |grid: &BucketGrid, id: u32, p: Point| {
+            let r = grid.rect(id);
+            let dx = (r.xl - p.x).max(p.x - r.xh).max(0.0);
+            let dy = (r.yl - p.y).max(p.y - r.yh).max(0.0);
+            dx + dy
+        };
+        let rects_snapshot = grid.clone();
+        let first = grid.nearest_by(q, |id| Some(l1(&rects_snapshot, id, q)));
+        for _ in 0..100 {
+            let again = grid.nearest_by(q, |id| Some(l1(&rects_snapshot, id, q)));
+            assert_eq!(again, first);
+        }
+        assert_eq!(first.unwrap().0, 15);
+    }
+}

@@ -31,6 +31,7 @@
 
 mod interval;
 mod orient;
+pub mod grid_index;
 pub mod parallel;
 mod point;
 mod rect;

@@ -37,6 +37,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Worker-count configuration, plumbed through `PlaceOptions` and
 /// `RouterConfig`.
@@ -181,6 +182,133 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Splits a mutable slice into the given **ascending, non-overlapping**
+/// spans, returning one disjoint `&mut [T]` per span.
+///
+/// This is the safe construction step for [`chunked_map_parts`]: the hot
+/// kernels pre-split their output buffers along the canonical chunk
+/// boundaries (from [`chunk_spans`]) and hand each worker exclusive
+/// ownership of its chunk's output slice, so parallel writes need no
+/// synchronization and no `unsafe`.
+///
+/// Gaps between spans are allowed (those elements are simply not returned);
+/// the spans themselves must be in increasing order and within bounds.
+///
+/// # Panics
+///
+/// Panics if a span starts before the end of the previous span or extends
+/// past the end of the slice.
+pub fn split_at_spans<'a, T>(mut data: &'a mut [T], spans: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(spans.len());
+    let mut offset = 0usize;
+    for span in spans {
+        assert!(
+            span.start >= offset && span.end >= span.start,
+            "spans must be ascending and non-overlapping"
+        );
+        let (_, rest) = data.split_at_mut(span.start - offset);
+        let (part, rest) = rest.split_at_mut(span.end - span.start);
+        parts.push(part);
+        data = rest;
+        offset = span.end;
+    }
+    parts
+}
+
+/// Runs `f(chunk_index, &mut part)` for every part, returning the results
+/// in part-index order. Each part is **moved** to exactly one worker, so a
+/// part can be a `&mut` output slice (built with [`split_at_spans`]) and
+/// workers write their chunk's results directly into the shared output
+/// buffer — disjointly, hence without locks on the hot path.
+///
+/// The scheduling mirrors [`chunked_map`]: chunk boundaries are fixed by
+/// the caller, workers claim indices from an atomic counter, and results
+/// come back in canonical order. Since each worker writes only through its
+/// own part, output contents are bitwise independent of the thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn chunked_map_parts<P, R, F>(par: Parallelism, parts: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, &mut P) -> R + Sync,
+{
+    chunked_map_parts_with(par, parts, || (), |(), i, p| f(i, p))
+}
+
+/// [`chunked_map_parts`] with per-worker scratch state (see
+/// [`chunked_map_with`] for the scratch contract: it may affect cost, never
+/// results).
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` (the scope joins all workers
+/// first).
+pub fn chunked_map_parts_with<P, S, R, I, F>(
+    par: Parallelism,
+    parts: Vec<P>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut P) -> R + Sync,
+{
+    let num_chunks = parts.len();
+    if num_chunks == 0 {
+        return Vec::new();
+    }
+    let workers = par.effective_threads().min(num_chunks);
+    if workers <= 1 {
+        let mut state = init();
+        return parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut p)| f(&mut state, i, &mut p))
+            .collect();
+    }
+
+    // One slot per part; a worker that claims chunk `i` takes sole
+    // ownership of part `i`. The mutexes are uncontended (each slot is
+    // locked exactly once) — they only exist to move the parts across the
+    // thread boundary safely.
+    let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_chunks {
+                            break;
+                        }
+                        let mut part = slots[i]
+                            .lock()
+                            .expect("part slot poisoned")
+                            .take()
+                            .expect("part claimed twice");
+                        local.push((i, f(&mut state, i, &mut part)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +369,84 @@ mod tests {
     fn more_threads_than_chunks_is_fine() {
         let out = chunked_map(Parallelism::new(64), 3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_at_spans_yields_disjoint_views() {
+        let mut data = [0u32; 10];
+        let spans = vec![0..3, 3..6, 8..10];
+        let parts = split_at_spans(&mut data, &spans);
+        assert_eq!(parts.iter().map(|p| p.len()).collect::<Vec<_>>(), vec![3, 3, 2]);
+        for (pi, part) in parts.into_iter().enumerate() {
+            for v in part {
+                *v = pi as u32 + 1;
+            }
+        }
+        assert_eq!(data, [1, 1, 1, 2, 2, 2, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn split_at_spans_rejects_overlap() {
+        let mut data = [0u32; 4];
+        let _ = split_at_spans(&mut data, &[0..2, 1..3]);
+    }
+
+    #[test]
+    fn parts_writes_are_identical_at_any_thread_count() {
+        // Each chunk writes into its own disjoint output slice; the merged
+        // buffer must be bitwise identical no matter how many workers ran.
+        let run = |threads: usize| {
+            let mut out = vec![0.0f64; 1000];
+            let spans: Vec<_> = chunk_spans(out.len(), 64).collect();
+            let parts = split_at_spans(&mut out, &spans);
+            let sums = chunked_map_parts(
+                Parallelism::new(threads),
+                parts.into_iter().zip(spans.iter().cloned()).collect(),
+                |_, (slice, span)| {
+                    let mut s = 0.0;
+                    for (v, i) in slice.iter_mut().zip(span.clone()) {
+                        *v = (i as f64 * 0.1).sin();
+                        s += *v;
+                    }
+                    s
+                },
+            );
+            let total = sums.iter().fold(0.0f64, |a, b| a + b);
+            (out, total)
+        };
+        let (base, base_total) = run(1);
+        for threads in [2, 3, 8] {
+            let (out, total) = run(threads);
+            assert_eq!(total.to_bits(), base_total.to_bits(), "threads={threads}");
+            for (a, b) in base.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parts_with_state_and_empty_parts_behave() {
+        let out: Vec<i32> = chunked_map_parts(Parallelism::new(4), Vec::<()>::new(), |_, _| 0);
+        assert!(out.is_empty());
+        for threads in [1, 4] {
+            let mut bufs = [[0u8; 4]; 20];
+            let parts: Vec<&mut [u8; 4]> = bufs.iter_mut().collect();
+            let out = chunked_map_parts_with(
+                Parallelism::new(threads),
+                parts,
+                Vec::<usize>::new,
+                |scratch, i, part| {
+                    scratch.push(i);
+                    part[0] = i as u8;
+                    i * 3
+                },
+            );
+            assert_eq!(out, (0..20).map(|i| i * 3).collect::<Vec<_>>(), "threads={threads}");
+            for (i, b) in bufs.iter().enumerate() {
+                assert_eq!(b[0], i as u8, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ run() {
 run cargo build --release --workspace
 run cargo test --workspace -q
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo run --release -p rdp-bench --bin bench_scale -- --smoke
 
 if [[ "${1:-}" == "--faults" ]]; then
   run cargo test -p rdp-core --features fault-inject -q
@@ -32,6 +33,10 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo run --release -p rdp-bench --bin bench_router -- --smoke
   run cargo run --release -p rdp-bench --bin bench_incremental -- --smoke
   run cargo run --release -p rdp-bench --bin bench_route3d -- --smoke
+  # Full 10k→1M scaling sweep and the 100k-cell thread-invariance case
+  # (release build: the debug gate would take hours at this size).
+  run cargo run --release -p rdp-bench --bin bench_scale
+  run cargo test --release -q --test determinism -- --ignored
 fi
 
 echo "ci: OK"

@@ -103,6 +103,53 @@ fn router_is_bitwise_identical_across_thread_counts_and_windows() {
     }
 }
 
+/// Kernel-level invariance at production scale: the wirelength and density
+/// gradient kernels on a 100k-cell design must be bitwise identical at
+/// 1, 2 and 8 threads. Too slow for the debug-build default gate — run in
+/// release via `ci.sh --full` (`cargo test --release -- --ignored`).
+#[test]
+#[ignore = "100k-cell release-build case; run via ci.sh --full"]
+fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
+    use rdp::place::density::build_fields;
+    use rdp::place::model::Model;
+    use rdp::place::wirelength::{smooth_wl_grad_par, WirelengthModel, WlScratch};
+
+    let mut cfg = GeneratorConfig::large("det-100k", 80);
+    cfg.num_cells = 100_000;
+    let bench = generate(&cfg).unwrap();
+    let model = Model::from_design(&bench.design, &bench.placement);
+    let bins = ((model.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
+    let mut fields = build_fields(&model, &[], &[], bins, 0.9);
+    let mut scratch = WlScratch::new();
+
+    let mut run = |threads: usize| {
+        let par = Parallelism::new(threads);
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        let wl = smooth_wl_grad_par(
+            &model,
+            WirelengthModel::Wa,
+            20.0,
+            &mut gx,
+            &mut gy,
+            &mut scratch,
+            par,
+        );
+        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let bits: Vec<(u64, u64)> =
+            gx.iter().zip(&gy).map(|(x, y)| (x.to_bits(), y.to_bits())).collect();
+        (wl.to_bits(), stats.penalty.to_bits(), bits)
+    };
+
+    let base = run(1);
+    for threads in [2, 8] {
+        let r = run(threads);
+        assert_eq!(base.0, r.0, "wirelength total differs at {threads} threads");
+        assert_eq!(base.1, r.1, "density penalty differs at {threads} threads");
+        assert_eq!(base.2, r.2, "a gradient component differs at {threads} threads");
+    }
+}
+
 #[test]
 fn congestion_estimator_is_bitwise_identical_across_thread_counts() {
     let bench = generate(&GeneratorConfig::tiny("det-est", 79)).unwrap();

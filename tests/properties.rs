@@ -68,19 +68,19 @@ fn smooth_models_bracket_hpwl() {
         let xs = random_positions(&mut rng, 5);
         let gamma = rng.gen_range(0.5..32.0);
         let n = xs.len();
-        let model = Model {
-            pos: xs.iter().map(|&(x, y)| Point::new(x, y)).collect(),
-            size: vec![(2.0, 10.0); n],
-            area: vec![20.0; n],
-            is_macro: vec![false; n],
-            region: vec![None; n],
-            nets: vec![ModelNet {
+        let model = Model::from_parts(
+            xs.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+            vec![(2.0, 10.0); n],
+            vec![20.0; n],
+            vec![false; n],
+            vec![None; n],
+            &[ModelNet {
                 weight: 1.0,
                 pins: (0..n).map(|i| ModelPin::movable(i, Point::ORIGIN)).collect(),
             }],
-            die: Rect::new(0.0, 0.0, 1000.0, 1000.0),
-            node_of: vec![],
-        };
+            Rect::new(0.0, 0.0, 1000.0, 1000.0),
+            vec![],
+        );
         let hpwl = model.hpwl();
         let lse = smooth_wl(&model, WirelengthModel::Lse, gamma);
         let wa = smooth_wl(&model, WirelengthModel::Wa, gamma);
@@ -223,30 +223,28 @@ fn abacus_packs_any_assignment_legally() {
 #[test]
 fn bell_density_conserves_mass_anywhere() {
     use rdp::place::density::{BinGrid, DensityField};
-    use rdp::place::model::{Model, ModelNet};
+    use rdp::place::model::Model;
     for case in 0..CASES {
         let mut rng = rng_for(8, case);
         let x = rng.gen_range(20.0..80.0);
         let y = rng.gen_range(20.0..80.0);
         let w = rng.gen_range(1.0..20.0);
         let h = rng.gen_range(5.0..20.0);
-        let model = Model {
-            pos: vec![Point::new(x, y)],
-            size: vec![(w, h)],
-            area: vec![w * h],
-            is_macro: vec![false],
-            region: vec![None],
-            nets: Vec::<ModelNet>::new(),
-            die: Rect::new(0.0, 0.0, 100.0, 100.0),
-            node_of: vec![],
-        };
-        let mut field = DensityField {
-            grid: BinGrid::new(model.die, 20, 20, 1.0),
-            members: vec![0],
-        };
-        let mut grad = vec![Point::ORIGIN; 1];
-        let stats = field.penalty_grad(&model, &mut grad);
+        let model = Model::from_parts(
+            vec![Point::new(x, y)],
+            vec![(w, h)],
+            vec![w * h],
+            vec![false],
+            vec![None],
+            &[],
+            Rect::new(0.0, 0.0, 100.0, 100.0),
+            vec![],
+        );
+        let mut field = DensityField::new(BinGrid::new(model.die, 20, 20, 1.0), vec![0]);
+        let mut gx = vec![0.0; 1];
+        let mut gy = vec![0.0; 1];
+        let stats = field.penalty_grad(&model, &mut gx, &mut gy);
         assert!(stats.penalty >= 0.0);
-        assert!(grad[0].is_finite(), "case {case}");
+        assert!(gx[0].is_finite() && gy[0].is_finite(), "case {case}");
     }
 }
