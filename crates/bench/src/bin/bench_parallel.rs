@@ -1,5 +1,6 @@
-//! Threads-sweep benchmark of the three parallel placement kernels —
-//! smooth-wirelength gradient, density penalty gradient and probabilistic
+//! Threads-sweep benchmark of the parallel placement kernels —
+//! smooth-wirelength gradient, bell density penalty gradient, the
+//! electrostatic (FFT Poisson) density gradient and probabilistic
 //! congestion estimation — on a ≥10k-cell design.
 //!
 //! For each thread count in {1, 2, 4, 8} the harness times every kernel
@@ -67,7 +68,7 @@ fn main() {
     let bins = ((model.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
     let gamma = 20.0;
     let reps = if args.smoke { 3 } else { 5 };
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = rdp_bench::detected_cores();
 
     let mut gx = vec![0.0; model.len()];
     let mut gy = vec![0.0; model.len()];
@@ -112,6 +113,25 @@ fn main() {
     assert!(den_sums.iter().all(|&c| c == den_sums[0]), "density kernel not deterministic");
     rows.push(row);
 
+    // --- Kernel 2b: electrostatic (FFT Poisson) density gradient. ---
+    let mut electro = rdp_core::electrostatics::build_electro_fields(&model, &[], &[], bins, 0.9);
+    let mut el_sums = Vec::new();
+    let mut row = KernelRow { name: "electro_penalty_grad", times: Vec::new() };
+    for &t in &THREADS {
+        let par = Parallelism::new(t);
+        row.times.push(time_min(reps, || {
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+        }));
+        gx.iter_mut().for_each(|g| *g = 0.0);
+        gy.iter_mut().for_each(|g| *g = 0.0);
+        let stats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        el_sums.push(checksum(stats.penalty, &gx, &gy));
+    }
+    assert!(el_sums.iter().all(|&c| c == el_sums[0]), "electrostatic kernel not deterministic");
+    rows.push(row);
+
     // --- Kernel 3: probabilistic congestion estimation. ---
     let mut est_sums = Vec::new();
     let mut row = KernelRow { name: "estimate_congestion", times: Vec::new() };
@@ -127,11 +147,18 @@ fn main() {
     assert!(est_sums.iter().all(|&c| c == est_sums[0]), "congestion kernel not deterministic");
     rows.push(row);
 
-    // --- Combined: one placer-style iteration (all three kernels). ---
+    // --- Combined: one placer-style iteration (wirelength + bell density +
+    // congestion; the electrostatic engine replaces — not adds to — the bell
+    // kernel in a real iteration, so it is excluded here). ---
     let combined = KernelRow {
         name: "combined",
         times: (0..THREADS.len())
-            .map(|i| rows.iter().map(|r| r.times[i]).sum())
+            .map(|i| {
+                rows.iter()
+                    .filter(|r| r.name != "electro_penalty_grad")
+                    .map(|r| r.times[i])
+                    .sum()
+            })
             .collect(),
     };
     rows.push(combined);
@@ -140,6 +167,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"design_cells\": {},", cfg.num_cells);
     let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"git_revision\": \"{}\",", rdp_bench::git_revision());
     let _ = writeln!(json, "  \"threads\": [1, 2, 4, 8],");
     let _ = writeln!(json, "  \"deterministic_across_threads\": true,");
     let _ = writeln!(json, "  \"kernels\": [");

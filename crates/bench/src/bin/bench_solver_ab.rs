@@ -1,0 +1,120 @@
+//! CG-vs-Nesterov solver A/B gate: runs the full placement flow with the
+//! production CG + bell-density engine and with the Nesterov +
+//! electrostatic (FFT Poisson) engine on the same design and asserts both
+//! converge to fully legal placements (zero unplaced cells). The default
+//! CI gate runs this with `--smoke` on a small design; the full run uses a
+//! larger design and also exercises the two cross combinations
+//! (CG + electrostatic, Nesterov + bell).
+//!
+//! Results go to `target/experiments/BENCH_solver_ab.json`.
+
+use rdp_core::{GpDensityModel, GpSolver, PlaceOptions, Placer};
+use rdp_gen::{generate, GeneratorConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args = rdp_bench::parse_args();
+    let mut cfg = GeneratorConfig::medium("solver-ab", 31);
+    if args.smoke {
+        cfg.num_cells = 2_000;
+    }
+    let combos: &[(&str, GpSolver, GpDensityModel)] = if args.smoke {
+        &[
+            ("cg_bell", GpSolver::ConjugateGradient, GpDensityModel::Bell),
+            ("nesterov_electro", GpSolver::Nesterov, GpDensityModel::Electrostatic),
+        ]
+    } else {
+        &[
+            ("cg_bell", GpSolver::ConjugateGradient, GpDensityModel::Bell),
+            ("cg_electro", GpSolver::ConjugateGradient, GpDensityModel::Electrostatic),
+            ("nesterov_bell", GpSolver::Nesterov, GpDensityModel::Bell),
+            ("nesterov_electro", GpSolver::Nesterov, GpDensityModel::Electrostatic),
+        ]
+    };
+
+    eprintln!("[bench_solver_ab] generating {}-cell design...", cfg.num_cells);
+    let bench = generate(&cfg).expect("valid config");
+
+    struct Row {
+        engine: &'static str,
+        seconds: f64,
+        hpwl: f64,
+        overflow: f64,
+        gradient_evals: usize,
+        recoveries: usize,
+        unplaced: usize,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &(engine, solver, density_model) in combos {
+        let t = Instant::now();
+        let result = Placer::new(
+            &bench.design,
+            PlaceOptions::fast().with_solver(solver, density_model),
+        )
+        .with_initial(bench.placement.clone())
+        .run()
+        .unwrap_or_else(|e| panic!("{engine}: flow failed: {e}"));
+        let row = Row {
+            engine,
+            seconds: t.elapsed().as_secs_f64(),
+            hpwl: result.hpwl,
+            overflow: result.gp.overflow_ratio,
+            gradient_evals: result.gp.gradient_evals,
+            recoveries: result.gp.recoveries,
+            unplaced: result.legalize.failed,
+        };
+        eprintln!(
+            "[bench_solver_ab] {engine}: {:.2}s, HPWL {:.4e}, overflow {:.4}, {} grad evals, {} unplaced",
+            row.seconds, row.hpwl, row.overflow, row.gradient_evals, row.unplaced
+        );
+        rows.push(row);
+    }
+
+    // The gate: every engine combination must produce a legal placement.
+    for r in &rows {
+        assert_eq!(
+            r.unplaced, 0,
+            "{}: {} cells left unplaced — engine did not converge to a legal placement",
+            r.engine, r.unplaced
+        );
+        assert!(r.hpwl.is_finite() && r.hpwl > 0.0, "{}: bad HPWL {}", r.engine, r.hpwl);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"design_cells\": {},", cfg.num_cells);
+    let _ = writeln!(json, "  \"available_cores\": {},", rdp_bench::detected_cores());
+    let _ = writeln!(json, "  \"git_revision\": \"{}\",", rdp_bench::git_revision());
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"engines\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"engine\": \"{}\",", r.engine);
+        let _ = writeln!(json, "      \"seconds\": {:.3},", r.seconds);
+        let _ = writeln!(json, "      \"hpwl\": {:.6e},", r.hpwl);
+        let _ = writeln!(json, "      \"overflow_ratio\": {:.4},", r.overflow);
+        let _ = writeln!(json, "      \"gradient_evals\": {},", r.gradient_evals);
+        let _ = writeln!(json, "      \"recoveries\": {},", r.recoveries);
+        let _ = writeln!(json, "      \"unplaced\": {}", r.unplaced);
+        let _ = writeln!(json, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    println!(
+        "\n{:<18} {:>9} {:>12} {:>9} {:>11} {:>9}",
+        "engine", "seconds", "hpwl", "overflow", "grad evals", "unplaced"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>8.2}s {:>12.4e} {:>9.4} {:>11} {:>9}",
+            r.engine, r.seconds, r.hpwl, r.overflow, r.gradient_evals, r.unplaced
+        );
+    }
+    println!("all engines legal: OK");
+
+    match rdp_eval::report::save("BENCH_solver_ab.json", &json) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not save BENCH_solver_ab.json: {e}"),
+    }
+}

@@ -61,6 +61,27 @@ pub fn fence_suite(args: ExpArgs) -> Vec<GeneratorConfig> {
     suite
 }
 
+/// Logical cores the OS reports for this process (1 when undetectable).
+/// Benchmark JSON records this next to the kernel thread count so perf
+/// numbers are comparable across hosts and PRs.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Short git revision of the working tree, `"unknown"` outside a checkout
+/// (or when `git` is unavailable). Stamped into benchmark JSON so the perf
+/// trajectory across PRs is attributable.
+pub fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// Geometric mean of strictly positive values (the contest's aggregate).
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -85,6 +106,15 @@ pub fn emit(name: &str, table: &rdp_eval::report::Table) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metadata_helpers_are_well_formed() {
+        assert!(detected_cores() >= 1);
+        let rev = git_revision();
+        assert!(!rev.is_empty());
+        // Either a short hex hash or the explicit fallback.
+        assert!(rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()));
+    }
 
     #[test]
     fn geomean_basics() {

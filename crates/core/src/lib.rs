@@ -37,6 +37,7 @@
 pub mod cluster;
 pub mod density;
 pub mod detail;
+pub mod electrostatics;
 pub mod faultinject;
 pub mod fence;
 pub mod inflation;
@@ -53,7 +54,7 @@ pub mod trace;
 pub mod wirelength;
 
 pub use model::Model;
-pub use optimizer::{GpOptions, GpOutcome};
+pub use optimizer::{GpDensityModel, GpOptions, GpOutcome, GpSolver};
 pub use placer::{GpRoutabilityOptions, PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
 pub use recovery::{
     DegradedResult, Diverged, FlowBudget, FlowCheckpoint, RecoveryEvent, RecoveryPolicy,

@@ -229,6 +229,19 @@ impl PlaceOptions {
         self
     }
 
+    /// Selects the global-placement solver and density model (the
+    /// ePlace-style path is `with_solver(GpSolver::Nesterov,
+    /// GpDensityModel::Electrostatic)`; the default is CG + bell).
+    pub fn with_solver(
+        mut self,
+        solver: crate::optimizer::GpSolver,
+        density_model: crate::optimizer::GpDensityModel,
+    ) -> Self {
+        self.gp.solver = solver;
+        self.gp.density_model = density_model;
+        self
+    }
+
     /// Feeds the inflation rounds true routed congestion via the
     /// incremental reroute API instead of the pattern estimate (first
     /// round routes from scratch, later rounds reroute only moved cells).

@@ -280,6 +280,7 @@ mod tests {
                 outer_rounds: 2,
                 smooth_wl: 1.0,
                 recoveries: 4,
+                gradient_evals: 17,
             },
         };
         assert!(d.to_string().contains("gp/final"));

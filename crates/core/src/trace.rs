@@ -22,6 +22,12 @@ pub struct TraceRecord {
     pub lambda: f64,
     /// Smoothing parameter γ.
     pub gamma: f64,
+    /// Solver label (`"cg"` or `"nesterov"`).
+    pub solver: String,
+    /// Step length α of the round's last inner iteration.
+    pub step_len: f64,
+    /// Density penalty Σ max(0, D−T)² of the round's last iteration.
+    pub penalty: f64,
 }
 
 /// One per-stage wall-clock measurement.
@@ -71,14 +77,24 @@ impl Trace {
     }
 
     /// Serializes the convergence records as CSV
-    /// (`stage,outer,smooth_wl,hpwl,overflow,lambda,gamma`).
+    /// (`stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma\n");
+        let mut out =
+            String::from("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty\n");
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{:.3},{:.6},{:.6e},{:.4}",
-                r.stage, r.outer, r.smooth_wl, r.hpwl, r.overflow, r.lambda, r.gamma
+                "{},{},{:.3},{:.3},{:.6},{:.6e},{:.4},{},{:.4e},{:.6e}",
+                r.stage,
+                r.outer,
+                r.smooth_wl,
+                r.hpwl,
+                r.overflow,
+                r.lambda,
+                r.gamma,
+                r.solver,
+                r.step_len,
+                r.penalty
             );
         }
         out
@@ -119,11 +135,17 @@ mod tests {
             overflow: 0.25,
             lambda: 1e-3,
             gamma: 8.0,
+            solver: "cg".into(),
+            step_len: 2.5,
+            penalty: 42.0,
         });
         t.record_stage("gp", Duration::from_millis(1500));
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty"));
         assert!(csv.lines().nth(1).unwrap().starts_with("gp/level0,3,123.400"));
+        assert!(csv.lines().nth(1).unwrap().contains(",cg,"));
+        assert!(csv.lines().nth(1).unwrap().contains("2.5000e0"));
         let scsv = t.stages_csv();
         assert!(scsv.contains("gp,1.5000"));
     }

@@ -1,0 +1,480 @@
+//! Deterministic, dependency-free fast Fourier transforms for the
+//! electrostatic density solver.
+//!
+//! The placement kernels demand **bitwise thread-invariant** results (see
+//! [`crate::parallel`]), so this module provides a fixed-radix (power-of-two
+//! lengths only) iterative Cooley–Tukey FFT whose butterfly order is a pure
+//! function of the transform length: every addition happens in exactly the
+//! same sequence on every run, at every thread count. There is no SIMD
+//! dispatch, no runtime plan tuning, and no heap traffic after construction
+//! — a [`Fft`] is a precomputed twiddle/bit-reversal table.
+//!
+//! The 2-D transform ([`Fft2`]) factors into independent row and column
+//! passes. Rows (and, after an explicit transpose, columns) are transformed
+//! in parallel over fixed row chunks; since each 1-D transform touches only
+//! its own row, the parallelism cannot change any floating-point result —
+//! the thread count only changes wall-clock time.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdp_geom::fft::Fft;
+//!
+//! let fft = Fft::new(8);
+//! let mut re = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+//! let mut im = vec![0.0; 8];
+//! fft.forward(&mut re, &mut im);
+//! // The spectrum of an impulse is flat.
+//! assert!(re.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+//! fft.inverse(&mut re, &mut im);
+//! assert!((re[0] - 1.0).abs() < 1e-12 && re[1].abs() < 1e-12);
+//! ```
+
+use crate::parallel::{chunk_spans, chunked_map_parts, split_at_spans, Parallelism};
+
+/// Rows per parallel chunk of a 2-D pass. Fixed (never derived from the
+/// thread count) so the partition is canonical; it only gates scheduling,
+/// never values — each row's transform is independent.
+const ROW_CHUNK: usize = 16;
+
+/// A precomputed radix-2 FFT plan for one power-of-two length.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversal permutation of `0..n`.
+    rev: Vec<u32>,
+    /// Twiddle factors `exp(-2πi·j/n)` for `j in 0..n/2`.
+    tw_re: Vec<f64>,
+    tw_im: Vec<f64>,
+}
+
+impl Fft {
+    /// Creates a plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (and nonzero) — the fixed-radix
+    /// constraint that keeps the butterfly schedule canonical.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if n == 1 {
+            rev[0] = 0;
+        }
+        let mut tw_re = Vec::with_capacity(n / 2);
+        let mut tw_im = Vec::with_capacity(n / 2);
+        for j in 0..n / 2 {
+            let ang = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+            tw_re.push(ang.cos());
+            tw_im.push(ang.sin());
+        }
+        Fft { n, rev, tw_re, tw_im }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is the degenerate length-1 transform.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward transform (`X_k = Σ_j x_j·exp(-2πi·jk/n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not exactly `len()` long.
+    pub fn forward(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform(re, im, false);
+    }
+
+    /// In-place inverse transform, including the `1/n` normalization, so
+    /// `inverse(forward(x)) == x` up to rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are not exactly `len()` long.
+    pub fn inverse(&self, re: &mut [f64], im: &mut [f64]) {
+        self.transform(re, im, true);
+        let scale = 1.0 / self.n as f64;
+        for v in re.iter_mut() {
+            *v *= scale;
+        }
+        for v in im.iter_mut() {
+            *v *= scale;
+        }
+    }
+
+    fn transform(&self, re: &mut [f64], im: &mut [f64], invert: bool) {
+        let n = self.n;
+        assert_eq!(re.len(), n, "re length mismatch");
+        assert_eq!(im.len(), n, "im length mismatch");
+        // Bit-reversal reorder.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                re.swap(i, j);
+                im.swap(i, j);
+            }
+        }
+        // Iterative butterflies: stage lengths 2, 4, …, n. The twiddle for
+        // butterfly offset `j` in a half-block of size `half` is table index
+        // `j · (n / (2·half))` — same table for every stage, canonical order.
+        let mut half = 1usize;
+        while half < n {
+            let stride = n / (2 * half);
+            let mut base = 0usize;
+            while base < n {
+                for j in 0..half {
+                    let (wr, wi) = {
+                        let wr = self.tw_re[j * stride];
+                        let wi = self.tw_im[j * stride];
+                        if invert {
+                            (wr, -wi)
+                        } else {
+                            (wr, wi)
+                        }
+                    };
+                    let a = base + j;
+                    let b = a + half;
+                    let tr = re[b] * wr - im[b] * wi;
+                    let ti = re[b] * wi + im[b] * wr;
+                    re[b] = re[a] - tr;
+                    im[b] = im[a] - ti;
+                    re[a] += tr;
+                    im[a] += ti;
+                }
+                base += 2 * half;
+            }
+            half *= 2;
+        }
+    }
+}
+
+/// A 2-D FFT plan over an `nx × ny` row-major grid (`ny` rows of `nx`),
+/// with deterministic row-parallel execution.
+#[derive(Debug, Clone)]
+pub struct Fft2 {
+    nx: usize,
+    ny: usize,
+    row: Fft,
+    col: Fft,
+    /// Transpose scratch (column pass runs as a row pass on the transpose).
+    t_re: Vec<f64>,
+    t_im: Vec<f64>,
+}
+
+impl Fft2 {
+    /// Creates a plan for an `nx × ny` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are powers of two.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Fft2 {
+            nx,
+            ny,
+            row: Fft::new(nx),
+            col: Fft::new(ny),
+            t_re: vec![0.0; nx * ny],
+            t_im: vec![0.0; nx * ny],
+        }
+    }
+
+    /// Grid width (row length).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height (row count).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// In-place forward 2-D transform using up to `par` worker threads.
+    /// Bitwise identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are not exactly `nx·ny` long.
+    pub fn forward(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism) {
+        self.pass(re, im, par, false);
+    }
+
+    /// In-place inverse 2-D transform (with `1/(nx·ny)` normalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers are not exactly `nx·ny` long.
+    pub fn inverse(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism) {
+        self.pass(re, im, par, true);
+    }
+
+    fn pass(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism, invert: bool) {
+        let (nx, ny) = (self.nx, self.ny);
+        assert_eq!(re.len(), nx * ny, "re length mismatch");
+        assert_eq!(im.len(), nx * ny, "im length mismatch");
+        // Row pass over the natural layout.
+        rows_pass(&self.row, re, im, nx, ny, par, invert);
+        // Transpose, row pass (former columns), transpose back. The
+        // transposes are plain copies — order-independent, deterministic.
+        transpose(re, &mut self.t_re, nx, ny);
+        transpose(im, &mut self.t_im, nx, ny);
+        rows_pass(&self.col, &mut self.t_re, &mut self.t_im, ny, nx, par, invert);
+        transpose(&self.t_re, re, ny, nx);
+        transpose(&self.t_im, im, ny, nx);
+    }
+}
+
+/// Transforms every length-`nx` row of an `nx × ny` row-major buffer pair,
+/// in parallel over fixed chunks of whole rows.
+fn rows_pass(
+    plan: &Fft,
+    re: &mut [f64],
+    im: &mut [f64],
+    nx: usize,
+    ny: usize,
+    par: Parallelism,
+    invert: bool,
+) {
+    let spans: Vec<_> = chunk_spans(ny, ROW_CHUNK)
+        .map(|r| r.start * nx..r.end * nx)
+        .collect();
+    let parts: Vec<_> = split_at_spans(re, &spans)
+        .into_iter()
+        .zip(split_at_spans(im, &spans))
+        .collect();
+    chunked_map_parts(par, parts, |_ci, part| {
+        let (re_rows, im_rows) = part;
+        for (rr, ri) in re_rows.chunks_exact_mut(nx).zip(im_rows.chunks_exact_mut(nx)) {
+            if invert {
+                plan.inverse(rr, ri);
+            } else {
+                plan.forward(rr, ri);
+            }
+        }
+    });
+}
+
+/// Writes the transpose of `src` (`nx × ny`, row-major) into `dst`
+/// (`ny × nx`, row-major).
+fn transpose(src: &[f64], dst: &mut [f64], nx: usize, ny: usize) {
+    for y in 0..ny {
+        let row = &src[y * nx..(y + 1) * nx];
+        for (x, &v) in row.iter().enumerate() {
+            dst[x * ny + y] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) DFT oracle.
+    fn dft(re: &[f64], im: &[f64], invert: bool) -> (Vec<f64>, Vec<f64>) {
+        let n = re.len();
+        let sign = if invert { 1.0 } else { -1.0 };
+        let mut out_re = vec![0.0; n];
+        let mut out_im = vec![0.0; n];
+        for k in 0..n {
+            let (mut sr, mut si) = (0.0, 0.0);
+            for j in 0..n {
+                let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                let (c, s) = (ang.cos(), ang.sin());
+                sr += re[j] * c - im[j] * s;
+                si += re[j] * s + im[j] * c;
+            }
+            if invert {
+                sr /= n as f64;
+                si /= n as f64;
+            }
+            out_re[k] = sr;
+            out_im[k] = si;
+        }
+        (out_re, out_im)
+    }
+
+    /// Deterministic pseudo-random signal (no external RNG needed).
+    fn signal(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = crate::rng::Rng::seed_from_u64(seed);
+        let re = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let im = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (re, im)
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "{what}[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_oracle() {
+        for n in [1usize, 2, 4, 16, 64] {
+            let (re0, im0) = signal(n, 11 + n as u64);
+            let fft = Fft::new(n);
+            // Forward.
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft.forward(&mut re, &mut im);
+            let (ore, oim) = dft(&re0, &im0, false);
+            assert_close(&re, &ore, 1e-9 * n as f64, "fwd re");
+            assert_close(&im, &oim, 1e-9 * n as f64, "fwd im");
+            // Inverse.
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            fft.inverse(&mut re, &mut im);
+            let (ore, oim) = dft(&re0, &im0, true);
+            assert_close(&re, &ore, 1e-9, "inv re");
+            assert_close(&im, &oim, 1e-9, "inv im");
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 128;
+        let (re0, im0) = signal(n, 3);
+        let fft = Fft::new(n);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        fft.forward(&mut re, &mut im);
+        fft.inverse(&mut re, &mut im);
+        assert_close(&re, &re0, 1e-12, "roundtrip re");
+        assert_close(&im, &im0, 1e-12, "roundtrip im");
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let (a_re, a_im) = signal(n, 5);
+        let (b_re, b_im) = signal(n, 6);
+        let (alpha, beta) = (2.5, -0.75);
+        let fft = Fft::new(n);
+        // F(αa + βb)
+        let mut sum_re: Vec<f64> =
+            a_re.iter().zip(&b_re).map(|(a, b)| alpha * a + beta * b).collect();
+        let mut sum_im: Vec<f64> =
+            a_im.iter().zip(&b_im).map(|(a, b)| alpha * a + beta * b).collect();
+        fft.forward(&mut sum_re, &mut sum_im);
+        // αF(a) + βF(b)
+        let (mut fa_re, mut fa_im) = (a_re, a_im);
+        fft.forward(&mut fa_re, &mut fa_im);
+        let (mut fb_re, mut fb_im) = (b_re, b_im);
+        fft.forward(&mut fb_re, &mut fb_im);
+        for i in 0..n {
+            assert!((sum_re[i] - (alpha * fa_re[i] + beta * fb_re[i])).abs() < 1e-9);
+            assert!((sum_im[i] - (alpha * fa_im[i] + beta * fb_im[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum_and_constant_has_delta() {
+        let n = 64;
+        let fft = Fft::new(n);
+        // Impulse → all-ones spectrum.
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft.forward(&mut re, &mut im);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12, "impulse re[{i}] = {}", re[i]);
+            assert!(im[i].abs() < 1e-12, "impulse im[{i}] = {}", im[i]);
+        }
+        // Constant → delta at DC with weight n.
+        let mut re = vec![1.0; n];
+        let mut im = vec![0.0; n];
+        fft.forward(&mut re, &mut im);
+        assert!((re[0] - n as f64).abs() < 1e-9);
+        for i in 1..n {
+            assert!(re[i].abs() < 1e-9, "constant re[{i}] = {}", re[i]);
+            assert!(im[i].abs() < 1e-9, "constant im[{i}] = {}", im[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian() {
+        let n = 64;
+        let (re0, _) = signal(n, 9);
+        let fft = Fft::new(n);
+        let mut re = re0;
+        let mut im = vec![0.0; n];
+        fft.forward(&mut re, &mut im);
+        for k in 1..n {
+            assert!((re[k] - re[n - k]).abs() < 1e-9, "re not even at {k}");
+            assert!((im[k] + im[n - k]).abs() < 1e-9, "im not odd at {k}");
+        }
+    }
+
+    #[test]
+    fn fft2_round_trip_and_dc() {
+        let (nx, ny) = (16, 8);
+        let mut plan = Fft2::new(nx, ny);
+        let (re0, im0) = signal(nx * ny, 21);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        plan.forward(&mut re, &mut im, Parallelism::single());
+        // DC bin is the full sum.
+        let sum: f64 = re0.iter().sum();
+        assert!((re[0] - sum).abs() < 1e-9 * (nx * ny) as f64);
+        plan.inverse(&mut re, &mut im, Parallelism::single());
+        assert_close(&re, &re0, 1e-11, "fft2 roundtrip re");
+        assert_close(&im, &im0, 1e-11, "fft2 roundtrip im");
+    }
+
+    #[test]
+    fn fft2_matches_row_column_dft() {
+        let (nx, ny) = (8, 4);
+        let (re0, im0) = signal(nx * ny, 33);
+        let mut plan = Fft2::new(nx, ny);
+        let (mut re, mut im) = (re0.clone(), im0.clone());
+        plan.forward(&mut re, &mut im, Parallelism::single());
+        // Oracle: DFT rows, then DFT columns.
+        let (mut ore, mut oim) = (re0, im0);
+        for y in 0..ny {
+            let (r, i) = dft(&ore[y * nx..(y + 1) * nx], &oim[y * nx..(y + 1) * nx], false);
+            ore[y * nx..(y + 1) * nx].copy_from_slice(&r);
+            oim[y * nx..(y + 1) * nx].copy_from_slice(&i);
+        }
+        for x in 0..nx {
+            let col_re: Vec<f64> = (0..ny).map(|y| ore[y * nx + x]).collect();
+            let col_im: Vec<f64> = (0..ny).map(|y| oim[y * nx + x]).collect();
+            let (r, i) = dft(&col_re, &col_im, false);
+            for y in 0..ny {
+                ore[y * nx + x] = r[y];
+                oim[y * nx + x] = i[y];
+            }
+        }
+        assert_close(&re, &ore, 1e-9, "fft2 re");
+        assert_close(&im, &oim, 1e-9, "fft2 im");
+    }
+
+    #[test]
+    fn fft2_is_bitwise_identical_across_thread_counts() {
+        let (nx, ny) = (64, 128);
+        let (re0, im0) = signal(nx * ny, 55);
+        let run = |threads: usize| {
+            let mut plan = Fft2::new(nx, ny);
+            let (mut re, mut im) = (re0.clone(), im0.clone());
+            plan.forward(&mut re, &mut im, Parallelism::new(threads));
+            plan.inverse(&mut re, &mut im, Parallelism::new(threads));
+            (re, im)
+        };
+        let (bre, bim) = run(1);
+        for threads in [2, 8] {
+            let (re, im) = run(threads);
+            for i in 0..nx * ny {
+                assert_eq!(re[i].to_bits(), bre[i].to_bits(), "re differs at t={threads} i={i}");
+                assert_eq!(im[i].to_bits(), bim[i].to_bits(), "im differs at t={threads} i={i}");
+            }
+        }
+    }
+}

@@ -31,6 +31,7 @@
 
 mod interval;
 mod orient;
+pub mod fft;
 pub mod grid_index;
 pub mod parallel;
 mod point;

@@ -20,6 +20,9 @@ run cargo build --release --workspace
 run cargo test --workspace -q
 run cargo clippy --workspace --all-targets -- -D warnings
 run cargo run --release -p rdp-bench --bin bench_scale -- --smoke
+# Solver A/B gate: CG+bell and Nesterov+electrostatic must both reach a
+# fully legal placement on a small design.
+run cargo run --release -p rdp-bench --bin bench_solver_ab -- --smoke
 
 if [[ "${1:-}" == "--faults" ]]; then
   run cargo test -p rdp-core --features fault-inject -q
@@ -33,8 +36,11 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo run --release -p rdp-bench --bin bench_router -- --smoke
   run cargo run --release -p rdp-bench --bin bench_incremental -- --smoke
   run cargo run --release -p rdp-bench --bin bench_route3d -- --smoke
-  # Full 10k→1M scaling sweep and the 100k-cell thread-invariance case
-  # (release build: the debug gate would take hours at this size).
+  # All four solver × density-model combinations on the larger design.
+  run cargo run --release -p rdp-bench --bin bench_solver_ab
+  # Full 10k→1M scaling sweep (including the 100k-cell CG-vs-Nesterov
+  # solver A/B) and the 100k-cell thread-invariance case (release build:
+  # the debug gate would take hours at this size).
   run cargo run --release -p rdp-bench --bin bench_scale
   run cargo test --release -q --test determinism -- --ignored
 fi

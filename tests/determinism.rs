@@ -46,6 +46,52 @@ fn placer_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn nesterov_electrostatic_placer_is_bitwise_identical_across_thread_counts() {
+    use rdp::place::{GpDensityModel, GpSolver};
+    let bench = generate(&GeneratorConfig::tiny("det-nes", 81)).unwrap();
+    let run = |threads: usize| {
+        Placer::new(
+            &bench.design,
+            PlaceOptions::fast()
+                .with_threads(threads)
+                .with_solver(GpSolver::Nesterov, GpDensityModel::Electrostatic),
+        )
+        .with_initial(bench.placement.clone())
+        .run()
+        .unwrap()
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        let r = run(threads);
+        assert_eq!(
+            base.hpwl.to_bits(),
+            r.hpwl.to_bits(),
+            "HPWL differs at {threads} threads: {} vs {}",
+            base.hpwl,
+            r.hpwl
+        );
+        assert_eq!(
+            base.gp.overflow_ratio.to_bits(),
+            r.gp.overflow_ratio.to_bits(),
+            "overflow differs at {threads} threads"
+        );
+        assert_eq!(
+            base.gp.gradient_evals, r.gp.gradient_evals,
+            "gradient evaluation count differs at {threads} threads"
+        );
+        for id in bench.design.node_ids() {
+            let a = base.placement.center(id);
+            let b = r.placement.center(id);
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits()),
+                (b.x.to_bits(), b.y.to_bits()),
+                "position of node {id:?} differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn router_is_bitwise_identical_across_thread_counts_and_windows() {
     let bench = generate(&GeneratorConfig::tiny("det-rt", 78)).unwrap();
     let run = |threads: usize, window_margin: Option<u32>| {
@@ -111,6 +157,7 @@ fn router_is_bitwise_identical_across_thread_counts_and_windows() {
 #[ignore = "100k-cell release-build case; run via ci.sh --full"]
 fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
     use rdp::place::density::build_fields;
+    use rdp::place::electrostatics::build_electro_fields;
     use rdp::place::model::Model;
     use rdp::place::wirelength::{smooth_wl_grad_par, WirelengthModel, WlScratch};
 
@@ -120,6 +167,7 @@ fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
     let model = Model::from_design(&bench.design, &bench.placement);
     let bins = ((model.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
     let mut fields = build_fields(&model, &[], &[], bins, 0.9);
+    let mut electro = build_electro_fields(&model, &[], &[], bins, 0.9);
     let mut scratch = WlScratch::new();
 
     let mut run = |threads: usize| {
@@ -136,9 +184,10 @@ fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
             par,
         );
         let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let estats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
         let bits: Vec<(u64, u64)> =
             gx.iter().zip(&gy).map(|(x, y)| (x.to_bits(), y.to_bits())).collect();
-        (wl.to_bits(), stats.penalty.to_bits(), bits)
+        (wl.to_bits(), stats.penalty.to_bits(), estats.penalty.to_bits(), bits)
     };
 
     let base = run(1);
@@ -146,7 +195,8 @@ fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
         let r = run(threads);
         assert_eq!(base.0, r.0, "wirelength total differs at {threads} threads");
         assert_eq!(base.1, r.1, "density penalty differs at {threads} threads");
-        assert_eq!(base.2, r.2, "a gradient component differs at {threads} threads");
+        assert_eq!(base.2, r.2, "electrostatic penalty differs at {threads} threads");
+        assert_eq!(base.3, r.3, "a gradient component differs at {threads} threads");
     }
 }
 
