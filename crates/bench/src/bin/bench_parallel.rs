@@ -69,6 +69,10 @@ fn main() {
     let gamma = 20.0;
     let reps = if args.smoke { 3 } else { 5 };
     let cores = rdp_bench::detected_cores();
+    // The sweep pins explicit thread counts, so "degraded" means the host
+    // itself cannot run kernels concurrently: the recorded speedup columns
+    // then measure oversubscription, not scaling.
+    let degraded = rdp_bench::warn_if_degraded("bench_parallel", &Parallelism::auto());
 
     let mut gx = vec![0.0; model.len()];
     let mut gy = vec![0.0; model.len()];
@@ -79,16 +83,17 @@ fn main() {
     let mut wl_sums = Vec::new();
     let mut row = KernelRow { name: "smooth_wl_grad", times: Vec::new() };
     for &t in &THREADS {
-        let par = Parallelism::new(t);
+        let mut par = Parallelism::new(t);
+        par.ensure_pool();
         row.times.push(time_min(reps, || {
             gx.iter_mut().for_each(|g| *g = 0.0);
             gy.iter_mut().for_each(|g| *g = 0.0);
-            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, par)
+            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, &par)
         }));
         gx.iter_mut().for_each(|g| *g = 0.0);
         gy.iter_mut().for_each(|g| *g = 0.0);
         let total =
-            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, par);
+            smooth_wl_grad_par(&model, WirelengthModel::Wa, gamma, &mut gx, &mut gy, &mut scratch, &par);
         wl_sums.push(checksum(total, &gx, &gy));
     }
     assert!(wl_sums.iter().all(|&c| c == wl_sums[0]), "wirelength kernel not deterministic");
@@ -99,15 +104,16 @@ fn main() {
     let mut den_sums = Vec::new();
     let mut row = KernelRow { name: "density_penalty_grad", times: Vec::new() };
     for &t in &THREADS {
-        let par = Parallelism::new(t);
+        let mut par = Parallelism::new(t);
+        par.ensure_pool();
         row.times.push(time_min(reps, || {
             gx.iter_mut().for_each(|g| *g = 0.0);
             gy.iter_mut().for_each(|g| *g = 0.0);
-            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, &par)
         }));
         gx.iter_mut().for_each(|g| *g = 0.0);
         gy.iter_mut().for_each(|g| *g = 0.0);
-        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, &par);
         den_sums.push(checksum(stats.penalty, &gx, &gy));
     }
     assert!(den_sums.iter().all(|&c| c == den_sums[0]), "density kernel not deterministic");
@@ -118,15 +124,16 @@ fn main() {
     let mut el_sums = Vec::new();
     let mut row = KernelRow { name: "electro_penalty_grad", times: Vec::new() };
     for &t in &THREADS {
-        let par = Parallelism::new(t);
+        let mut par = Parallelism::new(t);
+        par.ensure_pool();
         row.times.push(time_min(reps, || {
             gx.iter_mut().for_each(|g| *g = 0.0);
             gy.iter_mut().for_each(|g| *g = 0.0);
-            electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+            electro[0].penalty_grad_par(&model, &mut gx, &mut gy, &par)
         }));
         gx.iter_mut().for_each(|g| *g = 0.0);
         gy.iter_mut().for_each(|g| *g = 0.0);
-        let stats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let stats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, &par);
         el_sums.push(checksum(stats.penalty, &gx, &gy));
     }
     assert!(el_sums.iter().all(|&c| c == el_sums[0]), "electrostatic kernel not deterministic");
@@ -136,11 +143,12 @@ fn main() {
     let mut est_sums = Vec::new();
     let mut row = KernelRow { name: "estimate_congestion", times: Vec::new() };
     for &t in &THREADS {
-        let par = Parallelism::new(t);
+        let mut par = Parallelism::new(t);
+        par.ensure_pool();
         row.times.push(time_min(reps, || {
-            estimate_congestion_par(&bench.design, &bench.placement, par)
+            estimate_congestion_par(&bench.design, &bench.placement, &par)
         }));
-        let g = estimate_congestion_par(&bench.design, &bench.placement, par);
+        let g = estimate_congestion_par(&bench.design, &bench.placement, &par);
         let usage: f64 = g.edge_ids().map(|e| g.usage(e)).sum();
         est_sums.push(usage.to_bits());
     }
@@ -167,6 +175,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"design_cells\": {},", cfg.num_cells);
     let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"degraded_parallelism\": {degraded},");
     let _ = writeln!(json, "  \"git_revision\": \"{}\",", rdp_bench::git_revision());
     let _ = writeln!(json, "  \"threads\": [1, 2, 4, 8],");
     let _ = writeln!(json, "  \"deterministic_across_threads\": true,");

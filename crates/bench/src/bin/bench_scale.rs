@@ -14,6 +14,7 @@
 
 use rdp_core::density::build_fields;
 use rdp_core::electrostatics::build_electro_fields;
+use rdp_core::fused::fused_wl_den_grad;
 use rdp_core::model::Model;
 use rdp_core::optimizer::run_global_place;
 use rdp_core::reference::{ref_smooth_wl_grad_par, RefDensityField, RefModel};
@@ -43,6 +44,7 @@ struct SizeRow {
     model_build_s: f64,
     wl_new_s: f64,
     den_new_s: f64,
+    fused_s: f64,
     den_electro_s: f64,
     wl_ref_s: f64,
     den_ref_s: f64,
@@ -81,7 +83,7 @@ impl AbRow {
 /// Nesterov+electrostatic engine on identical fresh models, same thread
 /// count, both to the default overflow target. Measures GP wall-clock,
 /// gradient evaluations (iterations-to-converge) and final HPWL.
-fn run_solver_ab(bench: &rdp_gen::GeneratedBench, par: Parallelism) -> Vec<AbRow> {
+fn run_solver_ab(bench: &rdp_gen::GeneratedBench, par: &Parallelism) -> Vec<AbRow> {
     let combos: [(&'static str, GpSolver, GpDensityModel); 2] = [
         ("cg_bell", GpSolver::ConjugateGradient, GpDensityModel::Bell),
         ("nesterov_electro", GpSolver::Nesterov, GpDensityModel::Electrostatic),
@@ -116,7 +118,7 @@ fn run_solver_ab(bench: &rdp_gen::GeneratedBench, par: Parallelism) -> Vec<AbRow
             let opts = GpOptions {
                 solver,
                 density_model,
-                parallelism: par,
+                parallelism: par.clone(),
                 overflow_target,
                 ..GpOptions::default()
             };
@@ -178,8 +180,10 @@ fn main() {
         Err(_) => vec![10_000, 50_000, 100_000, 500_000, 1_000_000],
     };
     let cores = rdp_bench::detected_cores();
-    let par = Parallelism::auto();
+    let mut par = Parallelism::auto();
+    par.ensure_pool();
     let kernel_threads = par.effective_threads();
+    let degraded = rdp_bench::warn_if_degraded("bench_scale", &par);
     let revision = rdp_bench::git_revision();
     let gamma = 20.0;
     // Solver A/B runs at the largest swept size that is still ≤ 100k cells
@@ -218,14 +222,86 @@ fn main() {
                 &mut gx,
                 &mut gy,
                 &mut scratch,
-                par,
+                &par,
             )
         });
         let den_new = time_min(reps, || {
             gx.iter_mut().for_each(|g| *g = 0.0);
             gy.iter_mut().for_each(|g| *g = 0.0);
-            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+            fields[0].penalty_grad_par(&model, &mut gx, &mut gy, &par)
         });
+
+        // Fused pass: wirelength + density gradients in combined pool
+        // dispatches — what the optimizer actually runs per evaluation.
+        let mut den_gx = vec![0.0; model.len()];
+        let mut den_gy = vec![0.0; model.len()];
+        let fused = time_min(reps, || {
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            den_gx.iter_mut().for_each(|g| *g = 0.0);
+            den_gy.iter_mut().for_each(|g| *g = 0.0);
+            fused_wl_den_grad(
+                &model,
+                WirelengthModel::Wa,
+                gamma,
+                &mut fields,
+                &mut scratch,
+                &mut gx,
+                &mut gy,
+                &mut den_gx,
+                &mut den_gy,
+                &par,
+            )
+        });
+        // Bitwise gate: the fused pass must match the separate kernels
+        // exactly — fusion moves chunks between parallel regions but never
+        // changes chunk geometry or reduction order.
+        {
+            let mut rwx = vec![0.0; model.len()];
+            let mut rwy = vec![0.0; model.len()];
+            let mut rdx = vec![0.0; model.len()];
+            let mut rdy = vec![0.0; model.len()];
+            let ref_wl = smooth_wl_grad_par(
+                &model,
+                WirelengthModel::Wa,
+                gamma,
+                &mut rwx,
+                &mut rwy,
+                &mut scratch,
+                &par,
+            );
+            let ref_stats = fields[0].penalty_grad_par(&model, &mut rdx, &mut rdy, &par);
+            gx.iter_mut().for_each(|g| *g = 0.0);
+            gy.iter_mut().for_each(|g| *g = 0.0);
+            den_gx.iter_mut().for_each(|g| *g = 0.0);
+            den_gy.iter_mut().for_each(|g| *g = 0.0);
+            let (fused_wl, fused_stats) = fused_wl_den_grad(
+                &model,
+                WirelengthModel::Wa,
+                gamma,
+                &mut fields,
+                &mut scratch,
+                &mut gx,
+                &mut gy,
+                &mut den_gx,
+                &mut den_gy,
+                &par,
+            );
+            assert_eq!(ref_wl.to_bits(), fused_wl.to_bits(), "fused wirelength total differs");
+            assert_eq!(
+                ref_stats.penalty.to_bits(),
+                fused_stats.penalty.to_bits(),
+                "fused density penalty differs"
+            );
+            let same = |a: &[f64], b: &[f64]| {
+                a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            };
+            assert!(
+                same(&rwx, &gx) && same(&rwy, &gy) && same(&rdx, &den_gx) && same(&rdy, &den_gy),
+                "fused gradient differs bitwise from separate kernels at {cells} cells"
+            );
+        }
+        drop((den_gx, den_gy));
 
         // Electrostatic (FFT Poisson) density gradient at the same bin
         // budget — the grid rounds itself up to powers of two internally.
@@ -233,7 +309,7 @@ fn main() {
         let den_electro = time_min(reps, || {
             gx.iter_mut().for_each(|g| *g = 0.0);
             gy.iter_mut().for_each(|g| *g = 0.0);
-            electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par)
+            electro[0].penalty_grad_par(&model, &mut gx, &mut gy, &par)
         });
 
         // Reference (pre-refactor) layout, same threads.
@@ -242,11 +318,11 @@ fn main() {
         let mut ref_grad = vec![Point::ORIGIN; model.len()];
         let wl_ref = time_min(reps, || {
             ref_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            ref_smooth_wl_grad_par(&ref_model, WirelengthModel::Wa, gamma, &mut ref_grad, par)
+            ref_smooth_wl_grad_par(&ref_model, WirelengthModel::Wa, gamma, &mut ref_grad, &par)
         });
         let den_ref = time_min(reps, || {
             ref_grad.iter_mut().for_each(|g| *g = Point::ORIGIN);
-            ref_field.penalty_grad_par(&ref_model, &mut ref_grad, par)
+            ref_field.penalty_grad_par(&ref_model, &mut ref_grad, &par)
         });
 
         let row = SizeRow {
@@ -255,26 +331,70 @@ fn main() {
             model_build_s,
             wl_new_s: wl_new.as_secs_f64(),
             den_new_s: den_new.as_secs_f64(),
+            fused_s: fused.as_secs_f64(),
             den_electro_s: den_electro.as_secs_f64(),
             wl_ref_s: wl_ref.as_secs_f64(),
             den_ref_s: den_ref.as_secs_f64(),
             peak_rss_bytes: rdp_bench::mem::peak_rss_bytes().unwrap_or(0),
         };
         eprintln!(
-            "[bench_scale] {cells}: wl {:.4}s vs {:.4}s, density {:.4}s vs {:.4}s ({:.2}x combined), electro {:.4}s, peak RSS {} MiB",
+            "[bench_scale] {cells}: wl {:.4}s vs {:.4}s, density {:.4}s vs {:.4}s ({:.2}x combined), fused {:.4}s, electro {:.4}s, peak RSS {} MiB",
             row.wl_new_s,
             row.wl_ref_s,
             row.den_new_s,
             row.den_ref_s,
             row.speedup(),
+            row.fused_s,
             row.den_electro_s,
             row.peak_rss_bytes / (1024 * 1024)
         );
         if cells == ab_cells && std::env::var("BENCH_SCALE_NO_FLOW").is_err() {
-            ab_rows = run_solver_ab(&bench, par);
+            ab_rows = run_solver_ab(&bench, &par);
         }
         rows.push(row);
         largest = Some((cells, bench));
+    }
+
+    // Fused-gradient regression gate against a recorded baseline
+    // (`BENCH_SCALE_BASELINE=<path to a previous BENCH_scale.json>`): at
+    // equal kernel-thread count, a size's fused-pass time more than 15%
+    // over the baseline fails the run.
+    if let Ok(path) = std::env::var("BENCH_SCALE_BASELINE") {
+        match rdp_bench::read_scale_baseline(&path) {
+            Some(base) if base.kernel_threads == kernel_threads => {
+                let mut regressed = false;
+                for r in &rows {
+                    let Some(&(_, base_s)) = base.fused_s.iter().find(|(c, _)| *c == r.cells)
+                    else {
+                        continue;
+                    };
+                    let ratio = r.fused_s / base_s.max(1e-9);
+                    if ratio > 1.15 {
+                        eprintln!(
+                            "[bench_scale] REGRESSION: fused gradient @ {} cells took {:.6}s vs baseline {:.6}s ({:+.1}%)",
+                            r.cells, r.fused_s, base_s, 100.0 * (ratio - 1.0)
+                        );
+                        regressed = true;
+                    } else {
+                        eprintln!(
+                            "[bench_scale] fused gradient @ {} cells: {:.6}s vs baseline {:.6}s ({:+.1}%) — ok",
+                            r.cells, r.fused_s, base_s, 100.0 * (ratio - 1.0)
+                        );
+                    }
+                }
+                if regressed {
+                    eprintln!("[bench_scale] FAILED: fused gradient regressed >15% vs {path}");
+                    std::process::exit(1);
+                }
+            }
+            Some(base) => eprintln!(
+                "[bench_scale] baseline check skipped: {path} was recorded at {} kernel thread(s), this run uses {kernel_threads}",
+                base.kernel_threads
+            ),
+            None => eprintln!(
+                "[bench_scale] baseline check skipped: {path} unreadable or predates gradient_fused_s"
+            ),
+        }
     }
 
     // End-to-end flow at the largest size, reduced effort.
@@ -309,6 +429,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"available_cores\": {cores},");
     let _ = writeln!(json, "  \"kernel_threads\": {kernel_threads},");
+    let _ = writeln!(json, "  \"degraded_parallelism\": {degraded},");
     let _ = writeln!(json, "  \"git_revision\": \"{revision}\",");
     let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
     let _ = writeln!(json, "  \"gamma\": {gamma},");
@@ -324,6 +445,7 @@ fn main() {
         let _ = writeln!(json, "      \"density_grad_electro_s\": {:.4},", r.den_electro_s);
         let _ = writeln!(json, "      \"density_grad_reference_s\": {:.4},", r.den_ref_s);
         let _ = writeln!(json, "      \"gradient_new_s\": {:.4},", r.grad_new_s());
+        let _ = writeln!(json, "      \"gradient_fused_s\": {:.6},", r.fused_s);
         let _ = writeln!(json, "      \"gradient_reference_s\": {:.4},", r.grad_ref_s());
         let _ = writeln!(json, "      \"gradient_speedup\": {:.3},", r.speedup());
         let _ = writeln!(json, "      \"peak_rss_bytes\": {}", r.peak_rss_bytes);
@@ -366,6 +488,45 @@ fn main() {
         );
         let _ = writeln!(json, "  }},");
     }
+    // Before/after against the previously checked-in full run, read before
+    // this run overwrites the file.
+    if let Some(prior) = rdp_bench::read_prior_scale("BENCH_scale.json") {
+        let _ = writeln!(json, "  \"previous_run\": {{");
+        let _ = writeln!(json, "    \"git_revision\": \"{}\",", prior.git_revision);
+        let _ = writeln!(json, "    \"gradient_new_s\": [");
+        let shared: Vec<(usize, f64, f64)> = rows
+            .iter()
+            .filter_map(|r| {
+                prior
+                    .gradient_s
+                    .iter()
+                    .find(|(c, _)| *c == r.cells)
+                    .map(|&(_, before)| (r.cells, before, r.grad_new_s()))
+            })
+            .collect();
+        for (i, (cells, before, after)) in shared.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      {{ \"cells\": {cells}, \"before_s\": {before:.4}, \"after_s\": {after:.4}, \"change_pct\": {:.1} }}{}",
+                100.0 * (after / before.max(1e-12) - 1.0),
+                if i + 1 < shared.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(json, "    ],");
+        match prior.flow {
+            Some((pc, ps)) if pc == flow_cells => {
+                let _ = writeln!(
+                    json,
+                    "    \"flow\": {{ \"cells\": {pc}, \"before_s\": {ps:.2}, \"after_s\": {flow_s:.2}, \"change_pct\": {:.1} }}",
+                    100.0 * (flow_s / ps.max(1e-12) - 1.0)
+                );
+            }
+            _ => {
+                let _ = writeln!(json, "    \"flow\": null");
+            }
+        }
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"flow\": {{");
     let _ = writeln!(json, "    \"cells\": {flow_cells},");
     let _ = writeln!(json, "    \"seconds\": {flow_s:.2},");
@@ -377,28 +538,47 @@ fn main() {
         "    \"peak_rss_bytes\": {},",
         rdp_bench::mem::peak_rss_bytes().unwrap_or(0)
     );
+    // Stage accounting per the schema in `rdp_bench::StageAccounting`:
+    // `stages` is a disjoint partition of the flow wall-clock (top-level
+    // rows + synthesized `other`); `substages` are the overlapping
+    // `/`-named kernel timers and recovery markers.
+    let stage_rows: Vec<(String, f64)> = result
+        .trace
+        .stages
+        .iter()
+        .map(|s| (s.stage.clone(), s.elapsed.as_secs_f64()))
+        .collect();
+    let acc = rdp_bench::partition_stages(&stage_rows, flow_s);
     let _ = writeln!(json, "    \"stages\": [");
-    for (i, s) in result.trace.stages.iter().enumerate() {
+    for (i, (stage, secs)) in acc.stages.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{ \"stage\": \"{}\", \"seconds\": {:.3} }}{}",
-            s.stage,
-            s.elapsed.as_secs_f64(),
-            if i + 1 < result.trace.stages.len() { "," } else { "" }
+            "      {{ \"stage\": \"{stage}\", \"seconds\": {secs:.3} }}{}",
+            if i + 1 < acc.stages.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"substages\": [");
+    for (i, (stage, secs)) in acc.substages.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{ \"stage\": \"{stage}\", \"seconds\": {secs:.3} }}{}",
+            if i + 1 < acc.substages.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
-    println!("\n{:>9} {:>10} {:>10} {:>11} {:>11} {:>9} {:>10}", "cells", "gen", "model", "grad(new)", "grad(ref)", "speedup", "rss MiB");
+    println!("\n{:>9} {:>10} {:>10} {:>11} {:>11} {:>11} {:>9} {:>10}", "cells", "gen", "model", "grad(new)", "grad(fused)", "grad(ref)", "speedup", "rss MiB");
     for r in &rows {
         println!(
-            "{:>9} {:>9.2}s {:>9.3}s {:>10.4}s {:>10.4}s {:>8.2}x {:>10}",
+            "{:>9} {:>9.2}s {:>9.3}s {:>10.4}s {:>10.4}s {:>10.4}s {:>8.2}x {:>10}",
             r.cells,
             r.gen_s,
             r.model_build_s,
             r.grad_new_s(),
+            r.fused_s,
             r.grad_ref_s(),
             r.speedup(),
             r.peak_rss_bytes / (1024 * 1024)

@@ -199,7 +199,7 @@ impl BinGrid {
 /// separable bell caches (CSR over members), band buckets, residuals and
 /// per-member gradients. All buffers persist across optimizer iterations.
 #[derive(Debug, Clone, Default)]
-struct DensityScratch {
+pub(crate) struct DensityScratch {
     /// Member chunk spans (rebuilt when the member count changes).
     spans: Vec<std::ops::Range<usize>>,
     /// Per member: touched bin window (x0, x1, y0, y1), inclusive.
@@ -223,6 +223,379 @@ struct DensityScratch {
     member_gy: Vec<f64>,
 }
 
+/// One window-pass work item: the member span plus its disjoint range
+/// output slice.
+pub(crate) type WindowPart<'a> = (std::ops::Range<usize>, &'a mut [(u32, u32, u32, u32)]);
+
+/// One bell-cache work item: member span plus its disjoint `px`/`py`/scale
+/// output slices.
+pub(crate) type BellPart<'a> = (std::ops::Range<usize>, &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+
+/// The bell-cache stage: its work items plus the (shared) window table the
+/// bodies read. Both borrow disjoint fields of one [`DensityScratch`].
+pub(crate) struct BellStage<'a> {
+    pub(crate) parts: Vec<BellPart<'a>>,
+    pub(crate) ranges: &'a [(u32, u32, u32, u32)],
+}
+
+/// Shared immutable inputs of the deposit pass (pass 3).
+pub(crate) struct DepositCtx<'a> {
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) ranges: &'a [(u32, u32, u32, u32)],
+    pub(crate) scales: &'a [f64],
+    pub(crate) px_start: &'a [u32],
+    pub(crate) py_start: &'a [u32],
+    pub(crate) px: &'a [f64],
+    pub(crate) py: &'a [f64],
+    pub(crate) band_members: &'a [Vec<u32>],
+}
+
+/// Shared immutable inputs of the chain-rule pass (pass 4), plus its work
+/// items (disjoint per-member gradient slices).
+pub(crate) struct ChainStage<'a> {
+    pub(crate) parts: Vec<(std::ops::Range<usize>, &'a mut [f64], &'a mut [f64])>,
+    pub(crate) ranges: &'a [(u32, u32, u32, u32)],
+    pub(crate) scales: &'a [f64],
+    pub(crate) px_start: &'a [u32],
+    pub(crate) py_start: &'a [u32],
+    pub(crate) px: &'a [f64],
+    pub(crate) py: &'a [f64],
+    pub(crate) residual: &'a [f64],
+}
+
+/// The deposit-band spans of an `nx × ny` grid: fixed [`BAND_ROWS`]-row
+/// bands whose boundaries depend only on the grid size.
+pub(crate) fn band_spans(nx: usize, ny: usize) -> Vec<std::ops::Range<usize>> {
+    (0..ny.div_ceil(BAND_ROWS))
+        .map(|b| b * BAND_ROWS * nx..((b + 1) * BAND_ROWS).min(ny) * nx)
+        .collect()
+}
+
+impl DensityScratch {
+    /// Resizes every per-member buffer for `n` members (spans rebuilt only
+    /// when the member count changed).
+    pub(crate) fn prepare(&mut self, n: usize) {
+        if self.spans.last().map_or(0, |s| s.end) != n {
+            self.spans = chunk_spans(n, MEMBER_CHUNK).collect();
+        }
+        self.ranges.resize(n, (0, 0, 0, 0));
+        self.scales.resize(n, 0.0);
+        self.member_gx.resize(n, 0.0);
+        self.member_gy.resize(n, 0.0);
+    }
+
+    /// Window-pass work items (pass 1).
+    pub(crate) fn window_parts(&mut self) -> Vec<WindowPart<'_>> {
+        split_at_spans(&mut self.ranges, &self.spans)
+            .into_iter()
+            .zip(self.spans.iter().cloned())
+            .map(|(out, span)| (span, out))
+            .collect()
+    }
+
+    /// CSR starts for the bell caches plus band buckets — sequential
+    /// (prefix sums and ordered pushes). Must run after pass 1 filled
+    /// `ranges`.
+    pub(crate) fn bucket_and_csr(&mut self, ny: usize) {
+        let num_bands = ny.div_ceil(BAND_ROWS);
+        self.band_members.resize(num_bands, Vec::new());
+        for b in &mut self.band_members {
+            b.clear();
+        }
+        self.px_start.clear();
+        self.py_start.clear();
+        self.px_start.push(0);
+        self.py_start.push(0);
+        let (mut px_len, mut py_len) = (0u32, 0u32);
+        for (si, &(x0, x1, y0, y1)) in self.ranges.iter().enumerate() {
+            px_len += x1 - x0 + 1;
+            py_len += y1 - y0 + 1;
+            self.px_start.push(px_len);
+            self.py_start.push(py_len);
+            for band in (y0 as usize / BAND_ROWS)..=(y1 as usize / BAND_ROWS) {
+                self.band_members[band].push(si as u32);
+            }
+        }
+        self.px.resize(px_len as usize, 0.0);
+        self.py.resize(py_len as usize, 0.0);
+    }
+
+    /// Bell-cache work items plus the window table (pass 2).
+    pub(crate) fn bell_stage(&mut self) -> BellStage<'_> {
+        let px_spans: Vec<_> = self
+            .spans
+            .iter()
+            .map(|s| self.px_start[s.start] as usize..self.px_start[s.end] as usize)
+            .collect();
+        let py_spans: Vec<_> = self
+            .spans
+            .iter()
+            .map(|s| self.py_start[s.start] as usize..self.py_start[s.end] as usize)
+            .collect();
+        let px_parts = split_at_spans(&mut self.px, &px_spans);
+        let py_parts = split_at_spans(&mut self.py, &py_spans);
+        let scale_parts = split_at_spans(&mut self.scales, &self.spans);
+        let parts = self
+            .spans
+            .iter()
+            .cloned()
+            .zip(px_parts)
+            .zip(py_parts)
+            .zip(scale_parts)
+            .map(|(((span, px), py), sc)| (span, px, py, sc))
+            .collect();
+        BellStage { parts, ranges: &self.ranges }
+    }
+
+    /// Deposit-pass shared inputs (pass 3).
+    pub(crate) fn deposit_ctx(&self, nx: usize, ny: usize) -> DepositCtx<'_> {
+        DepositCtx {
+            nx,
+            ny,
+            ranges: &self.ranges,
+            scales: &self.scales,
+            px_start: &self.px_start,
+            py_start: &self.py_start,
+            px: &self.px,
+            py: &self.py,
+            band_members: &self.band_members,
+        }
+    }
+
+    /// Chain-rule work items plus shared inputs (pass 4).
+    pub(crate) fn chain_stage(&mut self) -> ChainStage<'_> {
+        let gx_parts = split_at_spans(&mut self.member_gx, &self.spans);
+        let gy_parts = split_at_spans(&mut self.member_gy, &self.spans);
+        let parts = self
+            .spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .map(|((span, gx), gy)| (span, gx, gy))
+            .collect();
+        ChainStage {
+            parts,
+            ranges: &self.ranges,
+            scales: &self.scales,
+            px_start: &self.px_start,
+            py_start: &self.py_start,
+            px: &self.px,
+            py: &self.py,
+            residual: &self.residual,
+        }
+    }
+
+    /// The per-member gradients written by pass 4.
+    pub(crate) fn member_grads(&self) -> (&[f64], &[f64]) {
+        (&self.member_gx, &self.member_gy)
+    }
+
+    /// Sequential penalty/residual reduction over the filled density slab
+    /// (see [`reduce_penalty`]); exposed as a method so the fused pass can
+    /// reach the private residual buffer.
+    pub(crate) fn reduce(&mut self, grid: &BinGrid) -> DensityStats {
+        reduce_penalty(grid, &mut self.residual)
+    }
+}
+
+/// Pass-1 body: each member's touched bin window (bell support inflated by
+/// two bins per side). Shared verbatim by [`DensityField::penalty_grad_par`]
+/// and the fused gradient pass ([`crate::fused`]).
+pub(crate) fn den_window_body(
+    model: &Model,
+    members: &[u32],
+    grid: &BinGrid,
+    part: &mut WindowPart<'_>,
+) {
+    let (span, out) = part;
+    let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
+    for (slot, &oi) in out.iter_mut().zip(&members[span.clone()]) {
+        let o = oi as usize;
+        let (w, h) = model.size[o];
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let rx = w / 2.0 + 2.0 * bin_w;
+        let ry = h / 2.0 + 2.0 * bin_h;
+        let (x0, x1) = grid.x_range(cx - rx, cx + rx);
+        let (y0, y1) = grid.y_range(cy - ry, cy + ry);
+        *slot = (x0 as u32, x1 as u32, y0 as u32, y1 as u32);
+    }
+}
+
+/// Pass-2 body: per-member separable bell factor caches plus the
+/// normalization scale, with the deposit sum in historical row-major order.
+pub(crate) fn den_bell_body(
+    model: &Model,
+    members: &[u32],
+    ranges: &[(u32, u32, u32, u32)],
+    grid: &BinGrid,
+    part: &mut BellPart<'_>,
+) {
+    let (span, px_out, py_out, sc_out) = part;
+    let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
+    let origin = grid.origin;
+    let bin_center_x = |bx: usize| origin.x + (bx as f64 + 0.5) * bin_w;
+    let bin_center_y = |by: usize| origin.y + (by as f64 + 0.5) * bin_h;
+    let (mut px_off, mut py_off) = (0usize, 0usize);
+    for (j, si) in span.clone().enumerate() {
+        let o = members[si] as usize;
+        let (w, h) = model.size[o];
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let (x0, x1, y0, y1) = ranges[si];
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let (y0, y1) = (y0 as usize, y1 as usize);
+        let pxs = &mut px_out[px_off..px_off + (x1 - x0 + 1)];
+        let pys = &mut py_out[py_off..py_off + (y1 - y0 + 1)];
+        px_off += pxs.len();
+        py_off += pys.len();
+        for (v, bx) in pxs.iter_mut().zip(x0..=x1) {
+            *v = bell((cx - bin_center_x(bx)).abs(), w, bin_w);
+        }
+        for (v, by) in pys.iter_mut().zip(y0..=y1) {
+            *v = bell((cy - bin_center_y(by)).abs(), h, bin_h);
+        }
+        let mut sum = 0.0;
+        for &py in pys.iter() {
+            if py == 0.0 {
+                continue;
+            }
+            for &px in pxs.iter() {
+                sum += px * py;
+            }
+        }
+        sc_out[j] = if sum <= 0.0 { 0.0 } else { model.area[o] / sum };
+    }
+}
+
+/// Pass-3 body: deposits one disjoint row band, members in ascending order
+/// — every bin accumulates its contributions in the historical
+/// member-major sequence.
+pub(crate) fn den_deposit_body(ctx: &DepositCtx<'_>, band: usize, density: &mut [f64]) {
+    let row_lo = band * BAND_ROWS;
+    let row_hi = ((band + 1) * BAND_ROWS).min(ctx.ny); // exclusive
+    for &si32 in &ctx.band_members[band] {
+        let si = si32 as usize;
+        let scale = ctx.scales[si];
+        if scale == 0.0 {
+            continue;
+        }
+        let (x0, x1, y0, y1) = ctx.ranges[si];
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let (y0, y1) = (y0 as usize, y1 as usize);
+        let pxs = &ctx.px[ctx.px_start[si] as usize..ctx.px_start[si + 1] as usize];
+        let pys = &ctx.py[ctx.py_start[si] as usize..ctx.py_start[si + 1] as usize];
+        for by in y0.max(row_lo)..=(y1.min(row_hi - 1)) {
+            let py = pys[by - y0];
+            if py == 0.0 {
+                continue;
+            }
+            let row = &mut density[(by - row_lo) * ctx.nx..];
+            for (bx, &px) in (x0..=x1).zip(pxs) {
+                row[bx] += scale * px * py;
+            }
+        }
+    }
+}
+
+/// The sequential penalty/residual reduction between passes 3 and 4
+/// (canonical bin-order rounding).
+pub(crate) fn reduce_penalty(grid: &BinGrid, residual: &mut Vec<f64>) -> DensityStats {
+    let mut stats = DensityStats::default();
+    residual.resize(grid.density.len(), 0.0);
+    for (i, r) in residual.iter_mut().enumerate() {
+        let over = (grid.density[i] - grid.target[i]).max(0.0);
+        stats.penalty += over * over;
+        *r = 2.0 * over;
+        stats.overflow_area += (grid.density[i] - grid.capacity[i]).max(0.0);
+        if grid.capacity[i] > 1e-12 {
+            stats.max_ratio = stats.max_ratio.max(grid.density[i] / grid.capacity[i]);
+        }
+    }
+    stats
+}
+
+/// Pass-4 body: chain-rule read-back of one member chunk into its disjoint
+/// per-member gradient slices. `dpx_row` is per-worker scratch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn den_chain_body(
+    model: &Model,
+    members: &[u32],
+    grid: &BinGrid,
+    ctx: &ChainStage<'_>,
+    dpx_row: &mut Vec<f64>,
+    span: std::ops::Range<usize>,
+    gx_out: &mut [f64],
+    gy_out: &mut [f64],
+) {
+    let nx = grid.nx;
+    let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
+    let origin = grid.origin;
+    let bin_center_x = |bx: usize| origin.x + (bx as f64 + 0.5) * bin_w;
+    let bin_center_y = |by: usize| origin.y + (by as f64 + 0.5) * bin_h;
+    for (j, si) in span.enumerate() {
+        let scale = ctx.scales[si];
+        if scale == 0.0 {
+            gx_out[j] = 0.0;
+            gy_out[j] = 0.0;
+            continue;
+        }
+        let o = members[si] as usize;
+        let (w, h) = model.size[o];
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let (x0, x1, y0, y1) = ctx.ranges[si];
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let (y0, y1) = (y0 as usize, y1 as usize);
+        let pxs = &ctx.px[ctx.px_start[si] as usize..ctx.px_start[si + 1] as usize];
+        let pys = &ctx.py[ctx.py_start[si] as usize..ctx.py_start[si + 1] as usize];
+        // The x-axis bell gradient depends only on the column:
+        // hoist it out of the row loop (same values, same
+        // accumulation order — just fewer evaluations).
+        dpx_row.clear();
+        for bx in x0..=x1 {
+            let dxv = cx - bin_center_x(bx);
+            dpx_row.push(bell_grad(dxv.abs(), w, bin_w) * dxv.signum());
+        }
+        let mut gx = 0.0;
+        let mut gy = 0.0;
+        for by in y0..=y1 {
+            let dyv = cy - bin_center_y(by);
+            let py = pys[by - y0];
+            let dpy = bell_grad(dyv.abs(), h, bin_h) * dyv.signum();
+            if py == 0.0 && dpy == 0.0 {
+                continue;
+            }
+            let row = &ctx.residual[by * nx + x0..=by * nx + x1];
+            for ((&r, &px), &dpx) in row.iter().zip(pxs).zip(dpx_row.iter()) {
+                if r == 0.0 {
+                    continue;
+                }
+                gx += r * scale * dpx * py;
+                gy += r * scale * px * dpy;
+            }
+        }
+        gx_out[j] = gx;
+        gy_out[j] = gy;
+    }
+}
+
+/// Ordered scatter of per-member gradients into the object gradient:
+/// ascending member order, one addition per member and axis (the historical
+/// merge order — members that deposited nothing add an exact `0.0`).
+pub(crate) fn scatter_grads(
+    members: &[u32],
+    member_gx: &[f64],
+    member_gy: &[f64],
+    grad_x: &mut [f64],
+    grad_y: &mut [f64],
+) {
+    for (si, &oi) in members.iter().enumerate() {
+        let o = oi as usize;
+        grad_x[o] += member_gx[si];
+        grad_y[o] += member_gy[si];
+    }
+}
+
 /// One density domain: a bin grid plus the objects it constrains.
 #[derive(Debug, Clone)]
 pub struct DensityField {
@@ -231,7 +604,7 @@ pub struct DensityField {
     /// Object indices (into the model) whose density lives in this field.
     pub members: Vec<u32>,
     /// Reusable evaluation scratch.
-    scratch: DensityScratch,
+    pub(crate) scratch: DensityScratch,
 }
 
 impl DensityField {
@@ -259,130 +632,38 @@ impl DensityField {
         model: &Model,
         grad_x: &mut [f64],
         grad_y: &mut [f64],
-        par: Parallelism,
+        par: &Parallelism,
     ) -> DensityStats {
         let DensityField { grid, members, scratch } = self;
-        let n = members.len();
         let (nx, ny) = (grid.nx, grid.ny);
-        let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
-        let origin = grid.origin;
-        let bin_center_x = |bx: usize| origin.x + (bx as f64 + 0.5) * bin_w;
-        let bin_center_y = |by: usize| origin.y + (by as f64 + 0.5) * bin_h;
 
         grid.density.iter_mut().for_each(|d| *d = 0.0);
-        if scratch.spans.last().map_or(0, |s| s.end) != n {
-            scratch.spans = chunk_spans(n, MEMBER_CHUNK).collect();
-        }
-        scratch.ranges.resize(n, (0, 0, 0, 0));
-        scratch.scales.resize(n, 0.0);
-        scratch.member_gx.resize(n, 0.0);
-        scratch.member_gy.resize(n, 0.0);
+        scratch.prepare(members.len());
 
         // Pass 1: bin windows, parallel over member chunks.
         {
-            let parts: Vec<_> = split_at_spans(&mut scratch.ranges, &scratch.spans)
-                .into_iter()
-                .zip(scratch.spans.iter().cloned())
-                .collect();
+            let parts = scratch.window_parts();
             let members: &[u32] = members;
             let grid_ro: &BinGrid = grid;
-            chunked_map_parts(par, parts, |_ci, (out, span)| {
-                for (slot, &oi) in out.iter_mut().zip(&members[span.clone()]) {
-                    let o = oi as usize;
-                    let (w, h) = model.size[o];
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let rx = w / 2.0 + 2.0 * bin_w;
-                    let ry = h / 2.0 + 2.0 * bin_h;
-                    let (x0, x1) = grid_ro.x_range(cx - rx, cx + rx);
-                    let (y0, y1) = grid_ro.y_range(cy - ry, cy + ry);
-                    *slot = (x0 as u32, x1 as u32, y0 as u32, y1 as u32);
-                }
+            chunked_map_parts(par, parts, |_ci, part| {
+                den_window_body(model, members, grid_ro, part)
             });
         }
 
         // CSR starts for the bell caches + band buckets (sequential:
         // prefix sums and ordered pushes).
-        let num_bands = ny.div_ceil(BAND_ROWS);
-        scratch.band_members.resize(num_bands, Vec::new());
-        for b in &mut scratch.band_members {
-            b.clear();
-        }
-        scratch.px_start.clear();
-        scratch.py_start.clear();
-        scratch.px_start.push(0);
-        scratch.py_start.push(0);
-        let (mut px_len, mut py_len) = (0u32, 0u32);
-        for (si, &(x0, x1, y0, y1)) in scratch.ranges.iter().enumerate() {
-            px_len += x1 - x0 + 1;
-            py_len += y1 - y0 + 1;
-            scratch.px_start.push(px_len);
-            scratch.py_start.push(py_len);
-            for band in (y0 as usize / BAND_ROWS)..=(y1 as usize / BAND_ROWS) {
-                scratch.band_members[band].push(si as u32);
-            }
-        }
-        scratch.px.resize(px_len as usize, 0.0);
-        scratch.py.resize(py_len as usize, 0.0);
+        scratch.bucket_and_csr(ny);
 
         // Pass 2: bell factor caches + normalization scales, parallel over
         // member chunks (each chunk owns contiguous cache and scale
         // slices). The deposit sum runs in the historical row-major order
         // over the cached factors — identical values, identical order.
         {
-            let px_spans: Vec<_> = scratch
-                .spans
-                .iter()
-                .map(|s| scratch.px_start[s.start] as usize..scratch.px_start[s.end] as usize)
-                .collect();
-            let py_spans: Vec<_> = scratch
-                .spans
-                .iter()
-                .map(|s| scratch.py_start[s.start] as usize..scratch.py_start[s.end] as usize)
-                .collect();
-            let px_parts = split_at_spans(&mut scratch.px, &px_spans);
-            let py_parts = split_at_spans(&mut scratch.py, &py_spans);
-            let scale_parts = split_at_spans(&mut scratch.scales, &scratch.spans);
-            let parts: Vec<_> = scratch
-                .spans
-                .iter()
-                .cloned()
-                .zip(px_parts)
-                .zip(py_parts)
-                .zip(scale_parts)
-                .map(|(((span, px), py), sc)| (span, px, py, sc))
-                .collect();
+            let BellStage { parts, ranges } = scratch.bell_stage();
             let members: &[u32] = members;
-            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
-            chunked_map_parts(par, parts, |_ci, (span, px_out, py_out, sc_out)| {
-                let (mut px_off, mut py_off) = (0usize, 0usize);
-                for (j, si) in span.clone().enumerate() {
-                    let o = members[si] as usize;
-                    let (w, h) = model.size[o];
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let (x0, x1, y0, y1) = ranges[si];
-                    let (x0, x1) = (x0 as usize, x1 as usize);
-                    let (y0, y1) = (y0 as usize, y1 as usize);
-                    let pxs = &mut px_out[px_off..px_off + (x1 - x0 + 1)];
-                    let pys = &mut py_out[py_off..py_off + (y1 - y0 + 1)];
-                    px_off += pxs.len();
-                    py_off += pys.len();
-                    for (v, bx) in pxs.iter_mut().zip(x0..=x1) {
-                        *v = bell((cx - bin_center_x(bx)).abs(), w, bin_w);
-                    }
-                    for (v, by) in pys.iter_mut().zip(y0..=y1) {
-                        *v = bell((cy - bin_center_y(by)).abs(), h, bin_h);
-                    }
-                    let mut sum = 0.0;
-                    for &py in pys.iter() {
-                        if py == 0.0 {
-                            continue;
-                        }
-                        for &px in pxs.iter() {
-                            sum += px * py;
-                        }
-                    }
-                    sc_out[j] = if sum <= 0.0 { 0.0 } else { model.area[o] / sum };
-                }
+            let grid_ro: &BinGrid = grid;
+            chunked_map_parts(par, parts, |_ci, part| {
+                den_bell_body(model, members, ranges, grid_ro, part)
             });
         }
 
@@ -390,140 +671,42 @@ impl DensityField {
         // band, members run in ascending order, so every bin accumulates
         // its contributions in the historical member-major order.
         {
-            let band_spans: Vec<_> = (0..num_bands)
-                .map(|b| b * BAND_ROWS * nx..((b + 1) * BAND_ROWS).min(ny) * nx)
-                .collect();
-            let parts: Vec<_> = split_at_spans(&mut grid.density, &band_spans)
+            let spans = band_spans(nx, ny);
+            let parts: Vec<_> = split_at_spans(&mut grid.density, &spans)
                 .into_iter()
                 .enumerate()
                 .collect();
-            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
-            let scales: &[f64] = &scratch.scales;
-            let px_start: &[u32] = &scratch.px_start;
-            let py_start: &[u32] = &scratch.py_start;
-            let px_all: &[f64] = &scratch.px;
-            let py_all: &[f64] = &scratch.py;
-            let band_members: &[Vec<u32>] = &scratch.band_members;
+            let ctx = scratch.deposit_ctx(nx, ny);
             chunked_map_parts(par, parts, |_ci, (band, density)| {
-                let row_lo = *band * BAND_ROWS;
-                let row_hi = ((*band + 1) * BAND_ROWS).min(ny); // exclusive
-                for &si32 in &band_members[*band] {
-                    let si = si32 as usize;
-                    let scale = scales[si];
-                    if scale == 0.0 {
-                        continue;
-                    }
-                    let (x0, x1, y0, y1) = ranges[si];
-                    let (x0, x1) = (x0 as usize, x1 as usize);
-                    let (y0, y1) = (y0 as usize, y1 as usize);
-                    let pxs = &px_all[px_start[si] as usize..px_start[si + 1] as usize];
-                    let pys = &py_all[py_start[si] as usize..py_start[si + 1] as usize];
-                    for by in y0.max(row_lo)..=(y1.min(row_hi - 1)) {
-                        let py = pys[by - y0];
-                        if py == 0.0 {
-                            continue;
-                        }
-                        let row = &mut density[(by - row_lo) * nx..];
-                        for (bx, &px) in (x0..=x1).zip(pxs) {
-                            row[bx] += scale * px * py;
-                        }
-                    }
-                }
+                den_deposit_body(&ctx, *band, density)
             });
         }
 
         // Penalty and per-bin residuals (O(bins): cheap, kept sequential so
         // the reduction order is trivially canonical).
-        let g: &BinGrid = grid;
-        let mut stats = DensityStats::default();
-        scratch.residual.resize(g.density.len(), 0.0);
-        for (i, r) in scratch.residual.iter_mut().enumerate() {
-            let over = (g.density[i] - g.target[i]).max(0.0);
-            stats.penalty += over * over;
-            *r = 2.0 * over;
-            stats.overflow_area += (g.density[i] - g.capacity[i]).max(0.0);
-            if g.capacity[i] > 1e-12 {
-                stats.max_ratio = stats.max_ratio.max(g.density[i] / g.capacity[i]);
-            }
-        }
+        let stats = reduce_penalty(grid, &mut scratch.residual);
 
         // Pass 4: chain rule into per-member gradients, parallel over
         // member chunks.
         {
-            let gx_parts = split_at_spans(&mut scratch.member_gx, &scratch.spans);
-            let gy_parts = split_at_spans(&mut scratch.member_gy, &scratch.spans);
-            let parts: Vec<_> = scratch
-                .spans
-                .iter()
-                .cloned()
-                .zip(gx_parts)
-                .zip(gy_parts)
-                .map(|((span, gx), gy)| (span, gx, gy))
-                .collect();
+            let stage = scratch.chain_stage();
+            let ChainStage { parts, .. } = stage;
+            let ctx = ChainStage { parts: Vec::new(), ..stage };
             let members: &[u32] = members;
-            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
-            let scales: &[f64] = &scratch.scales;
-            let px_start: &[u32] = &scratch.px_start;
-            let py_start: &[u32] = &scratch.py_start;
-            let px_all: &[f64] = &scratch.px;
-            let py_all: &[f64] = &scratch.py;
-            let residual: &[f64] = &scratch.residual;
-            chunked_map_parts_with(par, parts, Vec::new, |dpx_row: &mut Vec<f64>, _ci, (span, gx_out, gy_out)| {
-                for (j, si) in span.clone().enumerate() {
-                    let scale = scales[si];
-                    if scale == 0.0 {
-                        gx_out[j] = 0.0;
-                        gy_out[j] = 0.0;
-                        continue;
-                    }
-                    let o = members[si] as usize;
-                    let (w, h) = model.size[o];
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let (x0, x1, y0, y1) = ranges[si];
-                    let (x0, x1) = (x0 as usize, x1 as usize);
-                    let (y0, y1) = (y0 as usize, y1 as usize);
-                    let pxs = &px_all[px_start[si] as usize..px_start[si + 1] as usize];
-                    let pys = &py_all[py_start[si] as usize..py_start[si + 1] as usize];
-                    // The x-axis bell gradient depends only on the column:
-                    // hoist it out of the row loop (same values, same
-                    // accumulation order — just fewer evaluations).
-                    dpx_row.clear();
-                    for bx in x0..=x1 {
-                        let dxv = cx - bin_center_x(bx);
-                        dpx_row.push(bell_grad(dxv.abs(), w, bin_w) * dxv.signum());
-                    }
-                    let mut gx = 0.0;
-                    let mut gy = 0.0;
-                    for by in y0..=y1 {
-                        let dyv = cy - bin_center_y(by);
-                        let py = pys[by - y0];
-                        let dpy = bell_grad(dyv.abs(), h, bin_h) * dyv.signum();
-                        if py == 0.0 && dpy == 0.0 {
-                            continue;
-                        }
-                        let row = &residual[by * nx + x0..=by * nx + x1];
-                        for ((&r, &px), &dpx) in row.iter().zip(pxs).zip(dpx_row.iter()) {
-                            if r == 0.0 {
-                                continue;
-                            }
-                            gx += r * scale * dpx * py;
-                            gy += r * scale * px * dpy;
-                        }
-                    }
-                    gx_out[j] = gx;
-                    gy_out[j] = gy;
-                }
-            });
+            let grid_ro: &BinGrid = grid;
+            chunked_map_parts_with(
+                par,
+                parts,
+                Vec::new,
+                |dpx_row: &mut Vec<f64>, _ci, (span, gx_out, gy_out)| {
+                    den_chain_body(model, members, grid_ro, &ctx, dpx_row, span.clone(), gx_out, gy_out)
+                },
+            );
         }
 
-        // Ordered scatter: ascending member order, one addition per member
-        // and axis — the historical merge order (members that deposited
-        // nothing add an exact 0.0, as before).
-        for (si, &oi) in members.iter().enumerate() {
-            let o = oi as usize;
-            grad_x[o] += scratch.member_gx[si];
-            grad_y[o] += scratch.member_gy[si];
-        }
+        // Ordered scatter into the object gradient.
+        let (mgx, mgy) = scratch.member_grads();
+        scatter_grads(members, mgx, mgy, grad_x, grad_y);
         stats
     }
 
@@ -535,7 +718,7 @@ impl DensityField {
         grad_x: &mut [f64],
         grad_y: &mut [f64],
     ) -> DensityStats {
-        self.penalty_grad_par(model, grad_x, grad_y, Parallelism::single())
+        self.penalty_grad_par(model, grad_x, grad_y, &Parallelism::single())
     }
 }
 
@@ -758,12 +941,12 @@ mod tests {
         let mut base_f = field_for(&model, 24, 0.4);
         let mut bgx = vec![0.0; model.len()];
         let mut bgy = vec![0.0; model.len()];
-        let base = base_f.penalty_grad_par(&model, &mut bgx, &mut bgy, Parallelism::single());
+        let base = base_f.penalty_grad_par(&model, &mut bgx, &mut bgy, &Parallelism::single());
         for threads in [2, 8] {
             let mut f = field_for(&model, 24, 0.4);
             let mut gx = vec![0.0; model.len()];
             let mut gy = vec![0.0; model.len()];
-            let stats = f.penalty_grad_par(&model, &mut gx, &mut gy, Parallelism::new(threads));
+            let stats = f.penalty_grad_par(&model, &mut gx, &mut gy, &Parallelism::new(threads));
             assert_eq!(stats.penalty.to_bits(), base.penalty.to_bits(), "threads={threads}");
             assert_eq!(
                 stats.overflow_area.to_bits(),

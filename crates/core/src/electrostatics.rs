@@ -33,13 +33,14 @@
 //! The grid must be power-of-two in both axes (the fixed-radix FFT
 //! constraint); [`build_electro_fields`] rounds bin counts up.
 
-use crate::density::{BinGrid, DensityStats};
+use crate::density::{scatter_grads, BinGrid, DensityStats, WindowPart};
 use crate::model::Model;
 use rdp_db::Region;
 use rdp_geom::fft::Fft2;
 use rdp_geom::parallel::{chunk_spans, chunked_map_parts, split_at_spans, Parallelism};
-use rdp_geom::Rect;
+use rdp_geom::{Point, Rect};
 use std::f64::consts::PI;
+use std::ops::Range;
 
 /// Member objects per parallel work chunk — fixed, never derived from the
 /// thread count (see [`crate::density`]).
@@ -52,7 +53,7 @@ const BAND_ROWS: usize = 4;
 /// and the extended-grid spectral buffers. Everything persists across
 /// optimizer iterations — no per-iteration allocation.
 #[derive(Debug, Clone, Default)]
-struct ElectroScratch {
+pub(crate) struct ElectroScratch {
     /// Member chunk spans (rebuilt when the member count changes).
     spans: Vec<std::ops::Range<usize>>,
     /// Per member: touched bin window (x0, x1, y0, y1), inclusive.
@@ -78,6 +79,324 @@ struct ElectroScratch {
     member_gy: Vec<f64>,
 }
 
+/// Read-only context for one deposit band: the member windows, the band
+/// buckets and the grid geometry (copied out so the density slab can be
+/// split mutably at the same time).
+pub(crate) struct ElDepositCtx<'a> {
+    pub(crate) nx: usize,
+    pub(crate) ny: usize,
+    pub(crate) origin: Point,
+    pub(crate) bin_w: f64,
+    pub(crate) bin_h: f64,
+    pub(crate) ranges: &'a [(u32, u32, u32, u32)],
+    pub(crate) band_members: &'a [Vec<u32>],
+}
+
+/// The force-gather stage: per-chunk output parts plus the read-only field
+/// and window slices every chunk samples from.
+pub(crate) struct ElForceStage<'a> {
+    pub(crate) parts: Vec<(Range<usize>, &'a mut [f64], &'a mut [f64])>,
+    pub(crate) ranges: &'a [(u32, u32, u32, u32)],
+    pub(crate) field_x: &'a [f64],
+    pub(crate) field_y: &'a [f64],
+}
+
+/// The fixed deposit-band partition of a `nx × ny` density slab: one span
+/// of `BAND_ROWS` bin rows per band (the last may be short). Must stay in
+/// lockstep with [`ElectroScratch::bucket_bands`].
+pub(crate) fn el_band_spans(nx: usize, ny: usize) -> Vec<Range<usize>> {
+    (0..ny.div_ceil(BAND_ROWS))
+        .map(|b| b * BAND_ROWS * nx..((b + 1) * BAND_ROWS).min(ny) * nx)
+        .collect()
+}
+
+impl ElectroScratch {
+    /// Sizes every buffer for `n` members over `grid` and builds the FFT
+    /// plan on first use. Does **not** zero the density slab — the caller
+    /// owns that.
+    pub(crate) fn prepare(&mut self, grid: &BinGrid, n: usize) {
+        if self.fft.is_none() {
+            self.init_spectral(grid.nx, grid.ny, grid.bin_w, grid.bin_h);
+        }
+        if self.spans.last().map_or(0, |s| s.end) != n {
+            self.spans = chunk_spans(n, MEMBER_CHUNK).collect();
+        }
+        self.ranges.resize(n, (0, 0, 0, 0));
+        self.member_gx.resize(n, 0.0);
+        self.member_gy.resize(n, 0.0);
+    }
+
+    /// Per-chunk window-output parts for pass 1.
+    pub(crate) fn window_parts(&mut self) -> Vec<WindowPart<'_>> {
+        split_at_spans(&mut self.ranges, &self.spans)
+            .into_iter()
+            .zip(self.spans.iter().cloned())
+            .map(|(out, span)| (span, out))
+            .collect()
+    }
+
+    /// Rebuilds the deposit-band buckets (sequential ordered pushes) from
+    /// the pass-1 windows.
+    pub(crate) fn bucket_bands(&mut self, ny: usize) {
+        let num_bands = ny.div_ceil(BAND_ROWS);
+        self.band_members.resize(num_bands, Vec::new());
+        for b in &mut self.band_members {
+            b.clear();
+        }
+        for (si, &(_, _, y0, y1)) in self.ranges.iter().enumerate() {
+            for band in (y0 as usize / BAND_ROWS)..=(y1 as usize / BAND_ROWS) {
+                self.band_members[band].push(si as u32);
+            }
+        }
+    }
+
+    /// Read-only deposit context (grid geometry passed in by value so the
+    /// caller can split the density slab mutably at the same time).
+    pub(crate) fn deposit_ctx(
+        &self,
+        nx: usize,
+        ny: usize,
+        origin: Point,
+        bin_w: f64,
+        bin_h: f64,
+    ) -> ElDepositCtx<'_> {
+        ElDepositCtx {
+            nx,
+            ny,
+            origin,
+            bin_w,
+            bin_h,
+            ranges: &self.ranges,
+            band_members: &self.band_members,
+        }
+    }
+
+    /// The sequential middle of the evaluation: overflow diagnostics,
+    /// charge assembly with the zero-total background, the spectral
+    /// Poisson solve and the field extraction. Reads the binned density
+    /// from `grid`; the FFT parallelizes internally over `par`.
+    pub(crate) fn solve_field(&mut self, grid: &BinGrid, par: &Parallelism) -> DensityStats {
+        let (nx, ny) = (grid.nx, grid.ny);
+        let mut stats = DensityStats::default();
+        let (total_over, total_slack) = {
+            let (mut o, mut s) = (0.0, 0.0);
+            for (&dv, &tv) in grid.density.iter().zip(&grid.target) {
+                o += (dv - tv).max(0.0);
+                s += (tv - dv).max(0.0);
+            }
+            (o, s)
+        };
+        let nbins = nx * ny;
+        let ext_nx = 2 * nx;
+        self.ext_re.resize(4 * nbins, 0.0);
+        self.ext_im.resize(4 * nbins, 0.0);
+        self.field_x.resize(nbins, 0.0);
+        self.field_y.resize(nbins, 0.0);
+        {
+            let density = &grid.density;
+            let target = &grid.target;
+            let capacity = &grid.capacity;
+            let bg_scale = if total_slack > 1e-12 { total_over / total_slack } else { 0.0 };
+            let uniform_bg =
+                if total_slack > 1e-12 { 0.0 } else { total_over / nbins as f64 };
+            for i in 0..nbins {
+                let over = (density[i] - target[i]).max(0.0);
+                stats.penalty += over * over;
+                stats.overflow_area += (density[i] - capacity[i]).max(0.0);
+                if capacity[i] > 1e-12 {
+                    stats.max_ratio = stats.max_ratio.max(density[i] / capacity[i]);
+                }
+                let slack = (target[i] - density[i]).max(0.0);
+                let rho = over - slack * bg_scale - uniform_bg;
+                // Mirror the charge into all four quadrants (even
+                // extension ⇒ Neumann boundary at the die walls).
+                let (bx, by) = (i % nx, i / nx);
+                let (mx, my) = (ext_nx - 1 - bx, 2 * ny - 1 - by);
+                self.ext_re[by * ext_nx + bx] = rho;
+                self.ext_re[by * ext_nx + mx] = rho;
+                self.ext_re[my * ext_nx + bx] = rho;
+                self.ext_re[my * ext_nx + mx] = rho;
+            }
+            self.ext_im.iter_mut().for_each(|v| *v = 0.0);
+        }
+
+        // Poisson solve: forward FFT, spectral scaling, packed inverse.
+        let fft = self.fft.as_mut().expect("spectral state initialized");
+        fft.forward(&mut self.ext_re, &mut self.ext_im, par);
+        // φ̂ = ρ̂/k²; Ê = −i·k·φ̂; packed C = Êx + i·Êy = φ̂·(ky − i·kx).
+        for jy in 0..2 * ny {
+            let (kyd, k2y) = (self.kdy[jy], self.k2y[jy]);
+            let row = jy * ext_nx;
+            for jx in 0..ext_nx {
+                let k2 = self.k2x[jx] + k2y;
+                let idx = row + jx;
+                if k2 <= 0.0 {
+                    self.ext_re[idx] = 0.0;
+                    self.ext_im[idx] = 0.0;
+                    continue;
+                }
+                let s = 1.0 / k2;
+                let kxd = self.kdx[jx];
+                let (rre, rim) = (self.ext_re[idx], self.ext_im[idx]);
+                self.ext_re[idx] = s * (rre * kyd + rim * kxd);
+                self.ext_im[idx] = s * (rim * kyd - rre * kxd);
+            }
+        }
+        fft.inverse(&mut self.ext_re, &mut self.ext_im, par);
+        for by in 0..ny {
+            for bx in 0..nx {
+                let ei = by * ext_nx + bx;
+                self.field_x[by * nx + bx] = self.ext_re[ei];
+                self.field_y[by * nx + bx] = self.ext_im[ei];
+            }
+        }
+        stats
+    }
+
+    /// Per-chunk gradient-output parts plus the shared read-only slices
+    /// for the force gather.
+    pub(crate) fn force_stage(&mut self) -> ElForceStage<'_> {
+        let gx_parts = split_at_spans(&mut self.member_gx, &self.spans);
+        let gy_parts = split_at_spans(&mut self.member_gy, &self.spans);
+        let parts: Vec<_> = self
+            .spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .map(|((span, gx), gy)| (span, gx, gy))
+            .collect();
+        ElForceStage {
+            parts,
+            ranges: &self.ranges,
+            field_x: &self.field_x,
+            field_y: &self.field_y,
+        }
+    }
+
+    /// The accumulated per-member gradients, ready for the ordered scatter.
+    pub(crate) fn member_grads(&self) -> (&[f64], &[f64]) {
+        (&self.member_gx, &self.member_gy)
+    }
+}
+
+/// Pass-1 body: each member's touched-bin window (exact footprint — the
+/// electrostatic model has no kernel margin).
+pub(crate) fn el_window_body(
+    model: &Model,
+    members: &[u32],
+    grid: &BinGrid,
+    part: &mut WindowPart<'_>,
+) {
+    let (span, out) = part;
+    for (slot, &oi) in out.iter_mut().zip(&members[span.clone()]) {
+        let o = oi as usize;
+        let (w, h) = model.size[o];
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let (x0, x1) = grid.x_range(cx - w / 2.0, cx + w / 2.0);
+        let (y0, y1) = grid.y_range(cy - h / 2.0, cy + h / 2.0);
+        *slot = (x0 as u32, x1 as u32, y0 as u32, y1 as u32);
+    }
+}
+
+/// Pass-2 body: overlap-proportional deposits for one disjoint row band,
+/// members ascending within the band.
+pub(crate) fn el_deposit_body(
+    model: &Model,
+    members: &[u32],
+    ctx: &ElDepositCtx<'_>,
+    band: usize,
+    density: &mut [f64],
+) {
+    let row_lo = band * BAND_ROWS;
+    let row_hi = ((band + 1) * BAND_ROWS).min(ctx.ny); // exclusive
+    for &si32 in &ctx.band_members[band] {
+        let si = si32 as usize;
+        let o = members[si] as usize;
+        let (w, h) = model.size[o];
+        if w <= 0.0 || h <= 0.0 {
+            continue;
+        }
+        // area/(w·h) ≥ 1 when inflated: the charge is the (possibly
+        // inflated) area, spread over the footprint.
+        let unit = model.area[o] / (w * h);
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let (xl, xh) = (cx - w / 2.0, cx + w / 2.0);
+        let (yl, yh) = (cy - h / 2.0, cy + h / 2.0);
+        let (x0, x1, y0, y1) = ctx.ranges[si];
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let (y0, y1) = (y0 as usize, y1 as usize);
+        for by in y0.max(row_lo)..=y1.min(row_hi - 1) {
+            let byl = ctx.origin.y + by as f64 * ctx.bin_h;
+            let oy = (yh.min(byl + ctx.bin_h) - yl.max(byl)).max(0.0);
+            if oy <= 0.0 {
+                continue;
+            }
+            let row = &mut density[(by - row_lo) * ctx.nx..];
+            for (j, cell) in row[x0..=x1].iter_mut().enumerate() {
+                let bxl = ctx.origin.x + (x0 + j) as f64 * ctx.bin_w;
+                let ox = (xh.min(bxl + ctx.bin_w) - xl.max(bxl)).max(0.0);
+                if ox > 0.0 {
+                    *cell += unit * ox * oy;
+                }
+            }
+        }
+    }
+}
+
+/// Pass-3 body: force gather `−q·E` for one member chunk, the field
+/// overlap-averaged over each member's footprint. Reads only `ctx`'s
+/// shared slices, never its `parts`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn el_force_body(
+    model: &Model,
+    members: &[u32],
+    grid: &BinGrid,
+    ctx: &ElForceStage<'_>,
+    span: Range<usize>,
+    gx_out: &mut [f64],
+    gy_out: &mut [f64],
+) {
+    let nx = grid.nx;
+    for (j, si) in span.enumerate() {
+        let o = members[si] as usize;
+        let (w, h) = model.size[o];
+        if w <= 0.0 || h <= 0.0 {
+            gx_out[j] = 0.0;
+            gy_out[j] = 0.0;
+            continue;
+        }
+        let unit = model.area[o] / (w * h);
+        let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
+        let (xl, xh) = (cx - w / 2.0, cx + w / 2.0);
+        let (yl, yh) = (cy - h / 2.0, cy + h / 2.0);
+        let (x0, x1, y0, y1) = ctx.ranges[si];
+        let (x0, x1) = (x0 as usize, x1 as usize);
+        let (y0, y1) = (y0 as usize, y1 as usize);
+        let (mut fx, mut fy) = (0.0, 0.0);
+        for by in y0..=y1 {
+            let byl = grid.origin.y + by as f64 * grid.bin_h;
+            let oy = (yh.min(byl + grid.bin_h) - yl.max(byl)).max(0.0);
+            if oy <= 0.0 {
+                continue;
+            }
+            let row = by * nx;
+            for bx in x0..=x1 {
+                let bxl = grid.origin.x + bx as f64 * grid.bin_w;
+                let ox = (xh.min(bxl + grid.bin_w) - xl.max(bxl)).max(0.0);
+                if ox > 0.0 {
+                    fx += ox * oy * ctx.field_x[row + bx];
+                    fy += ox * oy * ctx.field_y[row + bx];
+                }
+            }
+        }
+        // ∂N/∂x = −q·⟨Ex⟩: the descent direction (−gradient) pushes
+        // charge along the field, away from density.
+        gx_out[j] = -unit * fx;
+        gy_out[j] = -unit * fy;
+    }
+}
+
 /// One electrostatic density domain: a power-of-two bin grid plus the
 /// objects whose charge lives in it. The drop-in counterpart of
 /// [`crate::density::DensityField`] for
@@ -88,7 +407,7 @@ pub struct ElectroField {
     pub grid: BinGrid,
     /// Object indices (into the model) whose charge lives in this field.
     pub members: Vec<u32>,
-    scratch: ElectroScratch,
+    pub(crate) scratch: ElectroScratch,
 }
 
 impl ElectroField {
@@ -122,107 +441,40 @@ impl ElectroField {
         model: &Model,
         grad_x: &mut [f64],
         grad_y: &mut [f64],
-        par: Parallelism,
+        par: &Parallelism,
     ) -> DensityStats {
         let ElectroField { grid, members, scratch } = self;
-        let n = members.len();
         let (nx, ny) = (grid.nx, grid.ny);
-        let (bin_w, bin_h) = (grid.bin_w, grid.bin_h);
-        let origin = grid.origin;
 
-        if scratch.fft.is_none() {
-            scratch.init_spectral(nx, ny, bin_w, bin_h);
-        }
-        if scratch.spans.last().map_or(0, |s| s.end) != n {
-            scratch.spans = chunk_spans(n, MEMBER_CHUNK).collect();
-        }
-        scratch.ranges.resize(n, (0, 0, 0, 0));
-        scratch.member_gx.resize(n, 0.0);
-        scratch.member_gy.resize(n, 0.0);
+        scratch.prepare(grid, members.len());
         grid.density.iter_mut().for_each(|d| *d = 0.0);
 
         // Pass 1: bin windows of each member's rectangle, parallel chunks.
         {
-            let parts: Vec<_> = split_at_spans(&mut scratch.ranges, &scratch.spans)
-                .into_iter()
-                .zip(scratch.spans.iter().cloned())
-                .collect();
+            let parts = scratch.window_parts();
             let members: &[u32] = members;
             let grid_ro: &BinGrid = grid;
             chunked_map_parts(par, parts, |_ci, part| {
-                let (out, span) = part;
-                for (slot, &oi) in out.iter_mut().zip(&members[span.clone()]) {
-                    let o = oi as usize;
-                    let (w, h) = model.size[o];
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let (x0, x1) = grid_ro.x_range(cx - w / 2.0, cx + w / 2.0);
-                    let (y0, y1) = grid_ro.y_range(cy - h / 2.0, cy + h / 2.0);
-                    *slot = (x0 as u32, x1 as u32, y0 as u32, y1 as u32);
-                }
+                el_window_body(model, members, grid_ro, part)
             });
         }
 
         // Band buckets (sequential ordered pushes).
-        let num_bands = ny.div_ceil(BAND_ROWS);
-        scratch.band_members.resize(num_bands, Vec::new());
-        for b in &mut scratch.band_members {
-            b.clear();
-        }
-        for (si, &(_, _, y0, y1)) in scratch.ranges.iter().enumerate() {
-            for band in (y0 as usize / BAND_ROWS)..=(y1 as usize / BAND_ROWS) {
-                scratch.band_members[band].push(si as u32);
-            }
-        }
+        scratch.bucket_bands(ny);
 
         // Pass 2: overlap-proportional deposits, parallel over disjoint row
         // bands, members ascending within each band.
         {
-            let band_spans: Vec<_> = (0..num_bands)
-                .map(|b| b * BAND_ROWS * nx..((b + 1) * BAND_ROWS).min(ny) * nx)
-                .collect();
-            let parts: Vec<_> = split_at_spans(&mut grid.density, &band_spans)
+            let spans = el_band_spans(nx, ny);
+            let (origin, bin_w, bin_h) = (grid.origin, grid.bin_w, grid.bin_h);
+            let ctx = scratch.deposit_ctx(nx, ny, origin, bin_w, bin_h);
+            let parts: Vec<_> = split_at_spans(&mut grid.density, &spans)
                 .into_iter()
                 .enumerate()
                 .collect();
-            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
-            let band_members: &[Vec<u32>] = &scratch.band_members;
             let members: &[u32] = members;
-            chunked_map_parts(par, parts, |_ci, part| {
-                let (band, density) = part;
-                let row_lo = *band * BAND_ROWS;
-                let row_hi = ((*band + 1) * BAND_ROWS).min(ny); // exclusive
-                for &si32 in &band_members[*band] {
-                    let si = si32 as usize;
-                    let o = members[si] as usize;
-                    let (w, h) = model.size[o];
-                    if w <= 0.0 || h <= 0.0 {
-                        continue;
-                    }
-                    // area/(w·h) ≥ 1 when inflated: the charge is the
-                    // (possibly inflated) area, spread over the footprint.
-                    let unit = model.area[o] / (w * h);
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let (xl, xh) = (cx - w / 2.0, cx + w / 2.0);
-                    let (yl, yh) = (cy - h / 2.0, cy + h / 2.0);
-                    let (x0, x1, y0, y1) = ranges[si];
-                    let (x0, x1) = (x0 as usize, x1 as usize);
-                    let (y0, y1) = (y0 as usize, y1 as usize);
-                    for by in y0.max(row_lo)..=y1.min(row_hi - 1) {
-                        let byl = origin.y + by as f64 * bin_h;
-                        let oy = (yh.min(byl + bin_h) - yl.max(byl)).max(0.0);
-                        if oy <= 0.0 {
-                            continue;
-                        }
-                        let row = &mut density[(by - row_lo) * nx..];
-                        for (j, cell) in row[x0..=x1].iter_mut().enumerate() {
-                            let bxl = origin.x + (x0 + j) as f64 * bin_w;
-                            let ox = (xh.min(bxl + bin_w) - xl.max(bxl)).max(0.0);
-                            if ox > 0.0 {
-                                *cell += unit * ox * oy;
-                            }
-                        }
-                    }
-                }
+            chunked_map_parts(par, parts, |_ci, (band, density)| {
+                el_deposit_body(model, members, &ctx, *band, density)
             });
         }
 
@@ -237,146 +489,25 @@ impl ElectroField {
         // them. The balancing negative background sits on bins with slack
         // (below-target capacity), proportional to that slack so blocked
         // area attracts nothing, scaled so the total charge is exactly
-        // zero.
-        let mut stats = DensityStats::default();
-        let (total_over, total_slack) = {
-            let (mut o, mut s) = (0.0, 0.0);
-            for (&dv, &tv) in grid.density.iter().zip(&grid.target) {
-                o += (dv - tv).max(0.0);
-                s += (tv - dv).max(0.0);
-            }
-            (o, s)
-        };
-        let nbins = nx * ny;
-        let ext_nx = 2 * nx;
-        scratch.ext_re.resize(4 * nbins, 0.0);
-        scratch.ext_im.resize(4 * nbins, 0.0);
-        scratch.field_x.resize(nbins, 0.0);
-        scratch.field_y.resize(nbins, 0.0);
-        {
-            let density = &grid.density;
-            let target = &grid.target;
-            let capacity = &grid.capacity;
-            let bg_scale = if total_slack > 1e-12 { total_over / total_slack } else { 0.0 };
-            let uniform_bg =
-                if total_slack > 1e-12 { 0.0 } else { total_over / nbins as f64 };
-            for i in 0..nbins {
-                let over = (density[i] - target[i]).max(0.0);
-                stats.penalty += over * over;
-                stats.overflow_area += (density[i] - capacity[i]).max(0.0);
-                if capacity[i] > 1e-12 {
-                    stats.max_ratio = stats.max_ratio.max(density[i] / capacity[i]);
-                }
-                let slack = (target[i] - density[i]).max(0.0);
-                let rho = over - slack * bg_scale - uniform_bg;
-                // Mirror the charge into all four quadrants (even
-                // extension ⇒ Neumann boundary at the die walls).
-                let (bx, by) = (i % nx, i / nx);
-                let (mx, my) = (ext_nx - 1 - bx, 2 * ny - 1 - by);
-                scratch.ext_re[by * ext_nx + bx] = rho;
-                scratch.ext_re[by * ext_nx + mx] = rho;
-                scratch.ext_re[my * ext_nx + bx] = rho;
-                scratch.ext_re[my * ext_nx + mx] = rho;
-            }
-            scratch.ext_im.iter_mut().for_each(|v| *v = 0.0);
-        }
-
-        // Poisson solve: forward FFT, spectral scaling, packed inverse.
-        let fft = scratch.fft.as_mut().expect("spectral state initialized");
-        fft.forward(&mut scratch.ext_re, &mut scratch.ext_im, par);
-        // φ̂ = ρ̂/k²; Ê = −i·k·φ̂; packed C = Êx + i·Êy = φ̂·(ky − i·kx).
-        for jy in 0..2 * ny {
-            let (kyd, k2y) = (scratch.kdy[jy], scratch.k2y[jy]);
-            let row = jy * ext_nx;
-            for jx in 0..ext_nx {
-                let k2 = scratch.k2x[jx] + k2y;
-                let idx = row + jx;
-                if k2 <= 0.0 {
-                    scratch.ext_re[idx] = 0.0;
-                    scratch.ext_im[idx] = 0.0;
-                    continue;
-                }
-                let s = 1.0 / k2;
-                let kxd = scratch.kdx[jx];
-                let (rre, rim) = (scratch.ext_re[idx], scratch.ext_im[idx]);
-                scratch.ext_re[idx] = s * (rre * kyd + rim * kxd);
-                scratch.ext_im[idx] = s * (rim * kyd - rre * kxd);
-            }
-        }
-        fft.inverse(&mut scratch.ext_re, &mut scratch.ext_im, par);
-        for by in 0..ny {
-            for bx in 0..nx {
-                let ei = by * ext_nx + bx;
-                scratch.field_x[by * nx + bx] = scratch.ext_re[ei];
-                scratch.field_y[by * nx + bx] = scratch.ext_im[ei];
-            }
-        }
+        // zero. Then the spectral Poisson solve and field extraction.
+        let stats = scratch.solve_field(grid, par);
 
         // Pass 3: force gather `−q·E`, field overlap-averaged over the
         // member's footprint, parallel over member chunks.
         {
-            let gx_parts = split_at_spans(&mut scratch.member_gx, &scratch.spans);
-            let gy_parts = split_at_spans(&mut scratch.member_gy, &scratch.spans);
-            let parts: Vec<_> = scratch
-                .spans
-                .iter()
-                .cloned()
-                .zip(gx_parts)
-                .zip(gy_parts)
-                .map(|((span, gx), gy)| (span, gx, gy))
-                .collect();
+            let stage = scratch.force_stage();
+            let ElForceStage { parts, .. } = stage;
+            let ctx = ElForceStage { parts: Vec::new(), ..stage };
             let members: &[u32] = members;
-            let ranges: &[(u32, u32, u32, u32)] = &scratch.ranges;
-            let field_x: &[f64] = &scratch.field_x;
-            let field_y: &[f64] = &scratch.field_y;
-            chunked_map_parts(par, parts, |_ci, part| {
-                let (span, gx_out, gy_out) = part;
-                for (j, si) in span.clone().enumerate() {
-                    let o = members[si] as usize;
-                    let (w, h) = model.size[o];
-                    if w <= 0.0 || h <= 0.0 {
-                        gx_out[j] = 0.0;
-                        gy_out[j] = 0.0;
-                        continue;
-                    }
-                    let unit = model.area[o] / (w * h);
-                    let (cx, cy) = (model.pos_x[o], model.pos_y[o]);
-                    let (xl, xh) = (cx - w / 2.0, cx + w / 2.0);
-                    let (yl, yh) = (cy - h / 2.0, cy + h / 2.0);
-                    let (x0, x1, y0, y1) = ranges[si];
-                    let (x0, x1) = (x0 as usize, x1 as usize);
-                    let (y0, y1) = (y0 as usize, y1 as usize);
-                    let (mut fx, mut fy) = (0.0, 0.0);
-                    for by in y0..=y1 {
-                        let byl = origin.y + by as f64 * bin_h;
-                        let oy = (yh.min(byl + bin_h) - yl.max(byl)).max(0.0);
-                        if oy <= 0.0 {
-                            continue;
-                        }
-                        let row = by * nx;
-                        for bx in x0..=x1 {
-                            let bxl = origin.x + bx as f64 * bin_w;
-                            let ox = (xh.min(bxl + bin_w) - xl.max(bxl)).max(0.0);
-                            if ox > 0.0 {
-                                fx += ox * oy * field_x[row + bx];
-                                fy += ox * oy * field_y[row + bx];
-                            }
-                        }
-                    }
-                    // ∂N/∂x = −q·⟨Ex⟩: the descent direction (−gradient)
-                    // pushes charge along the field, away from density.
-                    gx_out[j] = -unit * fx;
-                    gy_out[j] = -unit * fy;
-                }
+            let grid_ro: &BinGrid = grid;
+            chunked_map_parts(par, parts, |_ci, (span, gx_out, gy_out)| {
+                el_force_body(model, members, grid_ro, &ctx, span.clone(), gx_out, gy_out)
             });
         }
 
         // Ordered scatter: ascending member order (the canonical merge).
-        for (si, &oi) in members.iter().enumerate() {
-            let o = oi as usize;
-            grad_x[o] += scratch.member_gx[si];
-            grad_y[o] += scratch.member_gy[si];
-        }
+        let (mgx, mgy) = scratch.member_grads();
+        scatter_grads(members, mgx, mgy, grad_x, grad_y);
         stats
     }
 
@@ -387,7 +518,7 @@ impl ElectroField {
         grad_x: &mut [f64],
         grad_y: &mut [f64],
     ) -> DensityStats {
-        self.penalty_grad_par(model, grad_x, grad_y, Parallelism::single())
+        self.penalty_grad_par(model, grad_x, grad_y, &Parallelism::single())
     }
 }
 
@@ -611,12 +742,12 @@ mod tests {
         let mut base_f = field_for(&model, 32, 0.4);
         let mut bgx = vec![0.0; model.len()];
         let mut bgy = vec![0.0; model.len()];
-        let base = base_f.penalty_grad_par(&model, &mut bgx, &mut bgy, Parallelism::single());
+        let base = base_f.penalty_grad_par(&model, &mut bgx, &mut bgy, &Parallelism::single());
         for threads in [2, 8] {
             let mut f = field_for(&model, 32, 0.4);
             let mut gx = vec![0.0; model.len()];
             let mut gy = vec![0.0; model.len()];
-            let stats = f.penalty_grad_par(&model, &mut gx, &mut gy, Parallelism::new(threads));
+            let stats = f.penalty_grad_par(&model, &mut gx, &mut gy, &Parallelism::new(threads));
             assert_eq!(stats.penalty.to_bits(), base.penalty.to_bits(), "threads={threads}");
             assert_eq!(
                 stats.overflow_area.to_bits(),

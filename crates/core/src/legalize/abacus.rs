@@ -30,8 +30,23 @@ struct Cluster {
 /// (lower-left) into `placement`. Cells are placed at the segment's row
 /// with site-aligned x.
 pub fn pack_segment(design: &Design, placement: &mut Placement, seg: &mut Segment) {
+    for (id, p) in pack_positions(design, placement, seg) {
+        placement.set_lower_left(design, id, p);
+    }
+}
+
+/// Computes the packed lower-left position of every cell in `seg` without
+/// touching `placement`. Reads only the segment's own cells' current
+/// positions, so distinct segments (which hold disjoint cell sets) can be
+/// packed concurrently and the results applied afterwards in any order —
+/// the combined effect is identical to running [`pack_segment`] serially.
+pub fn pack_positions(
+    design: &Design,
+    placement: &Placement,
+    seg: &Segment,
+) -> Vec<(NodeId, Point)> {
     if seg.cells.is_empty() {
-        return;
+        return Vec::new();
     }
     let row = design.rows()[seg.row];
     let site = row.site_width();
@@ -112,13 +127,15 @@ pub fn pack_segment(design: &Design, placement: &mut Placement, seg: &mut Segmen
         }
         limit = starts[ci];
     }
+    let mut packed = Vec::with_capacity(cells.len());
     for (ci, c) in clusters.iter().enumerate() {
         let mut x = starts[ci];
         for i in c.first..c.last {
-            placement.set_lower_left(design, cells[i], Point::new(x, row.y()));
+            packed.push((cells[i], Point::new(x, row.y())));
             x += widths[i];
         }
     }
+    packed
 }
 
 #[cfg(test)]

@@ -13,12 +13,13 @@ mod macros;
 mod segments;
 mod tetris;
 
-pub use abacus::pack_segment;
+pub use abacus::{pack_positions, pack_segment};
 pub use macros::legalize_macros;
 pub use segments::{build_segments, Segment};
-pub use tetris::assign_cells;
+pub use tetris::{assign_cells, assign_cells_par};
 
 use rdp_db::{Design, NodeKind, Placement};
+use rdp_geom::parallel::{chunked_map, Parallelism};
 use rdp_geom::Orient;
 
 /// Aggregate legalization statistics.
@@ -79,11 +80,88 @@ pub fn legalize(design: &Design, placement: &mut Placement) -> LegalizeStats {
     stats
 }
 
+/// Band-parallel legalization: same flow as [`legalize`], but the
+/// standard-cell stages run on the worker pool — Tetris assignment over
+/// independent horizontal row bands ([`assign_cells_par`]) and Abacus
+/// packing over segments (each segment reads and writes only its own
+/// disjoint cell set, so [`pack_positions`] runs concurrently and the
+/// results are applied in segment order).
+///
+/// The result depends only on the input design and placement, never on
+/// the thread count. Macro legalization and orientation normalization
+/// stay serial — they are a vanishing fraction of legalization time.
+pub fn legalize_par(
+    design: &Design,
+    placement: &mut Placement,
+    par: &Parallelism,
+) -> LegalizeStats {
+    for id in design.node_ids() {
+        if design.node(id).is_std_cell() {
+            let o = placement.orient(id);
+            if o.swaps_dimensions() || o.quarter_turns() == 2 {
+                placement.set_orient(id, if o.is_flipped() { Orient::FN } else { Orient::N });
+            }
+        }
+    }
+
+    let mut obstacles: Vec<rdp_geom::Rect> = design
+        .node_ids()
+        .filter(|&id| design.node(id).kind() == NodeKind::Fixed)
+        .flat_map(|id| design.blocking_rects(id, placement))
+        .collect();
+
+    let macro_rects = legalize_macros(design, placement, &obstacles);
+    obstacles.extend(macro_rects);
+
+    let mut segments = build_segments(design, &obstacles);
+    let stats = LegalizeStats {
+        failed: assign_cells_par(design, placement, &mut segments, par),
+        ..LegalizeStats::default()
+    };
+
+    // Pack every segment concurrently against the frozen placement, then
+    // apply in segment order. Segments hold disjoint cell sets and each
+    // pack reads only its own cells, so this matches the serial
+    // pack-then-write loop bitwise.
+    let placement_ro: &Placement = placement;
+    let seg_ro: &[Segment] = &segments;
+    let packed = chunked_map(par, segments.len(), |i| {
+        pack_positions(design, placement_ro, &seg_ro[i])
+    });
+    for seg in packed {
+        for (id, p) in seg {
+            placement.set_lower_left(design, id, p);
+        }
+    }
+    stats
+}
+
 /// Convenience: legalize and report displacement against a snapshot taken
 /// before legalization.
 pub fn legalize_with_displacement(design: &Design, placement: &mut Placement) -> LegalizeStats {
     let before = placement.clone();
-    let mut stats = legalize(design, placement);
+    let stats = legalize(design, placement);
+    displacement_stats(design, placement, &before, stats)
+}
+
+/// [`legalize_par`] plus displacement reporting, mirroring
+/// [`legalize_with_displacement`].
+pub fn legalize_with_displacement_par(
+    design: &Design,
+    placement: &mut Placement,
+    par: &Parallelism,
+) -> LegalizeStats {
+    let before = placement.clone();
+    let stats = legalize_par(design, placement, par);
+    displacement_stats(design, placement, &before, stats)
+}
+
+fn displacement_stats(
+    design: &Design,
+    placement: &Placement,
+    before: &Placement,
+    mut stats: LegalizeStats,
+) -> LegalizeStats {
     for id in design.movable_ids() {
         let d = before.center(id).manhattan(placement.center(id));
         stats.total_displacement += d;

@@ -40,6 +40,7 @@ pub mod detail;
 pub mod electrostatics;
 pub mod faultinject;
 pub mod fence;
+pub mod fused;
 pub mod inflation;
 pub mod legalize;
 pub mod macro_handling;

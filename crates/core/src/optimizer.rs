@@ -26,10 +26,11 @@
 use crate::density::{build_fields, DensityField, DensityStats};
 use crate::electrostatics::{build_electro_fields, ElectroField};
 use crate::fence::{fence_grad, fence_project};
+use crate::fused::{fused_wl_den_grad, fused_wl_electro_grad};
 use crate::model::Model;
 use crate::recovery::{Diverged, RecoveryEvent, RecoveryPolicy};
 use crate::trace::{Trace, TraceRecord};
-use crate::wirelength::{all_finite, smooth_wl_grad_par, WirelengthModel, WlScratch};
+use crate::wirelength::{all_finite, WirelengthModel, WlScratch};
 use rdp_db::Region;
 use rdp_geom::parallel::Parallelism;
 use rdp_geom::Rect;
@@ -118,36 +119,35 @@ impl DensityEngine {
         }
     }
 
-    /// Evaluates every field, **adding** the gradients into `gx`/`gy`, and
-    /// returns the stats accumulated in field order (the historical
-    /// reduction order of the bell path).
-    fn eval(
+    /// One fused gradient evaluation: the smooth-wirelength kernel and
+    /// every density field share parallel regions (see [`crate::fused`]),
+    /// so each optimizer iteration pays one dispatch sequence instead of
+    /// one per kernel. Accumulates the wirelength gradient into
+    /// `wl_gx`/`wl_gy` and the density gradient into `den_gx`/`den_gy`
+    /// (callers zero), returning `(smooth_wl, stats)` — bitwise identical
+    /// to [`crate::wirelength::smooth_wl_grad_par`] followed by every
+    /// field's `penalty_grad_par` in ascending field order.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_fused(
         &mut self,
         model: &Model,
-        gx: &mut [f64],
-        gy: &mut [f64],
-        par: Parallelism,
-    ) -> DensityStats {
-        let mut acc = DensityStats::default();
+        which: WirelengthModel,
+        gamma: f64,
+        wl_scratch: &mut WlScratch,
+        wl_gx: &mut [f64],
+        wl_gy: &mut [f64],
+        den_gx: &mut [f64],
+        den_gy: &mut [f64],
+        par: &Parallelism,
+    ) -> (f64, DensityStats) {
         match self {
-            DensityEngine::Bell(fields) => {
-                for f in fields {
-                    let stats = f.penalty_grad_par(model, gx, gy, par);
-                    acc.overflow_area += stats.overflow_area;
-                    acc.penalty += stats.penalty;
-                    acc.max_ratio = acc.max_ratio.max(stats.max_ratio);
-                }
-            }
-            DensityEngine::Electro(fields) => {
-                for f in fields {
-                    let stats = f.penalty_grad_par(model, gx, gy, par);
-                    acc.overflow_area += stats.overflow_area;
-                    acc.penalty += stats.penalty;
-                    acc.max_ratio = acc.max_ratio.max(stats.max_ratio);
-                }
-            }
+            DensityEngine::Bell(fields) => fused_wl_den_grad(
+                model, which, gamma, fields, wl_scratch, wl_gx, wl_gy, den_gx, den_gy, par,
+            ),
+            DensityEngine::Electro(fields) => fused_wl_electro_grad(
+                model, which, gamma, fields, wl_scratch, wl_gx, wl_gy, den_gx, den_gy, par,
+            ),
         }
-        acc
     }
 }
 
@@ -307,16 +307,26 @@ pub fn run_global_place(
     // allocated once and reused by every CG iteration.
     let mut wl_scratch = WlScratch::new();
 
-    let par = opts.parallelism;
-    let mut wl_kernel_time = Duration::ZERO;
-    let mut den_kernel_time = Duration::ZERO;
+    let par = &opts.parallelism;
+    let mut grad_kernel_time = Duration::ZERO;
     let mut grad_evals = 0usize;
 
     // λ₀ balances the two gradient magnitudes (the SimPL/NTUplace warm
     // start): density starts at ~5% of the wirelength force.
     let mut lambda = {
-        smooth_wl_grad_par(model, opts.wirelength, gamma, &mut wl_gx, &mut wl_gy, &mut wl_scratch, par);
-        engine.eval(model, &mut den_gx, &mut den_gy, par);
+        let t0 = Instant::now();
+        engine.eval_fused(
+            model,
+            opts.wirelength,
+            gamma,
+            &mut wl_scratch,
+            &mut wl_gx,
+            &mut wl_gy,
+            &mut den_gx,
+            &mut den_gy,
+            par,
+        );
+        grad_kernel_time += t0.elapsed();
         grad_evals += 1;
         let mut wl_norm = 0.0;
         let mut den_norm = 0.0;
@@ -396,21 +406,21 @@ pub fn run_global_place(
             den_gx.iter_mut().for_each(|g| *g = 0.0);
             den_gy.iter_mut().for_each(|g| *g = 0.0);
             let t0 = Instant::now();
-            last_wl = smooth_wl_grad_par(
+            let (wl, den_stats) = engine.eval_fused(
                 model,
                 opts.wirelength,
                 gamma,
+                &mut wl_scratch,
                 &mut wl_gx,
                 &mut wl_gy,
-                &mut wl_scratch,
+                &mut den_gx,
+                &mut den_gy,
                 par,
             );
-            wl_kernel_time += t0.elapsed();
-            let t1 = Instant::now();
-            let den_stats = engine.eval(model, &mut den_gx, &mut den_gy, par);
+            grad_kernel_time += t0.elapsed();
+            last_wl = wl;
             overflow_area = den_stats.overflow_area;
             last_penalty = den_stats.penalty;
-            den_kernel_time += t1.elapsed();
             grad_evals += 1;
             fence_grad(model, regions, lambda * opts.fence_weight, &mut den_gx, &mut den_gy);
 
@@ -436,8 +446,7 @@ pub fn run_global_place(
                         stage: stage.to_owned(),
                         retries,
                     });
-                    trace.record_stage(format!("{stage}/wl_kernel"), wl_kernel_time);
-                    trace.record_stage(format!("{stage}/density_kernel"), den_kernel_time);
+                    trace.record_stage(format!("{stage}/grad_kernel"), grad_kernel_time);
                     outcome.recoveries = retries;
                     outcome.gradient_evals = grad_evals;
                     return Err(Diverged { stage: stage.to_owned(), outer, retries, best: outcome });
@@ -658,19 +667,18 @@ pub fn run_global_place(
             den_gx.iter_mut().for_each(|g| *g = 0.0);
             den_gy.iter_mut().for_each(|g| *g = 0.0);
             let t0 = Instant::now();
-            let wl = smooth_wl_grad_par(
+            let (wl, den_stats) = engine.eval_fused(
                 model,
                 opts.wirelength,
                 gamma,
+                &mut wl_scratch,
                 &mut wl_gx,
                 &mut wl_gy,
-                &mut wl_scratch,
+                &mut den_gx,
+                &mut den_gy,
                 par,
             );
-            wl_kernel_time += t0.elapsed();
-            let t1 = Instant::now();
-            let den_stats = engine.eval(model, &mut den_gx, &mut den_gy, par);
-            den_kernel_time += t1.elapsed();
+            grad_kernel_time += t0.elapsed();
             grad_evals += 1;
             fence_grad(model, regions, lambda * opts.fence_weight, &mut den_gx, &mut den_gy);
             for i in 0..n {
@@ -723,8 +731,7 @@ pub fn run_global_place(
         outcome.overflow_ratio = last_ratio;
         outcome.gradient_evals = grad_evals;
     }
-    trace.record_stage(format!("{stage}/wl_kernel"), wl_kernel_time);
-    trace.record_stage(format!("{stage}/density_kernel"), den_kernel_time);
+    trace.record_stage(format!("{stage}/grad_kernel"), grad_kernel_time);
     Ok(outcome)
 }
 

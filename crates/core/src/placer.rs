@@ -6,7 +6,7 @@
 use crate::cluster::{build_levels, project_down};
 use crate::detail::{detailed_place, DetailOptions, DetailStats};
 use crate::inflation::{inflate, InflationConfig, InflationStats};
-use crate::legalize::{legalize_with_displacement, LegalizeStats};
+use crate::legalize::{legalize_with_displacement_par, LegalizeStats};
 use crate::macro_handling::optimize_macro_orientations;
 use crate::model::Model;
 use crate::optimizer::{run_global_place, GpOptions, GpOutcome};
@@ -332,7 +332,12 @@ impl<'a> Placer<'a> {
     /// Returns [`PlaceError`] for structurally unplaceable designs.
     pub fn run(self) -> Result<PlaceResult, PlaceError> {
         let design = self.design;
-        let opts = self.options;
+        let mut opts = self.options;
+        // One persistent worker pool serves every parallel region in the
+        // flow (GP kernels, router, congestion estimation, legalization)
+        // instead of spawning fresh scoped threads per kernel call.
+        opts.gp.parallelism.ensure_pool();
+        let opts = opts;
         let t_start = Instant::now();
 
         if design.movable_ids().next().is_none() {
@@ -553,8 +558,8 @@ impl<'a> Placer<'a> {
             // time budget (degradation ladder: true routed congestion →
             // probabilistic estimate).
             let mut use_router = opts.routability_opts.use_router_congestion;
-            let mut router_config = opts.routability_opts.router;
-            router_config.parallelism = opts.gp.parallelism;
+            let mut router_config = opts.routability_opts.router.clone();
+            router_config.parallelism = opts.gp.parallelism.clone();
             let router = GlobalRouter::new(router_config);
             let mut route_outcome: Option<RoutingOutcome> = None;
             let mut route_centers: Vec<rdp_geom::Point> =
@@ -723,7 +728,8 @@ impl<'a> Placer<'a> {
 
         // --- Legalization. ---
         let t = Instant::now();
-        let legalize_stats = legalize_with_displacement(design, &mut placement);
+        let legalize_stats =
+            legalize_with_displacement_par(design, &mut placement, &opts.gp.parallelism);
         trace.record_stage("legalize", t.elapsed());
 
         save_checkpoint(&mut checkpoint, &mut trace, "legalize", design, &placement, true);
@@ -801,7 +807,7 @@ fn refresh_congestion<'a>(
     opts: &PlaceOptions,
 ) -> &'a mut rdp_route::RouteGrid {
     let grid = slot.get_or_insert_with(|| rdp_route::RouteGrid::from_design(design, placement));
-    rdp_route::pattern::estimate_congestion_into(grid, design, placement, opts.gp.parallelism);
+    rdp_route::pattern::estimate_congestion_into(grid, design, placement, &opts.gp.parallelism);
     grid
 }
 

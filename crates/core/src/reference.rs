@@ -220,7 +220,7 @@ pub fn ref_smooth_wl_grad_par(
     which: WirelengthModel,
     gamma: f64,
     grad: &mut [Point],
-    par: Parallelism,
+    par: &Parallelism,
 ) -> f64 {
     assert_eq!(grad.len(), model.len(), "gradient buffer size mismatch");
     let spans: Vec<_> = chunk_spans(model.nets.len(), NET_CHUNK).collect();
@@ -357,7 +357,7 @@ impl RefDensityField {
         &mut self,
         model: &RefModel,
         grad: &mut [Point],
-        par: Parallelism,
+        par: &Parallelism,
     ) -> DensityStats {
         let g = &mut self.grid;
         g.density.iter_mut().for_each(|d| *d = 0.0);

@@ -182,13 +182,21 @@ pub struct WlScratch {
     net_total: Vec<f64>,
 }
 
+/// One net-phase work item: the net span plus its disjoint per-pin gradient
+/// and per-net total output slices (see [`WlScratch::net_parts`]).
+pub(crate) type WlNetPart<'a> = (std::ops::Range<usize>, &'a mut [f64], &'a mut [f64], &'a mut [f64]);
+
+/// One gather-phase work item: the object span plus its disjoint gradient
+/// output slices (see [`WlScratch::obj_parts`]).
+pub(crate) type WlObjPart<'a> = (std::ops::Range<usize>, &'a mut [f64], &'a mut [f64]);
+
 impl WlScratch {
     /// Empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         WlScratch::default()
     }
 
-    fn prepare(&mut self, model: &Model) {
+    pub(crate) fn prepare(&mut self, model: &Model) {
         let key = (model.num_nets(), model.len());
         if self.spans_for != key {
             self.net_spans = chunk_spans(key.0, NET_CHUNK).collect();
@@ -199,16 +207,160 @@ impl WlScratch {
         self.pin_grad_y.resize(model.num_pins(), 0.0);
         self.net_total.resize(model.num_nets(), 0.0);
     }
+
+    /// Net-phase work items: one per fixed 256-net chunk, each owning the
+    /// contiguous pin range its nets cover. Call after [`WlScratch::prepare`].
+    pub(crate) fn net_parts(&mut self, model: &Model) -> Vec<WlNetPart<'_>> {
+        let pin_spans: Vec<std::ops::Range<usize>> = self
+            .net_spans
+            .iter()
+            .map(|s| model.net_pin_start[s.start] as usize..model.net_pin_start[s.end] as usize)
+            .collect();
+        let gx_parts = split_at_spans(&mut self.pin_grad_x, &pin_spans);
+        let gy_parts = split_at_spans(&mut self.pin_grad_y, &pin_spans);
+        let total_parts = split_at_spans(&mut self.net_total, &self.net_spans);
+        self.net_spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .zip(total_parts)
+            .map(|(((span, gx), gy), nt)| (span, gx, gy, nt))
+            .collect()
+    }
+
+    /// Gather-phase work items over the caller's gradient buffers.
+    pub(crate) fn obj_parts<'a>(
+        &self,
+        grad_x: &'a mut [f64],
+        grad_y: &'a mut [f64],
+    ) -> Vec<WlObjPart<'a>> {
+        let gx_parts = split_at_spans(grad_x, &self.obj_spans);
+        let gy_parts = split_at_spans(grad_y, &self.obj_spans);
+        self.obj_spans
+            .iter()
+            .cloned()
+            .zip(gx_parts)
+            .zip(gy_parts)
+            .map(|((span, gx), gy)| (span, gx, gy))
+            .collect()
+    }
+
+    /// The per-pin gradients written by the net phase (gather-phase input).
+    pub(crate) fn pin_grads(&self) -> (&[f64], &[f64]) {
+        (&self.pin_grad_x, &self.pin_grad_y)
+    }
+
+    /// The per-net totals written by the net phase.
+    pub(crate) fn net_totals(&self) -> &[f64] {
+        &self.net_total
+    }
 }
 
 /// Per-worker scratch of the net phase: coordinate and exponential
 /// staging for one net at a time.
 #[derive(Default)]
-struct AxisScratch {
+pub(crate) struct AxisScratch {
     xs: Vec<f64>,
     ys: Vec<f64>,
     ep: Vec<f64>,
     em: Vec<f64>,
+}
+
+/// Net-phase body: evaluates one chunk of nets, writing weight-scaled
+/// per-pin gradients and per-net totals into the part's disjoint slices.
+/// Shared verbatim by [`smooth_wl_grad_par`] and the fused gradient pass
+/// ([`crate::fused`]) so both produce bitwise identical values.
+pub(crate) fn wl_net_phase(
+    model: &Model,
+    which: WirelengthModel,
+    gamma: f64,
+    ax: &mut AxisScratch,
+    part: &mut WlNetPart<'_>,
+) {
+    let (span, gx_out, gy_out, nt_out) = part;
+    let pin_base = model.net_pin_start[span.start] as usize;
+    for ni in span.clone() {
+        let pins = model.net_pins(ni);
+        let local = pins.start - pin_base..pins.end - pin_base;
+        if pins.len() < 2 {
+            nt_out[ni - span.start] = 0.0;
+            for k in local {
+                gx_out[k] = 0.0;
+                gy_out[k] = 0.0;
+            }
+            continue;
+        }
+        ax.xs.clear();
+        ax.ys.clear();
+        let objs = &model.pin_obj[pins.clone()];
+        let offx = &model.pin_off_x[pins.clone()];
+        let offy = &model.pin_off_y[pins.clone()];
+        for ((&o, &ox), &oy) in objs.iter().zip(offx).zip(offy) {
+            if o == FIXED_PIN {
+                ax.xs.push(ox);
+                ax.ys.push(oy);
+            } else {
+                ax.xs.push(model.pos_x[o as usize] + ox);
+                ax.ys.push(model.pos_y[o as usize] + oy);
+            }
+        }
+        let weight = model.net_weight[ni];
+        let gx = &mut gx_out[local.clone()];
+        let gy = &mut gy_out[local];
+        let (wx, wy) = match which {
+            WirelengthModel::Lse => (
+                lse_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
+                lse_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
+            ),
+            WirelengthModel::Wa => (
+                wa_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
+                wa_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
+            ),
+        };
+        nt_out[ni - span.start] = weight * (wx + wy);
+        // Weight-scale the pin gradients in place, in pin order —
+        // the same multiplications the historical kernel did when
+        // building its contribution list.
+        for (g, h) in gx.iter_mut().zip(gy.iter_mut()) {
+            *g *= weight;
+            *h *= weight;
+        }
+    }
+}
+
+/// Gather-phase body: accumulates one chunk of objects' gradients from the
+/// per-pin gradients by walking the ascending-pin transpose. Shared by
+/// [`smooth_wl_grad_par`] and the fused pass.
+pub(crate) fn wl_obj_phase(
+    model: &Model,
+    pin_grad_x: &[f64],
+    pin_grad_y: &[f64],
+    part: &mut WlObjPart<'_>,
+) {
+    let (span, gx_out, gy_out) = part;
+    for (j, o) in span.clone().enumerate() {
+        let mut ax = gx_out[j];
+        let mut ay = gy_out[j];
+        for &k in model.obj_pins(o) {
+            ax += pin_grad_x[k as usize];
+            ay += pin_grad_y[k as usize];
+        }
+        gx_out[j] = ax;
+        gy_out[j] = ay;
+    }
+}
+
+/// Ordered total: nets in index order, skipping degenerate nets — the
+/// exact sequence of additions the historical merge performed.
+pub(crate) fn wl_ordered_total(model: &Model, net_total: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for (ni, t) in net_total.iter().enumerate().take(model.num_nets()) {
+        if model.net_degree(ni) >= 2 {
+            total += t;
+        }
+    }
+    total
 }
 
 /// Evaluates the smooth wirelength of `model` and **accumulates** its
@@ -235,7 +387,7 @@ pub fn smooth_wl_grad_par(
     grad_x: &mut [f64],
     grad_y: &mut [f64],
     scratch: &mut WlScratch,
-    par: Parallelism,
+    par: &Parallelism,
 ) -> f64 {
     assert_eq!(grad_x.len(), model.len(), "gradient buffer size mismatch");
     assert_eq!(grad_y.len(), model.len(), "gradient buffer size mismatch");
@@ -245,114 +397,23 @@ pub fn smooth_wl_grad_par(
     // Phase 1: per-net evaluation into disjoint chunk slices. A chunk of
     // nets owns the contiguous pin range its nets cover.
     {
-        let pin_spans: Vec<std::ops::Range<usize>> = scratch
-            .net_spans
-            .iter()
-            .map(|s| model.net_pin_start[s.start] as usize..model.net_pin_start[s.end] as usize)
-            .collect();
-        let gx_parts = split_at_spans(&mut scratch.pin_grad_x, &pin_spans);
-        let gy_parts = split_at_spans(&mut scratch.pin_grad_y, &pin_spans);
-        let total_parts = split_at_spans(&mut scratch.net_total, &scratch.net_spans);
-        let parts: Vec<_> = scratch
-            .net_spans
-            .iter()
-            .cloned()
-            .zip(gx_parts)
-            .zip(gy_parts)
-            .zip(total_parts)
-            .map(|(((span, gx), gy), nt)| (span, gx, gy, nt))
-            .collect();
+        let parts = scratch.net_parts(model);
         chunked_map_parts_with(par, parts, AxisScratch::default, |ax, _ci, part| {
-            let (span, gx_out, gy_out, nt_out) = part;
-            let pin_base = model.net_pin_start[span.start] as usize;
-            for ni in span.clone() {
-                let pins = model.net_pins(ni);
-                let local = pins.start - pin_base..pins.end - pin_base;
-                if pins.len() < 2 {
-                    nt_out[ni - span.start] = 0.0;
-                    for k in local {
-                        gx_out[k] = 0.0;
-                        gy_out[k] = 0.0;
-                    }
-                    continue;
-                }
-                ax.xs.clear();
-                ax.ys.clear();
-                let objs = &model.pin_obj[pins.clone()];
-                let offx = &model.pin_off_x[pins.clone()];
-                let offy = &model.pin_off_y[pins.clone()];
-                for ((&o, &ox), &oy) in objs.iter().zip(offx).zip(offy) {
-                    if o == FIXED_PIN {
-                        ax.xs.push(ox);
-                        ax.ys.push(oy);
-                    } else {
-                        ax.xs.push(model.pos_x[o as usize] + ox);
-                        ax.ys.push(model.pos_y[o as usize] + oy);
-                    }
-                }
-                let weight = model.net_weight[ni];
-                let gx = &mut gx_out[local.clone()];
-                let gy = &mut gy_out[local];
-                let (wx, wy) = match which {
-                    WirelengthModel::Lse => (
-                        lse_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
-                        lse_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
-                    ),
-                    WirelengthModel::Wa => (
-                        wa_axis(&ax.xs, gamma, gx, &mut ax.ep, &mut ax.em),
-                        wa_axis(&ax.ys, gamma, gy, &mut ax.ep, &mut ax.em),
-                    ),
-                };
-                nt_out[ni - span.start] = weight * (wx + wy);
-                // Weight-scale the pin gradients in place, in pin order —
-                // the same multiplications the historical kernel did when
-                // building its contribution list.
-                for (g, h) in gx.iter_mut().zip(gy.iter_mut()) {
-                    *g *= weight;
-                    *h *= weight;
-                }
-            }
+            wl_net_phase(model, which, gamma, ax, part)
         });
     }
 
-    // Ordered total: nets in index order, skipping degenerate nets — the
-    // exact sequence of additions the historical merge performed.
-    let mut total = 0.0;
-    for ni in 0..model.num_nets() {
-        if model.net_degree(ni) >= 2 {
-            total += scratch.net_total[ni];
-        }
-    }
+    let total = wl_ordered_total(model, scratch.net_totals());
 
     // Phase 2: per-object gather over the ascending-pin transpose. Each
     // object's additions happen in ascending pin index order — identical
     // to the historical net-then-pin scatter order restricted to that
     // object — and chunks write disjoint gradient ranges.
     {
-        let pin_grad_x: &[f64] = &scratch.pin_grad_x;
-        let pin_grad_y: &[f64] = &scratch.pin_grad_y;
-        let gx_parts = split_at_spans(grad_x, &scratch.obj_spans);
-        let gy_parts = split_at_spans(grad_y, &scratch.obj_spans);
-        let parts: Vec<_> = scratch
-            .obj_spans
-            .iter()
-            .cloned()
-            .zip(gx_parts)
-            .zip(gy_parts)
-            .map(|((span, gx), gy)| (span, gx, gy))
-            .collect();
+        let (pin_grad_x, pin_grad_y) = scratch.pin_grads();
+        let parts = scratch.obj_parts(grad_x, grad_y);
         chunked_map_parts_with(par, parts, || (), |(), _ci, part| {
-            let (span, gx_out, gy_out) = part;
-            for (j, o) in span.clone().enumerate() {
-                let mut ax = gx_out[j];
-                let mut ay = gy_out[j];
-                for &k in model.obj_pins(o) {
-                    ax += pin_grad_x[k as usize];
-                    ay += pin_grad_y[k as usize];
-                }
-                gx_out[j] = ax;
-                gy_out[j] = ay;
-            }
+            wl_obj_phase(model, pin_grad_x, pin_grad_y, part)
         });
     }
     total
@@ -368,7 +429,7 @@ pub fn smooth_wl_grad(
     grad_y: &mut [f64],
 ) -> f64 {
     let mut scratch = WlScratch::new();
-    smooth_wl_grad_par(model, which, gamma, grad_x, grad_y, &mut scratch, Parallelism::single())
+    smooth_wl_grad_par(model, which, gamma, grad_x, grad_y, &mut scratch, &Parallelism::single())
 }
 
 /// Evaluates the smooth wirelength only (no gradient) — used by the
@@ -586,14 +647,14 @@ mod tests {
             let mut base_gy = vec![0.0; n];
             let base = smooth_wl_grad_par(
                 &model, which, 2.0, &mut base_gx, &mut base_gy, &mut scratch,
-                Parallelism::single(),
+                &Parallelism::single(),
             );
             for threads in [2, 8] {
                 let mut gx = vec![0.0; n];
                 let mut gy = vec![0.0; n];
                 let wl = smooth_wl_grad_par(
                     &model, which, 2.0, &mut gx, &mut gy, &mut scratch,
-                    Parallelism::new(threads),
+                    &Parallelism::new(threads),
                 );
                 assert_eq!(wl.to_bits(), base.to_bits(), "{which:?} threads={threads}");
                 for i in 0..n {

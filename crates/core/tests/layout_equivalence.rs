@@ -67,11 +67,11 @@ fn wirelength_gradients_are_bitwise_identical_to_reference_layout() {
                 let mut gx = vec![0.0; model.len()];
                 let mut gy = vec![0.0; model.len()];
                 let total =
-                    smooth_wl_grad_par(model, which, 12.0, &mut gx, &mut gy, &mut scratch, par);
+                    smooth_wl_grad_par(model, which, 12.0, &mut gx, &mut gy, &mut scratch, &par);
 
                 let mut ref_grad = vec![Point::ORIGIN; model.len()];
                 let ref_total =
-                    ref_smooth_wl_grad_par(&reference, which, 12.0, &mut ref_grad, par);
+                    ref_smooth_wl_grad_par(&reference, which, 12.0, &mut ref_grad, &par);
 
                 let label = format!("case {ci}, {which:?}, {threads} threads");
                 assert_eq!(total.to_bits(), ref_total.to_bits(), "total differs: {label}");
@@ -98,11 +98,11 @@ fn density_penalty_and_gradients_are_bitwise_identical_to_reference_layout() {
                 let par = Parallelism::new(threads);
                 let mut gx = vec![0.0; model.len()];
                 let mut gy = vec![0.0; model.len()];
-                let stats = field.penalty_grad_par(model, &mut gx, &mut gy, par);
+                let stats = field.penalty_grad_par(model, &mut gx, &mut gy, &par);
 
                 let ref_model = RefModel::from_model(model);
                 let mut ref_grad = vec![Point::ORIGIN; model.len()];
-                let ref_stats = reference.penalty_grad_par(&ref_model, &mut ref_grad, par);
+                let ref_stats = reference.penalty_grad_par(&ref_model, &mut ref_grad, &par);
 
                 let label = format!("case {ci}, field {fi}, {threads} threads");
                 assert_eq!(

@@ -87,13 +87,13 @@ impl<'a> EvalSession<'a> {
 
     /// The scoring-router configuration every method routes with.
     pub fn router_config(&self) -> RouterConfig {
-        self.router_config
+        self.router_config.clone()
     }
 
     /// Routes `placement` with the session's router configuration and
     /// returns the full outcome (grid, segments, per-layer metrics).
     pub fn route(&self, placement: &Placement) -> RoutingOutcome {
-        GlobalRouter::new(self.router_config).route(self.design, placement)
+        GlobalRouter::new(self.router_config.clone()).route(self.design, placement)
     }
 
     /// Routes `placement` and returns only the congestion metrics.

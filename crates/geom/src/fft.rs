@@ -203,7 +203,7 @@ impl Fft2 {
     /// # Panics
     ///
     /// Panics if the buffers are not exactly `nx·ny` long.
-    pub fn forward(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism) {
+    pub fn forward(&mut self, re: &mut [f64], im: &mut [f64], par: &Parallelism) {
         self.pass(re, im, par, false);
     }
 
@@ -212,11 +212,11 @@ impl Fft2 {
     /// # Panics
     ///
     /// Panics if the buffers are not exactly `nx·ny` long.
-    pub fn inverse(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism) {
+    pub fn inverse(&mut self, re: &mut [f64], im: &mut [f64], par: &Parallelism) {
         self.pass(re, im, par, true);
     }
 
-    fn pass(&mut self, re: &mut [f64], im: &mut [f64], par: Parallelism, invert: bool) {
+    fn pass(&mut self, re: &mut [f64], im: &mut [f64], par: &Parallelism, invert: bool) {
         let (nx, ny) = (self.nx, self.ny);
         assert_eq!(re.len(), nx * ny, "re length mismatch");
         assert_eq!(im.len(), nx * ny, "im length mismatch");
@@ -240,7 +240,7 @@ fn rows_pass(
     im: &mut [f64],
     nx: usize,
     ny: usize,
-    par: Parallelism,
+    par: &Parallelism,
     invert: bool,
 ) {
     let spans: Vec<_> = chunk_spans(ny, ROW_CHUNK)
@@ -421,11 +421,11 @@ mod tests {
         let mut plan = Fft2::new(nx, ny);
         let (re0, im0) = signal(nx * ny, 21);
         let (mut re, mut im) = (re0.clone(), im0.clone());
-        plan.forward(&mut re, &mut im, Parallelism::single());
+        plan.forward(&mut re, &mut im, &Parallelism::single());
         // DC bin is the full sum.
         let sum: f64 = re0.iter().sum();
         assert!((re[0] - sum).abs() < 1e-9 * (nx * ny) as f64);
-        plan.inverse(&mut re, &mut im, Parallelism::single());
+        plan.inverse(&mut re, &mut im, &Parallelism::single());
         assert_close(&re, &re0, 1e-11, "fft2 roundtrip re");
         assert_close(&im, &im0, 1e-11, "fft2 roundtrip im");
     }
@@ -436,7 +436,7 @@ mod tests {
         let (re0, im0) = signal(nx * ny, 33);
         let mut plan = Fft2::new(nx, ny);
         let (mut re, mut im) = (re0.clone(), im0.clone());
-        plan.forward(&mut re, &mut im, Parallelism::single());
+        plan.forward(&mut re, &mut im, &Parallelism::single());
         // Oracle: DFT rows, then DFT columns.
         let (mut ore, mut oim) = (re0, im0);
         for y in 0..ny {
@@ -464,8 +464,8 @@ mod tests {
         let run = |threads: usize| {
             let mut plan = Fft2::new(nx, ny);
             let (mut re, mut im) = (re0.clone(), im0.clone());
-            plan.forward(&mut re, &mut im, Parallelism::new(threads));
-            plan.inverse(&mut re, &mut im, Parallelism::new(threads));
+            plan.forward(&mut re, &mut im, &Parallelism::new(threads));
+            plan.inverse(&mut re, &mut im, &Parallelism::new(threads));
             (re, im)
         };
         let (bre, bim) = run(1);

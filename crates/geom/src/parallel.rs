@@ -1,10 +1,10 @@
-//! Deterministic data-parallel execution on `std::thread::scope`.
+//! Deterministic data-parallel execution on a persistent worker pool.
 //!
 //! The placement inner loops (smooth-wirelength gradients, density
 //! rasterization, congestion estimation) are embarrassingly net- or
 //! tile-parallel, but analytical placement demands **bitwise reproducible**
 //! results: the optimizer trajectory must not depend on how many workers the
-//! machine happens to have. This module provides the one primitive all three
+//! machine happens to have. This module provides the one primitive all the
 //! kernels share:
 //!
 //! 1. the work is split into **fixed-size chunks whose boundaries depend
@@ -17,8 +17,28 @@
 //! With that discipline, `threads = 1` and `threads = N` produce bitwise
 //! identical output; the thread count only changes wall-clock time.
 //!
-//! No external crates: workers are plain scoped threads, so the primitive
-//! works in the zero-network build environment this workspace targets.
+//! # Execution backends
+//!
+//! A [`Parallelism`] may carry a persistent [`WorkerPool`] handle
+//! (see [`Parallelism::ensure_pool`]). With a pool attached, dispatches park
+//! no threads and spawn none: resident workers sit on a condvar and are woken
+//! per job, which removes the per-call `std::thread::scope` spawn/join cost
+//! that dominated short gradient kernels (a global-placement run performs
+//! ~10³ gradient evaluations, each several dispatches). Without a pool the
+//! primitives fall back to scoped spawning, bitwise identically — the
+//! backend only changes *who* executes a chunk, never chunk geometry or
+//! merge order.
+//!
+//! The dispatching thread always participates in the claim loop itself, so
+//! a dispatch can never deadlock on a busy or smaller-than-requested pool;
+//! a nested dispatch (a chunk function invoking the pool again) degrades to
+//! inline execution on the caller. Worker panics are caught in the worker
+//! (which survives and returns to its parked state) and re-raised on the
+//! dispatching thread as `"parallel worker panicked"`.
+//!
+//! No external crates: workers are plain `std::thread` instances, so the
+//! primitive works in the zero-network build environment this workspace
+//! targets.
 //!
 //! # Examples
 //!
@@ -27,7 +47,7 @@
 //!
 //! let data: Vec<f64> = (0..1000).map(f64::from).collect();
 //! let spans: Vec<_> = chunk_spans(data.len(), 128).collect();
-//! let partials = chunked_map(Parallelism::auto(), spans.len(), |ci| {
+//! let partials = chunked_map(&Parallelism::auto(), spans.len(), |ci| {
 //!     data[spans[ci].clone()].iter().sum::<f64>()
 //! });
 //! // Ordered fold: same result at any thread count.
@@ -35,42 +55,278 @@
 //! assert_eq!(total, 499_500.0);
 //! ```
 
+use std::fmt;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
-/// Worker-count configuration, plumbed through `PlaceOptions` and
-/// `RouterConfig`.
+/// A type-erased pointer to the job closure of the in-flight dispatch.
+///
+/// The pointee lives on the dispatching thread's stack; validity is
+/// guaranteed by the dispatch protocol — [`WorkerPool::run`] does not
+/// return (not even by unwinding) until every worker that claimed the job
+/// has finished with it.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (calling it from several threads is safe)
+// and the dispatch protocol keeps it alive while any worker can reach it.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Incremented per dispatch; workers use it to recognize new jobs.
+    epoch: u64,
+    /// The in-flight job, if any.
+    job: Option<Job>,
+    /// Worker participation slots remaining for the current job.
+    slots: usize,
+    /// Workers currently executing the current job.
+    running: usize,
+    /// Worker panics observed while executing the current job.
+    panics: usize,
+    /// Dispatch in flight (nested dispatches degrade to inline execution).
+    busy: bool,
+    /// Set once by `Drop`; workers exit when they observe it.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers park here waiting for a new epoch (or shutdown).
+    job_cv: Condvar,
+    /// The dispatcher parks here waiting for `running == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of parked worker threads for deterministic chunked
+/// dispatch.
+///
+/// Workers are spawned once and live until the pool is dropped; between
+/// jobs they block on a condvar, so an idle pool costs nothing but memory.
+/// One pool serves a whole placement flow (it is carried inside
+/// [`Parallelism`] and shared by clone), replacing the per-kernel-call
+/// `std::thread::scope` spawn/join of the previous implementation.
+///
+/// Determinism: the pool only changes *which thread* runs a chunk. Chunk
+/// geometry, the atomic claim order independence, and the chunk-index-order
+/// merge are identical to the scoped-spawn backend, so results are bitwise
+/// identical with and without a pool, at every pool size.
+///
+/// Panic recovery: a panicking job chunk is caught inside the worker, which
+/// returns to its parked state — the pool remains fully usable. The panic
+/// is re-raised on the dispatching thread.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    size: usize,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.size).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `size` resident workers (0 is allowed: every
+    /// dispatch then runs entirely on the calling thread).
+    pub fn new(size: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                slots: 0,
+                running: 0,
+                panics: 0,
+                busy: false,
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..size)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker(&shared))
+            })
+            .collect();
+        WorkerPool { shared, handles, size }
+    }
+
+    /// Number of resident workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn worker(shared: &PoolShared) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut st = shared.state.lock().expect("worker pool poisoned");
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.epoch != seen {
+                        // A new job was published since we last looked.
+                        seen = st.epoch;
+                        if st.job.is_some() && st.slots > 0 {
+                            st.slots -= 1;
+                            st.running += 1;
+                            break st.job.expect("job vanished under lock");
+                        }
+                        // No slot for us in this epoch: wait for the next.
+                    }
+                    st = shared.job_cv.wait(st).expect("worker pool poisoned");
+                }
+            };
+            // Run outside the lock. Catch panics so the worker survives and
+            // the pool stays usable; the dispatcher re-raises.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)() }));
+            let mut st = shared.state.lock().expect("worker pool poisoned");
+            if result.is_err() {
+                st.panics += 1;
+            }
+            st.running -= 1;
+            if st.running == 0 {
+                shared.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Runs `job` on the calling thread plus up to `extra` pooled workers,
+    /// returning once **every** participant has returned from it. `job` is
+    /// expected to contain its own chunk-claim loop (see [`chunked_map`]),
+    /// so any subset of participants completes all work.
+    ///
+    /// A nested call (issued from inside a running job) executes `job`
+    /// inline on the caller only — correct because of the claim-loop
+    /// contract, and free of deadlock by construction.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a caller-side panic after all workers finished; raises
+    /// `"parallel worker panicked"` when only workers panicked.
+    pub fn run(&self, extra: usize, job: &(dyn Fn() + Sync)) {
+        if extra == 0 || self.size == 0 {
+            job();
+            return;
+        }
+        // Lifetime erasure: `job` only needs to outlive this call, and the
+        // protocol below guarantees no worker touches it after we return.
+        let erased = Job(unsafe {
+            std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                job as *const _,
+            )
+        });
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            if st.busy {
+                // Nested dispatch from inside a running job: degrade to
+                // inline execution (the claim loop makes this correct).
+                drop(st);
+                job();
+                return;
+            }
+            st.busy = true;
+            st.epoch += 1;
+            st.job = Some(erased);
+            st.slots = extra.min(self.size);
+            st.panics = 0;
+            self.shared.job_cv.notify_all();
+        }
+        // The caller is always a participant: even if every worker is slow
+        // to wake, the claim loop completes on this thread.
+        let caller = catch_unwind(AssertUnwindSafe(job));
+        // Close the job and wait for stragglers *before* unwinding: workers
+        // hold a raw pointer into this stack frame.
+        let worker_panics = {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.job = None;
+            st.slots = 0;
+            while st.running > 0 {
+                st = self.shared.done_cv.wait(st).expect("worker pool poisoned");
+            }
+            st.busy = false;
+            st.panics
+        };
+        match caller {
+            Err(payload) => resume_unwind(payload),
+            Ok(()) if worker_panics > 0 => panic!("parallel worker panicked"),
+            Ok(()) => {}
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("worker pool poisoned");
+            st.shutdown = true;
+            self.shared.job_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Worker-count configuration (plus an optional persistent pool handle),
+/// plumbed through `PlaceOptions` and `RouterConfig`.
 ///
 /// The stored count is a *request*: `0` means "one worker per available
 /// CPU" resolved at execution time via
 /// [`std::thread::available_parallelism`]. Results never depend on the
 /// resolved count (see the module docs), so `auto` is safe as a default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Cloning is cheap (an `Arc` bump when a pool is attached) and shares the
+/// pool: the placer attaches one pool up front and every kernel dispatch in
+/// the flow reuses it. Equality compares only the configured thread count —
+/// two `Parallelism` values with the same count are interchangeable by the
+/// determinism contract, pool or not.
+#[derive(Debug, Clone, Default)]
 pub struct Parallelism {
     threads: usize,
+    pool: Option<Arc<WorkerPool>>,
 }
+
+impl PartialEq for Parallelism {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for Parallelism {}
 
 impl Parallelism {
     /// Exactly `threads` workers; `0` is the same as [`Parallelism::auto`].
     pub fn new(threads: usize) -> Self {
-        Parallelism { threads }
+        Parallelism { threads, pool: None }
     }
 
     /// Single-threaded: chunks run inline on the calling thread.
     pub fn single() -> Self {
-        Parallelism { threads: 1 }
+        Parallelism { threads: 1, pool: None }
     }
 
     /// One worker per available CPU (resolved when work is executed).
     pub fn auto() -> Self {
-        Parallelism { threads: 0 }
+        Parallelism { threads: 0, pool: None }
+    }
+
+    /// [`Parallelism::new`] with a persistent pool already attached (see
+    /// [`Parallelism::ensure_pool`]).
+    pub fn with_pool(threads: usize) -> Self {
+        let mut par = Parallelism::new(threads);
+        par.ensure_pool();
+        par
     }
 
     /// The effective worker count: the configured value, or the machine's
     /// available parallelism when configured as `auto` (falling back to 1
     /// if the OS cannot report it).
-    pub fn effective_threads(self) -> usize {
+    pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             self.threads
         } else {
@@ -81,14 +337,26 @@ impl Parallelism {
     }
 
     /// The raw configured value (`0` = auto).
-    pub fn configured_threads(self) -> usize {
+    pub fn configured_threads(&self) -> usize {
         self.threads
     }
-}
 
-impl Default for Parallelism {
-    fn default() -> Self {
-        Parallelism::auto()
+    /// Attaches a persistent [`WorkerPool`] sized `effective_threads() - 1`
+    /// (the dispatching thread is the remaining participant). No-op when a
+    /// pool is already attached or when one effective thread makes a pool
+    /// pointless. Clones made afterwards share the pool.
+    pub fn ensure_pool(&mut self) {
+        if self.pool.is_none() {
+            let n = self.effective_threads();
+            if n > 1 {
+                self.pool = Some(Arc::new(WorkerPool::new(n - 1)));
+            }
+        }
+    }
+
+    /// The attached pool, if any.
+    pub fn pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 }
 
@@ -103,20 +371,41 @@ pub fn chunk_spans(len: usize, chunk: usize) -> impl ExactSizeIterator<Item = Ra
     (0..n).map(move |i| i * chunk..((i + 1) * chunk).min(len))
 }
 
+/// Executes `job` on `workers` participants total (the caller plus pooled
+/// or scoped helpers). `job` must contain its own claim loop; every
+/// participant simply calls it once.
+fn execute(par: &Parallelism, workers: usize, job: &(dyn Fn() + Sync)) {
+    debug_assert!(workers >= 2);
+    match &par.pool {
+        Some(pool) => pool.run(workers - 1, job),
+        None => {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (1..workers).map(|_| scope.spawn(job)).collect();
+                job();
+                for h in handles {
+                    h.join().expect("parallel worker panicked");
+                }
+            });
+        }
+    }
+}
+
 /// Runs `f(chunk_index)` for every chunk in `0..num_chunks` and returns the
 /// results **in chunk-index order**, regardless of which worker computed
 /// which chunk.
 ///
 /// With one effective thread (or one chunk) everything runs inline on the
-/// calling thread; otherwise workers claim chunk indices from a shared
-/// atomic counter. `f` must be pure with respect to chunk index for the
-/// determinism guarantee to hold (it always is for the placement kernels:
-/// each chunk only reads immutable snapshots).
+/// calling thread; otherwise participants claim chunk indices from a shared
+/// atomic counter — resident pool workers when `par` carries a pool, fresh
+/// scoped threads otherwise. `f` must be pure with respect to chunk index
+/// for the determinism guarantee to hold (it always is for the placement
+/// kernels: each chunk only reads immutable snapshots).
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
-pub fn chunked_map<R, F>(par: Parallelism, num_chunks: usize, f: F) -> Vec<R>
+/// Propagates a panic from `f` (all participants are joined first; an
+/// attached pool survives and stays usable).
+pub fn chunked_map<R, F>(par: &Parallelism, num_chunks: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
@@ -124,9 +413,9 @@ where
     chunked_map_with(par, num_chunks, || (), |(), i| f(i))
 }
 
-/// [`chunked_map`] with **per-worker scratch state**: every worker calls
-/// `init()` once and threads the resulting value mutably through all the
-/// chunks it processes. The maze router uses this to reuse one search
+/// [`chunked_map`] with **per-worker scratch state**: every participant
+/// calls `init()` once and threads the resulting value mutably through all
+/// the chunks it processes. The maze router uses this to reuse one search
 /// scratch (cost arrays, heap) across all the segments a worker routes,
 /// instead of allocating per segment.
 ///
@@ -136,9 +425,9 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from `init` or `f` (the scope joins all workers
-/// first).
-pub fn chunked_map_with<S, R, I, F>(par: Parallelism, num_chunks: usize, init: I, f: F) -> Vec<R>
+/// Propagates a panic from `init` or `f` (all participants are joined
+/// first; an attached pool survives and stays usable).
+pub fn chunked_map_with<S, R, I, F>(par: &Parallelism, num_chunks: usize, init: I, f: F) -> Vec<R>
 where
     R: Send,
     I: Fn() -> S + Sync,
@@ -154,28 +443,23 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_chunks {
-                            break;
-                        }
-                        local.push((i, f(&mut state, i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    });
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    let job = || {
+        let mut state = init();
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_chunks {
+                break;
+            }
+            local.push((i, f(&mut state, i)));
+        }
+        if !local.is_empty() {
+            sink.lock().expect("result sink poisoned").extend(local);
+        }
+    };
+    execute(par, workers, &job);
+    let mut tagged = sink.into_inner().expect("result sink poisoned");
     // Restore the canonical order: whoever computed a chunk, its result
     // lands at its chunk index.
     tagged.sort_unstable_by_key(|&(i, _)| i);
@@ -222,14 +506,16 @@ pub fn split_at_spans<'a, T>(mut data: &'a mut [T], spans: &[Range<usize>]) -> V
 /// buffer — disjointly, hence without locks on the hot path.
 ///
 /// The scheduling mirrors [`chunked_map`]: chunk boundaries are fixed by
-/// the caller, workers claim indices from an atomic counter, and results
-/// come back in canonical order. Since each worker writes only through its
-/// own part, output contents are bitwise independent of the thread count.
+/// the caller, participants claim indices from an atomic counter, and
+/// results come back in canonical order. Since each worker writes only
+/// through its own part, output contents are bitwise independent of the
+/// thread count.
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` (the scope joins all workers first).
-pub fn chunked_map_parts<P, R, F>(par: Parallelism, parts: Vec<P>, f: F) -> Vec<R>
+/// Propagates a panic from `f` (all participants are joined first; an
+/// attached pool survives and stays usable).
+pub fn chunked_map_parts<P, R, F>(par: &Parallelism, parts: Vec<P>, f: F) -> Vec<R>
 where
     P: Send,
     R: Send,
@@ -244,10 +530,10 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from `init` or `f` (the scope joins all workers
-/// first).
+/// Propagates a panic from `init` or `f` (all participants are joined
+/// first; an attached pool survives and stays usable).
 pub fn chunked_map_parts_with<P, S, R, I, F>(
-    par: Parallelism,
+    par: &Parallelism,
     parts: Vec<P>,
     init: I,
     f: F,
@@ -278,35 +564,126 @@ where
     // thread boundary safely.
     let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let next = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= num_chunks {
-                            break;
-                        }
-                        let mut part = slots[i]
-                            .lock()
-                            .expect("part slot poisoned")
-                            .take()
-                            .expect("part claimed twice");
-                        local.push((i, f(&mut state, i, &mut part)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
-    });
+    let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    let job = || {
+        let mut state = init();
+        let mut local = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_chunks {
+                break;
+            }
+            let mut part = slots[i]
+                .lock()
+                .expect("part slot poisoned")
+                .take()
+                .expect("part claimed twice");
+            local.push((i, f(&mut state, i, &mut part)));
+        }
+        if !local.is_empty() {
+            sink.lock().expect("result sink poisoned").extend(local);
+        }
+    };
+    execute(par, workers, &job);
+    let mut tagged = sink.into_inner().expect("result sink poisoned");
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs **two independent part families in one parallel region**: every
+/// participant claims indices `0..a.len() + b.len()` from a single atomic
+/// counter; indices below `a.len()` run `fa` on the corresponding A part,
+/// the rest run `fb` on a B part. This is the fused-dispatch primitive the
+/// gradient kernels use to execute the wirelength phase and a density pass
+/// under one pool wake-up/join instead of two.
+///
+/// Requirements (the same as [`chunked_map_parts_with`], per family):
+/// the families must be *independent* — no part of one family may read
+/// state another part (of either family) writes during the dispatch — and
+/// each family's chunk geometry must be thread-count-free. Because each
+/// part is still processed exactly once, writing only through its own
+/// disjoint slices, the fused execution is bitwise identical to dispatching
+/// the two families separately, at every thread count.
+///
+/// Per-worker scratch is created lazily per family: a participant that only
+/// ever claims A parts never runs `init_b`, and vice versa.
+///
+/// # Panics
+///
+/// Propagates a panic from either family's `init` or body (all participants
+/// are joined first; an attached pool survives and stays usable).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_chunked_parts<PA, SA, IA, FA, PB, SB, IB, FB>(
+    par: &Parallelism,
+    parts_a: Vec<PA>,
+    init_a: IA,
+    fa: FA,
+    parts_b: Vec<PB>,
+    init_b: IB,
+    fb: FB,
+) where
+    PA: Send,
+    PB: Send,
+    IA: Fn() -> SA + Sync,
+    IB: Fn() -> SB + Sync,
+    FA: Fn(&mut SA, usize, &mut PA) + Sync,
+    FB: Fn(&mut SB, usize, &mut PB) + Sync,
+{
+    let na = parts_a.len();
+    let nb = parts_b.len();
+    let total = na + nb;
+    if total == 0 {
+        return;
+    }
+    let workers = par.effective_threads().min(total);
+    if workers <= 1 {
+        if na > 0 {
+            let mut sa = init_a();
+            for (i, mut p) in parts_a.into_iter().enumerate() {
+                fa(&mut sa, i, &mut p);
+            }
+        }
+        if nb > 0 {
+            let mut sb = init_b();
+            for (i, mut p) in parts_b.into_iter().enumerate() {
+                fb(&mut sb, i, &mut p);
+            }
+        }
+        return;
+    }
+
+    let slots_a: Vec<Mutex<Option<PA>>> =
+        parts_a.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let slots_b: Vec<Mutex<Option<PB>>> =
+        parts_b.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let next = AtomicUsize::new(0);
+    let job = || {
+        let mut sa: Option<SA> = None;
+        let mut sb: Option<SB> = None;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                break;
+            }
+            if i < na {
+                let mut part = slots_a[i]
+                    .lock()
+                    .expect("part slot poisoned")
+                    .take()
+                    .expect("part claimed twice");
+                fa(sa.get_or_insert_with(&init_a), i, &mut part);
+            } else {
+                let j = i - na;
+                let mut part = slots_b[j]
+                    .lock()
+                    .expect("part slot poisoned")
+                    .take()
+                    .expect("part claimed twice");
+                fb(sb.get_or_insert_with(&init_b), j, &mut part);
+            }
+        }
+    };
+    execute(par, workers, &job);
 }
 
 #[cfg(test)]
@@ -326,7 +703,7 @@ mod tests {
     #[test]
     fn results_are_in_chunk_order_at_any_thread_count() {
         for threads in [1, 2, 3, 8, 33] {
-            let out = chunked_map(Parallelism::new(threads), 100, |i| i * i);
+            let out = chunked_map(&Parallelism::new(threads), 100, |i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
         }
     }
@@ -337,16 +714,25 @@ mod tests {
         let data: Vec<f64> = (0..10_000)
             .map(|i| if i % 3 == 0 { 1e16 } else { 1.0 + i as f64 * 1e-7 })
             .collect();
-        let run = |threads| {
+        let run = |par: &Parallelism| {
             let spans: Vec<_> = chunk_spans(data.len(), 64).collect();
-            let partials = chunked_map(Parallelism::new(threads), spans.len(), |ci| {
+            let partials = chunked_map(par, spans.len(), |ci| {
                 data[spans[ci].clone()].iter().sum::<f64>()
             });
             partials.iter().fold(0.0f64, |a, b| a + b)
         };
-        let baseline = run(1);
+        let baseline = run(&Parallelism::new(1));
         for threads in [2, 4, 16] {
-            assert_eq!(run(threads).to_bits(), baseline.to_bits(), "threads={threads}");
+            assert_eq!(
+                run(&Parallelism::new(threads)).to_bits(),
+                baseline.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(
+                run(&Parallelism::with_pool(threads)).to_bits(),
+                baseline.to_bits(),
+                "pooled threads={threads}"
+            );
         }
     }
 
@@ -361,13 +747,15 @@ mod tests {
 
     #[test]
     fn empty_work_is_fine() {
-        let out: Vec<i32> = chunked_map(Parallelism::new(4), 0, |_| unreachable!());
+        let out: Vec<i32> = chunked_map(&Parallelism::new(4), 0, |_| unreachable!());
         assert!(out.is_empty());
     }
 
     #[test]
     fn more_threads_than_chunks_is_fine() {
-        let out = chunked_map(Parallelism::new(64), 3, |i| i + 1);
+        let out = chunked_map(&Parallelism::new(64), 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+        let out = chunked_map(&Parallelism::with_pool(64), 3, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3]);
     }
 
@@ -396,12 +784,12 @@ mod tests {
     fn parts_writes_are_identical_at_any_thread_count() {
         // Each chunk writes into its own disjoint output slice; the merged
         // buffer must be bitwise identical no matter how many workers ran.
-        let run = |threads: usize| {
+        let run = |par: &Parallelism| {
             let mut out = vec![0.0f64; 1000];
             let spans: Vec<_> = chunk_spans(out.len(), 64).collect();
             let parts = split_at_spans(&mut out, &spans);
             let sums = chunked_map_parts(
-                Parallelism::new(threads),
+                par,
                 parts.into_iter().zip(spans.iter().cloned()).collect(),
                 |_, (slice, span)| {
                     let mut s = 0.0;
@@ -415,25 +803,27 @@ mod tests {
             let total = sums.iter().fold(0.0f64, |a, b| a + b);
             (out, total)
         };
-        let (base, base_total) = run(1);
+        let (base, base_total) = run(&Parallelism::new(1));
         for threads in [2, 3, 8] {
-            let (out, total) = run(threads);
-            assert_eq!(total.to_bits(), base_total.to_bits(), "threads={threads}");
-            for (a, b) in base.iter().zip(&out) {
-                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            for par in [Parallelism::new(threads), Parallelism::with_pool(threads)] {
+                let (out, total) = run(&par);
+                assert_eq!(total.to_bits(), base_total.to_bits(), "threads={threads}");
+                for (a, b) in base.iter().zip(&out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+                }
             }
         }
     }
 
     #[test]
     fn parts_with_state_and_empty_parts_behave() {
-        let out: Vec<i32> = chunked_map_parts(Parallelism::new(4), Vec::<()>::new(), |_, _| 0);
+        let out: Vec<i32> = chunked_map_parts(&Parallelism::new(4), Vec::<()>::new(), |_, _| 0);
         assert!(out.is_empty());
         for threads in [1, 4] {
             let mut bufs = [[0u8; 4]; 20];
             let parts: Vec<&mut [u8; 4]> = bufs.iter_mut().collect();
             let out = chunked_map_parts_with(
-                Parallelism::new(threads),
+                &Parallelism::new(threads),
                 parts,
                 Vec::<usize>::new,
                 |scratch, i, part| {
@@ -456,7 +846,7 @@ mod tests {
         // thread count.
         for threads in [1, 3, 16] {
             let out = chunked_map_with(
-                Parallelism::new(threads),
+                &Parallelism::new(threads),
                 50,
                 Vec::<usize>::new,
                 |scratch, i| {
@@ -468,7 +858,153 @@ mod tests {
         }
         // Empty work never calls init.
         let out: Vec<i32> =
-            chunked_map_with(Parallelism::new(4), 0, || unreachable!(), |_: &mut (), _| 0);
+            chunked_map_with(&Parallelism::new(4), 0, || unreachable!(), |_: &mut (), _| 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_dispatches_and_matches_scoped() {
+        let pooled = Parallelism::with_pool(4);
+        assert_eq!(pooled.pool().map(|p| p.size()), Some(3));
+        let scoped = Parallelism::new(4);
+        // A sequence of dispatches through ONE pool must match fresh scoped
+        // execution bitwise, call for call.
+        for round in 0..20usize {
+            let a = chunked_map(&pooled, 37 + round, |i| ((i * round) as f64).sqrt());
+            let b = chunked_map(&scoped, 37 + round, |i| ((i * round) as f64).sqrt());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_worker_panic() {
+        let pooled = Parallelism::with_pool(4);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            chunked_map(&pooled, 16, |i| {
+                if i == 7 {
+                    panic!("chunk 7 exploded");
+                }
+                i
+            })
+        }));
+        assert!(boom.is_err(), "panic must propagate to the dispatcher");
+        // The pool must still be fully operational afterwards.
+        for _ in 0..5 {
+            let out = chunked_map(&pooled, 16, |i| i * i);
+            assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_inline() {
+        let pooled = Parallelism::with_pool(4);
+        let inner_par = pooled.clone();
+        let out = chunked_map(&pooled, 8, |i| {
+            // A nested dispatch on the same (busy) pool must complete
+            // inline rather than deadlock.
+            let inner: Vec<usize> = chunked_map(&inner_par, 4, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> =
+            (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn clones_share_one_pool() {
+        let a = Parallelism::with_pool(3);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.pool().unwrap(), b.pool().unwrap()));
+        // Equality ignores the pool handle.
+        assert_eq!(a, Parallelism::new(3));
+        assert_ne!(a, Parallelism::new(2));
+    }
+
+    #[test]
+    fn fused_families_match_separate_dispatches_bitwise() {
+        // Two heterogeneous part families fused into one dispatch must
+        // produce exactly what two separate dispatches produce.
+        let run_fused = |par: &Parallelism| {
+            let mut a_out = vec![0.0f64; 700];
+            let mut b_out = vec![0u64; 333];
+            let a_spans: Vec<_> = chunk_spans(a_out.len(), 64).collect();
+            let b_spans: Vec<_> = chunk_spans(b_out.len(), 50).collect();
+            {
+                let a_parts: Vec<_> = split_at_spans(&mut a_out, &a_spans)
+                    .into_iter()
+                    .zip(a_spans.iter().cloned())
+                    .collect();
+                let b_parts: Vec<_> = split_at_spans(&mut b_out, &b_spans)
+                    .into_iter()
+                    .zip(b_spans.iter().cloned())
+                    .collect();
+                fused_chunked_parts(
+                    par,
+                    a_parts,
+                    Vec::<f64>::new,
+                    |scratch, _i, (slice, span)| {
+                        scratch.push(0.0); // per-worker scratch, result-free
+                        for (v, k) in slice.iter_mut().zip(span.clone()) {
+                            *v = (k as f64 * 0.37).sin() + (k as f64).sqrt();
+                        }
+                    },
+                    b_parts,
+                    || (),
+                    |(), _i, (slice, span)| {
+                        for (v, k) in slice.iter_mut().zip(span.clone()) {
+                            *v = (k as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                        }
+                    },
+                );
+            }
+            (a_out, b_out)
+        };
+        let (base_a, base_b) = run_fused(&Parallelism::single());
+        // Separate dispatches as the oracle.
+        let mut sep_a = vec![0.0f64; 700];
+        for (k, v) in sep_a.iter_mut().enumerate() {
+            *v = (k as f64 * 0.37).sin() + (k as f64).sqrt();
+        }
+        assert_eq!(
+            base_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            sep_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        for threads in [2, 3, 8] {
+            for par in [Parallelism::new(threads), Parallelism::with_pool(threads)] {
+                let (a, b) = run_fused(&par);
+                for (x, y) in a.iter().zip(&base_a) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                }
+                assert_eq!(b, base_b, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_with_one_empty_family_runs_the_other() {
+        let mut out = vec![0usize; 10];
+        let parts: Vec<_> = out.iter_mut().collect();
+        fused_chunked_parts(
+            &Parallelism::new(4),
+            parts,
+            || (),
+            |(), i, slot| **slot = i + 1,
+            Vec::<()>::new(),
+            || (),
+            |(), _, _| unreachable!(),
+        );
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let mut par = Parallelism::single();
+        par.ensure_pool();
+        assert!(par.pool().is_none(), "no pool needed for one thread");
+        let out = chunked_map(&par, 5, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
     }
 }

@@ -85,7 +85,7 @@ const EDGE_CHUNK: usize = 8192;
 impl EdgeCosts {
     /// Snapshots the cost of every edge of `grid` (single-threaded).
     pub fn build(grid: &RouteGrid, params: CostParams) -> Self {
-        Self::build_par(grid, params, Parallelism::single())
+        Self::build_par(grid, params, &Parallelism::single())
     }
 
     /// Snapshots the cost of every edge of `grid` on up to `par` workers.
@@ -95,7 +95,7 @@ impl EdgeCosts {
     /// # Panics
     ///
     /// Panics if any edge cost is non-finite or not strictly positive.
-    pub fn build_par(grid: &RouteGrid, params: CostParams, par: Parallelism) -> Self {
+    pub fn build_par(grid: &RouteGrid, params: CostParams, par: &Parallelism) -> Self {
         let n = grid.num_edges();
         let spans: Vec<_> = chunk_spans(n, EDGE_CHUNK).collect();
         let parts = chunked_map(par, spans.len(), |ci| {
@@ -521,7 +521,7 @@ pub fn route_pattern3(grid: &RouteGrid, seg: Segment, params: CostParams) -> Vec
 pub fn estimate_congestion_par(
     design: &Design,
     placement: &Placement,
-    par: Parallelism,
+    par: &Parallelism,
 ) -> RouteGrid {
     let mut grid = RouteGrid::from_design(design, placement);
     estimate_congestion_into(&mut grid, design, placement, par);
@@ -539,7 +539,7 @@ pub fn estimate_congestion_into(
     grid: &mut RouteGrid,
     design: &Design,
     placement: &Placement,
-    par: Parallelism,
+    par: &Parallelism,
 ) {
     grid.clear_usage();
     let nets: Vec<_> = design.net_ids().collect();
@@ -578,7 +578,7 @@ pub fn estimate_congestion_into(
 /// Single-threaded [`estimate_congestion_par`] (the historical entry
 /// point).
 pub fn estimate_congestion(design: &Design, placement: &Placement) -> RouteGrid {
-    estimate_congestion_par(design, placement, Parallelism::single())
+    estimate_congestion_par(design, placement, &Parallelism::single())
 }
 
 #[cfg(test)]

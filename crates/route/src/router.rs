@@ -69,7 +69,7 @@ pub enum LayerMode {
 /// The struct is `#[non_exhaustive]`: build it with
 /// [`RouterConfig::builder`] (or start from [`RouterConfig::default`] and
 /// assign fields) so new options can land without breaking callers.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct RouterConfig {
     /// Maximum rip-up-and-reroute rounds after the initial pattern pass.
@@ -152,7 +152,7 @@ impl RouterConfig {
 ///     .build();
 /// assert_eq!(config.max_iterations, 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RouterConfigBuilder {
     config: RouterConfig,
 }
@@ -423,7 +423,7 @@ impl GlobalRouter {
         let spans: Vec<_> = chunk_spans(nets.len(), NET_CHUNK).collect();
         let partials = {
             let g: &RouteGrid = &grid;
-            chunked_map(self.config.parallelism, spans.len(), |ci| {
+            chunked_map(&self.config.parallelism, spans.len(), |ci| {
                 let mut out: Vec<RoutedSegment> = Vec::new();
                 for &net in &nets[spans[ci].clone()] {
                     for segment in decompose_net(design, placement, g, net) {
@@ -534,7 +534,7 @@ impl GlobalRouter {
         let parts: Vec<(Vec<RoutedSegment>, Vec<u32>)> = {
             let dirty = &dirty;
             let segs = &prev.segments;
-            chunked_map(self.config.parallelism, spans.len(), |ci| {
+            chunked_map(&self.config.parallelism, spans.len(), |ci| {
                 let span = spans[ci].clone();
                 let mut clean: Vec<RoutedSegment> = Vec::with_capacity(span.len());
                 let mut ripped: Vec<u32> = Vec::new();
@@ -565,7 +565,7 @@ impl GlobalRouter {
         let spans: Vec<_> = chunk_spans(dirty_ids.len(), NET_CHUNK).collect();
         let partials = {
             let g: &RouteGrid = &grid;
-            chunked_map(self.config.parallelism, spans.len(), |ci| {
+            chunked_map(&self.config.parallelism, spans.len(), |ci| {
                 let mut out: Vec<RoutedSegment> = Vec::new();
                 for &net in &dirty_ids[spans[ci].clone()] {
                     for segment in decompose_net(design, placement, g, net) {
@@ -661,7 +661,7 @@ impl GlobalRouter {
             // Per-round cost snapshot: usage/history/capacity are frozen
             // for the whole round, so every heap relaxation in the maze
             // search is a single array load.
-            let costs = EdgeCosts::build_par(grid, self.config.cost, self.config.parallelism);
+            let costs = EdgeCosts::build_par(grid, self.config.cost, &self.config.parallelism);
 
             // Reroute the ripped segments in fixed-size chunks against the
             // round-start snapshot; each worker reuses one scratch for all
@@ -674,7 +674,7 @@ impl GlobalRouter {
                 let g: &RouteGrid = grid;
                 let costs = &costs;
                 chunked_map_with(
-                    self.config.parallelism,
+                    &self.config.parallelism,
                     seg_spans.len(),
                     MazeScratch::new,
                     |scratch, ci| {

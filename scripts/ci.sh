@@ -19,7 +19,12 @@ run() {
 run cargo build --release --workspace
 run cargo test --workspace -q
 run cargo clippy --workspace --all-targets -- -D warnings
-run cargo run --release -p rdp-bench --bin bench_scale -- --smoke
+# Fused-gradient regression gate: compare the smoke sweep against a
+# recorded baseline (default: the checked-in BENCH_scale.json). bench_scale
+# exits non-zero when the fused pass regresses >15% at equal thread count;
+# baselines from a different thread count are skipped with a notice.
+BENCH_SCALE_BASELINE="${BENCH_SCALE_BASELINE:-BENCH_scale.json}" \
+  run cargo run --release -p rdp-bench --bin bench_scale -- --smoke
 # Solver A/B gate: CG+bell and Nesterov+electrostatic must both reach a
 # fully legal placement on a small design.
 run cargo run --release -p rdp-bench --bin bench_solver_ab -- --smoke
@@ -43,6 +48,14 @@ if [[ "${1:-}" == "--full" ]]; then
   # the debug gate would take hours at this size).
   run cargo run --release -p rdp-bench --bin bench_scale
   run cargo test --release -q --test determinism -- --ignored
+  # Surface degraded-parallelism runs loudly: a true flag means the host
+  # ran every parallel kernel inline (1 effective thread), so the recorded
+  # timings demonstrate no multi-thread speedup.
+  for f in BENCH_scale.json target/experiments/BENCH_scale.json target/experiments/BENCH_parallel.json; do
+    if [[ -f "$f" ]] && grep -q '"degraded_parallelism": true' "$f"; then
+      echo "WARNING: $f was recorded with degraded parallelism (effective_threads() == 1)" >&2
+    fi
+  done
 fi
 
 echo "ci: OK"

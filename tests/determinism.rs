@@ -181,10 +181,10 @@ fn kernels_are_bitwise_identical_across_thread_counts_at_100k_cells() {
             &mut gx,
             &mut gy,
             &mut scratch,
-            par,
+            &par,
         );
-        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
-        let estats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, &par);
+        let estats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, &par);
         let bits: Vec<(u64, u64)> =
             gx.iter().zip(&gy).map(|(x, y)| (x.to_bits(), y.to_bits())).collect();
         (wl.to_bits(), stats.penalty.to_bits(), estats.penalty.to_bits(), bits)
@@ -206,13 +206,13 @@ fn congestion_estimator_is_bitwise_identical_across_thread_counts() {
     let base = rdp::route::pattern::estimate_congestion_par(
         &bench.design,
         &bench.placement,
-        Parallelism::single(),
+        &Parallelism::single(),
     );
     for threads in [2, 8] {
         let g = rdp::route::pattern::estimate_congestion_par(
             &bench.design,
             &bench.placement,
-            Parallelism::new(threads),
+            &Parallelism::new(threads),
         );
         for (a, b) in base.edge_ids().zip(g.edge_ids()) {
             assert_eq!(
@@ -221,5 +221,73 @@ fn congestion_estimator_is_bitwise_identical_across_thread_counts() {
                 "estimated usage differs at {threads} threads"
             );
         }
+    }
+}
+
+/// A persistent worker pool must be a pure execution vehicle: running the
+/// same kernel sequence repeatedly through one reused pool yields exactly
+/// the bits of a fresh-scope (no-pool) run at the same thread count — and
+/// keeps doing so after a worker panic is caught and the pool recovers.
+#[test]
+fn reused_pool_matches_fresh_scope_bitwise() {
+    use rdp::place::density::build_fields;
+    use rdp::place::electrostatics::build_electro_fields;
+    use rdp::place::model::Model;
+    use rdp::place::wirelength::{smooth_wl_grad_par, WirelengthModel, WlScratch};
+
+    let bench = generate(&GeneratorConfig::tiny("det-pool", 81)).unwrap();
+    let model = Model::from_design(&bench.design, &bench.placement);
+    let bins = ((model.len() as f64).sqrt().ceil() as usize).clamp(16, 256);
+    let mut fields = build_fields(&model, &[], &[], bins, 0.9);
+    let mut electro = build_electro_fields(&model, &[], &[], bins, 0.9);
+    let mut scratch = WlScratch::new();
+
+    let mut sequence = |par: &Parallelism| {
+        let mut gx = vec![0.0; model.len()];
+        let mut gy = vec![0.0; model.len()];
+        let wl = smooth_wl_grad_par(
+            &model,
+            WirelengthModel::Wa,
+            20.0,
+            &mut gx,
+            &mut gy,
+            &mut scratch,
+            par,
+        );
+        let stats = fields[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let estats = electro[0].penalty_grad_par(&model, &mut gx, &mut gy, par);
+        let bits: Vec<(u64, u64)> =
+            gx.iter().zip(&gy).map(|(x, y)| (x.to_bits(), y.to_bits())).collect();
+        (wl.to_bits(), stats.penalty.to_bits(), estats.penalty.to_bits(), bits)
+    };
+
+    for threads in [1usize, 2, 8] {
+        // Fresh scope: no persistent pool attached.
+        let fresh = sequence(&Parallelism::new(threads));
+
+        // One pool, reused across repetitions of the whole sequence.
+        let pooled = Parallelism::with_pool(threads);
+        for rep in 0..3 {
+            assert_eq!(
+                fresh,
+                sequence(&pooled),
+                "pooled rep {rep} differs from fresh scope at {threads} threads"
+            );
+        }
+
+        // Crash a job on the pool; the workers must recover and the next
+        // runs must still be bitwise identical.
+        let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rdp::geom::parallel::chunked_map(&pooled, 16, |i| {
+                assert!(i != 11, "injected chunk panic");
+                i
+            })
+        }));
+        assert!(crashed.is_err(), "injected panic must propagate to the caller");
+        assert_eq!(
+            fresh,
+            sequence(&pooled),
+            "pool diverged after panic recovery at {threads} threads"
+        );
     }
 }

@@ -248,3 +248,77 @@ fn bell_density_conserves_mass_anywhere() {
         assert!(gx[0].is_finite() && gy[0].is_finite(), "case {case}");
     }
 }
+
+/// Band-parallel legalization must be a pure function of the input: any
+/// thread count (including 1) produces bitwise-identical positions and
+/// displacement totals, on designs whose movable macros straddle the
+/// 32-row band boundaries.
+#[test]
+fn band_parallel_legalization_matches_serial() {
+    use rdp::gen::{generate, GeneratorConfig};
+    use rdp::geom::parallel::Parallelism;
+    use rdp::place::legalize::legalize_with_displacement_par;
+
+    let cases = if cfg!(feature = "property-tests") { 6 } else { 3 };
+    for case in 0..cases {
+        let config = GeneratorConfig {
+            num_cells: 5_000,
+            num_macros: 6,
+            ..GeneratorConfig::small(format!("blg{case}"), 40 + case)
+        };
+        let bench = generate(&config).unwrap();
+        let design = &bench.design;
+        assert!(
+            design.rows().len() > 32,
+            "case {case}: need >1 band, got {} rows",
+            design.rows().len()
+        );
+        let mut rng = rng_for(9, case);
+        let mut scattered = bench.placement.clone();
+        let die = design.die();
+        for id in design.movable_ids() {
+            let (w, h) = scattered.dims(design, id);
+            let x = rng.gen_range(die.xl + w / 2.0..die.xh - w / 2.0);
+            let y = rng.gen_range(die.yl + h / 2.0..die.yh - h / 2.0);
+            scattered.set_center(id, Point::new(x, y));
+        }
+        // Park the movable macros across the first band boundary (row 32)
+        // so band partitioning sees macros overlapping multiple bands.
+        let boundary_y = design.rows()[32.min(design.rows().len() - 1)].y();
+        for (k, id) in design.macro_ids().enumerate() {
+            if design.node(id).kind() == rdp::db::NodeKind::Movable {
+                let (w, h) = scattered.dims(design, id);
+                let x = (die.xl + w / 2.0 + 40.0 * k as f64).min(die.xh - w / 2.0);
+                let y = boundary_y.clamp(die.yl + h / 2.0, die.yh - h / 2.0);
+                scattered.set_center(id, Point::new(x, y));
+            }
+        }
+
+        let run = |threads: usize| {
+            let mut par = Parallelism::new(threads);
+            par.ensure_pool();
+            let mut pl = scattered.clone();
+            let stats = legalize_with_displacement_par(design, &mut pl, &par);
+            (stats, pl)
+        };
+        let (stats1, pl1) = run(1);
+        assert_eq!(stats1.failed, 0, "case {case}");
+        for (stats, pl) in [run(2), run(8)] {
+            assert_eq!(stats.failed, stats1.failed, "case {case}");
+            assert_eq!(
+                stats.total_displacement.to_bits(),
+                stats1.total_displacement.to_bits(),
+                "case {case}: displacement differs across thread counts"
+            );
+            for id in design.movable_ids() {
+                let a = pl1.center(id);
+                let b = pl.center(id);
+                assert_eq!(
+                    (a.x.to_bits(), a.y.to_bits()),
+                    (b.x.to_bits(), b.y.to_bits()),
+                    "case {case}: node {id:?} moved differently"
+                );
+            }
+        }
+    }
+}
