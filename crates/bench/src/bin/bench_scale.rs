@@ -362,6 +362,16 @@ fn main() {
     if let Ok(path) = std::env::var("BENCH_SCALE_BASELINE") {
         match rdp_bench::read_scale_baseline(&path) {
             Some(base) if base.kernel_threads == kernel_threads => {
+                // Legacy baselines missing newer fields warn, not fail.
+                for w in base.format_warnings() {
+                    eprintln!("[bench_scale] baseline warning: {w}");
+                }
+                if base.degraded_parallelism == Some(true) {
+                    eprintln!(
+                        "[bench_scale] baseline warning: {path} was recorded with degraded \
+                         parallelism — its timings ran inline; comparison may be pessimistic"
+                    );
+                }
                 let mut regressed = false;
                 for r in &rows {
                     let Some(&(_, base_s)) = base.fused_s.iter().find(|(c, _)| *c == r.cells)

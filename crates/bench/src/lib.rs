@@ -161,6 +161,37 @@ pub struct ScaleBaseline {
     pub kernel_threads: usize,
     /// `(cells, gradient_fused_s)` per recorded size row.
     pub fused_s: Vec<(usize, f64)>,
+    /// Whether the baseline run had its parallelism degraded to a single
+    /// effective thread. `None` when the file predates the flag — older
+    /// baselines stay usable; callers should warn instead of failing.
+    pub degraded_parallelism: Option<bool>,
+    /// Whether the file carries a `previous_run` comparison block. Older
+    /// files without one are still valid baselines.
+    pub has_previous_run: bool,
+}
+
+impl ScaleBaseline {
+    /// Warnings about fields the baseline file predates. Legacy files are
+    /// tolerated — the regression gate emits these and carries on rather
+    /// than hard-failing on a stale format.
+    pub fn format_warnings(&self) -> Vec<String> {
+        let mut warns = Vec::new();
+        if self.degraded_parallelism.is_none() {
+            warns.push(
+                "baseline predates the degraded_parallelism flag; assuming it was \
+                 recorded at full parallelism"
+                    .into(),
+            );
+        }
+        if !self.has_previous_run {
+            warns.push(
+                "baseline has no previous_run block; before/after comparison \
+                 unavailable"
+                    .into(),
+            );
+        }
+        warns
+    }
 }
 
 /// Reads the fields needed for the fused-gradient regression gate from a
@@ -168,9 +199,16 @@ pub struct ScaleBaseline {
 /// crate, so a line-oriented scan of `"key": value` pairs suffices (no
 /// JSON dependency — the workspace builds offline). Returns `None` when
 /// the file is unreadable or predates the `gradient_fused_s` field.
+/// Missing `degraded_parallelism` / `previous_run` fields (files written
+/// by older bench versions) are tolerated and surfaced through
+/// [`ScaleBaseline::format_warnings`], not treated as a hard failure.
 pub fn read_scale_baseline(path: &str) -> Option<ScaleBaseline> {
     let text = std::fs::read_to_string(path).ok()?;
     let num_after = |line: &str, key: &str| -> Option<f64> {
+        let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+        rest.trim().trim_end_matches(',').parse().ok()
+    };
+    let bool_after = |line: &str, key: &str| -> Option<bool> {
         let rest = line.split(&format!("\"{key}\":")).nth(1)?;
         rest.trim().trim_end_matches(',').parse().ok()
     };
@@ -181,6 +219,12 @@ pub fn read_scale_baseline(path: &str) -> Option<ScaleBaseline> {
             if base.kernel_threads == 0 {
                 base.kernel_threads = v as usize;
             }
+        } else if let Some(v) = bool_after(line, "degraded_parallelism") {
+            if base.degraded_parallelism.is_none() {
+                base.degraded_parallelism = Some(v);
+            }
+        } else if line.contains("\"previous_run\":") {
+            base.has_previous_run = true;
         } else if let Some(v) = num_after(line, "cells") {
             cells = Some(v as usize);
         } else if let Some(v) = num_after(line, "gradient_fused_s") {
@@ -329,6 +373,24 @@ mod tests {
         assert_eq!(base.kernel_threads, 8);
         assert_eq!(base.fused_s, vec![(10_000, 0.0123), (50_000, 0.0456)]);
         assert_eq!(read_scale_baseline("/nonexistent/path.json"), None);
+        // The legacy file (no degraded_parallelism / previous_run) still
+        // parses — the missing fields only produce warnings.
+        assert_eq!(base.degraded_parallelism, None);
+        assert!(!base.has_previous_run);
+        assert_eq!(base.format_warnings().len(), 2);
+    }
+
+    #[test]
+    fn scale_baseline_reads_new_format_fields() {
+        let json = "{\n  \"kernel_threads\": 4,\n  \"degraded_parallelism\": true,\n  \"sizes\": [\n    {\n      \"cells\": 10000,\n      \"gradient_fused_s\": 0.0123\n    }\n  ],\n  \"previous_run\": {\n    \"git_revision\": \"abc\"\n  }\n}\n";
+        let dir = std::env::temp_dir().join("rdp_bench_baseline_new_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scale.json");
+        std::fs::write(&path, json).unwrap();
+        let base = read_scale_baseline(path.to_str().unwrap()).unwrap();
+        assert_eq!(base.degraded_parallelism, Some(true));
+        assert!(base.has_previous_run);
+        assert!(base.format_warnings().is_empty());
     }
 
     #[test]

@@ -57,8 +57,10 @@ pub mod wirelength;
 pub use model::Model;
 pub use optimizer::{GpDensityModel, GpOptions, GpOutcome, GpSolver};
 pub use placer::{GpRoutabilityOptions, PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
+pub use placer::FlowProgress;
 pub use recovery::{
-    DegradedResult, Diverged, FlowBudget, FlowCheckpoint, RecoveryEvent, RecoveryPolicy,
+    CheckpointParseError, DegradedResult, Diverged, FlowBudget, FlowCheckpoint, RecoveryEvent,
+    RecoveryPolicy,
 };
 pub use trace::Trace;
 pub use wirelength::WirelengthModel;

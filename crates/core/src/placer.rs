@@ -36,6 +36,18 @@ pub enum PlaceError {
         /// Recovery retries spent before giving up.
         retries: usize,
     },
+    /// A checkpoint passed to [`Placer::resume_from`] does not fit the
+    /// design (wrong node count, wrong object count, or non-finite state).
+    BadResume {
+        /// What was inconsistent.
+        reason: String,
+    },
+    /// The cancel token fired and [`Placer::run`] (rather than
+    /// [`Placer::run_resumable`], which returns the checkpoint) was used.
+    Interrupted {
+        /// Stage of the checkpoint the run stopped at.
+        stage: String,
+    },
 }
 
 impl fmt::Display for PlaceError {
@@ -47,6 +59,12 @@ impl fmt::Display for PlaceError {
                 f,
                 "placement diverged unrecoverably in stage `{stage}` ({retries} recovery retries, no checkpoint to restore)"
             ),
+            PlaceError::BadResume { reason } => {
+                write!(f, "resume checkpoint does not fit the design: {reason}")
+            }
+            PlaceError::Interrupted { stage } => {
+                write!(f, "placement interrupted by cancel token at stage `{stage}`")
+            }
         }
     }
 }
@@ -300,11 +318,40 @@ pub struct PlaceResult {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct Placer<'a> {
     design: &'a Design,
     options: PlaceOptions,
     initial: Option<Placement>,
+    resume: Option<FlowCheckpoint>,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    checkpoint_sink: Option<CheckpointSink<'a>>,
+}
+
+/// Observer invoked with each [`FlowCheckpoint`] as a stage completes.
+type CheckpointSink<'a> = Box<dyn FnMut(&FlowCheckpoint) + Send + 'a>;
+
+impl fmt::Debug for Placer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Placer")
+            .field("options", &self.options)
+            .field("initial", &self.initial.is_some())
+            .field("resume", &self.resume.as_ref().map(|cp| cp.stage.as_str()))
+            .field("cancel", &self.cancel.is_some())
+            .field("checkpoint_sink", &self.checkpoint_sink.is_some())
+            .finish()
+    }
+}
+
+/// Outcome of [`Placer::run_resumable`]: the flow either ran to the end or
+/// stopped at a stage boundary because the cancel token fired.
+#[derive(Debug)]
+pub enum FlowProgress {
+    /// The pipeline completed (possibly degraded — see
+    /// [`PlaceResult::degraded`]).
+    Completed(Box<PlaceResult>),
+    /// The cancel token fired; the carried checkpoint is the last completed
+    /// stage, suitable for [`Placer::resume_from`] in a later run.
+    Interrupted(FlowCheckpoint),
 }
 
 impl<'a> Placer<'a> {
@@ -315,7 +362,14 @@ impl<'a> Placer<'a> {
     /// without fixed nodes. Benchmarks should always pass their initial
     /// placement.
     pub fn new(design: &'a Design, options: PlaceOptions) -> Self {
-        Placer { design, options, initial: None }
+        Placer {
+            design,
+            options,
+            initial: None,
+            resume: None,
+            cancel: None,
+            checkpoint_sink: None,
+        }
     }
 
     /// Supplies the initial placement (fixed-node positions, terminal
@@ -325,12 +379,72 @@ impl<'a> Placer<'a> {
         self
     }
 
+    /// Resumes the pipeline from a [`FlowCheckpoint`] captured by an
+    /// earlier run (via [`Placer::with_checkpoint_sink`]) instead of
+    /// starting from scratch: jitter and global placement are skipped, the
+    /// inflation loop re-enters at `rounds_done`, and a legal checkpoint
+    /// skips straight to detailed placement.
+    ///
+    /// In the default estimator-congestion mode the resumed final
+    /// placement is **bitwise identical** to the uninterrupted run at any
+    /// thread count; the router-congestion mode re-routes from scratch on
+    /// resume (its warm routing state is not checkpointed), which may
+    /// legitimately shift later rounds.
+    pub fn resume_from(mut self, checkpoint: FlowCheckpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Observes every checkpoint the flow saves, as it is saved. A job
+    /// server persists them so a killed run can [`Placer::resume_from`]
+    /// the latest one.
+    pub fn with_checkpoint_sink(
+        mut self,
+        sink: impl FnMut(&FlowCheckpoint) + Send + 'a,
+    ) -> Self {
+        self.checkpoint_sink = Some(Box::new(sink));
+        self
+    }
+
+    /// Attaches a cooperative cancel token, polled at stage boundaries
+    /// (never mid-kernel). When it reads `true`, [`Placer::run_resumable`]
+    /// returns [`FlowProgress::Interrupted`] with the latest checkpoint.
+    /// Because resume is bitwise-exact, the nondeterministic *timing* of a
+    /// cancellation never changes the final placement — only where the
+    /// work pauses.
+    pub fn with_cancel(
+        mut self,
+        token: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Runs the full pipeline.
     ///
     /// # Errors
     ///
-    /// Returns [`PlaceError`] for structurally unplaceable designs.
+    /// Returns [`PlaceError`] for structurally unplaceable designs, and
+    /// [`PlaceError::Interrupted`] if a cancel token fired mid-run (use
+    /// [`Placer::run_resumable`] to receive the checkpoint instead).
     pub fn run(self) -> Result<PlaceResult, PlaceError> {
+        match self.run_resumable()? {
+            FlowProgress::Completed(result) => Ok(*result),
+            FlowProgress::Interrupted(cp) => Err(PlaceError::Interrupted { stage: cp.stage }),
+        }
+    }
+
+    /// Runs the full pipeline with cancellation and resume support: the
+    /// cancel token (see [`Placer::with_cancel`]) is polled at stage
+    /// boundaries and stops the run at its latest checkpoint, which a
+    /// later [`Placer::resume_from`] continues bitwise-exactly (in
+    /// estimator-congestion mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] for structurally unplaceable designs or a
+    /// checkpoint that does not fit the design.
+    pub fn run_resumable(self) -> Result<FlowProgress, PlaceError> {
         let design = self.design;
         let mut opts = self.options;
         // One persistent worker pool serves every parallel region in the
@@ -338,6 +452,9 @@ impl<'a> Placer<'a> {
         // instead of spawning fresh scoped threads per kernel call.
         opts.gp.parallelism.ensure_pool();
         let opts = opts;
+        let mut sink = self.checkpoint_sink;
+        let cancel = self.cancel;
+        let resume = self.resume;
         let t_start = Instant::now();
 
         if design.movable_ids().next().is_none() {
@@ -348,13 +465,49 @@ impl<'a> Placer<'a> {
             return Err(PlaceError::NoRows);
         }
 
-        let mut placement = self
-            .initial
-            .unwrap_or_else(|| Placement::new_centered(design));
+        // A resume checkpoint must structurally fit this design and be
+        // finite — anything else is a caller error (wrong design, corrupt
+        // file), not a recoverable flow state.
+        if let Some(cp) = &resume {
+            let num_objects = design.movable_ids().count();
+            if cp.placement.len() != design.nodes().len() {
+                return Err(PlaceError::BadResume {
+                    reason: format!(
+                        "checkpoint has {} nodes, design has {}",
+                        cp.placement.len(),
+                        design.nodes().len()
+                    ),
+                });
+            }
+            if cp.density_area.len() != num_objects {
+                return Err(PlaceError::BadResume {
+                    reason: format!(
+                        "checkpoint has {} density areas, design has {} movable objects",
+                        cp.density_area.len(),
+                        num_objects
+                    ),
+                });
+            }
+            if cp.placement.centers().iter().any(|c| !c.is_finite())
+                || cp.density_area.iter().any(|a| !a.is_finite())
+            {
+                return Err(PlaceError::BadResume {
+                    reason: "checkpoint contains non-finite state".into(),
+                });
+            }
+        }
+
+        let resuming = resume.is_some();
+        let mut placement = match &resume {
+            Some(cp) => cp.placement.clone(),
+            None => self.initial.unwrap_or_else(|| Placement::new_centered(design)),
+        };
         let mut trace = Trace::new();
 
-        // Symmetry-breaking jitter around the initial positions.
-        {
+        // Symmetry-breaking jitter around the initial positions. A resumed
+        // run restarts *after* global placement, so jitter (an input of the
+        // GP stage) must not be re-applied.
+        if !resuming {
             let mut rng = rdp_geom::rng::Rng::seed_from_u64(opts.seed);
             let die = design.die();
             let jx = die.width() * 0.05;
@@ -367,16 +520,16 @@ impl<'a> Placer<'a> {
                 );
                 placement.set_center(id, p);
             }
-        }
 
-        // The resilience layer has nothing to roll back to before the
-        // first GP stage completes, so a non-finite *initial* placement is
-        // the one divergence that surfaces as a hard error.
-        if design
-            .node_ids()
-            .any(|id| !placement.center(id).is_finite())
-        {
-            return Err(PlaceError::Diverged { stage: "initial".into(), retries: 0 });
+            // The resilience layer has nothing to roll back to before the
+            // first GP stage completes, so a non-finite *initial* placement
+            // is the one divergence that surfaces as a hard error.
+            if design
+                .node_ids()
+                .any(|id| !placement.center(id).is_finite())
+            {
+                return Err(PlaceError::Diverged { stage: "initial".into(), retries: 0 });
+            }
         }
 
         let blocked: Vec<(Rect, f64)> = design
@@ -387,7 +540,13 @@ impl<'a> Placer<'a> {
             .collect();
         let gp_regions: &[Region] = if opts.hierarchy_aware { design.regions() } else { &[] };
 
+        // The model is fully derivable from (design, placement) except for
+        // the density areas, which cell inflation mutates cumulatively —
+        // those are restored from the checkpoint on resume.
         let mut model = Model::from_design(design, &placement);
+        if let Some(cp) = &resume {
+            model.area.copy_from_slice(&cp.density_area);
+        }
         let mut gp_outcome;
 
         // Resilience state: the first degraded stage (drives the
@@ -395,76 +554,96 @@ impl<'a> Placer<'a> {
         // any), the latest feasible checkpoint, and the flow-wide budget.
         let mut degraded_stage: Option<String> = None;
         let mut restored_from: Option<String> = None;
-        let mut checkpoint: Option<FlowCheckpoint> = None;
+        let resume_at_legalize = resume.as_ref().is_some_and(|cp| cp.legal);
+        let start_round = resume.as_ref().map_or(0, |cp| cp.rounds_done);
+        let mut rounds_done = start_round;
+        let resume_gp = resume.as_ref().map(|cp| cp.gp);
+        let mut checkpoint: Option<FlowCheckpoint> = resume;
         let flow_clock = BudgetClock::new(opts.budget.flow_wall);
+        let cancelled = || {
+            cancel
+                .as_ref()
+                .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+        };
 
-        // --- Multilevel V-cycle (downward refinement half). ---
-        let t_gp = Instant::now();
-        if opts.multilevel {
-            let levels = build_levels(&model, opts.cluster_limit);
-            if let Some(coarsest) = levels.last() {
-                let mut coarse = coarsest.coarse.clone();
-                let coarse_opts = GpOptions {
-                    max_outer: opts.gp.max_outer / 2 + 2,
-                    ..opts.gp.clone()
-                };
-                // Coarse-level divergence is non-fatal: the level only
-                // provides a warm start, and the model is left at its
-                // last finite iterate either way.
-                if let Err(div) = run_global_place(
-                    &mut coarse,
-                    gp_regions,
-                    &blocked,
-                    &coarse_opts,
-                    &mut trace,
-                    &format!("gp/level{}", levels.len()),
-                ) {
-                    degraded_stage.get_or_insert(div.stage);
-                }
-                // Walk down the hierarchy.
-                let mut positions = coarse.positions();
-                for (li, lvl) in levels.iter().enumerate().rev() {
-                    // Reconstruct the model at this level: it is either the
-                    // next level's coarse model or the finest model.
-                    let mut level_model = if li == 0 {
-                        model.clone()
-                    } else {
-                        levels[li - 1].coarse.clone()
+        if let Some(gp) = resume_gp {
+            // Resumed run: global placement (and macro rotation) already
+            // completed in the checkpointed run; the checkpoint placement
+            // and restored density areas carry their full effect.
+            gp_outcome = gp;
+        } else {
+            // --- Multilevel V-cycle (downward refinement half). ---
+            let t_gp = Instant::now();
+            if opts.multilevel {
+                let levels = build_levels(&model, opts.cluster_limit);
+                if let Some(coarsest) = levels.last() {
+                    let mut coarse = coarsest.coarse.clone();
+                    let coarse_opts = GpOptions {
+                        max_outer: opts.gp.max_outer / 2 + 2,
+                        ..opts.gp.clone()
                     };
-                    let projected = crate::cluster::Clustering {
-                        coarse: {
-                            let mut c = lvl.coarse.clone();
-                            c.set_positions(&positions);
-                            c
-                        },
-                        parent: lvl.parent.clone(),
-                    };
-                    project_down(&mut level_model, &projected);
-                    let level_opts = if li == 0 {
-                        opts.gp.clone()
-                    } else {
-                        GpOptions { max_outer: opts.gp.max_outer / 2 + 2, ..opts.gp.clone() }
-                    };
+                    // Coarse-level divergence is non-fatal: the level only
+                    // provides a warm start, and the model is left at its
+                    // last finite iterate either way.
                     if let Err(div) = run_global_place(
-                        &mut level_model,
+                        &mut coarse,
                         gp_regions,
                         &blocked,
-                        &level_opts,
+                        &coarse_opts,
                         &mut trace,
-                        &format!("gp/level{li}"),
+                        &format!("gp/level{}", levels.len()),
                     ) {
                         degraded_stage.get_or_insert(div.stage);
                     }
-                    positions = level_model.positions();
-                    if li == 0 {
-                        model = level_model;
+                    // Walk down the hierarchy.
+                    let mut positions = coarse.positions();
+                    for (li, lvl) in levels.iter().enumerate().rev() {
+                        // Reconstruct the model at this level: it is either
+                        // the next level's coarse model or the finest model.
+                        let mut level_model = if li == 0 {
+                            model.clone()
+                        } else {
+                            levels[li - 1].coarse.clone()
+                        };
+                        let projected = crate::cluster::Clustering {
+                            coarse: {
+                                let mut c = lvl.coarse.clone();
+                                c.set_positions(&positions);
+                                c
+                            },
+                            parent: lvl.parent.clone(),
+                        };
+                        project_down(&mut level_model, &projected);
+                        let level_opts = if li == 0 {
+                            opts.gp.clone()
+                        } else {
+                            GpOptions { max_outer: opts.gp.max_outer / 2 + 2, ..opts.gp.clone() }
+                        };
+                        if let Err(div) = run_global_place(
+                            &mut level_model,
+                            gp_regions,
+                            &blocked,
+                            &level_opts,
+                            &mut trace,
+                            &format!("gp/level{li}"),
+                        ) {
+                            degraded_stage.get_or_insert(div.stage);
+                        }
+                        positions = level_model.positions();
+                        if li == 0 {
+                            model = level_model;
+                        }
                     }
                 }
             }
-        }
-        gp_outcome =
-            match run_global_place(&mut model, gp_regions, &blocked, &opts.gp, &mut trace, "gp/final")
-            {
+            gp_outcome = match run_global_place(
+                &mut model,
+                gp_regions,
+                &blocked,
+                &opts.gp,
+                &mut trace,
+                "gp/final",
+            ) {
                 Ok(out) => out,
                 Err(div) => {
                     // The model holds its last finite iterate — usable,
@@ -473,66 +652,87 @@ impl<'a> Placer<'a> {
                     div.best
                 }
             };
-        // Paranoia: the optimizer contract guarantees a finite iterate on
-        // both the Ok and Err paths; a non-finite position here means the
-        // contract was violated upstream and nothing checkpointable exists.
-        if model.pos_x.iter().chain(&model.pos_y).any(|v| !v.is_finite()) {
-            return Err(PlaceError::Diverged {
-                stage: "gp/final".into(),
-                retries: opts.gp.recovery.max_retries,
-            });
-        }
-        trace.record_stage("global_place", t_gp.elapsed());
+            // Paranoia: the optimizer contract guarantees a finite iterate
+            // on both the Ok and Err paths; a non-finite position here
+            // means the contract was violated upstream and nothing
+            // checkpointable exists.
+            if model.pos_x.iter().chain(&model.pos_y).any(|v| !v.is_finite()) {
+                return Err(PlaceError::Diverged {
+                    stage: "gp/final".into(),
+                    retries: opts.gp.recovery.max_retries,
+                });
+            }
+            trace.record_stage("global_place", t_gp.elapsed());
 
-        // --- Macro rotation between GP and routability. ---
-        if opts.macro_rotation {
-            let t = Instant::now();
-            model.write_back(&mut placement);
-            let changed = match opts.rotation_mode {
-                RotationMode::Discrete => optimize_macro_orientations(design, &mut placement, true),
-                RotationMode::Continuous => {
-                    // Continuous angles, snapped; then a flip-only discrete
-                    // pass decides mirroring (the angle cannot express it).
-                    let gamma = 2.0 * design.row_height().unwrap_or(10.0);
-                    let out = crate::rotation::optimize_rotation_continuous(&model, gamma, 100);
-                    let mut changed = 0;
-                    for (a, &q) in out.angles.iter().zip(&out.snapped) {
-                        let node = model.node_of[a.obj as usize];
-                        let orient = crate::rotation::orient_of_quarter(q);
-                        if placement.orient(node) != orient {
-                            placement.set_orient(node, orient);
-                            changed += 1;
+            // --- Macro rotation between GP and routability. ---
+            if opts.macro_rotation {
+                let t = Instant::now();
+                model.write_back(&mut placement);
+                let changed = match opts.rotation_mode {
+                    RotationMode::Discrete => {
+                        optimize_macro_orientations(design, &mut placement, true)
+                    }
+                    RotationMode::Continuous => {
+                        // Continuous angles, snapped; then a flip-only
+                        // discrete pass decides mirroring (the angle cannot
+                        // express it).
+                        let gamma = 2.0 * design.row_height().unwrap_or(10.0);
+                        let out = crate::rotation::optimize_rotation_continuous(&model, gamma, 100);
+                        let mut changed = 0;
+                        for (a, &q) in out.angles.iter().zip(&out.snapped) {
+                            let node = model.node_of[a.obj as usize];
+                            let orient = crate::rotation::orient_of_quarter(q);
+                            if placement.orient(node) != orient {
+                                placement.set_orient(node, orient);
+                                changed += 1;
+                            }
+                        }
+                        changed + optimize_macro_orientations(design, &mut placement, false)
+                    }
+                };
+                if changed > 0 {
+                    // Orientations changed pin offsets and macro dims:
+                    // rebuild the model from the updated placement and
+                    // re-polish.
+                    model = Model::from_design(design, &placement);
+                    match run_global_place(
+                        &mut model,
+                        gp_regions,
+                        &blocked,
+                        &GpOptions { max_outer: 4, ..opts.gp.clone() },
+                        &mut trace,
+                        "gp/rotation",
+                    ) {
+                        Ok(out) => gp_outcome = out,
+                        Err(div) => {
+                            degraded_stage.get_or_insert(div.stage);
+                            gp_outcome = div.best;
                         }
                     }
-                    changed + optimize_macro_orientations(design, &mut placement, false)
                 }
-            };
-            if changed > 0 {
-                // Orientations changed pin offsets and macro dims: rebuild
-                // the model from the updated placement and re-polish.
-                model = Model::from_design(design, &placement);
-                match run_global_place(
-                    &mut model,
-                    gp_regions,
-                    &blocked,
-                    &GpOptions { max_outer: 4, ..opts.gp.clone() },
-                    &mut trace,
-                    "gp/rotation",
-                ) {
-                    Ok(out) => gp_outcome = out,
-                    Err(div) => {
-                        degraded_stage.get_or_insert(div.stage);
-                        gp_outcome = div.best;
-                    }
-                }
+                trace.record_stage("macro_rotation", t.elapsed());
             }
-            trace.record_stage("macro_rotation", t.elapsed());
-        }
 
-        // First checkpoint: the converged (or best recovered) global
-        // placement, before the routability loop perturbs it.
-        model.write_back(&mut placement);
-        save_checkpoint(&mut checkpoint, &mut trace, "global_place", design, &placement, false);
+            // First checkpoint: the converged (or best recovered) global
+            // placement, before the routability loop perturbs it.
+            model.write_back(&mut placement);
+            save_checkpoint(
+                &mut checkpoint,
+                sink.as_deref_mut(),
+                &mut trace,
+                "global_place",
+                design,
+                &placement,
+                false,
+                &model.area,
+                0,
+                gp_outcome,
+            );
+        }
+        if cancelled() {
+            let cp = checkpoint.expect("checkpoint exists after global placement");
+            return Ok(FlowProgress::Interrupted(cp));
+        }
 
         // --- Routability loop: estimate → inflate / reweight → re-place. ---
         //
@@ -542,7 +742,11 @@ impl<'a> Placer<'a> {
         // same grid serves the detailed-placement stage below.
         let mut congestion_grid: Option<rdp_route::RouteGrid> = None;
         let mut inflation_stats: Vec<InflationStats> = Vec::new();
-        if opts.routability && opts.inflation_rounds > 0 && flow_clock.exhausted() {
+        let mut interrupted = false;
+        if resume_at_legalize {
+            // Resumed from the legal checkpoint: the routability loop (and
+            // legalization below) already ran in the checkpointed run.
+        } else if opts.routability && opts.inflation_rounds > 0 && flow_clock.exhausted() {
             // Flow budget already spent: drop the routability loop (a
             // quality stage) and proceed straight to legalization.
             trace.record_event(RecoveryEvent::BudgetTruncated { scope: "flow".into(), at_round: 0 });
@@ -565,7 +769,13 @@ impl<'a> Placer<'a> {
             let mut route_centers: Vec<rdp_geom::Point> =
                 vec![rdp_geom::Point::ORIGIN; design.nodes().len()];
             let inflation_clock = BudgetClock::new(opts.budget.inflation_wall);
-            for round in 0..opts.inflation_rounds {
+            for round in start_round..opts.inflation_rounds {
+                if cancelled() {
+                    // Stop at the round boundary: the latest checkpoint
+                    // (global_place or the previous round) resumes here.
+                    interrupted = true;
+                    break;
+                }
                 if inflation_clock.exhausted()
                     || flow_clock.exhausted()
                     || crate::faultinject::fire_inflation_budget(round)
@@ -684,13 +894,18 @@ impl<'a> Placer<'a> {
                         }
                         gp_outcome = out;
                         model.write_back(&mut placement);
+                        rounds_done = round + 1;
                         save_checkpoint(
                             &mut checkpoint,
+                            sink.as_deref_mut(),
                             &mut trace,
                             &format!("inflate{round}"),
                             design,
                             &placement,
                             false,
+                            &model.area,
+                            rounds_done,
+                            gp_outcome,
                         );
                     }
                     Err(div) => {
@@ -724,15 +939,42 @@ impl<'a> Placer<'a> {
             }
             trace.record_stage("routability", t.elapsed());
         }
+        if interrupted {
+            let cp = checkpoint.expect("checkpoint exists inside the routability loop");
+            return Ok(FlowProgress::Interrupted(cp));
+        }
         model.write_back(&mut placement);
 
         // --- Legalization. ---
-        let t = Instant::now();
-        let legalize_stats =
-            legalize_with_displacement_par(design, &mut placement, &opts.gp.parallelism);
-        trace.record_stage("legalize", t.elapsed());
-
-        save_checkpoint(&mut checkpoint, &mut trace, "legalize", design, &placement, true);
+        // Resuming from the legal checkpoint skips re-legalization: the
+        // placement is already row-legal, and re-running the packer on its
+        // own output is not guaranteed to be a bitwise no-op. The resumed
+        // result then reports default (zero) legalization stats.
+        let legalize_stats = if resume_at_legalize {
+            LegalizeStats::default()
+        } else {
+            let t = Instant::now();
+            let stats =
+                legalize_with_displacement_par(design, &mut placement, &opts.gp.parallelism);
+            trace.record_stage("legalize", t.elapsed());
+            save_checkpoint(
+                &mut checkpoint,
+                sink.as_deref_mut(),
+                &mut trace,
+                "legalize",
+                design,
+                &placement,
+                true,
+                &model.area,
+                rounds_done,
+                gp_outcome,
+            );
+            stats
+        };
+        if cancelled() {
+            let cp = checkpoint.expect("checkpoint exists after legalization");
+            return Ok(FlowProgress::Interrupted(cp));
+        }
 
         // --- Detailed placement. ---
         let detail_stats = if opts.detailed && flow_clock.exhausted() {
@@ -779,7 +1021,7 @@ impl<'a> Placer<'a> {
             events: trace.events.clone(),
         });
         let hpwl = rdp_db::hpwl::total_hpwl(design, &placement);
-        Ok(PlaceResult {
+        Ok(FlowProgress::Completed(Box::new(PlaceResult {
             placement,
             hpwl,
             gp: gp_outcome,
@@ -789,7 +1031,7 @@ impl<'a> Placer<'a> {
             trace,
             degraded,
             elapsed: t_start.elapsed(),
-        })
+        })))
     }
 }
 
@@ -813,23 +1055,37 @@ fn refresh_congestion<'a>(
 
 /// Snapshots `placement` as the latest [`FlowCheckpoint`] and records the
 /// save in the trace (checkpoint granularity: one per completed stage,
-/// latest wins — the flow is monotonic, so newest feasible is best).
+/// latest wins — the flow is monotonic, so newest feasible is best). The
+/// snapshot also captures the resume state (density areas, completed
+/// rounds, GP outcome) and is offered to the caller's checkpoint sink.
+#[allow(clippy::too_many_arguments)]
 fn save_checkpoint(
     slot: &mut Option<FlowCheckpoint>,
+    sink: Option<&mut (dyn FnMut(&FlowCheckpoint) + Send + '_)>,
     trace: &mut Trace,
     stage: &str,
     design: &Design,
     placement: &Placement,
     legal: bool,
+    density_area: &[f64],
+    rounds_done: usize,
+    gp: GpOutcome,
 ) {
     let hpwl = rdp_db::hpwl::total_hpwl(design, placement);
     trace.record_event(RecoveryEvent::CheckpointSaved { stage: stage.to_owned(), hpwl });
-    *slot = Some(FlowCheckpoint {
+    let cp = FlowCheckpoint {
         stage: stage.to_owned(),
         placement: placement.clone(),
         hpwl,
         legal,
-    });
+        density_area: density_area.to_vec(),
+        rounds_done,
+        gp,
+    };
+    if let Some(sink) = sink {
+        sink(&cp);
+    }
+    *slot = Some(cp);
 }
 
 #[cfg(test)]

@@ -391,6 +391,86 @@ mod injected {
         }
     }
 
+    /// The fast preset on the ePlace-style path: Nesterov solver over the
+    /// electrostatic (FFT Poisson) density model.
+    fn nesterov_electro_opts() -> PlaceOptions {
+        PlaceOptions::fast()
+            .with_solver(rdp_core::GpSolver::Nesterov, rdp_core::GpDensityModel::Electrostatic)
+    }
+
+    #[test]
+    fn nesterov_electro_transient_nan_gradient_recovers() {
+        let b = bench("ne", 49);
+        let (result, fired) = run_with_faults(
+            &b,
+            nesterov_electro_opts(),
+            vec![Fault::NanGradient { stage: "gp/final".into(), outer: 1, times: 1 }],
+        );
+        let result = result.unwrap();
+        assert_eq!(fired, 1);
+        assert_legal_and_finite(&b, &result);
+        assert!(result.trace.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::StepHalved { stage, .. } if stage == "gp/final"
+        )));
+    }
+
+    #[test]
+    fn nesterov_electro_persistent_nan_gradient_degrades_but_completes() {
+        let b = bench("np", 49);
+        let (result, fired) = run_with_faults(
+            &b,
+            nesterov_electro_opts(),
+            vec![Fault::NanGradient { stage: "gp/final".into(), outer: 0, times: usize::MAX }],
+        );
+        let result = result.unwrap();
+        assert!(fired > 0);
+        assert_legal_and_finite(&b, &result);
+        let degraded = result.degraded.as_ref().expect("exhausted retries must degrade");
+        assert_eq!(degraded.stage, "gp/final");
+    }
+
+    #[test]
+    fn nesterov_electro_budget_exhaustion_truncates_cleanly() {
+        let b = bench("nbu", 50);
+        let (result, fired) = run_with_faults(
+            &b,
+            nesterov_electro_opts(),
+            vec![Fault::InflationBudgetExhausted { round: 0 }],
+        );
+        let result = result.unwrap();
+        assert_eq!(fired, 1);
+        assert_legal_and_finite(&b, &result);
+        let degraded = result.degraded.as_ref().expect("budget truncation must degrade");
+        assert!(degraded.events.iter().any(|e| matches!(
+            e,
+            RecoveryEvent::BudgetTruncated { scope, at_round: 0 } if scope == "inflation"
+        )));
+    }
+
+    #[test]
+    fn nesterov_electro_faulted_runs_are_thread_invariant() {
+        for faults in [
+            vec![Fault::NanGradient { stage: "gp/final".into(), outer: 1, times: 1 }],
+            vec![Fault::InflationBudgetExhausted { round: 0 }],
+        ] {
+            let mut bits = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let b = bench("nti", 51);
+                let (result, _) = run_with_faults(
+                    &b,
+                    nesterov_electro_opts().with_threads(threads),
+                    faults.clone(),
+                );
+                bits.push(result.unwrap().hpwl.to_bits());
+            }
+            assert!(
+                bits.windows(2).all(|w| w[0] == w[1]),
+                "thread-variant Nesterov faulted run for {faults:?}: {bits:x?}"
+            );
+        }
+    }
+
     #[test]
     fn every_fault_kind_resolves_without_panic() {
         // The sweep the issue asks for: each injectable fault, alone,

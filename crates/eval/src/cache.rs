@@ -1,0 +1,78 @@
+//! Shared immutable benchmark cache.
+//!
+//! The serve layer runs many concurrent jobs that frequently target the
+//! same generated benchmark (retries of a failed job, repeated
+//! submissions of a named config). Generation is deterministic — equal
+//! configs produce bit-identical designs — so the cache can hand out one
+//! shared [`Arc<GeneratedBench>`] per distinct config without affecting
+//! results.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rdp_db::BuildError;
+use rdp_gen::{generate, GeneratedBench, GeneratorConfig};
+
+/// A thread-safe cache of generated benchmarks keyed by their full
+/// configuration. Two configs that differ in any field (including seed)
+/// occupy distinct entries.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    inner: Mutex<HashMap<String, Arc<GeneratedBench>>>,
+}
+
+impl DesignCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the benchmark for `config`, generating it on first use.
+    /// Concurrent callers asking for the same config may race to
+    /// generate, but generation is deterministic so the loser's copy is
+    /// bit-identical and simply dropped.
+    pub fn get_or_generate(
+        &self,
+        config: &GeneratorConfig,
+    ) -> Result<Arc<GeneratedBench>, BuildError> {
+        let key = format!("{config:?}");
+        if let Some(hit) = self.inner.lock().unwrap().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        // Generate outside the lock: a slow build must not serialize
+        // lookups of unrelated configs.
+        let bench = Arc::new(generate(config)?);
+        let mut map = self.inner.lock().unwrap();
+        Ok(Arc::clone(map.entry(key).or_insert(bench)))
+    }
+
+    /// Number of distinct configs currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_shares_one_bench_per_config() {
+        let cache = DesignCache::new();
+        let cfg = GeneratorConfig::tiny("cache", 7);
+        let a = cache.get_or_generate(&cfg).unwrap();
+        let b = cache.get_or_generate(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+
+        let other = GeneratorConfig::tiny("cache", 8); // seed differs
+        let c = cache.get_or_generate(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -16,7 +16,9 @@
 //!   `h1..h4` hierarchical) substituting the contest circuits;
 //! * [`runner`] — place-then-score flows with per-stage timing;
 //! * [`report`] — aligned text tables and CSV emission for
-//!   `target/experiments/`.
+//!   `target/experiments/`;
+//! * [`cache`] — [`DesignCache`], a shared immutable benchmark cache for
+//!   callers (like `rdp-serve`) that evaluate the same config repeatedly.
 //!
 //! # Examples
 //!
@@ -32,12 +34,14 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod report;
 pub mod runner;
 pub mod score;
 pub mod session;
 pub mod suite;
 
+pub use cache::DesignCache;
 pub use runner::{run_flow, run_flow_with, FlowOutcome};
 pub use score::{score_placement, score_placement_with, ContestScore};
 pub use session::EvalSession;

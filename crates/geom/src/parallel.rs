@@ -34,7 +34,10 @@
 //! a nested dispatch (a chunk function invoking the pool again) degrades to
 //! inline execution on the caller. Worker panics are caught in the worker
 //! (which survives and returns to its parked state) and re-raised on the
-//! dispatching thread as `"parallel worker panicked"`.
+//! dispatching thread as `"parallel worker panicked at chunk N ..."`,
+//! attributing the failure to the chunk index and — when the dispatcher
+//! holds a [`DispatchLabel`] — the job that issued the dispatch, so a job
+//! server's logs can tie a kernel panic back to a job.
 //!
 //! No external crates: workers are plain `std::thread` instances, so the
 //! primitive works in the zero-network build environment this workspace
@@ -55,11 +58,102 @@
 //! assert_eq!(total, 499_500.0);
 //! ```
 
+use std::any::Any;
+use std::cell::RefCell;
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+thread_local! {
+    /// Label attached to dispatches issued from this thread (see
+    /// [`DispatchLabel`]). Read on the dispatching thread when a chunk
+    /// panic is re-raised, so service logs can attribute the panic.
+    static DISPATCH_LABEL: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// RAII guard labeling every parallel dispatch issued from the current
+/// thread, so a chunk panic re-raises as
+/// `"parallel worker panicked at chunk N (job LABEL): ..."` instead of an
+/// anonymous message. A job server sets the label to its job id before
+/// running a flow; nested guards restore the previous label on drop.
+///
+/// The label is thread-local to the *dispatching* thread — exactly the
+/// thread that re-raises worker panics — so no synchronization is needed
+/// and concurrent jobs on different threads never mix labels.
+#[derive(Debug)]
+pub struct DispatchLabel {
+    prev: Option<String>,
+}
+
+impl DispatchLabel {
+    /// Sets `label` for dispatches from this thread until the guard drops.
+    pub fn enter(label: impl Into<String>) -> Self {
+        let prev = DISPATCH_LABEL.with(|l| l.borrow_mut().replace(label.into()));
+        DispatchLabel { prev }
+    }
+
+    /// The label currently in effect on this thread, if any.
+    pub fn current() -> Option<String> {
+        DISPATCH_LABEL.with(|l| l.borrow().clone())
+    }
+}
+
+impl Drop for DispatchLabel {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        DISPATCH_LABEL.with(|l| *l.borrow_mut() = prev);
+    }
+}
+
+/// First panic observed during a chunked dispatch: which chunk index blew
+/// up (`None`: a worker's `init` closure) and the stringified payload.
+struct ChunkPanic {
+    chunk: Option<usize>,
+    message: String,
+}
+
+/// Extracts the human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!`; anything else is typed out as opaque).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Records the first chunk panic of a dispatch and raises the abort flag
+/// so other participants stop claiming chunks.
+fn record_chunk_panic(
+    failure: &Mutex<Option<ChunkPanic>>,
+    abort: &AtomicBool,
+    chunk: Option<usize>,
+    payload: Box<dyn Any + Send>,
+) {
+    abort.store(true, Ordering::Relaxed);
+    let mut slot = failure.lock().expect("panic record poisoned");
+    if slot.is_none() {
+        *slot = Some(ChunkPanic { chunk, message: payload_message(payload.as_ref()) });
+    }
+}
+
+/// Re-raises a recorded chunk panic on the dispatching thread, attributing
+/// it to the failing chunk index and (when a [`DispatchLabel`] is in
+/// effect) the job that issued the dispatch.
+fn raise_chunk_panic(fail: ChunkPanic) -> ! {
+    let site = match fail.chunk {
+        Some(i) => format!("at chunk {i}"),
+        None => "during worker init".to_owned(),
+    };
+    match DispatchLabel::current() {
+        Some(job) => panic!("parallel worker panicked {site} (job {job}): {}", fail.message),
+        None => panic!("parallel worker panicked {site}: {}", fail.message),
+    }
+}
 
 /// A type-erased pointer to the job closure of the in-flight dispatch.
 ///
@@ -425,8 +519,11 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from `init` or `f` (all participants are joined
-/// first; an attached pool survives and stays usable).
+/// A panic from `init` or `f` is re-raised on the dispatching thread as
+/// `"parallel worker panicked at chunk N ..."` — including the failing
+/// chunk index and, when the dispatcher holds a [`DispatchLabel`], the job
+/// id — after all participants are joined (an attached pool survives and
+/// stays usable).
 pub fn chunked_map_with<S, R, I, F>(par: &Parallelism, num_chunks: usize, init: I, f: F) -> Vec<R>
 where
     R: Send,
@@ -439,26 +536,56 @@ where
     let workers = par.effective_threads().min(num_chunks);
     if workers <= 1 {
         let mut state = init();
-        return (0..num_chunks).map(|i| f(&mut state, i)).collect();
+        let mut out = Vec::with_capacity(num_chunks);
+        for i in 0..num_chunks {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                Ok(r) => out.push(r),
+                Err(payload) => raise_chunk_panic(ChunkPanic {
+                    chunk: Some(i),
+                    message: payload_message(payload.as_ref()),
+                }),
+            }
+        }
+        return out;
     }
 
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<ChunkPanic>> = Mutex::new(None);
     let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_chunks));
     let job = || {
-        let mut state = init();
+        let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+            Ok(s) => s,
+            Err(payload) => {
+                record_chunk_panic(&failure, &abort, None, payload);
+                return;
+            }
+        };
         let mut local = Vec::new();
         loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= num_chunks {
                 break;
             }
-            local.push((i, f(&mut state, i)));
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                Ok(r) => local.push((i, r)),
+                Err(payload) => {
+                    record_chunk_panic(&failure, &abort, Some(i), payload);
+                    break;
+                }
+            }
         }
         if !local.is_empty() {
             sink.lock().expect("result sink poisoned").extend(local);
         }
     };
     execute(par, workers, &job);
+    if let Some(fail) = failure.into_inner().expect("panic record poisoned") {
+        raise_chunk_panic(fail);
+    }
     let mut tagged = sink.into_inner().expect("result sink poisoned");
     // Restore the canonical order: whoever computed a chunk, its result
     // lands at its chunk index.
@@ -530,8 +657,9 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from `init` or `f` (all participants are joined
-/// first; an attached pool survives and stays usable).
+/// A panic from `init` or `f` is re-raised with chunk/job attribution
+/// (see [`chunked_map_with`]) after all participants are joined; an
+/// attached pool survives and stays usable.
 pub fn chunked_map_parts_with<P, S, R, I, F>(
     par: &Parallelism,
     parts: Vec<P>,
@@ -551,11 +679,17 @@ where
     let workers = par.effective_threads().min(num_chunks);
     if workers <= 1 {
         let mut state = init();
-        return parts
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut p)| f(&mut state, i, &mut p))
-            .collect();
+        let mut out = Vec::with_capacity(num_chunks);
+        for (i, mut p) in parts.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &mut p))) {
+                Ok(r) => out.push(r),
+                Err(payload) => raise_chunk_panic(ChunkPanic {
+                    chunk: Some(i),
+                    message: payload_message(payload.as_ref()),
+                }),
+            }
+        }
+        return out;
     }
 
     // One slot per part; a worker that claims chunk `i` takes sole
@@ -564,11 +698,22 @@ where
     // thread boundary safely.
     let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<ChunkPanic>> = Mutex::new(None);
     let sink: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_chunks));
     let job = || {
-        let mut state = init();
+        let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+            Ok(s) => s,
+            Err(payload) => {
+                record_chunk_panic(&failure, &abort, None, payload);
+                return;
+            }
+        };
         let mut local = Vec::new();
         loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= num_chunks {
                 break;
@@ -578,13 +723,22 @@ where
                 .expect("part slot poisoned")
                 .take()
                 .expect("part claimed twice");
-            local.push((i, f(&mut state, i, &mut part)));
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i, &mut part))) {
+                Ok(r) => local.push((i, r)),
+                Err(payload) => {
+                    record_chunk_panic(&failure, &abort, Some(i), payload);
+                    break;
+                }
+            }
         }
         if !local.is_empty() {
             sink.lock().expect("result sink poisoned").extend(local);
         }
     };
     execute(par, workers, &job);
+    if let Some(fail) = failure.into_inner().expect("panic record poisoned") {
+        raise_chunk_panic(fail);
+    }
     let mut tagged = sink.into_inner().expect("result sink poisoned");
     tagged.sort_unstable_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -610,8 +764,10 @@ where
 ///
 /// # Panics
 ///
-/// Propagates a panic from either family's `init` or body (all participants
-/// are joined first; an attached pool survives and stays usable).
+/// A panic from either family's `init` or body is re-raised with
+/// chunk/job attribution (the chunk index is the fused claim index over
+/// `0..a.len() + b.len()`; see [`chunked_map_with`]) after all
+/// participants are joined; an attached pool survives and stays usable.
 #[allow(clippy::too_many_arguments)]
 pub fn fused_chunked_parts<PA, SA, IA, FA, PB, SB, IB, FB>(
     par: &Parallelism,
@@ -640,13 +796,23 @@ pub fn fused_chunked_parts<PA, SA, IA, FA, PB, SB, IB, FB>(
         if na > 0 {
             let mut sa = init_a();
             for (i, mut p) in parts_a.into_iter().enumerate() {
-                fa(&mut sa, i, &mut p);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| fa(&mut sa, i, &mut p))) {
+                    raise_chunk_panic(ChunkPanic {
+                        chunk: Some(i),
+                        message: payload_message(payload.as_ref()),
+                    });
+                }
             }
         }
         if nb > 0 {
             let mut sb = init_b();
             for (i, mut p) in parts_b.into_iter().enumerate() {
-                fb(&mut sb, i, &mut p);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| fb(&mut sb, i, &mut p))) {
+                    raise_chunk_panic(ChunkPanic {
+                        chunk: Some(na + i),
+                        message: payload_message(payload.as_ref()),
+                    });
+                }
             }
         }
         return;
@@ -657,21 +823,28 @@ pub fn fused_chunked_parts<PA, SA, IA, FA, PB, SB, IB, FB>(
     let slots_b: Vec<Mutex<Option<PB>>> =
         parts_b.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<ChunkPanic>> = Mutex::new(None);
     let job = || {
         let mut sa: Option<SA> = None;
         let mut sb: Option<SB> = None;
         loop {
+            if abort.load(Ordering::Relaxed) {
+                break;
+            }
             let i = next.fetch_add(1, Ordering::Relaxed);
             if i >= total {
                 break;
             }
-            if i < na {
+            let step = if i < na {
                 let mut part = slots_a[i]
                     .lock()
                     .expect("part slot poisoned")
                     .take()
                     .expect("part claimed twice");
-                fa(sa.get_or_insert_with(&init_a), i, &mut part);
+                catch_unwind(AssertUnwindSafe(|| {
+                    fa(sa.get_or_insert_with(&init_a), i, &mut part)
+                }))
             } else {
                 let j = i - na;
                 let mut part = slots_b[j]
@@ -679,11 +852,20 @@ pub fn fused_chunked_parts<PA, SA, IA, FA, PB, SB, IB, FB>(
                     .expect("part slot poisoned")
                     .take()
                     .expect("part claimed twice");
-                fb(sb.get_or_insert_with(&init_b), j, &mut part);
+                catch_unwind(AssertUnwindSafe(|| {
+                    fb(sb.get_or_insert_with(&init_b), j, &mut part)
+                }))
+            };
+            if let Err(payload) = step {
+                record_chunk_panic(&failure, &abort, Some(i), payload);
+                break;
             }
         }
     };
     execute(par, workers, &job);
+    if let Some(fail) = failure.into_inner().expect("panic record poisoned") {
+        raise_chunk_panic(fail);
+    }
 }
 
 #[cfg(test)]
@@ -895,6 +1077,92 @@ mod tests {
         for _ in 0..5 {
             let out = chunked_map(&pooled, 16, |i| i * i);
             assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    /// Extracts the panic message of a caught chunk panic.
+    fn caught_message<T>(result: Result<T, Box<dyn std::any::Any + Send>>) -> String {
+        let payload = result.err().expect("expected a panic");
+        payload_message(payload.as_ref())
+    }
+
+    #[test]
+    fn panic_message_names_chunk_and_job() {
+        let pooled = Parallelism::with_pool(4);
+        let guard = DispatchLabel::enter("job-42");
+        let msg = caught_message(catch_unwind(AssertUnwindSafe(|| {
+            chunked_map(&pooled, 16, |i| {
+                if i == 7 {
+                    panic!("chunk payload {i}");
+                }
+                i
+            })
+        })));
+        drop(guard);
+        assert!(msg.contains("parallel worker panicked at chunk 7"), "got: {msg}");
+        assert!(msg.contains("(job job-42)"), "got: {msg}");
+        assert!(msg.contains("chunk payload 7"), "got: {msg}");
+        // Without a label the job clause is absent.
+        let msg = caught_message(catch_unwind(AssertUnwindSafe(|| {
+            chunked_map(&pooled, 16, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        })));
+        assert!(msg.contains("at chunk 3"), "got: {msg}");
+        assert!(!msg.contains("job"), "got: {msg}");
+        // The pool is still fully operational after both panics.
+        let out = chunked_map(&pooled, 16, |i| i * 2);
+        assert_eq!(out, (0..16).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_panic_carries_the_same_attribution() {
+        let _guard = DispatchLabel::enter("inline-job");
+        let msg = caught_message(catch_unwind(AssertUnwindSafe(|| {
+            chunked_map(&Parallelism::single(), 4, |i| {
+                if i == 2 {
+                    panic!("inline boom");
+                }
+                i
+            })
+        })));
+        assert!(msg.contains("at chunk 2"), "got: {msg}");
+        assert!(msg.contains("(job inline-job)"), "got: {msg}");
+    }
+
+    #[test]
+    fn dispatch_labels_nest_and_restore() {
+        assert_eq!(DispatchLabel::current(), None);
+        let outer = DispatchLabel::enter("outer");
+        assert_eq!(DispatchLabel::current().as_deref(), Some("outer"));
+        {
+            let _inner = DispatchLabel::enter("inner");
+            assert_eq!(DispatchLabel::current().as_deref(), Some("inner"));
+        }
+        assert_eq!(DispatchLabel::current().as_deref(), Some("outer"));
+        drop(outer);
+        assert_eq!(DispatchLabel::current(), None);
+    }
+
+    #[test]
+    fn parts_panic_names_chunk() {
+        for par in [Parallelism::new(3), Parallelism::with_pool(3)] {
+            let mut data = [0u32; 60];
+            let spans: Vec<_> = chunk_spans(data.len(), 10).collect();
+            let parts = split_at_spans(&mut data, &spans);
+            let msg = caught_message(catch_unwind(AssertUnwindSafe(|| {
+                chunked_map_parts(&par, parts, |i, _part| {
+                    if i == 4 {
+                        panic!("part boom");
+                    }
+                    i
+                })
+            })));
+            assert!(msg.contains("at chunk 4"), "got: {msg}");
+            assert!(msg.contains("part boom"), "got: {msg}");
         }
     }
 

@@ -1,0 +1,67 @@
+//! Exponential retry backoff with deterministic jitter.
+
+use std::time::Duration;
+
+use rdp_geom::rng::Rng;
+
+/// Delay before retry number `attempt` (1 = first retry) of job `job_id`.
+///
+/// The schedule is `base · 2^(attempt-1)` capped at `cap`, scaled by a
+/// jitter factor in `[0.5, 1.0]` drawn from an RNG seeded by
+/// `(seed, job_id, attempt)` — deterministic for a given server seed (so
+/// chaos runs replay exactly) while still de-correlating concurrent
+/// retries.
+pub fn backoff_delay(
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    job_id: u64,
+    attempt: usize,
+) -> Duration {
+    let exp = attempt.saturating_sub(1).min(32) as u32;
+    let raw = base.saturating_mul(1u32 << exp.min(20));
+    let capped = raw.min(cap);
+    let mut rng = Rng::seed_from_u64(
+        seed ^ job_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (attempt as u64) << 17,
+    );
+    let jitter = 0.5 + 0.5 * (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    capped.mul_f64(jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..12 {
+            let a = backoff_delay(BASE, CAP, 7, 3, attempt);
+            let b = backoff_delay(BASE, CAP, 7, 3, attempt);
+            assert_eq!(a, b, "same inputs must give the same delay");
+            assert!(a <= CAP, "delay {a:?} exceeds cap at attempt {attempt}");
+            assert!(a >= BASE / 2, "delay {a:?} below half the base");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_until_the_cap() {
+        // Jitter is within [0.5, 1.0], so comparing attempt k with
+        // attempt k+2 (4x the raw delay) is monotone despite jitter.
+        for attempt in 1..6 {
+            let early = backoff_delay(BASE, CAP, 1, 1, attempt);
+            let later = backoff_delay(BASE, CAP, 1, 1, attempt + 2);
+            assert!(later >= early, "attempt {attempt}: {later:?} < {early:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_decorrelates_jobs() {
+        let delays: Vec<Duration> =
+            (0..8).map(|job| backoff_delay(BASE, CAP, 42, job, 1)).collect();
+        let distinct: std::collections::HashSet<_> = delays.iter().collect();
+        assert!(distinct.len() > 1, "all jobs share one delay: {delays:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Server tuning knobs.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rdp_core::FlowBudget;
+
+/// Configuration of a [`crate::JobServer`].
+///
+/// The defaults run jobs sequentially on one worker with an effectively
+/// unlimited queue and no budgets — every hardening feature is opt-in so
+/// tests and the CLI pick exactly the behaviours they exercise.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs. `0` starts no workers: submissions
+    /// queue up but never run (useful for admission-control tests and
+    /// drained maintenance mode).
+    pub workers: usize,
+    /// Kernel threads each job's placer uses. The deterministic kernels
+    /// make results independent of this, so it is purely a throughput
+    /// knob.
+    pub threads_per_job: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected with
+    /// a retry-after hint.
+    pub queue_capacity: usize,
+    /// Memory-pressure cap: total `num_cells` across queued jobs. When a
+    /// submission would exceed it, the oldest queued jobs are shed
+    /// (terminal [`crate::JobStatus::Shed`]) to make room.
+    pub max_queued_cells: usize,
+    /// Maximum attempts per job (first run + retries).
+    pub max_attempts: usize,
+    /// Base delay of the exponential retry backoff.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Per-job placement budgets (degradation ladder inside the flow).
+    pub budget: FlowBudget,
+    /// Per-job wall-clock deadline measured from admission. Jobs whose
+    /// deadline expires before an attempt starts fail terminally; a
+    /// running attempt has its flow budget clamped to the remaining time.
+    pub deadline: Option<Duration>,
+    /// Spool directory for job specs and checkpoints. `None` disables
+    /// persistence (jobs die with the server).
+    pub spool_dir: Option<PathBuf>,
+    /// Score completed placements with the contest evaluator (routes the
+    /// design — noticeably slower; off by default).
+    pub score: bool,
+    /// Seed for backoff jitter (and nothing else — job results never
+    /// depend on it).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            threads_per_job: 1,
+            queue_capacity: 1024,
+            max_queued_cells: usize::MAX,
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            budget: FlowBudget::default(),
+            deadline: None,
+            spool_dir: None,
+            score: false,
+            seed: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-job kernel thread count.
+    pub fn with_threads_per_job(mut self, threads: usize) -> Self {
+        self.threads_per_job = threads.max(1);
+        self
+    }
+
+    /// Sets the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the queued-cells memory cap.
+    pub fn with_max_queued_cells(mut self, cells: usize) -> Self {
+        self.max_queued_cells = cells;
+        self
+    }
+
+    /// Sets the attempt limit.
+    pub fn with_max_attempts(mut self, attempts: usize) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the backoff window.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.base_backoff = base;
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Sets the per-job flow budget.
+    pub fn with_budget(mut self, budget: FlowBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables spooling under `dir`.
+    pub fn with_spool_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Enables contest scoring of completed placements.
+    pub fn with_scoring(mut self) -> Self {
+        self.score = true;
+        self
+    }
+}

@@ -1,0 +1,392 @@
+//! Job specifications, lifecycle states and reports.
+//!
+//! A job names a deterministic `rdp-gen` benchmark to place (and
+//! optionally score). Specs serialize to a line-oriented text form so the
+//! server can spool them to disk and survive restarts; floats travel as
+//! `f64` bit patterns so the round trip is bitwise lossless — the
+//! determinism contract of the whole service hangs on that.
+
+use std::fmt;
+
+use rdp_core::DegradedResult;
+use rdp_db::Placement;
+use rdp_gen::{GeneratorConfig, RouteConfig};
+
+/// A placement job: generate `gen`, place it, optionally score it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Human-readable job name (also the benchmark name).
+    pub gen: GeneratorConfig,
+    /// Chaos faults to inject into this job's attempts (testing only; an
+    /// empty plan is the production case).
+    pub chaos: Vec<ChaosFault>,
+}
+
+impl JobSpec {
+    /// A plain job for `config` with no chaos plan.
+    pub fn new(config: GeneratorConfig) -> Self {
+        JobSpec { gen: config, chaos: Vec::new() }
+    }
+
+    /// The job's display name (the benchmark name).
+    pub fn name(&self) -> &str {
+        &self.gen.name
+    }
+}
+
+/// One injectable service-level fault. Panic variants work in every
+/// build; the `NanGradient` / `BudgetExhausted` variants additionally
+/// need the `chaos` feature (they arm the `rdp-core` fault hooks) and are
+/// silently inert without it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosFault {
+    /// Panic on the worker thread before the flow starts, `times` times
+    /// (each attempt that sees a remaining charge spends one and dies).
+    PanicBeforePlace {
+        /// Remaining panic charges.
+        times: usize,
+    },
+    /// Panic inside a parallel kernel chunk dispatched under the job's
+    /// label, `times` times — exercises the pool's panic attribution and
+    /// proves the pool stays usable afterwards.
+    PanicInKernel {
+        /// Chunk index that panics.
+        chunk: usize,
+        /// Remaining panic charges.
+        times: usize,
+    },
+    /// Arm an `rdp-core` NaN-gradient fault for the attempt, targeted at
+    /// the final GP stage (which runs before the first checkpoint, so
+    /// resumed attempts can never re-fire it). Needs the `chaos`
+    /// feature.
+    NanGradient {
+        /// Outer (penalty) round to fire in.
+        outer: usize,
+        /// How many times to fire.
+        times: usize,
+    },
+    /// Arm an `rdp-core` inflation-budget-exhaustion fault for the
+    /// attempt. Needs the `chaos` feature.
+    BudgetExhausted {
+        /// Routability round to fire in.
+        round: usize,
+    },
+}
+
+/// Why a submission was rejected at the door.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejected {
+    /// The admission queue is full; retry after the hinted delay.
+    QueueFull {
+        /// Client retry hint.
+        retry_after: std::time::Duration,
+    },
+    /// The job alone exceeds the server's queued-cells memory cap.
+    Oversized {
+        /// The configured cap.
+        max_queued_cells: usize,
+    },
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { retry_after } => {
+                write!(f, "queue full, retry after {retry_after:?}")
+            }
+            Rejected::Oversized { max_queued_cells } => write!(
+                f,
+                "job exceeds the queued-cells cap of {max_queued_cells}"
+            ),
+            Rejected::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Final numbers of a completed (or degraded-but-completed) job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Final HPWL.
+    pub hpwl: f64,
+    /// Cells legalization could not place (0 on a healthy run).
+    pub legal_failures: usize,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: usize,
+    /// Whether the run resumed from a spooled checkpoint.
+    pub resumed: bool,
+    /// Structured degradation report, when the flow degraded.
+    pub degraded: Option<DegradedResult>,
+    /// Contest scaled HPWL, when scoring was enabled.
+    pub scaled_hpwl: Option<f64>,
+    /// The final placement (kept for bitwise verification).
+    pub placement: Placement,
+}
+
+/// Lifecycle state of a job. `Done`, `Degraded`, `Failed` and `Shed` are
+/// terminal; every admitted job reaches exactly one of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Waiting in the admission queue (possibly for a backoff window).
+    Queued,
+    /// An attempt is running on a worker.
+    Running {
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// Completed cleanly.
+    Done(JobReport),
+    /// Completed through the degradation ladder — the placement is the
+    /// best recovered one, with the event trail in the report.
+    Degraded(JobReport),
+    /// Terminally failed after exhausting retries (or a non-retryable
+    /// error). `trail` records every attempt's failure, oldest first.
+    Failed {
+        /// Final failure reason.
+        reason: String,
+        /// Attempts consumed.
+        attempts: usize,
+        /// Per-attempt failure messages.
+        trail: Vec<String>,
+    },
+    /// Shed from the queue under memory pressure before running.
+    Shed,
+}
+
+impl JobStatus {
+    /// Whether the status is terminal.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done(_) | JobStatus::Degraded(_) | JobStatus::Failed { .. } | JobStatus::Shed
+        )
+    }
+
+    /// Short state name for tables and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running { .. } => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Degraded(_) => "degraded",
+            JobStatus::Failed { .. } => "failed",
+            JobStatus::Shed => "shed",
+        }
+    }
+
+    /// The report of a `Done`/`Degraded` job.
+    pub fn report(&self) -> Option<&JobReport> {
+        match self {
+            JobStatus::Done(r) | JobStatus::Degraded(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Error from parsing a spooled job spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecParseError(pub String);
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad job spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecParseError {}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_bits(s: &str) -> Result<f64, SpecParseError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|e| SpecParseError(format!("bad f64 bits `{s}`: {e}")))
+}
+
+impl JobSpec {
+    /// Serializes the spec to the spool text form (bitwise lossless).
+    pub fn to_text(&self) -> String {
+        let g = &self.gen;
+        let r = &g.route;
+        let mut out = String::from("rdp-job v1\n");
+        out.push_str(&format!("name {}\n", g.name));
+        out.push_str(&format!("seed {}\n", g.seed));
+        out.push_str(&format!("num_cells {}\n", g.num_cells));
+        out.push_str(&format!("num_macros {}\n", g.num_macros));
+        out.push_str(&format!("num_fixed {}\n", g.num_fixed));
+        out.push_str(&format!("num_io {}\n", g.num_io));
+        out.push_str(&format!("target_utilization {}\n", bits(g.target_utilization)));
+        out.push_str(&format!("macro_area_share {}\n", bits(g.macro_area_share)));
+        out.push_str(&format!("nets_per_cell {}\n", bits(g.nets_per_cell)));
+        out.push_str(&format!("locality {}\n", bits(g.locality)));
+        out.push_str(&format!("module_size {}\n", g.module_size));
+        out.push_str(&format!("num_regions {}\n", g.num_regions));
+        out.push_str(&format!("fence_utilization {}\n", bits(g.fence_utilization)));
+        out.push_str(&format!("row_height {}\n", bits(g.row_height)));
+        out.push_str(&format!("site_width {}\n", bits(g.site_width)));
+        out.push_str(&format!("route_num_layers {}\n", r.num_layers));
+        out.push_str(&format!("route_tracks_h {}\n", bits(r.tracks_per_edge_h)));
+        out.push_str(&format!("route_tracks_v {}\n", bits(r.tracks_per_edge_v)));
+        out.push_str(&format!("route_tile_rows {}\n", bits(r.tile_rows)));
+        out.push_str(&format!("route_porosity {}\n", bits(r.blockage_porosity)));
+        for fault in &self.chaos {
+            match fault {
+                ChaosFault::PanicBeforePlace { times } => {
+                    out.push_str(&format!("chaos panic_before {times}\n"));
+                }
+                ChaosFault::PanicInKernel { chunk, times } => {
+                    out.push_str(&format!("chaos panic_kernel {chunk} {times}\n"));
+                }
+                ChaosFault::NanGradient { outer, times } => {
+                    out.push_str(&format!("chaos nan {outer} {times}\n"));
+                }
+                ChaosFault::BudgetExhausted { round } => {
+                    out.push_str(&format!("chaos budget {round}\n"));
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the spool text form.
+    pub fn from_text(text: &str) -> Result<Self, SpecParseError> {
+        let mut lines = text.lines();
+        if lines.next() != Some("rdp-job v1") {
+            return Err(SpecParseError("missing `rdp-job v1` header".into()));
+        }
+        let mut gen = GeneratorConfig::tiny("", 0);
+        gen.route = RouteConfig::default();
+        let mut chaos = Vec::new();
+        let mut saw_end = false;
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let mut field = |name: &str| -> Result<String, SpecParseError> {
+                parts
+                    .next()
+                    .map(str::to_string)
+                    .ok_or_else(|| SpecParseError(format!("`{name}` missing value")))
+            };
+            macro_rules! int {
+                ($name:literal) => {
+                    field($name)?
+                        .parse()
+                        .map_err(|e| SpecParseError(format!("bad {}: {e}", $name)))?
+                };
+            }
+            match key {
+                "name" => gen.name = field("name")?,
+                "seed" => gen.seed = int!("seed"),
+                "num_cells" => gen.num_cells = int!("num_cells"),
+                "num_macros" => gen.num_macros = int!("num_macros"),
+                "num_fixed" => gen.num_fixed = int!("num_fixed"),
+                "num_io" => gen.num_io = int!("num_io"),
+                "target_utilization" => {
+                    gen.target_utilization = parse_bits(&field("target_utilization")?)?
+                }
+                "macro_area_share" => gen.macro_area_share = parse_bits(&field("macro_area_share")?)?,
+                "nets_per_cell" => gen.nets_per_cell = parse_bits(&field("nets_per_cell")?)?,
+                "locality" => gen.locality = parse_bits(&field("locality")?)?,
+                "module_size" => gen.module_size = int!("module_size"),
+                "num_regions" => gen.num_regions = int!("num_regions"),
+                "fence_utilization" => {
+                    gen.fence_utilization = parse_bits(&field("fence_utilization")?)?
+                }
+                "row_height" => gen.row_height = parse_bits(&field("row_height")?)?,
+                "site_width" => gen.site_width = parse_bits(&field("site_width")?)?,
+                "route_num_layers" => gen.route.num_layers = int!("route_num_layers"),
+                "route_tracks_h" => gen.route.tracks_per_edge_h = parse_bits(&field("route_tracks_h")?)?,
+                "route_tracks_v" => gen.route.tracks_per_edge_v = parse_bits(&field("route_tracks_v")?)?,
+                "route_tile_rows" => gen.route.tile_rows = parse_bits(&field("route_tile_rows")?)?,
+                "route_porosity" => gen.route.blockage_porosity = parse_bits(&field("route_porosity")?)?,
+                "chaos" => {
+                    let kind = field("chaos kind")?;
+                    match kind.as_str() {
+                        "panic_before" => chaos.push(ChaosFault::PanicBeforePlace {
+                            times: field("times")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos times: {e}"))
+                            })?,
+                        }),
+                        "panic_kernel" => chaos.push(ChaosFault::PanicInKernel {
+                            chunk: field("chunk")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos chunk: {e}"))
+                            })?,
+                            times: field("times")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos times: {e}"))
+                            })?,
+                        }),
+                        "nan" => chaos.push(ChaosFault::NanGradient {
+                            outer: field("outer")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos outer: {e}"))
+                            })?,
+                            times: field("times")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos times: {e}"))
+                            })?,
+                        }),
+                        "budget" => chaos.push(ChaosFault::BudgetExhausted {
+                            round: field("round")?.parse().map_err(|e| {
+                                SpecParseError(format!("bad chaos round: {e}"))
+                            })?,
+                        }),
+                        other => {
+                            return Err(SpecParseError(format!("unknown chaos kind `{other}`")))
+                        }
+                    }
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(SpecParseError(format!("unknown key `{other}`"))),
+            }
+        }
+        if !saw_end {
+            return Err(SpecParseError("truncated spec (no `end`)".into()));
+        }
+        if gen.name.is_empty() {
+            return Err(SpecParseError("spec has no name".into()));
+        }
+        Ok(JobSpec { gen, chaos })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_text_round_trip_is_lossless() {
+        let mut cfg = GeneratorConfig::tiny("rt", 99);
+        cfg.target_utilization = 0.123_456_789_012_345;
+        cfg.route.tracks_per_edge_h = 22.25;
+        let spec = JobSpec {
+            gen: cfg,
+            chaos: vec![
+                ChaosFault::PanicBeforePlace { times: 2 },
+                ChaosFault::PanicInKernel { chunk: 3, times: 1 },
+                ChaosFault::NanGradient { outer: 1, times: usize::MAX },
+                ChaosFault::BudgetExhausted { round: 0 },
+            ],
+        };
+        let restored = JobSpec::from_text(&spec.to_text()).unwrap();
+        assert_eq!(restored, spec);
+    }
+
+    #[test]
+    fn spec_parse_rejects_garbage_and_truncation() {
+        assert!(JobSpec::from_text("nonsense").is_err());
+        let spec = JobSpec::new(GeneratorConfig::tiny("t", 1));
+        let text = spec.to_text();
+        let truncated: String =
+            text.lines().take(4).map(|l| format!("{l}\n")).collect();
+        assert!(JobSpec::from_text(&truncated).is_err());
+        let corrupt = text.replace("num_cells", "cells_num");
+        assert!(JobSpec::from_text(&corrupt).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! Hardened placement-as-a-service on top of `rdp-core`.
+//!
+//! [`JobServer`] runs place(-and-score) jobs for deterministic `rdp-gen`
+//! benchmarks on a bounded worker pool, hardened end to end:
+//!
+//! * **admission control** — a bounded queue rejects with a retry-after
+//!   hint when full, and a queued-cells memory cap sheds the oldest
+//!   queued jobs under pressure ([`job`]);
+//! * **budgets and deadlines** — each job runs under a
+//!   [`rdp_core::FlowBudget`] clamped to its remaining wall-clock
+//!   deadline, surfacing the in-flow degradation ladder as structured
+//!   job status ([`config`]);
+//! * **retry with backoff** — recoverable faults (worker panics,
+//!   unrecoverable divergence) retry with exponential backoff and
+//!   deterministic jitter, bounded by `max_attempts`; the per-attempt
+//!   failure trail survives into the terminal `Failed` status
+//!   ([`backoff`]);
+//! * **checkpoint-resume** — per-stage `FlowCheckpoint`s are spooled to
+//!   disk; a killed server's successor re-admits unfinished jobs and
+//!   resumes them bitwise-identically from the last completed stage
+//!   ([`spool`]);
+//! * **chaos testing** — specs carry an optional fault plan (worker
+//!   panics always available; NaN-gradient / budget-exhaustion with the
+//!   `chaos` feature) so the service's failure envelope is itself under
+//!   test ([`job::ChaosFault`]).
+//!
+//! Everything observable about a finished job — the placement bits, the
+//! HPWL — depends only on its spec, never on worker count, kernel thread
+//! count, retry schedule or restarts. That is the service-level
+//! extension of the kernels' thread-count invariance.
+//!
+//! # Examples
+//!
+//! ```
+//! use rdp_gen::GeneratorConfig;
+//! use rdp_serve::{JobServer, JobSpec, ServerConfig};
+//!
+//! let mut server = JobServer::start(ServerConfig::default());
+//! let id = server.submit(JobSpec::new(GeneratorConfig::tiny("demo", 1))).unwrap();
+//! let status = server.wait(id).unwrap();
+//! assert_eq!(status.kind(), "done");
+//! ```
+
+pub mod backoff;
+pub mod config;
+pub mod job;
+pub mod server;
+pub mod spool;
+
+pub use config::ServerConfig;
+pub use job::{ChaosFault, JobReport, JobSpec, JobStatus, Rejected};
+pub use server::JobServer;

@@ -1,0 +1,235 @@
+//! Service-level hardening tests: admission control, shedding, retry,
+//! deadline enforcement, panic attribution and halt/restart resume.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rdp_core::{PlaceOptions, Placer};
+use rdp_gen::{generate, GeneratorConfig};
+use rdp_serve::{ChaosFault, JobServer, JobSpec, JobStatus, Rejected, ServerConfig};
+
+fn fast_retry() -> ServerConfig {
+    ServerConfig::default().with_backoff(Duration::from_millis(1), Duration::from_millis(5))
+}
+
+fn tmp_spool(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("rdp_serve_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bit-exact fingerprint of a job's final placement.
+fn placement_bits(cfg: &GeneratorConfig, status: &JobStatus) -> Vec<(u64, u64)> {
+    let bench = generate(cfg).unwrap();
+    let report = status.report().expect("terminal status with a report");
+    bench
+        .design
+        .node_ids()
+        .map(|id| {
+            let c = report.placement.center(id);
+            (c.x.to_bits(), c.y.to_bits())
+        })
+        .collect()
+}
+
+/// The oracle: the same benchmark placed directly, no server involved.
+fn direct_bits(cfg: &GeneratorConfig, threads: usize) -> Vec<(u64, u64)> {
+    let bench = generate(cfg).unwrap();
+    let result = Placer::new(&bench.design, PlaceOptions::fast().with_threads(threads))
+        .with_initial(bench.placement.clone())
+        .run()
+        .unwrap();
+    bench
+        .design
+        .node_ids()
+        .map(|id| {
+            let c = result.placement.center(id);
+            (c.x.to_bits(), c.y.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn served_job_matches_a_direct_run_bitwise() {
+    let cfg = GeneratorConfig::tiny("sv-direct", 11);
+    let server = JobServer::start(ServerConfig::default());
+    let id = server.submit(JobSpec::new(cfg.clone())).unwrap();
+    let status = server.wait(id).unwrap();
+    let report = status.report().expect("job completes");
+    assert_eq!(status.kind(), "done");
+    assert_eq!(report.attempts, 1);
+    assert!(!report.resumed);
+    assert_eq!(report.legal_failures, 0);
+    assert_eq!(placement_bits(&cfg, &status), direct_bits(&cfg, 1));
+}
+
+#[test]
+fn admission_rejects_when_the_queue_is_full() {
+    // No workers: the queue fills deterministically.
+    let server = JobServer::start(ServerConfig::default().with_workers(0).with_queue_capacity(2));
+    server.submit(JobSpec::new(GeneratorConfig::tiny("q1", 1))).unwrap();
+    server.submit(JobSpec::new(GeneratorConfig::tiny("q2", 2))).unwrap();
+    match server.submit(JobSpec::new(GeneratorConfig::tiny("q3", 3))) {
+        Err(Rejected::QueueFull { retry_after }) => {
+            assert!(retry_after > Duration::ZERO, "retry hint must be positive");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+}
+
+#[test]
+fn memory_pressure_sheds_the_oldest_queued_job() {
+    // Two tiny jobs (500 cells each) fit under the cap; the third sheds
+    // the oldest.
+    let server =
+        JobServer::start(ServerConfig::default().with_workers(0).with_max_queued_cells(1_000));
+    let a = server.submit(JobSpec::new(GeneratorConfig::tiny("m1", 1))).unwrap();
+    let b = server.submit(JobSpec::new(GeneratorConfig::tiny("m2", 2))).unwrap();
+    let c = server.submit(JobSpec::new(GeneratorConfig::tiny("m3", 3))).unwrap();
+    assert_eq!(server.status(a).unwrap(), JobStatus::Shed);
+    assert_eq!(server.status(b).unwrap(), JobStatus::Queued);
+    assert_eq!(server.status(c).unwrap(), JobStatus::Queued);
+
+    // A job that alone exceeds the cap is rejected outright.
+    let mut big = GeneratorConfig::tiny("m4", 4);
+    big.num_cells = 5_000;
+    match server.submit(JobSpec::new(big)) {
+        Err(Rejected::Oversized { max_queued_cells }) => assert_eq!(max_queued_cells, 1_000),
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_worker_panic_retries_to_done() {
+    let cfg = GeneratorConfig::tiny("sv-retry", 12);
+    let server = JobServer::start(fast_retry().with_max_attempts(3));
+    let spec = JobSpec {
+        gen: cfg.clone(),
+        chaos: vec![ChaosFault::PanicBeforePlace { times: 1 }],
+    };
+    let id = server.submit(spec).unwrap();
+    let status = server.wait(id).unwrap();
+    assert_eq!(status.kind(), "done", "got {status:?}");
+    assert_eq!(status.report().unwrap().attempts, 2);
+    // The retried result is still bitwise the oracle's.
+    assert_eq!(placement_bits(&cfg, &status), direct_bits(&cfg, 1));
+}
+
+#[test]
+fn persistent_panic_fails_terminally_with_the_attempt_trail() {
+    let server = JobServer::start(fast_retry().with_max_attempts(2));
+    let spec = JobSpec {
+        gen: GeneratorConfig::tiny("sv-fail", 13),
+        chaos: vec![ChaosFault::PanicBeforePlace { times: usize::MAX }],
+    };
+    let id = server.submit(spec).unwrap();
+    match server.wait(id).unwrap() {
+        JobStatus::Failed { reason, attempts, trail } => {
+            assert_eq!(attempts, 2);
+            assert_eq!(trail.len(), 2);
+            assert!(reason.contains("chaos"), "reason: {reason}");
+            assert!(trail[0].starts_with("attempt 1:"), "trail: {trail:?}");
+            assert!(trail[1].starts_with("attempt 2:"), "trail: {trail:?}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn kernel_panic_is_attributed_and_the_pool_stays_usable() {
+    let server = JobServer::start(
+        fast_retry().with_max_attempts(2).with_threads_per_job(2),
+    );
+    let spec = JobSpec {
+        gen: GeneratorConfig::tiny("sv-kpanic", 14),
+        chaos: vec![ChaosFault::PanicInKernel { chunk: 1, times: usize::MAX }],
+    };
+    let id = server.submit(spec).unwrap();
+    match server.wait(id).unwrap() {
+        JobStatus::Failed { reason, .. } => {
+            // Satellite of ISSUE 9: the panic names the failing chunk and
+            // the job the dispatch belonged to.
+            assert!(reason.contains("at chunk 1"), "reason: {reason}");
+            assert!(reason.contains("job job-000001/sv-kpanic"), "reason: {reason}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+
+    // The same worker (and its persistent kernel pool) must finish a
+    // clean job afterwards.
+    let cfg = GeneratorConfig::tiny("sv-after", 15);
+    let id2 = server.submit(JobSpec::new(cfg.clone())).unwrap();
+    let status = server.wait(id2).unwrap();
+    assert_eq!(status.kind(), "done", "got {status:?}");
+    assert_eq!(placement_bits(&cfg, &status), direct_bits(&cfg, 2));
+}
+
+#[test]
+fn expired_deadline_fails_before_wasting_an_attempt() {
+    let server = JobServer::start(ServerConfig::default().with_deadline(Duration::ZERO));
+    let id = server.submit(JobSpec::new(GeneratorConfig::tiny("sv-dead", 16))).unwrap();
+    match server.wait(id).unwrap() {
+        JobStatus::Failed { reason, .. } => {
+            assert!(reason.contains("deadline"), "reason: {reason}");
+        }
+        other => panic!("expected Failed, got {other:?}"),
+    }
+}
+
+#[test]
+fn halted_server_resumes_jobs_from_the_spool_bitwise() {
+    let spool = tmp_spool("resume");
+    let cfg = GeneratorConfig::tiny("sv-resume", 17);
+    let oracle = direct_bits(&cfg, 1);
+
+    let mut server = JobServer::start(ServerConfig::default().with_spool_dir(&spool));
+    let id = server.submit(JobSpec::new(cfg.clone())).unwrap();
+    // Kill the server as soon as the job has made checkpointed progress.
+    while server.checkpoint_stage(id).is_none() {
+        if server.status(id).map(|s| s.is_terminal()).unwrap_or(true) {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    server.halt();
+    let interrupted = !server.status(id).unwrap().is_terminal();
+    drop(server);
+
+    let server = JobServer::start(ServerConfig::default().with_spool_dir(&spool));
+    let status = server.wait(id).unwrap();
+    assert_eq!(status.kind(), "done", "got {status:?}");
+    let report = status.report().unwrap();
+    if interrupted {
+        assert!(report.resumed, "restarted job should resume from its checkpoint");
+    }
+    assert_eq!(placement_bits(&cfg, &status), oracle);
+    // Terminal jobs leave no spool residue.
+    drop(server);
+    assert!(rdp_serve::spool::scan(&spool).is_empty());
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn restart_recovers_unstarted_jobs_with_their_ids() {
+    let spool = tmp_spool("unstarted");
+    let cfg_a = GeneratorConfig::tiny("sv-ua", 18);
+    let cfg_b = GeneratorConfig::tiny("sv-ub", 19);
+    {
+        // No workers: both jobs stay queued; the drop halts the server.
+        let server = JobServer::start(
+            ServerConfig::default().with_workers(0).with_spool_dir(&spool),
+        );
+        assert_eq!(server.submit(JobSpec::new(cfg_a.clone())).unwrap(), 1);
+        assert_eq!(server.submit(JobSpec::new(cfg_b.clone())).unwrap(), 2);
+    }
+    let server = JobServer::start(ServerConfig::default().with_spool_dir(&spool));
+    server.wait_all();
+    let a = server.wait(1).unwrap();
+    let b = server.wait(2).unwrap();
+    assert_eq!(a.kind(), "done");
+    assert_eq!(b.kind(), "done");
+    assert_eq!(placement_bits(&cfg_a, &a), direct_bits(&cfg_a, 1));
+    assert_eq!(placement_bits(&cfg_b, &b), direct_bits(&cfg_b, 1));
+    let _ = std::fs::remove_dir_all(&spool);
+}

@@ -2,12 +2,18 @@
 # Offline CI gate: build, test, lint. No network access required — the
 # workspace has zero external dependencies (see README "Offline builds").
 #
-# Usage: scripts/ci.sh [--full|--faults]
+# Usage: scripts/ci.sh [--full|--faults|--chaos]
 #   --full    also exercise the feature-gated targets: property-tests
-#             (larger randomized-test case counts) and the bench binaries.
+#             (larger randomized-test case counts), the bench binaries and
+#             the full chaos batch (two mid-batch server kills).
 #   --faults  also run the fault-injection resilience suite (rdp-core with
 #             the `fault-inject` feature; the 1/2/8-thread invariance sweep
 #             happens inside the tests themselves).
+#   --chaos   also run the full rdp-serve suite with the `chaos` feature
+#             (service-level fault injection against the job server).
+#
+# The default gate already includes the chaos *smoke* batch (one server
+# kill mid-batch): it is the acceptance bar for the serve layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +34,16 @@ BENCH_SCALE_BASELINE="${BENCH_SCALE_BASELINE:-BENCH_scale.json}" \
 # Solver A/B gate: CG+bell and Nesterov+electrostatic must both reach a
 # fully legal placement on a small design.
 run cargo run --release -p rdp-bench --bin bench_solver_ab -- --smoke
+# Service-level chaos smoke: seeded worker panics, NaN gradients, budget
+# exhaustion and one mid-batch server kill across concurrent jobs; every
+# job must land terminal with placements bitwise identical to a serial
+# one-job-at-a-time run.
+run cargo test -p rdp-serve --features chaos -q --test chaos
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  run cargo test -p rdp-serve --features chaos -q
+  run cargo clippy -p rdp-serve --all-targets --features chaos -- -D warnings
+fi
 
 if [[ "${1:-}" == "--faults" ]]; then
   run cargo test -p rdp-core --features fault-inject -q
@@ -48,6 +64,8 @@ if [[ "${1:-}" == "--full" ]]; then
   # the debug gate would take hours at this size).
   run cargo run --release -p rdp-bench --bin bench_scale
   run cargo test --release -q --test determinism -- --ignored
+  # Full chaos batch: twelve faulted jobs, two mid-batch server kills.
+  run cargo test -p rdp-serve --features chaos -q --test chaos -- --ignored
   # Surface degraded-parallelism runs loudly: a true flag means the host
   # ran every parallel kernel inline (1 effective thread), so the recorded
   # timings demonstrate no multi-thread speedup.

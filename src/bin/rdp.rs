@@ -7,6 +7,9 @@
 //! rdp route    --aux bench/demo/demo.aux [--pl results/demo/demo.pl] [--layers] [--map]
 //! rdp check    --aux bench/demo/demo.aux [--pl results/demo/demo.pl]
 //! rdp stats    --aux bench/demo/demo.aux
+//! rdp serve    --demo N [--preset tiny|small] [--workers W] [--threads T]
+//!              [--queue N] [--retries N] [--budget SECS] [--deadline SECS]
+//!              [--spool DIR] [--score] [--seed N]
 //! ```
 //!
 //! `--layers` routes on the full 3-D layer stack (per-layer capacities
@@ -17,19 +20,26 @@
 //! `--flat`, `--lse`, `--no-rotation`, `--seed N`, `--budget SECS`
 //! (wall-clock cap; on expiry the flow truncates cleanly, keeps the best
 //! checkpointed placement and prints a degraded-run warning).
+//!
+//! `serve` runs a batch of generated benchmarks through the hardened job
+//! server (`rdp-serve`): bounded admission, retry with backoff, per-job
+//! budgets/deadlines and checkpoint spooling under `--spool DIR` (a
+//! killed server restarted on the same spool resumes unfinished jobs
+//! from their last completed stage). Exits non-zero if any job fails.
 
 use rdp::db::{bookshelf, stats::DesignStats, validate::check_legal, Design, Placement};
 use rdp::eval::EvalSession;
 use rdp::gen::{generate, GeneratorConfig};
 use rdp::route::{LayerMode, RouterConfig};
 use rdp::place::{PlaceOptions, Placer, WirelengthModel};
+use rdp::serve::{JobServer, JobSpec, JobStatus, ServerConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE] [--layers]\n  rdp route    --aux FILE [--pl FILE] [--layers] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE"
+        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE] [--layers]\n  rdp route    --aux FILE [--pl FILE] [--layers] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE\n  rdp serve    --demo N [--preset tiny|small] [--workers W] [--threads T] [--queue N] [--retries N] [--budget SECS] [--deadline SECS] [--spool DIR] [--score] [--seed N]"
     );
     ExitCode::from(2)
 }
@@ -266,6 +276,94 @@ fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let parse = |key: &str, default: usize| -> Result<usize, String> {
+        flags.get(key).map_or(Ok(default), |s| {
+            s.parse().map_err(|e| format!("bad --{key}: {e}"))
+        })
+    };
+    let secs = |key: &str| -> Result<Option<std::time::Duration>, String> {
+        match flags.get(key) {
+            None => Ok(None),
+            Some(s) => {
+                let v: f64 = s.parse().map_err(|e| format!("bad --{key}: {e}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("bad --{key}: {v} (want seconds >= 0)"));
+                }
+                Ok(Some(std::time::Duration::from_secs_f64(v)))
+            }
+        }
+    };
+    let demo = parse("demo", 0)?;
+    if demo == 0 {
+        return Err("serve needs --demo N (number of demo jobs to run)".into());
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("tiny");
+
+    let mut config = ServerConfig::default()
+        .with_workers(parse("workers", 2)?)
+        .with_threads_per_job(parse("threads", 1)?)
+        .with_queue_capacity(parse("queue", 1024)?)
+        .with_max_attempts(parse("retries", 3)?);
+    if let Some(budget) = secs("budget")? {
+        config.budget.flow_wall = Some(budget);
+    }
+    if let Some(deadline) = secs("deadline")? {
+        config = config.with_deadline(deadline);
+    }
+    if let Some(dir) = flags.get("spool") {
+        config = config.with_spool_dir(dir);
+    }
+    if flags.contains_key("score") {
+        config = config.with_scoring();
+    }
+
+    let server = JobServer::start(config);
+    for i in 0..demo {
+        let name = format!("serve{i}");
+        let job_seed = seed + i as u64;
+        let cfg = match preset {
+            "tiny" => GeneratorConfig::tiny(&name, job_seed),
+            "small" => GeneratorConfig::small(&name, job_seed),
+            other => return Err(format!("unknown serve preset `{other}` (want tiny|small)")),
+        };
+        server
+            .submit(JobSpec::new(cfg))
+            .map_err(|e| format!("job {name} rejected: {e}"))?;
+    }
+    server.wait_all();
+
+    let mut failed = 0usize;
+    println!("{:>10}  {:<12}  {:<8}  {:>9}  {:>12}  note", "job", "name", "state", "attempts", "hpwl");
+    for (id, name, status) in server.jobs() {
+        let (attempts, hpwl, note) = match &status {
+            JobStatus::Done(r) | JobStatus::Degraded(r) => (
+                r.attempts.to_string(),
+                format!("{:.3e}", r.hpwl),
+                match (&r.degraded, r.scaled_hpwl) {
+                    (Some(d), _) => format!("degraded at `{}`", d.stage),
+                    (None, Some(s)) => format!("scaled HPWL {s:.3e}"),
+                    (None, None) => String::new(),
+                },
+            ),
+            JobStatus::Failed { reason, attempts, .. } => {
+                failed += 1;
+                (attempts.to_string(), "-".into(), reason.clone())
+            }
+            other => (String::new(), "-".into(), other.kind().to_string()),
+        };
+        println!("job-{id:06}  {name:<12}  {:<8}  {attempts:>9}  {hpwl:>12}  {note}", status.kind());
+    }
+    if failed > 0 {
+        return Err(format!("{failed} job(s) failed"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -281,6 +379,7 @@ fn main() -> ExitCode {
         "route" => cmd_route(&flags),
         "check" => cmd_check(&flags),
         "stats" => cmd_stats(&flags),
+        "serve" => cmd_serve(&flags),
         _ => return usage(),
     };
     match result {

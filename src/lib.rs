@@ -17,6 +17,7 @@
 //! | [`route`]   | `rdp-route` | global router, ACE/RC congestion metrics |
 //! | [`place`]   | `rdp-core`  | the placer (the paper's contribution)    |
 //! | [`eval`]    | `rdp-eval`  | DAC-2012 scoring, flow runner, reports   |
+//! | [`serve`]   | `rdp-serve` | hardened place-as-a-service job server   |
 //!
 //! # Quickstart
 //!
@@ -41,3 +42,4 @@ pub use rdp_eval as eval;
 pub use rdp_gen as gen;
 pub use rdp_geom as geom;
 pub use rdp_route as route;
+pub use rdp_serve as serve;

@@ -97,6 +97,38 @@ fn missing_required_flag_is_an_error() {
 }
 
 #[test]
+fn serve_runs_a_demo_batch_to_done() {
+    let dir = tmp("serve");
+    let spool = dir.join("spool");
+    let out = rdp()
+        .args(["serve", "--demo", "2", "--workers", "2", "--preset", "tiny", "--spool"])
+        .arg(&spool)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("job-000001") && stdout.contains("job-000002"), "table: {stdout}");
+    assert!(stdout.matches("done").count() >= 2, "table: {stdout}");
+    // All jobs terminal and clean: the spool must be empty.
+    let residue = std::fs::read_dir(&spool).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(residue, 0, "spool should hold no unfinished jobs");
+}
+
+#[test]
+fn serve_reports_failed_jobs_with_nonzero_exit() {
+    // A zero deadline expires before any attempt starts.
+    let out = rdp()
+        .args(["serve", "--demo", "1", "--deadline", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "expired deadline must fail the batch");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failed"), "table: {stdout}");
+    assert!(stdout.contains("deadline"), "table: {stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("1 job(s) failed"));
+}
+
+#[test]
 fn check_fails_on_illegal_placement() {
     // The generated initial placement piles everything at the die center:
     // definitely illegal.
