@@ -1,0 +1,370 @@
+//! Per-round cost and accuracy of the congestion-estimator ladder.
+//!
+//! The routability loop can feed its inflation rounds three congestion
+//! tiers (see `rdp_core::CongestionSource`): the probabilistic pattern
+//! estimate, the learned per-edge regressor, and the true negotiation
+//! router via `reroute_incremental`. This harness measures what each tier
+//! costs *per inflation round* on the same spread placement the loop
+//! operates on, re-asserts the learned tier's accuracy gate on a design
+//! the trainer never saw, and A/B-runs the full flow (probabilistic-only
+//! vs. the recommended `auto` ladder) to show the routed-overflow payoff.
+//!
+//! Checks enforced along the way:
+//!
+//! * the fresh-design rank correlations (predicted vs. routed usage and
+//!   overflow) must clear the gates stamped into the shipped weight file;
+//! * the learned prediction is bitwise identical across thread counts;
+//! * in the full run, the learned round must be at least 3× faster than
+//!   an incremental router round at 100k cells.
+//!
+//! Writes `target/experiments/BENCH_estimator.json`. `--smoke` runs the
+//! 10k-cell sizes only.
+
+use rdp_db::{NodeId, Placement};
+use rdp_gen::{generate, GeneratedBench, GeneratorConfig};
+use rdp_geom::parallel::Parallelism;
+use rdp_geom::rng::Rng;
+use rdp_geom::Point;
+use rdp_route::learned::{self, rank_correlation, NUM_FEATURES};
+use rdp_route::{EstimatorWeights, GlobalRouter, RouteGrid, RouterConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Cheap-tier repetitions per measurement (the minimum is reported — the
+/// steady-state per-round cost, free of first-touch noise).
+const REPS: usize = 5;
+
+/// Fraction of movables an inflation round displaces (matches the 5%
+/// headline point of `bench_incremental`).
+const MOVED_FRACTION: f64 = 0.05;
+
+struct TierRow {
+    cells: usize,
+    nets: usize,
+    prob_s: f64,
+    learned_s: f64,
+    router_inc_s: f64,
+    router_full_s: f64,
+}
+
+impl TierRow {
+    /// Learned-vs-incremental-router per-round speedup.
+    fn speedup(&self) -> f64 {
+        self.router_inc_s / self.learned_s.max(1e-12)
+    }
+}
+
+/// The spread, congestion-bound design state the inflation loop sees
+/// (same supply reasoning as `bench_incremental`).
+fn spread_bench(cells: usize) -> (GeneratedBench, Placement) {
+    let mut cfg = GeneratorConfig::medium("estbench", 73);
+    cfg.num_cells = cells;
+    cfg.route.tracks_per_edge_h = 280.0;
+    cfg.route.tracks_per_edge_v = 280.0;
+    let bench = generate(&cfg).expect("valid config");
+    let die = bench.design.die();
+    let mut base = bench.placement.clone();
+    let mut rng = Rng::seed_from_u64(0x5CA7_7E12);
+    for id in bench.design.movable_ids() {
+        base.set_center(
+            id,
+            Point::new(rng.gen_range(die.xl..die.xh), rng.gen_range(die.yl..die.yh)),
+        );
+    }
+    (bench, base)
+}
+
+/// Times one inflation round of every tier at `cells` on `threads`.
+fn time_tiers(cells: usize, threads: usize) -> TierRow {
+    eprintln!("timing tiers at {cells} cells ({threads} threads)...");
+    let (bench, base) = spread_bench(cells);
+    let design = &bench.design;
+    let par = Parallelism::new(threads);
+    let weights = EstimatorWeights::builtin();
+
+    // Cheap tiers refresh a prebuilt grid in place, exactly as the
+    // placer's routability loop does round over round.
+    let mut grid = RouteGrid::from_design(design, &base);
+    let time_min = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let prob_s = time_min(&mut || {
+        rdp_route::pattern::estimate_congestion_into(&mut grid, design, &base, &par)
+    });
+    let learned_s = time_min(&mut || {
+        learned::predict_into(&mut grid, design, &base, weights, &par)
+    });
+
+    // Router tier: first round routes from scratch (the warm state),
+    // every later round reroutes the ~5% of cells inflation moved.
+    let router = GlobalRouter::new(RouterConfig::builder().threads(threads).build());
+    let t_full = Instant::now();
+    let warm = router.route(design, &base);
+    let router_full_s = t_full.elapsed().as_secs_f64();
+
+    let movables: Vec<NodeId> = design.movable_ids().collect();
+    let count = ((movables.len() as f64 * MOVED_FRACTION).round() as usize)
+        .clamp(1, movables.len());
+    let mut rng = Rng::seed_from_u64(0xD117_0005);
+    let mut moved: Vec<NodeId> = Vec::with_capacity(count);
+    let mut taken = vec![false; movables.len()];
+    while moved.len() < count {
+        let k = rng.gen_range(0usize..movables.len());
+        if !taken[k] {
+            taken[k] = true;
+            moved.push(movables[k]);
+        }
+    }
+    moved.sort_unstable();
+    let die = design.die();
+    let (dx, dy) = (die.width() * 0.05, die.height() * 0.05);
+    let mut perturbed = base.clone();
+    for &id in &moved {
+        let c = perturbed.center(id);
+        perturbed.set_center(
+            id,
+            Point::new(
+                rdp_geom::clamp(c.x + rng.gen_range(-dx..dx), die.xl, die.xh),
+                rdp_geom::clamp(c.y + rng.gen_range(-dy..dy), die.yl, die.yh),
+            ),
+        );
+    }
+    let t_inc = Instant::now();
+    let inc = router.reroute_incremental(&warm, design, &perturbed, &moved);
+    let router_inc_s = t_inc.elapsed().as_secs_f64();
+
+    let row = TierRow {
+        cells,
+        nets: design.nets().len(),
+        prob_s,
+        learned_s,
+        router_inc_s,
+        router_full_s,
+    };
+    eprintln!(
+        "  prob {:.4}s   learned {:.4}s   router incremental {:.4}s ({} dirty nets)   \
+         router full {:.4}s   learned speedup {:.1}x",
+        row.prob_s, row.learned_s, row.router_inc_s, inc.dirty_nets, row.router_full_s,
+        row.speedup()
+    );
+    row
+}
+
+/// Accuracy gate on a design the trainer never saw: the shipped weights'
+/// rank correlations must clear the gates stamped into the weight file.
+/// Returns `(usage_corr, overflow_corr)`.
+fn accuracy_gate() -> (f64, f64) {
+    let weights = EstimatorWeights::builtin();
+    let bench = generate(&GeneratorConfig::small("estfresh", 91)).expect("valid config");
+    let par = Parallelism::single();
+    let router = GlobalRouter::new(RouterConfig::default());
+
+    // Same two placement states the trainer labels: the clustered seed
+    // and a uniform scatter (the spread mid-flow state the inflation
+    // rounds actually consume predictions in).
+    let die = bench.design.die();
+    let mut scattered = bench.placement.clone();
+    let mut rng = Rng::seed_from_u64(0x5CA7_7E12 ^ 91);
+    for id in bench.design.movable_ids() {
+        scattered.set_center(
+            id,
+            Point::new(rng.gen_range(die.xl..die.xh), rng.gen_range(die.yl..die.yh)),
+        );
+    }
+
+    let (mut pred, mut truth, mut pred_over, mut truth_over) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for placement in [&bench.placement, &scattered] {
+        let routed = router.route(&bench.design, placement);
+        let samples = learned::collect_samples(&routed.grid, &bench.design, placement, &par);
+        for (dir_samples, w) in [(&samples.h, &weights.h), (&samples.v, &weights.v)] {
+            for (x, y) in dir_samples {
+                let p = (0..NUM_FEATURES).map(|k| w[k] * x[k]).sum::<f64>().max(0.0);
+                pred.push(p);
+                truth.push(*y);
+                pred_over.push((p - x[NUM_FEATURES - 1]).max(0.0));
+                truth_over.push((*y - x[NUM_FEATURES - 1]).max(0.0));
+            }
+        }
+    }
+    let usage_corr = rank_correlation(&pred, &truth);
+    let overflow_corr = rank_correlation(&pred_over, &truth_over);
+    eprintln!(
+        "accuracy on fresh design ({} edges): usage corr {:.4} (gate {:.4}), \
+         overflow corr {:.4} (gate {:.4})",
+        pred.len(),
+        usage_corr,
+        weights.gate_usage,
+        overflow_corr,
+        weights.gate_overflow
+    );
+    assert!(
+        usage_corr >= weights.gate_usage,
+        "usage rank correlation {usage_corr:.4} below the shipped gate {:.4}",
+        weights.gate_usage
+    );
+    assert!(
+        overflow_corr >= weights.gate_overflow,
+        "overflow rank correlation {overflow_corr:.4} below the shipped gate {:.4}",
+        weights.gate_overflow
+    );
+    (usage_corr, overflow_corr)
+}
+
+/// Bitwise thread-invariance of the learned prediction (1 vs. 8 threads).
+fn determinism_check() {
+    let bench = generate(&GeneratorConfig::tiny("estdet", 5)).expect("valid config");
+    let weights = EstimatorWeights::builtin();
+    let fp = |threads: usize| -> u64 {
+        let par = Parallelism::new(threads);
+        let grid = learned::predict_congestion_par(&bench.design, &bench.placement, weights, &par);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in grid.edge_ids() {
+            h ^= grid.usage(e).to_bits();
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    };
+    assert_eq!(fp(1), fp(8), "learned prediction differs across thread counts");
+    eprintln!("determinism: learned prediction bitwise identical at 1 and 8 threads");
+}
+
+struct FlowAb {
+    cells: usize,
+    prob_overflow: f64,
+    auto_overflow: f64,
+    prob_rc: f64,
+    auto_rc: f64,
+    prob_flow_s: f64,
+    auto_flow_s: f64,
+}
+
+/// Full-flow A/B: probabilistic-only schedule vs. the `auto` ladder, same
+/// seed and budget, compared on final *routed* overflow.
+fn flow_ab(cells: usize, threads: usize) -> FlowAb {
+    use rdp_core::{CongestionSchedule, PlaceOptions, Placer};
+    eprintln!("flow A/B at {cells} cells (prob-only vs auto ladder)...");
+    let mut cfg = GeneratorConfig::medium("estflow", 27);
+    cfg.num_cells = cells;
+    let bench = generate(&cfg).expect("valid config");
+    let session = rdp_eval::EvalSession::new(&bench.design);
+
+    let run = |schedule: CongestionSchedule| -> (f64, f64, f64) {
+        let options = PlaceOptions::fast()
+            .with_threads(threads)
+            .with_estimator(schedule);
+        let t = Instant::now();
+        let result = Placer::new(&bench.design, options)
+            .with_initial(bench.placement.clone())
+            .run()
+            .expect("placeable design");
+        let flow_s = t.elapsed().as_secs_f64();
+        let metrics = session.measure(&result.placement);
+        (metrics.total_overflow, metrics.rc, flow_s)
+    };
+    let (prob_overflow, prob_rc, prob_flow_s) =
+        run(CongestionSchedule::Uniform(rdp_core::CongestionSource::Probabilistic));
+    let (auto_overflow, auto_rc, auto_flow_s) = run(CongestionSchedule::auto());
+    eprintln!(
+        "  prob-only: overflow {prob_overflow:.1} (RC {prob_rc:.1}%) in {prob_flow_s:.1}s   \
+         auto: overflow {auto_overflow:.1} (RC {auto_rc:.1}%) in {auto_flow_s:.1}s"
+    );
+    assert!(
+        auto_overflow <= prob_overflow,
+        "auto ladder must not worsen routed overflow: {auto_overflow:.1} vs {prob_overflow:.1}"
+    );
+    FlowAb { cells, prob_overflow, auto_overflow, prob_rc, auto_rc, prob_flow_s, auto_flow_s }
+}
+
+fn main() {
+    let args = rdp_bench::parse_args();
+    let cores = rdp_bench::detected_cores();
+    let threads = cores.min(8);
+    let degraded =
+        rdp_bench::warn_if_degraded("bench_estimator", &Parallelism::new(threads));
+
+    determinism_check();
+    let (usage_corr, overflow_corr) = accuracy_gate();
+
+    let mut rows = vec![time_tiers(10_000, threads)];
+    if !args.smoke {
+        rows.push(time_tiers(100_000, threads));
+        let big = rows.last().expect("just pushed");
+        assert!(
+            big.speedup() >= 3.0,
+            "learned round must be >= 3x faster than an incremental router round \
+             at 100k cells (got {:.2}x)",
+            big.speedup()
+        );
+    }
+
+    let ab = flow_ab(10_000, threads);
+
+    // --- Report. ---
+    let weights = EstimatorWeights::builtin();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"git_revision\": \"{}\",", rdp_bench::git_revision());
+    let _ = writeln!(json, "  \"available_cores\": {cores},");
+    let _ = writeln!(json, "  \"kernel_threads\": {threads},");
+    let _ = writeln!(json, "  \"degraded_parallelism\": {degraded},");
+    let _ = writeln!(json, "  \"smoke\": {},", args.smoke);
+    let _ = writeln!(json, "  \"learned_thread_invariant\": true,");
+    let _ = writeln!(json, "  \"accuracy\": {{");
+    let _ = writeln!(json, "    \"fresh_usage_corr\": {usage_corr:.4},");
+    let _ = writeln!(json, "    \"fresh_overflow_corr\": {overflow_corr:.4},");
+    let _ = writeln!(json, "    \"gate_usage\": {:.4},", weights.gate_usage);
+    let _ = writeln!(json, "    \"gate_overflow\": {:.4}", weights.gate_overflow);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"per_round\": [");
+    for (ri, r) in rows.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"cells\": {},", r.cells);
+        let _ = writeln!(json, "      \"nets\": {},", r.nets);
+        let _ = writeln!(json, "      \"prob_round_s\": {:.6},", r.prob_s);
+        let _ = writeln!(json, "      \"learned_round_s\": {:.6},", r.learned_s);
+        let _ = writeln!(json, "      \"router_incremental_round_s\": {:.6},", r.router_inc_s);
+        let _ = writeln!(json, "      \"router_first_round_s\": {:.6},", r.router_full_s);
+        let _ = writeln!(json, "      \"learned_vs_router_speedup\": {:.3}", r.speedup());
+        let _ = writeln!(json, "    }}{}", if ri + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"flow_ab\": {{");
+    let _ = writeln!(json, "    \"cells\": {},", ab.cells);
+    let _ = writeln!(json, "    \"prob_overflow\": {:.3},", ab.prob_overflow);
+    let _ = writeln!(json, "    \"auto_overflow\": {:.3},", ab.auto_overflow);
+    let _ = writeln!(json, "    \"prob_rc\": {:.3},", ab.prob_rc);
+    let _ = writeln!(json, "    \"auto_rc\": {:.3},", ab.auto_rc);
+    let _ = writeln!(json, "    \"prob_flow_s\": {:.3},", ab.prob_flow_s);
+    let _ = writeln!(json, "    \"auto_flow_s\": {:.3}", ab.auto_flow_s);
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>14} {:>12}",
+        "cells", "prob/round", "learned", "router(inc)", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>11.4}s {:>11.4}s {:>13.4}s {:>11.1}x",
+            r.cells, r.prob_s, r.learned_s, r.router_inc_s,
+            r.speedup()
+        );
+    }
+    println!(
+        "flow A/B at {}k cells: overflow {:.1} (prob) -> {:.1} (auto)",
+        ab.cells / 1000,
+        ab.prob_overflow,
+        ab.auto_overflow
+    );
+
+    match rdp_eval::report::save("BENCH_estimator.json", &json) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not save BENCH_estimator.json: {e}"),
+    }
+}

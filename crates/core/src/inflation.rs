@@ -41,6 +41,9 @@ impl Default for InflationConfig {
 /// Outcome of one inflation pass.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct InflationStats {
+    /// Which estimator tier supplied this round's congestion picture
+    /// (placer-filled; [`inflate`] itself leaves the default).
+    pub source: crate::placer::CongestionSource,
     /// Cells whose area grew this pass.
     pub inflated: usize,
     /// Total density area after / before the pass.

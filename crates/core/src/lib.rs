@@ -56,7 +56,10 @@ pub mod wirelength;
 
 pub use model::Model;
 pub use optimizer::{GpDensityModel, GpOptions, GpOutcome, GpSolver};
-pub use placer::{GpRoutabilityOptions, PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode};
+pub use placer::{
+    CongestionSchedule, CongestionSource, GpRoutabilityOptions, GpRoutabilityOptionsBuilder,
+    PlaceError, PlaceOptions, PlaceResult, Placer, RotationMode,
+};
 pub use placer::FlowProgress;
 pub use recovery::{
     CheckpointParseError, DegradedResult, Diverged, FlowBudget, FlowCheckpoint, RecoveryEvent,

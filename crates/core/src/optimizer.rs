@@ -613,6 +613,7 @@ pub fn run_global_place(
             solver: opts.solver.label().to_owned(),
             step_len: last_alpha,
             penalty: last_penalty,
+            estimator_tier: String::new(),
         });
         if overflow_ratio < opts.overflow_target {
             break;

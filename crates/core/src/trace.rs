@@ -28,6 +28,11 @@ pub struct TraceRecord {
     pub step_len: f64,
     /// Density penalty Σ max(0, D−T)² of the round's last iteration.
     pub penalty: f64,
+    /// Congestion-estimator tier driving the current inflation round
+    /// (`"prob"`, `"learned"`, `"router"`); empty outside the routability
+    /// loop. Stamped by [`Trace::record`] from the context set via
+    /// [`Trace::set_estimator_tier`] when the producer leaves it empty.
+    pub estimator_tier: String,
 }
 
 /// One per-stage wall-clock measurement.
@@ -49,6 +54,8 @@ pub struct Trace {
     /// Recovery events (step halvings, checkpoint restores, budget
     /// truncations) in chronological order. Empty on a clean run.
     pub events: Vec<RecoveryEvent>,
+    /// Current estimator-tier context (see [`Trace::set_estimator_tier`]).
+    estimator_tier: String,
 }
 
 impl Trace {
@@ -57,8 +64,19 @@ impl Trace {
         Trace::default()
     }
 
-    /// Appends a snapshot.
-    pub fn record(&mut self, record: TraceRecord) {
+    /// Sets the estimator-tier context stamped onto subsequently recorded
+    /// snapshots (the placer sets it per inflation round; empty = outside
+    /// the routability loop).
+    pub fn set_estimator_tier(&mut self, tier: impl Into<String>) {
+        self.estimator_tier = tier.into();
+    }
+
+    /// Appends a snapshot, stamping the current estimator-tier context
+    /// into `estimator_tier` when the producer left it empty.
+    pub fn record(&mut self, mut record: TraceRecord) {
+        if record.estimator_tier.is_empty() {
+            record.estimator_tier.clone_from(&self.estimator_tier);
+        }
         self.records.push(record);
     }
 
@@ -77,14 +95,15 @@ impl Trace {
     }
 
     /// Serializes the convergence records as CSV
-    /// (`stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty`).
+    /// (`stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty,estimator_tier`).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty\n");
+        let mut out = String::from(
+            "stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty,estimator_tier\n",
+        );
         for r in &self.records {
             let _ = writeln!(
                 out,
-                "{},{},{:.3},{:.3},{:.6},{:.6e},{:.4},{},{:.4e},{:.6e}",
+                "{},{},{:.3},{:.3},{:.6},{:.6e},{:.4},{},{:.4e},{:.6e},{}",
                 r.stage,
                 r.outer,
                 r.smooth_wl,
@@ -94,7 +113,8 @@ impl Trace {
                 r.gamma,
                 r.solver,
                 r.step_len,
-                r.penalty
+                r.penalty,
+                r.estimator_tier
             );
         }
         out
@@ -138,16 +158,50 @@ mod tests {
             solver: "cg".into(),
             step_len: 2.5,
             penalty: 42.0,
+            estimator_tier: String::new(),
         });
         t.record_stage("gp", Duration::from_millis(1500));
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.starts_with("stage,outer,smooth_wl,hpwl,overflow,lambda,gamma,solver,step_len,penalty"));
+        assert!(csv.ends_with("penalty,estimator_tier\n") || csv.lines().next().unwrap().ends_with("estimator_tier"));
         assert!(csv.lines().nth(1).unwrap().starts_with("gp/level0,3,123.400"));
         assert!(csv.lines().nth(1).unwrap().contains(",cg,"));
         assert!(csv.lines().nth(1).unwrap().contains("2.5000e0"));
         let scsv = t.stages_csv();
         assert!(scsv.contains("gp,1.5000"));
+    }
+
+    #[test]
+    fn estimator_tier_context_stamps_records() {
+        let mut t = Trace::new();
+        let rec = |stage: &str| TraceRecord {
+            stage: stage.into(),
+            outer: 0,
+            smooth_wl: 0.0,
+            hpwl: 0.0,
+            overflow: 0.0,
+            lambda: 0.0,
+            gamma: 0.0,
+            solver: "cg".into(),
+            step_len: 0.0,
+            penalty: 0.0,
+            estimator_tier: String::new(),
+        };
+        t.record(rec("gp/final"));
+        t.set_estimator_tier("learned");
+        t.record(rec("gp/inflate0"));
+        t.set_estimator_tier("router");
+        t.record(rec("gp/inflate1"));
+        t.set_estimator_tier("");
+        t.record(rec("gp/tail"));
+        assert_eq!(t.records[0].estimator_tier, "");
+        assert_eq!(t.records[1].estimator_tier, "learned");
+        assert_eq!(t.records[2].estimator_tier, "router");
+        assert_eq!(t.records[3].estimator_tier, "");
+        let csv = t.to_csv();
+        assert!(csv.lines().nth(2).unwrap().ends_with(",learned"));
+        assert!(csv.lines().nth(3).unwrap().ends_with(",router"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! methods. The old free functions survive as thin wrappers.
 
 use crate::score::ContestScore;
-use rdp_core::{PlaceError, PlaceOptions, PlaceResult, Placer};
+use rdp_core::{CongestionSchedule, PlaceError, PlaceOptions, PlaceResult, Placer};
 use rdp_db::validate::{check_legal, LegalityReport};
 use rdp_db::{Design, Placement};
 use rdp_gen::GeneratedBench;
@@ -52,6 +52,7 @@ pub struct EvalSession<'a> {
     design: &'a Design,
     router_config: RouterConfig,
     legality_spot_checks: usize,
+    congestion_schedule: Option<CongestionSchedule>,
 }
 
 impl<'a> EvalSession<'a> {
@@ -62,6 +63,7 @@ impl<'a> EvalSession<'a> {
             design,
             router_config: RouterConfig::default(),
             legality_spot_checks: 32,
+            congestion_schedule: None,
         }
     }
 
@@ -69,6 +71,16 @@ impl<'a> EvalSession<'a> {
     #[must_use]
     pub fn with_router_config(mut self, config: RouterConfig) -> Self {
         self.router_config = config;
+        self
+    }
+
+    /// Sets the congestion-estimator schedule every flow this session
+    /// runs places with (builder-style; see
+    /// [`rdp_core::CongestionSchedule`]). `None` (the default) leaves the
+    /// schedule in the passed [`PlaceOptions`] untouched.
+    #[must_use]
+    pub fn with_congestion_schedule(mut self, schedule: CongestionSchedule) -> Self {
+        self.congestion_schedule = Some(schedule);
         self
     }
 
@@ -126,8 +138,11 @@ impl<'a> EvalSession<'a> {
     pub fn run_flow(
         &self,
         initial: &Placement,
-        options: PlaceOptions,
+        mut options: PlaceOptions,
     ) -> Result<FlowOutcome, PlaceError> {
+        if let Some(schedule) = &self.congestion_schedule {
+            options = options.with_estimator(schedule.clone());
+        }
         let t = Instant::now();
         let place = Placer::new(self.design, options)
             .with_initial(initial.clone())
@@ -195,5 +210,21 @@ mod tests {
         let out = session.run_flow_on(&bench, PlaceOptions::fast()).unwrap();
         assert!(out.legality.is_legal(), "violations: {:?}", out.legality.violations);
         assert!(out.place_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn session_schedule_overrides_the_flow_options() {
+        use rdp_core::{CongestionSchedule, CongestionSource};
+        let bench = generate(&GeneratorConfig::tiny("es4", 14)).unwrap();
+        let session = EvalSession::new(&bench.design)
+            .with_legality_spot_checks(8)
+            .with_congestion_schedule(CongestionSchedule::Uniform(CongestionSource::Learned));
+        let out = session.run_flow_on(&bench, PlaceOptions::fast()).unwrap();
+        assert!(out
+            .place
+            .inflation
+            .iter()
+            .all(|s| s.source == CongestionSource::Learned));
+        assert!(out.legality.is_legal());
     }
 }

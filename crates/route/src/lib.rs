@@ -13,6 +13,9 @@
 //!   rectilinear minimum spanning tree;
 //! * [`pattern`] — fast L-shape pattern routing (also the *probabilistic*
 //!   congestion estimator the placer's inflation loop uses);
+//! * [`learned`] — the middle estimator tier: a deterministic per-edge
+//!   linear regressor over per-gcell congestion features, trained offline
+//!   on this router's own overflow (`rdp train-estimator`);
 //! * [`maze`] — windowed A\* maze routing over reusable epoch-stamped
 //!   scratch, driving history-based negotiation (rip-up-and-reroute), the
 //!   full router used for scoring;
@@ -36,6 +39,7 @@
 
 mod grid;
 pub mod heatmap;
+pub mod learned;
 pub mod maze;
 pub mod metrics;
 pub mod pattern;
@@ -43,6 +47,7 @@ mod router;
 pub mod topology;
 
 pub use grid::{EdgeId, GCell, LayerDir, RouteGrid};
+pub use learned::EstimatorWeights;
 pub use maze::MazeScratch;
 pub use metrics::{CongestionMetrics, LayerMetrics, ACE_LEVELS};
 pub use pattern::EdgeCosts;

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use rdp_core::FlowBudget;
+use rdp_core::{CongestionSchedule, FlowBudget};
 
 /// Configuration of a [`crate::JobServer`].
 ///
@@ -45,6 +45,9 @@ pub struct ServerConfig {
     /// Score completed placements with the contest evaluator (routes the
     /// design — noticeably slower; off by default).
     pub score: bool,
+    /// Congestion-estimator schedule every job's placer runs with. `None`
+    /// keeps the [`rdp_core::PlaceOptions::fast`] default.
+    pub estimator: Option<CongestionSchedule>,
     /// Seed for backoff jitter (and nothing else — job results never
     /// depend on it).
     pub seed: u64,
@@ -64,6 +67,7 @@ impl Default for ServerConfig {
             deadline: None,
             spool_dir: None,
             score: false,
+            estimator: None,
             seed: 0,
         }
     }
@@ -128,6 +132,12 @@ impl ServerConfig {
     /// Enables contest scoring of completed placements.
     pub fn with_scoring(mut self) -> Self {
         self.score = true;
+        self
+    }
+
+    /// Sets the congestion-estimator schedule of every job's placer.
+    pub fn with_estimator(mut self, schedule: CongestionSchedule) -> Self {
+        self.estimator = Some(schedule);
         self
     }
 }

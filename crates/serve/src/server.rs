@@ -415,9 +415,12 @@ fn attempt_body(inner: &Arc<Inner>, pool: &Parallelism, claim: &Claim, label: &s
         let remaining = deadline.saturating_sub(claim.submitted.elapsed());
         budget.flow_wall = Some(budget.flow_wall.map_or(remaining, |b| b.min(remaining)));
     }
-    let opts = PlaceOptions::fast()
+    let mut opts = PlaceOptions::fast()
         .with_threads(inner.config.threads_per_job)
         .with_budget(budget);
+    if let Some(schedule) = &inner.config.estimator {
+        opts = opts.with_estimator(schedule.clone());
+    }
 
     let mut placer = Placer::new(&bench.design, opts);
     placer = match claim.checkpoint.clone() {

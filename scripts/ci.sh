@@ -34,6 +34,11 @@ BENCH_SCALE_BASELINE="${BENCH_SCALE_BASELINE:-BENCH_scale.json}" \
 # Solver A/B gate: CG+bell and Nesterov+electrostatic must both reach a
 # fully legal placement on a small design.
 run cargo run --release -p rdp-bench --bin bench_solver_ab -- --smoke
+# Estimator-ladder smoke: learned-tier thread invariance, the accuracy
+# gate of the checked-in weights on a fresh design (rank correlations vs
+# the routed truth must clear the gates stamped into the weight file),
+# per-round tier costs at 10k cells and the prob-vs-auto flow A/B.
+run cargo run --release -p rdp-bench --bin bench_estimator -- --smoke
 # Service-level chaos smoke: seeded worker panics, NaN gradients, budget
 # exhaustion and one mid-batch server kill across concurrent jobs; every
 # job must land terminal with placements bitwise identical to a serial
@@ -57,6 +62,12 @@ if [[ "${1:-}" == "--full" ]]; then
   run cargo run --release -p rdp-bench --bin bench_router -- --smoke
   run cargo run --release -p rdp-bench --bin bench_incremental -- --smoke
   run cargo run --release -p rdp-bench --bin bench_route3d -- --smoke
+  # Learned-estimator reproducibility: retraining from the fixed seed must
+  # reproduce the checked-in weight file byte for byte.
+  run cargo run --release -- train-estimator --check
+  # Full estimator ladder bench: adds the 100k-cell per-round sweep and
+  # the learned >= 3x-vs-incremental-router assertion.
+  run cargo run --release -p rdp-bench --bin bench_estimator
   # All four solver × density-model combinations on the larger design.
   run cargo run --release -p rdp-bench --bin bench_solver_ab
   # Full 10k→1M scaling sweep (including the 100k-cell CG-vs-Nesterov

@@ -9,7 +9,9 @@
 //! rdp stats    --aux bench/demo/demo.aux
 //! rdp serve    --demo N [--preset tiny|small] [--workers W] [--threads T]
 //!              [--queue N] [--retries N] [--budget SECS] [--deadline SECS]
-//!              [--spool DIR] [--score] [--seed N]
+//!              [--spool DIR] [--score] [--estimator prob|learned|router|auto] [--seed N]
+//! rdp train-estimator [--designs N] [--preset tiny|small|medium] [--seed N]
+//!              [--lambda X] [--holdout N] [--out FILE] [--check]
 //! ```
 //!
 //! `--layers` routes on the full 3-D layer stack (per-layer capacities
@@ -19,7 +21,19 @@
 //! Flow flags for `place`: `--fast`, `--wl-driven`, `--fence-blind`,
 //! `--flat`, `--lse`, `--no-rotation`, `--seed N`, `--budget SECS`
 //! (wall-clock cap; on expiry the flow truncates cleanly, keeps the best
-//! checkpointed placement and prints a degraded-run warning).
+//! checkpointed placement and prints a degraded-run warning), and
+//! `--estimator prob|learned|router|auto` selecting which congestion tier
+//! the inflation rounds consume (`auto` = learned rounds early, the
+//! incremental router last).
+//!
+//! `train-estimator` retrains the learned congestion tier: it generates
+//! `--designs` benchmarks, routes each at its seed placement *and* at a
+//! deterministic uniform scatter (the congested variant), fits the ridge
+//! regression on the router's per-edge usage, reports the held-out rank
+//! correlations, and writes the weight file (default: the in-tree
+//! `crates/route/src/learned_weights.txt`). With `--check` it writes
+//! nothing and instead verifies the retrained weights are byte-identical
+//! to the compiled-in set — the CI reproducibility gate.
 //!
 //! `serve` runs a batch of generated benchmarks through the hardened job
 //! server (`rdp-serve`): bounded admission, retry with backoff, per-job
@@ -31,7 +45,7 @@ use rdp::db::{bookshelf, stats::DesignStats, validate::check_legal, Design, Plac
 use rdp::eval::EvalSession;
 use rdp::gen::{generate, GeneratorConfig};
 use rdp::route::{LayerMode, RouterConfig};
-use rdp::place::{PlaceOptions, Placer, WirelengthModel};
+use rdp::place::{CongestionSchedule, PlaceOptions, Placer, WirelengthModel};
 use rdp::serve::{JobServer, JobSpec, JobStatus, ServerConfig};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -39,9 +53,21 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS]\n  rdp score    --aux FILE [--pl FILE] [--layers]\n  rdp route    --aux FILE [--pl FILE] [--layers] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE\n  rdp serve    --demo N [--preset tiny|small] [--workers W] [--threads T] [--queue N] [--retries N] [--budget SECS] [--deadline SECS] [--spool DIR] [--score] [--seed N]"
+        "usage:\n  rdp generate --preset tiny|small|medium|large --name NAME --seed N --out DIR [--fences N]\n  rdp place    --aux FILE --out DIR [--fast] [--wl-driven] [--fence-blind] [--flat] [--lse] [--no-rotation] [--seed N] [--budget SECS] [--estimator prob|learned|router|auto]\n  rdp score    --aux FILE [--pl FILE] [--layers]\n  rdp route    --aux FILE [--pl FILE] [--layers] [--map]\n  rdp check    --aux FILE [--pl FILE]\n  rdp stats    --aux FILE\n  rdp serve    --demo N [--preset tiny|small] [--workers W] [--threads T] [--queue N] [--retries N] [--budget SECS] [--deadline SECS] [--spool DIR] [--score] [--estimator prob|learned|router|auto] [--seed N]\n  rdp train-estimator [--designs N] [--preset tiny|small|medium] [--seed N] [--lambda X] [--holdout N] [--out FILE] [--check]"
     );
     ExitCode::from(2)
+}
+
+/// Parses the `--estimator` spelling shared by `place` and `serve`.
+fn estimator_flag(
+    flags: &HashMap<String, String>,
+) -> Result<Option<CongestionSchedule>, String> {
+    match flags.get("estimator") {
+        None => Ok(None),
+        Some(s) => CongestionSchedule::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("bad --estimator `{s}` (want prob|learned|router|auto)")),
+    }
 }
 
 /// Splits argv into flag map (`--key value` / bare `--switch`).
@@ -129,6 +155,9 @@ fn cmd_place(flags: &HashMap<String, String>) -> Result<(), String> {
             return Err(format!("bad --budget: {secs} (want seconds >= 0)"));
         }
         options.budget.flow_wall = Some(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(schedule) = estimator_flag(flags)? {
+        options = options.with_estimator(schedule);
     }
 
     let result = Placer::new(&design, options)
@@ -321,6 +350,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if flags.contains_key("score") {
         config = config.with_scoring();
     }
+    if let Some(schedule) = estimator_flag(flags)? {
+        config = config.with_estimator(schedule);
+    }
 
     let server = JobServer::start(config);
     for i in 0..demo {
@@ -364,6 +396,113 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_train_estimator(flags: &HashMap<String, String>) -> Result<(), String> {
+    use rdp::geom::parallel::Parallelism;
+    use rdp::geom::rng::Rng;
+    use rdp::geom::Point;
+    use rdp::route::learned::{collect_samples, train_estimator, TrainConfig};
+    use rdp::route::{EstimatorWeights, GlobalRouter};
+
+    let designs: usize = flags
+        .get("designs")
+        .map_or(Ok(6), |s| s.parse())
+        .map_err(|e| format!("bad --designs: {e}"))?;
+    if designs == 0 {
+        return Err("--designs must be >= 1".into());
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse())
+        .map_err(|e| format!("bad --seed: {e}"))?;
+    let preset = flags.get("preset").map(String::as_str).unwrap_or("small");
+    let mut config = TrainConfig::default();
+    if let Some(s) = flags.get("lambda") {
+        config.lambda = s.parse().map_err(|e| format!("bad --lambda: {e}"))?;
+        if !config.lambda.is_finite() || config.lambda < 0.0 {
+            return Err(format!("bad --lambda: {} (want >= 0)", config.lambda));
+        }
+    }
+    if let Some(s) = flags.get("holdout") {
+        config.holdout = s.parse().map_err(|e| format!("bad --holdout: {e}"))?;
+    }
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "crates/route/src/learned_weights.txt".into());
+    let check = flags.contains_key("check");
+
+    // Single-threaded feature extraction and a default router: both are
+    // thread-invariant anyway, but pinning them keeps the provenance of
+    // the checked-in weight file maximally boring.
+    let par = Parallelism::single();
+    let router = GlobalRouter::new(RouterConfig::default());
+    let mut sets = Vec::new();
+    for i in 0..designs {
+        let name = format!("train{i}");
+        let design_seed = seed.wrapping_add(i as u64);
+        let cfg = match preset {
+            "tiny" => GeneratorConfig::tiny(&name, design_seed),
+            "small" => GeneratorConfig::small(&name, design_seed),
+            "medium" => GeneratorConfig::medium(&name, design_seed),
+            other => return Err(format!("unknown preset `{other}` (want tiny|small|medium)")),
+        };
+        let bench = generate(&cfg).map_err(|e| format!("generation failed: {e}"))?;
+        let die = bench.design.die();
+
+        // Label source one: the generator's clustered seed placement.
+        let routed = router.route(&bench.design, &bench.placement);
+        let clustered =
+            collect_samples(&routed.grid, &bench.design, &bench.placement, &par);
+
+        // Label source two: the same netlist uniformly scattered — the
+        // spread, congested state inflation rounds actually see.
+        let mut scattered = bench.placement.clone();
+        let mut rng = Rng::seed_from_u64(0x5CA7_7E12 ^ design_seed);
+        for id in bench.design.movable_ids() {
+            scattered.set_center(
+                id,
+                Point::new(rng.gen_range(die.xl..die.xh), rng.gen_range(die.yl..die.yh)),
+            );
+        }
+        let routed = router.route(&bench.design, &scattered);
+        let spread = collect_samples(&routed.grid, &bench.design, &scattered, &par);
+
+        println!(
+            "  {name} ({preset}, seed {design_seed}): {} clustered + {} scattered samples",
+            clustered.h.len() + clustered.v.len(),
+            spread.h.len() + spread.v.len()
+        );
+        sets.push(clustered);
+        sets.push(spread);
+    }
+
+    let outcome = train_estimator(&sets, &config);
+    println!(
+        "trained on {} samples, held out {} — rank correlation: usage {:.4}, overflow {:.4}",
+        outcome.train_samples,
+        outcome.holdout_samples,
+        outcome.holdout_usage_corr,
+        outcome.holdout_overflow_corr
+    );
+    let text = outcome.weights.to_text();
+
+    if check {
+        let builtin = EstimatorWeights::builtin().to_text();
+        if text == builtin {
+            println!("check passed: retrained weights are byte-identical to the compiled-in set");
+            Ok(())
+        } else {
+            Err("retrained weights differ from the compiled-in set \
+                 (regenerate crates/route/src/learned_weights.txt and rebuild)"
+                .into())
+        }
+    } else {
+        std::fs::write(&out, &text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote {out}");
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -380,6 +519,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&flags),
         "stats" => cmd_stats(&flags),
         "serve" => cmd_serve(&flags),
+        "train-estimator" => cmd_train_estimator(&flags),
         _ => return usage(),
     };
     match result {

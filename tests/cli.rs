@@ -129,6 +129,67 @@ fn serve_reports_failed_jobs_with_nonzero_exit() {
 }
 
 #[test]
+fn place_accepts_the_estimator_flag() {
+    let dir = tmp("est");
+    let bench = dir.join("bench");
+    rdp()
+        .args(["generate", "--preset", "tiny", "--name", "es", "--seed", "21", "--out"])
+        .arg(&bench)
+        .output()
+        .unwrap();
+    let aux = bench.join("es.aux");
+    let out = rdp()
+        .args(["place", "--aux"])
+        .arg(&aux)
+        .args(["--out"])
+        .arg(dir.join("sol"))
+        .args(["--fast", "--estimator", "learned"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "place failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // A bad tier name is rejected with the accepted spellings.
+    let out = rdp()
+        .args(["place", "--aux"])
+        .arg(&aux)
+        .args(["--out"])
+        .arg(dir.join("sol2"))
+        .args(["--estimator", "psychic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bad --estimator") && stderr.contains("auto"), "stderr: {stderr}");
+}
+
+#[test]
+fn train_estimator_writes_a_parseable_weight_file() {
+    let dir = tmp("train");
+    let weights = dir.join("weights.txt");
+    let out = rdp()
+        .args(["train-estimator", "--designs", "2", "--preset", "tiny", "--holdout", "1", "--out"])
+        .arg(&weights)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "trainer failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&weights).unwrap();
+    assert!(text.starts_with("rdp-estimator v1"), "header: {text}");
+    assert!(text.lines().any(|l| l == "end"), "terminator: {text}");
+
+    // --check against the compiled-in weights must fail for a training
+    // run with non-default parameters (different weights), and must not
+    // touch the output file.
+    let before = std::fs::metadata(&weights).unwrap().modified().unwrap();
+    let out = rdp()
+        .args(["train-estimator", "--designs", "1", "--preset", "tiny", "--check"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "non-default training must mismatch the builtin weights");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("differ"));
+    assert_eq!(std::fs::metadata(&weights).unwrap().modified().unwrap(), before);
+}
+
+#[test]
 fn check_fails_on_illegal_placement() {
     // The generated initial placement piles everything at the die center:
     // definitely illegal.
